@@ -1,0 +1,643 @@
+(* ddtest: command-line front end to the exact dependence analyzer.
+
+   Subcommands:
+     analyze    <file>  per-pair dependence report (text or JSON; memo
+                        tables persist across runs with --memo-file)
+     parallel   <file>  which loops are parallelizable
+     transform  <file>  loop reversal/interchange legality
+     distribute <file>  Allen-Kennedy loop distribution plan
+     annotate   <file>  re-emit the source with parallelism annotations
+     cc         <file>  compile to C with OpenMP pragmas
+     check      <file>  validate every verdict against actual execution
+     depgraph   <file>  dependence graph (Graphviz)
+     graph      <file>  loop-residue graphs (Graphviz)
+     passes     <file>  show the program after the optimizer prepass
+     perfect    <name>  emit a synthetic PERFECT Club program
+     prime      <file>  build a memo table from the whole suite *)
+
+open Cmdliner
+open Dda_lang
+open Dda_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let src = if String.equal path "-" then In_channel.input_all stdin else read_file path in
+  match Parser.parse_program src with
+  | prog ->
+    (match Semant.check prog with
+     | [] -> ()
+     | errs ->
+       List.iter (Format.eprintf "warning: %a@." Semant.pp_error) errs);
+    prog
+  | exception Parser.Error (msg, loc) ->
+    Format.eprintf "%s:%a: syntax error: %s@." path Loc.pp loc msg;
+    exit 1
+  | exception Lexer.Error (msg, loc) ->
+    Format.eprintf "%s:%a: lexical error: %s@." path Loc.pp loc msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let config_term =
+  let symbolic =
+    Arg.(value & opt bool true & info [ "symbolic" ] ~doc:"Treat loop-invariant unknowns as symbolic terms.")
+  in
+  let directions =
+    Arg.(value & opt bool true & info [ "directions" ] ~doc:"Compute direction/distance vectors.")
+  in
+  let memo =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("off", Analyzer.Memo_off);
+               ("simple", Analyzer.Memo_simple);
+               ("improved", Analyzer.Memo_improved);
+               ("symmetric", Analyzer.Memo_symmetric);
+             ])
+          Analyzer.Memo_improved
+      & info [ "memo" ]
+          ~doc:
+            "Memoization scheme: $(b,off), $(b,simple), $(b,improved) or \
+             $(b,symmetric).")
+  in
+  let prune =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Direction.no_pruning);
+               ("full", Direction.full_pruning);
+               ("separable", Direction.separable_pruning);
+             ])
+          Direction.full_pruning
+      & info [ "prune" ]
+          ~doc:
+            "Direction-vector pruning: $(b,none), $(b,full) (the paper's two \
+             rules) or $(b,separable) (plus dimension-by-dimension \
+             treatment).")
+  in
+  let fm_tighten =
+    Arg.(value & flag & info [ "fm-tighten" ] ~doc:"Enable Omega-style integer tightening in Fourier-Motzkin.")
+  in
+  let no_pipeline =
+    Arg.(value & flag & info [ "no-pipeline" ] ~doc:"Skip the optimizer prepass.")
+  in
+  let cross_nest =
+    Arg.(value & flag & info [ "cross-nest" ] ~doc:"Also test pairs that share no loop.")
+  in
+  let build symbolic directions memo prune fm_tighten no_pipeline cross_nest =
+    {
+      Analyzer.symbolic;
+      memo;
+      directions;
+      prune;
+      fm_tighten;
+      run_pipeline = not no_pipeline;
+      within_nest_only = not cross_nest;
+    }
+  in
+  Term.(const build $ symbolic $ directions $ memo $ prune $ fm_tighten $ no_pipeline $ cross_nest)
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Source file ($(b,-) for stdin).")
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_outcome fmt (r : Analyzer.pair_report) =
+  match r.outcome with
+  | Analyzer.Constant true -> Format.fprintf fmt "dependent (constant subscripts)"
+  | Analyzer.Constant false -> Format.fprintf fmt "independent (constant subscripts)"
+  | Analyzer.Assumed_dependent -> Format.fprintf fmt "assumed dependent (not affine)"
+  | Analyzer.Gcd_independent -> Format.fprintf fmt "independent (extended gcd)"
+  | Analyzer.Tested t ->
+    if not t.dependent then
+      Format.fprintf fmt "independent%s"
+        (if t.implicit_bb then " (via direction vectors)" else "")
+    else begin
+      Format.fprintf fmt "dependent";
+      if t.unknown then Format.fprintf fmt " (assumed: depth exhausted)";
+      (match t.decided_by with
+       | Some test -> Format.fprintf fmt " [%a]" Cascade.pp_test test
+       | None -> ());
+      if t.directions <> [] then begin
+        Format.fprintf fmt " directions:";
+        List.iter
+          (fun v ->
+             Format.fprintf fmt " %a%a" Direction.pp_vector v
+               (fun fmt v ->
+                  Format.fprintf fmt "[%a]" Analyzer.pp_dep_kind
+                    (Analyzer.vector_kind r v))
+               v)
+          t.directions
+      end;
+      match t.distance with
+      | Some d ->
+        Format.fprintf fmt " distance: (%s)"
+          (String.concat ","
+             (Array.to_list (Array.map Dda_numeric.Zint.to_string d)))
+      | None -> ()
+    end
+
+let print_stats (s : Analyzer.stats) =
+  Format.printf "@.-- statistics --@.";
+  Format.printf "pairs analyzed:      %d@." s.pairs;
+  Format.printf "constant subscripts: %d@." s.constant_cases;
+  Format.printf "gcd independent:     %d@." s.gcd_independent;
+  Format.printf "assumed dependent:   %d@." s.assumed;
+  Format.printf "plain tests:         svpc=%d acyclic=%d loop-residue=%d fourier=%d@."
+    s.plain_by_test.(0) s.plain_by_test.(1) s.plain_by_test.(2) s.plain_by_test.(3);
+  Format.printf "direction tests:     svpc=%d acyclic=%d loop-residue=%d fourier=%d@."
+    s.dir_counts.by_test.(0) s.dir_counts.by_test.(1) s.dir_counts.by_test.(2)
+    s.dir_counts.by_test.(3);
+  Format.printf "memo (gcd table):    %d lookups, %d hits, %d unique@."
+    s.memo_lookups_nobounds s.memo_hits_nobounds s.memo_unique_nobounds;
+  Format.printf "memo (full table):   %d lookups, %d hits, %d unique@."
+    s.memo_lookups_full s.memo_hits_full s.memo_unique_full;
+  Format.printf "verdicts:            %d independent, %d dependent@."
+    s.independent_pairs s.dependent_pairs
+
+let analyze_cmd =
+  let run file config stats memo_file format =
+    let prog = load file in
+    let report =
+      match memo_file with
+      | None -> Analyzer.analyze ~config prog
+      | Some path ->
+        (* The paper's cross-compilation memoization: reuse a table
+           from a previous run and extend it for the next one. *)
+        let session =
+          if Sys.file_exists path then begin
+            let s = Analyzer.load_session path in
+            if Analyzer.session_config s <> config then
+              Format.eprintf
+                "note: %s was built under a different configuration; using the saved one@."
+                path;
+            s
+          end
+          else Analyzer.create_session ~config ()
+        in
+        let report = Analyzer.analyze_session session prog in
+        Analyzer.save_session session path;
+        report
+    in
+    (match format with
+     | `Text ->
+       List.iter
+         (fun (r : Analyzer.pair_report) ->
+            Format.printf "%s[%s]  %a x %a:  %a@." r.array_name
+              (if r.self_pair then "self" else "pair")
+              Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
+         report.pair_reports;
+       if stats then print_stats report.stats
+     | `Json -> Format.printf "%a@." Json_out.pp (Json_out.report report))
+  in
+  let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print analysis statistics.") in
+  let memo_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "memo-file" ] ~docv:"FILE"
+          ~doc:
+            "Persist the memoization tables across runs: load $(docv) if it \
+             exists, save back after analyzing.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Report dependence for every reference pair")
+    Term.(const run $ file_arg $ config_term $ stats_flag $ memo_file $ format)
+
+(* ------------------------------------------------------------------ *)
+(* parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_cmd =
+  let run file config =
+    let prog = load file in
+    let prepared = if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run prog else prog in
+    let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+    let report = Analyzer.analyze ~config:{ config with Analyzer.run_pipeline = false } prepared in
+    let verdicts = Analyzer.parallel_loops report sites in
+    let names = Affine.loop_table sites in
+    List.iter
+      (fun (lid, parallel) ->
+         let name = Option.value (List.assoc_opt lid names) ~default:"?" in
+         Format.printf "loop %s (id %d): %s@." name lid
+           (if parallel then "PARALLELIZABLE" else "serial"))
+      verdicts
+  in
+  Cmd.v (Cmd.info "parallel" ~doc:"Mark loops as parallelizable or serial")
+    Term.(const run $ file_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* passes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let passes_cmd =
+  let run file =
+    let prog = load file in
+    Format.printf "%s" (Pretty.program_to_string (Dda_passes.Pipeline.run prog))
+  in
+  Cmd.v (Cmd.info "passes" ~doc:"Show the program after the optimizer prepass")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* perfect                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let perfect_cmd =
+  let run name =
+    match Dda_perfect.Programs.find name with
+    | Some spec -> print_string (Dda_perfect.Programs.source spec)
+    | None ->
+      Format.eprintf "unknown program %s; available:" name;
+      List.iter
+        (fun (s : Dda_perfect.Programs.spec) -> Format.eprintf " %s" s.name)
+        Dda_perfect.Programs.all;
+      Format.eprintf "@.";
+      exit 1
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Program code (AP, CS, ...).")
+  in
+  Cmd.v (Cmd.info "perfect" ~doc:"Emit a synthetic PERFECT Club program")
+    Term.(const run $ name_arg)
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_cmd =
+  let run file =
+    let prog = load file in
+    let prepared = Dda_passes.Pipeline.run prog in
+    let sites = Affine.extract prepared in
+    let arr = Array.of_list sites in
+    let printed = ref 0 in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        let s1 = arr.(i) and s2 = arr.(j) in
+        if String.equal s1.Affine.array s2.Affine.array
+           && (s1.Affine.role = `Write || s2.Affine.role = `Write)
+        then
+          match Build_problem.build s1 s2 with
+          | None -> ()
+          | Some p -> (
+              match Gcd_test.run p with
+              | Gcd_test.Independent -> ()
+              | Gcd_test.Reduced red -> (
+                  (* Mirror the cascade: only systems that survive SVPC
+                     and Acyclic reach the loop-residue graph. *)
+                  match Svpc.run red.Gcd_test.system with
+                  | Svpc.Partial (box, multi) -> (
+                      match Acyclic.run box multi with
+                      | Acyclic.Cycle (box', core) when Loop_residue.applicable core ->
+                        incr printed;
+                        Format.printf "/* pair %a x %a */@.%s@." Loc.pp s1.site_loc
+                          Loc.pp s2.site_loc
+                          (Loop_residue.to_dot box' core)
+                      | _ -> ())
+                  | _ -> ()))
+      done
+    done;
+    if !printed = 0 then
+      Format.printf "no pair reaches the loop-residue stage in this program@."
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print loop-residue constraint graphs (Graphviz) for residual systems")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* depgraph                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let depgraph_cmd =
+  let run file config =
+    let prog = load file in
+    print_string (Depgraph.to_dot (Analyzer.analyze ~config prog))
+  in
+  Cmd.v
+    (Cmd.info "depgraph" ~doc:"Print the dependence graph in Graphviz format")
+    Term.(const run $ file_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* transform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let transform_cmd =
+  let run file config =
+    let prog = load file in
+    (* Legality needs fully refined vectors: a pruned "*" level reads as
+       "could be >" and conservatively blocks every reordering. *)
+    let config =
+      {
+        config with
+        Analyzer.directions = true;
+        prune = Direction.no_pruning;
+        memo =
+          (match config.Analyzer.memo with
+           | Analyzer.Memo_off -> Analyzer.Memo_off
+           | _ -> Analyzer.Memo_simple);
+      }
+    in
+    let prepared =
+      if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run prog else prog
+    in
+    let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+    let report =
+      Analyzer.analyze ~config:{ config with Analyzer.run_pipeline = false } prepared
+    in
+    let table = Affine.loop_table sites in
+    let loops = List.map fst table in
+    let name lid = Option.value (List.assoc_opt lid table) ~default:"?" in
+    List.iter
+      (fun lid ->
+         Format.printf "loop %s: %s@." (name lid)
+           (if Transforms.reversal_legal report ~lid then "reversible"
+            else "NOT reversible"))
+      loops;
+    (* Pairwise interchange of loops that are directly nested. *)
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+        Format.printf "interchange %s <-> %s: %s@." (name a) (name b)
+          (if Transforms.interchange_legal report ~lid_a:a ~lid_b:b then "legal"
+           else "ILLEGAL");
+        pairs rest
+      | _ -> []
+    in
+    ignore (pairs loops);
+    if List.length loops >= 2 && List.length loops <= 4 then begin
+      let perms = Transforms.legal_permutations report loops in
+      Format.printf "legal loop orders:";
+      List.iter
+        (fun perm ->
+           Format.printf " (%s)" (String.concat "," (List.map name perm)))
+        perms;
+      Format.printf "@.";
+      Format.printf "band fully permutable (tilable): %s@."
+        (if Transforms.fully_permutable report loops then "yes" else "no")
+    end
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Report loop reversal and interchange legality (assumes the program \
+          is one perfect nest; for anything else, interpret per pair of \
+          directly nested loops)")
+    Term.(const run $ file_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* cc: emit C with OpenMP pragmas on the loops proven parallel         *)
+(* ------------------------------------------------------------------ *)
+
+let cc_cmd =
+  let run file =
+    let prog = load file in
+    let prepared = Dda_passes.Pipeline.run prog in
+    let sites = Affine.extract prepared in
+    let report =
+      Analyzer.analyze
+        ~config:{ Analyzer.default_config with Analyzer.run_pipeline = false }
+        prepared
+    in
+    let parallel = Analyzer.parallel_loops report sites in
+    match Dda_codegen.C_emit.emit ~parallel prepared with
+    | Ok src -> print_string src
+    | Error reason ->
+      Format.eprintf "cannot compile to C: %s@." reason;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "cc"
+       ~doc:
+         "Compile to C: loops the analysis proves parallel carry an OpenMP \
+          pragma; the generated main dumps the final machine state \
+          (compile the output with gcc -fopenmp)")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* annotate: re-emit the source with parallelism annotations           *)
+(* ------------------------------------------------------------------ *)
+
+let annotate_cmd =
+  let run file config =
+    let prog = load file in
+    let prepared =
+      if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run prog else prog
+    in
+    let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+    let report =
+      Analyzer.analyze ~config:{ config with Analyzer.run_pipeline = false } prepared
+    in
+    let verdicts = Analyzer.parallel_loops report sites in
+    (* Re-number loops in pre-order while printing, mirroring the
+       extractor's numbering. *)
+    let counter = ref 0 in
+    let buf = Buffer.create 1024 in
+    let rec emit indent (s : Ast.stmt) =
+      let pad = String.make indent ' ' in
+      match s.Ast.sdesc with
+      | Ast.For f ->
+        let lid = !counter in
+        incr counter;
+        let tag =
+          match List.assoc_opt lid verdicts with
+          | Some true -> "# PARALLEL\n"
+          | Some false -> "# serial (carries a dependence)\n"
+          | None -> "# no array references\n"
+        in
+        Buffer.add_string buf (pad ^ tag);
+        Buffer.add_string buf
+          (Format.asprintf "%sfor %s = %a to %a%t do\n" pad f.var Pretty.pp_expr
+             f.lo Pretty.pp_expr f.hi
+             (fun fmt ->
+                match f.step with
+                | None -> ()
+                | Some st -> Format.fprintf fmt " step %a" Pretty.pp_expr st));
+        List.iter (emit (indent + 2)) f.body;
+        Buffer.add_string buf (pad ^ "end\n")
+      | _ ->
+        (* Lean on the pretty-printer for non-loop statements. *)
+        let text = Format.asprintf "%a" Pretty.pp_stmt s in
+        String.split_on_char '\n' text
+        |> List.iter (fun line -> Buffer.add_string buf (pad ^ line ^ "\n"))
+    in
+    List.iter (emit 0) prepared;
+    print_string (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Re-emit the (optimized) program with a parallelism annotation above every loop")
+    Term.(const run $ file_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* check: validate the analysis against actual execution               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file =
+    let prog = load file in
+    (* Full refinement and no prepass: the claims compared to the trace
+       must be concrete. *)
+    let config =
+      {
+        Analyzer.default_config with
+        Analyzer.prune = Direction.no_pruning;
+        memo = Analyzer.Memo_simple;
+        run_pipeline = false;
+      }
+    in
+    let report = Analyzer.analyze ~config prog in
+    let failures = ref 0 in
+    List.iter
+      (fun (r : Analyzer.pair_report) ->
+         let obs =
+           try Trace.observe ~fuel:5_000_000 prog ~site1:r.loc1 ~site2:r.loc2
+           with Interp.Runtime_error (msg, loc) ->
+             Format.eprintf "cannot execute the program: %s at %a@." msg Loc.pp loc;
+             exit 2
+         in
+         let claim_dep, claim_exact =
+           match r.outcome with
+           | Analyzer.Constant d -> (d, true)
+           | Analyzer.Gcd_independent -> (false, true)
+           | Analyzer.Assumed_dependent -> (true, false)
+           | Analyzer.Tested t -> (t.dependent, not t.unknown)
+         in
+         let ok = if claim_exact then claim_dep = obs.dependent else claim_dep || not obs.dependent in
+         if not ok then begin
+           incr failures;
+           Format.printf "MISMATCH %s %a x %a: analysis says %s, execution shows %s@."
+             r.array_name Loc.pp r.loc1 Loc.pp r.loc2
+             (if claim_dep then "dependent" else "independent")
+             (if obs.dependent then "dependent" else "independent")
+         end)
+      report.pair_reports;
+    if !failures = 0 then
+      Format.printf "OK: all %d pairs agree with the execution trace@."
+        (List.length report.pair_reports)
+    else begin
+      Format.printf "%d mismatches@." !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the program under the tracing interpreter and verify every \
+          analysis verdict against the dependences actually observed \
+          (symbolic inputs read as 0)")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* prime: build a memo table from the synthetic PERFECT suite          *)
+(* ------------------------------------------------------------------ *)
+
+let prime_cmd =
+  let run out config =
+    let session = Analyzer.create_session ~config () in
+    List.iter
+      (fun (spec : Dda_perfect.Programs.spec) ->
+         let prog = Parser.parse_program (Dda_perfect.Programs.source spec) in
+         ignore (Analyzer.analyze_session session prog))
+      Dda_perfect.Programs.all;
+    Analyzer.save_session session out;
+    Format.printf "primed %s from the 13 synthetic PERFECT programs@." out
+  in
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output memo file.")
+  in
+  Cmd.v
+    (Cmd.info "prime"
+       ~doc:
+         "The paper's \"standard table\" idea: analyze the whole benchmark \
+          suite once and save the memo tables for later compilations \
+          (use with analyze --memo-file)")
+    Term.(const run $ out_arg $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* distribute                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let distribute_cmd =
+  let run file lid =
+    let prog = load file in
+    let config =
+      {
+        Analyzer.default_config with
+        Analyzer.prune = Direction.no_pruning;
+        memo = Analyzer.Memo_simple;
+        run_pipeline = false;
+      }
+    in
+    match Distribute.body_stmts prog ~lid with
+    | None ->
+      Format.eprintf
+        "loop %d not found, or its body is not a sequence of array assignments@."
+        lid;
+      exit 1
+    | Some stmts ->
+      let report = Analyzer.analyze ~config prog in
+      let plan = Distribute.plan_loop report ~lid ~stmts in
+      List.iteri
+        (fun k (g : Distribute.group) ->
+           Format.printf "group %d (%s):" k
+             (if g.parallel then "parallel" else "serial");
+           List.iter (fun l -> Format.printf " %a" Loc.pp l) g.stmts;
+           Format.printf "@.")
+        plan.groups;
+      (match Distribute.apply prog plan with
+       | Some distributed ->
+         Format.printf "@.-- distributed program --@.%s"
+           (Pretty.program_to_string distributed)
+       | None -> Format.printf "@.(loop bounds are not pure: not rewritten)@.")
+  in
+  let lid_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "loop" ] ~docv:"N"
+          ~doc:"Which loop to distribute (pre-order number, default 0).")
+  in
+  Cmd.v
+    (Cmd.info "distribute"
+       ~doc:"Allen-Kennedy loop distribution: group statements by dependence SCC")
+    Term.(const run $ file_arg $ lid_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ddtest" ~version:"1.0"
+      ~doc:"Exact data dependence analysis (Maydan-Hennessy-Lam, PLDI 1991)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            analyze_cmd;
+            parallel_cmd;
+            passes_cmd;
+            perfect_cmd;
+            graph_cmd;
+            depgraph_cmd;
+            transform_cmd;
+            distribute_cmd;
+            check_cmd;
+            prime_cmd;
+            annotate_cmd;
+            cc_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/compile_to_c.ml: Affine Analyzer Dda_codegen Dda_core Dda_lang Dda_passes Dda_perfect List Option Parser Printf

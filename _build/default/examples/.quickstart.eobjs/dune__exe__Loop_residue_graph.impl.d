@@ -1,0 +1,1 @@
+examples/loop_residue_graph.ml: Array Consys Dda_core Dda_numeric Loop_residue Printf String Svpc Zint

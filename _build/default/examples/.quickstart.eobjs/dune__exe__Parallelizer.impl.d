@@ -1,0 +1,1 @@
+examples/parallelizer.ml: Affine Analyzer Dda_core Dda_lang Dda_passes Format List Option Parser

@@ -1,0 +1,1 @@
+examples/stencil.ml: Analyzer Array Dda_core Dda_lang Dda_numeric Direction Format List Loc Parser String

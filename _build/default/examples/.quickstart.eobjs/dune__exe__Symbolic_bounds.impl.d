@@ -1,0 +1,1 @@
+examples/symbolic_bounds.ml: Analyzer Dda_core Dda_lang Dda_passes Direction Format List Loc Parser Pretty

@@ -1,0 +1,1 @@
+examples/transformations.ml: Affine Analyzer Dda_core Dda_lang Depgraph Direction Format List Parser String Transforms

@@ -1,0 +1,48 @@
+(* Distance and direction vectors for stencil kernels: what a locality
+   or tiling pass would consume. Shows the GCD-based distance fast path
+   (section 6) and the case where only directions are available.
+
+   Run with: dune exec examples/stencil.exe *)
+
+open Dda_lang
+open Dda_core
+
+let stencils =
+  [
+    ("1-d three-point", "for i = 2 to 99 do\n  s[i] = s[i - 1] + s[i + 1]\nend");
+    ( "2-d five-point",
+      "for i = 2 to 99 do\n\
+      \  for j = 2 to 99 do\n\
+      \    g5[i][j] = g5[i - 1][j] + g5[i + 1][j] + g5[i][j - 1] + g5[i][j + 1]\n\
+      \  end\n\
+       end" );
+    ( "skewed access (no constant distance)",
+      "for i = 1 to 8 do\n\
+      \  for j = 1 to 10 do\n\
+      \    sk[10 * i + j] = sk[10 * (i + 2) + j] + 7\n\
+      \  end\n\
+       end" );
+  ]
+
+let () =
+  List.iter
+    (fun (name, src) ->
+       Format.printf "== %s ==@." name;
+       let report = Analyzer.analyze (Parser.parse_program src) in
+       List.iter
+         (fun (r : Analyzer.pair_report) ->
+            match r.outcome with
+            | Analyzer.Tested t when t.dependent && not r.self_pair ->
+              Format.printf "  %a vs %a:" Loc.pp r.loc1 Loc.pp r.loc2;
+              List.iter (fun v -> Format.printf " %a" Direction.pp_vector v) t.directions;
+              (match t.distance with
+               | Some d ->
+                 Format.printf "  distance (%s)"
+                   (String.concat ","
+                      (Array.to_list (Array.map Dda_numeric.Zint.to_string d)))
+               | None -> Format.printf "  [no constant distance]");
+              Format.printf "@."
+            | _ -> ())
+         report.pair_reports;
+       Format.printf "@.")
+    stencils

@@ -1,0 +1,1 @@
+lib/baselines/banerjee.ml: Array Consys Dda_core Dda_numeric Direction Ext_int Fun List Problem Zint

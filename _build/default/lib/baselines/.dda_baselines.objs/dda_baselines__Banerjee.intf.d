@@ -1,0 +1,1 @@
+lib/baselines/banerjee.mli: Dda_core

@@ -1,0 +1,260 @@
+open Dda_numeric
+open Dda_core
+
+type verdict =
+  | Independent
+  | Maybe_dependent
+
+(* ------------------------------------------------------------------ *)
+(* Extended-integer intervals                                          *)
+(* ------------------------------------------------------------------ *)
+
+type interval = {
+  lo : Ext_int.t;
+  hi : Ext_int.t;
+}
+
+let top = { lo = Ext_int.neg_inf; hi = Ext_int.pos_inf }
+let point z = { lo = Ext_int.fin z; hi = Ext_int.fin z }
+
+let iadd a b = { lo = Ext_int.add a.lo b.lo; hi = Ext_int.add a.hi b.hi }
+
+(* Scale by an integer; zero collapses to the point 0 (avoiding
+   0 * oo). *)
+let iscale k a =
+  if Zint.is_zero k then point Zint.zero
+  else if Zint.is_positive k then
+    { lo = Ext_int.mul_zint k a.lo; hi = Ext_int.mul_zint k a.hi }
+  else { lo = Ext_int.mul_zint k a.hi; hi = Ext_int.mul_zint k a.lo }
+
+let contains iv z =
+  Ext_int.compare iv.lo (Ext_int.fin z) <= 0
+  && Ext_int.compare (Ext_int.fin z) iv.hi <= 0
+
+let nonempty iv = Ext_int.compare iv.lo iv.hi <= 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-variable boxes from the problem's bound rows                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bound rows arrive outermost-first per reference, so interval
+   evaluation of a row's other variables uses already-computed outer
+   boxes (triangular nests degrade gracefully to their bounding box —
+   the rectangular approximation that makes this test inexact). *)
+let boxes (p : Problem.t) =
+  let nv = Problem.nvars p in
+  let box = Array.make nv top in
+  List.iter
+    (fun (b : Problem.bound) ->
+       let s = b.subject in
+       let a = b.row.Consys.coeffs.(s) in
+       if not (Zint.is_zero a) then begin
+         (* a * x_s <= rhs - sum_{i<>s} c_i x_i *)
+         let rest = ref (point b.row.Consys.rhs) in
+         Array.iteri
+           (fun i c ->
+              if i <> s && not (Zint.is_zero c) then
+                rest := iadd !rest (iscale (Zint.neg c) box.(i)))
+           b.row.Consys.coeffs;
+         if Zint.is_positive a then begin
+           (* x_s <= rest / a: use the largest value, floored. *)
+           match !rest.hi with
+           | Ext_int.Fin h ->
+             let ub = Zint.fdiv h a in
+             box.(s) <- { box.(s) with hi = Ext_int.min box.(s).hi (Ext_int.fin ub) }
+           | Ext_int.Pos_inf | Ext_int.Neg_inf -> ()
+         end
+         else begin
+           (* negative coefficient: lower bound. x_s >= rest / a *)
+           match !rest.hi with
+           | Ext_int.Fin h ->
+             let lb = Zint.cdiv h a in
+             box.(s) <- { box.(s) with lo = Ext_int.max box.(s).lo (Ext_int.fin lb) }
+           | Ext_int.Pos_inf | Ext_int.Neg_inf -> ()
+         end
+       end)
+    p.ineqs;
+  box
+
+(* ------------------------------------------------------------------ *)
+(* Simple GCD test (per dimension, bounds ignored)                     *)
+(* ------------------------------------------------------------------ *)
+
+let gcd_test (p : Problem.t) =
+  let row_ok (r : Consys.row) =
+    let g = Array.fold_left (fun g c -> Zint.gcd g c) Zint.zero r.coeffs in
+    if Zint.is_zero g then Zint.is_zero r.rhs else Zint.divides g r.rhs
+  in
+  if List.for_all row_ok p.eqs then Maybe_dependent else Independent
+
+(* ------------------------------------------------------------------ *)
+(* Banerjee bounds test                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Range of a * i - b * i' over L <= i, i' <= U coupled by a direction.
+   The formulas are the classical rectangular ones; [iv] is the shared
+   box of the common loop. *)
+let sc k e = if Zint.is_zero k then Ext_int.of_int 0 else Ext_int.mul_zint k e
+
+let pos z = if Zint.is_positive z then z else Zint.zero
+let negp z = if Zint.is_negative z then Zint.neg z else Zint.zero
+
+(* max/min of c * x over [l, u]: c+ u - c- l / c+ l - c- u. *)
+let term_max c l u = Ext_int.add (sc (pos c) u) (sc (Zint.neg (negp c)) l)
+let term_min c l u = Ext_int.add (sc (pos c) l) (sc (Zint.neg (negp c)) u)
+
+let pair_range a b iv dir =
+  let l = iv.lo and u = iv.hi in
+  let fin1 = Ext_int.fin Zint.one in
+  let u1 = Ext_int.add u (Ext_int.neg fin1) (* u - 1 *) in
+  match dir with
+  | Direction.Dany ->
+    (* independent choices: range(a i) + range(-b i') *)
+    Some
+      ( Ext_int.add (term_min a l u) (term_min (Zint.neg b) l u),
+        Ext_int.add (term_max a l u) (term_max (Zint.neg b) l u) )
+  | Direction.Deq ->
+    if not (Ext_int.compare l u <= 0) then None
+    else
+      let c = Zint.sub a b in
+      Some (term_min c l u, term_max c l u)
+  | Direction.Dlt ->
+    (* i < i'; with i' = i + d, d in [1, U - i]:
+       f = (a - b) i - b d. *)
+    if not (Ext_int.compare (Ext_int.add l fin1) u <= 0) then None
+    else begin
+      let ab = Zint.sub a b in
+      let max_ =
+        if Zint.sign b <= 0 then
+          (* d = U - i: f = a i - b U over i in [L, U-1] *)
+          Ext_int.add (term_max a l u1) (sc (Zint.neg b) u)
+        else
+          (* d = 1: f = (a - b) i - b *)
+          Ext_int.add (term_max ab l u1) (Ext_int.fin (Zint.neg b))
+      in
+      let min_ =
+        if Zint.sign b <= 0 then
+          Ext_int.add (term_min ab l u1) (Ext_int.fin (Zint.neg b))
+        else Ext_int.add (term_min a l u1) (sc (Zint.neg b) u)
+      in
+      Some (min_, max_)
+    end
+  | Direction.Dgt ->
+    (* i > i'; i = i' + d: f = a d + (a - b) i'. *)
+    if not (Ext_int.compare (Ext_int.add l fin1) u <= 0) then None
+    else begin
+      let ab = Zint.sub a b in
+      let max_ =
+        if Zint.sign a >= 0 then Ext_int.add (sc a u) (term_max (Zint.neg b) l u1)
+        else Ext_int.add (Ext_int.fin a) (term_max ab l u1)
+      in
+      let min_ =
+        if Zint.sign a >= 0 then Ext_int.add (Ext_int.fin a) (term_min ab l u1)
+        else Ext_int.add (sc a u) (term_min (Zint.neg b) l u1)
+      in
+      Some (min_, max_)
+    end
+
+(* Bounds check of one equality row under a direction vector. *)
+let row_feasible (p : Problem.t) box vector (r : Consys.row) =
+  let nv = Problem.nvars p in
+  let ncommon = p.ncommon in
+  let range = ref (Some (point Zint.zero)) in
+  let add_range mm =
+    match (!range, mm) with
+    | Some acc, Some (mn, mx) -> range := Some { lo = Ext_int.add acc.lo mn; hi = Ext_int.add acc.hi mx }
+    | _, None | None, _ -> range := None
+  in
+  (* Common pairs first. *)
+  for k = 0 to ncommon - 1 do
+    let pv = Problem.var1 p k and qv = Problem.var2 p k in
+    let a = r.coeffs.(pv) and b = Zint.neg r.coeffs.(qv) in
+    (* term is a*i + coeff_q*i' = a*i - b*i' with b = -coeff_q *)
+    let dir = if k < Array.length vector then vector.(k) else Direction.Dany in
+    add_range (pair_range a b box.(pv) dir)
+  done;
+  (* Remaining variables contribute independently. *)
+  let solo = ref (point Zint.zero) in
+  for i = 0 to nv - 1 do
+    let in_common_pair =
+      (i < ncommon) || (i >= p.n1 && i < p.n1 + ncommon)
+    in
+    if (not in_common_pair) && not (Zint.is_zero r.coeffs.(i)) then
+      solo :=
+        {
+          lo = Ext_int.add !solo.lo (term_min r.coeffs.(i) box.(i).lo box.(i).hi);
+          hi = Ext_int.add !solo.hi (term_max r.coeffs.(i) box.(i).lo box.(i).hi);
+        }
+  done;
+  match !range with
+  | None -> false (* a direction with an empty region: infeasible *)
+  | Some acc ->
+    let total = iadd acc !solo in
+    nonempty total && contains total r.rhs
+
+let bounds_test_vector (p : Problem.t) box vector =
+  (* Every enclosing loop must be non-empty for any dependence. *)
+  let nv = Problem.nvars p in
+  let loops_nonempty =
+    let rec go i = i >= nv || ((i >= p.n1 + p.n2 || nonempty box.(i)) && go (i + 1)) in
+    go 0
+  in
+  if not loops_nonempty then Independent
+  else if List.for_all (row_feasible p box vector) p.eqs then Maybe_dependent
+  else Independent
+
+let bounds_test (p : Problem.t) =
+  bounds_test_vector p (boxes p) (Array.make p.ncommon Direction.Dany)
+
+let combined p =
+  match gcd_test p with
+  | Independent -> Independent
+  | Maybe_dependent -> bounds_test p
+
+(* ------------------------------------------------------------------ *)
+(* Direction vectors (Wolfe 2.5.2 style hierarchical refinement)       *)
+(* ------------------------------------------------------------------ *)
+
+let unused_level (p : Problem.t) k =
+  let pv = Problem.var1 p k and qv = Problem.var2 p k in
+  List.for_all
+    (fun (r : Consys.row) -> Zint.is_zero r.coeffs.(pv) && Zint.is_zero r.coeffs.(qv))
+    p.eqs
+  && List.for_all
+       (fun (b : Problem.bound) ->
+          (Zint.is_zero b.row.Consys.coeffs.(pv) || b.subject = pv)
+          && (Zint.is_zero b.row.Consys.coeffs.(qv) || b.subject = qv))
+       p.ineqs
+
+let directions (p : Problem.t) =
+  match gcd_test p with
+  | Independent -> None
+  | Maybe_dependent ->
+    let box = boxes p in
+    let ncommon = p.ncommon in
+    let fixed = Array.init ncommon (fun k -> unused_level p k) in
+    let test vector = bounds_test_vector p box vector in
+    let root = Array.make ncommon Direction.Dany in
+    (match test root with
+     | Independent -> None
+     | Maybe_dependent ->
+       let out = ref [] in
+       let rec expand vector k =
+         let rec next k = if k >= ncommon then None else if fixed.(k) then next (k + 1) else Some k in
+         match next k with
+         | None -> out := Array.copy vector :: !out
+         | Some k ->
+           List.iter
+             (fun d ->
+                vector.(k) <- d;
+                (match test vector with
+                 | Independent -> ()
+                 | Maybe_dependent -> expand vector (k + 1));
+                vector.(k) <- Direction.Dany)
+             [ Direction.Dlt; Direction.Deq; Direction.Dgt ]
+       in
+       if Array.for_all Fun.id fixed then Some [ root ]
+       else begin
+         expand (Array.copy root) 0;
+         Some (List.rev !out)
+       end)

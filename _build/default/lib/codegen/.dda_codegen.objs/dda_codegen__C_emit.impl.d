@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Array Ast Buffer Dda_lang Dda_passes Hashtbl Interp List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/acyclic.ml: Array Bounds Consys Dda_numeric Ext_int List Zint

@@ -1,0 +1,1 @@
+lib/core/acyclic.mli: Bounds Consys Dda_numeric Zint

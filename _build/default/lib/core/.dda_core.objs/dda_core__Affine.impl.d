@@ -1,0 +1,1 @@
+lib/core/affine.ml: Ast Dda_lang Dda_passes Hashtbl List Loc Option Printf String Symexpr

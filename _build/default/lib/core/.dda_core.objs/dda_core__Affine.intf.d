@@ -1,0 +1,1 @@
+lib/core/affine.mli: Ast Dda_lang Dda_numeric Loc Symexpr

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Affine Array Build_problem Canonical Cascade Dda_lang Dda_numeric Dda_passes Direction Format Fun Gcd_test List Loc Marshal Memo_table Option Problem String Zint

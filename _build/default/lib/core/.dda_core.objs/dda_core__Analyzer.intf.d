@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Affine Ast Cascade Dda_lang Dda_numeric Direction Format Loc Zint

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Consys Dda_numeric Ext_int Format Zint

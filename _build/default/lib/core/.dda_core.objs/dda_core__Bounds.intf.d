@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Consys Dda_numeric Ext_int Format Zint

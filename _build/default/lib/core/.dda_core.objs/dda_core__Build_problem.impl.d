@@ -1,0 +1,1 @@
+lib/core/build_problem.ml: Affine Array Consys Dda_numeric List Option Problem String Symexpr Zint

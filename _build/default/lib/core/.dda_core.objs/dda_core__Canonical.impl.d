@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Array Bounds Consys Dda_numeric Direction Fun List Problem Zint

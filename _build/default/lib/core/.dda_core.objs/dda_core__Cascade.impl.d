@@ -1,0 +1,1 @@
+lib/core/cascade.ml: Acyclic Bounds Consys Dda_numeric Format Fourier Loop_residue Svpc Zint

@@ -1,0 +1,1 @@
+lib/core/cascade.mli: Consys Dda_numeric Format Zint

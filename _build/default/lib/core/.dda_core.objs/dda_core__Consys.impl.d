@@ -1,0 +1,1 @@
+lib/core/consys.ml: Array Dda_numeric Format List Printf Zint

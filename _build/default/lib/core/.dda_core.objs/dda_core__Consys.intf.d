@@ -1,0 +1,1 @@
+lib/core/consys.mli: Dda_numeric Format Zint

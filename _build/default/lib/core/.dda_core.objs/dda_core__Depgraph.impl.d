@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Analyzer Array Buffer Dda_lang Dda_numeric Direction Format Hashtbl List Loc Printf String

@@ -1,0 +1,1 @@
+lib/core/depgraph.mli: Analyzer

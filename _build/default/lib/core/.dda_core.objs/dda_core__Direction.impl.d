@@ -1,0 +1,1 @@
+lib/core/direction.ml: Array Cascade Consys Dda_numeric Format Fun Gcd_test List Option Problem Zint

@@ -1,0 +1,1 @@
+lib/core/direction.mli: Cascade Dda_numeric Format Gcd_test Problem Zint

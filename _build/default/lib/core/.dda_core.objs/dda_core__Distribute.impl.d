@@ -1,0 +1,1 @@
+lib/core/distribute.ml: Analyzer Array Ast Dda_lang Dda_passes Direction Fun Hashtbl List Loc

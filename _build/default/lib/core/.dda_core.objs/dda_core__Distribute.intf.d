@@ -1,0 +1,1 @@
+lib/core/distribute.mli: Analyzer Ast Dda_lang Loc

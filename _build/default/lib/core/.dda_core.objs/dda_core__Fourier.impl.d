@@ -1,0 +1,1 @@
+lib/core/fourier.ml: Array Consys Dda_numeric Hashtbl List Qnum String Zint

@@ -1,0 +1,1 @@
+lib/core/fourier.mli: Consys Dda_numeric Zint

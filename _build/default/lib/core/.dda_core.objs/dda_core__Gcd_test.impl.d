@@ -1,0 +1,1 @@
+lib/core/gcd_test.ml: Array Consys Dda_linalg Dda_numeric List Matrix Problem Zint

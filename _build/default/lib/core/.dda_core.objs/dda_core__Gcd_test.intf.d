@@ -1,0 +1,1 @@
+lib/core/gcd_test.mli: Consys Dda_numeric Problem Zint

@@ -1,0 +1,1 @@
+lib/core/json_out.ml: Analyzer Array Buffer Cascade Char Dda_lang Dda_numeric Direction Format List Loc Printf String

@@ -1,0 +1,1 @@
+lib/core/json_out.mli: Analyzer Format

@@ -1,0 +1,1 @@
+lib/core/loop_residue.ml: Array Bounds Buffer Consys Dda_numeric Ext_int List Printf Zint

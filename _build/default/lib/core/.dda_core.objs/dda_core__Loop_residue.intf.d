@@ -1,0 +1,1 @@
+lib/core/loop_residue.mli: Bounds Consys Dda_numeric Zint

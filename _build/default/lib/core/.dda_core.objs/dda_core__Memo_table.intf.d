@@ -1,0 +1,1 @@
+lib/core/memo_table.mli:

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Consys Dda_numeric Format List String Zint

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Consys Dda_numeric Format Zint

@@ -1,0 +1,1 @@
+lib/core/svpc.ml: Bounds Consys List

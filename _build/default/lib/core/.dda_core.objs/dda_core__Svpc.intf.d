@@ -1,0 +1,1 @@
+lib/core/svpc.mli: Bounds Consys

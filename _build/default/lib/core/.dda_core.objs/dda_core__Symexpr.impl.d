@@ -1,0 +1,1 @@
+lib/core/symexpr.ml: Dda_lang Dda_numeric Format List Map Option String Zint

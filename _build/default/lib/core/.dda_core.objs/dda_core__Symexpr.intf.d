@@ -1,0 +1,1 @@
+lib/core/symexpr.mli: Dda_lang Dda_numeric Format Zint

@@ -1,0 +1,1 @@
+lib/core/transforms.ml: Analyzer Array Direction List Option

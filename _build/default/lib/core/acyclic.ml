@@ -1,0 +1,81 @@
+open Dda_numeric
+
+type outcome =
+  | Infeasible
+  | Feasible of Bounds.t * (int * Zint.t) list
+  | Cycle of Bounds.t * Consys.row list
+
+(* Sign usage of every variable across the multi-variable rows. *)
+let sign_usage nvars rows =
+  let pos = Array.make nvars false and neg = Array.make nvars false in
+  List.iter
+    (fun (r : Consys.row) ->
+       Array.iteri
+         (fun i c ->
+            if Zint.is_positive c then pos.(i) <- true
+            else if Zint.is_negative c then neg.(i) <- true)
+         r.coeffs)
+    rows;
+  (pos, neg)
+
+(* Substitute t_i := v in every row that mentions it; re-classify the
+   results. Returns the surviving multi-variable rows, or None on a
+   contradiction. *)
+let substitute box i v rows =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (r : Consys.row) :: rest ->
+      if Zint.is_zero r.coeffs.(i) then go (r :: acc) rest
+      else begin
+        let coeffs = Array.copy r.coeffs in
+        let a = coeffs.(i) in
+        coeffs.(i) <- Zint.zero;
+        let r' = { Consys.coeffs; rhs = Zint.sub r.rhs (Zint.mul a v) } in
+        if Consys.num_vars_used r' >= 2 then go (r' :: acc) rest
+        else
+          match Bounds.absorb box r' with
+          | `Absorbed | `Trivial -> go acc rest
+          | `False -> None
+      end
+  in
+  go [] rows
+
+let run box rows =
+  let box = Bounds.copy box in
+  let nvars = Bounds.nvars box in
+  let rec loop rows pins =
+    if not (Bounds.consistent box) then Infeasible
+    else if rows = [] then Feasible (box, List.rev pins)
+    else begin
+      let pos, neg = sign_usage nvars rows in
+      (* A variable used with a single sign is constrained in only one
+         direction by the rows: pin it to the opposite extreme of its
+         box (or discharge the rows if that extreme is infinite). *)
+      let candidate = ref None in
+      for i = nvars - 1 downto 0 do
+        if pos.(i) && not neg.(i) then candidate := Some (i, `Upper_only)
+        else if neg.(i) && not pos.(i) then candidate := Some (i, `Lower_only)
+      done;
+      match !candidate with
+      | None -> Cycle (box, rows)
+      | Some (i, dir) -> (
+          let extreme =
+            match dir with
+            | `Upper_only -> Bounds.lo box i (* rows only cap it from above *)
+            | `Lower_only -> Bounds.hi box i
+          in
+          match extreme with
+          | Ext_int.Fin v -> (
+              match substitute box i v rows with
+              | None -> Infeasible
+              | Some rows' -> loop rows' ((i, v) :: pins))
+          | Ext_int.Neg_inf | Ext_int.Pos_inf ->
+            (* Unbounded in the helpful direction: every row mentioning
+               t_i is satisfiable regardless of the other variables. *)
+            let rows' =
+              List.filter (fun (r : Consys.row) -> Zint.is_zero r.coeffs.(i)) rows
+            in
+            loop rows' pins)
+    end
+  in
+  loop rows []

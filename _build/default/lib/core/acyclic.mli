@@ -1,0 +1,24 @@
+(** The Acyclic test (paper section 3.3).
+
+    A variable that appears with only one sign across the remaining
+    multi-variable constraints is constrained in only one direction by
+    them, so it can be pinned to its extreme single-variable bound (or
+    discharged entirely when that bound is infinite) without changing
+    feasibility. When the constraint graph is acyclic this eliminates
+    every variable, deciding the system exactly; a cyclic core is
+    handed to the next test, already simplified. *)
+
+open Dda_numeric
+
+type outcome =
+  | Infeasible
+  | Feasible of Bounds.t * (int * Zint.t) list
+      (** The box after propagation plus the pinned variables (an
+          infinite-bound variable that was discharged has no pin). *)
+  | Cycle of Bounds.t * Consys.row list
+      (** Variables remain that are constrained in both directions: the
+          residual cyclic core. *)
+
+val run : Bounds.t -> Consys.row list -> outcome
+(** [run box rows] with [rows] the multi-variable residue from
+    {!Svpc.run}. [box] is copied, not mutated. *)

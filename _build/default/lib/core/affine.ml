@@ -1,0 +1,162 @@
+open Dda_lang
+
+type loop_ctx = {
+  lid : int;
+  lvar : string;
+  lb : Symexpr.t option;
+  ub : Symexpr.t option;
+}
+
+type site = {
+  array : string;
+  role : [ `Read | `Write ];
+  site_loc : Loc.t;
+  stmt_loc : Loc.t;
+  loops : loop_ctx list;
+  subscripts : Symexpr.t option list;
+}
+
+let analyzable s = List.for_all Option.is_some s.subscripts
+
+let constant_subscripts s =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Some e :: rest -> (
+        match Symexpr.to_const e with
+        | Some c -> go (c :: acc) rest
+        | None -> None)
+    | None :: _ -> None
+  in
+  go [] s.subscripts
+
+(* Symbolic terms are versioned by reaching definition: "n#3" is the
+   value of n after its third definition. Two sites share a symbol only
+   when the same definition reaches both. *)
+let sym_name name version = Printf.sprintf "%s#%d" name version
+
+type walk_state = {
+  symbolic : bool;
+  versions : (string, int) Hashtbl.t;
+  mutable next_lid : int;
+  mutable sites : site list;
+}
+
+let bump st v =
+  let cur = match Hashtbl.find_opt st.versions v with Some n -> n | None -> 0 in
+  Hashtbl.replace st.versions v (cur + 1)
+
+let version st v = match Hashtbl.find_opt st.versions v with Some n -> n | None -> 0
+
+(* [loops] is innermost-first: (ctx, vars assigned in that loop's body). *)
+let to_symexpr st loops (e : Ast.expr) =
+  let is_loop_var name = List.exists (fun (c, _) -> String.equal c.lvar name) loops in
+  let invariant name =
+    not (List.exists (fun (_, assigned) -> List.mem name assigned) loops)
+  in
+  let classify name =
+    if is_loop_var name then `Var
+    else if st.symbolic && invariant name then `Var
+    else `NonAffine
+  in
+  match Symexpr.of_ast ~classify e with
+  | None -> None
+  | Some se ->
+    (* Rename non-loop variables to their versioned symbol. *)
+    Some
+      (Symexpr.rename
+         (fun name -> if is_loop_var name then name else sym_name name (version st name))
+         se)
+
+let record st loops role name subs loc ~stmt_loc =
+  let subscripts = List.map (to_symexpr st loops) subs in
+  st.sites <-
+    {
+      array = name;
+      role;
+      site_loc = loc;
+      stmt_loc;
+      loops = List.rev_map fst loops;
+      subscripts;
+    }
+    :: st.sites
+
+(* Array reads appearing inside an expression (including inside other
+   references' subscripts). *)
+let rec scan_reads st loops ~stmt_loc (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int _ | Ast.Var _ -> ()
+  | Ast.Neg a -> scan_reads st loops ~stmt_loc a
+  | Ast.Bin (_, a, b) ->
+    scan_reads st loops ~stmt_loc a;
+    scan_reads st loops ~stmt_loc b
+  | Ast.Aref (name, subs) ->
+    record st loops `Read name subs e.eloc ~stmt_loc;
+    List.iter (scan_reads st loops ~stmt_loc) subs
+
+let rec walk st loops (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v, e) ->
+    scan_reads st loops ~stmt_loc:s.sloc e;
+    bump st v
+  | Ast.Assign (Ast.Larr (name, subs), e) ->
+    record st loops `Write name subs s.sloc ~stmt_loc:s.sloc;
+    List.iter (scan_reads st loops ~stmt_loc:s.sloc) subs;
+    scan_reads st loops ~stmt_loc:s.sloc e
+  | Ast.Read v -> bump st v
+  | Ast.If (cond, then_, else_) ->
+    scan_reads st loops ~stmt_loc:s.sloc cond.lhs;
+    scan_reads st loops ~stmt_loc:s.sloc cond.rhs;
+    List.iter (walk st loops) then_;
+    List.iter (walk st loops) else_
+  | Ast.For f ->
+    scan_reads st loops ~stmt_loc:s.sloc f.lo;
+    scan_reads st loops ~stmt_loc:s.sloc f.hi;
+    Option.iter (scan_reads st loops ~stmt_loc:s.sloc) f.step;
+    let lid = st.next_lid in
+    st.next_lid <- st.next_lid + 1;
+    (* Bounds are classified relative to the loops enclosing this one. *)
+    let lb = to_symexpr st loops f.lo and ub = to_symexpr st loops f.hi in
+    let lb, ub =
+      match f.step with
+      | None -> (lb, ub)
+      | Some step -> (
+          (* Non-unit steps should have been normalized away; if one
+             survives, the variable's range is not contiguous — treat
+             the bounds as unknown (sound, not exact). *)
+          match Dda_passes.Expr_util.const_value step with
+          | Some 1 -> (lb, ub)
+          | Some _ | None -> (None, None))
+    in
+    let assigned = Dda_passes.Expr_util.assigned_vars f.body in
+    let ctx = { lid; lvar = f.var; lb; ub } in
+    List.iter (walk st ((ctx, assigned) :: loops)) f.body
+
+let extract ?(symbolic = true) prog =
+  let st =
+    { symbolic; versions = Hashtbl.create 16; next_lid = 0; sites = [] }
+  in
+  List.iter (walk st []) prog;
+  List.rev st.sites
+
+let common_loops s1 s2 =
+  let rec go n l1 l2 =
+    match (l1, l2) with
+    | c1 :: r1, c2 :: r2 when c1.lid = c2.lid -> go (n + 1) r1 r2
+    | _ -> n
+  in
+  go 0 s1.loops s2.loops
+
+let loop_table sites =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun s ->
+       List.iter
+         (fun c ->
+            if not (Hashtbl.mem seen c.lid) then begin
+              Hashtbl.add seen c.lid ();
+              out := (c.lid, c.lvar) :: !out
+            end)
+         s.loops)
+    sites;
+  List.sort compare (List.rev !out)

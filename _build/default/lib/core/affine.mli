@@ -1,0 +1,49 @@
+(** Affine extraction: from a (preferably optimizer-cleaned) program to
+    reference sites with affine subscripts and loop contexts — the raw
+    material of dependence problems.
+
+    Scalars are classified per site: an enclosing loop's variable is a
+    loop variable; any other scalar is a {e symbolic term} when the
+    analysis runs in symbolic mode (paper section 8) and the scalar is
+    loop-invariant at the site. Symbolic terms are versioned by their
+    reaching definition, so two sites share a symbol only when the same
+    value reaches both (the paper's "as long as we know that n does not
+    vary inside the loop"). Anything else poisons the enclosing
+    subscript, which is then treated conservatively. *)
+
+open Dda_lang
+
+type loop_ctx = {
+  lid : int;  (** unique id of the [for] node; shared loops compare ids *)
+  lvar : string;
+  lb : Symexpr.t option;  (** [None]: bound not affine, treat as unknown *)
+  ub : Symexpr.t option;
+}
+
+type site = {
+  array : string;
+  role : [ `Read | `Write ];
+  site_loc : Loc.t;
+  stmt_loc : Loc.t;  (** the enclosing assignment statement *)
+  loops : loop_ctx list;  (** outermost first *)
+  subscripts : Symexpr.t option list;  (** [None]: dimension not affine *)
+}
+
+val analyzable : site -> bool
+(** Every dimension affine. *)
+
+val constant_subscripts : site -> Dda_numeric.Zint.t list option
+(** All-constant subscripts (the paper's "array constants" column). *)
+
+val extract : ?symbolic:bool -> Ast.program -> site list
+(** [symbolic] defaults to [true]. With [symbolic:false] non-loop
+    scalars poison subscripts and make bounds unknown, reproducing the
+    pre-section-8 configuration. Sites appear in textual order. *)
+
+val common_loops : site -> site -> int
+(** Number of shared enclosing loops (longest common [lid] prefix). *)
+
+val loop_table : site list -> (int * string) list
+(** Every loop id occurring in the sites with its variable name, in
+    first-occurrence (pre-)order — the display helper every client
+    needs. *)

@@ -1,0 +1,477 @@
+open Dda_numeric
+open Dda_lang
+
+type memo_mode =
+  | Memo_off
+  | Memo_simple
+  | Memo_improved
+  | Memo_symmetric
+
+type config = {
+  symbolic : bool;
+  memo : memo_mode;
+  directions : bool;
+  prune : Direction.prune;
+  fm_tighten : bool;
+  run_pipeline : bool;
+  within_nest_only : bool;
+}
+
+let default_config =
+  {
+    symbolic = true;
+    memo = Memo_improved;
+    directions = true;
+    prune = Direction.full_pruning;
+    fm_tighten = false;
+    run_pipeline = true;
+    within_nest_only = true;
+  }
+
+type outcome =
+  | Constant of bool
+  | Assumed_dependent
+  | Gcd_independent
+  | Tested of {
+      dependent : bool;
+      unknown : bool;
+      decided_by : Cascade.test option;
+      directions : Direction.dir array list;
+      distance : Zint.t array option;
+      implicit_bb : bool;
+    }
+
+type pair_report = {
+  array_name : string;
+  loc1 : Loc.t;
+  loc2 : Loc.t;
+  stmt1 : Loc.t;
+  stmt2 : Loc.t;
+  role1 : [ `Read | `Write ];
+  role2 : [ `Read | `Write ];
+  self_pair : bool;
+  ncommon : int;
+  common_ids : int list;
+  enclosing_ids1 : int list;
+  enclosing_ids2 : int list;
+  outcome : outcome;
+}
+
+type dep_kind =
+  | Flow
+  | Anti
+  | Output
+  | Input
+
+let pp_dep_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with Flow -> "flow" | Anti -> "anti" | Output -> "output" | Input -> "input")
+
+let vector_kind report v =
+  (* The leading non-"=" direction says which reference's instance runs
+     first; all-"=" is loop-independent, so textual order decides. *)
+  let rec source k =
+    if k >= Array.length v then `First
+    else
+      match v.(k) with
+      | Direction.Deq -> source (k + 1)
+      | Direction.Dlt | Direction.Dany -> `First
+      | Direction.Dgt -> `Second
+  in
+  let src_role, dst_role =
+    match source 0 with
+    | `First -> (report.role1, report.role2)
+    | `Second -> (report.role2, report.role1)
+  in
+  match (src_role, dst_role) with
+  | `Write, `Read -> Flow
+  | `Read, `Write -> Anti
+  | `Write, `Write -> Output
+  | `Read, `Read -> Input
+
+type stats = {
+  mutable pairs : int;
+  mutable constant_cases : int;
+  mutable gcd_independent : int;
+  mutable assumed : int;
+  mutable plain_by_test : int array;
+  dir_counts : Direction.counts;
+  mutable implicit_bb_cases : int;
+  mutable independent_pairs : int;
+  mutable dependent_pairs : int;
+  mutable vectors_reported : int;
+  mutable memo_lookups_nobounds : int;
+  mutable memo_hits_nobounds : int;
+  mutable memo_unique_nobounds : int;
+  mutable memo_lookups_full : int;
+  mutable memo_hits_full : int;
+  mutable memo_unique_full : int;
+}
+
+let fresh_stats () =
+  {
+    pairs = 0;
+    constant_cases = 0;
+    gcd_independent = 0;
+    assumed = 0;
+    plain_by_test = Array.make 4 0;
+    dir_counts = Direction.fresh_counts ();
+    implicit_bb_cases = 0;
+    independent_pairs = 0;
+    dependent_pairs = 0;
+    vectors_reported = 0;
+    memo_lookups_nobounds = 0;
+    memo_hits_nobounds = 0;
+    memo_unique_nobounds = 0;
+    memo_lookups_full = 0;
+    memo_hits_full = 0;
+    memo_unique_full = 0;
+  }
+
+type report = {
+  pair_reports : pair_report list;
+  stats : stats;
+}
+
+let test_index = function
+  | Cascade.T_svpc -> 0
+  | Cascade.T_acyclic -> 1
+  | Cascade.T_loop_residue -> 2
+  | Cascade.T_fourier -> 3
+
+(* The memoized value: the outcome with direction vectors expressed in
+   the canonical (reduced) problem's common levels; each pair reinserts
+   its own dropped levels. *)
+type memo_value = outcome
+
+type state = {
+  cfg : config;
+  stats : stats;
+  gcd_table : Gcd_test.outcome Memo_table.t;
+  full_table : memo_value Memo_table.t;
+}
+
+(* Compute the outcome for a canonical problem (a cache miss). *)
+let compute st (p : Problem.t) ~self =
+  let gcd_outcome =
+    match st.cfg.memo with
+    | Memo_off -> Gcd_test.run_eqs p
+    | Memo_simple | Memo_improved | Memo_symmetric ->
+      fst
+        (Memo_table.find_or_add st.gcd_table (Problem.key_without_bounds p)
+           (fun () -> Gcd_test.run_eqs p))
+  in
+  match gcd_outcome with
+  | Gcd_test.Independent ->
+    st.stats.gcd_independent <- st.stats.gcd_independent + 1;
+    Gcd_independent
+  | Gcd_test.Reduced red0 ->
+    let red = Gcd_test.attach_bounds p red0 in
+    if st.cfg.directions || self then begin
+      (* Self pairs always go through refinement: excluding the
+         identity instance needs direction constraints. *)
+      (* Unused-level pruning would let a self pair claim cross-
+         iteration dependence it never tested; disable it there. *)
+      let prune =
+        if self then { st.cfg.prune with Direction.unused = false }
+        else st.cfg.prune
+      in
+      let r =
+        Direction.refine ~prune ~fm_tighten:st.cfg.fm_tighten
+          ~counts:st.stats.dir_counts ~exclude_all_eq:self p red
+      in
+      if r.implicit_bb then st.stats.implicit_bb_cases <- st.stats.implicit_bb_cases + 1;
+      Tested
+        {
+          dependent = r.dependent;
+          unknown = false;
+          decided_by = None;
+          directions = r.vectors;
+          distance = r.distance;
+          implicit_bb = r.implicit_bb;
+        }
+    end
+    else begin
+      let r = Cascade.run ~fm_tighten:st.cfg.fm_tighten red.Gcd_test.system in
+      st.stats.plain_by_test.(test_index r.decided_by) <-
+        st.stats.plain_by_test.(test_index r.decided_by) + 1;
+      let dependent, unknown =
+        match r.verdict with
+        | Cascade.Independent -> (false, false)
+        | Cascade.Dependent _ -> (true, false)
+        | Cascade.Unknown -> (true, true)
+      in
+      Tested
+        {
+          dependent;
+          unknown;
+          decided_by = Some r.decided_by;
+          directions = [];
+          distance = None;
+          implicit_bb = false;
+        }
+    end
+
+let reinsert_outcome info = function
+  | Tested t ->
+    Tested
+      {
+        t with
+        directions = List.map (Canonical.reinsert_vector info) t.directions;
+      }
+  | (Constant _ | Assumed_dependent | Gcd_independent) as o -> o
+
+(* A memo hit under the swapped orientation answers the mirror-image
+   question: flip every direction and negate distances. *)
+let mirror_outcome = function
+  | Tested t ->
+    let mirror_dir = function
+      | Direction.Dlt -> Direction.Dgt
+      | Direction.Dgt -> Direction.Dlt
+      | (Direction.Deq | Direction.Dany) as d -> d
+    in
+    Tested
+      {
+        t with
+        directions = List.map (Array.map mirror_dir) t.directions;
+        distance = Option.map (Array.map Zint.neg) t.distance;
+      }
+  | (Constant _ | Assumed_dependent | Gcd_independent) as o -> o
+
+let analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
+  st.stats.pairs <- st.stats.pairs + 1;
+  let self = Loc.equal s1.site_loc s2.site_loc in
+  let ncommon = Affine.common_loops s1 s2 in
+  let ids (s : Affine.site) = List.map (fun c -> c.Affine.lid) s.loops in
+  let finish outcome =
+    (match outcome with
+     | Constant d -> if d then st.stats.dependent_pairs <- st.stats.dependent_pairs + 1
+       else st.stats.independent_pairs <- st.stats.independent_pairs + 1
+     | Assumed_dependent -> st.stats.dependent_pairs <- st.stats.dependent_pairs + 1
+     | Gcd_independent -> st.stats.independent_pairs <- st.stats.independent_pairs + 1
+     | Tested t ->
+       if t.dependent then begin
+         st.stats.dependent_pairs <- st.stats.dependent_pairs + 1;
+         st.stats.vectors_reported <-
+           st.stats.vectors_reported + List.length t.directions
+       end
+       else st.stats.independent_pairs <- st.stats.independent_pairs + 1);
+    {
+      array_name = s1.array;
+      loc1 = s1.site_loc;
+      loc2 = s2.site_loc;
+      stmt1 = s1.stmt_loc;
+      stmt2 = s2.stmt_loc;
+      role1 = s1.role;
+      role2 = s2.role;
+      self_pair = self;
+      ncommon;
+      common_ids = List.filteri (fun i _ -> i < ncommon) (ids s1);
+      enclosing_ids1 = ids s1;
+      enclosing_ids2 = ids s2;
+      outcome;
+    }
+  in
+  match (Affine.constant_subscripts s1, Affine.constant_subscripts s2) with
+  | Some c1, Some c2 when List.length c1 = List.length c2 && not self ->
+    (* The paper's "array constants" column: compared directly, no
+       dependence testing. *)
+    st.stats.constant_cases <- st.stats.constant_cases + 1;
+    finish (Constant (List.for_all2 Zint.equal c1 c2))
+  | _ -> (
+      match Build_problem.build s1 s2 with
+      | None ->
+        st.stats.assumed <- st.stats.assumed + 1;
+        finish Assumed_dependent
+      | Some problem -> (
+          let info_of prob =
+            match st.cfg.memo with
+            | Memo_improved | Memo_symmetric -> Canonical.reduce ~keep_common:self prob
+            | Memo_off | Memo_simple ->
+              {
+                Canonical.problem = prob;
+                kept_common = Array.make prob.Problem.ncommon true;
+                dropped_any = false;
+              }
+          in
+          let info = info_of problem in
+          (* The symmetric scheme canonicalizes the pair's orientation:
+             whichever of the problem and its swap keys smaller wins,
+             and a hit under the swapped orientation is mirrored back. *)
+          let mirrored, info =
+            if st.cfg.memo = Memo_symmetric && not self then begin
+              let info_s = info_of (Problem.swap problem) in
+              if
+                compare (Problem.to_key info_s.Canonical.problem)
+                  (Problem.to_key info.Canonical.problem)
+                < 0
+              then (true, info_s)
+              else (false, info)
+            end
+            else (false, info)
+          in
+          let key = (if self then 1 else 0) :: Problem.to_key info.Canonical.problem in
+          let deliver value =
+            let out = reinsert_outcome info value in
+            finish (if mirrored then mirror_outcome out else out)
+          in
+          match st.cfg.memo with
+          | Memo_off -> deliver (compute st info.Canonical.problem ~self)
+          | Memo_simple | Memo_improved | Memo_symmetric ->
+            let value, _hit =
+              Memo_table.find_or_add st.full_table key (fun () ->
+                  compute st info.Canonical.problem ~self)
+            in
+            deliver value))
+
+let finalize st =
+  st.stats.memo_lookups_nobounds <- Memo_table.lookups st.gcd_table;
+  st.stats.memo_hits_nobounds <- Memo_table.hits st.gcd_table;
+  st.stats.memo_unique_nobounds <- Memo_table.length st.gcd_table;
+  st.stats.memo_lookups_full <- Memo_table.lookups st.full_table;
+  st.stats.memo_hits_full <- Memo_table.hits st.full_table;
+  st.stats.memo_unique_full <- Memo_table.length st.full_table
+
+let fresh_state cfg =
+  {
+    cfg;
+    stats = fresh_stats ();
+    gcd_table = Memo_table.create ();
+    full_table = Memo_table.create ();
+  }
+
+let site_pairs cfg sites =
+  let arr = Array.of_list sites in
+  let out = ref [] in
+  for i = 0 to Array.length arr - 1 do
+    for j = i to Array.length arr - 1 do
+      let s1 = arr.(i) and s2 = arr.(j) in
+      let self = i = j in
+      if
+        String.equal s1.Affine.array s2.Affine.array
+        && (s1.role = `Write || s2.role = `Write)
+        && ((not self) || s1.role = `Write)
+        && ((not self) || cfg.directions)
+        (* self pairs need direction machinery; skip in plain mode *)
+        && ((not cfg.within_nest_only) || self || Affine.common_loops s1 s2 >= 1)
+      then out := (s1, s2) :: !out
+    done
+  done;
+  List.rev !out
+
+let analyze_sites ?(config = default_config) pairs =
+  let st = fresh_state config in
+  let reports = List.map (fun (s1, s2) -> analyze_pair st s1 s2) pairs in
+  finalize st;
+  { pair_reports = reports; stats = st.stats }
+
+let analyze ?(config = default_config) program =
+  let program = if config.run_pipeline then Dda_passes.Pipeline.run program else program in
+  let sites = Affine.extract ~symbolic:config.symbolic program in
+  analyze_sites ~config (site_pairs config sites)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: memoization across compilations                          *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  mutable session_state : state;
+}
+
+let create_session ?(config = default_config) () =
+  { session_state = fresh_state config }
+
+let session_config s = s.session_state.cfg
+
+let analyze_session session program =
+  (* Fresh per-call statistics, shared memo tables. *)
+  let st =
+    { session.session_state with stats = fresh_stats () }
+  in
+  Memo_table.reset_counters st.gcd_table;
+  Memo_table.reset_counters st.full_table;
+  session.session_state <- st;
+  let config = st.cfg in
+  let program = if config.run_pipeline then Dda_passes.Pipeline.run program else program in
+  let sites = Affine.extract ~symbolic:config.symbolic program in
+  let reports =
+    List.map (fun (s1, s2) -> analyze_pair st s1 s2) (site_pairs config sites)
+  in
+  finalize st;
+  { pair_reports = reports; stats = st.stats }
+
+(* On-disk format: a magic string, a format version, then the marshaled
+   (config, gcd table, full table). Keys are config-dependent, so a
+   session only reloads under the configuration that built it. *)
+let session_magic = "dda-session"
+let session_version = 1
+
+let save_session session path =
+  let st = session.session_state in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc session_magic;
+       output_binary_int oc session_version;
+       Marshal.to_channel oc (st.cfg, st.gcd_table, st.full_table) [])
+
+let load_session path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let magic = really_input_string ic (String.length session_magic) in
+       if not (String.equal magic session_magic) then
+         failwith "Analyzer.load_session: not a saved session";
+       let version = input_binary_int ic in
+       if version <> session_version then
+         failwith "Analyzer.load_session: unsupported session version";
+       let cfg, gcd_table, full_table =
+         (Marshal.from_channel ic
+          : config * Gcd_test.outcome Memo_table.t * memo_value Memo_table.t)
+       in
+       { session_state = { cfg; stats = fresh_stats (); gcd_table; full_table } })
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-loop client                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vector_carries_at v k =
+  let outer_may_eq j = match v.(j) with Direction.Deq | Direction.Dany -> true | Direction.Dlt | Direction.Dgt -> false in
+  let rec outers j = j >= k || (outer_may_eq j && outers (j + 1)) in
+  (match v.(k) with Direction.Deq -> false | Direction.Dlt | Direction.Dgt | Direction.Dany -> true)
+  && outers 0
+
+let pair_carries report lid =
+  let rec index_of k = function
+    | [] -> None
+    | id :: _ when id = lid -> Some k
+    | _ :: rest -> index_of (k + 1) rest
+  in
+  match index_of 0 report.common_ids with
+  | None -> false
+  | Some k -> (
+      match report.outcome with
+      | Constant false | Gcd_independent -> false
+      | Constant true | Assumed_dependent -> true
+      | Tested t ->
+        t.dependent
+        && (t.directions = [] (* no vector info: conservative *)
+            || List.exists (fun v -> vector_carries_at v k) t.directions))
+
+let parallel_loops { pair_reports; _ } sites =
+  let ids = ref [] in
+  List.iter
+    (fun (s : Affine.site) ->
+       List.iter
+         (fun (c : Affine.loop_ctx) ->
+            if not (List.mem_assoc c.Affine.lid !ids) then
+              ids := (c.Affine.lid, ()) :: !ids)
+         s.loops)
+    sites;
+  List.rev_map
+    (fun (lid, ()) ->
+       (lid, not (List.exists (fun r -> pair_carries r lid) pair_reports)))
+    !ids
+  |> List.sort compare

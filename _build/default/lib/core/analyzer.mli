@@ -1,0 +1,159 @@
+(** The whole-program dependence analyzer: optimizer prepass, affine
+    extraction, pair enumeration, memoized cascaded testing, and
+    direction/distance vectors — the full pipeline the paper evaluates
+    on the PERFECT Club. *)
+
+open Dda_numeric
+open Dda_lang
+
+type memo_mode =
+  | Memo_off
+  | Memo_simple  (** exact-match memoization (paper's simple scheme) *)
+  | Memo_improved
+      (** with unused loop variables eliminated before keying (paper's
+          improved scheme) *)
+  | Memo_symmetric
+      (** improved, plus the paper's "symmetrical cases" optimization:
+          a pair and its mirror image ([a\[i\]] vs [a\[i-1\]] /
+          [a\[i-1\]] vs [a\[i\]]) share one entry, with direction
+          vectors and distances mirrored on retrieval *)
+
+type config = {
+  symbolic : bool;  (** treat loop-invariant unknowns as variables (s8) *)
+  memo : memo_mode;
+  directions : bool;  (** compute direction/distance vectors (s6) *)
+  prune : Direction.prune;
+  fm_tighten : bool;
+  run_pipeline : bool;  (** run the optimizer prepass first *)
+  within_nest_only : bool;
+      (** only pair references that share at least one enclosing loop
+          (the loop-parallelization use case, and what the paper's
+          per-program counts measure); [false] additionally tests
+          cross-nest pairs *)
+}
+
+val default_config : config
+(** Symbolic on, improved memoization, directions on with full pruning,
+    paper-faithful Fourier-Motzkin, optimizer prepass on. *)
+
+type outcome =
+  | Constant of bool
+      (** both references' subscripts are constants; the bool is
+          "dependent" (equal) — handled without dependence testing *)
+  | Assumed_dependent  (** not affine: conservatively dependent *)
+  | Gcd_independent  (** the bounds-free equalities already fail *)
+  | Tested of {
+      dependent : bool;
+      unknown : bool;  (** true when assumed dependent by exhaustion *)
+      decided_by : Cascade.test option;
+          (** the deciding test of the plain query ([None] when memoized
+              direction refinement answered without a plain query) *)
+      directions : Direction.dir array list;
+          (** over the pair's common loops (empty unless [directions]) *)
+      distance : Zint.t array option;
+      implicit_bb : bool;
+    }
+
+type pair_report = {
+  array_name : string;
+  loc1 : Loc.t;
+  loc2 : Loc.t;
+  stmt1 : Loc.t;  (** statement enclosing the first reference *)
+  stmt2 : Loc.t;
+  role1 : [ `Read | `Write ];
+  role2 : [ `Read | `Write ];
+  self_pair : bool;
+  ncommon : int;
+  common_ids : int list;  (** loop ids of the common loops, outermost first *)
+  enclosing_ids1 : int list;  (** all loop ids enclosing the first site *)
+  enclosing_ids2 : int list;
+  outcome : outcome;
+}
+
+type dep_kind =
+  | Flow  (** write then read *)
+  | Anti  (** read then write *)
+  | Output  (** write then write *)
+  | Input  (** read then read (never produced for tested pairs) *)
+
+val pp_dep_kind : Format.formatter -> dep_kind -> unit
+
+val vector_kind : pair_report -> Direction.dir array -> dep_kind
+(** Classify one direction vector of a dependent pair: the source is
+    the reference whose instance executes first (the leading non-[=]
+    direction decides; an all-[=] vector is loop-independent and the
+    textually earlier reference — the first — is the source). A leading
+    ["*"] is ambiguous and classified as if the first reference were
+    the source. *)
+
+type stats = {
+  mutable pairs : int;
+  mutable constant_cases : int;
+  mutable gcd_independent : int;
+  mutable assumed : int;
+  mutable plain_by_test : int array;  (** length 4, indexed like {!Direction.counts} *)
+  dir_counts : Direction.counts;
+  mutable implicit_bb_cases : int;
+  mutable independent_pairs : int;
+  mutable dependent_pairs : int;
+  mutable vectors_reported : int;
+  mutable memo_lookups_nobounds : int;
+  mutable memo_hits_nobounds : int;
+  mutable memo_unique_nobounds : int;
+  mutable memo_lookups_full : int;
+  mutable memo_hits_full : int;
+  mutable memo_unique_full : int;
+}
+
+val fresh_stats : unit -> stats
+
+type report = {
+  pair_reports : pair_report list;
+  stats : stats;
+}
+
+val analyze : ?config:config -> Ast.program -> report
+(** Analyze a whole program. Pairs are every (textually ordered) pair
+    of same-array references with at least one write, including each
+    write against itself (whose identical-iteration solution is
+    excluded, so a self pair is dependent only when distinct iterations
+    collide). *)
+
+val analyze_sites :
+  ?config:config -> (Affine.site * Affine.site) list -> report
+(** Analyze explicit site pairs (used by the benchmark harness, which
+    generates problems directly). *)
+
+(** {1 Sessions: memoization across compilations}
+
+    The paper suggests storing the hash table across compilations to
+    eliminate the dependence cost of incremental recompilation, or even
+    priming a standard table from a benchmark suite. A session carries
+    the memo tables from one [analyze] call to the next and can be
+    saved to and loaded from disk. *)
+
+type session
+
+val create_session : ?config:config -> unit -> session
+val session_config : session -> config
+
+val analyze_session : session -> Ast.program -> report
+(** Like {!analyze}, but reusing (and extending) the session's memo
+    tables. The report's memo statistics are per-call; table sizes are
+    cumulative. *)
+
+val save_session : session -> string -> unit
+(** Persist the session's memo tables. *)
+
+val load_session : string -> session
+(** Restores the tables {e and the configuration they were built
+    under} (memo keys are config-dependent, so the two travel
+    together); check {!session_config} if a particular setup is
+    required.
+    @raise Failure when the file is not a saved session or has an
+    unsupported version. *)
+
+val parallel_loops : report -> Affine.site list -> (int * bool) list
+(** For each loop id occurring in the sites: is the loop parallelizable
+    (no dependence carried at its level)? A conservative client of the
+    direction vectors, as in the paper's introduction. *)

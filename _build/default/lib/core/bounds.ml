@@ -1,0 +1,74 @@
+open Dda_numeric
+
+type t = {
+  los : Ext_int.t array;
+  his : Ext_int.t array;
+}
+
+let create n = { los = Array.make n Ext_int.neg_inf; his = Array.make n Ext_int.pos_inf }
+let copy b = { los = Array.copy b.los; his = Array.copy b.his }
+let nvars b = Array.length b.los
+let lo b i = b.los.(i)
+let hi b i = b.his.(i)
+
+let tighten_lo b i v = b.los.(i) <- Ext_int.max b.los.(i) (Ext_int.fin v)
+let tighten_hi b i v = b.his.(i) <- Ext_int.min b.his.(i) (Ext_int.fin v)
+
+let absorb b (r : Consys.row) =
+  match Consys.nonzero_vars r with
+  | [] -> if Zint.is_negative r.rhs then `False else `Trivial
+  | [ i ] ->
+    let a = r.coeffs.(i) in
+    (* a*t <= b: upper bound floor(b/a) for a > 0, lower bound
+       ceil(b/a) for a < 0. *)
+    if Zint.is_positive a then tighten_hi b i (Zint.fdiv r.rhs a)
+    else tighten_lo b i (Zint.cdiv r.rhs a);
+    `Absorbed
+  | _ :: _ :: _ -> invalid_arg "Bounds.absorb: multi-variable row"
+
+let first_empty b =
+  let n = nvars b in
+  let rec go i =
+    if i >= n then None
+    else if Ext_int.compare b.los.(i) b.his.(i) > 0 then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let consistent b = first_empty b = None
+
+let sample b =
+  if not (consistent b) then None
+  else
+    Some
+      (Array.init (nvars b) (fun i ->
+           match (b.los.(i), b.his.(i)) with
+           | Ext_int.Fin l, _ -> l
+           | Ext_int.Neg_inf, Ext_int.Fin h -> h
+           | Ext_int.Neg_inf, _ -> Zint.zero
+           | Ext_int.Pos_inf, _ -> assert false))
+
+let to_rows b =
+  let n = nvars b in
+  let unit_row i c rhs =
+    let coeffs = Array.make n Zint.zero in
+    coeffs.(i) <- c;
+    { Consys.coeffs; rhs }
+  in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    (match b.his.(i) with
+     | Ext_int.Fin h -> out := unit_row i Zint.one h :: !out
+     | Ext_int.Neg_inf | Ext_int.Pos_inf -> ());
+    match b.los.(i) with
+    | Ext_int.Fin l -> out := unit_row i Zint.minus_one (Zint.neg l) :: !out
+    | Ext_int.Neg_inf | Ext_int.Pos_inf -> ()
+  done;
+  !out
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to nvars b - 1 do
+    Format.fprintf fmt "%a <= t%d <= %a@," Ext_int.pp b.los.(i) i Ext_int.pp b.his.(i)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+(** Per-variable integer bound boxes [lo_i <= t_i <= hi_i] with
+    infinities, shared by the SVPC and Acyclic tests: single-variable
+    constraints are absorbed here, multi-variable ones stay as rows. *)
+
+open Dda_numeric
+
+type t
+
+val create : int -> t
+(** All variables unbounded. *)
+
+val copy : t -> t
+val nvars : t -> int
+val lo : t -> int -> Ext_int.t
+val hi : t -> int -> Ext_int.t
+
+val tighten_lo : t -> int -> Zint.t -> unit
+val tighten_hi : t -> int -> Zint.t -> unit
+
+val absorb : t -> Consys.row -> [ `Absorbed | `Trivial | `False ]
+(** Fold a zero- or one-variable row into the box. [`Trivial] means the
+    row holds vacuously ([0 <= b], [b >= 0]); [`False] means it can
+    never hold. @raise Invalid_argument on a row with two or more
+    variables. *)
+
+val consistent : t -> bool
+(** Every interval non-empty. *)
+
+val first_empty : t -> int option
+(** Index of a variable whose interval is empty, if any. *)
+
+val sample : t -> Zint.t array option
+(** A point inside the box ([None] when inconsistent): the lower bound
+    where finite, else the upper bound, else zero. *)
+
+val to_rows : t -> Consys.row list
+(** The box as single-variable rows of width [nvars]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+open Dda_numeric
+
+(* Index a site's loop variables: level k of site 1 occupies slot k,
+   level k of site 2 occupies slot n1 + k; symbols come last. *)
+
+let build (s1 : Affine.site) (s2 : Affine.site) =
+  if not (Affine.analyzable s1 && Affine.analyzable s2) then None
+  else if List.length s1.subscripts <> List.length s2.subscripts then None
+  else begin
+    let loops1 = Array.of_list s1.loops and loops2 = Array.of_list s2.loops in
+    let n1 = Array.length loops1 and n2 = Array.length loops2 in
+    let ncommon = Affine.common_loops s1 s2 in
+    (* Collect symbols from both sites' subscripts and bounds: every
+       Symexpr variable that is not an enclosing loop variable. *)
+    let syms = ref [] in
+    let note_syms loop_vars e =
+      List.iter
+        (fun v ->
+           if (not (List.mem v loop_vars)) && not (List.mem v !syms) then
+             syms := v :: !syms)
+        (Symexpr.vars e)
+    in
+    let site_loop_vars (loops : Affine.loop_ctx array) =
+      Array.to_list (Array.map (fun c -> c.Affine.lvar) loops)
+    in
+    let lv1 = site_loop_vars loops1 and lv2 = site_loop_vars loops2 in
+    List.iter (Option.iter (note_syms lv1)) s1.subscripts;
+    List.iter (Option.iter (note_syms lv2)) s2.subscripts;
+    Array.iteri
+      (fun k (c : Affine.loop_ctx) ->
+         let outer = List.filteri (fun i _ -> i < k) lv1 in
+         Option.iter (note_syms outer) c.lb;
+         Option.iter (note_syms outer) c.ub)
+      loops1;
+    Array.iteri
+      (fun k (c : Affine.loop_ctx) ->
+         let outer = List.filteri (fun i _ -> i < k) lv2 in
+         Option.iter (note_syms outer) c.lb;
+         Option.iter (note_syms outer) c.ub)
+      loops2;
+    let syms = Array.of_list (List.rev !syms) in
+    let nsym = Array.length syms in
+    let nvars = n1 + n2 + nsym in
+    let sym_index v =
+      let rec go i = if i >= nsym then None else if String.equal syms.(i) v then Some (n1 + n2 + i) else go (i + 1) in
+      go 0
+    in
+    let index_for ~which v =
+      (* Loop variables shadow symbols of the same name (cannot happen
+         after versioning, but keep the lookup order sane). *)
+      let loops, base = if which = `One then (loops1, 0) else (loops2, n1) in
+      let rec find k =
+        if k >= Array.length loops then None
+        else if String.equal loops.(k).Affine.lvar v then Some (base + k)
+        else find (k + 1)
+      in
+      match find 0 with
+      | Some i -> Some i
+      | None -> sym_index v
+    in
+    let row_of ~which e extra =
+      (* Build sum coeffs . x from a symbolic expression; [extra] lets
+         callers add the subject variable's own coefficient. Returns
+         (coeffs, const). *)
+      let coeffs = Array.make nvars Zint.zero in
+      List.iter
+        (fun v ->
+           match index_for ~which v with
+           | Some i -> coeffs.(i) <- Zint.add coeffs.(i) (Symexpr.coeff e v)
+           | None -> assert false)
+        (Symexpr.vars e);
+      List.iter (fun (i, c) -> coeffs.(i) <- Zint.add coeffs.(i) c) extra;
+      (coeffs, Symexpr.const_part e)
+    in
+    (* Equalities: sub1_d(x) - sub2_d(x') = 0. *)
+    let eqs =
+      List.map2
+        (fun e1 e2 ->
+           let e1 = Option.get e1 and e2 = Option.get e2 in
+           let c1, k1 = row_of ~which:`One e1 [] in
+           let c2, k2 = row_of ~which:`Two e2 [] in
+           let coeffs = Array.init nvars (fun i -> Zint.sub c1.(i) c2.(i)) in
+           { Consys.coeffs; rhs = Zint.sub k2 k1 })
+        s1.subscripts s2.subscripts
+    in
+    (* Bounds: for each loop level of each reference. *)
+    let bounds_for ~which (loops : Affine.loop_ctx array) base =
+      let out = ref [] in
+      Array.iteri
+        (fun k (c : Affine.loop_ctx) ->
+           let subject = base + k in
+           (match c.lb with
+            | Some lb ->
+              (* lb <= var  ==>  lb - var <= 0 *)
+              let coeffs, const = row_of ~which lb [ (subject, Zint.minus_one) ] in
+              out := { Problem.row = { Consys.coeffs; rhs = Zint.neg const }; subject } :: !out
+            | None -> ());
+           match c.ub with
+           | Some ub ->
+             (* var <= ub  ==>  var - ub <= 0 *)
+             let coeffs, const =
+               row_of ~which (Symexpr.neg ub) [ (subject, Zint.one) ]
+             in
+             out := { Problem.row = { Consys.coeffs; rhs = Zint.neg const }; subject } :: !out
+           | None -> ())
+        loops;
+      List.rev !out
+    in
+    let ineqs = bounds_for ~which:`One loops1 0 @ bounds_for ~which:`Two loops2 n1 in
+    let names =
+      Array.init nvars (fun i ->
+          if i < n1 then loops1.(i).Affine.lvar
+          else if i < n1 + n2 then loops2.(i - n1).Affine.lvar ^ "'"
+          else syms.(i - n1 - n2))
+    in
+    Some (Problem.make ~names ~n1 ~n2 ~nsym ~ncommon ~eqs ~ineqs)
+  end

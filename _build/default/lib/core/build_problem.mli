@@ -1,0 +1,9 @@
+(** Assemble the dependence problem for a pair of reference sites:
+    subscript-agreement equalities, loop-bound inequalities (each
+    reference gets its own copy of every enclosing loop's variable,
+    common loops included), and shared symbolic terms. *)
+
+val build : Affine.site -> Affine.site -> Problem.t option
+(** [None] when either site has a non-affine dimension or the ranks
+    differ (the caller treats such pairs conservatively). Requires both
+    sites to reference the same array. *)

@@ -1,0 +1,122 @@
+open Dda_numeric
+
+type info = {
+  problem : Problem.t;
+  kept_common : bool array;
+  dropped_any : bool;
+}
+
+(* A loop variable can be dropped when nothing else observes it: it is
+   absent from every equality, absent from every other variable's
+   bound, its own bounds mention nothing but itself, and those bounds
+   admit at least one integer (dropping a zero-trip loop would change
+   the answer). *)
+let droppable (p : Problem.t) v =
+  List.for_all (fun (r : Consys.row) -> Zint.is_zero r.coeffs.(v)) p.eqs
+  && List.for_all
+       (fun (b : Problem.bound) ->
+          if b.subject = v then
+            List.for_all (fun i -> i = v) (Consys.nonzero_vars b.row)
+          else Zint.is_zero b.row.Consys.coeffs.(v))
+       p.ineqs
+  &&
+  (* Own bounds consistent. *)
+  let box = Bounds.create (Problem.nvars p) in
+  List.for_all
+    (fun (b : Problem.bound) ->
+       b.subject <> v
+       ||
+       match Bounds.absorb box b.row with
+       | `Absorbed | `Trivial -> true
+       | `False -> false)
+    p.ineqs
+  && Bounds.consistent box
+
+let reduce ?(keep_common = false) (p : Problem.t) =
+  let n1 = p.n1 and n2 = p.n2 and ncommon = p.ncommon in
+  let nv = Problem.nvars p in
+  let drop_var = Array.make nv false in
+  (* Non-common loop variables drop individually; a common level drops
+     only when both copies are droppable; symbols drop when unused. *)
+  for k = 0 to n1 - 1 do
+    if k >= ncommon then drop_var.(k) <- droppable p k
+  done;
+  for k = 0 to n2 - 1 do
+    if k >= ncommon then drop_var.(n1 + k) <- droppable p (n1 + k)
+  done;
+  let kept_common = Array.make ncommon true in
+  for k = 0 to ncommon - 1 do
+    if (not keep_common) && droppable p k && droppable p (n1 + k) then begin
+      drop_var.(k) <- true;
+      drop_var.(n1 + k) <- true;
+      kept_common.(k) <- false
+    end
+  done;
+  for s = n1 + n2 to nv - 1 do
+    let used_somewhere =
+      List.exists (fun (r : Consys.row) -> not (Zint.is_zero r.coeffs.(s))) p.eqs
+      || List.exists
+           (fun (b : Problem.bound) -> not (Zint.is_zero b.row.Consys.coeffs.(s)))
+           p.ineqs
+    in
+    drop_var.(s) <- not used_somewhere
+  done;
+  let dropped_any = Array.exists Fun.id drop_var in
+  if not dropped_any then { problem = p; kept_common; dropped_any = false }
+  else begin
+    let remap = Array.make nv (-1) in
+    let next = ref 0 in
+    let assign i =
+      if not drop_var.(i) then begin
+        remap.(i) <- !next;
+        incr next
+      end
+    in
+    for i = 0 to n1 - 1 do assign i done;
+    for i = n1 to n1 + n2 - 1 do assign i done;
+    for i = n1 + n2 to nv - 1 do assign i done;
+    let nv' = !next in
+    let map_row (r : Consys.row) =
+      let coeffs = Array.make nv' Zint.zero in
+      Array.iteri (fun i c -> if remap.(i) >= 0 then coeffs.(remap.(i)) <- c) r.coeffs;
+      { Consys.coeffs; rhs = r.rhs }
+    in
+    let count_kept lo hi =
+      let c = ref 0 in
+      for i = lo to hi - 1 do
+        if not drop_var.(i) then incr c
+      done;
+      !c
+    in
+    let n1' = count_kept 0 n1 in
+    let n2' = count_kept n1 (n1 + n2) in
+    let nsym' = count_kept (n1 + n2) nv in
+    let ncommon' = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 kept_common in
+    let eqs = List.map map_row p.eqs in
+    let ineqs =
+      List.filter_map
+        (fun (b : Problem.bound) ->
+           if drop_var.(b.subject) then None
+           else Some { Problem.row = map_row b.row; subject = remap.(b.subject) })
+        p.ineqs
+    in
+    let names = Array.make nv' "" in
+    Array.iteri (fun i m -> if m >= 0 then names.(m) <- p.names.(i)) remap;
+    let problem =
+      Problem.make ~names ~n1:n1' ~n2:n2' ~nsym:nsym' ~ncommon:ncommon' ~eqs ~ineqs
+    in
+    { problem; kept_common; dropped_any = true }
+  end
+
+let reinsert_vector info (v : Direction.dir array) =
+  let ncommon = Array.length info.kept_common in
+  let out = Array.make ncommon Direction.Dany in
+  let j = ref 0 in
+  for k = 0 to ncommon - 1 do
+    if info.kept_common.(k) then begin
+      out.(k) <- v.(!j);
+      incr j
+    end
+  done;
+  assert (!j = Array.length v);
+  out

@@ -1,0 +1,28 @@
+(** Canonicalization for the improved memoization scheme (paper
+    section 5): eliminate loop variables that play no part in the
+    problem — they appear in no subscript equation, no other variable's
+    bound, and their own bounds provably admit at least one value — so
+    that e.g. the two nests of the paper's example (differing only in a
+    dead [j] loop) memoize to the same key.
+
+    Dropped {e common} levels are remembered: their direction is ["*"]
+    and must be re-inserted into reported direction vectors. *)
+
+type info = {
+  problem : Problem.t;  (** the reduced problem *)
+  kept_common : bool array;
+      (** per original common level: false when the level was dropped *)
+  dropped_any : bool;
+}
+
+val reduce : ?keep_common:bool -> Problem.t -> info
+(** [keep_common] (default false) retains every common level even when
+    unused — required for self pairs, where an "unused" common loop
+    still distinguishes the identity instance from a real output
+    dependence. *)
+
+val reinsert_vector :
+  info -> Direction.dir array -> Direction.dir array
+(** Map a direction vector over the reduced problem's common levels back
+    to the original problem's levels, filling dropped levels with
+    [Dany]. *)

@@ -1,0 +1,52 @@
+open Dda_numeric
+
+type test =
+  | T_svpc
+  | T_acyclic
+  | T_loop_residue
+  | T_fourier
+
+let test_name = function
+  | T_svpc -> "svpc"
+  | T_acyclic -> "acyclic"
+  | T_loop_residue -> "loop-residue"
+  | T_fourier -> "fourier-motzkin"
+
+let pp_test fmt t = Format.pp_print_string fmt (test_name t)
+
+type verdict =
+  | Independent
+  | Dependent of Zint.t array option
+  | Unknown
+
+type result = {
+  verdict : verdict;
+  decided_by : test;
+}
+
+let run ?(fm_tighten = false) ?(fm_depth = 32) (sys : Consys.t) =
+  match Svpc.run sys with
+  | Svpc.Infeasible -> { verdict = Independent; decided_by = T_svpc }
+  | Svpc.Feasible box -> { verdict = Dependent (Bounds.sample box); decided_by = T_svpc }
+  | Svpc.Partial (box, multi) -> (
+      match Acyclic.run box multi with
+      | Acyclic.Infeasible -> { verdict = Independent; decided_by = T_acyclic }
+      | Acyclic.Feasible (_, _) ->
+        (* Feasibility is exact, but a full witness would need values
+           for the variables the test discharged; callers that need one
+           use Fourier-Motzkin or brute force. *)
+        { verdict = Dependent None; decided_by = T_acyclic }
+      | Acyclic.Cycle (box', core) -> (
+          match Loop_residue.run box' core with
+          | Some Loop_residue.Infeasible ->
+            { verdict = Independent; decided_by = T_loop_residue }
+          | Some (Loop_residue.Feasible _) ->
+            (* The witness covers the residual core only; see above. *)
+            { verdict = Dependent None; decided_by = T_loop_residue }
+          | None -> (
+              (* Back-up test on the full system, so any witness covers
+                 every variable. *)
+              match Fourier.run ~tighten:fm_tighten ~max_branch_depth:fm_depth sys with
+              | Fourier.Infeasible -> { verdict = Independent; decided_by = T_fourier }
+              | Fourier.Feasible w -> { verdict = Dependent (Some w); decided_by = T_fourier }
+              | Fourier.Unknown -> { verdict = Unknown; decided_by = T_fourier })))

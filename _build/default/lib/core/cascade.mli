@@ -1,0 +1,35 @@
+(** The cascaded exact dependence test (paper sections 3 and 4).
+
+    After Extended GCD preprocessing, the tests are attempted cheapest
+    first — SVPC, Acyclic, Loop Residue, Fourier-Motzkin — each one
+    exact on its applicable class, so at most one test {e decides} any
+    query; the earlier ones contribute their simplifications (absorbed
+    bounds, eliminated variables) to the later ones. *)
+
+open Dda_numeric
+
+type test =
+  | T_svpc
+  | T_acyclic
+  | T_loop_residue
+  | T_fourier
+
+val test_name : test -> string
+val pp_test : Format.formatter -> test -> unit
+
+type verdict =
+  | Independent
+  | Dependent of Zint.t array option
+      (** witness over the system's variables, when one was produced *)
+  | Unknown  (** Fourier-Motzkin ran out of branch depth: assume
+                 dependent *)
+
+type result = {
+  verdict : verdict;
+  decided_by : test;
+}
+
+val run : ?fm_tighten:bool -> ?fm_depth:int -> Consys.t -> result
+(** Decide feasibility of a system of inequalities over integer
+    variables (the [t]-space system from {!Gcd_test.run}, possibly with
+    direction-vector rows appended). *)

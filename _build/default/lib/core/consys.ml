@@ -1,0 +1,84 @@
+open Dda_numeric
+
+type row = {
+  coeffs : Zint.t array;
+  rhs : Zint.t;
+}
+
+type t = {
+  nvars : int;
+  rows : row list;
+}
+
+let make ~nvars rows =
+  List.iter
+    (fun r ->
+       if Array.length r.coeffs <> nvars then
+         invalid_arg "Consys.make: row width mismatch")
+    rows;
+  { nvars; rows }
+
+let row_of_ints coeffs rhs =
+  { coeffs = Array.of_list (List.map Zint.of_int coeffs); rhs = Zint.of_int rhs }
+
+let normalize_row r =
+  let g = Array.fold_left (fun g c -> Zint.gcd g c) Zint.zero r.coeffs in
+  if Zint.is_zero g || Zint.is_one g then r
+  else
+    {
+      coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
+      rhs = Zint.fdiv r.rhs g;
+    }
+
+let nonzero_vars r =
+  let out = ref [] in
+  Array.iteri (fun i c -> if not (Zint.is_zero c) then out := i :: !out) r.coeffs;
+  List.rev !out
+
+let num_vars_used r = List.length (nonzero_vars r)
+
+let satisfies point r =
+  let acc = ref Zint.zero in
+  Array.iteri (fun i c -> acc := Zint.add !acc (Zint.mul c point.(i))) r.coeffs;
+  Zint.compare !acc r.rhs <= 0
+
+let satisfies_all point sys = List.for_all (satisfies point) sys.rows
+
+let equal_row a b =
+  Zint.equal a.rhs b.rhs
+  && Array.length a.coeffs = Array.length b.coeffs
+  && (let ok = ref true in
+      Array.iteri (fun i c -> if not (Zint.equal c b.coeffs.(i)) then ok := false) a.coeffs;
+      !ok)
+
+let pp_row ~names fmt r =
+  let first = ref true in
+  Array.iteri
+    (fun i c ->
+       if not (Zint.is_zero c) then begin
+         let name = if i < Array.length names then names.(i) else Printf.sprintf "t%d" i in
+         if !first then begin
+           first := false;
+           if Zint.is_one c then Format.pp_print_string fmt name
+           else if Zint.equal c Zint.minus_one then Format.fprintf fmt "-%s" name
+           else Format.fprintf fmt "%a%s" Zint.pp c name
+         end
+         else if Zint.is_negative c then
+           if Zint.equal c Zint.minus_one then Format.fprintf fmt " - %s" name
+           else Format.fprintf fmt " - %a%s" Zint.pp (Zint.neg c) name
+         else if Zint.is_one c then Format.fprintf fmt " + %s" name
+         else Format.fprintf fmt " + %a%s" Zint.pp c name
+       end)
+    r.coeffs;
+  if !first then Format.pp_print_string fmt "0";
+  Format.fprintf fmt " <= %a" Zint.pp r.rhs
+
+let pp ?names fmt sys =
+  let names =
+    match names with
+    | Some n -> n
+    | None -> Array.init sys.nvars (Printf.sprintf "t%d")
+  in
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (pp_row ~names))
+    sys.rows

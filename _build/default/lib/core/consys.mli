@@ -1,0 +1,34 @@
+(** Indexed systems of integer linear inequalities [sum a_i * t_i <= b]
+    — the common input format of every dependence test, as produced by
+    the Extended GCD preprocessing step. *)
+
+open Dda_numeric
+
+type row = {
+  coeffs : Zint.t array;
+  rhs : Zint.t;
+}
+
+type t = {
+  nvars : int;
+  rows : row list;
+}
+
+val make : nvars:int -> row list -> t
+(** Checks row widths. *)
+
+val row_of_ints : int list -> int -> row
+val normalize_row : row -> row
+(** Divide by the gcd of the coefficients and floor the bound — exact
+    for integer-valued variables ([2x <= 5] is [x <= 2]). Zero rows are
+    returned unchanged. *)
+
+val nonzero_vars : row -> int list
+val num_vars_used : row -> int
+
+val satisfies : Zint.t array -> row -> bool
+val satisfies_all : Zint.t array -> t -> bool
+
+val equal_row : row -> row -> bool
+val pp_row : names:string array -> Format.formatter -> row -> unit
+val pp : ?names:string array -> Format.formatter -> t -> unit

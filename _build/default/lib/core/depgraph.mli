@@ -1,0 +1,14 @@
+(** Dependence-graph export: the analyzer's pair reports as a Graphviz
+    digraph over reference sites, edges labeled with dependence kind,
+    direction vector and (when constant) distance — what a
+    transformation framework or a human debugging a refusal to
+    parallelize wants to look at. *)
+
+val to_dot : Analyzer.report -> string
+(** Nodes are reference sites ([array\[..\]] read/write at a location);
+    one edge per direction vector of every dependent pair, oriented
+    source to sink (the instance that executes first points at the one
+    that executes second; a leading ["*"] is drawn from the textually
+    earlier site and marked ambiguous). Conservative outcomes
+    (non-affine, constant-subscript collisions) appear as dashed
+    edges. *)

@@ -1,0 +1,260 @@
+open Dda_lang
+
+type group = {
+  stmts : Loc.t list;
+  parallel : bool;
+}
+
+type plan = {
+  lid : int;
+  groups : group list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Dependence edges among body statements, relative to one loop level  *)
+(* ------------------------------------------------------------------ *)
+
+type edge = {
+  src : Loc.t;
+  dst : Loc.t;
+  carried : bool;  (* at this loop's level or deeper *)
+}
+
+let flip_dir = function
+  | Direction.Dlt -> Direction.Dgt
+  | Direction.Dgt -> Direction.Dlt
+  | (Direction.Deq | Direction.Dany) as d -> d
+
+(* Oriented edges of one vector: who is the source, and is the
+   dependence relevant (not already satisfied by an outer loop) and
+   carried at this level? [pos] is the loop's index in the pair's
+   common nest. *)
+let edges_of_vector (r : Analyzer.pair_report) pos v =
+  let relevant v =
+    let rec outer j = j >= pos || (v.(j) <> Direction.Dlt && v.(j) <> Direction.Dgt && outer (j + 1)) in
+    outer 0
+  in
+  let carried v = pos < Array.length v && v.(pos) <> Direction.Deq in
+  let one_way src dst v =
+    if relevant v then [ { src; dst; carried = carried v } ] else []
+  in
+  let rec lead k =
+    if k >= Array.length v then `Eq
+    else
+      match v.(k) with
+      | Direction.Deq -> lead (k + 1)
+      | Direction.Dlt -> `Fwd
+      | Direction.Dgt -> `Bwd
+      | Direction.Dany -> `Ambiguous
+  in
+  match lead 0 with
+  | `Fwd -> one_way r.stmt1 r.stmt2 v
+  | `Bwd -> one_way r.stmt2 r.stmt1 (Array.map flip_dir v)
+  | `Eq ->
+    (* Loop-independent: within one iteration, textual order decides;
+       a reference against itself carries nothing. *)
+    if Loc.equal r.stmt1 r.stmt2 then []
+    else if Loc.compare r.stmt1 r.stmt2 <= 0 then one_way r.stmt1 r.stmt2 v
+    else one_way r.stmt2 r.stmt1 v
+  | `Ambiguous ->
+    one_way r.stmt1 r.stmt2 v @ one_way r.stmt2 r.stmt1 (Array.map flip_dir v)
+
+let pair_edges lid (r : Analyzer.pair_report) =
+  let rec index_of k = function
+    | [] -> None
+    | id :: _ when id = lid -> Some k
+    | _ :: rest -> index_of (k + 1) rest
+  in
+  match index_of 0 r.common_ids with
+  | None -> []
+  | Some pos -> (
+      let all_star = Array.make r.ncommon Direction.Dany in
+      match r.outcome with
+      | Analyzer.Constant false | Analyzer.Gcd_independent -> []
+      | Analyzer.Constant true | Analyzer.Assumed_dependent ->
+        edges_of_vector r pos all_star
+      | Analyzer.Tested t when not t.dependent -> []
+      | Analyzer.Tested t ->
+        if t.directions = [] then edges_of_vector r pos all_star
+        else List.concat_map (edges_of_vector r pos) t.directions)
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan SCC + topological ordering of the condensation               *)
+(* ------------------------------------------------------------------ *)
+
+let sccs nodes succ =
+  let n = Array.length nodes in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+         if index.(w) < 0 then begin
+           strongconnect w;
+           lowlink.(v) <- min lowlink.(v) lowlink.(w)
+         end
+         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succ v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  !components
+
+let plan_loop (report : Analyzer.report) ~lid ~stmts =
+  let nodes = Array.of_list stmts in
+  let n = Array.length nodes in
+  let node_of = Hashtbl.create 8 in
+  Array.iteri (fun i loc -> Hashtbl.replace node_of loc i) nodes;
+  let edges =
+    List.concat_map (pair_edges lid) report.pair_reports
+    |> List.filter_map (fun e ->
+        match (Hashtbl.find_opt node_of e.src, Hashtbl.find_opt node_of e.dst) with
+        | Some s, Some d -> Some (s, d, e.carried)
+        | _ -> None)
+  in
+  let succ v = List.filter_map (fun (s, d, _) -> if s = v then Some d else None) edges in
+  let comps = sccs nodes succ in
+  (* Topological order of the condensation (Kahn), preferring the
+     textually earliest component on ties for determinism. *)
+  let comp_of = Array.make n (-1) in
+  let comps = Array.of_list comps in
+  Array.iteri (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members) comps;
+  let nc = Array.length comps in
+  let indeg = Array.make nc 0 in
+  let comp_edges = Hashtbl.create 16 in
+  List.iter
+    (fun (s, d, _) ->
+       let cs = comp_of.(s) and cd = comp_of.(d) in
+       if cs <> cd && not (Hashtbl.mem comp_edges (cs, cd)) then begin
+         Hashtbl.replace comp_edges (cs, cd) ();
+         indeg.(cd) <- indeg.(cd) + 1
+       end)
+    edges;
+  let first_pos ci = List.fold_left (fun acc v -> min acc v) max_int comps.(ci) in
+  let order = ref [] in
+  let remaining = ref (List.init nc Fun.id) in
+  let done_ = Array.make nc false in
+  while !remaining <> [] do
+    let ready = List.filter (fun ci -> indeg.(ci) = 0) !remaining in
+    let pick =
+      match ready with
+      | [] ->
+        (* Cannot happen: the condensation is acyclic. *)
+        List.hd !remaining
+      | _ -> List.fold_left (fun a b -> if first_pos b < first_pos a then b else a) (List.hd ready) ready
+    in
+    order := pick :: !order;
+    done_.(pick) <- true;
+    remaining := List.filter (fun ci -> ci <> pick) !remaining;
+    Hashtbl.iter
+      (fun (cs, cd) () -> if cs = pick && not done_.(cd) then indeg.(cd) <- indeg.(cd) - 1)
+      comp_edges
+  done;
+  let groups =
+    List.rev_map
+      (fun ci ->
+         let members = List.sort compare comps.(ci) in
+         let in_comp v = comp_of.(v) = ci in
+         let parallel =
+           not (List.exists (fun (s, d, carried) -> carried && in_comp s && in_comp d) edges)
+         in
+         { stmts = List.map (fun v -> nodes.(v)) members; parallel })
+      !order
+  in
+  { lid; groups }
+
+(* ------------------------------------------------------------------ *)
+(* Locating and rewriting the loop in the AST                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Loops numbered in pre-order, matching Affine.extract. *)
+let find_loop prog ~lid =
+  let counter = ref 0 in
+  let found = ref None in
+  let rec walk (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.Assign _ | Ast.Read _ -> ()
+    | Ast.If (_, t, e) ->
+      List.iter walk t;
+      List.iter walk e
+    | Ast.For f ->
+      let this = !counter in
+      incr counter;
+      if this = lid && !found = None then found := Some (s, f);
+      List.iter walk f.body
+  in
+  List.iter walk prog;
+  !found
+
+let array_assignments body =
+  let ok =
+    List.for_all
+      (fun (s : Ast.stmt) ->
+         match s.sdesc with Ast.Assign (Ast.Larr _, _) -> true | _ -> false)
+      body
+  in
+  if ok then Some (List.map (fun (s : Ast.stmt) -> s.Ast.sloc) body) else None
+
+let body_stmts prog ~lid =
+  match find_loop prog ~lid with
+  | None -> None
+  | Some (_, f) -> array_assignments f.body
+
+let apply prog (plan : plan) =
+  match find_loop prog ~lid:plan.lid with
+  | None -> None
+  | Some (loop_stmt, f) -> (
+      match array_assignments f.body with
+      | None -> None
+      | Some _
+        when not
+               (Dda_passes.Expr_util.is_pure_scalar f.lo
+                && Dda_passes.Expr_util.is_pure_scalar f.hi) -> None
+      | Some _ ->
+        let stmt_at loc =
+          List.find (fun (s : Ast.stmt) -> Loc.equal s.Ast.sloc loc) f.body
+        in
+        let replacement =
+          List.map
+            (fun g ->
+               (* Each copy needs its own identity; borrow the first
+                  member's location. *)
+               {
+                 Ast.sdesc = Ast.For { f with body = List.map stmt_at g.stmts };
+                 sloc = (match g.stmts with l :: _ -> l | [] -> loop_stmt.Ast.sloc);
+               })
+            plan.groups
+        in
+        (* Replace the loop statement (by location) wherever it sits. *)
+        let rec rewrite (s : Ast.stmt) =
+          if Loc.equal s.Ast.sloc loop_stmt.Ast.sloc then replacement
+          else
+            match s.sdesc with
+            | Ast.Assign _ | Ast.Read _ -> [ s ]
+            | Ast.If (c, t, e) ->
+              [ { s with sdesc = Ast.If (c, List.concat_map rewrite t, List.concat_map rewrite e) } ]
+            | Ast.For f' ->
+              [ { s with sdesc = Ast.For { f' with body = List.concat_map rewrite f'.body } } ]
+        in
+        Some (List.concat_map rewrite prog))

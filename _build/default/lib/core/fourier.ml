@@ -1,0 +1,211 @@
+open Dda_numeric
+
+type outcome =
+  | Infeasible
+  | Feasible of Zint.t array
+  | Unknown
+
+type stats = {
+  mutable eliminations : int;
+  mutable max_rows : int;
+  mutable branches : int;
+}
+
+let fresh_stats () = { eliminations = 0; max_rows = 0; branches = 0 }
+
+(* Normalize a derived row. Without [tighten], dividing by the gcd is
+   only done when it divides the bound too, so the row stays equivalent
+   over the rationals. With [tighten], the bound is floored: sound for
+   integer variables, stronger than rational reasoning. *)
+let normalize ~tighten (r : Consys.row) =
+  let g = Array.fold_left (fun g c -> Zint.gcd g c) Zint.zero r.coeffs in
+  if Zint.is_zero g || Zint.is_one g then r
+  else if tighten then
+    {
+      Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
+      rhs = Zint.fdiv r.rhs g;
+    }
+  else if Zint.divides g r.rhs then
+    {
+      Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
+      rhs = Zint.divexact r.rhs g;
+    }
+  else r
+
+let row_key (r : Consys.row) =
+  String.concat "," (Array.to_list (Array.map Zint.to_string r.coeffs))
+
+(* Keep one row per coefficient vector (the tightest), drop trivially
+   true rows, and detect trivially false ones. *)
+let dedup rows =
+  let table : (string, Consys.row) Hashtbl.t = Hashtbl.create 64 in
+  let contradiction = ref false in
+  List.iter
+    (fun (r : Consys.row) ->
+       if Consys.num_vars_used r = 0 then begin
+         if Zint.is_negative r.rhs then contradiction := true
+       end
+       else begin
+         let key = row_key r in
+         match Hashtbl.find_opt table key with
+         | Some prev when Zint.compare prev.rhs r.rhs <= 0 -> ()
+         | Some _ | None -> Hashtbl.replace table key r
+       end)
+    rows;
+  if !contradiction then None
+  else Some (Hashtbl.fold (fun _ r acc -> r :: acc) table [])
+
+type step = {
+  var : int;
+  step_rows : Consys.row list;  (* the rows mentioning [var] at its turn *)
+}
+
+(* Eliminate [v]: pair every upper bound with every lower bound. *)
+let eliminate ~tighten v rows =
+  let uppers, lowers, rest =
+    List.fold_left
+      (fun (u, l, r) (row : Consys.row) ->
+         let c = row.coeffs.(v) in
+         if Zint.is_positive c then (row :: u, l, r)
+         else if Zint.is_negative c then (u, row :: l, r)
+         else (u, l, row :: r))
+      ([], [], []) rows
+  in
+  let combos =
+    List.concat_map
+      (fun (u : Consys.row) ->
+         let a = u.coeffs.(v) in
+         List.map
+           (fun (l : Consys.row) ->
+              let b = Zint.neg l.coeffs.(v) in
+              (* b*u + a*l cancels v; both multipliers positive. *)
+              let coeffs =
+                Array.init (Array.length u.coeffs) (fun i ->
+                    Zint.add (Zint.mul b u.coeffs.(i)) (Zint.mul a l.coeffs.(i)))
+              in
+              normalize ~tighten
+                { Consys.coeffs; rhs = Zint.add (Zint.mul b u.rhs) (Zint.mul a l.rhs) })
+           lowers)
+      uppers
+  in
+  (uppers @ lowers, combos @ rest)
+
+let branch_budget = 64
+
+let rec solve ~tighten ~stats ~depth ~nvars rows =
+  match dedup rows with
+  | None -> Infeasible
+  | Some rows ->
+    stats.max_rows <- max stats.max_rows (List.length rows);
+    (* Elimination order: ascending variable index over the variables
+       actually present, as in the paper. *)
+    let used = Array.make nvars false in
+    List.iter
+      (fun r -> List.iter (fun i -> used.(i) <- true) (Consys.nonzero_vars r))
+      rows;
+    let order = ref [] in
+    for i = nvars - 1 downto 0 do
+      if used.(i) then order := i :: !order
+    done;
+    let rec eliminate_all rows steps = function
+      | [] -> Some (List.rev steps, rows)
+      | v :: vs -> (
+          stats.eliminations <- stats.eliminations + 1;
+          let mentioning, remaining = eliminate ~tighten v rows in
+          match dedup remaining with
+          | None -> None
+          | Some remaining ->
+            stats.max_rows <- max stats.max_rows (List.length remaining);
+            eliminate_all remaining ({ var = v; step_rows = mentioning } :: steps) vs)
+    in
+    (match eliminate_all rows [] !order with
+     | None -> Infeasible
+     | Some (steps, residue) ->
+       (* The residue is variable-free; dedup already rejected negative
+          bounds, so the system is rationally feasible. *)
+       assert (List.for_all (fun r -> Consys.num_vars_used r = 0) residue);
+       back_substitute ~tighten ~stats ~depth ~nvars ~original:rows steps)
+
+and back_substitute ~tighten ~stats ~depth ~nvars ~original steps =
+  let values = Array.make nvars Qnum.zero in
+  (* Walk the steps in reverse elimination order; the first variable
+     visited has constant bounds. *)
+  let rec assign ~first = function
+    | [] ->
+      let witness = Array.map Qnum.to_zint_exn values in
+      assert (List.for_all (Consys.satisfies witness) original);
+      Feasible witness
+    | { var = v; step_rows } :: rest -> (
+        let lo = ref None and hi = ref None in
+        List.iter
+          (fun (r : Consys.row) ->
+             let a = r.coeffs.(v) in
+             let sum = ref (Qnum.of_zint r.rhs) in
+             Array.iteri
+               (fun i c ->
+                  if i <> v && not (Zint.is_zero c) then
+                    sum := Qnum.sub !sum (Qnum.mul (Qnum.of_zint c) values.(i)))
+               r.coeffs;
+             let bound = Qnum.div !sum (Qnum.of_zint a) in
+             if Zint.is_positive a then
+               hi := Some (match !hi with None -> bound | Some h -> Qnum.min h bound)
+             else
+               lo := Some (match !lo with None -> bound | Some l -> Qnum.max l bound))
+          step_rows;
+        match (!lo, !hi) with
+        | None, None ->
+          values.(v) <- Qnum.zero;
+          assign ~first:false rest
+        | Some l, None ->
+          values.(v) <- Qnum.of_zint (Qnum.ceil l);
+          assign ~first:false rest
+        | None, Some h ->
+          values.(v) <- Qnum.of_zint (Qnum.floor h);
+          assign ~first:false rest
+        | Some l, Some h -> (
+            match Qnum.mid_integer l h with
+            | Some m ->
+              values.(v) <- Qnum.of_zint m;
+              assign ~first:false rest
+            | None ->
+              if first then
+                (* Constant range with no integer: provably no integer
+                   solution anywhere (paper's special case). *)
+                Infeasible
+              else if depth <= 0 || stats.branches >= branch_budget then Unknown
+              else begin
+                (* Branch-and-bound: [l, h] lies strictly between two
+                   consecutive integers m and m+1. *)
+                stats.branches <- stats.branches + 1;
+                let m = Qnum.floor l in
+                let le_row =
+                  let coeffs = Array.make nvars Zint.zero in
+                  coeffs.(v) <- Zint.one;
+                  { Consys.coeffs; rhs = m }
+                in
+                let ge_row =
+                  let coeffs = Array.make nvars Zint.zero in
+                  coeffs.(v) <- Zint.minus_one;
+                  { Consys.coeffs; rhs = Zint.neg (Zint.succ m) }
+                in
+                let left =
+                  solve ~tighten ~stats ~depth:(depth - 1) ~nvars (le_row :: original)
+                in
+                match left with
+                | Feasible _ as ok -> ok
+                | Infeasible | Unknown -> (
+                    let right =
+                      solve ~tighten ~stats ~depth:(depth - 1) ~nvars
+                        (ge_row :: original)
+                    in
+                    match (left, right) with
+                    | _, (Feasible _ as ok) -> ok
+                    | Infeasible, Infeasible -> Infeasible
+                    | _, _ -> Unknown)
+              end))
+  in
+  assign ~first:true (List.rev steps)
+
+let run ?(max_branch_depth = 32) ?(tighten = false) ?stats (sys : Consys.t) =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  solve ~tighten ~stats ~depth:max_branch_depth ~nvars:sys.nvars sys.rows

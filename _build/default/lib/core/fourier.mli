@@ -1,0 +1,48 @@
+(** The Fourier-Motzkin backup test (paper section 3.5).
+
+    Exact over the rationals: eliminating a variable pairs each of its
+    lower bounds with each of its upper bounds; the original system has
+    a rational solution iff the final variable-free system does. An
+    "infeasible" answer therefore proves integer independence exactly.
+
+    For a rationally feasible system the test back-substitutes,
+    choosing the integer in the middle of each variable's allowed range
+    (the paper's heuristic). Two refinements recover exactness in most
+    remaining cases:
+    - if the {e first} back-substituted variable's (constant) range
+      holds no integer, there is provably no integer solution;
+    - otherwise the paper's branch-and-bound step splits on the
+      fractional variable with [x <= floor] / [x >= ceil] companion
+      systems, to a configurable depth.
+
+    [Unknown] — assumed dependent — is returned only when the depth
+    budget or the global branch budget (64 splits per query, guarding
+    against exponential blow-up on unbounded symbolic systems) runs
+    out; neither happens in the paper's benchmarks or ours. *)
+
+open Dda_numeric
+
+type outcome =
+  | Infeasible
+  | Feasible of Zint.t array  (** an integral witness *)
+  | Unknown
+
+type stats = {
+  mutable eliminations : int;  (** variables eliminated *)
+  mutable max_rows : int;  (** peak constraint count *)
+  mutable branches : int;  (** branch-and-bound splits taken *)
+}
+
+val fresh_stats : unit -> stats
+
+val run :
+  ?max_branch_depth:int ->
+  ?tighten:bool ->
+  ?stats:stats ->
+  Consys.t ->
+  outcome
+(** [tighten] (default [false], the paper-faithful setting) additionally
+    divides each derived row by the gcd of its coefficients and floors
+    the bound — sound for integer variables and strictly stronger, in
+    the style of the later Omega test. [max_branch_depth] defaults to
+    32. *)

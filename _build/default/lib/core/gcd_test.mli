@@ -1,0 +1,50 @@
+(** Banerjee's Extended GCD test as a preprocessing step (paper
+    section 3.1).
+
+    The subscript equalities [x . A = c] are factored through a
+    unimodular [U] with [U . A = D] echelon. If [t . D = c] has no
+    integer solution the references are {e independent} regardless of
+    bounds. Otherwise the solution is [x = t . U] with the first [rank]
+    entries of [t] forced and the rest free: the problem's inequalities
+    are rewritten over the free parameters, leaving a smaller, simpler
+    system for the exact tests — and an affine map from parameters back
+    to the original variables, used for distance/direction vectors and
+    witness reconstruction. *)
+
+open Dda_numeric
+
+type reduction = {
+  nfree : int;
+  x_const : Zint.t array;
+      (** constant part of each original variable, [x_i = x_const.(i)
+          + sum_j x_coeff.(i).(j) * t_j] *)
+  x_coeff : Zint.t array array;  (** [nvars x nfree] *)
+  system : Consys.t;  (** the problem's inequalities over [t] *)
+}
+
+type outcome =
+  | Independent  (** no integer solution even ignoring bounds: exact *)
+  | Reduced of reduction
+
+val run : Problem.t -> outcome
+
+val run_eqs : Problem.t -> outcome
+(** The bounds-free half: solve the equalities only; a [Reduced] result
+    has an {e empty} system. This is what the without-bounds memo table
+    caches ("the GCD test does not make use of bounds"). *)
+
+val attach_bounds : Problem.t -> reduction -> reduction
+(** Transform the problem's inequalities into the reduction's parameter
+    space. [run p = attach_bounds p (run_eqs p)] for reduced
+    problems. *)
+
+val x_of_t : reduction -> Zint.t array -> Zint.t array
+(** Map a parameter assignment back to original variables. *)
+
+val transform_row : reduction -> Consys.row -> Consys.row
+(** Rewrite an inequality over original variables into one over the
+    free parameters (used for direction-vector constraints). *)
+
+val delta : reduction -> int -> int -> Zint.t option
+(** [delta red p q] is [Some d] when [x_p - x_q] is the constant [d]
+    for every parameter assignment — the distance-vector fast path. *)

@@ -1,0 +1,177 @@
+open Dda_lang
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+         if i > 0 then Buffer.add_char buf ',';
+         write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         write buf (Str k);
+         Buffer.add_char buf ':';
+         write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+let rec pp fmt = function
+  | (Null | Bool _ | Int _ | Str _) as j -> Format.pp_print_string fmt (to_string j)
+  | List [] -> Format.pp_print_string fmt "[]"
+  | List items ->
+    Format.fprintf fmt "[@[<v 1>";
+    List.iteri
+      (fun i item ->
+         if i > 0 then Format.fprintf fmt ",@,";
+         pp fmt item)
+      items;
+    Format.fprintf fmt "@]]"
+  | Obj [] -> Format.pp_print_string fmt "{}"
+  | Obj fields ->
+    Format.fprintf fmt "{@[<v 1>";
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Format.fprintf fmt ",@,";
+         Format.fprintf fmt "%s: %a" (to_string (Str k)) pp v)
+      fields;
+    Format.fprintf fmt "@]}"
+
+let loc (l : Loc.t) = Str (Loc.to_string l)
+let role = function `Read -> Str "read" | `Write -> Str "write"
+
+let vector r v =
+  Obj
+    [
+      ("directions", Str (Format.asprintf "%a" Direction.pp_vector v));
+      ( "kind",
+        Str (Format.asprintf "%a" Analyzer.pp_dep_kind (Analyzer.vector_kind r v)) );
+    ]
+
+let outcome (r : Analyzer.pair_report) =
+  match r.outcome with
+  | Analyzer.Constant d ->
+    Obj [ ("verdict", Str (if d then "dependent" else "independent"));
+          ("how", Str "constant-subscripts") ]
+  | Analyzer.Gcd_independent ->
+    Obj [ ("verdict", Str "independent"); ("how", Str "extended-gcd") ]
+  | Analyzer.Assumed_dependent ->
+    Obj [ ("verdict", Str "dependent"); ("how", Str "assumed-not-affine") ]
+  | Analyzer.Tested t ->
+    Obj
+      ([
+         ("verdict", Str (if t.dependent then "dependent" else "independent"));
+         ("how", Str "tested");
+         ("exact", Bool (not t.unknown));
+       ]
+       @ (match t.decided_by with
+          | Some test -> [ ("decided_by", Str (Cascade.test_name test)) ]
+          | None -> [])
+       @ (if t.directions = [] then []
+          else [ ("vectors", List (List.map (vector r) t.directions)) ])
+       @
+       match t.distance with
+       | Some d ->
+         [
+           ( "distance",
+             List
+               (Array.to_list
+                  (Array.map
+                     (fun z ->
+                        match Dda_numeric.Zint.to_int z with
+                        | Some n -> Int n
+                        | None -> Str (Dda_numeric.Zint.to_string z))
+                     d)) );
+         ]
+       | None -> [])
+
+let pair (r : Analyzer.pair_report) =
+  Obj
+    [
+      ("array", Str r.array_name);
+      ("ref1", Obj [ ("loc", loc r.loc1); ("role", role r.role1) ]);
+      ("ref2", Obj [ ("loc", loc r.loc2); ("role", role r.role2) ]);
+      ("self", Bool r.self_pair);
+      ("common_loops", Int r.ncommon);
+      ("outcome", outcome r);
+    ]
+
+let stats (s : Analyzer.stats) =
+  Obj
+    [
+      ("pairs", Int s.pairs);
+      ("constant_cases", Int s.constant_cases);
+      ("gcd_independent", Int s.gcd_independent);
+      ("assumed_dependent", Int s.assumed);
+      ( "plain_tests",
+        Obj
+          [
+            ("svpc", Int s.plain_by_test.(0));
+            ("acyclic", Int s.plain_by_test.(1));
+            ("loop_residue", Int s.plain_by_test.(2));
+            ("fourier", Int s.plain_by_test.(3));
+          ] );
+      ( "direction_tests",
+        Obj
+          [
+            ("svpc", Int s.dir_counts.Direction.by_test.(0));
+            ("acyclic", Int s.dir_counts.Direction.by_test.(1));
+            ("loop_residue", Int s.dir_counts.Direction.by_test.(2));
+            ("fourier", Int s.dir_counts.Direction.by_test.(3));
+          ] );
+      ( "memo",
+        Obj
+          [
+            ("gcd_lookups", Int s.memo_lookups_nobounds);
+            ("gcd_hits", Int s.memo_hits_nobounds);
+            ("gcd_unique", Int s.memo_unique_nobounds);
+            ("full_lookups", Int s.memo_lookups_full);
+            ("full_hits", Int s.memo_hits_full);
+            ("full_unique", Int s.memo_unique_full);
+          ] );
+      ("independent_pairs", Int s.independent_pairs);
+      ("dependent_pairs", Int s.dependent_pairs);
+    ]
+
+let report (r : Analyzer.report) =
+  Obj [ ("pairs", List (List.map pair r.pair_reports)); ("stats", stats r.stats) ]

@@ -1,0 +1,23 @@
+(** Minimal JSON emission (strings, numbers, booleans, arrays,
+    objects) and the analyzer report rendered as JSON — enough for
+    tooling to consume analysis results without scraping text. No
+    parser: this library only produces JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering with correct string escaping. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering. *)
+
+val report : Analyzer.report -> t
+(** The whole report: one object per pair (locations, roles, outcome,
+    direction vectors with dependence kinds, distance) plus the
+    statistics block. *)

@@ -1,0 +1,107 @@
+open Dda_numeric
+
+type outcome =
+  | Infeasible
+  | Feasible of Zint.t array
+
+let two_var_form (r : Consys.row) =
+  match Consys.nonzero_vars r with
+  | [ i; j ] ->
+    let ai = r.coeffs.(i) and aj = r.coeffs.(j) in
+    if Zint.equal ai (Zint.neg aj) then
+      (* a*(t_p - t_n) <= rhs with a > 0 *)
+      let p, n, a = if Zint.is_positive ai then (i, j, ai) else (j, i, aj) in
+      Some (p, n, a)
+    else None
+  | _ -> None
+
+let applicable rows =
+  List.for_all
+    (fun (r : Consys.row) ->
+       match Consys.num_vars_used r with
+       | 0 | 1 -> true
+       | 2 -> two_var_form r <> None
+       | _ -> false)
+    rows
+
+(* Edges (src, dst, w) encode x_dst - x_src <= w; node [nvars] is the
+   paper's special node n0 anchoring single-variable constraints. *)
+let edges_of box rows =
+  let nvars = Bounds.nvars box in
+  let n0 = nvars in
+  let edges = ref [] in
+  let add src dst w = edges := (src, dst, w) :: !edges in
+  let constant_false = ref false in
+  List.iter
+    (fun (r : Consys.row) ->
+       match Consys.nonzero_vars r with
+       | [] -> if Zint.is_negative r.rhs then constant_false := true
+       | [ i ] ->
+         let a = r.coeffs.(i) in
+         if Zint.is_positive a then add n0 i (Zint.fdiv r.rhs a)
+         else add i n0 (Zint.neg (Zint.cdiv r.rhs a))
+       | _ -> (
+           match two_var_form r with
+           | Some (p, n, a) -> add n p (Zint.fdiv r.rhs a)
+           | None -> invalid_arg "Loop_residue: inapplicable row"))
+    rows;
+  for i = 0 to nvars - 1 do
+    (match Bounds.hi box i with
+     | Ext_int.Fin h -> add n0 i h
+     | Ext_int.Neg_inf | Ext_int.Pos_inf -> ());
+    match Bounds.lo box i with
+    | Ext_int.Fin l -> add i n0 (Zint.neg l)
+    | Ext_int.Neg_inf | Ext_int.Pos_inf -> ()
+  done;
+  (!edges, !constant_false)
+
+let run box rows =
+  if not (applicable rows) then None
+  else begin
+    let nvars = Bounds.nvars box in
+    let edges, constant_false = edges_of box rows in
+    if constant_false then Some Infeasible
+    else begin
+      (* Bellman-Ford from a virtual source connected to every node with
+         weight 0 (equivalently: all distances start at 0). *)
+      let n = nvars + 1 in
+      let dist = Array.make n Zint.zero in
+      let relax_pass () =
+        let changed = ref false in
+        List.iter
+          (fun (src, dst, w) ->
+             let cand = Zint.add dist.(src) w in
+             if Zint.compare cand dist.(dst) < 0 then begin
+               dist.(dst) <- cand;
+               changed := true
+             end)
+          edges;
+        !changed
+      in
+      (* n passes converge for n nodes; an improving (n+1)-th pass
+         witnesses a negative cycle. *)
+      for _ = 1 to n do
+        ignore (relax_pass ())
+      done;
+      if relax_pass () then Some Infeasible
+      else begin
+        let d0 = dist.(nvars) in
+        Some (Feasible (Array.init nvars (fun i -> Zint.sub dist.(i) d0)))
+      end
+    end
+  end
+
+let to_dot box rows =
+  let nvars = Bounds.nvars box in
+  let edges, _ = edges_of box rows in
+  let name i = if i = nvars then "n0" else Printf.sprintf "t%d" i in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph loop_residue {\n";
+  List.iter
+    (fun (src, dst, w) ->
+       Buffer.add_string buf
+         (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" (name src) (name dst)
+            (Zint.to_string w)))
+    (List.rev edges);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** The Simple Loop Residue test (paper section 3.4; Pratt's difference
+    constraints with Shostak's graph formulation, plus the paper's
+    exactness-preserving extension to equal coefficients
+    [a*ti <= a*tj + c]).
+
+    Applicable when every residual constraint relates at most two
+    variables with equal-magnitude opposite coefficients. Such a system
+    is feasible over the integers iff its residue graph has no negative
+    cycle — and that equivalence is exact, because difference
+    constraint systems have integral solutions whenever they have real
+    ones. *)
+
+open Dda_numeric
+
+type outcome =
+  | Infeasible  (** a negative cycle: exact independence *)
+  | Feasible of Zint.t array  (** integral witness from the potentials *)
+
+val applicable : Consys.row list -> bool
+(** True when every row has at most two variables and every two-variable
+    row's coefficients are opposite and equal in magnitude. *)
+
+val run : Bounds.t -> Consys.row list -> outcome option
+(** [None] when not applicable. The box contributes the single-variable
+    edges through the paper's special node [n0]. *)
+
+val to_dot : Bounds.t -> Consys.row list -> string
+(** The residue graph in Graphviz format (paper Figure 1). *)

@@ -1,0 +1,71 @@
+(* h(x) = size(x) + sum_i 2^i * x_i, computed with wrapping native
+   arithmetic (deterministic; only the bucket index needs to be
+   stable). *)
+let hash_key key =
+  let h = ref (List.length key) in
+  let p = ref 1 in
+  List.iter
+    (fun x ->
+       h := !h + (!p * x);
+       p := !p * 2)
+    key;
+  !h land max_int
+
+type 'a entry = {
+  key : int list;
+  value : 'a;
+}
+
+type 'a t = {
+  mutable buckets : 'a entry list array;
+  mutable size : int;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+let create ?(initial_buckets = 64) () =
+  { buckets = Array.make initial_buckets []; size = 0; lookups = 0; hits = 0 }
+
+let bucket_of t key = hash_key key mod Array.length t.buckets
+
+let rehash t =
+  let old = t.buckets in
+  t.buckets <- Array.make (Array.length old * 2) [];
+  Array.iter
+    (List.iter (fun e ->
+         let b = bucket_of t e.key in
+         t.buckets.(b) <- e :: t.buckets.(b)))
+    old
+
+let find t key =
+  t.lookups <- t.lookups + 1;
+  let b = bucket_of t key in
+  match List.find_opt (fun e -> e.key = key) t.buckets.(b) with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Some e.value
+  | None -> None
+
+let add t key value =
+  let b = bucket_of t key in
+  (if List.exists (fun e -> e.key = key) t.buckets.(b) then
+     t.buckets.(b) <- List.filter (fun e -> e.key <> key) t.buckets.(b)
+   else t.size <- t.size + 1);
+  t.buckets.(b) <- { key; value } :: t.buckets.(b);
+  if t.size > 2 * Array.length t.buckets then rehash t
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> (v, true)
+  | None ->
+    let v = compute () in
+    add t key v;
+    (v, false)
+
+let length t = t.size
+let lookups t = t.lookups
+let hits t = t.hits
+
+let reset_counters t =
+  t.lookups <- 0;
+  t.hits <- 0

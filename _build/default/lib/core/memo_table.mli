@@ -1,0 +1,29 @@
+(** The paper's memoization hash table (section 5).
+
+    A purpose-built open-hashing (chained) table over integer-vector
+    keys with the paper's hash function [h(x) = size(x) + sum 2^i x_i]
+    — chosen "so that symmetrical or partially symmetrical references
+    would not collide". Grows by rehashing at load factor 2. *)
+
+type 'a t
+
+val create : ?initial_buckets:int -> unit -> 'a t
+
+val find : 'a t -> int list -> 'a option
+val add : 'a t -> int list -> 'a -> unit
+(** Replaces any previous binding of the key. *)
+
+val find_or_add : 'a t -> int list -> (unit -> 'a) -> 'a * bool
+(** [(value, was_hit)]; computes and stores on a miss. *)
+
+val length : 'a t -> int
+(** Number of distinct keys stored. *)
+
+val lookups : 'a t -> int
+val hits : 'a t -> int
+(** Lookup/hit counters for the memoization-effectiveness tables. *)
+
+val reset_counters : 'a t -> unit
+
+val hash_key : int list -> int
+(** The paper's hash function, exposed for tests. *)

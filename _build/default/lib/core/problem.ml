@@ -1,0 +1,155 @@
+open Dda_numeric
+
+type bound = {
+  row : Consys.row;
+  subject : int;
+}
+
+type t = {
+  names : string array;
+  n1 : int;
+  n2 : int;
+  nsym : int;
+  ncommon : int;
+  eqs : Consys.row list;
+  ineqs : bound list;
+}
+
+let nvars p = p.n1 + p.n2 + p.nsym
+
+let ineq_rows p = List.map (fun b -> b.row) p.ineqs
+
+let make ~names ~n1 ~n2 ~nsym ~ncommon ~eqs ~ineqs =
+  let p = { names; n1; n2; nsym; ncommon; eqs; ineqs } in
+  if Array.length names <> nvars p then invalid_arg "Problem.make: names length";
+  if ncommon > min n1 n2 || ncommon < 0 then invalid_arg "Problem.make: ncommon";
+  let check r =
+    if Array.length r.Consys.coeffs <> nvars p then
+      invalid_arg "Problem.make: row width"
+  in
+  List.iter check eqs;
+  List.iter
+    (fun b ->
+       check b.row;
+       if b.subject < 0 || b.subject >= nvars p then
+         invalid_arg "Problem.make: bound subject")
+    ineqs;
+  p
+
+let var1 p k =
+  if k < 0 || k >= p.n1 then invalid_arg "Problem.var1";
+  k
+
+let var2 p k =
+  if k < 0 || k >= p.n2 then invalid_arg "Problem.var2";
+  p.n1 + k
+
+let sym_var p k =
+  if k < 0 || k >= p.nsym then invalid_arg "Problem.sym_var";
+  p.n1 + p.n2 + k
+
+let with_extra_ineqs p bounds =
+  List.iter
+    (fun b ->
+       if Array.length b.row.Consys.coeffs <> nvars p then
+         invalid_arg "Problem.with_extra_ineqs: row width")
+    bounds;
+  { p with ineqs = bounds @ p.ineqs }
+
+let satisfies point p =
+  List.for_all
+    (fun (r : Consys.row) ->
+       let acc = ref Zint.zero in
+       Array.iteri (fun i c -> acc := Zint.add !acc (Zint.mul c point.(i))) r.coeffs;
+       Zint.equal !acc r.rhs)
+    p.eqs
+  && List.for_all (fun b -> Consys.satisfies point b.row) p.ineqs
+
+let int_of_z z =
+  match Zint.to_int z with
+  | Some n -> n
+  | None -> failwith "Problem.to_key: coefficient exceeds native int"
+
+let row_ints (r : Consys.row) =
+  Array.to_list (Array.map int_of_z r.coeffs) @ [ int_of_z r.rhs ]
+
+(* Equality rows mean the same constraint under negation; flip so the
+   first non-zero coefficient is positive. This makes a problem and its
+   {!swap} of the mirror-image problem key identically. *)
+let sign_normalize_eq (r : Consys.row) =
+  let rec first i =
+    if i >= Array.length r.coeffs then 0 else
+    let s = Zint.sign r.coeffs.(i) in
+    if s <> 0 then s else first (i + 1)
+  in
+  if first 0 < 0 then
+    { Consys.coeffs = Array.map Zint.neg r.coeffs; rhs = Zint.neg r.rhs }
+  else r
+
+let key_without_bounds p =
+  nvars p :: p.n1 :: p.n2 :: p.nsym :: p.ncommon :: List.length p.eqs
+  :: List.concat_map (fun r -> row_ints (sign_normalize_eq r)) p.eqs
+
+let swap p =
+  let nv = nvars p in
+  (* old index -> new index: the two loop-variable blocks trade places,
+     symbols stay in place. *)
+  let remap i =
+    if i < p.n1 then p.n2 + i
+    else if i < p.n1 + p.n2 then i - p.n1
+    else i
+  in
+  let map_row (r : Consys.row) =
+    let coeffs = Array.make nv Zint.zero in
+    Array.iteri (fun i c -> coeffs.(remap i) <- c) r.coeffs;
+    { Consys.coeffs; rhs = r.rhs }
+  in
+  let names = Array.make nv "" in
+  let strip_prime s =
+    if String.length s > 0 && s.[String.length s - 1] = '\'' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  in
+  Array.iteri
+    (fun i name ->
+       let name =
+         if i < p.n1 then name ^ "'"
+         else if i < p.n1 + p.n2 then strip_prime name
+         else name
+       in
+       names.(remap i) <- name)
+    p.names;
+  (* Keep each reference's bounds contiguous and in loop order, as
+     [Build_problem] emits them, so mirror problems key identically. *)
+  let block2, block1 =
+    List.partition (fun (b : bound) -> b.subject >= p.n1 && b.subject < p.n1 + p.n2) p.ineqs
+  in
+  let map_bound (b : bound) = { row = map_row b.row; subject = remap b.subject } in
+  {
+    names;
+    n1 = p.n2;
+    n2 = p.n1;
+    nsym = p.nsym;
+    ncommon = p.ncommon;
+    eqs = List.map map_row p.eqs;
+    ineqs = List.map map_bound block2 @ List.map map_bound block1;
+  }
+
+let to_key p =
+  key_without_bounds p
+  @ (List.length p.ineqs :: List.concat_map (fun b -> row_ints b.row) p.ineqs)
+
+let pp fmt p =
+  let names = p.names in
+  Format.fprintf fmt "@[<v>vars:";
+  Array.iter (fun n -> Format.fprintf fmt " %s" n) names;
+  Format.fprintf fmt "@,equalities:@,";
+  List.iter
+    (fun (r : Consys.row) ->
+       Format.fprintf fmt "  %a (as =)@," (Consys.pp_row ~names) r)
+    p.eqs;
+  Format.fprintf fmt "bounds:@,";
+  List.iter
+    (fun b -> Format.fprintf fmt "  %a@," (Consys.pp_row ~names) b.row)
+    p.ineqs;
+  Format.fprintf fmt "@]"

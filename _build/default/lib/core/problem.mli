@@ -1,0 +1,75 @@
+(** A dependence problem in the paper's normal form.
+
+    Two references enclosed in loop nests sharing [ncommon] outer
+    loops. The unknowns are the loop variables of the first reference's
+    iteration ([i]), those of the second ([i']), and the shared
+    symbolic terms — laid out in that order. Subscript agreement gives
+    one {e equality} row per array dimension; loop bounds give
+    {e inequality} rows; symbolic terms are unconstrained. The
+    references are dependent iff the system has an integer solution. *)
+
+open Dda_numeric
+
+type bound = {
+  row : Consys.row;  (** read as [sum <= rhs] *)
+  subject : int;
+      (** the loop variable this row bounds (used by the
+          unused-variable pruning rule, which must distinguish "appears
+          in its own bound" from "appears in another variable's
+          bound") *)
+}
+
+type t = {
+  names : string array;  (** variable names, for printing *)
+  n1 : int;  (** loops enclosing the first reference *)
+  n2 : int;
+  nsym : int;
+  ncommon : int;  (** shared outer loops, [<= min n1 n2] *)
+  eqs : Consys.row list;  (** rows read as [sum = rhs] *)
+  ineqs : bound list;
+}
+
+val make :
+  names:string array ->
+  n1:int ->
+  n2:int ->
+  nsym:int ->
+  ncommon:int ->
+  eqs:Consys.row list ->
+  ineqs:bound list ->
+  t
+(** Validates the layout invariants. *)
+
+val ineq_rows : t -> Consys.row list
+
+val nvars : t -> int
+val var1 : t -> int -> int
+(** Index of the first reference's level-[k] loop variable. *)
+
+val var2 : t -> int -> int
+val sym_var : t -> int -> int
+
+val with_extra_ineqs : t -> bound list -> t
+
+val swap : t -> t
+(** Exchange the roles of the two references: the paper's "symmetrical
+    cases" optimization rests on [a\[i\]] vs [a\[i-1\]] being the same
+    problem as [a\[i-1\]] vs [a\[i\]] with the answer mirrored. The
+    keys of mirror-image problems coincide because {!to_key}
+    sign-normalizes equality rows. *)
+
+val satisfies : Zint.t array -> t -> bool
+(** Does a full assignment satisfy every equality and inequality? *)
+
+val to_key : t -> int list
+(** A canonical integer serialization, the memoization key. Coefficients
+    must fit in native ints (they do by construction: keys are built
+    from source-program problems, before any test transforms them).
+    Variable names are not part of the key — two textually different
+    nests with the same shape memoize together, as in the paper. *)
+
+val key_without_bounds : t -> int list
+(** Serialization of the equalities only, keying the GCD-test memo
+    table ("the GCD test does not make use of bounds"). *)
+
+val pp : Format.formatter -> t -> unit

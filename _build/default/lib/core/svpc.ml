@@ -1,0 +1,22 @@
+type outcome =
+  | Infeasible
+  | Feasible of Bounds.t
+  | Partial of Bounds.t * Consys.row list
+
+let run (sys : Consys.t) =
+  let box = Bounds.create sys.nvars in
+  let rec absorb_rows multi = function
+    | [] -> Some (List.rev multi)
+    | (r : Consys.row) :: rest -> (
+        if Consys.num_vars_used r >= 2 then absorb_rows (r :: multi) rest
+        else
+          match Bounds.absorb box r with
+          | `Absorbed | `Trivial -> absorb_rows multi rest
+          | `False -> None)
+  in
+  match absorb_rows [] sys.rows with
+  | None -> Infeasible
+  | Some multi ->
+    if not (Bounds.consistent box) then Infeasible
+    else if multi = [] then Feasible box
+    else Partial (box, multi)

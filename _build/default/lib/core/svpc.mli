@@ -1,0 +1,21 @@
+(** The Single Variable Per Constraint test (paper section 3.2).
+
+    Every constraint with at most one variable is an upper or lower
+    bound for that variable; the system is feasible iff every variable's
+    tightest lower bound is at most its tightest upper bound. Exact
+    whenever no multi-variable constraint remains; when some do, the
+    absorbed bounds still feed the follow-on tests. *)
+
+type outcome =
+  | Infeasible
+      (** Some variable's bounds cross (or a constant row is false):
+          exact independence. *)
+  | Feasible of Bounds.t
+      (** Every constraint was single-variable and the box is
+          non-empty: exact dependence (any point of the box is a
+          witness). *)
+  | Partial of Bounds.t * Consys.row list
+      (** Multi-variable rows remain; the box summarizes the rest. The
+          test alone is not decisive. *)
+
+val run : Consys.t -> outcome

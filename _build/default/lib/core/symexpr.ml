@@ -1,0 +1,126 @@
+open Dda_numeric
+
+module Vm = Map.Make (String)
+
+(* Canonical: no zero coefficients stored. *)
+type t = {
+  coeffs : Zint.t Vm.t;
+  const : Zint.t;
+}
+
+let const c = { coeffs = Vm.empty; const = c }
+let of_int n = const (Zint.of_int n)
+let zero = const Zint.zero
+let var v = { coeffs = Vm.singleton v Zint.one; const = Zint.zero }
+
+let put v c m = if Zint.is_zero c then Vm.remove v m else Vm.add v c m
+
+let add a b =
+  {
+    coeffs =
+      Vm.union (fun _ x y -> let s = Zint.add x y in if Zint.is_zero s then None else Some s)
+        a.coeffs b.coeffs;
+    const = Zint.add a.const b.const;
+  }
+
+let neg a = { coeffs = Vm.map Zint.neg a.coeffs; const = Zint.neg a.const }
+let sub a b = add a (neg b)
+
+let scale k a =
+  if Zint.is_zero k then zero
+  else { coeffs = Vm.map (Zint.mul k) a.coeffs; const = Zint.mul k a.const }
+
+let is_const a = Vm.is_empty a.coeffs
+let to_const a = if is_const a then Some a.const else None
+
+let mul a b =
+  match (to_const a, to_const b) with
+  | Some ka, _ -> Some (scale ka b)
+  | _, Some kb -> Some (scale kb a)
+  | None, None -> None
+
+let div_exact a k =
+  if Zint.is_zero k then None
+  else if Vm.for_all (fun _ c -> Zint.divides k c) a.coeffs && Zint.divides k a.const
+  then
+    Some
+      {
+        coeffs = Vm.map (fun c -> Zint.divexact c k) a.coeffs;
+        const = Zint.divexact a.const k;
+      }
+  else None
+
+let coeff a v = match Vm.find_opt v a.coeffs with Some c -> c | None -> Zint.zero
+let const_part a = a.const
+let vars a = Vm.bindings a.coeffs |> List.map fst
+
+let eval lookup a =
+  Vm.fold (fun v c acc -> Zint.add acc (Zint.mul c (lookup v))) a.coeffs a.const
+
+let rename f a =
+  let coeffs =
+    Vm.fold
+      (fun v c m ->
+         let v' = f v in
+         if Vm.mem v' m then invalid_arg "Symexpr.rename: name collision"
+         else put v' c m)
+      a.coeffs Vm.empty
+  in
+  { a with coeffs }
+
+let subst v e t =
+  let c = coeff t v in
+  if Zint.is_zero c then t
+  else add { t with coeffs = Vm.remove v t.coeffs } (scale c e)
+
+let equal a b = Zint.equal a.const b.const && Vm.equal Zint.equal a.coeffs b.coeffs
+
+let compare a b =
+  match Zint.compare a.const b.const with
+  | 0 -> Vm.compare Zint.compare a.coeffs b.coeffs
+  | c -> c
+
+let pp fmt a =
+  let terms = Vm.bindings a.coeffs in
+  if terms = [] then Zint.pp fmt a.const
+  else begin
+    let first = ref true in
+    List.iter
+      (fun (v, c) ->
+         if !first then begin
+           first := false;
+           if Zint.is_one c then Format.pp_print_string fmt v
+           else if Zint.equal c Zint.minus_one then Format.fprintf fmt "-%s" v
+           else Format.fprintf fmt "%a%s" Zint.pp c v
+         end
+         else if Zint.is_negative c then
+           if Zint.equal c Zint.minus_one then Format.fprintf fmt " - %s" v
+           else Format.fprintf fmt " - %a%s" Zint.pp (Zint.neg c) v
+         else if Zint.is_one c then Format.fprintf fmt " + %s" v
+         else Format.fprintf fmt " + %a%s" Zint.pp c v)
+      terms;
+    if Zint.is_negative a.const then Format.fprintf fmt " - %a" Zint.pp (Zint.neg a.const)
+    else if not (Zint.is_zero a.const) then Format.fprintf fmt " + %a" Zint.pp a.const
+  end
+
+let rec of_ast ~classify (e : Dda_lang.Ast.expr) =
+  match e.desc with
+  | Dda_lang.Ast.Int n -> Some (of_int n)
+  | Dda_lang.Ast.Var v -> (
+      match classify v with `Var -> Some (var v) | `NonAffine -> None)
+  | Dda_lang.Ast.Neg a -> Option.map neg (of_ast ~classify a)
+  | Dda_lang.Ast.Aref _ -> None
+  | Dda_lang.Ast.Bin (op, a, b) -> (
+      match (of_ast ~classify a, of_ast ~classify b) with
+      | Some ea, Some eb -> (
+          match op with
+          | Dda_lang.Ast.Add -> Some (add ea eb)
+          | Dda_lang.Ast.Sub -> Some (sub ea eb)
+          | Dda_lang.Ast.Mul -> mul ea eb
+          | Dda_lang.Ast.Div -> (
+              (* Only exact division by a constant keeps the expression
+                 affine with the language's truncating semantics. *)
+              match to_const eb with
+              | Some k when not (Zint.is_zero k) -> div_exact ea k
+              | _ -> None))
+      | _ -> None)

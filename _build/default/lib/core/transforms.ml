@@ -1,0 +1,143 @@
+let flip = function
+  | Direction.Dlt -> Direction.Dgt
+  | Direction.Dgt -> Direction.Dlt
+  | (Direction.Deq | Direction.Dany) as d -> d
+
+(* Source-to-sink normalization: vectors whose leading non-"=" is ">"
+   describe a dependence flowing from the second reference; flip them.
+   A leading "*" could be either orientation: keep both readings. *)
+let normalize v =
+  let rec lead k =
+    if k >= Array.length v then `Eq
+    else
+      match v.(k) with
+      | Direction.Deq -> lead (k + 1)
+      | Direction.Dlt -> `Forward
+      | Direction.Dgt -> `Backward
+      | Direction.Dany -> `Ambiguous
+  in
+  match lead 0 with
+  | `Eq | `Forward -> [ v ]
+  | `Backward -> [ Array.map flip v ]
+  | `Ambiguous -> [ v; Array.map flip v ]
+
+(* The pair's dependences as source-to-sink vectors over its common
+   loops; [] means none. Unrefinable outcomes are all-"*". *)
+let pair_vectors (r : Analyzer.pair_report) =
+  let all_star = Array.make r.ncommon Direction.Dany in
+  match r.outcome with
+  | Analyzer.Constant false | Analyzer.Gcd_independent -> []
+  | Analyzer.Constant true | Analyzer.Assumed_dependent -> [ all_star ]
+  | Analyzer.Tested t when not t.dependent -> []
+  | Analyzer.Tested t ->
+    if t.directions = [] then [ all_star ]
+    else List.concat_map normalize t.directions
+
+(* Lexicographic non-negativity with "*" treated as possibly ">". *)
+let lex_nonneg v =
+  let rec go k =
+    if k >= Array.length v then true (* loop-independent *)
+    else
+      match v.(k) with
+      | Direction.Dlt -> true
+      | Direction.Deq -> go (k + 1)
+      | Direction.Dgt | Direction.Dany -> false
+  in
+  go 0
+
+let index_of id l =
+  let rec go k = function
+    | [] -> None
+    | x :: _ when x = id -> Some k
+    | _ :: rest -> go (k + 1) rest
+  in
+  go 0 l
+
+(* Check one pair against a reordering of [ids] (new outer-to-inner
+   order [perm]). Pairs whose common nest contains none of the loops
+   are unaffected; pairs containing only some of them cannot be
+   verified and fail conservatively. *)
+let pair_ok (r : Analyzer.pair_report) ids perm =
+  let positions = List.map (fun id -> index_of id r.common_ids) ids in
+  if List.for_all (fun p -> p = None) positions then true
+  else if List.exists (fun p -> p = None) positions then false
+  else begin
+    let positions = List.map Option.get positions in
+    (* Slot j (the j-th smallest position) receives the component of
+       the loop that the permutation places j-th. *)
+    let slots = List.sort compare positions in
+    let component_pos_of_id id = List.nth positions (Option.get (index_of id ids)) in
+    List.for_all
+      (fun v ->
+         let v' = Array.copy v in
+         List.iteri
+           (fun j id -> v'.(List.nth slots j) <- v.(component_pos_of_id id))
+           perm;
+         lex_nonneg v')
+      (pair_vectors r)
+  end
+
+let check_permutation (report : Analyzer.report) ids perm =
+  List.for_all (fun r -> pair_ok r ids perm) report.pair_reports
+
+let reversal_legal (report : Analyzer.report) ~lid =
+  (* Reversing flips the component at the loop's position: legal iff no
+     vector has its leading non-"=" there, i.e. the loop carries
+     nothing. *)
+  List.for_all
+    (fun (r : Analyzer.pair_report) ->
+       match index_of lid r.common_ids with
+       | None -> true
+       | Some pos ->
+         List.for_all
+           (fun v ->
+              let v' = Array.copy v in
+              v'.(pos) <- flip v.(pos);
+              lex_nonneg v')
+           (pair_vectors r))
+    report.pair_reports
+
+let interchange_legal report ~lid_a ~lid_b =
+  check_permutation report [ lid_a; lid_b ] [ lid_b; lid_a ]
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+         List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let legal_permutations report ids =
+  List.filter (fun perm -> check_permutation report ids perm) (permutations ids)
+
+let fully_permutable (report : Analyzer.report) ids =
+  List.for_all
+    (fun (r : Analyzer.pair_report) ->
+       let positions = List.map (fun id -> index_of id r.common_ids) ids in
+       if List.for_all (fun p -> p = None) positions then true
+       else if List.exists (fun p -> p = None) positions then false
+       else begin
+         let positions = List.map Option.get positions in
+         let first_band = List.fold_left min max_int positions in
+         List.for_all
+           (fun v ->
+              (* Satisfied outside the band: a definite "<" strictly
+                 above it. *)
+              let rec outer k =
+                k < first_band
+                && (match v.(k) with
+                    | Direction.Dlt -> true
+                    | Direction.Deq -> outer (k + 1)
+                    | Direction.Dgt | Direction.Dany -> false)
+              in
+              outer 0
+              || List.for_all
+                   (fun p ->
+                      match v.(p) with
+                      | Direction.Dlt | Direction.Deq -> true
+                      | Direction.Dgt | Direction.Dany -> false)
+                   positions)
+           (pair_vectors r)
+       end)
+    report.pair_reports

@@ -1,0 +1,1 @@
+lib/lang/semant.ml: Ast Format Hashtbl List Loc Option

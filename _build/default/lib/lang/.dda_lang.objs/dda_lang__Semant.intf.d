@@ -1,0 +1,1 @@
+lib/lang/semant.mli: Ast Format Loc

@@ -1,0 +1,1 @@
+lib/lang/trace.ml: Array Ast Format Interp List Loc Stdlib String

@@ -1,0 +1,1 @@
+lib/lang/trace.mli: Ast Format Interp Loc

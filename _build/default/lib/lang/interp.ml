@@ -1,0 +1,148 @@
+exception Runtime_error of string * Loc.t
+
+type access = {
+  array : string;
+  indices : int list;
+  role : [ `Read | `Write ];
+  site : Loc.t;
+  iter : (string * int) list;
+  time : int;
+}
+
+type env = {
+  scalars : (string, int) Hashtbl.t;
+  memory : (string * int list, int) Hashtbl.t;
+  inputs : (string, int) Hashtbl.t;
+  mutable trace : access list;  (* reverse execution order *)
+  mutable clock : int;
+  mutable loops : (string * int) list;  (* innermost first *)
+  mutable fuel : int;  (* negative: unlimited *)
+}
+
+let record env array indices role site =
+  env.trace <-
+    {
+      array;
+      indices;
+      role;
+      site;
+      iter = List.rev env.loops;
+      time = env.clock;
+    }
+    :: env.trace;
+  env.clock <- env.clock + 1
+
+let rec eval env (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int n -> n
+  | Ast.Var v -> (
+      match Hashtbl.find_opt env.scalars v with Some n -> n | None -> 0)
+  | Ast.Neg a -> -eval env a
+  | Ast.Bin (op, a, b) -> (
+      let x = eval env a and y = eval env b in
+      match op with
+      | Ast.Add -> x + y
+      | Ast.Sub -> x - y
+      | Ast.Mul -> x * y
+      | Ast.Div ->
+        if y = 0 then raise (Runtime_error ("division by zero", e.eloc))
+        else x / y)
+  | Ast.Aref (name, subs) ->
+    let indices = List.map (eval env) subs in
+    record env name indices `Read e.eloc;
+    (match Hashtbl.find_opt env.memory (name, indices) with
+     | Some n -> n
+     | None -> 0)
+
+let eval_cond env ({ rel; lhs; rhs } : Ast.cond) =
+  let x = eval env lhs and y = eval env rhs in
+  match rel with
+  | Ast.Req -> x = y
+  | Ast.Rne -> x <> y
+  | Ast.Rlt -> x < y
+  | Ast.Rle -> x <= y
+  | Ast.Rgt -> x > y
+  | Ast.Rge -> x >= y
+
+let rec exec env (s : Ast.stmt) =
+  if env.fuel = 0 then
+    raise (Runtime_error ("execution budget exhausted", s.sloc));
+  if env.fuel > 0 then env.fuel <- env.fuel - 1;
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v, e) ->
+    let value = eval env e in
+    Hashtbl.replace env.scalars v value
+  | Ast.Assign (Ast.Larr (name, subs), e) ->
+    (* Fortran order: subscripts, then the right-hand side, then the
+       store. *)
+    let indices = List.map (eval env) subs in
+    let value = eval env e in
+    record env name indices `Write s.sloc;
+    Hashtbl.replace env.memory (name, indices) value
+  | Ast.Read v ->
+    let value = match Hashtbl.find_opt env.inputs v with Some n -> n | None -> 0 in
+    Hashtbl.replace env.scalars v value
+  | Ast.If (cond, then_, else_) ->
+    if eval_cond env cond then List.iter (exec env) then_
+    else List.iter (exec env) else_
+  | Ast.For { var; lo; hi; step; body } ->
+    let lo = eval env lo and hi = eval env hi in
+    let step =
+      match step with
+      | None -> 1
+      | Some e -> (
+          match eval env e with
+          | 0 -> raise (Runtime_error ("loop step is zero", s.sloc))
+          | n -> n)
+    in
+    let v = ref lo in
+    while (if step > 0 then !v <= hi else !v >= hi) do
+      Hashtbl.replace env.scalars var !v;
+      env.loops <- (var, !v) :: env.loops;
+      List.iter (exec env) body;
+      env.loops <- List.tl env.loops;
+      v := !v + step
+    done
+
+let make_env ?(fuel = -1) inputs =
+  let env =
+    {
+      scalars = Hashtbl.create 16;
+      memory = Hashtbl.create 256;
+      inputs = Hashtbl.create 8;
+      trace = [];
+      clock = 0;
+      loops = [];
+      fuel;
+    }
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace env.inputs k v) inputs;
+  env
+
+let run ?(fuel = -1) ?(inputs = []) prog =
+  let env = make_env ~fuel inputs in
+  List.iter (exec env) prog;
+  List.rev env.trace
+
+let scalar_value ?(inputs = []) prog name =
+  let env = make_env inputs in
+  List.iter (exec env) prog;
+  Hashtbl.find_opt env.scalars name
+
+type state = {
+  scalars : (string * int) list;
+  memory : ((string * int list) * int) list;
+}
+
+let final_state ?(fuel = -1) ?(inputs = []) prog =
+  let env = make_env ~fuel inputs in
+  List.iter (exec env) prog;
+  let scalars =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.scalars []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let memory =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.memory []
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  in
+  ({ scalars; memory }, List.rev env.trace)

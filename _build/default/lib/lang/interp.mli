@@ -1,0 +1,41 @@
+(** Reference interpreter with memory-access tracing.
+
+    Runs a program and records every array access (reference site,
+    concrete indices, enclosing iteration vector, global timestamp).
+    The trace is the {e ground truth} the dependence analyzer is tested
+    against: two references are dependent exactly when their traced
+    accesses overlap in memory. *)
+
+exception Runtime_error of string * Loc.t
+
+type access = {
+  array : string;
+  indices : int list;
+  role : [ `Read | `Write ];
+  site : Loc.t;  (** location of the reference, its identity *)
+  iter : (string * int) list;  (** enclosing loop variables, outermost first *)
+  time : int;  (** global execution order *)
+}
+
+val run : ?fuel:int -> ?inputs:(string * int) list -> Ast.program -> access list
+(** Executes the program with all memory initially zero. [inputs]
+    supplies the values produced by [read] statements (a missing input
+    defaults to 0). [fuel] bounds the number of statement executions
+    (default: unlimited). Returns the access trace in execution order.
+    @raise Runtime_error on division by zero or fuel exhaustion. *)
+
+val scalar_value : ?inputs:(string * int) list -> Ast.program -> string -> int option
+(** Runs the program and reports the final value of a scalar, for
+    tests. *)
+
+type state = {
+  scalars : (string * int) list;  (** sorted by name *)
+  memory : ((string * int list) * int) list;
+      (** sorted by cell; zero-valued cells that were never written are
+          absent *)
+}
+
+val final_state : ?fuel:int -> ?inputs:(string * int) list -> Ast.program -> state * access list
+(** Runs the program and returns both the final machine state and the
+    access trace — the observables that optimizer passes must
+    preserve. *)

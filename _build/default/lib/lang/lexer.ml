@@ -1,0 +1,111 @@
+exception Error of string * Loc.t
+
+let keyword = function
+  | "for" -> Some Token.KW_FOR
+  | "to" -> Some Token.KW_TO
+  | "step" -> Some Token.KW_STEP
+  | "do" -> Some Token.KW_DO
+  (* "end for" / "end if" would be ambiguous with "end" followed by a
+     new loop, so the suffixed closers are single keywords. *)
+  | "end" | "endfor" | "endif" -> Some Token.KW_END
+  | "if" -> Some Token.KW_IF
+  | "then" -> Some Token.KW_THEN
+  | "else" -> Some Token.KW_ELSE
+  | "read" -> Some Token.KW_READ
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.col <- 1
+   | Some _ -> st.col <- st.col + 1
+   | None -> ());
+  st.pos <- st.pos + 1
+
+let here st = Loc.make ~line:st.line ~col:st.col
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> Token.INT n
+  | None -> raise (Error (Printf.sprintf "integer literal out of range: %s" text, here st))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_alnum c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match keyword text with Some kw -> kw | None -> Token.IDENT text
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let emit tok loc = toks := (tok, loc) :: !toks in
+  let rec skip_comment () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      skip_comment ()
+  in
+  (* Lex an operator that may be followed by '=' (e.g. "<" / "<=").
+     [single_tok = None] means the bare character is not a token. *)
+  let two_char_op loc c1 double_tok single_tok =
+    advance st;
+    match peek st with
+    | Some '=' ->
+      advance st;
+      emit double_tok loc
+    | _ -> (
+        match single_tok with
+        | Some t -> emit t loc
+        | None -> raise (Error (Printf.sprintf "expected '=' after '%c'" c1, loc)))
+  in
+  let continue_lexing = ref true in
+  while !continue_lexing do
+    let loc = here st in
+    match peek st with
+    | None ->
+      emit Token.EOF loc;
+      continue_lexing := false
+    | Some c -> (
+        match c with
+        | ' ' | '\t' | '\r' | '\n' -> advance st
+        | '#' -> skip_comment ()
+        | '0' .. '9' -> emit (lex_number st) loc
+        | c when is_alpha c -> emit (lex_ident st) loc
+        | '+' -> advance st; emit Token.PLUS loc
+        | '-' -> advance st; emit Token.MINUS loc
+        | '*' -> advance st; emit Token.STAR loc
+        | '/' -> advance st; emit Token.SLASH loc
+        | '(' -> advance st; emit Token.LPAREN loc
+        | ')' -> advance st; emit Token.RPAREN loc
+        | '[' -> advance st; emit Token.LBRACKET loc
+        | ']' -> advance st; emit Token.RBRACKET loc
+        | ',' -> advance st; emit Token.COMMA loc
+        | '=' -> two_char_op loc '=' Token.EQ (Some Token.ASSIGN)
+        | '<' -> two_char_op loc '<' Token.LE (Some Token.LT)
+        | '>' -> two_char_op loc '>' Token.GE (Some Token.GT)
+        | '!' -> two_char_op loc '!' Token.NE None
+        | c -> raise (Error (Printf.sprintf "unexpected character '%c'" c, loc)))
+  done;
+  List.rev !toks

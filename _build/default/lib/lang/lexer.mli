@@ -1,0 +1,10 @@
+(** Hand-written lexer for the mini-Fortran loop language.
+
+    Whitespace and newlines separate tokens; [#] starts a comment that
+    runs to the end of the line. *)
+
+exception Error of string * Loc.t
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** The result always ends with an [EOF] token.
+    @raise Error on an unrecognized character or malformed literal. *)

@@ -1,0 +1,13 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let make ~line ~col = { line; col }
+
+let compare a b =
+  match Stdlib.compare a.line b.line with
+  | 0 -> Stdlib.compare a.col b.col
+  | c -> c
+
+let equal a b = compare a b = 0
+let pp fmt { line; col } = Format.fprintf fmt "%d:%d" line col
+let to_string l = Format.asprintf "%a" pp l

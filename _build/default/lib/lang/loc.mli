@@ -1,0 +1,12 @@
+(** Source locations: 1-based line and column. Locations double as the
+    identity of array-reference sites throughout the analyzer, so every
+    AST node carries one. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+val make : line:int -> col:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

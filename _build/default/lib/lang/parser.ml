@@ -1,0 +1,170 @@
+exception Error of string * Loc.t
+
+type state = {
+  mutable toks : (Token.t * Loc.t) list;
+}
+
+let peek st =
+  match st.toks with
+  | [] -> (Token.EOF, Loc.dummy)
+  | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let tok, loc = peek st in
+  raise (Error (Printf.sprintf "%s (found '%s')" msg (Token.to_string tok), loc))
+
+let expect st tok what =
+  let t, _ = peek st in
+  if Token.equal t tok then advance st else fail st (Printf.sprintf "expected %s" what)
+
+let expect_ident st what =
+  match peek st with
+  | Token.IDENT name, _ ->
+    advance st;
+    name
+  | _ -> fail st (Printf.sprintf "expected %s" what)
+
+(* expr ::= term (("+" | "-") term)* *)
+let rec parse_expr_p st =
+  let rec loop acc =
+    match peek st with
+    | Token.PLUS, loc ->
+      advance st;
+      loop (Ast.bin ~loc Ast.Add acc (parse_term st))
+    | Token.MINUS, loc ->
+      advance st;
+      loop (Ast.bin ~loc Ast.Sub acc (parse_term st))
+    | _ -> acc
+  in
+  loop (parse_term st)
+
+and parse_term st =
+  let rec loop acc =
+    match peek st with
+    | Token.STAR, loc ->
+      advance st;
+      loop (Ast.bin ~loc Ast.Mul acc (parse_factor st))
+    | Token.SLASH, loc ->
+      advance st;
+      loop (Ast.bin ~loc Ast.Div acc (parse_factor st))
+    | _ -> acc
+  in
+  loop (parse_factor st)
+
+and parse_factor st =
+  match peek st with
+  | Token.MINUS, loc ->
+    advance st;
+    Ast.neg ~loc (parse_factor st)
+  | Token.INT n, loc ->
+    advance st;
+    Ast.int_ ~loc n
+  | Token.LPAREN, _ ->
+    advance st;
+    let e = parse_expr_p st in
+    expect st Token.RPAREN "')'";
+    e
+  | Token.IDENT name, loc ->
+    advance st;
+    let subs = parse_subscripts st in
+    if subs = [] then Ast.var ~loc name else Ast.aref ~loc name subs
+  | _ -> fail st "expected an expression"
+
+and parse_subscripts st =
+  match peek st with
+  | Token.LBRACKET, _ ->
+    advance st;
+    let e = parse_expr_p st in
+    expect st Token.RBRACKET "']'";
+    e :: parse_subscripts st
+  | _ -> []
+
+let parse_relop st =
+  match peek st with
+  | Token.EQ, _ -> advance st; Ast.Req
+  | Token.NE, _ -> advance st; Ast.Rne
+  | Token.LT, _ -> advance st; Ast.Rlt
+  | Token.LE, _ -> advance st; Ast.Rle
+  | Token.GT, _ -> advance st; Ast.Rgt
+  | Token.GE, _ -> advance st; Ast.Rge
+  | _ -> fail st "expected a relational operator"
+
+let parse_cond st =
+  let lhs = parse_expr_p st in
+  let rel = parse_relop st in
+  let rhs = parse_expr_p st in
+  { Ast.rel; lhs; rhs }
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.KW_FOR, loc ->
+    advance st;
+    let var = expect_ident st "a loop variable" in
+    expect st Token.ASSIGN "'='";
+    let lo = parse_expr_p st in
+    expect st Token.KW_TO "'to'";
+    let hi = parse_expr_p st in
+    let step =
+      match peek st with
+      | Token.KW_STEP, _ ->
+        advance st;
+        Some (parse_expr_p st)
+      | _ -> None
+    in
+    expect st Token.KW_DO "'do'";
+    let body = parse_stmts st in
+    expect st Token.KW_END "'end'";
+    Ast.for_ ~loc ?step var lo hi body
+  | Token.KW_IF, loc ->
+    advance st;
+    let cond = parse_cond st in
+    expect st Token.KW_THEN "'then'";
+    let then_ = parse_stmts st in
+    let else_ =
+      match peek st with
+      | Token.KW_ELSE, _ ->
+        advance st;
+        parse_stmts st
+      | _ -> []
+    in
+    expect st Token.KW_END "'end'";
+    Ast.if_ ~loc cond then_ else_
+  | Token.KW_READ, loc ->
+    advance st;
+    expect st Token.LPAREN "'('";
+    let name = expect_ident st "a variable name" in
+    expect st Token.RPAREN "')'";
+    Ast.read ~loc name
+  | Token.IDENT name, loc ->
+    advance st;
+    let subs = parse_subscripts st in
+    expect st Token.ASSIGN "'='";
+    let rhs = parse_expr_p st in
+    let lv = if subs = [] then Ast.Lvar name else Ast.Larr (name, subs) in
+    Ast.assign ~loc lv rhs
+  | _ -> fail st "expected a statement"
+
+and parse_stmts st =
+  match peek st with
+  | (Token.KW_END | Token.KW_ELSE | Token.EOF), _ -> []
+  | _ ->
+    let s = parse_stmt st in
+    s :: parse_stmts st
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let prog = parse_stmts st in
+  (match peek st with
+   | Token.EOF, _ -> ()
+   | _ -> fail st "expected end of input");
+  prog
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_p st in
+  (match peek st with
+   | Token.EOF, _ -> ()
+   | _ -> fail st "expected end of input");
+  e

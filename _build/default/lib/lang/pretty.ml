@@ -1,0 +1,75 @@
+open Ast
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let relop_str = function
+  | Req -> "=="
+  | Rne -> "!="
+  | Rlt -> "<"
+  | Rle -> "<="
+  | Rgt -> ">"
+  | Rge -> ">="
+
+let prec_of = function Add | Sub -> 1 | Mul | Div -> 2
+
+(* [ctx] is the precedence required by the context; parenthesize when
+   the node binds looser. Sub and Div are left-associative, so their
+   right operand needs one level more. *)
+let rec pp_prec ctx fmt e =
+  match e.desc with
+  | Int n ->
+    if n < 0 && ctx > 0 then Format.fprintf fmt "(%d)" n
+    else Format.pp_print_int fmt n
+  | Var v -> Format.pp_print_string fmt v
+  | Neg a ->
+    if ctx > 3 then Format.fprintf fmt "(-%a)" (pp_prec 4) a
+    else Format.fprintf fmt "-%a" (pp_prec 4) a
+  | Bin (op, a, b) ->
+    let p = prec_of op in
+    (* The grammar is left-associative, so a same-precedence right child
+       must be parenthesized to re-parse with the same structure. *)
+    let rp = p + 1 in
+    if ctx > p then
+      Format.fprintf fmt "(%a %s %a)" (pp_prec p) a (binop_str op) (pp_prec rp) b
+    else
+      Format.fprintf fmt "%a %s %a" (pp_prec p) a (binop_str op) (pp_prec rp) b
+  | Aref (name, subs) ->
+    Format.pp_print_string fmt name;
+    List.iter (fun s -> Format.fprintf fmt "[%a]" (pp_prec 0) s) subs
+
+let pp_expr fmt e = pp_prec 0 fmt e
+
+let pp_cond fmt { rel; lhs; rhs } =
+  Format.fprintf fmt "%a %s %a" pp_expr lhs (relop_str rel) pp_expr rhs
+
+let pp_lvalue fmt = function
+  | Lvar v -> Format.pp_print_string fmt v
+  | Larr (name, subs) ->
+    Format.pp_print_string fmt name;
+    List.iter (fun s -> Format.fprintf fmt "[%a]" pp_expr s) subs
+
+let rec pp_stmt fmt s =
+  match s.sdesc with
+  | Assign (lv, e) -> Format.fprintf fmt "@[<h>%a = %a@]" pp_lvalue lv pp_expr e
+  | Read name -> Format.fprintf fmt "read(%s)" name
+  | For { var; lo; hi; step; body } ->
+    Format.fprintf fmt "@[<v 2>for %s = %a to %a%a do@,%a@]@,end" var pp_expr lo
+      pp_expr hi
+      (fun fmt -> function
+         | None -> ()
+         | Some st -> Format.fprintf fmt " step %a" pp_expr st)
+      step pp_body body
+  | If (cond, then_, []) ->
+    Format.fprintf fmt "@[<v 2>if %a then@,%a@]@,end" pp_cond cond pp_body then_
+  | If (cond, then_, else_) ->
+    Format.fprintf fmt "@[<v 2>if %a then@,%a@]@,@[<v 2>else@,%a@]@,end" pp_cond
+      cond pp_body then_ pp_body else_
+
+and pp_body fmt body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt body
+
+let pp_program fmt prog =
+  Format.fprintf fmt "@[<v>%a@]" pp_body prog
+
+let program_to_string prog = Format.asprintf "%a@." pp_program prog
+let expr_to_string e = Format.asprintf "%a" pp_expr e

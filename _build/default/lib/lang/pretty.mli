@@ -1,0 +1,10 @@
+(** Pretty-printer for the mini-Fortran language. Output re-parses to a
+    structurally equal program (the parser/printer round-trip is
+    property-tested). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_cond : Format.formatter -> Ast.cond -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

@@ -1,0 +1,63 @@
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_FOR
+  | KW_TO
+  | KW_STEP
+  | KW_DO
+  | KW_END
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_READ
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EOF
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_FOR -> "for"
+  | KW_TO -> "to"
+  | KW_STEP -> "step"
+  | KW_DO -> "do"
+  | KW_END -> "end"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_READ -> "read"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | EOF -> "<eof>"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

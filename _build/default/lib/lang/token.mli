@@ -1,0 +1,35 @@
+(** Tokens of the mini-Fortran loop language. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_FOR
+  | KW_TO
+  | KW_STEP
+  | KW_DO
+  | KW_END
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_READ
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | ASSIGN  (** [=] *)
+  | EQ      (** [==] *)
+  | NE      (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | EOF
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

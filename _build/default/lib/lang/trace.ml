@@ -1,0 +1,80 @@
+type direction =
+  | Lt
+  | Eq
+  | Gt
+
+let pp_direction fmt d =
+  Format.pp_print_string fmt (match d with Lt -> "<" | Eq -> "=" | Gt -> ">")
+
+let compare_direction a b =
+  let rank = function Lt -> 0 | Eq -> 1 | Gt -> 2 in
+  Stdlib.compare (rank a) (rank b)
+
+type observation = {
+  dependent : bool;
+  directions : direction list list;
+  distances : int list list;
+}
+
+let common_loops (a : Interp.access) (b : Interp.access) =
+  let rec go xs ys =
+    match (xs, ys) with
+    | (vx, _) :: xs', (vy, _) :: ys' when String.equal vx vy -> vx :: go xs' ys'
+    | _ -> []
+  in
+  go a.iter b.iter
+
+let sort_uniq_vectors cmp vectors = List.sort_uniq (List.compare cmp) vectors
+
+let observe ?(fuel = -1) ?(inputs = []) prog ~site1 ~site2 =
+  let accesses = Interp.run ~fuel ~inputs prog in
+  let at site = List.filter (fun (a : Interp.access) -> Loc.equal a.site site) accesses in
+  let a1s = at site1 and a2s = at site2 in
+  let self = Loc.equal site1 site2 in
+  let directions = ref [] and distances = ref [] and dependent = ref false in
+  List.iter
+    (fun (a1 : Interp.access) ->
+       List.iter
+         (fun (a2 : Interp.access) ->
+            let same_cell =
+              String.equal a1.array a2.array && a1.indices = a2.indices
+            in
+            let same_instance = self && a1.time = a2.time in
+            if same_cell && not same_instance then begin
+              dependent := true;
+              let common = common_loops a1 a2 in
+              let n = List.length common in
+              let vals (a : Interp.access) =
+                List.filteri (fun i _ -> i < n) a.iter |> List.map snd
+              in
+              let v1 = vals a1 and v2 = vals a2 in
+              let dir =
+                List.map2
+                  (fun x y -> if x < y then Lt else if x = y then Eq else Gt)
+                  v1 v2
+              in
+              let dist = List.map2 (fun x y -> y - x) v1 v2 in
+              directions := dir :: !directions;
+              distances := dist :: !distances
+            end)
+         a2s)
+    a1s;
+  {
+    dependent = !dependent;
+    directions = sort_uniq_vectors compare_direction !directions;
+    distances = sort_uniq_vectors Stdlib.compare !distances;
+  }
+
+let all_site_pairs prog =
+  let refs = Ast.array_refs prog in
+  let arr = Array.of_list refs in
+  let out = ref [] in
+  for i = 0 to Array.length arr - 1 do
+    for j = i to Array.length arr - 1 do
+      let name1, _, role1, loc1 = arr.(i) in
+      let name2, _, role2, loc2 = arr.(j) in
+      if String.equal name1 name2 && (role1 = `Write || role2 = `Write) then
+        out := (loc1, loc2, name1) :: !out
+    done
+  done;
+  List.rev !out

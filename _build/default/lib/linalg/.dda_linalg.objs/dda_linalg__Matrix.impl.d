@@ -1,0 +1,1 @@
+lib/linalg/matrix.ml: Array Dda_numeric Format List Vec Zint

@@ -1,0 +1,226 @@
+open Dda_numeric
+
+type t = Zint.t array array
+
+let make r c = Array.init r (fun _ -> Array.make c Zint.zero)
+let of_int_rows rows = Array.map (Array.map Zint.of_int) rows
+let identity n =
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then Zint.one else Zint.zero))
+
+let copy m = Array.map Array.copy m
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && (let ok = ref true in
+      Array.iteri (fun i row -> Array.iteri (fun j x -> if not (Zint.equal x b.(i).(j)) then ok := false) row) a;
+      !ok)
+
+let transpose m =
+  let r = rows m and c = cols m in
+  Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Matrix.mul: dimension mismatch";
+  let n = rows a and p = cols b and k = cols a in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref Zint.zero in
+          for l = 0 to k - 1 do
+            acc := Zint.add !acc (Zint.mul a.(i).(l) b.(l).(j))
+          done;
+          !acc))
+
+let vec_mul x a =
+  if Array.length x <> rows a then invalid_arg "Matrix.vec_mul: dimension mismatch";
+  Array.init (cols a) (fun j ->
+      let acc = ref Zint.zero in
+      for i = 0 to Array.length x - 1 do
+        acc := Zint.add !acc (Zint.mul x.(i) a.(i).(j))
+      done;
+      !acc)
+
+(* Bareiss fraction-free elimination: every division is exact. *)
+let det m =
+  let n = rows m in
+  if n <> cols m then invalid_arg "Matrix.det: non-square matrix";
+  if n = 0 then Zint.one
+  else begin
+    let a = copy m in
+    let sign = ref 1 and prev = ref Zint.one in
+    let result = ref None in
+    (try
+       for k = 0 to n - 2 do
+         if Zint.is_zero a.(k).(k) then begin
+           (* Find a row to swap in. *)
+           let r = ref (-1) in
+           for i = k + 1 to n - 1 do
+             if !r < 0 && not (Zint.is_zero a.(i).(k)) then r := i
+           done;
+           if !r < 0 then begin result := Some Zint.zero; raise Exit end;
+           let tmp = a.(k) in
+           a.(k) <- a.(!r);
+           a.(!r) <- tmp;
+           sign := - !sign
+         end;
+         for i = k + 1 to n - 1 do
+           for j = k + 1 to n - 1 do
+             let v = Zint.sub (Zint.mul a.(i).(j) a.(k).(k)) (Zint.mul a.(i).(k) a.(k).(j)) in
+             a.(i).(j) <- Zint.divexact v !prev
+           done;
+           a.(i).(k) <- Zint.zero
+         done;
+         prev := a.(k).(k)
+       done
+     with Exit -> ());
+    match !result with
+    | Some z -> z
+    | None ->
+      let d = a.(n - 1).(n - 1) in
+      if !sign > 0 then d else Zint.neg d
+  end
+
+let leading_col row =
+  let n = Array.length row in
+  let rec go j = if j >= n then None else if Zint.is_zero row.(j) then go (j + 1) else Some j in
+  go 0
+
+let is_echelon m =
+  let r = rows m in
+  let rec go i prev seen_zero =
+    if i >= r then true
+    else
+      match leading_col m.(i) with
+      | None -> go (i + 1) prev true
+      | Some c -> (not seen_zero) && c > prev && go (i + 1) c false
+  in
+  go 0 (-1) false
+
+type factorization = {
+  u : t;
+  d : t;
+  rank : int;
+  pivots : (int * int) list;
+}
+
+(* Row operations applied in lockstep to [d] (being reduced) and [u]
+   (accumulating the elementary matrices), so that u . a = d holds
+   throughout. *)
+let swap_rows d u i j =
+  if i <> j then begin
+    let t = d.(i) in d.(i) <- d.(j); d.(j) <- t;
+    let t = u.(i) in u.(i) <- u.(j); u.(j) <- t
+  end
+
+let negate_row d u i =
+  d.(i) <- Array.map Zint.neg d.(i);
+  u.(i) <- Array.map Zint.neg u.(i)
+
+(* row i <- row i - q * row j, applied to both d and u *)
+let sub_mult d u i q j =
+  if not (Zint.is_zero q) then begin
+    let dj = d.(j) and di = d.(i) in
+    Array.iteri (fun k x -> di.(k) <- Zint.sub di.(k) (Zint.mul q x)) dj;
+    let uj = u.(j) and ui = u.(i) in
+    Array.iteri (fun k x -> ui.(k) <- Zint.sub ui.(k) (Zint.mul q x)) uj
+  end
+
+let unimodular_factor a =
+  let n = rows a and m = cols a in
+  let d = copy a in
+  let u = identity n in
+  let r = ref 0 in
+  let pivots = ref [] in
+  for c = 0 to m - 1 do
+    if !r < n then begin
+      (* Euclid on the column entries below and including row !r until a
+         single non-zero entry remains, then move it to row !r. *)
+      let continue_reduction = ref true in
+      while !continue_reduction do
+        (* Find row with minimal non-zero |entry| in column c among rows
+           !r .. n-1. *)
+        let best = ref (-1) in
+        for i = !r to n - 1 do
+          if not (Zint.is_zero d.(i).(c)) then
+            if !best < 0
+               || Zint.compare (Zint.abs d.(i).(c)) (Zint.abs d.(!best).(c)) < 0
+            then best := i
+        done;
+        if !best < 0 then continue_reduction := false (* column is all zero *)
+        else begin
+          swap_rows d u !r !best;
+          if Zint.is_negative d.(!r).(c) then negate_row d u !r;
+          let piv = d.(!r).(c) in
+          let all_zero = ref true in
+          for i = !r + 1 to n - 1 do
+            if not (Zint.is_zero d.(i).(c)) then begin
+              let q = Zint.fdiv d.(i).(c) piv in
+              sub_mult d u i q !r;
+              if not (Zint.is_zero d.(i).(c)) then all_zero := false
+            end
+          done;
+          if !all_zero then begin
+            (* Hermite-style: reduce the entries above the pivot to keep
+               coefficients small. *)
+            for i = 0 to !r - 1 do
+              let q = Zint.fdiv d.(i).(c) piv in
+              sub_mult d u i q !r
+            done;
+            pivots := (!r, c) :: !pivots;
+            incr r;
+            continue_reduction := false
+          end
+        end
+      done
+    end
+  done;
+  { u; d; rank = !r; pivots = List.rev !pivots }
+
+type solution = {
+  fixed : Vec.t;
+  nfree : int;
+}
+
+let solve_echelon ~d ~c =
+  let n = rows d and m = cols d in
+  if Array.length c <> m then invalid_arg "Matrix.solve_echelon: dimension mismatch";
+  let fixed = Vec.make n in
+  (* Leading column of each non-zero row, in row order. *)
+  let rank = ref 0 in
+  let piv_col = Array.make n (-1) in
+  Array.iteri
+    (fun i row ->
+       match leading_col row with
+       | Some col when !rank = i -> piv_col.(i) <- col; incr rank
+       | Some _ -> invalid_arg "Matrix.solve_echelon: matrix is not echelon"
+       | None -> ())
+    d;
+  let ok = ref true in
+  let next_pivot = ref 0 in
+  for j = 0 to m - 1 do
+    if !ok then begin
+      (* Accumulated contribution of already-determined parameters. *)
+      let acc = ref Zint.zero in
+      for i = 0 to !next_pivot - 1 do
+        acc := Zint.add !acc (Zint.mul fixed.(i) d.(i).(j))
+      done;
+      let residue = Zint.sub c.(j) !acc in
+      if !next_pivot < !rank && piv_col.(!next_pivot) = j then begin
+        let piv = d.(!next_pivot).(j) in
+        if Zint.divides piv residue then begin
+          fixed.(!next_pivot) <- Zint.divexact residue piv;
+          incr next_pivot
+        end
+        else ok := false (* divisibility failure: no integer solution *)
+      end
+      else if not (Zint.is_zero residue) then ok := false (* inconsistent *)
+    end
+  done;
+  if !ok then Some { fixed; nfree = n - !rank } else None
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Vec.pp)
+    (Array.to_list m)

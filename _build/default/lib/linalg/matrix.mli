@@ -1,0 +1,64 @@
+(** Dense integer matrices and the unimodular echelon factorization
+    underlying Banerjee's Extended GCD test.
+
+    Conventions follow the paper: solutions are {e row} vectors, the
+    subscript equality system is [x . A = c] with [A] an [n x m] matrix
+    ([n] variables, [m] equations), and the factorization produces a
+    unimodular [U] ([n x n]) and an echelon [D] ([n x m]) such that
+    [U . A = D]. Then [x . A = c] has an integer solution iff
+    [t . D = c] does, with [x = t . U]; because [D] is echelon the
+    latter is solved by simple forward substitution. *)
+
+open Dda_numeric
+
+type t = Zint.t array array
+(** Row-major; every row has the same length. Rows may alias — use
+    {!copy} before mutating. *)
+
+val make : int -> int -> t
+val of_int_rows : int array array -> t
+val identity : int -> t
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+val equal : t -> t -> bool
+val transpose : t -> t
+val mul : t -> t -> t
+val vec_mul : Vec.t -> t -> Vec.t
+(** [vec_mul x a] is the row-vector product [x . a]. *)
+
+val det : t -> Zint.t
+(** Determinant by fraction-free (Bareiss) elimination.
+    @raise Invalid_argument on a non-square matrix. *)
+
+val is_echelon : t -> bool
+(** True when the leading-entry column indices of the non-zero rows are
+    strictly increasing and all-zero rows come last. *)
+
+type factorization = {
+  u : t;  (** [n x n] unimodular *)
+  d : t;  (** [n x m] echelon with positive leading entries *)
+  rank : int;  (** number of non-zero rows of [d] *)
+  pivots : (int * int) list;  (** (row, column) of each leading entry *)
+}
+
+val unimodular_factor : t -> factorization
+(** Extended Gaussian elimination over the integers: gcd row reductions
+    recorded in [u] so that [u . a = d]. Leading entries are positive
+    and entries above each leading entry are reduced modulo it (Hermite
+    style), which keeps coefficients small. *)
+
+type solution = {
+  fixed : Vec.t;
+  (** Length [n]; entry [i < rank] is the forced value of [t_i], the
+      remaining entries are placeholders (zero) for the free
+      parameters. *)
+  nfree : int;  (** Number of free parameters, [n - rank]. *)
+}
+
+val solve_echelon : d:t -> c:Vec.t -> solution option
+(** Solve [t . D = c] for echelon [D] by forward substitution. [None]
+    means there is no integer solution (a divisibility or consistency
+    failure), which proves independence of the bounds-free problem. *)
+
+val pp : Format.formatter -> t -> unit

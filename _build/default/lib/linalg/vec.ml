@@ -1,0 +1,40 @@
+open Dda_numeric
+
+type t = Zint.t array
+
+let make n = Array.make n Zint.zero
+let of_int_array a = Array.map Zint.of_int a
+let of_list l = of_int_array (Array.of_list l)
+let copy = Array.copy
+let length = Array.length
+
+let equal a b =
+  Array.length a = Array.length b
+  && (let rec go i = i >= Array.length a || (Zint.equal a.(i) b.(i) && go (i + 1)) in
+      go 0)
+
+let is_zero a = Array.for_all Zint.is_zero a
+
+let map2 f a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec: length mismatch";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add = map2 Zint.add
+let sub = map2 Zint.sub
+let neg a = Array.map Zint.neg a
+let scale k a = Array.map (Zint.mul k) a
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.dot: length mismatch";
+  let acc = ref Zint.zero in
+  for i = 0 to Array.length a - 1 do
+    acc := Zint.add !acc (Zint.mul a.(i) b.(i))
+  done;
+  !acc
+
+let gcd a = Array.fold_left (fun g x -> Zint.gcd g x) Zint.zero a
+
+let pp fmt a =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") Zint.pp)
+    (Array.to_list a)

@@ -1,0 +1,27 @@
+(** Dense integer vectors over {!Dda_numeric.Zint}. *)
+
+open Dda_numeric
+
+type t = Zint.t array
+
+val make : int -> t
+(** Zero vector of the given length. *)
+
+val of_int_array : int array -> t
+val of_list : int list -> t
+val copy : t -> t
+val length : t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Zint.t -> t -> t
+
+val dot : t -> t -> Zint.t
+
+val gcd : t -> Zint.t
+(** Gcd of all entries (non-negative; zero for the zero vector). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numeric/ext_int.mli: Format Zint

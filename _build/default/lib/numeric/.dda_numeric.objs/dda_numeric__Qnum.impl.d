@@ -1,0 +1,1 @@
+lib/numeric/qnum.ml: Format Zint

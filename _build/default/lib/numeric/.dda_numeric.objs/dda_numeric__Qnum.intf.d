@@ -1,0 +1,1 @@
+lib/numeric/qnum.mli: Format Zint

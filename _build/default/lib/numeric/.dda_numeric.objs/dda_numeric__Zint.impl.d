@@ -1,0 +1,1 @@
+lib/numeric/zint.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,53 @@
+type t =
+  | Neg_inf
+  | Fin of Zint.t
+  | Pos_inf
+
+let neg_inf = Neg_inf
+let pos_inf = Pos_inf
+let fin z = Fin z
+let of_int n = Fin (Zint.of_int n)
+
+let is_finite = function Fin _ -> true | Neg_inf | Pos_inf -> false
+
+let to_zint = function Fin z -> Some z | Neg_inf | Pos_inf -> None
+
+let to_zint_exn = function
+  | Fin z -> z
+  | Neg_inf | Pos_inf -> failwith "Ext_int.to_zint_exn: infinite"
+
+let compare a b =
+  match (a, b) with
+  | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+  | Neg_inf, _ | _, Pos_inf -> -1
+  | _, Neg_inf | Pos_inf, _ -> 1
+  | Fin x, Fin y -> Zint.compare x y
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let add a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (Zint.add x y)
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> invalid_arg "Ext_int.add: -oo + +oo"
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+
+let neg = function
+  | Neg_inf -> Pos_inf
+  | Pos_inf -> Neg_inf
+  | Fin z -> Fin (Zint.neg z)
+
+let mul_zint k = function
+  | Fin z -> Fin (Zint.mul k z)
+  | (Neg_inf | Pos_inf) as inf ->
+    let s = Zint.sign k in
+    if s > 0 then inf
+    else if s < 0 then neg inf
+    else invalid_arg "Ext_int.mul_zint: zero times infinity"
+
+let pp fmt = function
+  | Neg_inf -> Format.pp_print_string fmt "-oo"
+  | Pos_inf -> Format.pp_print_string fmt "+oo"
+  | Fin z -> Zint.pp fmt z

@@ -1,0 +1,37 @@
+(** Integers extended with [-oo] and [+oo].
+
+    Variable bounds in dependence systems are frequently one-sided
+    (symbolic terms have no bounds at all), so the bound-tracking in the
+    SVPC and Acyclic tests works over this extended domain. *)
+
+type t =
+  | Neg_inf
+  | Fin of Zint.t
+  | Pos_inf
+
+val neg_inf : t
+val pos_inf : t
+val fin : Zint.t -> t
+val of_int : int -> t
+
+val is_finite : t -> bool
+val to_zint : t -> Zint.t option
+val to_zint_exn : t -> Zint.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val add : t -> t -> t
+(** @raise Invalid_argument on [-oo + +oo]. *)
+
+val neg : t -> t
+
+val mul_zint : Zint.t -> t -> t
+(** Multiplication by a non-zero finite integer; the sign of the
+    multiplier flips infinities.
+    @raise Invalid_argument when the multiplier is zero and the extended
+    value is infinite. *)
+
+val pp : Format.formatter -> t -> unit

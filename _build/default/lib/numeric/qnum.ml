@@ -1,0 +1,80 @@
+(* Canonical fractions: [den] is always positive and [gcd num den = 1];
+   zero is [0/1]. Canonicity makes structural equality and hashing
+   valid. *)
+
+type t = { num : Zint.t; den : Zint.t }
+
+let mk_canonical num den =
+  if Zint.is_zero den then raise Division_by_zero;
+  if Zint.is_zero num then { num = Zint.zero; den = Zint.one }
+  else begin
+    let num, den = if Zint.is_negative den then (Zint.neg num, Zint.neg den) else (num, den) in
+    let g = Zint.gcd num den in
+    if Zint.is_one g then { num; den }
+    else { num = Zint.divexact num g; den = Zint.divexact den g }
+  end
+
+let make = mk_canonical
+let of_zint z = { num = z; den = Zint.one }
+let of_int n = of_zint (Zint.of_int n)
+let of_ints n d = mk_canonical (Zint.of_int n) (Zint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num q = q.num
+let den q = q.den
+
+let is_zero q = Zint.is_zero q.num
+let is_negative q = Zint.is_negative q.num
+let is_positive q = Zint.is_positive q.num
+let is_integer q = Zint.is_one q.den
+let sign q = Zint.sign q.num
+
+let equal a b = Zint.equal a.num b.num && Zint.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (both denominators positive). *)
+  Zint.compare (Zint.mul a.num b.den) (Zint.mul b.num a.den)
+
+let hash q = (Zint.hash q.num * 31) + Zint.hash q.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg q = { q with num = Zint.neg q.num }
+let abs q = { q with num = Zint.abs q.num }
+
+let add a b =
+  mk_canonical
+    (Zint.add (Zint.mul a.num b.den) (Zint.mul b.num a.den))
+    (Zint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = mk_canonical (Zint.mul a.num b.num) (Zint.mul a.den b.den)
+
+let inv q =
+  if is_zero q then raise Division_by_zero;
+  mk_canonical q.den q.num
+
+let div a b = mul a (inv b)
+
+let floor q = Zint.fdiv q.num q.den
+let ceil q = Zint.cdiv q.num q.den
+
+let to_zint q = if is_integer q then Some q.num else None
+
+let to_zint_exn q =
+  match to_zint q with
+  | Some z -> z
+  | None -> failwith "Qnum.to_zint_exn: not an integer"
+
+let mid_integer lo hi =
+  let l = ceil lo and h = floor hi in
+  if Zint.compare l h > 0 then None
+  else Some (Zint.fdiv (Zint.add l h) Zint.two)
+
+let pp fmt q =
+  if is_integer q then Zint.pp fmt q.num
+  else Format.fprintf fmt "%a/%a" Zint.pp q.num Zint.pp q.den

@@ -1,0 +1,65 @@
+(** Exact rational numbers over {!Zint}.
+
+    Fourier-Motzkin elimination works over the rationals; using exact
+    rationals (rather than floats) keeps the "independent" verdicts it
+    produces sound for the integer dependence problem. Values are kept
+    canonical: the denominator is positive and the fraction is in lowest
+    terms, so [equal] and [compare] are cheap and [hash] is structural. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Zint.t -> Zint.t -> t
+(** [make num den] is [num/den] in canonical form.
+    @raise Division_by_zero when [den] is zero. *)
+
+val of_zint : Zint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+
+val num : t -> Zint.t
+val den : t -> Zint.t
+
+val is_zero : t -> bool
+val is_negative : t -> bool
+val is_positive : t -> bool
+val is_integer : t -> bool
+val sign : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val floor : t -> Zint.t
+(** Greatest integer [<=] the argument. *)
+
+val ceil : t -> Zint.t
+(** Least integer [>=] the argument. *)
+
+val to_zint : t -> Zint.t option
+(** [Some n] when the value is the integer [n]. *)
+
+val to_zint_exn : t -> Zint.t
+(** @raise Failure when the value is not an integer. *)
+
+val mid_integer : t -> t -> Zint.t option
+(** [mid_integer lo hi] is an integer near the middle of [[lo, hi]], or
+    [None] when the interval contains no integer. Used by the
+    Fourier-Motzkin back-substitution heuristic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,370 @@
+(* Sign-magnitude bignum. The magnitude is a little-endian array of
+   base-2^15 limbs with no leading (high-order) zero limb; zero is
+   represented by [sign = 0] and an empty magnitude, which makes the
+   representation canonical and lets [equal]/[compare]/[hash] be
+   structural. Base 2^15 keeps every intermediate product of two limbs
+   plus carries well inside a 63-bit native int. *)
+
+type t = { sign : int; mag : int array }
+
+let base = 32768
+let base_bits = 15
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned) helpers. All take/return canonical arrays.    *)
+(* ------------------------------------------------------------------ *)
+
+let mzero : int array = [||]
+
+let mnorm a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mis_zero a = Array.length a = 0
+
+let mcompare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec scan i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else scan (i - 1) in
+    scan (la - 1)
+
+let madd a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land (base - 1);
+    carry := s lsr base_bits
+  done;
+  mnorm r
+
+(* Requires [a >= b]. *)
+let msub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin r.(i) <- s + base; borrow := 1 end
+    else begin r.(i) <- s; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mnorm r
+
+let mmul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then mzero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land (base - 1);
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land (base - 1);
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    mnorm r
+  end
+
+(* Multiply by a small non-negative int (< 2^45 is safe; callers stay
+   far below that). *)
+let mmul_small a d =
+  if d = 0 || mis_zero a then mzero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 4) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * d) + !carry in
+      r.(i) <- s land (base - 1);
+      carry := s lsr base_bits
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      r.(!k) <- !carry land (base - 1);
+      carry := !carry lsr base_bits;
+      incr k
+    done;
+    mnorm r
+  end
+
+let madd_small a d =
+  if d = 0 then a
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    Array.blit a 0 r 0 la;
+    let carry = ref d in
+    let i = ref 0 in
+    while !carry <> 0 do
+      let s = r.(!i) + !carry in
+      r.(!i) <- s land (base - 1);
+      carry := s lsr base_bits;
+      incr i
+    done;
+    mnorm r
+  end
+
+(* Divide by a small positive int; returns quotient magnitude and the
+   int remainder. *)
+let mdivmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (mnorm q, !rem)
+
+let mbits a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let b = ref 0 and v = ref top in
+    while !v > 0 do incr b; v := !v lsr 1 done;
+    ((la - 1) * base_bits) + !b
+  end
+
+let mgetbit a i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length a then 0 else (a.(limb) lsr off) land 1
+
+let mshl1_plus a bit =
+  let la = Array.length a in
+  let r = Array.make (la + 1) 0 in
+  let carry = ref bit in
+  for i = 0 to la - 1 do
+    let s = (a.(i) lsl 1) lor !carry in
+    r.(i) <- s land (base - 1);
+    carry := s lsr base_bits
+  done;
+  r.(la) <- !carry;
+  mnorm r
+
+(* Schoolbook binary long division on magnitudes: adequate for the small
+   operands dependence systems produce. Requires [b] non-zero. *)
+let mdivmod a b =
+  if mcompare a b < 0 then (mzero, a)
+  else if Array.length b = 1 then begin
+    let q, r = mdivmod_small a b.(0) in
+    (q, if r = 0 then mzero else [| r |])
+  end
+  else begin
+    let nbits = mbits a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref mzero in
+    for i = nbits - 1 downto 0 do
+      r := mshl1_plus !r (mgetbit a i);
+      if mcompare !r b >= 0 then begin
+        r := msub !r b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (mnorm q, !r)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk sign mag = if mis_zero mag then { sign = 0; mag = mzero } else { sign; mag }
+
+let zero = { sign = 0; mag = mzero }
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* Work with negative residues so that [min_int] is handled. *)
+    let n = if n > 0 then -n else n in
+    let buf = Array.make 5 0 in
+    let rec go n i =
+      if n = 0 then i
+      else begin
+        buf.(i) <- -(n mod base);
+        go (n / base) (i + 1)
+      end
+    in
+    let len = go n 0 in
+    mk sign (Array.sub buf 0 len)
+  end
+
+let sign z = z.sign
+let is_zero z = z.sign = 0
+let is_negative z = z.sign < 0
+let is_positive z = z.sign > 0
+let is_one z = z.sign = 1 && Array.length z.mag = 1 && z.mag.(0) = 1
+
+let equal a b = a.sign = b.sign && mcompare a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mcompare a.mag b.mag
+  else mcompare b.mag a.mag
+
+let hash z =
+  let h = ref (z.sign + 0x9e37) in
+  Array.iter (fun limb -> h := (!h * 31) + limb) z.mag;
+  !h land max_int
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let neg z = mk (-z.sign) z.mag
+let abs z = mk (Stdlib.abs z.sign) z.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (madd a.mag b.mag)
+  else begin
+    let c = mcompare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (msub a.mag b.mag)
+    else mk b.sign (msub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = mk (a.sign * b.sign) (mmul a.mag b.mag)
+
+let mul_int a d =
+  if d >= 0 && d < base then mk a.sign (mmul_small a.mag d)
+  else mul a (of_int d)
+
+let succ z = add z one
+let pred z = sub z one
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = mdivmod a.mag b.mag in
+  (mk (a.sign * b.sign) qm, mk a.sign rm)
+
+let div_trunc a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let fdiv a b =
+  let q, r = divmod a b in
+  (* Truncated division rounds toward zero; floor rounds toward -inf. *)
+  if is_zero r || sign r = sign b then q else pred q
+
+let cdiv a b =
+  let q, r = divmod a b in
+  if is_zero r || sign r <> sign b then q else succ q
+
+let divexact a b =
+  let q, r = divmod a b in
+  if not (is_zero r) then failwith "Zint.divexact: inexact division";
+  q
+
+let divides d n = if is_zero d then is_zero n else is_zero (rem n d)
+
+let rec gcd_mag a b = if mis_zero b then a else gcd_mag b (snd (mdivmod a b))
+
+let gcd a b = mk 1 (gcd_mag a.mag b.mag)
+
+let ext_gcd a b =
+  (* Invariants: r0 = a*x0 + b*y0, r1 = a*x1 + b*y1. *)
+  let rec go r0 x0 y0 r1 x1 y1 =
+    if is_zero r1 then (r0, x0, y0)
+    else begin
+      let q = div_trunc r0 r1 in
+      go r1 x1 y1 (sub r0 (mul q r1)) (sub x0 (mul q x1)) (sub y0 (mul q y1))
+    end
+  in
+  let g, x, y = go a one zero b zero one in
+  if is_negative g then (neg g, neg x, neg y) else (g, x, y)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero else abs (mul (divexact a (gcd a b)) b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Zint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  go one b e
+
+let to_int z =
+  (* Values need at most 62 bits of magnitude to fit; reconstruct and
+     guard the only corner, [min_int] itself. *)
+  let b = mbits z.mag in
+  if b > 63 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    (try
+       for i = Array.length z.mag - 1 downto 0 do
+         if !v > (max_int - z.mag.(i)) / base then begin ok := false; raise Exit end;
+         v := (!v * base) + z.mag.(i)
+       done
+     with Exit -> ());
+    if !ok then Some (if z.sign < 0 then - !v else !v)
+    else if z.sign < 0 && b = 63 && mcompare z.mag (of_int Stdlib.min_int).mag = 0 then
+      Some Stdlib.min_int
+    else None
+  end
+
+let to_int_exn z =
+  match to_int z with
+  | Some n -> n
+  | None -> failwith "Zint.to_int_exn: value does not fit in an int"
+
+let to_string z =
+  if is_zero z then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec chunks m acc =
+      if mis_zero m then acc
+      else begin
+        let q, r = mdivmod_small m 10000 in
+        chunks q (r :: acc)
+      end
+    in
+    (match chunks z.mag [] with
+     | [] -> assert false
+     | first :: rest ->
+       if z.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Zint.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= n then invalid_arg "Zint.of_string: missing digits";
+  let mag = ref mzero in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Zint.of_string: invalid digit";
+    mag := madd_small (mmul_small !mag 10) (Char.code c - Char.code '0')
+  done;
+  mk sign !mag
+
+let pp fmt z = Format.pp_print_string fmt (to_string z)

@@ -1,0 +1,102 @@
+(** Arbitrary-precision integers.
+
+    Dependence testing must be exact: Fourier-Motzkin elimination and
+    unimodular row reduction can grow coefficients past the native word
+    size, and a silent wrap-around would turn an "independent" verdict
+    into a miscompilation. [Zint] is a small, self-contained bignum with
+    sign-magnitude representation (little-endian base-2^15 limbs), sized
+    for the modest magnitudes dependence systems produce.
+
+    All functions are pure; values are immutable and canonical (no
+    leading zero limbs; zero has an empty magnitude). *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int z] is [Some n] when [z] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optionally ['-']/['+']-prefixed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_negative : t -> bool
+val is_positive : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division (like OCaml's [/] and [mod]): the quotient is
+    rounded toward zero and the remainder has the sign of the dividend.
+    @raise Division_by_zero on a zero divisor. *)
+
+val div_trunc : t -> t -> t
+val rem : t -> t -> t
+
+val fdiv : t -> t -> t
+(** Floor division: largest integer [q] with [q * b <= a] (for [b > 0]).
+    Used to tighten upper bounds [a*x <= c  ==>  x <= fdiv c a]. *)
+
+val cdiv : t -> t -> t
+(** Ceiling division: smallest integer [q] with [q * b >= a] (for
+    [b > 0]). Used to tighten lower bounds. *)
+
+val divexact : t -> t -> t
+(** Division known to be exact.
+    @raise Failure if the division leaves a remainder. *)
+
+val divides : t -> t -> bool
+(** [divides d n] is true when [d] divides [n]. [divides zero n] is
+    [n = 0]. *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val ext_gcd : t -> t -> t * t * t
+(** [ext_gcd a b] is [(g, x, y)] with [g = gcd a b >= 0] and
+    [a*x + b*y = g]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative [e]. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/passes/const_prop.ml: Ast Dda_lang Expr_util List Map Option String

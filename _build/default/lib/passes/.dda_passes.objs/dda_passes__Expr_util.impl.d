@@ -1,0 +1,1 @@
+lib/passes/expr_util.ml: Ast Dda_lang Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/passes/expr_util.mli: Ast Dda_lang

@@ -1,0 +1,1 @@
+lib/passes/forward_subst.ml: Ast Dda_lang Expr_util List Map Option String

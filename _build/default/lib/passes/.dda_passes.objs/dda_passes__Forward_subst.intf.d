@@ -1,0 +1,1 @@
+lib/passes/forward_subst.mli: Dda_lang

@@ -1,0 +1,1 @@
+lib/passes/induction.ml: Ast Dda_lang Expr_util Fun List Map String

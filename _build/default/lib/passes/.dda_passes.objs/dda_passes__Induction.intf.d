@@ -1,0 +1,1 @@
+lib/passes/induction.mli: Dda_lang

@@ -1,0 +1,1 @@
+lib/passes/normalize.ml: Ast Dda_lang Expr_util Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Ast Const_prop Dda_lang Forward_subst Induction List Normalize

@@ -1,0 +1,58 @@
+open Dda_lang
+
+module Env = Map.Make (String)
+
+(* The environment maps scalars to known constant values. *)
+
+let lookup env v =
+  match Env.find_opt v env with Some n -> Some (Ast.int_ n) | None -> None
+
+let rewrite env e = Expr_util.subst (lookup env) e
+
+let rec prop_stmt env (s : Ast.stmt) : Ast.stmt * int Env.t =
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v, e) ->
+    let e = rewrite env e in
+    let env =
+      match e.desc with
+      | Ast.Int n when Expr_util.is_pure_scalar e -> Env.add v n env
+      | _ -> Env.remove v env
+    in
+    ({ s with sdesc = Ast.Assign (Ast.Lvar v, e) }, env)
+  | Ast.Assign (Ast.Larr (name, subs), e) ->
+    let subs = List.map (rewrite env) subs in
+    let e = rewrite env e in
+    ({ s with sdesc = Ast.Assign (Ast.Larr (name, subs), e) }, env)
+  | Ast.Read v -> (s, Env.remove v env)
+  | Ast.If (cond, then_, else_) ->
+    let cond =
+      { cond with Ast.lhs = rewrite env cond.Ast.lhs; rhs = rewrite env cond.Ast.rhs }
+    in
+    let then_, env_t = prop_stmts env then_ in
+    let else_, env_e = prop_stmts env else_ in
+    (* Keep facts that hold on both paths. *)
+    let env' =
+      Env.merge
+        (fun _ a b ->
+           match (a, b) with Some x, Some y when x = y -> Some x | _ -> None)
+        env_t env_e
+    in
+    ({ s with sdesc = Ast.If (cond, then_, else_) }, env')
+  | Ast.For ({ var; lo; hi; step; body } as l) ->
+    let lo = rewrite env lo and hi = rewrite env hi in
+    let step = Option.map (rewrite env) step in
+    (* Anything the body assigns (and the loop variable) is unknown both
+       inside the body and after the loop. *)
+    let killed = var :: Expr_util.assigned_vars body in
+    let env_in = List.fold_left (fun m v -> Env.remove v m) env killed in
+    let body, _ = prop_stmts env_in body in
+    ({ s with sdesc = Ast.For { l with lo; hi; step; body } }, env_in)
+
+and prop_stmts env = function
+  | [] -> ([], env)
+  | s :: rest ->
+    let s, env = prop_stmt env s in
+    let rest, env = prop_stmts env rest in
+    (s :: rest, env)
+
+let run prog = fst (prop_stmts Env.empty prog)

@@ -1,0 +1,11 @@
+(** Constant propagation.
+
+    Tracks scalar variables with known constant values through
+    straight-line code, folds them into expressions, and constant-folds
+    the result. Loop bodies invalidate every scalar they assign (the
+    induction-variable pass handles the interesting loop-carried case);
+    conditionals keep only facts that hold on both branches. [read]
+    kills its target. The transformation preserves program semantics
+    and the access trace shape. *)
+
+val run : Dda_lang.Ast.program -> Dda_lang.Ast.program

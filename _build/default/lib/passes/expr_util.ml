@@ -1,0 +1,186 @@
+open Dda_lang
+
+let rec const_fold (e : Ast.expr) : Ast.expr =
+  let mk desc = { e with Ast.desc } in
+  match e.desc with
+  | Ast.Int _ | Ast.Var _ -> e
+  | Ast.Neg a -> (
+      match (const_fold a).desc with
+      | Ast.Int n -> mk (Ast.Int (-n))
+      | Ast.Neg b -> b.Ast.desc |> mk
+      | _ as d -> mk (Ast.Neg (mk d)))
+  | Ast.Aref (name, subs) -> mk (Ast.Aref (name, List.map const_fold subs))
+  | Ast.Bin (op, a, b) -> (
+      let a = const_fold a and b = const_fold b in
+      match (op, a.desc, b.desc) with
+      | Ast.Add, Ast.Int x, Ast.Int y -> mk (Ast.Int (x + y))
+      | Ast.Sub, Ast.Int x, Ast.Int y -> mk (Ast.Int (x - y))
+      | Ast.Mul, Ast.Int x, Ast.Int y -> mk (Ast.Int (x * y))
+      | Ast.Div, Ast.Int x, Ast.Int y when y <> 0 -> mk (Ast.Int (x / y))
+      | Ast.Add, Ast.Int 0, _ -> b
+      | Ast.Add, _, Ast.Int 0 -> a
+      | Ast.Sub, _, Ast.Int 0 -> a
+      | Ast.Mul, Ast.Int 1, _ -> b
+      | Ast.Mul, _, Ast.Int 1 -> a
+      | Ast.Mul, Ast.Int 0, _ when no_arrays b -> mk (Ast.Int 0)
+      | Ast.Mul, _, Ast.Int 0 when no_arrays a -> mk (Ast.Int 0)
+      | Ast.Div, _, Ast.Int 1 -> a
+      | _ -> mk (Ast.Bin (op, a, b)))
+
+(* [e * 0 = 0] is only valid when [e] has no side effect on the trace;
+   array reads are observable accesses, so keep them. *)
+and no_arrays (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int _ | Ast.Var _ -> true
+  | Ast.Neg a -> no_arrays a
+  | Ast.Bin (_, a, b) -> no_arrays a && no_arrays b
+  | Ast.Aref _ -> false
+
+let const_value e =
+  match (const_fold e).desc with Ast.Int n -> Some n | _ -> None
+
+(* Linear canonicalization: fold the expression into
+   [sum coeff_i * atom_i + const]. Pure scalar atoms merge (and cancel)
+   by structural equality; atoms that read arrays stay one-for-one so
+   the access trace is untouched. *)
+let rec linearize (e : Ast.expr) : Ast.expr =
+  (* (coeff ref, atom, pure), in first-occurrence order (reversed). *)
+  let terms : (int ref * Ast.expr * bool) list ref = ref [] in
+  let const = ref 0 in
+  let add_term coeff atom =
+    let pure = no_arrays atom in
+    let merged =
+      pure
+      && List.exists
+           (fun (c, a, p) ->
+              if p && Ast.equal_expr a atom then begin
+                c := !c + coeff;
+                true
+              end
+              else false)
+           !terms
+    in
+    if not merged then terms := (ref coeff, atom, pure) :: !terms
+  in
+  let rec go sign (e : Ast.expr) =
+    match e.desc with
+    | Ast.Int n -> const := !const + (sign * n)
+    | Ast.Var _ -> add_term sign e
+    | Ast.Neg a -> go (-sign) a
+    | Ast.Bin (Ast.Add, a, b) ->
+      go sign a;
+      go sign b
+    | Ast.Bin (Ast.Sub, a, b) ->
+      go sign a;
+      go (-sign) b
+    | Ast.Bin (Ast.Mul, a, b) -> (
+        (* Multiplication by a constant distributes exactly over the
+           integers; anything else is an opaque atom. *)
+        match (const_value a, const_value b) with
+        | Some k, _ -> go (sign * k) b
+        | None, Some k -> go (sign * k) a
+        | None, None ->
+          add_term sign { e with desc = Ast.Bin (Ast.Mul, linearize a, linearize b) })
+    | Ast.Bin (Ast.Div, a, b) ->
+      (* Truncating division does not distribute; linearize inside. *)
+      add_term sign { e with desc = Ast.Bin (Ast.Div, linearize a, linearize b) }
+    | Ast.Aref (name, subs) ->
+      add_term sign { e with desc = Ast.Aref (name, List.map linearize subs) }
+  in
+  go 1 e;
+  let kept =
+    List.rev !terms
+    |> List.filter (fun (c, _, pure) -> (not pure) || !c <> 0)
+  in
+  match kept with
+  | [] -> Ast.int_ !const
+  | (c0, a0, _) :: rest ->
+    let head =
+      if !c0 = 1 then a0
+      else if !c0 = -1 then Ast.neg a0
+      else Ast.bin Ast.Mul (Ast.int_ !c0) a0
+    in
+    let acc =
+      List.fold_left
+        (fun acc (c, a, _) ->
+           if !c = 1 then Ast.bin Ast.Add acc a
+           else if !c = -1 then Ast.bin Ast.Sub acc a
+           else if !c >= 0 then Ast.bin Ast.Add acc (Ast.bin Ast.Mul (Ast.int_ !c) a)
+           else Ast.bin Ast.Sub acc (Ast.bin Ast.Mul (Ast.int_ (- !c)) a))
+        head rest
+    in
+    if !const > 0 then Ast.bin Ast.Add acc (Ast.int_ !const)
+    else if !const < 0 then Ast.bin Ast.Sub acc (Ast.int_ (- !const))
+    else acc
+
+let rec subst_raw lookup (e : Ast.expr) : Ast.expr =
+  let mk desc = { e with Ast.desc } in
+  match e.desc with
+  | Ast.Int _ -> e
+  | Ast.Var v -> (
+      match lookup v with Some e' -> e' | None -> e)
+  | Ast.Neg a -> mk (Ast.Neg (subst_raw lookup a))
+  | Ast.Bin (op, a, b) -> mk (Ast.Bin (op, subst_raw lookup a, subst_raw lookup b))
+  | Ast.Aref (name, subs) -> mk (Ast.Aref (name, List.map (subst_raw lookup) subs))
+
+let subst lookup e = linearize (const_fold (subst_raw lookup e))
+
+let is_pure_scalar = no_arrays
+
+let assigned_vars stmts =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  let rec go (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.Assign (Ast.Lvar v, _) -> note v
+    | Ast.Assign (Ast.Larr _, _) -> ()
+    | Ast.Read v -> note v
+    | Ast.If (_, t, e) ->
+      List.iter go t;
+      List.iter go e
+    | Ast.For { var; body; _ } ->
+      note var;
+      List.iter go body
+  in
+  List.iter go stmts;
+  List.rev !out
+
+let rec uses_var v (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int _ -> false
+  | Ast.Var x -> String.equal x v
+  | Ast.Neg a -> uses_var v a
+  | Ast.Bin (_, a, b) -> uses_var v a || uses_var v b
+  | Ast.Aref (_, subs) -> List.exists (uses_var v) subs
+
+let rec map_stmt_exprs f (s : Ast.stmt) : Ast.stmt =
+  let mk sdesc = { s with Ast.sdesc } in
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v, e) -> mk (Ast.Assign (Ast.Lvar v, f e))
+  | Ast.Assign (Ast.Larr (name, subs), e) ->
+    mk (Ast.Assign (Ast.Larr (name, List.map f subs), f e))
+  | Ast.Read _ -> s
+  | Ast.If (cond, t, e) ->
+    mk
+      (Ast.If
+         ( { cond with Ast.lhs = f cond.Ast.lhs; rhs = f cond.Ast.rhs },
+           List.map (map_stmt_exprs f) t,
+           List.map (map_stmt_exprs f) e ))
+  | Ast.For ({ lo; hi; step; body; _ } as l) ->
+    mk
+      (Ast.For
+         {
+           l with
+           lo = f lo;
+           hi = f hi;
+           step = Option.map f step;
+           body = List.map (map_stmt_exprs f) body;
+         })
+
+let map_program_exprs f prog = List.map (map_stmt_exprs f) prog

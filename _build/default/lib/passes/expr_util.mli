@@ -1,0 +1,40 @@
+(** Shared expression utilities for the optimizer passes. *)
+
+open Dda_lang
+
+val const_fold : Ast.expr -> Ast.expr
+(** Bottom-up constant folding with algebraic identities ([e + 0],
+    [e * 1], [e * 0], [e - 0], [e / 1], double negation). Division is
+    folded only when the divisor is a non-zero constant and, for a
+    constant dividend, only exactly as truncating division. *)
+
+val linearize : Ast.expr -> Ast.expr
+(** Canonicalize the additive structure: collect the expression as an
+    integer linear combination of atoms (variables and opaque subtrees)
+    plus a constant, merging and cancelling pure scalar atoms
+    ([i - 1 + 1] becomes [i], [(n + 1) * 2] becomes [2 * n + 2]) and
+    re-emitting deterministically. Atoms that read arrays are kept
+    one-for-one — never merged, cancelled or dropped — so the access
+    trace is preserved exactly. *)
+
+val const_value : Ast.expr -> int option
+(** [Some n] when the expression folds to the literal [n]. *)
+
+val subst : (string -> Ast.expr option) -> Ast.expr -> Ast.expr
+(** Substitute scalar variables; array names are untouched, and
+    substitution descends into subscripts. The result is re-folded. *)
+
+val is_pure_scalar : Ast.expr -> bool
+(** True when the expression contains no array reference (its value
+    depends only on scalar state). *)
+
+val assigned_vars : Ast.stmt list -> string list
+(** Scalars assigned (or [read]) anywhere in the statements, including
+    loop variables of contained loops; no duplicates. *)
+
+val uses_var : string -> Ast.expr -> bool
+
+val map_program_exprs : (Ast.expr -> Ast.expr) -> Ast.program -> Ast.program
+(** Rewrites every expression position of the program (subscripts,
+    bounds, right-hand sides, conditions) with [f]. Statement structure
+    is preserved. *)

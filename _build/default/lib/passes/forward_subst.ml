@@ -1,0 +1,62 @@
+open Dda_lang
+
+module Env = Map.Make (String)
+
+(* Bindings map a scalar to the pure scalar expression that defines it,
+   already rewritten in terms of base variables. A binding dies when
+   its variable or any variable it mentions is redefined. *)
+
+let kill_var v env =
+  Env.filter (fun key e -> (not (String.equal key v)) && not (Expr_util.uses_var v e)) env
+
+let kill_vars vs env = List.fold_left (fun m v -> kill_var v m) env vs
+
+let rewrite env e = Expr_util.subst (fun v -> Env.find_opt v env) e
+
+let rec fs_stmt env (s : Ast.stmt) : Ast.stmt * Ast.expr Env.t =
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v, e) ->
+    let e = rewrite env e in
+    let env = kill_var v env in
+    let env =
+      if Expr_util.is_pure_scalar e && not (Expr_util.uses_var v e) then
+        Env.add v e env
+      else env
+    in
+    ({ s with sdesc = Ast.Assign (Ast.Lvar v, e) }, env)
+  | Ast.Assign (Ast.Larr (name, subs), e) ->
+    let subs = List.map (rewrite env) subs in
+    let e = rewrite env e in
+    ({ s with sdesc = Ast.Assign (Ast.Larr (name, subs), e) }, env)
+  | Ast.Read v -> (s, kill_var v env)
+  | Ast.If (cond, then_, else_) ->
+    let cond =
+      { cond with Ast.lhs = rewrite env cond.Ast.lhs; rhs = rewrite env cond.Ast.rhs }
+    in
+    let then_, env_t = fs_stmts env then_ in
+    let else_, env_e = fs_stmts env else_ in
+    let env' =
+      Env.merge
+        (fun _ a b ->
+           match (a, b) with
+           | Some x, Some y when Ast.equal_expr x y -> Some x
+           | _ -> None)
+        env_t env_e
+    in
+    ({ s with sdesc = Ast.If (cond, then_, else_) }, env')
+  | Ast.For ({ var; lo; hi; step; body } as l) ->
+    let lo = rewrite env lo and hi = rewrite env hi in
+    let step = Option.map (rewrite env) step in
+    let killed = var :: Expr_util.assigned_vars body in
+    let env_in = kill_vars killed env in
+    let body, _ = fs_stmts env_in body in
+    ({ s with sdesc = Ast.For { l with lo; hi; step; body } }, env_in)
+
+and fs_stmts env = function
+  | [] -> ([], env)
+  | s :: rest ->
+    let s, env = fs_stmt env s in
+    let rest, env = fs_stmts env rest in
+    (s :: rest, env)
+
+let run prog = fst (fs_stmts Env.empty prog)

@@ -1,0 +1,189 @@
+open Dda_lang
+
+module Env = Map.Make (String)
+
+(* [v = v + c] / [v = c + v] / [v = v - c] at the top level of a loop
+   body; returns the increment constant. *)
+let increment_of v (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v', e) when String.equal v v' -> (
+      match (Expr_util.const_fold e).desc with
+      | Ast.Bin (Ast.Add, { desc = Ast.Var x; _ }, { desc = Ast.Int c; _ })
+        when String.equal x v -> Some c
+      | Ast.Bin (Ast.Add, { desc = Ast.Int c; _ }, { desc = Ast.Var x; _ })
+        when String.equal x v -> Some c
+      | Ast.Bin (Ast.Sub, { desc = Ast.Var x; _ }, { desc = Ast.Int c; _ })
+        when String.equal x v -> Some (-c)
+      | _ -> None)
+  | _ -> None
+
+(* Count assignments/reads targeting [v] in a statement tree. *)
+let rec writes_to v (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v', _) -> if String.equal v v' then 1 else 0
+  | Ast.Read v' -> if String.equal v v' then 1 else 0
+  | Ast.Assign (Ast.Larr _, _) -> 0
+  | Ast.If (_, t, e) -> writes_in v t + writes_in v e
+  | Ast.For { var; body; _ } ->
+    (if String.equal var v then 1 else 0) + writes_in v body
+
+and writes_in v stmts = List.fold_left (fun n s -> n + writes_to v s) 0 stmts
+
+type candidate = {
+  pos : int;  (* index of the increment statement in the body *)
+  ivar : string;
+  inc : int;
+  base : Ast.expr;  (* entry value of [ivar] *)
+}
+
+let find_candidates env ~loop_var ~body =
+  let assigned_in_body = Expr_util.assigned_vars body in
+  List.mapi (fun pos s -> (pos, s)) body
+  |> List.filter_map (fun (pos, s) ->
+      match s.Ast.sdesc with
+      | Ast.Assign (Ast.Lvar v, _) -> (
+          match increment_of v s with
+          | Some inc when inc <> 0 && writes_in v body = 1 ->
+            (* Entry value: a known pure definition that stays valid
+               through the loop, else the (now invariant) variable
+               itself. *)
+            let base =
+              match Env.find_opt v env with
+              | Some e
+                when Expr_util.is_pure_scalar e
+                     && (not (Expr_util.uses_var loop_var e))
+                     && not
+                          (List.exists
+                             (fun w -> Expr_util.uses_var w e)
+                             assigned_in_body) -> e
+              | Some _ | None -> Ast.var v
+            in
+            Some { pos; ivar = v; inc; base }
+          | Some _ | None -> None)
+      | _ -> None)
+
+let simplify e = Expr_util.linearize (Expr_util.const_fold e)
+
+let mul_const c e = if c = 1 then e else simplify (Ast.bin Ast.Mul (Ast.int_ c) e)
+let add_ a b = simplify (Ast.bin Ast.Add a b)
+let sub_ a b = simplify (Ast.bin Ast.Sub a b)
+
+(* Value of the induction variable in the iteration where the loop
+   variable equals [i], after [k_extra] executions of the increment in
+   the current iteration. *)
+let value_at cand ~loop_var ~lo ~k_extra =
+  let trips = add_ (sub_ (Ast.var loop_var) lo) (Ast.int_ k_extra) in
+  add_ cand.base (mul_const cand.inc trips)
+
+let subst_var v formula stmt =
+  Expr_util.map_program_exprs
+    (Expr_util.subst (fun x -> if String.equal x v then Some formula else None))
+    [ stmt ]
+  |> List.hd
+
+let apply_candidate ~loop_var ~lo cand body =
+  List.mapi
+    (fun pos s ->
+       if pos = cand.pos then None
+       else begin
+         let k_extra = if pos < cand.pos then 0 else 1 in
+         let formula = value_at cand ~loop_var ~lo ~k_extra in
+         Some (subst_var cand.ivar formula s)
+       end)
+    body
+  |> List.filter_map Fun.id
+
+(* Guarded final assignment preserving the post-loop value (zero-trip
+   loops leave the variable at its entry value). *)
+let final_assign cand ~lo ~hi =
+  let trips = add_ (sub_ hi lo) (Ast.int_ 1) in
+  let final = add_ cand.base (mul_const cand.inc trips) in
+  Ast.if_
+    { Ast.rel = Ast.Rge; lhs = hi; rhs = lo }
+    [ Ast.assign (Ast.Lvar cand.ivar) final ]
+    []
+
+let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
+  match s.sdesc with
+  | Ast.Assign (Ast.Lvar v, e) ->
+    let env = Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v env) in
+    let env =
+      if Expr_util.is_pure_scalar e && not (Expr_util.uses_var v e) then
+        Env.add v (Expr_util.const_fold e) env
+      else env
+    in
+    ([ s ], env)
+  | Ast.Assign (Ast.Larr _, _) -> ([ s ], env)
+  | Ast.Read v ->
+    ([ s ], Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v env))
+  | Ast.If (cond, then_, else_) ->
+    let then_, _ = ind_stmts env then_ in
+    let else_, _ = ind_stmts env else_ in
+    (* Conservatively drop facts invalidated by either branch. *)
+    let killed = Expr_util.assigned_vars (then_ @ else_) in
+    let env =
+      List.fold_left
+        (fun m v ->
+           Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v m))
+        env killed
+    in
+    ([ { s with sdesc = Ast.If (cond, then_, else_) } ], env)
+  | Ast.For ({ var; lo; hi; step; body } as l) ->
+    let killed = var :: Expr_util.assigned_vars body in
+    let env_in =
+      List.fold_left
+        (fun m v ->
+           Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v m))
+        env killed
+    in
+    (* Transform nested loops first. *)
+    let body, _ = ind_stmts env_in body in
+    let unit_step =
+      match step with
+      | None -> true
+      | Some e -> Expr_util.const_value e = Some 1
+    in
+    (* The guarded final assignment re-evaluates the bounds after the
+       loop, so they must be pure and loop-invariant. *)
+    let invariant e =
+      Expr_util.is_pure_scalar e
+      && (not (Expr_util.uses_var var e))
+      && not (List.exists (fun w -> Expr_util.uses_var w e) (Expr_util.assigned_vars body))
+    in
+    let bounds_pure = invariant lo && invariant hi in
+    (* A body that reassigns (shadows) the loop variable would make the
+       substitution formulas read the clobbered value. *)
+    let var_stable = not (List.mem var (Expr_util.assigned_vars body)) in
+    if not (unit_step && bounds_pure && var_stable) then
+      ([ { s with sdesc = Ast.For { l with body } } ], env_in)
+    else begin
+      (* [env] (pre-kill) holds entry values; candidates whose variable
+         has a stable definition there fold it in. Apply one candidate
+         at a time and re-detect, so statement positions stay honest
+         after the increment statement is removed. *)
+      let rec apply_all body =
+        match find_candidates env ~loop_var:var ~body with
+        | [] -> (body, [])
+        | cand :: _ ->
+          let body' = apply_candidate ~loop_var:var ~lo cand body in
+          let body'', finals = apply_all body' in
+          (body'', final_assign cand ~lo ~hi :: finals)
+      in
+      let body, finals = apply_all body in
+      ( { s with sdesc = Ast.For { l with body } } :: finals,
+        (* The finals assign induction variables; drop them from env. *)
+        List.fold_left
+          (fun m v ->
+             Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v m))
+          env_in
+          (Expr_util.assigned_vars finals) )
+    end
+
+and ind_stmts env = function
+  | [] -> ([], env)
+  | s :: rest ->
+    let ss, env = ind_stmt env s in
+    let rest, env = ind_stmts env rest in
+    (ss @ rest, env)
+
+let run prog = fst (ind_stmts Env.empty prog)

@@ -1,0 +1,24 @@
+(** Induction-variable substitution.
+
+    Recognizes scalars incremented by a loop-invariant constant exactly
+    once per iteration of a unit-step loop
+    ([iz = iz + 2] in the paper's section 8 example) and rewrites their
+    uses as affine functions of the loop variable:
+
+    {v
+    iz = 0                          iz = 0
+    for i = 1 to 10 do              for i = 1 to 10 do
+      iz = iz + 2            ==>      a[2*i] = a[2*i + 101] + 3
+      a[iz] = a[iz + 101] + 3       end
+    end                             if 10 >= 1 then iz = 0 + 2*10 end
+    v}
+
+    When the entry value of the variable is a known pure expression it
+    is folded in; otherwise the variable itself (now loop-invariant)
+    stands for its entry value, which the dependence analyzer treats as
+    a symbolic term. A guarded assignment after the loop preserves the
+    variable's final value, including for zero-trip loops. Loops whose
+    bounds read arrays are left alone so the access trace is
+    preserved. *)
+
+val run : Dda_lang.Ast.program -> Dda_lang.Ast.program

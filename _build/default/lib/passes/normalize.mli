@@ -1,0 +1,25 @@
+(** Loop normalization.
+
+    Rewrites every loop with a constant non-unit step into an
+    equivalent unit-step loop, as the paper's problem statement assumes
+    ("we normalize the step size to 1"):
+
+    {v
+    for i = lo to hi step s do B(i) end
+    ==>
+    for i__n = 0 to (hi - lo) / s do B(lo + s*i__n) end
+    i = ...final value...   (guarded, for zero-trip loops)
+    v}
+
+    Truncating division computes the trip count correctly for both
+    signs of [s] (the quotient is non-negative exactly when the loop
+    runs). The original loop variable receives its Fortran-style final
+    value after the loop via a guarded assignment. Bounds that read
+    arrays are left untouched to preserve the access trace. *)
+
+val run : Dda_lang.Ast.program -> Dda_lang.Ast.program
+
+val is_temp_name : string -> bool
+(** True for the compiler-generated loop counters this pass introduces
+    ([<var>__n], [<var>__n2], ...); they are not part of the source
+    program's observable scalar state. *)

@@ -1,0 +1,1 @@
+lib/perfect/kernels.ml: List String

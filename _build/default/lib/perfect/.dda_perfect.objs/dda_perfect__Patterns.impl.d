@@ -1,0 +1,1 @@
+lib/perfect/patterns.ml: Printf Prng String

@@ -1,0 +1,1 @@
+lib/perfect/prng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/perfect/prng.mli:

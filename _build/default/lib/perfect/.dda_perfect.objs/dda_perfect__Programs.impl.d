@@ -1,0 +1,1 @@
+lib/perfect/programs.ml: Array List Patterns Prng String

@@ -1,0 +1,1 @@
+lib/perfect/programs.mli: Patterns

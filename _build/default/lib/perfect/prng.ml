@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  (* Never allow a zero state. *)
+  let s = Int64.of_int (if seed = 0 then 0x9e3779b9 else seed) in
+  { state = Int64.logxor s 0x2545F4914F6CDD1DL }
+
+let next t =
+  (* xorshift64* *)
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  next t mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range";
+  lo + int t (hi - lo + 1)
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let bool t = int t 2 = 0

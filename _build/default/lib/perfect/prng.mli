@@ -1,0 +1,20 @@
+(** Small deterministic PRNG (xorshift64-star) so benchmark programs are
+    reproducible across runs and platforms without touching the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the same seed always yields the same stream. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [[0, n)]. @raise Invalid_argument when
+    [n <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [[lo, hi]] inclusive. *)
+
+val choose : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val bool : t -> bool

@@ -1,0 +1,139 @@
+type spec = {
+  name : string;
+  lines : int;
+  seed : int;
+  mix : (Patterns.category * int) list;
+}
+
+(* Counts are the paper's Table 1 rows divided by 4 (rounded, with
+   non-zero entries kept at >= 1), plus a sprinkle of symbolic nests
+   sized from the Table 5 -> Table 7 growth. *)
+let all =
+  let open Patterns in
+  [
+    {
+      name = "AP";
+      lines = 6104;
+      seed = 101;
+      mix =
+        [ (Constant, 58); (Gcd_indep, 22); (Svpc, 154); (Symbolic_mix, 6) ];
+    };
+    {
+      name = "CS";
+      lines = 18520;
+      seed = 102;
+      mix = [ (Constant, 12); (Svpc, 32); (Acyclic, 4); (Symbolic_mix, 4) ];
+    };
+    {
+      name = "LG";
+      lines = 2327;
+      seed = 103;
+      mix = [ (Constant, 1740); (Svpc, 18); (Symbolic_mix, 2) ];
+    };
+    {
+      name = "LW";
+      lines = 1237;
+      seed = 104;
+      mix = [ (Constant, 14); (Svpc, 8); (Acyclic, 10) ];
+    };
+    {
+      name = "MT";
+      lines = 3785;
+      seed = 105;
+      mix = [ (Constant, 12); (Svpc, 82); (Symbolic_mix, 2) ];
+    };
+    {
+      name = "NA";
+      lines = 3976;
+      seed = 106;
+      mix =
+        [
+          (Constant, 12);
+          (Svpc, 170);
+          (Acyclic, 50);
+          (Loop_residue, 2);
+          (Fourier, 2);
+          (Symbolic_mix, 22);
+        ];
+    };
+    {
+      name = "OC";
+      lines = 2739;
+      seed = 107;
+      mix = [ (Constant, 2); (Gcd_indep, 2); (Svpc, 10); (Symbolic_mix, 2) ];
+    };
+    {
+      name = "SD";
+      lines = 7607;
+      seed = 108;
+      mix =
+        [
+          (Constant, 238);
+          (Svpc, 132);
+          (Acyclic, 4);
+          (Loop_residue, 2);
+          (Fourier, 4);
+        ];
+    };
+    {
+      name = "SM";
+      lines = 2759;
+      seed = 109;
+      mix = [ (Constant, 252); (Gcd_indep, 24); (Svpc, 66) ];
+    };
+    {
+      name = "SR";
+      lines = 3970;
+      seed = 110;
+      mix = [ (Constant, 420); (Svpc, 322); (Symbolic_mix, 2) ];
+    };
+    {
+      name = "TF";
+      lines = 2020;
+      seed = 111;
+      mix = [ (Constant, 200); (Gcd_indep, 2); (Svpc, 206); (Symbolic_mix, 4) ];
+    };
+    {
+      name = "TI";
+      lines = 484;
+      seed = 112;
+      mix = [ (Svpc, 2); (Acyclic, 10) ];
+    };
+    {
+      name = "WS";
+      lines = 3884;
+      seed = 113;
+      mix =
+        [
+          (Constant, 10);
+          (Gcd_indep, 46);
+          (Svpc, 94);
+          (Acyclic, 2);
+          (Fourier, 40);
+          (Symbolic_mix, 2);
+        ];
+    };
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all
+
+(* Seeded Fisher-Yates, so nests of different categories interleave the
+   way real code mixes its loops. *)
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+let source spec =
+  let rng = Prng.create spec.seed in
+  let nests =
+    List.concat_map
+      (fun (cat, count) -> List.init count (fun _ -> Patterns.generate rng cat))
+      spec.mix
+  in
+  let arr = Array.of_list nests in
+  shuffle rng arr;
+  String.concat "\n" (Array.to_list arr)

@@ -1,0 +1,22 @@
+(** The synthetic PERFECT Club: thirteen seeded program generators
+    whose reference-pattern mixes are scaled (by 1/8) from the
+    corresponding rows of the paper's Table 1, so that per-program
+    test-frequency tables reproduce the paper's shape — which program
+    leans on which test — without the original Fortran sources. *)
+
+type spec = {
+  name : string;  (** the paper's two-letter code (AP, CS, ...) *)
+  lines : int;  (** source lines of the real benchmark, for display *)
+  seed : int;
+  mix : (Patterns.category * int) list;  (** nests per category *)
+}
+
+val all : spec list
+(** The thirteen programs in the paper's table order. *)
+
+val find : string -> spec option
+
+val source : spec -> string
+(** Deterministically generate the program's full source text: the
+    category mix expanded to loop nests and interleaved in a seeded
+    order. *)

@@ -1,0 +1,89 @@
+  $ cat > intro.dd <<'EOF'
+  > # first loop: independent
+  > for i = 1 to 10 do
+  >   a[i] = a[i + 10] + 3
+  > end
+  > # second loop: dependent, distance 1
+  > for i = 1 to 10 do
+  >   b[i + 1] = b[i] + 3
+  > end
+  > EOF
+  $ ddtest analyze intro.dd
+  $ ddtest analyze intro.dd --stats | tail -n 10
+  $ ddtest parallel intro.dd
+  $ cat > kinds.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i + 1] = a[i] + 3
+  >   a[i] = 0
+  > end
+  > EOF
+  $ ddtest analyze kinds.dd
+  $ cat > s8.dd <<'EOF'
+  > n = 100
+  > iz = 0
+  > for i = 1 to 10 do
+  >   iz = iz + 2
+  >   a[iz + n] = a[iz + 2 * n + 1] + 3
+  > end
+  > EOF
+  $ ddtest passes s8.dd
+  $ ddtest analyze s8.dd
+  $ cat > sym.dd <<'EOF'
+  > read(n)
+  > for i = 1 to 10 do
+  >   b[i + n] = b[i + n + 11] + 3
+  > end
+  > EOF
+  $ ddtest analyze sym.dd
+  $ ddtest analyze sym.dd --symbolic false
+  $ ddtest analyze intro.dd --memo-file table.bin --stats | grep 'memo (full'
+  $ ddtest analyze intro.dd --memo-file table.bin --stats | grep 'memo (full'
+  $ cat > band.dd <<'EOF'
+  > read(n)
+  > for i = 1 to n do
+  >   for j = i - 2 to i + 2 do
+  >     a[i - j] = a[i - j + 1] + 1
+  >   end
+  > end
+  > EOF
+  $ ddtest graph band.dd
+  $ ddtest perfect TI > ti1.dd
+  $ ddtest perfect TI > ti2.dd
+  $ cmp ti1.dd ti2.dd
+  $ ddtest perfect NOPE
+  $ printf 'for i = 1 to do a[i] = 1 end' > bad.dd
+  $ ddtest analyze bad.dd
+  $ cat > dist.dd <<'DDEOF'
+  > for i = 2 to 20 do
+  >   a[i] = b[i] + 1
+  >   c[i] = a[i - 1] * 2
+  >   r[i] = r[i - 1] + c[i]
+  > end
+  > DDEOF
+  $ ddtest distribute dist.dd
+  $ cat > mm.dd <<'DDEOF'
+  > for i = 1 to 16 do
+  >   for j = 1 to 16 do
+  >     for k = 1 to 16 do
+  >       cc[i][j] = cc[i][j] + aa[i][k] * bb[k][j]
+  >     end
+  >   end
+  > end
+  > DDEOF
+  $ ddtest transform mm.dd
+  $ ddtest depgraph dist.dd | grep -c 'label='
+  $ ddtest check dist.dd
+  $ ddtest analyze dist.dd --format json | tr -d ' \n' | head -c 120
+  $ ddtest prime table2.bin
+  $ ddtest analyze intro.dd --memo-file table2.bin --stats | grep 'memo (full'
+  $ ddtest annotate intro.dd
+  $ ddtest annotate intro.dd | ddtest check -
+  $ cat > vadd.dd <<'DDEOF'
+  > for i = 1 to 100 do
+  >   c[i] = a[i] + b[i]
+  > end
+  > DDEOF
+  $ ddtest cc vadd.dd | grep pragma
+  $ ddtest cc vadd.dd > vadd.c && gcc -fopenmp -o vadd vadd.c && ./vadd | head -2
+  $ ddtest cc dist.dd | grep -c pragma
+  $ ddtest cc sym.dd

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Affine Alcotest Analyzer Array Ast Cascade Dda_core Dda_lang Dda_numeric Direction Format List Loc Parser QCheck QCheck_alcotest String Test_support Trace Zint

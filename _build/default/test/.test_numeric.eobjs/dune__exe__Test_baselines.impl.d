@@ -1,0 +1,1 @@
+test/test_baselines.ml: Affine Alcotest Analyzer Array Build_problem Dda_baselines Dda_core Dda_lang Direction Format List Parser QCheck QCheck_alcotest String Test_support

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Affine Alcotest Array Build_problem Canonical Consys Dda_core Dda_lang Dda_numeric Direction Format Gcd_test List Memo_table Option Parser Pretty Printf Problem Symexpr Zint

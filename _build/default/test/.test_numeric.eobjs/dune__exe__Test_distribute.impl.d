@@ -1,0 +1,1 @@
+test/test_distribute.ml: Alcotest Analyzer Ast Dda_core Dda_lang Direction Distribute Interp List Loc Parser Printf QCheck QCheck_alcotest String Test_support

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Analyzer Dda_core Dda_lang Format Json_out List Seq String

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Affine Alcotest Analyzer Ast Dda_core Dda_lang Dda_passes Dda_perfect Direction Kernels List Loc Option Parser Printf Semant Trace

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Dda_lang Gen Interp Lexer List Loc Parser Pretty Printf QCheck QCheck_alcotest Semant String Test_support Token Trace

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Dda_linalg Dda_numeric List Matrix QCheck QCheck_alcotest Random Vec Zint

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Dda_numeric Ext_int List Option Printf QCheck QCheck_alcotest Qnum Stdlib Zint

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Ast Const_prop Dda_lang Dda_passes Expr_util Forward_subst Induction Interp List Normalize Parser Pipeline Pretty Printf QCheck QCheck_alcotest Test_support

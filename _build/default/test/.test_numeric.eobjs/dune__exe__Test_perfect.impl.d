@@ -1,0 +1,1 @@
+test/test_perfect.ml: Alcotest Analyzer Cascade Dda_core Dda_lang Dda_perfect Format List Loc Option Parser Patterns Printf Prng Programs Semant

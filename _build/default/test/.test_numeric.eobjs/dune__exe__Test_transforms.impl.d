@@ -1,0 +1,1 @@
+test/test_transforms.ml: Affine Alcotest Analyzer Ast Dda_core Dda_lang Depgraph Direction Interp List Parser QCheck QCheck_alcotest String Test_support Transforms

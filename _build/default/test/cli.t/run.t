@@ -1,0 +1,261 @@
+The ddtest command-line driver, end to end.
+
+The paper's two introductory loops:
+
+  $ cat > intro.dd <<'EOF'
+  > # first loop: independent
+  > for i = 1 to 10 do
+  >   a[i] = a[i + 10] + 3
+  > end
+  > # second loop: dependent, distance 1
+  > for i = 1 to 10 do
+  >   b[i + 1] = b[i] + 3
+  > end
+  > EOF
+
+  $ ddtest analyze intro.dd
+  a[self]  3:3 x 3:3:  independent
+  a[pair]  3:3 x 3:10:  independent
+  b[self]  7:3 x 7:3:  independent
+  b[pair]  7:3 x 7:14:  dependent directions: (<)[flow] distance: (1)
+
+Statistics show which tests ran and what memoization saw:
+
+  $ ddtest analyze intro.dd --stats | tail -n 10
+  -- statistics --
+  pairs analyzed:      4
+  constant subscripts: 0
+  gcd independent:     0
+  assumed dependent:   0
+  plain tests:         svpc=0 acyclic=0 loop-residue=0 fourier=0
+  direction tests:     svpc=3 acyclic=0 loop-residue=0 fourier=0
+  memo (gcd table):    3 lookups, 0 hits, 3 unique
+  memo (full table):   4 lookups, 1 hits, 3 unique
+  verdicts:            3 independent, 1 dependent
+
+
+The parallelizer client:
+
+  $ ddtest parallel intro.dd
+  loop i (id 0): PARALLELIZABLE
+  loop i (id 1): serial
+
+Dependence kinds on a small mixed nest:
+
+  $ cat > kinds.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i + 1] = a[i] + 3
+  >   a[i] = 0
+  > end
+  > EOF
+
+  $ ddtest analyze kinds.dd
+  a[self]  2:3 x 2:3:  independent
+  a[pair]  2:3 x 2:14:  dependent directions: (<)[flow] distance: (1)
+  a[pair]  2:3 x 3:3:  dependent directions: (<)[output] distance: (1)
+  a[pair]  2:14 x 3:3:  dependent directions: (=)[anti] distance: (0)
+  a[self]  3:3 x 3:3:  independent
+
+The optimizer prepass (the paper's section 8 example):
+
+  $ cat > s8.dd <<'EOF'
+  > n = 100
+  > iz = 0
+  > for i = 1 to 10 do
+  >   iz = iz + 2
+  >   a[iz + n] = a[iz + 2 * n + 1] + 3
+  > end
+  > EOF
+
+  $ ddtest passes s8.dd
+  n = 100
+  iz = 0
+  for i = 1 to 10 do
+    a[2 * i + 100] = a[2 * i + 201] + 3
+  end
+  if 10 >= 1 then
+    iz = 20
+  end
+
+  $ ddtest analyze s8.dd
+  a[self]  5:3 x 5:3:  independent
+  a[pair]  5:3 x 5:15:  independent (extended gcd)
+
+Symbolic terms (section 8) versus giving up:
+
+  $ cat > sym.dd <<'EOF'
+  > read(n)
+  > for i = 1 to 10 do
+  >   b[i + n] = b[i + n + 11] + 3
+  > end
+  > EOF
+
+  $ ddtest analyze sym.dd
+  b[self]  3:3 x 3:3:  independent
+  b[pair]  3:3 x 3:14:  independent
+
+  $ ddtest analyze sym.dd --symbolic false
+  b[self]  3:3 x 3:3:  assumed dependent (not affine)
+  b[pair]  3:3 x 3:14:  assumed dependent (not affine)
+
+Memoization persisted across runs: the second compilation hits on
+every pair.
+
+  $ ddtest analyze intro.dd --memo-file table.bin --stats | grep 'memo (full'
+  memo (full table):   4 lookups, 1 hits, 3 unique
+
+  $ ddtest analyze intro.dd --memo-file table.bin --stats | grep 'memo (full'
+  memo (full table):   4 lookups, 4 hits, 3 unique
+
+The loop-residue graph of a banded nest (Graphviz):
+
+  $ cat > band.dd <<'EOF'
+  > read(n)
+  > for i = 1 to n do
+  >   for j = i - 2 to i + 2 do
+  >     a[i - j] = a[i - j + 1] + 1
+  >   end
+  > end
+  > EOF
+
+  $ ddtest graph band.dd
+  /* pair 4:5 x 4:16 */
+  digraph loop_residue {
+    t2 -> t1 [label="1"];
+    t1 -> t2 [label="3"];
+    t2 -> t1 [label="2"];
+    t1 -> t2 [label="2"];
+    t1 -> n0 [label="-1"];
+  }
+  
+
+
+A synthetic PERFECT Club program is deterministic:
+
+  $ ddtest perfect TI > ti1.dd
+  $ ddtest perfect TI > ti2.dd
+  $ cmp ti1.dd ti2.dd
+
+  $ ddtest perfect NOPE
+  unknown program NOPE; available: AP CS LG LW MT NA OC SD SM SR TF TI WS
+  [1]
+
+Errors are reported with positions:
+
+  $ printf 'for i = 1 to do a[i] = 1 end' > bad.dd
+  $ ddtest analyze bad.dd
+  bad.dd:1:14: syntax error: expected an expression (found 'do')
+  [1]
+
+
+Allen-Kennedy loop distribution: statements grouped by dependence SCC,
+recurrences isolated into serial loops, the rest vectorizable.
+
+  $ cat > dist.dd <<'DDEOF'
+  > for i = 2 to 20 do
+  >   a[i] = b[i] + 1
+  >   c[i] = a[i - 1] * 2
+  >   r[i] = r[i - 1] + c[i]
+  > end
+  > DDEOF
+
+  $ ddtest distribute dist.dd
+  group 0 (parallel): 2:3
+  group 1 (parallel): 3:3
+  group 2 (serial): 4:3
+  
+  -- distributed program --
+  for i = 2 to 20 do
+    a[i] = b[i] + 1
+  end
+  for i = 2 to 20 do
+    c[i] = a[i - 1] * 2
+  end
+  for i = 2 to 20 do
+    r[i] = r[i - 1] + c[i]
+  end
+
+Loop transformation legality (matmul is fully permutable):
+
+  $ cat > mm.dd <<'DDEOF'
+  > for i = 1 to 16 do
+  >   for j = 1 to 16 do
+  >     for k = 1 to 16 do
+  >       cc[i][j] = cc[i][j] + aa[i][k] * bb[k][j]
+  >     end
+  >   end
+  > end
+  > DDEOF
+
+  $ ddtest transform mm.dd
+  loop i: reversible
+  loop j: reversible
+  loop k: NOT reversible
+  interchange i <-> j: legal
+  interchange j <-> k: legal
+  legal loop orders: (i,j,k) (i,k,j) (j,i,k) (j,k,i) (k,i,j) (k,j,i)
+  band fully permutable (tilable): yes
+
+The dependence graph of the recurrence, in Graphviz:
+
+  $ ddtest depgraph dist.dd | grep -c 'label='
+  9
+
+Self-validation: every verdict checked against the tracing interpreter.
+
+  $ ddtest check dist.dd
+  OK: all 6 pairs agree with the execution trace
+
+JSON output for tooling:
+
+  $ ddtest analyze dist.dd --format json | tr -d ' \n' | head -c 120
+  {"pairs":[{"array":"a","ref1":{"loc":"2:3","role":"write"},"ref2":{"loc":"2:3","role":"write"},"self":true,"common_loops
+
+The paper's "standard table": prime a memo file from the whole suite,
+then compile against it.
+
+  $ ddtest prime table2.bin
+  primed table2.bin from the 13 synthetic PERFECT programs
+
+  $ ddtest analyze intro.dd --memo-file table2.bin --stats | grep 'memo (full'
+  memo (full table):   4 lookups, 3 hits, 101 unique
+
+Annotated re-emission (the output is itself valid input):
+
+  $ ddtest annotate intro.dd
+  # PARALLEL
+  for i = 1 to 10 do
+    a[i] = a[i + 10] + 3
+  end
+  # serial (carries a dependence)
+  for i = 1 to 10 do
+    b[i + 1] = b[i] + 3
+  end
+
+  $ ddtest annotate intro.dd | ddtest check -
+  OK: all 4 pairs agree with the execution trace
+
+Compilation to C: a parallel loop carries the OpenMP pragma and the
+program is accepted by a real C compiler.
+
+  $ cat > vadd.dd <<'DDEOF'
+  > for i = 1 to 100 do
+  >   c[i] = a[i] + b[i]
+  > end
+  > DDEOF
+
+  $ ddtest cc vadd.dd | grep pragma
+      #pragma omp parallel for lastprivate(v_i)
+
+  $ ddtest cc vadd.dd > vadd.c && gcc -fopenmp -o vadd vadd.c && ./vadd | head -2
+  i=100
+
+  $ ddtest cc dist.dd | grep -c pragma
+  0
+  [1]
+
+Symbolic bounds are outside the C back end's scope:
+
+  $ ddtest cc sym.dd
+  cannot compile to C: read(n) is not supported
+  [1]

@@ -1,0 +1,1 @@
+test/support/gen_ast.ml: Array Ast Dda_lang Gen List Option Parser Pretty QCheck

@@ -1,0 +1,1 @@
+test/support/gen_sys.ml: Array Consys Dda_core Dda_numeric Format List QCheck Zint

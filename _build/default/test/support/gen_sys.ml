@@ -1,0 +1,110 @@
+(* Random bounded integer constraint systems plus a brute-force
+   feasibility oracle. Every generated system carries explicit box rows
+   for all variables, so exhaustive enumeration over the box is an
+   exact oracle for the dependence tests. *)
+
+open Dda_numeric
+open Dda_core
+
+let z = Zint.of_int
+
+type boxed = {
+  sys : Consys.t;
+  los : int array;
+  his : int array;
+}
+
+let unit_row nvars i c rhs =
+  let coeffs = Array.make nvars Zint.zero in
+  coeffs.(i) <- z c;
+  { Consys.coeffs; rhs = z rhs }
+
+let box_rows los his =
+  let n = Array.length los in
+  List.concat
+    (List.init n (fun i ->
+         [ unit_row n i 1 his.(i); unit_row n i (-1) (-los.(i)) ]))
+
+(* Enumerate all integer points of the box; true iff some point
+   satisfies every row. *)
+let brute_feasible { sys; los; his } =
+  let n = Array.length los in
+  let point = Array.make n Zint.zero in
+  let rec go i =
+    if i >= n then Consys.satisfies_all point sys
+    else begin
+      let rec try_v v =
+        v <= his.(i)
+        && (point.(i) <- z v;
+            go (i + 1) || try_v (v + 1))
+      in
+      try_v los.(i)
+    end
+  in
+  go 0
+
+(* Count integer points satisfying all rows (for direction-vector style
+   checks). *)
+let brute_solutions { sys; los; his } =
+  let n = Array.length los in
+  let point = Array.make n Zint.zero in
+  let out = ref [] in
+  let rec go i =
+    if i >= n then begin
+      if Consys.satisfies_all point sys then out := Array.copy point :: !out
+    end
+    else
+      for v = los.(i) to his.(i) do
+        point.(i) <- z v;
+        go (i + 1)
+      done
+  in
+  go 0;
+  List.rev !out
+
+let gen_boxed : boxed QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun nvars ->
+  (* Small boxes keep enumeration fast: at most 7^4 points. *)
+  list_repeat nvars (pair (int_range (-4) 2) (int_range 0 6)) >>= fun ranges ->
+  let los = Array.of_list (List.map fst ranges) in
+  let his = Array.of_list (List.map (fun (l, w) -> l + w) ranges) in
+  int_range 0 5 >>= fun nrows ->
+  let gen_row =
+    list_repeat nvars (int_range (-3) 3) >>= fun coeffs ->
+    int_range (-12) 12 >>= fun rhs ->
+    return { Consys.coeffs = Array.of_list (List.map z coeffs); rhs = z rhs }
+  in
+  list_repeat nrows gen_row >>= fun rows ->
+  let sys = Consys.make ~nvars (box_rows los his @ rows) in
+  return { sys; los; his }
+
+let print_boxed b = Format.asprintf "%a" (Consys.pp ?names:None) b.sys
+
+let arb_boxed = QCheck.make ~print:print_boxed gen_boxed
+
+(* A variant whose extra rows are difference constraints, to exercise
+   the Loop Residue path specifically. *)
+let gen_boxed_diff : boxed QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 4 >>= fun nvars ->
+  list_repeat nvars (pair (int_range (-4) 2) (int_range 0 6)) >>= fun ranges ->
+  let los = Array.of_list (List.map fst ranges) in
+  let his = Array.of_list (List.map (fun (l, w) -> l + w) ranges) in
+  int_range 1 5 >>= fun nrows ->
+  let gen_row =
+    int_range 0 (nvars - 1) >>= fun i ->
+    int_range 0 (nvars - 1) >>= fun j ->
+    let j = if i = j then (j + 1) mod nvars else j in
+    int_range 1 3 >>= fun a ->
+    int_range (-8) 8 >>= fun rhs ->
+    let coeffs = Array.make nvars Zint.zero in
+    coeffs.(i) <- z a;
+    coeffs.(j) <- z (-a);
+    return { Consys.coeffs; rhs = z rhs }
+  in
+  list_repeat nrows gen_row >>= fun rows ->
+  let sys = Consys.make ~nvars (box_rows los his @ rows) in
+  return { sys; los; his }
+
+let arb_boxed_diff = QCheck.make ~print:print_boxed gen_boxed_diff

@@ -1,0 +1,509 @@
+(* End-to-end analyzer tests: the paper's worked examples as unit
+   tests, and the master exactness property — on random affine loop
+   nests, the analyzer's verdicts, direction vectors, and distance
+   vectors must match the brute-force execution-trace oracle
+   exactly. *)
+
+open Dda_numeric
+open Dda_lang
+open Dda_core
+
+let parse = Parser.parse_program
+
+(* Full refinement and no canonicalization: every reported vector is
+   concrete, so it can be compared to the oracle as an exact set.
+   (Memo_improved may drop unused common levels and report them as "*",
+   which is the paper's summarized form — covered by a separate
+   property.) *)
+let exact_config =
+  {
+    Analyzer.default_config with
+    Analyzer.prune = Direction.no_pruning;
+    memo = Analyzer.Memo_simple;
+    run_pipeline = false;
+    within_nest_only = false;
+  }
+
+let plain_config =
+  {
+    Analyzer.default_config with
+    Analyzer.directions = false;
+    run_pipeline = false;
+    within_nest_only = false;
+  }
+
+let analyze ?(config = exact_config) src = Analyzer.analyze ~config (parse src)
+
+(* The single non-self pair of a simple loop. *)
+let only_pair (report : Analyzer.report) =
+  match List.filter (fun (r : Analyzer.pair_report) -> not r.self_pair) report.pair_reports with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected 1 non-self pair, got %d" (List.length rs)
+
+let dirs_to_string vs =
+  String.concat " " (List.map (Format.asprintf "%a" Direction.pp_vector) vs)
+
+(* ------------------------------------------------------------------ *)
+(* Paper examples                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_intro_independent () =
+  let r = only_pair (analyze "for i = 1 to 10 do a[i] = a[i+10] + 3 end") in
+  match r.outcome with
+  | Analyzer.Tested t -> Alcotest.(check bool) "independent" false t.dependent
+  | _ -> Alcotest.fail "expected tested outcome"
+
+let test_intro_dependent () =
+  let r = only_pair (analyze "for i = 1 to 10 do a[i+1] = a[i] + 3 end") in
+  match r.outcome with
+  | Analyzer.Tested t ->
+    Alcotest.(check bool) "dependent" true t.dependent;
+    Alcotest.(check string) "direction <" "(<)" (dirs_to_string t.directions);
+    (match t.distance with
+     | Some d -> Alcotest.(check int) "distance 1" 1 (Zint.to_int_exn d.(0))
+     | None -> Alcotest.fail "expected distance")
+  | _ -> Alcotest.fail "expected tested outcome"
+
+let test_intro_plain_mode () =
+  (* Same examples through the plain (no direction vectors) cascade,
+     checking which test decides. *)
+  let r =
+    only_pair (Analyzer.analyze ~config:plain_config (parse "for i = 1 to 10 do a[i] = a[i+10] + 3 end"))
+  in
+  (match r.outcome with
+   | Analyzer.Tested { dependent = false; decided_by = Some Cascade.T_svpc; _ } -> ()
+   | _ -> Alcotest.fail "expected SVPC independence");
+  let r2 =
+    only_pair (Analyzer.analyze ~config:plain_config (parse "for i = 1 to 10 do a[i+1] = a[i] + 3 end"))
+  in
+  match r2.outcome with
+  | Analyzer.Tested { dependent = true; decided_by = Some Cascade.T_svpc; _ } -> ()
+  | _ -> Alcotest.fail "expected SVPC dependence"
+
+let test_coupled_svpc_example () =
+  (* Section 3.2: a[i1][i2] = a[i2+10][i1+9], both loops 1..10:
+     independent, and SVPC suffices even though subscripts are
+     coupled. *)
+  let src =
+    "for i1 = 1 to 10 do for i2 = 1 to 10 do a[i1][i2] = a[i2+10][i1+9] end end"
+  in
+  let r = only_pair (Analyzer.analyze ~config:plain_config (parse src)) in
+  match r.outcome with
+  | Analyzer.Tested { dependent = false; decided_by = Some Cascade.T_svpc; _ } -> ()
+  | Analyzer.Tested { decided_by = Some t; dependent; _ } ->
+    Alcotest.failf "decided by %s dependent=%b" (Cascade.test_name t) dependent
+  | _ -> Alcotest.fail "expected tested"
+
+let test_section6_write_2i () =
+  (* a[i][j] = a[2i][j] + 7 on 0..10 squares: dependent with vectors
+     (=,=) and (>,=). *)
+  let src =
+    "for i = 0 to 10 do for j = 0 to 10 do a[i][j] = a[2*i][j] + 7 end end"
+  in
+  let r = only_pair (analyze src) in
+  match r.outcome with
+  | Analyzer.Tested t ->
+    Alcotest.(check bool) "dependent" true t.dependent;
+    Alcotest.(check string) "vectors" "(=,=) (>,=)" (dirs_to_string t.directions)
+  | _ -> Alcotest.fail "expected tested"
+
+let test_constant_subscripts () =
+  let r3 = analyze "for i = 1 to 10 do a[3] = a[4] + 1 end" in
+  let r = only_pair r3 in
+  (match r.outcome with
+   | Analyzer.Constant false -> ()
+   | _ -> Alcotest.fail "a[3] vs a[4] should be constant-independent");
+  Alcotest.(check int) "counted as constant case" 1 r3.stats.constant_cases;
+  let r4 = only_pair (analyze "for i = 1 to 10 do a[3] = a[3] + 1 end") in
+  match r4.outcome with
+  | Analyzer.Constant true -> ()
+  | _ -> Alcotest.fail "a[3] vs a[3] should be constant-dependent"
+
+let test_symbolic_section8 () =
+  (* read(n); a[i+n] = a[i+2n+1]: dependent for suitable n (n = i-i'-1
+     always exists), and the analyzer should actually test it rather
+     than give up. *)
+  let src = "read(n)\nfor i = 1 to 10 do a[i+n] = a[i+2*n+1] + 3 end" in
+  let r = only_pair (analyze src) in
+  (match r.outcome with
+   | Analyzer.Tested t -> Alcotest.(check bool) "dependent" true t.dependent
+   | _ -> Alcotest.fail "expected tested outcome with symbolic mode");
+  (* Without symbolic mode the same pair is assumed dependent. *)
+  let cfg = { exact_config with Analyzer.symbolic = false } in
+  let r2 = only_pair (Analyzer.analyze ~config:cfg (parse src)) in
+  match r2.outcome with
+  | Analyzer.Assumed_dependent -> ()
+  | _ -> Alcotest.fail "expected assumed-dependent without symbolic mode"
+
+let test_symbolic_exact_independence () =
+  (* i + n = i' + n + 11 has no solution with 1 <= i,i' <= 10 whatever
+     n is: symbolic mode proves independence where non-symbolic mode
+     must assume dependence. *)
+  let src = "read(n)\nfor i = 1 to 10 do a[i+n] = a[i+n+11] + 3 end" in
+  let r = only_pair (analyze src) in
+  (match r.outcome with
+   | Analyzer.Tested t -> Alcotest.(check bool) "independent" false t.dependent
+   | _ -> Alcotest.fail "expected tested");
+  let cfg = { exact_config with Analyzer.symbolic = false } in
+  let r2 = only_pair (Analyzer.analyze ~config:cfg (parse src)) in
+  match r2.outcome with
+  | Analyzer.Assumed_dependent -> ()
+  | _ -> Alcotest.fail "expected assumed-dependent"
+
+let test_symbolic_versioning () =
+  (* n is redefined between the two references: the two n's must NOT be
+     identified. a[n] = ...; n changes; ... = a[n]: the analyzer cannot
+     prove independence (n#1 vs n#2 unconstrained, could collide), and
+     must not claim dependence-freedom. It must also not treat them as
+     equal (which the all-= claim would witness). *)
+  let src = "read(n)\nb[n] = 1\nread(n)\nt = b[n]" in
+  let report = analyze src in
+  let r = only_pair report in
+  (match r.outcome with
+   | Analyzer.Tested t ->
+     (* Different versions may or may not collide: exact answer is
+        "dependent" (there exist n1 = n2 runs). *)
+     Alcotest.(check bool) "cannot rule out collision" true t.dependent
+   | _ -> Alcotest.fail "expected tested");
+  (* Control: if n is NOT redefined, the subscripts are equal and the
+     pair is dependent. *)
+  let r2 = only_pair (analyze "read(n)\nb[n] = 1\nt = b[n]") in
+  match r2.outcome with
+  | Analyzer.Tested t -> Alcotest.(check bool) "same n collides" true t.dependent
+  | _ -> Alcotest.fail "expected tested"
+
+let test_distance_not_constant () =
+  (* Paper section 6: for the pair a[10i+j] vs a[10(i+2)+j] the
+     distance (2,0) is only constant because of the bounds; the GCD
+     map cannot see it, so no distance vector is reported - but the
+     dependence and its direction are still found. *)
+  let src =
+    "for i = 1 to 8 do for j = 1 to 10 do a[10*i+j] = a[10*(i+2)+j] + 7 end end"
+  in
+  let r = only_pair (analyze src) in
+  match r.outcome with
+  | Analyzer.Tested t ->
+    Alcotest.(check bool) "dependent" true t.dependent;
+    Alcotest.(check bool) "no constant distance" true (t.distance = None)
+  | _ -> Alcotest.fail "expected tested"
+
+let test_control_flow_conservative () =
+  (* The analyzer ignores conditionals: a guard that never lets the
+     references execute still yields "dependent" — sound, not exact
+     (and the exactness properties therefore generate if-free
+     programs). *)
+  let src = "for i = 1 to 10 do\n  if i < 0 then a[i+1] = a[i] + 1 end\nend" in
+  let report = analyze src in
+  let r = only_pair report in
+  (match r.outcome with
+   | Analyzer.Tested t -> Alcotest.(check bool) "claims dependent" true t.dependent
+   | _ -> Alcotest.fail "expected tested");
+  let obs = Trace.observe (parse src) ~site1:r.loc1 ~site2:r.loc2 in
+  Alcotest.(check bool) "but nothing executes" false obs.dependent
+
+let test_parallel_loops_client () =
+  let prog = parse "for i = 1 to 10 do a[i] = a[i+10] + 3 end\nfor j = 1 to 10 do b[j+1] = b[j] + 3 end" in
+  let sites = Affine.extract prog in
+  let report = Analyzer.analyze ~config:exact_config prog in
+  match Analyzer.parallel_loops report sites with
+  | [ (_, p1); (_, p2) ] ->
+    Alcotest.(check bool) "first loop parallel" true p1;
+    Alcotest.(check bool) "second loop serial" false p2
+  | l -> Alcotest.failf "expected 2 loops, got %d" (List.length l)
+
+let test_self_pair_output_dependence () =
+  (* a[5] written every iteration: output dependence on itself. *)
+  let report = analyze "for i = 1 to 4 do a[5] = i end" in
+  (match report.pair_reports with
+   | [ { self_pair = true; outcome = Analyzer.Tested t; _ } ] ->
+     Alcotest.(check bool) "self dependent" true t.dependent;
+     Alcotest.(check string) "both non-eq directions" "(<) (>)"
+       (dirs_to_string t.directions)
+   | _ -> Alcotest.fail "expected single self pair");
+  (* a[i]: never collides with itself across iterations. *)
+  let report2 = analyze "for i = 1 to 4 do a[i] = i end" in
+  match report2.pair_reports with
+  | [ { self_pair = true; outcome = Analyzer.Tested t; _ } ] ->
+    Alcotest.(check bool) "self independent" false t.dependent
+  | _ -> Alcotest.fail "expected single self pair"
+
+let test_triangular_bounds () =
+  (* Triangular nest: for i, for j = i+1 to 10: a[i][j] vs a[j][i] can
+     never overlap because j > i on the write and the read transposes. *)
+  let src =
+    "for i = 1 to 10 do for j = i+1 to 10 do a[i][j] = a[j][i] + 1 end end"
+  in
+  let r = only_pair (analyze src) in
+  match r.outcome with
+  | Analyzer.Tested t -> Alcotest.(check bool) "independent" false t.dependent
+  | _ -> Alcotest.fail "expected tested"
+
+(* ------------------------------------------------------------------ *)
+(* Master exactness property vs the execution oracle                   *)
+(* ------------------------------------------------------------------ *)
+
+let dir_of_trace = function
+  | Trace.Lt -> Direction.Dlt
+  | Trace.Eq -> Direction.Deq
+  | Trace.Gt -> Direction.Dgt
+
+let vector_key v =
+  String.concat ""
+    (List.map (function
+       | Direction.Dlt -> "<"
+       | Direction.Deq -> "="
+       | Direction.Dgt -> ">"
+       | Direction.Dany -> "*")
+       (Array.to_list v))
+
+let check_program_against_oracle prog =
+  let report = Analyzer.analyze ~config:exact_config prog in
+  List.for_all
+    (fun (r : Analyzer.pair_report) ->
+       let obs = Trace.observe prog ~site1:r.loc1 ~site2:r.loc2 in
+       match r.outcome with
+       | Analyzer.Constant dep -> dep = obs.dependent
+       | Analyzer.Gcd_independent -> not obs.dependent
+       | Analyzer.Assumed_dependent ->
+         QCheck.Test.fail_reportf "unexpected non-affine pair"
+       | Analyzer.Tested t ->
+         let verdict_ok = t.dependent = obs.dependent in
+         let analysis_vecs =
+           List.sort_uniq compare (List.map vector_key t.directions)
+         in
+         let oracle_vecs =
+           List.sort_uniq compare
+             (List.map
+                (fun ds -> vector_key (Array.of_list (List.map dir_of_trace ds)))
+                obs.directions)
+         in
+         let vectors_ok = analysis_vecs = oracle_vecs in
+         let distance_ok =
+           match t.distance with
+           | None -> true
+           | Some d ->
+             let d = Array.to_list (Array.map Zint.to_int_exn d) in
+             (not obs.dependent) || List.for_all (fun od -> od = d) obs.distances
+         in
+         if not (verdict_ok && vectors_ok && distance_ok) then
+           QCheck.Test.fail_reportf
+             "pair %s/%s: verdict %b vs %b; vectors [%s] vs oracle [%s]"
+             (Loc.to_string r.loc1) (Loc.to_string r.loc2) t.dependent
+             obs.dependent
+             (String.concat ";" analysis_vecs)
+             (String.concat ";" oracle_vecs)
+         else true)
+    report.pair_reports
+
+let prop_analyzer_exact =
+  QCheck.Test.make ~name:"analyzer matches execution oracle exactly" ~count:250
+    Test_support.Gen_ast.arb_affine_nest check_program_against_oracle
+
+(* A concrete vector is covered by a claimed vector when each level
+   matches or the claim is "*". *)
+let covered concrete claim =
+  Array.length concrete = Array.length claim
+  && (let ok = ref true in
+      Array.iteri
+        (fun i c ->
+           match claim.(i) with
+           | Direction.Dany -> ()
+           | d -> if d <> c then ok := false)
+        concrete;
+      !ok)
+
+let prop_memo_transparent =
+  QCheck.Test.make ~name:"memoization does not change any verdict" ~count:150
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       let strip (r : Analyzer.report) =
+         List.map
+           (fun (p : Analyzer.pair_report) ->
+              ( p.loc1,
+                p.loc2,
+                match p.outcome with
+                | Analyzer.Tested t -> ("t", t.dependent)
+                | Analyzer.Constant d -> ("c", d)
+                | Analyzer.Gcd_independent -> ("g", false)
+                | Analyzer.Assumed_dependent -> ("a", true) ))
+           r.pair_reports
+       in
+       let vectors (r : Analyzer.report) =
+         List.map
+           (fun (p : Analyzer.pair_report) ->
+              match p.outcome with Analyzer.Tested t -> t.directions | _ -> [])
+           r.pair_reports
+       in
+       let with_memo m = { exact_config with Analyzer.memo = m } in
+       let off = Analyzer.analyze ~config:(with_memo Analyzer.Memo_off) prog in
+       let simple = Analyzer.analyze ~config:(with_memo Analyzer.Memo_simple) prog in
+       let improved = Analyzer.analyze ~config:(with_memo Analyzer.Memo_improved) prog in
+       (* Verdicts identical everywhere; simple memo changes nothing at
+          all; improved memo may summarize dropped levels as "*" but
+          must cover every concrete vector. *)
+       strip off = strip simple
+       && strip off = strip improved
+       && vectors off = vectors simple
+       && List.for_all2
+            (fun concrete claimed ->
+               List.for_all (fun c -> List.exists (covered c) claimed) concrete)
+            (vectors off) (vectors improved))
+
+let prop_pruning_sound =
+  QCheck.Test.make ~name:"pruned vectors cover the oracle's vectors" ~count:150
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       let cfg =
+         { exact_config with Analyzer.prune = Direction.full_pruning }
+       in
+       let report = Analyzer.analyze ~config:cfg prog in
+       List.for_all
+         (fun (r : Analyzer.pair_report) ->
+            let obs = Trace.observe prog ~site1:r.loc1 ~site2:r.loc2 in
+            match r.outcome with
+            | Analyzer.Constant dep -> dep = obs.dependent
+            | Analyzer.Gcd_independent | Analyzer.Assumed_dependent -> true
+            | Analyzer.Tested t ->
+              (* Same dependent/independent verdict... *)
+              t.dependent = obs.dependent
+              && (* ...and every observed vector matched by some
+                    (possibly wildcarded) reported vector. *)
+              List.for_all
+                (fun ods ->
+                   let ov = List.map dir_of_trace ods in
+                   List.exists
+                     (fun av ->
+                        List.length ov = Array.length av
+                        && List.for_all2
+                             (fun o a -> a = Direction.Dany || a = o)
+                             ov (Array.to_list av))
+                     t.directions)
+                obs.directions)
+         report.pair_reports)
+
+let prop_separable_exact =
+  QCheck.Test.make
+    ~name:"dimension-by-dimension refinement matches the oracle exactly"
+    ~count:150 Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       (* Unused/distance pruning off so every vector is concrete; the
+          separable cross product must still be the oracle's set. *)
+       let cfg =
+         {
+           exact_config with
+           Analyzer.prune =
+             { Direction.no_pruning with Direction.separable = true };
+         }
+       in
+       let report = Analyzer.analyze ~config:cfg prog in
+       List.for_all
+         (fun (r : Analyzer.pair_report) ->
+            let obs = Trace.observe prog ~site1:r.loc1 ~site2:r.loc2 in
+            match r.outcome with
+            | Analyzer.Constant dep -> dep = obs.dependent
+            | Analyzer.Gcd_independent -> not obs.dependent
+            | Analyzer.Assumed_dependent -> true
+            | Analyzer.Tested t ->
+              t.dependent = obs.dependent
+              && List.sort_uniq compare (List.map vector_key t.directions)
+                 = List.sort_uniq compare
+                     (List.map
+                        (fun ds ->
+                           vector_key (Array.of_list (List.map dir_of_trace ds)))
+                        obs.directions))
+         report.pair_reports)
+
+(* Symbolic analysis is input-independent; its claims must hold for
+   every concrete input: an "independent" verdict means no input
+   exhibits a dependence, and the direction-vector set must cover
+   whatever any input exhibits. *)
+let prop_symbolic_sound_for_all_inputs =
+  QCheck.Test.make ~name:"symbolic verdicts sound for every sampled input"
+    ~count:60 Test_support.Gen_ast.arb_symbolic_nest
+    (fun prog ->
+       (* Keep the oracle affordable: skip the largest iteration
+          spaces. *)
+       let loops = ref [] in
+       Ast.iter_stmts
+         (fun s ->
+            match s.Ast.sdesc with
+            | Ast.For _ -> loops := s :: !loops
+            | _ -> ())
+         prog;
+       QCheck.assume (List.length !loops <= 2);
+       let report = Analyzer.analyze ~config:exact_config prog in
+       List.for_all
+         (fun n ->
+            let inputs = [ ("n", n) ] in
+            List.for_all
+              (fun (r : Analyzer.pair_report) ->
+                 let obs = Trace.observe ~inputs prog ~site1:r.loc1 ~site2:r.loc2 in
+                 match r.outcome with
+                 | Analyzer.Constant dep -> dep = obs.dependent
+                 | Analyzer.Gcd_independent -> not obs.dependent
+                 | Analyzer.Assumed_dependent -> true
+                 | Analyzer.Tested t ->
+                   if not t.dependent then not obs.dependent
+                   else
+                     (* Coverage: every observed vector appears. *)
+                     List.for_all
+                       (fun ds ->
+                          let ov =
+                            vector_key (Array.of_list (List.map dir_of_trace ds))
+                          in
+                          List.exists (fun av -> vector_key av = ov) t.directions)
+                       obs.directions)
+              report.pair_reports)
+         [ -3; 0; 2 ])
+
+let prop_plain_verdict_matches_oracle =
+  QCheck.Test.make ~name:"plain cascade verdict matches oracle" ~count:200
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       let report = Analyzer.analyze ~config:plain_config prog in
+       List.for_all
+         (fun (r : Analyzer.pair_report) ->
+            let obs = Trace.observe prog ~site1:r.loc1 ~site2:r.loc2 in
+            match r.outcome with
+            | Analyzer.Constant dep -> dep = obs.dependent
+            | Analyzer.Gcd_independent -> not obs.dependent
+            | Analyzer.Assumed_dependent -> true
+            | Analyzer.Tested t ->
+              (not t.unknown) && t.dependent = obs.dependent)
+         report.pair_reports)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "analyzer"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "intro independent" `Quick test_intro_independent;
+          Alcotest.test_case "intro dependent" `Quick test_intro_dependent;
+          Alcotest.test_case "intro plain mode" `Quick test_intro_plain_mode;
+          Alcotest.test_case "coupled svpc (s3.2)" `Quick test_coupled_svpc_example;
+          Alcotest.test_case "write 2i (s6)" `Quick test_section6_write_2i;
+          Alcotest.test_case "constant subscripts" `Quick test_constant_subscripts;
+          Alcotest.test_case "symbolic (s8)" `Quick test_symbolic_section8;
+          Alcotest.test_case "symbolic exact independence" `Quick
+            test_symbolic_exact_independence;
+          Alcotest.test_case "symbolic versioning" `Quick test_symbolic_versioning;
+          Alcotest.test_case "distance not constant (s6)" `Quick
+            test_distance_not_constant;
+          Alcotest.test_case "control flow conservative" `Quick
+            test_control_flow_conservative;
+          Alcotest.test_case "parallel loops client" `Quick test_parallel_loops_client;
+          Alcotest.test_case "self pair output dependence" `Quick
+            test_self_pair_output_dependence;
+          Alcotest.test_case "triangular bounds" `Quick test_triangular_bounds;
+        ] );
+      ( "oracle-properties",
+        [
+          qt prop_analyzer_exact;
+          qt prop_memo_transparent;
+          qt prop_pruning_sound;
+          qt prop_separable_exact;
+          qt prop_symbolic_sound_for_all_inputs;
+          qt prop_plain_verdict_matches_oracle;
+        ] );
+    ]

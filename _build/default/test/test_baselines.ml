@@ -1,0 +1,199 @@
+(* Baseline (inexact) test validation. The paper's point is that the
+   traditional tests are conservative — sound but imprecise. We check
+   both halves: they never contradict the exact analyzer on dependent
+   pairs (soundness, property-tested), and there exist pairs where they
+   lose precision (the coupled-subscript cases of section 1). *)
+
+open Dda_core
+open Dda_lang
+open Dda_baselines.Banerjee
+
+let parse = Parser.parse_program
+
+let exact_config =
+  {
+    Analyzer.default_config with
+    Analyzer.prune = Direction.no_pruning;
+    memo = Analyzer.Memo_simple;
+    run_pipeline = false;
+    within_nest_only = false;
+  }
+
+let build_pairs prog =
+  let sites = Affine.extract prog in
+  let pairs = ref [] in
+  let arr = Array.of_list sites in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      let s1 = arr.(i) and s2 = arr.(j) in
+      if
+        String.equal s1.Affine.array s2.Affine.array
+        && (s1.Affine.role = `Write || s2.Affine.role = `Write)
+      then
+        match Build_problem.build s1 s2 with
+        | Some p -> pairs := (s1, s2, p) :: !pairs
+        | None -> ()
+    done
+  done;
+  List.rev !pairs
+
+let the_problem src =
+  match build_pairs (parse src) with
+  | [ (_, _, p) ] -> p
+  | ps -> Alcotest.failf "expected one pair, got %d" (List.length ps)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gcd_catches_parity () =
+  (* 2i vs 2i'+1: even never equals odd. *)
+  let p = the_problem "for i = 1 to 10 do a[2*i] = a[2*i+1] + 1 end" in
+  Alcotest.(check bool) "gcd independent" true (gcd_test p = Independent);
+  Alcotest.(check bool) "combined independent" true (combined p = Independent)
+
+let test_bounds_catches_offset () =
+  (* The paper's introduction: a[i] vs a[i+10] on 1..10. GCD cannot see
+     it; the bounds test can. *)
+  let p = the_problem "for i = 1 to 10 do a[i] = a[i+10] + 3 end" in
+  Alcotest.(check bool) "gcd cannot" true (gcd_test p = Maybe_dependent);
+  Alcotest.(check bool) "bounds can" true (bounds_test p = Independent)
+
+let test_misses_coupled_subscripts () =
+  (* i = i' and i = i' + 1 are jointly unsatisfiable, but each
+     dimension alone is fine: the per-dimension baseline must miss it
+     while the exact analyzer (via extended GCD) catches it. *)
+  let src = "for i = 1 to 10 do a[i][i] = a[i][i+1] + 1 end" in
+  let p = the_problem src in
+  Alcotest.(check bool) "baseline misses" true (combined p = Maybe_dependent);
+  let report = Analyzer.analyze ~config:exact_config (parse src) in
+  let r =
+    List.find (fun (r : Analyzer.pair_report) -> not r.self_pair) report.pair_reports
+  in
+  match r.outcome with
+  | Analyzer.Gcd_independent -> ()
+  | Analyzer.Tested t -> Alcotest.(check bool) "exact independent" false t.dependent
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_dependent_stays_dependent () =
+  let p = the_problem "for i = 1 to 10 do a[i+1] = a[i] + 3 end" in
+  Alcotest.(check bool) "maybe dependent" true (combined p = Maybe_dependent)
+
+let test_empty_loop_independent () =
+  let p = the_problem "for i = 10 to 1 do a[i+1] = a[i] + 3 end" in
+  Alcotest.(check bool) "zero-trip loop" true (bounds_test p = Independent)
+
+let test_directions_single_vector () =
+  (* The paper's setup: a[i] vs a[i-1] under an extra unused outer
+     loop must come back as the single vector "star,<" — not three. *)
+  let src =
+    "for j = 1 to 10 do for i = 1 to 10 do a[i] = a[i-1] + 1 end end"
+  in
+  let p = the_problem src in
+  match directions p with
+  | Some [ v ] ->
+    Alcotest.(check string) "(*,<)" "(*,<)"
+      (Format.asprintf "%a" Direction.pp_vector v)
+  | Some vs -> Alcotest.failf "expected 1 vector, got %d" (List.length vs)
+  | None -> Alcotest.fail "expected dependence"
+
+let test_directions_refine () =
+  let p = the_problem "for i = 1 to 10 do a[i+1] = a[i] + 3 end" in
+  match directions p with
+  | Some [ v ] ->
+    Alcotest.(check string) "(<)" "(<)" (Format.asprintf "%a" Direction.pp_vector v)
+  | Some vs -> Alcotest.failf "expected 1 vector, got %d" (List.length vs)
+  | None -> Alcotest.fail "expected dependence"
+
+let test_directions_none_when_independent () =
+  let p = the_problem "for i = 1 to 10 do a[i] = a[i+10] + 3 end" in
+  Alcotest.(check bool) "no vectors" true (directions p = None)
+
+(* ------------------------------------------------------------------ *)
+(* Conservativeness properties                                         *)
+(* ------------------------------------------------------------------ *)
+
+let covered concrete claim =
+  Array.length concrete = Array.length claim
+  && (let ok = ref true in
+      Array.iteri
+        (fun i c ->
+           match claim.(i) with
+           | Direction.Dany -> ()
+           | d -> if d <> c then ok := false)
+        concrete;
+      !ok)
+
+let prop_baseline_sound =
+  QCheck.Test.make
+    ~name:"baseline never claims independence on a dependent pair" ~count:250
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       let report = Analyzer.analyze ~config:exact_config prog in
+       let exact_by_locs =
+         List.filter_map
+           (fun (r : Analyzer.pair_report) ->
+              match r.outcome with
+              | Analyzer.Tested t -> Some ((r.loc1, r.loc2), (t.dependent, t.directions))
+              | _ -> None)
+           report.pair_reports
+       in
+       List.for_all
+         (fun ((s1 : Affine.site), (s2 : Affine.site), p) ->
+            match List.assoc_opt (s1.site_loc, s2.site_loc) exact_by_locs with
+            | None -> true
+            | Some (exact_dep, exact_vectors) -> (
+                (* Verdict soundness. *)
+                ((not exact_dep) || combined p = Maybe_dependent)
+                &&
+                (* Direction coverage. *)
+                match directions p with
+                | None -> not exact_dep
+                | Some claimed ->
+                  List.for_all
+                    (fun c -> List.exists (covered c) claimed)
+                    exact_vectors))
+         (build_pairs prog))
+
+let prop_baseline_never_beats_exact =
+  QCheck.Test.make
+    ~name:"exact independent set contains baseline independent set" ~count:250
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       let report = Analyzer.analyze ~config:exact_config prog in
+       List.for_all
+         (fun ((s1 : Affine.site), (s2 : Affine.site), p) ->
+            match
+              List.find_opt
+                (fun (r : Analyzer.pair_report) ->
+                   Dda_lang.Loc.equal r.loc1 s1.site_loc
+                   && Dda_lang.Loc.equal r.loc2 s2.site_loc)
+                report.pair_reports
+            with
+            | Some { outcome = Analyzer.Tested t; _ } ->
+              (* Baseline independent implies exact independent. *)
+              combined p = Maybe_dependent || not t.dependent
+            | _ -> true)
+         (build_pairs prog))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "baselines"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "gcd catches parity" `Quick test_gcd_catches_parity;
+          Alcotest.test_case "bounds catches offset" `Quick test_bounds_catches_offset;
+          Alcotest.test_case "misses coupled subscripts" `Quick
+            test_misses_coupled_subscripts;
+          Alcotest.test_case "dependent stays dependent" `Quick
+            test_dependent_stays_dependent;
+          Alcotest.test_case "empty loop" `Quick test_empty_loop_independent;
+          Alcotest.test_case "directions unused var" `Quick test_directions_single_vector;
+          Alcotest.test_case "directions refine" `Quick test_directions_refine;
+          Alcotest.test_case "directions independent" `Quick
+            test_directions_none_when_independent;
+        ] );
+      ( "conservativeness",
+        [ qt prop_baseline_sound; qt prop_baseline_never_beats_exact ] );
+    ]

@@ -1,0 +1,522 @@
+(* Tests for the individual dependence tests and the cascade, all
+   cross-validated against brute-force enumeration — the master
+   exactness property of the paper. *)
+
+open Dda_numeric
+open Dda_core
+open Test_support
+
+let z = Zint.of_int
+
+let mk nvars rows = Consys.make ~nvars (List.map (fun (c, b) -> Consys.row_of_ints c b) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Consys and Bounds basics                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_normalize_row () =
+  (* 2x <= 5  ==>  x <= 2 (integer tightening) *)
+  let r = Consys.row_of_ints [ 2 ] 5 in
+  let n = Consys.normalize_row r in
+  Alcotest.(check bool) "coeff 1" true (Zint.is_one n.coeffs.(0));
+  Alcotest.(check bool) "rhs 2" true (Zint.equal n.rhs (z 2));
+  (* -2x <= -5  ==>  -x <= -3, i.e. x >= 3 *)
+  let r2 = Consys.normalize_row (Consys.row_of_ints [ -2 ] (-5)) in
+  Alcotest.(check bool) "rhs -3" true (Zint.equal r2.rhs (z (-3)));
+  (* Zero row untouched *)
+  let r3 = Consys.normalize_row (Consys.row_of_ints [ 0; 0 ] 7) in
+  Alcotest.(check bool) "zero row" true (Zint.equal r3.rhs (z 7))
+
+let test_bounds_absorb () =
+  let b = Bounds.create 2 in
+  (* 3*t0 <= 10 -> t0 <= 3 *)
+  (match Bounds.absorb b (Consys.row_of_ints [ 3; 0 ] 10) with
+   | `Absorbed -> ()
+   | _ -> Alcotest.fail "absorb");
+  Alcotest.(check bool) "hi 3" true (Ext_int.equal (Bounds.hi b 0) (Ext_int.of_int 3));
+  (* -2*t0 <= -5 -> t0 >= 3 (ceil 5/2) *)
+  ignore (Bounds.absorb b (Consys.row_of_ints [ -2; 0 ] (-5)));
+  Alcotest.(check bool) "lo 3" true (Ext_int.equal (Bounds.lo b 0) (Ext_int.of_int 3));
+  Alcotest.(check bool) "consistent" true (Bounds.consistent b);
+  ignore (Bounds.absorb b (Consys.row_of_ints [ 1; 0 ] 2));
+  Alcotest.(check bool) "now empty" false (Bounds.consistent b);
+  (match Bounds.absorb b (Consys.row_of_ints [ 0; 0 ] (-1)) with
+   | `False -> ()
+   | _ -> Alcotest.fail "constant false");
+  match Bounds.absorb b (Consys.row_of_ints [ 0; 0 ] 1) with
+  | `Trivial -> ()
+  | _ -> Alcotest.fail "constant true"
+
+(* ------------------------------------------------------------------ *)
+(* SVPC: the paper's section 3.2 example                               *)
+(* ------------------------------------------------------------------ *)
+
+(* After GCD preprocessing of a[i1][i2] = a[i2+10][i1+9] in a 1..10
+   double loop, the t-space constraints are: 1 <= t1 <= 10,
+   1 <= t2 <= 10, 1 <= t2+9 <= 10, 1 <= t1-10 <= 10. The last one
+   forces t1 >= 11: independent. *)
+let test_svpc_paper_example () =
+  let sys =
+    mk 2
+      [
+        ([ 1; 0 ], 10); ([ -1; 0 ], -1);   (* 1 <= t1 <= 10 *)
+        ([ 0; 1 ], 10); ([ 0; -1 ], -1);   (* 1 <= t2 <= 10 *)
+        ([ 0; 1 ], 1); ([ 0; -1 ], 8);     (* 1 <= t2+9 <= 10 *)
+        ([ 1; 0 ], 20); ([ -1; 0 ], -11);  (* 1 <= t1-10 <= 10 *)
+      ]
+  in
+  (match Svpc.run sys with
+   | Svpc.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible");
+  (* Loosening the offending constraint makes it feasible. *)
+  let sys2 =
+    mk 2 [ ([ 1; 0 ], 10); ([ -1; 0 ], -1); ([ 0; 1 ], 10); ([ 0; -1 ], -1) ]
+  in
+  match Svpc.run sys2 with
+  | Svpc.Feasible box -> (
+      match Bounds.sample box with
+      | Some w -> Alcotest.(check bool) "witness valid" true (Consys.satisfies_all w sys2)
+      | None -> Alcotest.fail "expected sample")
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_svpc_partial () =
+  let sys = mk 2 [ ([ 1; 0 ], 5); ([ 1; 1 ], 3) ] in
+  match Svpc.run sys with
+  | Svpc.Partial (_, [ r ]) -> Alcotest.(check int) "multi row kept" 2 (Consys.num_vars_used r)
+  | _ -> Alcotest.fail "expected partial"
+
+let test_svpc_unbounded_feasible () =
+  (* Only lower bounds: feasible with infinite box. *)
+  let sys = mk 2 [ ([ -1; 0 ], -1); ([ 0; -1 ], 5) ] in
+  match Svpc.run sys with
+  | Svpc.Feasible box -> (
+      match Bounds.sample box with
+      | Some w -> Alcotest.(check bool) "witness" true (Consys.satisfies_all w sys)
+      | None -> Alcotest.fail "sample")
+  | _ -> Alcotest.fail "expected feasible"
+
+(* ------------------------------------------------------------------ *)
+(* Acyclic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* t1 + 2t2 - t3 <= 0 with boxes: acyclic in the paper's graph sense. *)
+let test_acyclic_feasible () =
+  let sys =
+    mk 3
+      [
+        ([ 1; 0; 0 ], 4); ([ -1; 0; 0 ], 0);    (* 0 <= t1 <= 4 *)
+        ([ 0; 1; 0 ], 4); ([ 0; -1; 0 ], -1);   (* 1 <= t2 <= 4 *)
+        ([ 0; 0; 1 ], 4); ([ 0; 0; -1 ], 0);    (* 0 <= t3 <= 4 *)
+        ([ 1; 2; -1 ], 0);
+      ]
+  in
+  match Svpc.run sys with
+  | Svpc.Partial (box, multi) -> (
+      match Acyclic.run box multi with
+      | Acyclic.Feasible (_, _) -> ()
+      | _ -> Alcotest.fail "expected feasible")
+  | _ -> Alcotest.fail "expected partial"
+
+let test_acyclic_infeasible () =
+  (* t1 + t2 <= 0 with both >= 1. *)
+  let sys =
+    mk 2 [ ([ -1; 0 ], -1); ([ 0; -1 ], -1); ([ 1; 1 ], 0) ]
+  in
+  match Svpc.run sys with
+  | Svpc.Partial (box, multi) -> (
+      match Acyclic.run box multi with
+      | Acyclic.Infeasible -> ()
+      | _ -> Alcotest.fail "expected infeasible")
+  | _ -> Alcotest.fail "expected partial"
+
+let test_acyclic_cycle_detected () =
+  (* t1 - t2 <= -1 and t2 - t1 <= -1: a genuine cycle (and infeasible,
+     but not the acyclic test's job to know). *)
+  let sys = mk 2 [ ([ 1; -1 ], -1); ([ -1; 1 ], -1) ] in
+  match Svpc.run sys with
+  | Svpc.Partial (box, multi) -> (
+      match Acyclic.run box multi with
+      | Acyclic.Cycle (_, rows) -> Alcotest.(check int) "both rows remain" 2 (List.length rows)
+      | _ -> Alcotest.fail "expected cycle")
+  | _ -> Alcotest.fail "expected partial"
+
+let test_acyclic_unbounded_discharge () =
+  (* t1 + t2 <= 0, t2 >= 3, t1 unbounded below: feasible by pushing t1
+     low. *)
+  let sys = mk 2 [ ([ 0; -1 ], -3); ([ 1; 1 ], 0) ] in
+  match Svpc.run sys with
+  | Svpc.Partial (box, multi) -> (
+      match Acyclic.run box multi with
+      | Acyclic.Feasible (_, pins) -> Alcotest.(check int) "no pin needed" 0 (List.length pins)
+      | _ -> Alcotest.fail "expected feasible")
+  | _ -> Alcotest.fail "expected partial"
+
+(* ------------------------------------------------------------------ *)
+(* Loop Residue                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lr_input rows =
+  match Svpc.run rows with
+  | Svpc.Partial (box, multi) -> (box, multi)
+  | Svpc.Feasible box -> (box, [])
+  | Svpc.Infeasible -> Alcotest.fail "unexpected svpc infeasible"
+
+let test_lr_negative_cycle () =
+  (* Paper section 3.4 / figure 1 flavor: t1 <= t2 + 4, t2 <= t0(=0
+     node) ... craft: t1 - t2 <= 4, t2 - t1 <= -5: cycle value -1. *)
+  let sys = mk 2 [ ([ 1; -1 ], 4); ([ -1; 1 ], -5) ] in
+  let box, multi = lr_input sys in
+  (match Loop_residue.run box multi with
+   | Some Loop_residue.Infeasible -> ()
+   | _ -> Alcotest.fail "expected negative cycle");
+  (* Relax to cycle value 0: feasible. *)
+  let sys2 = mk 2 [ ([ 1; -1 ], 4); ([ -1; 1 ], -4) ] in
+  let box2, multi2 = lr_input sys2 in
+  match Loop_residue.run box2 multi2 with
+  | Some (Loop_residue.Feasible w) ->
+    Alcotest.(check bool) "witness" true (Consys.satisfies_all w sys2)
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_lr_equal_coefficient_extension () =
+  (* 3t1 - 3t2 <= 7 tightens to t1 - t2 <= 2 (paper's extension). With
+     t2 <= 0 and t1 >= 3 it is exactly satisfiable at distance 3 > 2:
+     infeasible. *)
+  let sys = mk 2 [ ([ 3; -3 ], 7); ([ 0; 1 ], 0); ([ -1; 0 ], -3) ] in
+  let box, multi = lr_input sys in
+  (match Loop_residue.run box multi with
+   | Some Loop_residue.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible");
+  (* 3t1 - 3t2 <= 9 allows distance 3. *)
+  let sys2 = mk 2 [ ([ 3; -3 ], 9); ([ 0; 1 ], 0); ([ -1; 0 ], -3) ] in
+  let box2, multi2 = lr_input sys2 in
+  match Loop_residue.run box2 multi2 with
+  | Some (Loop_residue.Feasible w) ->
+    Alcotest.(check bool) "witness" true (Consys.satisfies_all w sys2)
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_lr_applicability () =
+  Alcotest.(check bool) "2-var equal-magnitude ok" true
+    (Loop_residue.applicable [ Consys.row_of_ints [ 2; -2; 0 ] 5 ]);
+  Alcotest.(check bool) "unequal magnitudes not ok" false
+    (Loop_residue.applicable [ Consys.row_of_ints [ 2; -3; 0 ] 5 ]);
+  Alcotest.(check bool) "same-sign pair not ok" false
+    (Loop_residue.applicable [ Consys.row_of_ints [ 1; 1; 0 ] 5 ]);
+  Alcotest.(check bool) "3 vars not ok" false
+    (Loop_residue.applicable [ Consys.row_of_ints [ 1; -1; 1 ] 5 ]);
+  Alcotest.(check bool) "single var ok" true
+    (Loop_residue.applicable [ Consys.row_of_ints [ 0; 4; 0 ] 5 ])
+
+let test_lr_dot () =
+  let sys = mk 2 [ ([ 1; -1 ], 4); ([ -1; 1 ], -5); ([ 1; 0 ], 3) ] in
+  let box, multi = lr_input sys in
+  let dot = Loop_residue.to_dot box multi in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  (* Contains an edge between variable nodes and one touching n0. *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "var edge" true (contains "t1 -> t0" dot);
+  Alcotest.(check bool) "n0 edge" true (contains "n0 -> t0" dot)
+
+(* ------------------------------------------------------------------ *)
+(* Fourier-Motzkin                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fm_feasible_with_witness () =
+  let sys = mk 2 [ ([ 1; 1 ], 5); ([ -1; -1 ], -5); ([ 1; -1 ], 1); ([ -1; 1 ], 1) ] in
+  (* t1 + t2 = 5, |t1 - t2| <= 1: (2,3) or (3,2). *)
+  match Fourier.run sys with
+  | Fourier.Feasible w ->
+    Alcotest.(check bool) "witness" true (Consys.satisfies_all w sys)
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_fm_rational_infeasible () =
+  let sys = mk 1 [ ([ 2 ], 1); ([ -2 ], -3) ] in
+  (* 2t <= 1 and 2t >= 3: rationally infeasible already. *)
+  match Fourier.run sys with
+  | Fourier.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_fm_integer_gap () =
+  (* 1/2 <= t <= 2/3: rationally feasible, no integer. The single
+     variable is last-eliminated, so the paper's special case proves
+     independence with no branching. *)
+  let sys = mk 1 [ ([ 2 ], -1) ] in
+  ignore sys;
+  let sys = mk 1 [ ([ -2 ], -1); ([ 3 ], 2) ] in
+  let stats = Fourier.fresh_stats () in
+  (match Fourier.run ~stats sys with
+   | Fourier.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible");
+  Alcotest.(check int) "no branches needed" 0 stats.branches
+
+let test_fm_branch_and_bound () =
+  (* 2t1 - 2t2 = 1 cannot hold over the integers but is rationally
+     fine; encoded as two inequalities over two variables so the gap
+     only shows during back-substitution of the non-final variable. *)
+  let sys = mk 2 [ ([ 2; -2 ], 1); ([ -2; 2 ], -1); ([ 1; 0 ], 10); ([ -1; 0 ], 10); ([ 0; 1 ], 10); ([ 0; -1 ], 10) ] in
+  match Fourier.run sys with
+  | Fourier.Infeasible -> ()
+  | Fourier.Feasible w ->
+    Alcotest.failf "claimed witness (%s, %s)" (Zint.to_string w.(0)) (Zint.to_string w.(1))
+  | Fourier.Unknown -> Alcotest.fail "unknown"
+
+let test_fm_tighten_mode () =
+  (* With tightening, 2t1 - 2t2 <= 1 becomes t1 - t2 <= 0; combined
+     with t1 - t2 >= 1 it is infeasible without any integer sampling. *)
+  let sys = mk 2 [ ([ 2; -2 ], 1); ([ -1; 1 ], -1) ] in
+  (match Fourier.run ~tighten:true sys with
+   | Fourier.Infeasible -> ()
+   | _ -> Alcotest.fail "tighten should prove infeasible");
+  match Fourier.run sys with
+  | Fourier.Infeasible -> () (* plain mode gets there via sampling/B&B *)
+  | _ -> Alcotest.fail "plain mode should also prove infeasible"
+
+let test_fm_coefficient_growth () =
+  (* A chain x_{k+1} in [3 x_k + 1, 3 x_k + 2] over 9 variables: each
+     elimination multiplies coefficients by 3, pushing intermediate
+     values well past anything a fixed-width integer could track had we
+     used one. The witness must satisfy the original system. *)
+  let n = 9 in
+  let rows = ref [] in
+  let row coeffs rhs = rows := { Consys.coeffs; rhs = z rhs } :: !rows in
+  let unit i c = Array.init n (fun j -> if j = i then z c else Zint.zero) in
+  row (unit 0 1) 1;
+  row (unit 0 (-1)) 0;
+  for k = 0 to n - 2 do
+    (* x_{k+1} - 3 x_k <= 2  and  3 x_k - x_{k+1} <= -1 *)
+    let up = Array.make n Zint.zero and lo = Array.make n Zint.zero in
+    up.(k + 1) <- z 1;
+    up.(k) <- z (-3);
+    lo.(k) <- z 3;
+    lo.(k + 1) <- z (-1);
+    rows := { Consys.coeffs = up; rhs = z 2 } :: { Consys.coeffs = lo; rhs = z (-1) } :: !rows
+  done;
+  let sys = Consys.make ~nvars:n !rows in
+  (match Fourier.run sys with
+   | Fourier.Feasible w ->
+     Alcotest.(check bool) "witness satisfies" true (Consys.satisfies_all w sys);
+     (* The last variable is at least 3^8 / 2-ish when x_0 = 1. *)
+     Alcotest.(check bool) "values grow" true
+       (Zint.compare w.(n - 1) (z 100) > 0 || Zint.compare w.(0) (z 1) < 0)
+   | _ -> Alcotest.fail "chain is satisfiable");
+  (* Forcing x_0 >= 1 and x_{n-1} <= 100 makes it infeasible
+     (3^8 > 100): the infeasibility proof also needs exact
+     arithmetic. *)
+  let cap = Array.make n Zint.zero in
+  cap.(n - 1) <- z 1;
+  let floor0 = Array.make n Zint.zero in
+  floor0.(0) <- z (-1);
+  let sys2 =
+    Consys.make ~nvars:n
+      ({ Consys.coeffs = cap; rhs = z 100 }
+       :: { Consys.coeffs = floor0; rhs = z (-1) }
+       :: !rows)
+  in
+  match Fourier.run sys2 with
+  | Fourier.Infeasible -> ()
+  | _ -> Alcotest.fail "capped chain should be infeasible"
+
+let test_fm_unbounded () =
+  let sys = mk 2 [ ([ 1; -1 ], -1) ] in
+  match Fourier.run sys with
+  | Fourier.Feasible w -> Alcotest.(check bool) "witness" true (Consys.satisfies_all w sys)
+  | _ -> Alcotest.fail "expected feasible"
+
+(* ------------------------------------------------------------------ *)
+(* Properties: every test agrees with brute force                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_cascade_exact =
+  QCheck.Test.make ~name:"cascade agrees with brute force" ~count:800
+    Gen_sys.arb_boxed
+    (fun boxed ->
+       let truth = Gen_sys.brute_feasible boxed in
+       match (Cascade.run boxed.sys).verdict with
+       | Cascade.Independent -> not truth
+       | Cascade.Dependent w ->
+         truth
+         && (match w with
+             | Some w -> Consys.satisfies_all w boxed.sys
+             | None -> true)
+       | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+
+let prop_fourier_exact =
+  QCheck.Test.make ~name:"fourier alone agrees with brute force" ~count:500
+    Gen_sys.arb_boxed
+    (fun boxed ->
+       let truth = Gen_sys.brute_feasible boxed in
+       match Fourier.run boxed.sys with
+       | Fourier.Infeasible -> not truth
+       | Fourier.Feasible w -> truth && Consys.satisfies_all w boxed.sys
+       | Fourier.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+
+let prop_fourier_tighten_exact =
+  QCheck.Test.make ~name:"fourier with tightening agrees with brute force"
+    ~count:500 Gen_sys.arb_boxed
+    (fun boxed ->
+       let truth = Gen_sys.brute_feasible boxed in
+       match Fourier.run ~tighten:true boxed.sys with
+       | Fourier.Infeasible -> not truth
+       | Fourier.Feasible w -> truth && Consys.satisfies_all w boxed.sys
+       | Fourier.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+
+let prop_loop_residue_exact =
+  QCheck.Test.make ~name:"loop residue agrees with brute force on difference systems"
+    ~count:500 Gen_sys.arb_boxed_diff
+    (fun boxed ->
+       let truth = Gen_sys.brute_feasible boxed in
+       match Svpc.run boxed.sys with
+       | Svpc.Infeasible -> not truth
+       | Svpc.Feasible _ -> truth
+       | Svpc.Partial (box, multi) -> (
+           match Loop_residue.run box multi with
+           | None -> QCheck.Test.fail_reportf "LR should apply to difference rows"
+           | Some Loop_residue.Infeasible -> not truth
+           | Some (Loop_residue.Feasible w) ->
+             truth && Consys.satisfies_all w boxed.sys))
+
+(* The paper's section 2.1: integer programming in the form
+   "exists x, A x = b, 0 <= x <= U" reduces to dependence testing. We
+   encode random instances as one-reference problems (equalities plus
+   box bounds), push them through the Extended GCD reduction and the
+   cascade, and compare with brute force — exercising the
+   equality-handling path end to end. *)
+let arb_ip =
+  QCheck.make
+    ~print:(fun (p, _, _) -> Format.asprintf "%a" Dda_core.Problem.pp p)
+    QCheck.Gen.(
+      int_range 1 4 >>= fun n ->
+      int_range 1 3 >>= fun m ->
+      list_repeat n (int_range 2 6) >>= fun ubs ->
+      list_repeat m (list_repeat n (int_range (-3) 3)) >>= fun rows ->
+      list_repeat m (int_range (-6) 12) >>= fun rhss ->
+      let names = Array.init n (Printf.sprintf "x%d") in
+      let eqs =
+        List.map2 (fun coeffs rhs -> Consys.row_of_ints coeffs rhs) rows rhss
+      in
+      let bound i c rhs =
+        let coeffs = Array.make n Zint.zero in
+        coeffs.(i) <- z c;
+        { Problem.row = { Consys.coeffs; rhs = z rhs }; subject = i }
+      in
+      let ineqs =
+        List.concat
+          (List.mapi (fun i ub -> [ bound i 1 ub; bound i (-1) 0 ]) ubs)
+      in
+      let p =
+        Problem.make ~names ~n1:n ~n2:0 ~nsym:0 ~ncommon:0 ~eqs ~ineqs
+      in
+      return (p, Array.of_list ubs, n))
+
+let brute_ip (p : Problem.t) ubs n =
+  let point = Array.make n Zint.zero in
+  let rec go i =
+    if i >= n then Problem.satisfies point p
+    else begin
+      let rec try_v v =
+        v <= ubs.(i)
+        && (point.(i) <- z v;
+            go (i + 1) || try_v (v + 1))
+      in
+      try_v 0
+    end
+  in
+  go 0
+
+let prop_ip_reduction_exact =
+  QCheck.Test.make
+    ~name:"integer programming via the GCD reduction + cascade (paper s2.1)"
+    ~count:500 arb_ip
+    (fun (p, ubs, n) ->
+       let truth = brute_ip p ubs n in
+       match Gcd_test.run p with
+       | Gcd_test.Independent -> not truth
+       | Gcd_test.Reduced red -> (
+           match (Cascade.run red.Gcd_test.system).verdict with
+           | Cascade.Independent -> not truth
+           | Cascade.Dependent w ->
+             truth
+             && (match w with
+                 | Some t ->
+                   (* Map the parameter witness back and check it. *)
+                   Problem.satisfies (Gcd_test.x_of_t red t) p
+                 | None -> true)
+           | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown"))
+
+let prop_svpc_sound =
+  QCheck.Test.make ~name:"svpc verdicts are sound" ~count:500 Gen_sys.arb_boxed
+    (fun boxed ->
+       let truth = Gen_sys.brute_feasible boxed in
+       match Svpc.run boxed.sys with
+       | Svpc.Infeasible -> not truth
+       | Svpc.Feasible _ -> truth
+       | Svpc.Partial _ -> true)
+
+let prop_acyclic_sound =
+  QCheck.Test.make ~name:"acyclic verdicts are sound" ~count:500 Gen_sys.arb_boxed
+    (fun boxed ->
+       let truth = Gen_sys.brute_feasible boxed in
+       match Svpc.run boxed.sys with
+       | Svpc.Infeasible -> not truth
+       | Svpc.Feasible _ -> truth
+       | Svpc.Partial (box, multi) -> (
+           match Acyclic.run box multi with
+           | Acyclic.Infeasible -> not truth
+           | Acyclic.Feasible _ -> truth
+           | Acyclic.Cycle _ -> true))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core-tests"
+    [
+      ( "plumbing",
+        [
+          Alcotest.test_case "normalize row" `Quick test_normalize_row;
+          Alcotest.test_case "bounds absorb" `Quick test_bounds_absorb;
+        ] );
+      ( "svpc",
+        [
+          Alcotest.test_case "paper example" `Quick test_svpc_paper_example;
+          Alcotest.test_case "partial" `Quick test_svpc_partial;
+          Alcotest.test_case "unbounded feasible" `Quick test_svpc_unbounded_feasible;
+        ] );
+      ( "acyclic",
+        [
+          Alcotest.test_case "feasible" `Quick test_acyclic_feasible;
+          Alcotest.test_case "infeasible" `Quick test_acyclic_infeasible;
+          Alcotest.test_case "cycle detected" `Quick test_acyclic_cycle_detected;
+          Alcotest.test_case "unbounded discharge" `Quick test_acyclic_unbounded_discharge;
+        ] );
+      ( "loop-residue",
+        [
+          Alcotest.test_case "negative cycle" `Quick test_lr_negative_cycle;
+          Alcotest.test_case "equal coefficient extension" `Quick
+            test_lr_equal_coefficient_extension;
+          Alcotest.test_case "applicability" `Quick test_lr_applicability;
+          Alcotest.test_case "dot output" `Quick test_lr_dot;
+        ] );
+      ( "fourier",
+        [
+          Alcotest.test_case "feasible with witness" `Quick test_fm_feasible_with_witness;
+          Alcotest.test_case "rational infeasible" `Quick test_fm_rational_infeasible;
+          Alcotest.test_case "integer gap" `Quick test_fm_integer_gap;
+          Alcotest.test_case "branch and bound" `Quick test_fm_branch_and_bound;
+          Alcotest.test_case "tighten mode" `Quick test_fm_tighten_mode;
+          Alcotest.test_case "coefficient growth" `Quick test_fm_coefficient_growth;
+          Alcotest.test_case "unbounded" `Quick test_fm_unbounded;
+        ] );
+      ( "exactness",
+        [
+          qt prop_cascade_exact;
+          qt prop_fourier_exact;
+          qt prop_fourier_tighten_exact;
+          qt prop_loop_residue_exact;
+          qt prop_ip_reduction_exact;
+          qt prop_svpc_sound;
+          qt prop_acyclic_sound;
+        ] );
+    ]

@@ -1,0 +1,83 @@
+(* JSON emitter tests: escaping, structure, and the report rendering. *)
+
+open Dda_core
+open Json_out
+
+let test_scalars () =
+  Alcotest.(check string) "null" "null" (to_string Null);
+  Alcotest.(check string) "true" "true" (to_string (Bool true));
+  Alcotest.(check string) "int" "-42" (to_string (Int (-42)));
+  Alcotest.(check string) "string" "\"hi\"" (to_string (Str "hi"))
+
+let test_escaping () =
+  Alcotest.(check string) "quotes" "\"a\\\"b\"" (to_string (Str "a\"b"));
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (to_string (Str "a\\b"));
+  Alcotest.(check string) "newline" "\"a\\nb\"" (to_string (Str "a\nb"));
+  Alcotest.(check string) "tab" "\"a\\tb\"" (to_string (Str "a\tb"));
+  Alcotest.(check string) "control" "\"\\u0001\"" (to_string (Str "\001"))
+
+let test_composite () =
+  Alcotest.(check string) "empty array" "[]" (to_string (List []));
+  Alcotest.(check string) "array" "[1,2,3]"
+    (to_string (List [ Int 1; Int 2; Int 3 ]));
+  Alcotest.(check string) "object" "{\"a\":1,\"b\":[true,null]}"
+    (to_string (Obj [ ("a", Int 1); ("b", List [ Bool true; Null ]) ]));
+  Alcotest.(check string) "empty object" "{}" (to_string (Obj []))
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_report_shape () =
+  let prog =
+    Dda_lang.Parser.parse_program "for i = 1 to 10 do a[i + 1] = a[i] + 3 end"
+  in
+  let r = Analyzer.analyze prog in
+  let json = to_string (report r) in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) ("contains " ^ needle) true (contains needle json))
+    [
+      "\"pairs\":[";
+      "\"array\":\"a\"";
+      "\"verdict\":\"dependent\"";
+      "\"directions\":\"(<)\"";
+      "\"kind\":\"flow\"";
+      "\"distance\":[1]";
+      "\"stats\":{";
+      "\"independent_pairs\":1";
+      "\"dependent_pairs\":1";
+    ]
+
+let test_pp_reparses_as_same_compact () =
+  (* The indented printer and the compact printer agree modulo
+     whitespace. *)
+  let j =
+    Obj
+      [
+        ("x", List [ Int 1; Obj [ ("y", Str "s\"s") ]; Null ]);
+        ("z", Bool false);
+      ]
+  in
+  let pretty = Format.asprintf "%a" pp j in
+  let strip s =
+    String.to_seq s
+    |> Seq.filter (fun c -> c <> ' ' && c <> '\n')
+    |> String.of_seq
+  in
+  Alcotest.(check string) "same modulo whitespace" (strip (to_string j))
+    (strip pretty)
+
+let () =
+  Alcotest.run "json"
+    [
+      ( "emitter",
+        [
+          Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "composite" `Quick test_composite;
+          Alcotest.test_case "pp vs compact" `Quick test_pp_reparses_as_same_compact;
+        ] );
+      ("report", [ Alcotest.test_case "shape" `Quick test_report_shape ]);
+    ]

@@ -1,0 +1,234 @@
+(* Tests for integer linear algebra: matrix arithmetic, Bareiss
+   determinants, and the unimodular echelon factorization that powers
+   the Extended GCD test. The central properties: U.A = D, |det U| = 1,
+   D echelon, and solve_echelon solutions really solve x.A = c. *)
+
+open Dda_numeric
+open Dda_linalg
+
+let z = Zint.of_int
+let zint = Alcotest.testable Zint.pp Zint.equal
+let vec = Alcotest.testable Vec.pp Vec.equal
+let matrix = Alcotest.testable Matrix.pp Matrix.equal
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basics () =
+  let a = Vec.of_list [ 1; 2; 3 ] and b = Vec.of_list [ 4; 5; 6 ] in
+  Alcotest.check vec "add" (Vec.of_list [ 5; 7; 9 ]) (Vec.add a b);
+  Alcotest.check vec "sub" (Vec.of_list [ -3; -3; -3 ]) (Vec.sub a b);
+  Alcotest.check vec "neg" (Vec.of_list [ -1; -2; -3 ]) (Vec.neg a);
+  Alcotest.check vec "scale" (Vec.of_list [ 2; 4; 6 ]) (Vec.scale (z 2) a);
+  Alcotest.check zint "dot" (z 32) (Vec.dot a b);
+  Alcotest.check zint "gcd" (z 3) (Vec.gcd (Vec.of_list [ 6; -9; 12 ]));
+  Alcotest.check zint "gcd zero vec" Zint.zero (Vec.gcd (Vec.make 3));
+  Alcotest.(check bool) "is_zero" true (Vec.is_zero (Vec.make 2));
+  Alcotest.(check bool) "not is_zero" false (Vec.is_zero a)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_mul () =
+  let a = Matrix.of_int_rows [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let b = Matrix.of_int_rows [| [| 5; 6 |]; [| 7; 8 |] |] in
+  Alcotest.check matrix "a*b"
+    (Matrix.of_int_rows [| [| 19; 22 |]; [| 43; 50 |] |])
+    (Matrix.mul a b);
+  Alcotest.check matrix "identity" a (Matrix.mul (Matrix.identity 2) a);
+  Alcotest.check vec "vec_mul"
+    (Vec.of_list [ 7; 10 ])
+    (Matrix.vec_mul (Vec.of_list [ 1; 2 ]) a)
+
+let test_matrix_transpose () =
+  let a = Matrix.of_int_rows [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  Alcotest.check matrix "transpose"
+    (Matrix.of_int_rows [| [| 1; 4 |]; [| 2; 5 |]; [| 3; 6 |] |])
+    (Matrix.transpose a)
+
+let test_matrix_det () =
+  let d rows = Zint.to_int_exn (Matrix.det (Matrix.of_int_rows rows)) in
+  Alcotest.(check int) "2x2" (-2) (d [| [| 1; 2 |]; [| 3; 4 |] |]);
+  Alcotest.(check int) "singular" 0 (d [| [| 1; 2 |]; [| 2; 4 |] |]);
+  Alcotest.(check int) "3x3" 1
+    (d [| [| 1; 0; 0 |]; [| 5; 1; 0 |]; [| -3; 2; 1 |] |]);
+  Alcotest.(check int) "needs pivot swap" (-1)
+    (d [| [| 0; 1 |]; [| 1; 0 |] |]);
+  Alcotest.(check int) "empty" 1 (d [||]);
+  Alcotest.(check int) "3x3 general" 27
+    (d [| [| 2; 0; 1 |]; [| 1; 3; 2 |]; [| 0; 1; 5 |] |])
+
+let test_is_echelon () =
+  let e rows = Matrix.is_echelon (Matrix.of_int_rows rows) in
+  Alcotest.(check bool) "echelon" true (e [| [| 1; 2; 3 |]; [| 0; 4; 5 |] |]);
+  Alcotest.(check bool) "strictly increasing leads" false
+    (e [| [| 1; 2 |]; [| 1; 0 |] |]);
+  Alcotest.(check bool) "zero rows last ok" true
+    (e [| [| 1; 2 |]; [| 0; 0 |] |]);
+  Alcotest.(check bool) "zero row in middle" false
+    (e [| [| 0; 0 |]; [| 1; 2 |] |])
+
+(* ------------------------------------------------------------------ *)
+(* Unimodular factorization                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_factorization a =
+  let { Matrix.u; d; rank; pivots } = Matrix.unimodular_factor a in
+  let det_u = Matrix.det u in
+  Alcotest.(check bool) "|det U| = 1" true (Zint.is_one (Zint.abs det_u));
+  Alcotest.check matrix "U.A = D" d (Matrix.mul u a);
+  Alcotest.(check bool) "D echelon" true (Matrix.is_echelon d);
+  Alcotest.(check int) "rank = #pivots" rank (List.length pivots);
+  List.iter
+    (fun (r, c) ->
+       Alcotest.(check bool) "pivot positive" true (Zint.is_positive d.(r).(c)))
+    pivots
+
+let test_factor_paper_example () =
+  (* Paper, section 3.1: i + 10 = i', i.e. (i, i') . (1, -1)^T = -10.
+     One equation, two variables. *)
+  let a = Matrix.of_int_rows [| [| 1 |]; [| -1 |] |] in
+  check_factorization a;
+  let { Matrix.d; rank; _ } = Matrix.unimodular_factor a in
+  Alcotest.(check int) "rank 1" 1 rank;
+  Alcotest.check zint "lead entry 1" Zint.one d.(0).(0)
+
+let test_factor_various () =
+  List.iter
+    (fun rows -> check_factorization (Matrix.of_int_rows rows))
+    [
+      [| [| 2; 4 |]; [| 6; 8 |] |];
+      [| [| 0; 0 |]; [| 0; 0 |] |];
+      [| [| 10; 15 |]; [| 6; 9 |] |];
+      [| [| 1; 0; 2 |]; [| 0; 1; 3 |]; [| 2; 1; 7 |] |];
+      [| [| 3 |]; [| 5 |]; [| 7 |] |];
+      [| [| 2; 0 |]; [| 0; 3 |]; [| 5; 7 |]; [| -4; 2 |] |];
+    ]
+
+let test_solve_echelon_divisibility () =
+  (* 2x = 5 has no integer solution; 2x = 6 has x = 3. *)
+  let a = Matrix.of_int_rows [| [| 2 |] |] in
+  let { Matrix.d; _ } = Matrix.unimodular_factor a in
+  Alcotest.(check bool) "2x = 5 unsolvable" true
+    (Matrix.solve_echelon ~d ~c:(Vec.of_list [ 5 ]) = None);
+  (match Matrix.solve_echelon ~d ~c:(Vec.of_list [ 6 ]) with
+   | None -> Alcotest.fail "2x = 6 should be solvable"
+   | Some { Matrix.fixed; nfree } ->
+     Alcotest.(check int) "no free vars" 0 nfree;
+     Alcotest.check zint "x = 3" (z 3) fixed.(0))
+
+let test_solve_echelon_consistency () =
+  (* x + y = 1 and 2x + 2y = 3 are inconsistent. *)
+  let a = Matrix.of_int_rows [| [| 1; 2 |]; [| 1; 2 |] |] in
+  let { Matrix.u; d; _ } = Matrix.unimodular_factor a in
+  ignore u;
+  Alcotest.(check bool) "inconsistent" true
+    (Matrix.solve_echelon ~d ~c:(Vec.of_list [ 1; 3 ]) = None);
+  Alcotest.(check bool) "consistent" true
+    (Matrix.solve_echelon ~d ~c:(Vec.of_list [ 1; 2 ]) <> None)
+
+(* Full solution check: if solve_echelon yields Some, then for any
+   assignment of the free parameters, x = t.U satisfies x.A = c. *)
+let check_solutions_satisfy a c free_assignments =
+  let { Matrix.u; d; rank; _ } = Matrix.unimodular_factor a in
+  match Matrix.solve_echelon ~d ~c with
+  | None -> false
+  | Some { Matrix.fixed; nfree } ->
+    List.for_all
+      (fun assignment ->
+         let t = Vec.copy fixed in
+         List.iteri
+           (fun k v -> if k < nfree then t.(rank + k) <- z v)
+           assignment;
+         let x = Matrix.vec_mul t u in
+         Vec.equal (Matrix.vec_mul x a) c)
+      free_assignments
+
+let test_solution_parameterization () =
+  (* i = i' + 10 (paper): solutions (t, t+10)-style families. *)
+  let a = Matrix.of_int_rows [| [| 1 |]; [| -1 |] |] in
+  Alcotest.(check bool) "all parameterized solutions satisfy" true
+    (check_solutions_satisfy a (Vec.of_list [ -10 ])
+       [ [ 0 ]; [ 1 ]; [ -5 ]; [ 100 ] ]);
+  (* Coupled 2D case from section 3.2: i1 = i2' + 10, i2 = i1' + 9. *)
+  let a2 =
+    Matrix.of_int_rows
+      [| [| 1; 0 |]; [| 0; 1 |]; [| 0; -1 |]; [| -1; 0 |] |]
+  in
+  Alcotest.(check bool) "coupled system solutions satisfy" true
+    (check_solutions_satisfy a2 (Vec.of_list [ 10; 9 ])
+       [ [ 0; 0 ]; [ 1; 2 ]; [ -3; 7 ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_matrix =
+  QCheck.map
+    (fun (n, m, seed) ->
+       let st = Random.State.make [| seed |] in
+       Array.init n (fun _ ->
+           Array.init m (fun _ -> z (Random.State.int st 21 - 10))))
+    QCheck.(triple (int_range 1 5) (int_range 1 5) small_int)
+
+let prop_factorization_sound =
+  QCheck.Test.make ~name:"unimodular_factor: U.A = D, |det U| = 1, D echelon"
+    ~count:300 arb_matrix
+    (fun a ->
+       let { Matrix.u; d; rank; pivots } = Matrix.unimodular_factor a in
+       Zint.is_one (Zint.abs (Matrix.det u))
+       && Matrix.equal d (Matrix.mul u a)
+       && Matrix.is_echelon d
+       && rank = List.length pivots)
+
+let prop_solutions_satisfy_system =
+  QCheck.Test.make ~name:"solve_echelon solutions satisfy x.A = c" ~count:300
+    (QCheck.pair arb_matrix (QCheck.int_range (-8) 8))
+    (fun (a, k) ->
+       (* Build a c that is guaranteed solvable: c = x0.A for a random
+          integer x0, then check the returned parameterization. *)
+       let n = Matrix.rows a in
+       let x0 = Array.init n (fun i -> z ((k + i) mod 5 - 2)) in
+       let c = Matrix.vec_mul x0 a in
+       check_solutions_satisfy a c [ [ 0; 0; 0; 0; 0 ]; [ 2; -1; 3; 0; 1 ] ])
+
+let prop_det_multiplicative =
+  QCheck.Test.make ~name:"det (A*B) = det A * det B" ~count:200
+    (QCheck.pair arb_matrix arb_matrix)
+    (fun (a, b) ->
+       QCheck.assume (Matrix.rows a = Matrix.cols a);
+       QCheck.assume (Matrix.rows b = Matrix.cols b);
+       QCheck.assume (Matrix.rows a = Matrix.rows b);
+       Zint.equal
+         (Matrix.det (Matrix.mul a b))
+         (Zint.mul (Matrix.det a) (Matrix.det b)))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "linalg"
+    [
+      ("vec", [ Alcotest.test_case "basics" `Quick test_vec_basics ]);
+      ( "matrix",
+        [
+          Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "det" `Quick test_matrix_det;
+          Alcotest.test_case "is_echelon" `Quick test_is_echelon;
+        ] );
+      ( "factorization",
+        [
+          Alcotest.test_case "paper example" `Quick test_factor_paper_example;
+          Alcotest.test_case "various matrices" `Quick test_factor_various;
+          Alcotest.test_case "divisibility" `Quick test_solve_echelon_divisibility;
+          Alcotest.test_case "consistency" `Quick test_solve_echelon_consistency;
+          Alcotest.test_case "parameterization" `Quick test_solution_parameterization;
+        ] );
+      ( "properties",
+        [
+          qt prop_factorization_sound;
+          qt prop_solutions_satisfy_system;
+          qt prop_det_multiplicative;
+        ] );
+    ]

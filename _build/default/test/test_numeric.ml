@@ -1,0 +1,292 @@
+(* Unit and property tests for the numeric substrate: Zint agrees with
+   native int arithmetic on small values, division invariants hold on
+   large values, and Qnum is a field with correct floor/ceil. *)
+
+open Dda_numeric
+
+let zint = Alcotest.testable Zint.pp Zint.equal
+let qnum = Alcotest.testable Qnum.pp Qnum.equal
+
+let z = Zint.of_int
+let q = Qnum.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Zint unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_zint_basics () =
+  Alcotest.check zint "0 + 0" Zint.zero (Zint.add Zint.zero Zint.zero);
+  Alcotest.check zint "1 + -1" Zint.zero (Zint.add Zint.one Zint.minus_one);
+  Alcotest.check zint "2 * 3" (z 6) (Zint.mul (z 2) (z 3));
+  Alcotest.check zint "neg" (z (-5)) (Zint.neg (z 5));
+  Alcotest.check zint "abs" (z 5) (Zint.abs (z (-5)));
+  Alcotest.(check int) "sign neg" (-1) (Zint.sign (z (-7)));
+  Alcotest.(check int) "sign zero" 0 (Zint.sign Zint.zero);
+  Alcotest.(check bool) "is_one" true (Zint.is_one Zint.one);
+  Alcotest.(check bool) "is_one of -1" false (Zint.is_one Zint.minus_one)
+
+let test_zint_strings () =
+  Alcotest.(check string) "to_string 0" "0" (Zint.to_string Zint.zero);
+  Alcotest.(check string) "to_string neg" "-12345" (Zint.to_string (z (-12345)));
+  Alcotest.check zint "of_string" (z 98765) (Zint.of_string "98765");
+  Alcotest.check zint "of_string neg" (z (-42)) (Zint.of_string "-42");
+  Alcotest.check zint "of_string plus" (z 42) (Zint.of_string "+42");
+  let big = "123456789012345678901234567890" in
+  Alcotest.(check string) "big round trip" big Zint.(to_string (of_string big));
+  Alcotest.(check bool) "of_string rejects garbage" true
+    (try ignore (Zint.of_string "12a3"); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "of_string rejects empty" true
+    (try ignore (Zint.of_string ""); false with Invalid_argument _ -> true)
+
+let test_zint_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) (string_of_int n) (Some n) (Zint.to_int (z n)))
+    [ 0; 1; -1; 42; -42; 32767; 32768; -32768; 1 lsl 40; max_int; min_int; min_int + 1 ];
+  let huge = Zint.mul (z max_int) (z 10) in
+  Alcotest.(check (option int)) "too big" None (Zint.to_int huge)
+
+let test_zint_division () =
+  let check_divmod a b =
+    let q_, r = Zint.divmod (z a) (z b) in
+    Alcotest.(check int) (Printf.sprintf "%d / %d" a b) (a / b) (Zint.to_int_exn q_);
+    Alcotest.(check int) (Printf.sprintf "%d mod %d" a b) (a mod b) (Zint.to_int_exn r)
+  in
+  List.iter
+    (fun (a, b) -> check_divmod a b)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (100, 10); (99, 100); (12345, 1) ];
+  Alcotest.(check bool) "div by zero" true
+    (try ignore (Zint.divmod Zint.one Zint.zero); false with Division_by_zero -> true)
+
+let test_zint_floor_ceil_div () =
+  let fc a b =
+    ( Zint.to_int_exn (Zint.fdiv (z a) (z b)),
+      Zint.to_int_exn (Zint.cdiv (z a) (z b)) )
+  in
+  Alcotest.(check (pair int int)) "7/2" (3, 4) (fc 7 2);
+  Alcotest.(check (pair int int)) "-7/2" (-4, -3) (fc (-7) 2);
+  Alcotest.(check (pair int int)) "7/-2" (-4, -3) (fc 7 (-2));
+  Alcotest.(check (pair int int)) "-7/-2" (3, 4) (fc (-7) (-2));
+  Alcotest.(check (pair int int)) "6/2 exact" (3, 3) (fc 6 2);
+  Alcotest.(check (pair int int)) "-6/2 exact" (-3, -3) (fc (-6) 2)
+
+let test_zint_gcd () =
+  Alcotest.check zint "gcd 12 18" (z 6) (Zint.gcd (z 12) (z 18));
+  Alcotest.check zint "gcd -12 18" (z 6) (Zint.gcd (z (-12)) (z 18));
+  Alcotest.check zint "gcd 0 5" (z 5) (Zint.gcd Zint.zero (z 5));
+  Alcotest.check zint "gcd 0 0" Zint.zero (Zint.gcd Zint.zero Zint.zero);
+  Alcotest.check zint "lcm 4 6" (z 12) (Zint.lcm (z 4) (z 6));
+  Alcotest.check zint "lcm 0 6" Zint.zero (Zint.lcm Zint.zero (z 6));
+  Alcotest.(check bool) "divides" true (Zint.divides (z 3) (z 9));
+  Alcotest.(check bool) "not divides" false (Zint.divides (z 3) (z 10));
+  Alcotest.(check bool) "0 divides 0" true (Zint.divides Zint.zero Zint.zero);
+  Alcotest.(check bool) "0 not divides 3" false (Zint.divides Zint.zero (z 3))
+
+let test_zint_pow () =
+  Alcotest.check zint "2^10" (z 1024) (Zint.pow (z 2) 10);
+  Alcotest.check zint "x^0" Zint.one (Zint.pow (z 99) 0);
+  Alcotest.check zint "(-2)^3" (z (-8)) (Zint.pow (z (-2)) 3);
+  Alcotest.(check string) "2^100"
+    "1267650600228229401496703205376"
+    (Zint.to_string (Zint.pow (z 2) 100))
+
+let test_zint_compare () =
+  Alcotest.(check bool) "1 < 2" true (Zint.compare Zint.one (z 2) < 0);
+  Alcotest.(check bool) "-5 < 3" true (Zint.compare (z (-5)) (z 3) < 0);
+  Alcotest.(check bool) "-5 < -3" true (Zint.compare (z (-5)) (z (-3)) < 0);
+  Alcotest.check zint "min" (z (-5)) (Zint.min (z (-5)) (z 3));
+  Alcotest.check zint "max" (z 3) (Zint.max (z (-5)) (z 3))
+
+(* ------------------------------------------------------------------ *)
+(* Zint properties                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let small = QCheck.int_range (-100000) 100000
+
+let prop_add_matches_native =
+  QCheck.Test.make ~name:"Zint.add matches native" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) -> Zint.to_int_exn (Zint.add (z a) (z b)) = a + b)
+
+let prop_mul_matches_native =
+  QCheck.Test.make ~name:"Zint.mul matches native" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) -> Zint.to_int_exn (Zint.mul (z a) (z b)) = a * b)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"Zint string round trip" ~count:500
+    QCheck.(pair small (int_range 0 4))
+    (fun (a, e) ->
+       let v = Zint.mul (z a) (Zint.pow (z 1000003) e) in
+       Zint.equal v (Zint.of_string (Zint.to_string v)))
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"a = b*q + r, |r| < |b|, sign r = sign a" ~count:500
+    QCheck.(triple small small (int_range 1 3))
+    (fun (a, b, e) ->
+       QCheck.assume (b <> 0);
+       (* Scale up so multi-limb division paths are exercised. *)
+       let za = Zint.mul (z a) (Zint.pow (z 7919) e) in
+       let zb = z b in
+       let q_, r = Zint.divmod za zb in
+       Zint.equal za (Zint.add (Zint.mul zb q_) r)
+       && Zint.compare (Zint.abs r) (Zint.abs zb) < 0
+       && (Zint.is_zero r || Zint.sign r = Zint.sign za))
+
+let prop_fdiv_cdiv =
+  QCheck.Test.make ~name:"fdiv <= exact <= cdiv with equality iff divisible"
+    ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) ->
+       QCheck.assume (b <> 0);
+       let za = z a and zb = z b in
+       let f = Zint.fdiv za zb and c = Zint.cdiv za zb in
+       (* f*b <= a <= c*b for b > 0, reversed for b < 0 *)
+       let fb = Zint.mul f zb and cb = Zint.mul c zb in
+       if b > 0 then Zint.compare fb za <= 0 && Zint.compare za cb <= 0
+       else Zint.compare za fb <= 0 && Zint.compare cb za <= 0)
+
+let prop_ext_gcd =
+  QCheck.Test.make ~name:"ext_gcd: a*x + b*y = g = gcd a b" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) ->
+       let g, x, y = Zint.ext_gcd (z a) (z b) in
+       Zint.equal g (Zint.gcd (z a) (z b))
+       && Zint.equal g (Zint.add (Zint.mul (z a) x) (Zint.mul (z b) y))
+       && not (Zint.is_negative g))
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare agrees with native" ~count:500
+    (QCheck.pair small small)
+    (fun (a, b) -> Stdlib.compare a b = Zint.compare (z a) (z b))
+
+(* ------------------------------------------------------------------ *)
+(* Qnum                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_qnum_canonical () =
+  Alcotest.check qnum "2/4 = 1/2" (q 1 2) (q 2 4);
+  Alcotest.check qnum "-1/-2 = 1/2" (q 1 2) (q (-1) (-2));
+  Alcotest.check qnum "1/-2 = -1/2" (q (-1) 2) (q 1 (-2));
+  Alcotest.check zint "den positive" (z 2) (Qnum.den (q 1 (-2)));
+  Alcotest.check qnum "0/5 = 0" Qnum.zero (q 0 5);
+  Alcotest.(check bool) "den zero raises" true
+    (try ignore (Qnum.make Zint.one Zint.zero); false with Division_by_zero -> true)
+
+let test_qnum_arith () =
+  Alcotest.check qnum "1/2 + 1/3" (q 5 6) (Qnum.add (q 1 2) (q 1 3));
+  Alcotest.check qnum "1/2 - 1/3" (q 1 6) (Qnum.sub (q 1 2) (q 1 3));
+  Alcotest.check qnum "2/3 * 3/4" (q 1 2) (Qnum.mul (q 2 3) (q 3 4));
+  Alcotest.check qnum "(1/2) / (3/4)" (q 2 3) (Qnum.div (q 1 2) (q 3 4));
+  Alcotest.check qnum "inv" (q 3 2) (Qnum.inv (q 2 3));
+  Alcotest.(check bool) "div by zero" true
+    (try ignore (Qnum.div Qnum.one Qnum.zero); false with Division_by_zero -> true)
+
+let test_qnum_floor_ceil () =
+  let fc n d = (Zint.to_int_exn (Qnum.floor (q n d)), Zint.to_int_exn (Qnum.ceil (q n d))) in
+  Alcotest.(check (pair int int)) "7/2" (3, 4) (fc 7 2);
+  Alcotest.(check (pair int int)) "-7/2" (-4, -3) (fc (-7) 2);
+  Alcotest.(check (pair int int)) "4/2" (2, 2) (fc 4 2);
+  Alcotest.(check (pair int int)) "-4/2" (-2, -2) (fc (-4) 2)
+
+let test_qnum_mid_integer () =
+  let mid a b c d =
+    Option.map Zint.to_int_exn (Qnum.mid_integer (q a b) (q c d))
+  in
+  Alcotest.(check (option int)) "[1/2, 5/2] -> 1" (Some 1) (mid 1 2 5 2);
+  Alcotest.(check (option int)) "[1/3, 2/3] -> none" None (mid 1 3 2 3);
+  Alcotest.(check (option int)) "[2, 2] -> 2" (Some 2) (mid 2 1 2 1);
+  Alcotest.(check (option int)) "[-5, 5] -> 0" (Some 0) (mid (-5) 1 5 1);
+  Alcotest.(check (option int)) "[3, 1] empty" None (mid 3 1 1 1)
+
+let arb_q =
+  QCheck.map
+    (fun (n, d) -> Qnum.of_ints n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-50) 50))
+
+let prop_qnum_field =
+  QCheck.Test.make ~name:"Qnum: (a+b)*c = a*c + b*c" ~count:500
+    (QCheck.triple arb_q arb_q arb_q)
+    (fun (a, b, c) ->
+       Qnum.equal (Qnum.mul (Qnum.add a b) c) (Qnum.add (Qnum.mul a c) (Qnum.mul b c)))
+
+let prop_qnum_floor_le =
+  QCheck.Test.make ~name:"Qnum: floor <= x <= ceil, within 1" ~count:500 arb_q
+    (fun x ->
+       let f = Qnum.of_zint (Qnum.floor x) and c = Qnum.of_zint (Qnum.ceil x) in
+       Qnum.compare f x <= 0 && Qnum.compare x c <= 0
+       && Qnum.compare (Qnum.sub c f) Qnum.one <= 0)
+
+let prop_qnum_mid_integer_in_range =
+  QCheck.Test.make ~name:"Qnum.mid_integer lands in range" ~count:500
+    (QCheck.pair arb_q arb_q)
+    (fun (a, b) ->
+       let lo = Qnum.min a b and hi = Qnum.max a b in
+       match Qnum.mid_integer lo hi with
+       | Some m ->
+         let m = Qnum.of_zint m in
+         Qnum.compare lo m <= 0 && Qnum.compare m hi <= 0
+       | None ->
+         (* No integer in [lo, hi]: floor hi < ceil lo. *)
+         Zint.compare (Qnum.floor hi) (Qnum.ceil lo) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ext_int                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ext = Alcotest.testable Ext_int.pp Ext_int.equal
+
+let test_ext_int () =
+  let open Ext_int in
+  Alcotest.(check bool) "-oo < 0" true (compare neg_inf (of_int 0) < 0);
+  Alcotest.(check bool) "0 < +oo" true (compare (of_int 0) pos_inf < 0);
+  Alcotest.(check bool) "-oo < +oo" true (compare neg_inf pos_inf < 0);
+  Alcotest.check ext "min" neg_inf (min neg_inf (of_int 3));
+  Alcotest.check ext "max" pos_inf (max pos_inf (of_int 3));
+  Alcotest.check ext "add fin" (of_int 5) (add (of_int 2) (of_int 3));
+  Alcotest.check ext "add inf" pos_inf (add pos_inf (of_int 3));
+  Alcotest.check ext "neg" pos_inf (neg neg_inf);
+  Alcotest.check ext "mul pos" pos_inf (mul_zint (z 2) pos_inf);
+  Alcotest.check ext "mul neg" neg_inf (mul_zint (z (-2)) pos_inf);
+  Alcotest.check ext "mul fin" (of_int (-6)) (mul_zint (z (-2)) (of_int 3));
+  Alcotest.(check bool) "add -oo +oo raises" true
+    (try ignore (add neg_inf pos_inf); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "0 * oo raises" true
+    (try ignore (mul_zint Zint.zero pos_inf); false with Invalid_argument _ -> true)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "numeric"
+    [
+      ( "zint-unit",
+        [
+          Alcotest.test_case "basics" `Quick test_zint_basics;
+          Alcotest.test_case "strings" `Quick test_zint_strings;
+          Alcotest.test_case "int round trip" `Quick test_zint_int_roundtrip;
+          Alcotest.test_case "division" `Quick test_zint_division;
+          Alcotest.test_case "floor/ceil division" `Quick test_zint_floor_ceil_div;
+          Alcotest.test_case "gcd/lcm" `Quick test_zint_gcd;
+          Alcotest.test_case "pow" `Quick test_zint_pow;
+          Alcotest.test_case "compare" `Quick test_zint_compare;
+        ] );
+      ( "zint-prop",
+        [
+          qt prop_add_matches_native;
+          qt prop_mul_matches_native;
+          qt prop_string_roundtrip;
+          qt prop_divmod_invariant;
+          qt prop_fdiv_cdiv;
+          qt prop_ext_gcd;
+          qt prop_compare_total_order;
+        ] );
+      ( "qnum",
+        [
+          Alcotest.test_case "canonical" `Quick test_qnum_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_qnum_arith;
+          Alcotest.test_case "floor/ceil" `Quick test_qnum_floor_ceil;
+          Alcotest.test_case "mid_integer" `Quick test_qnum_mid_integer;
+          qt prop_qnum_field;
+          qt prop_qnum_floor_le;
+          qt prop_qnum_mid_integer_in_range;
+        ] );
+      ("ext-int", [ Alcotest.test_case "extended integers" `Quick test_ext_int ]);
+    ]

@@ -1,0 +1,176 @@
+(* Synthetic PERFECT Club tests: determinism, well-formedness, and the
+   calibration regression — each pattern category must keep being
+   decided (predominantly) by its intended cascade stage, or the
+   benchmark tables silently drift. *)
+
+open Dda_lang
+open Dda_core
+open Dda_perfect
+
+let plain_nonsym =
+  {
+    Analyzer.default_config with
+    Analyzer.directions = false;
+    memo = Analyzer.Memo_off;
+    symbolic = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let r = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.range r (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done;
+  for _ = 1 to 100 do
+    let v = Prng.int r 3 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 3)
+  done;
+  Alcotest.(check bool) "choose" true (List.mem (Prng.choose r [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  Alcotest.(check bool) "int 0 raises" true
+    (try ignore (Prng.int r 0); false with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_patterns_wellformed () =
+  List.iter
+    (fun cat ->
+       let rng = Prng.create 99 in
+       for _ = 1 to 50 do
+         let src = Patterns.generate rng cat in
+         match Parser.parse_program src with
+         | prog ->
+           Alcotest.(check (list Alcotest.reject)) (Patterns.category_name cat) []
+             (List.map (fun _ -> ()) (Semant.check prog))
+         | exception Parser.Error (msg, loc) ->
+           Alcotest.failf "%s: parse error %s at %s in:\n%s"
+             (Patterns.category_name cat) msg (Loc.to_string loc) src
+       done)
+    Patterns.all_categories
+
+(* Calibration: at least 2/3 of the pairs a category produces must be
+   decided by the stage it is named after (under the Table-1
+   configuration: plain cascade, no symbolic terms). *)
+let dominant_outcome cat =
+  let rng = Prng.create 4242 in
+  let total = ref 0 and hits = ref 0 in
+  for _ = 1 to 80 do
+    let prog = Parser.parse_program (Patterns.generate rng cat) in
+    let report = Analyzer.analyze ~config:plain_nonsym prog in
+    List.iter
+      (fun (r : Analyzer.pair_report) ->
+         incr total;
+         let hit =
+           match (cat, r.outcome) with
+           | Patterns.Constant, Analyzer.Constant _ -> true
+           | Patterns.Gcd_indep, Analyzer.Gcd_independent -> true
+           | Patterns.Svpc, Analyzer.Tested { decided_by = Some Cascade.T_svpc; _ } -> true
+           | Patterns.Acyclic, Analyzer.Tested { decided_by = Some Cascade.T_acyclic; _ } ->
+             true
+           | Patterns.Loop_residue,
+             Analyzer.Tested { decided_by = Some Cascade.T_loop_residue; _ } -> true
+           | Patterns.Fourier, Analyzer.Tested { decided_by = Some Cascade.T_fourier; _ } ->
+             true
+           | Patterns.Symbolic_mix, Analyzer.Assumed_dependent -> true
+           | _ -> false
+         in
+         if hit then incr hits)
+      report.pair_reports
+  done;
+  (!hits, !total)
+
+let test_category_calibration () =
+  List.iter
+    (fun cat ->
+       let hits, total = dominant_outcome cat in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: %d/%d decided by intended stage"
+            (Patterns.category_name cat) hits total)
+         true
+         (total > 0 && 3 * hits >= 2 * total))
+    Patterns.all_categories
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_programs_complete () =
+  Alcotest.(check int) "13 programs" 13 (List.length Programs.all);
+  Alcotest.(check (list string)) "paper order"
+    [ "AP"; "CS"; "LG"; "LW"; "MT"; "NA"; "OC"; "SD"; "SM"; "SR"; "TF"; "TI"; "WS" ]
+    (List.map (fun (s : Programs.spec) -> s.name) Programs.all)
+
+let test_programs_deterministic () =
+  let spec = Option.get (Programs.find "NA") in
+  Alcotest.(check string) "same source twice" (Programs.source spec)
+    (Programs.source spec)
+
+let test_programs_parse_and_check () =
+  List.iter
+    (fun (spec : Programs.spec) ->
+       let src = Programs.source spec in
+       match Parser.parse_program src with
+       | prog ->
+         (match Semant.check prog with
+          | [] -> ()
+          | errs ->
+            Alcotest.failf "%s: %d semantic errors, first: %s" spec.name
+              (List.length errs)
+              (Format.asprintf "%a" Semant.pp_error (List.hd errs)))
+       | exception Parser.Error (msg, loc) ->
+         Alcotest.failf "%s: parse error %s at %s" spec.name msg (Loc.to_string loc))
+    Programs.all
+
+let test_programs_analyzable () =
+  (* The whole suite runs through the analyzer without exceptions and
+     produces a sensible number of pairs. *)
+  let total_pairs = ref 0 in
+  List.iter
+    (fun (spec : Programs.spec) ->
+       let prog = Parser.parse_program (Programs.source spec) in
+       let report = Analyzer.analyze ~config:plain_nonsym prog in
+       total_pairs := !total_pairs + report.stats.pairs)
+    Programs.all;
+  Alcotest.(check bool)
+    (Printf.sprintf "suite yields %d pairs" !total_pairs)
+    true
+    (!total_pairs > 1500)
+
+let () =
+  Alcotest.run "perfect"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "well-formed" `Quick test_patterns_wellformed;
+          Alcotest.test_case "calibration" `Quick test_category_calibration;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "complete" `Quick test_programs_complete;
+          Alcotest.test_case "deterministic" `Quick test_programs_deterministic;
+          Alcotest.test_case "parse and check" `Quick test_programs_parse_and_check;
+          Alcotest.test_case "analyzable" `Quick test_programs_analyzable;
+        ] );
+    ]

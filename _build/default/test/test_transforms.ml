@@ -1,0 +1,318 @@
+(* Loop-transformation legality and the dependence-graph export.
+
+   The heavyweight check: on random affine nests, whenever the analyzer
+   declares an interchange or reversal legal, actually performing the
+   transformation and re-running the program must leave the final
+   memory identical. A false "legal" here is a miscompilation. *)
+
+open Dda_lang
+open Dda_core
+
+let parse = Parser.parse_program
+
+let config =
+  {
+    Analyzer.default_config with
+    Analyzer.prune = Direction.no_pruning;
+    memo = Analyzer.Memo_simple;
+    run_pipeline = false;
+  }
+
+let analyze_with_sites src_or_prog =
+  let prog = src_or_prog in
+  let sites = Affine.extract prog in
+  let report = Analyzer.analyze ~config prog in
+  (prog, sites, report)
+
+(* Loop ids in source order: extraction numbers them pre-order. *)
+let loop_ids sites =
+  let ids = ref [] in
+  List.iter
+    (fun (s : Affine.site) ->
+       List.iter
+         (fun (c : Affine.loop_ctx) ->
+            if not (List.mem c.Affine.lid !ids) then ids := c.Affine.lid :: !ids)
+         s.loops)
+    sites;
+  List.sort compare !ids
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_matmul_fully_permutable () =
+  let _, sites, report =
+    analyze_with_sites
+      (parse
+         "for i = 1 to 16 do\n\
+         \  for j = 1 to 16 do\n\
+         \    for k = 1 to 16 do\n\
+         \      cc[i][j] = cc[i][j] + aa[i][k] * bb[k][j]\n\
+         \    end\n\
+         \  end\n\
+          end")
+  in
+  match loop_ids sites with
+  | [ a; b; c ] ->
+    Alcotest.(check int) "all 6 orders legal" 6
+      (List.length (Transforms.legal_permutations report [ a; b; c ]));
+    Alcotest.(check bool) "i-j interchange" true
+      (Transforms.interchange_legal report ~lid_a:a ~lid_b:b);
+    Alcotest.(check bool) "j-k interchange" true
+      (Transforms.interchange_legal report ~lid_a:b ~lid_b:c)
+  | _ -> Alcotest.fail "expected 3 loops"
+
+let test_skewed_stencil_interchange_illegal () =
+  (* Dependence (<, >): the textbook interchange-illegal case. *)
+  let _, sites, report =
+    analyze_with_sites
+      (parse
+         "for i = 2 to 16 do\n\
+         \  for j = 2 to 16 do\n\
+         \    sk[i][j] = sk[i - 1][j + 1] + 1\n\
+         \  end\n\
+          end")
+  in
+  match loop_ids sites with
+  | [ a; b ] ->
+    Alcotest.(check bool) "interchange illegal" false
+      (Transforms.interchange_legal report ~lid_a:a ~lid_b:b);
+    Alcotest.(check int) "only identity legal" 1
+      (List.length (Transforms.legal_permutations report [ a; b ]))
+  | _ -> Alcotest.fail "expected 2 loops"
+
+let test_wavefront_interchange_legal () =
+  (* Dependences (<,=) and (=,<): interchange permutes them into each
+     other; both orders legal, but neither loop is reversible. *)
+  let _, sites, report =
+    analyze_with_sites
+      (parse
+         "for i = 1 to 16 do\n\
+         \  for j = 1 to 16 do\n\
+         \    wf[i][j] = wf[i - 1][j] + wf[i][j - 1]\n\
+         \  end\n\
+          end")
+  in
+  match loop_ids sites with
+  | [ a; b ] ->
+    Alcotest.(check bool) "interchange legal" true
+      (Transforms.interchange_legal report ~lid_a:a ~lid_b:b);
+    Alcotest.(check bool) "outer not reversible" false
+      (Transforms.reversal_legal report ~lid:a);
+    Alcotest.(check bool) "inner not reversible" false
+      (Transforms.reversal_legal report ~lid:b)
+  | _ -> Alcotest.fail "expected 2 loops"
+
+let test_reversal () =
+  let _, sites, report =
+    analyze_with_sites (parse "for i = 2 to 99 do\n  fr[i] = od[i - 1] + od[i + 1]\nend")
+  in
+  (match loop_ids sites with
+   | [ a ] ->
+     Alcotest.(check bool) "jacobi reversible" true (Transforms.reversal_legal report ~lid:a)
+   | _ -> Alcotest.fail "expected 1 loop");
+  let _, sites2, report2 =
+    analyze_with_sites (parse "for i = 2 to 99 do\n  s[i] = s[i - 1] + 1\nend")
+  in
+  match loop_ids sites2 with
+  | [ a ] ->
+    Alcotest.(check bool) "recurrence not reversible" false
+      (Transforms.reversal_legal report2 ~lid:a)
+  | _ -> Alcotest.fail "expected 1 loop"
+
+let test_fully_permutable () =
+  let _, sites, report =
+    analyze_with_sites
+      (parse
+         "for i = 1 to 16 do\n\
+         \  for j = 1 to 16 do\n\
+         \    for k = 1 to 16 do\n\
+         \      cc[i][j] = cc[i][j] + aa[i][k] * bb[k][j]\n\
+         \    end\n\
+         \  end\n\
+          end")
+  in
+  Alcotest.(check bool) "matmul band tilable" true
+    (Transforms.fully_permutable report (loop_ids sites));
+  let _, sites2, report2 =
+    analyze_with_sites
+      (parse
+         "for i = 2 to 16 do\n  for j = 2 to 16 do\n    sk[i][j] = sk[i - 1][j + 1] + 1\n  end\nend")
+  in
+  Alcotest.(check bool) "skewed stencil not tilable" false
+    (Transforms.fully_permutable report2 (loop_ids sites2));
+  (* Wavefront (<,=),(=,<): all components non-negative: tilable even
+     though neither loop is parallel. *)
+  let _, sites3, report3 =
+    analyze_with_sites
+      (parse
+         "for i = 1 to 16 do\n  for j = 1 to 16 do\n    wf[i][j] = wf[i - 1][j] + wf[i][j - 1]\n  end\nend")
+  in
+  Alcotest.(check bool) "wavefront tilable" true
+    (Transforms.fully_permutable report3 (loop_ids sites3))
+
+let prop_fully_permutable_implies_all_legal =
+  QCheck.Test.make
+    ~name:"fully permutable implies every permutation is legal" ~count:200
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       let sites = Affine.extract prog in
+       let report = Analyzer.analyze ~config prog in
+       let ids = loop_ids sites in
+       let rec fact k = if k <= 1 then 1 else k * fact (k - 1) in
+       (not (Transforms.fully_permutable report ids))
+       || List.length (Transforms.legal_permutations report ids)
+          = fact (List.length ids))
+
+let test_conservative_outcomes_block () =
+  (* A non-affine pair makes any reordering of its loops illegal. *)
+  let _, sites, report =
+    analyze_with_sites
+      (parse
+         "for i = 1 to 8 do\n\
+         \  for j = 1 to 8 do\n\
+         \    h[i * j] = h[i + j] + 1\n\
+         \  end\n\
+          end")
+  in
+  match loop_ids sites with
+  | [ a; b ] ->
+    Alcotest.(check bool) "interchange blocked" false
+      (Transforms.interchange_legal report ~lid_a:a ~lid_b:b)
+  | _ -> Alcotest.fail "expected 2 loops"
+
+(* ------------------------------------------------------------------ *)
+(* Depgraph                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_depgraph_dot () =
+  let report =
+    Analyzer.analyze ~config
+      (parse "for i = 1 to 10 do\n  a[i + 1] = a[i] + 3\n  a[i] = 0\nend")
+  in
+  let dot = Depgraph.to_dot report in
+  Alcotest.(check bool) "digraph" true (contains "digraph dependences" dot);
+  Alcotest.(check bool) "write node" true (contains "a write @" dot);
+  Alcotest.(check bool) "read node" true (contains "a read @" dot);
+  Alcotest.(check bool) "flow edge" true (contains "flow (<)" dot);
+  Alcotest.(check bool) "output edge" true (contains "output (<)" dot);
+  Alcotest.(check bool) "anti edge" true (contains "anti (=)" dot);
+  (* Independent pairs draw no edge: a 2-node graph of an independent
+     pair has none. *)
+  let indep = Analyzer.analyze ~config (parse "for i = 1 to 10 do b[i] = b[i+20] end") in
+  Alcotest.(check bool) "no edges when independent" false
+    (contains "->" (Depgraph.to_dot indep))
+
+let test_depgraph_conservative_edges () =
+  let report =
+    Analyzer.analyze ~config (parse "for i = 1 to 8 do\n  h[i * i] = h[i] + 1\nend")
+  in
+  let dot = Depgraph.to_dot report in
+  Alcotest.(check bool) "dashed assumed edge" true
+    (contains "assumed (not affine)" dot && contains "style=dashed" dot)
+
+(* ------------------------------------------------------------------ *)
+(* Execution-validated legality                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Swap the two outermost loops of a perfect nest. *)
+let interchange_outer (prog : Ast.program) =
+  match prog with
+  | [ { sdesc = Ast.For f1; sloc } ] -> (
+      match f1.body with
+      | [ { sdesc = Ast.For f2; sloc = sloc2 } ] ->
+        Some
+          [
+            {
+              Ast.sdesc =
+                Ast.For
+                  {
+                    f2 with
+                    body = [ { Ast.sdesc = Ast.For { f1 with body = f2.body }; sloc } ];
+                  };
+              sloc = sloc2;
+            };
+          ]
+      | _ -> None)
+  | _ -> None
+
+(* Reverse the outermost loop (bounds swapped, step -1). *)
+let reverse_outer (prog : Ast.program) =
+  match prog with
+  | [ { sdesc = Ast.For f; sloc } ] ->
+    Some
+      [
+        {
+          Ast.sdesc = Ast.For { f with lo = f.hi; hi = f.lo; step = Some (Ast.int_ (-1)) };
+          sloc;
+        };
+      ]
+  | _ -> None
+
+let final_memory prog = (fst (Interp.final_state prog)).Interp.memory
+
+let prop_legal_interchange_preserves_memory =
+  QCheck.Test.make
+    ~name:"a legal interchange leaves final memory identical" ~count:200
+    Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       match interchange_outer prog with
+       | None -> QCheck.assume_fail ()
+       | Some swapped ->
+         let sites = Affine.extract prog in
+         let report = Analyzer.analyze ~config prog in
+         (match loop_ids sites with
+          | a :: b :: _ ->
+            if Transforms.interchange_legal report ~lid_a:a ~lid_b:b then
+              final_memory prog = final_memory swapped
+            else true
+          | _ -> true))
+
+let prop_legal_reversal_preserves_memory =
+  QCheck.Test.make ~name:"a legal reversal leaves final memory identical"
+    ~count:200 Test_support.Gen_ast.arb_affine_nest
+    (fun prog ->
+       match reverse_outer prog with
+       | None -> QCheck.assume_fail ()
+       | Some reversed ->
+         let sites = Affine.extract prog in
+         let report = Analyzer.analyze ~config prog in
+         (match loop_ids sites with
+          | a :: _ ->
+            if Transforms.reversal_legal report ~lid:a then
+              final_memory prog = final_memory reversed
+            else true
+          | _ -> true))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "transforms"
+    [
+      ( "legality",
+        [
+          Alcotest.test_case "matmul fully permutable" `Quick test_matmul_fully_permutable;
+          Alcotest.test_case "skewed stencil illegal" `Quick
+            test_skewed_stencil_interchange_illegal;
+          Alcotest.test_case "wavefront legal" `Quick test_wavefront_interchange_legal;
+          Alcotest.test_case "reversal" `Quick test_reversal;
+          Alcotest.test_case "conservative outcomes block" `Quick
+            test_conservative_outcomes_block;
+          Alcotest.test_case "fully permutable" `Quick test_fully_permutable;
+        ] );
+      ( "depgraph",
+        [
+          Alcotest.test_case "dot output" `Quick test_depgraph_dot;
+          Alcotest.test_case "conservative edges" `Quick test_depgraph_conservative_edges;
+        ] );
+      ( "execution-validated",
+        [
+          qt prop_legal_interchange_preserves_memory;
+          qt prop_legal_reversal_preserves_memory;
+          qt prop_fully_permutable_implies_all_legal;
+        ] );
+    ]
