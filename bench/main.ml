@@ -601,6 +601,51 @@ let ablations () =
        v_plain v_tight)
 
 (* ------------------------------------------------------------------ *)
+(* Batch engine: sequential vs parallel corpus analysis                *)
+(* ------------------------------------------------------------------ *)
+
+let batch_parallel () =
+  section
+    (Printf.sprintf
+       "Batch engine: sequential vs parallel corpus analysis\n\
+        (domain pool over the synthetic PERFECT Club, replicated 8x;\n\
+        this machine reports %d core(s) -- speedup needs real cores)"
+       (Domain.recommended_domain_count ()));
+  let corpus =
+    List.concat_map
+      (fun ((spec : Programs.spec), prog) ->
+         List.init 8 (fun k ->
+             { Dda_engine.Batch.name = Printf.sprintf "%s#%d" spec.name k; program = prog }))
+      programs
+  in
+  let fingerprint (r : Dda_engine.Batch.result) =
+    (* Everything the batch emits: per-item reports and merged stats,
+       rendered to one canonical string. *)
+    String.concat "\n"
+      (List.map
+         (fun (a : Dda_engine.Batch.analyzed) ->
+            a.name ^ " " ^ Dda_core.Json_out.to_string (Dda_core.Json_out.report a.report))
+         r.Dda_engine.Batch.items)
+    ^ Dda_core.Json_out.to_string (Dda_core.Json_out.stats r.Dda_engine.Batch.merged)
+  in
+  let measure ?share_memo jobs =
+    let r, t = time (fun () -> Dda_engine.Batch.run ?share_memo ~jobs corpus) in
+    (fingerprint r, t)
+  in
+  let f1, t1 = measure 1 in
+  let f2, t2 = measure 2 in
+  let f4, t4 = measure 4 in
+  Printf.printf "%d programs, independent-analysis mode:\n" (List.length corpus);
+  Printf.printf "  jobs=1  %8.1f ms\n" (t1 *. 1e3);
+  Printf.printf "  jobs=2  %8.1f ms  (%.2fx)\n" (t2 *. 1e3) (t1 /. t2);
+  Printf.printf "  jobs=4  %8.1f ms  (%.2fx)\n" (t4 *. 1e3) (t1 /. t4);
+  Printf.printf "  output byte-identical across jobs: %b\n" (f1 = f2 && f1 = f4);
+  let _, s1 = measure ~share_memo:true 1 in
+  let _, s4 = measure ~share_memo:true 4 in
+  Printf.printf "shared-session mode: jobs=1 %.1f ms, jobs=4 %.1f ms (%.2fx)\n"
+    (s1 *. 1e3) (s4 *. 1e3) (s1 /. s4)
+
+(* ------------------------------------------------------------------ *)
 (* Consistency guard                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -642,6 +687,7 @@ let () =
   ignore (table7 ());
   accuracy ();
   returns t5;
+  batch_parallel ();
   sanity ();
   microbench ();
   ablations ();

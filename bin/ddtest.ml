@@ -3,6 +3,7 @@
    Subcommands:
      analyze    <file>  per-pair dependence report (text or JSON; memo
                         tables persist across runs with --memo-file)
+     batch      <files> analyze a whole corpus concurrently (--jobs N)
      parallel   <file>  which loops are parallelizable
      transform  <file>  loop reversal/interchange legality
      distribute <file>  Allen-Kennedy loop distribution plan
@@ -221,6 +222,82 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Report dependence for every reference pair")
     Term.(const run $ file_arg $ config_term $ stats_flag $ memo_file $ format)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  (* The output deliberately never mentions the job count: in the
+     default (independent) mode it is byte-identical whatever --jobs
+     is, and the determinism tests compare runs across job counts. *)
+  let run files jobs share_memo config format =
+    let items =
+      List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
+    in
+    let result = Dda_engine.Batch.run ~config ~share_memo ~jobs items in
+    match format with
+    | `Text ->
+      List.iter
+        (fun (a : Dda_engine.Batch.analyzed) ->
+           Format.printf "== %s ==@." a.name;
+           List.iter
+             (fun (r : Analyzer.pair_report) ->
+                Format.printf "%s[%s]  %a x %a:  %a@." r.array_name
+                  (if r.self_pair then "self" else "pair")
+                  Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
+             a.report.Analyzer.pair_reports)
+        result.Dda_engine.Batch.items;
+      Format.printf "@.== corpus: %d programs ==@." (List.length files);
+      print_stats result.Dda_engine.Batch.merged
+    | `Json ->
+      let programs =
+        List.map
+          (fun (a : Dda_engine.Batch.analyzed) ->
+             Json_out.Obj
+               [ ("file", Json_out.Str a.name); ("report", Json_out.report a.report) ])
+          result.Dda_engine.Batch.items
+      in
+      Format.printf "%a@." Json_out.pp
+        (Json_out.Obj
+           [
+             ("programs", Json_out.List programs);
+             ("merged_stats", Json_out.stats result.Dda_engine.Batch.merged);
+           ])
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILES" ~doc:"Source files to analyze.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Number of worker domains.")
+  in
+  let share_memo_arg =
+    Arg.(
+      value & flag
+      & info [ "share-memo" ]
+          ~doc:
+            "Let each domain share one memoization session across its whole \
+             chunk of the corpus (faster; verdicts are unchanged but memo \
+             counters then depend on $(b,--jobs)).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze a corpus of programs concurrently on a pool of domains; \
+          per-program reports come back in input order with merged corpus \
+          statistics, and the default mode is byte-identical for every \
+          $(b,--jobs) value")
+    Term.(const run $ files_arg $ jobs_arg $ share_memo_arg $ config_term $ format)
 
 (* ------------------------------------------------------------------ *)
 (* parallel                                                            *)
@@ -629,6 +706,7 @@ let () =
        (Cmd.group ~default info
           [
             analyze_cmd;
+            batch_cmd;
             parallel_cmd;
             passes_cmd;
             perfect_cmd;

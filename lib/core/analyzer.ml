@@ -128,6 +128,26 @@ let fresh_stats () =
     memo_unique_full = 0;
   }
 
+let merge_stats ~into src =
+  into.pairs <- into.pairs + src.pairs;
+  into.constant_cases <- into.constant_cases + src.constant_cases;
+  into.gcd_independent <- into.gcd_independent + src.gcd_independent;
+  into.assumed <- into.assumed + src.assumed;
+  Array.iteri
+    (fun i v -> into.plain_by_test.(i) <- into.plain_by_test.(i) + v)
+    src.plain_by_test;
+  Direction.merge_counts ~into:into.dir_counts src.dir_counts;
+  into.implicit_bb_cases <- into.implicit_bb_cases + src.implicit_bb_cases;
+  into.independent_pairs <- into.independent_pairs + src.independent_pairs;
+  into.dependent_pairs <- into.dependent_pairs + src.dependent_pairs;
+  into.vectors_reported <- into.vectors_reported + src.vectors_reported;
+  into.memo_lookups_nobounds <- into.memo_lookups_nobounds + src.memo_lookups_nobounds;
+  into.memo_hits_nobounds <- into.memo_hits_nobounds + src.memo_hits_nobounds;
+  into.memo_unique_nobounds <- into.memo_unique_nobounds + src.memo_unique_nobounds;
+  into.memo_lookups_full <- into.memo_lookups_full + src.memo_lookups_full;
+  into.memo_hits_full <- into.memo_hits_full + src.memo_hits_full;
+  into.memo_unique_full <- into.memo_unique_full + src.memo_unique_full
+
 type report = {
   pair_reports : pair_report list;
   stats : stats;
@@ -405,6 +425,19 @@ let analyze_session session program =
    session only reloads under the configuration that built it. *)
 let session_magic = "dda-session"
 let session_version = 1
+
+let merge_sessions ~into src =
+  let dst = into.session_state and s = src.session_state in
+  if into == src then
+    invalid_arg "Analyzer.merge_sessions: a session cannot absorb itself";
+  if dst.cfg <> s.cfg then
+    invalid_arg "Analyzer.merge_sessions: sessions built under different configurations";
+  Memo_table.merge_into ~into:dst.gcd_table s.gcd_table;
+  Memo_table.merge_into ~into:dst.full_table s.full_table
+
+let session_table_sizes session =
+  let st = session.session_state in
+  (Memo_table.length st.gcd_table, Memo_table.length st.full_table)
 
 let save_session session path =
   let st = session.session_state in

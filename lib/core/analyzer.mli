@@ -107,6 +107,15 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+val merge_stats : into:stats -> stats -> unit
+(** Field-wise accumulation of the second statistics record into the
+    first, {!Direction.counts} included. Memo counters are summed too:
+    when each record comes from an independent analysis (its own memo
+    tables), the sums are the corpus totals; when records share a
+    session, sum the per-call lookups/hits but take unique-entry counts
+    from the session's tables (see {!session_table_sizes}), since each
+    per-call value is already cumulative. *)
+
 type report = {
   pair_reports : pair_report list;
   stats : stats;
@@ -117,7 +126,15 @@ val analyze : ?config:config -> Ast.program -> report
     of same-array references with at least one write, including each
     write against itself (whose identical-iteration solution is
     excluded, so a self pair is dependent only when distinct iterations
-    collide). *)
+    collide).
+
+    Domain safety: every piece of mutable state ([stats], memo tables,
+    pass-internal accumulators) lives in values created per call or per
+    session — the analyzer keeps no module-level mutable globals — so
+    concurrent [analyze] calls, and [analyze_session] calls on
+    {e distinct} sessions, are safe from different domains. A single
+    session must not be shared across domains ([Dda_engine.Batch] gives
+    each domain its own and merges afterwards). *)
 
 val analyze_sites :
   ?config:config -> (Affine.site * Affine.site) list -> report
@@ -141,6 +158,21 @@ val analyze_session : session -> Ast.program -> report
 (** Like {!analyze}, but reusing (and extending) the session's memo
     tables. The report's memo statistics are per-call; table sizes are
     cumulative. *)
+
+val merge_sessions : into:session -> session -> unit
+(** Absorb the second session's memo tables into the first
+    ({!Memo_table.merge_into} on both tables): keys are unioned, the
+    first session's bindings win on overlap, counters are summed. The
+    parallel batch engine uses this to combine per-domain sessions into
+    one corpus-wide table; it is equally useful for merging primed
+    tables built from different suites.
+    @raise Invalid_argument when the sessions were built under
+    different configurations (their memo keys are not comparable), or
+    when both arguments are the same session. *)
+
+val session_table_sizes : session -> int * int
+(** [(gcd_entries, full_entries)]: distinct problems currently stored
+    in the session's two memo tables. *)
 
 val save_session : session -> string -> unit
 (** Persist the session's memo tables. *)

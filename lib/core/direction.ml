@@ -42,6 +42,12 @@ let test_index = function
   | Cascade.T_loop_residue -> 2
   | Cascade.T_fourier -> 3
 
+let merge_counts ~into src =
+  Array.iteri (fun i v -> into.by_test.(i) <- into.by_test.(i) + v) src.by_test;
+  Array.iteri
+    (fun i v -> into.indep_by_test.(i) <- into.indep_by_test.(i) + v)
+    src.indep_by_test
+
 let count_of c t = c.by_test.(test_index t)
 let indep_count_of c t = c.indep_by_test.(test_index t)
 

@@ -66,6 +66,10 @@ val fresh_counts : unit -> counts
 val count_of : counts -> Cascade.test -> int
 val indep_count_of : counts -> Cascade.test -> int
 
+val merge_counts : into:counts -> counts -> unit
+(** Add the second counter set into the first, per test. Used to fold
+    per-domain (or per-program) counters into corpus totals. *)
+
 type result = {
   dependent : bool;
   vectors : dir array list;

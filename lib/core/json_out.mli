@@ -21,3 +21,10 @@ val report : Analyzer.report -> t
 (** The whole report: one object per pair (locations, roles, outcome,
     direction vectors with dependence kinds, distance) plus the
     statistics block. *)
+
+val pair : Analyzer.pair_report -> t
+(** One pair object, as embedded in {!report}. *)
+
+val stats : Analyzer.stats -> t
+(** The statistics block alone (used for the batch driver's merged
+    corpus statistics). *)

@@ -62,6 +62,20 @@ let find_or_add t key compute =
     add t key v;
     (v, false)
 
+let merge_into ~into src =
+  if into == src then invalid_arg "Memo_table.merge_into: a table cannot absorb itself";
+  Array.iter
+    (List.iter (fun e ->
+         let b = bucket_of into e.key in
+         if not (List.exists (fun e' -> e'.key = e.key) into.buckets.(b)) then begin
+           into.buckets.(b) <- e :: into.buckets.(b);
+           into.size <- into.size + 1;
+           if into.size > 2 * Array.length into.buckets then rehash into
+         end))
+    src.buckets;
+  into.lookups <- into.lookups + src.lookups;
+  into.hits <- into.hits + src.hits
+
 let length t = t.size
 let lookups t = t.lookups
 let hits t = t.hits

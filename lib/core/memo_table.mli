@@ -16,6 +16,15 @@ val add : 'a t -> int list -> 'a -> unit
 val find_or_add : 'a t -> int list -> (unit -> 'a) -> 'a * bool
 (** [(value, was_hit)]; computes and stores on a miss. *)
 
+val merge_into : into:'a t -> 'a t -> unit
+(** Absorb the second table into the first: the key sets are unioned
+    (an existing binding in [into] wins over the absorbed one) and the
+    lookup/hit counters are summed. The absorbed table is left
+    untouched. Used to combine per-domain tables after a parallel batch
+    run, where [length] of the merged table is the number of distinct
+    problems across the whole corpus.
+    @raise Invalid_argument when both arguments are the same table. *)
+
 val length : 'a t -> int
 (** Number of distinct keys stored. *)
 

@@ -1,0 +1,64 @@
+open Dda_lang
+open Dda_core
+
+type item = {
+  name : string;
+  program : Ast.program;
+}
+
+type analyzed = {
+  name : string;
+  report : Analyzer.report;
+}
+
+type result = {
+  items : analyzed list;
+  merged : Analyzer.stats;
+}
+
+let chunks ~jobs n =
+  List.init jobs (fun b -> (b * n / jobs, (b + 1) * n / jobs))
+
+let run ?(config = Analyzer.default_config) ?(share_memo = false) ~jobs items =
+  if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
+  let arr = Array.of_list items in
+  let chunk (lo, hi) () =
+    if share_memo then begin
+      let session = Analyzer.create_session ~config () in
+      let analyzed =
+        Array.init (hi - lo) (fun k ->
+            let it : item = arr.(lo + k) in
+            { name = it.name; report = Analyzer.analyze_session session it.program })
+      in
+      (analyzed, Some session)
+    end
+    else
+      let analyzed =
+        Array.init (hi - lo) (fun k ->
+            let it : item = arr.(lo + k) in
+            { name = it.name; report = Analyzer.analyze ~config it.program })
+      in
+      (analyzed, None)
+  in
+  let pool = Pool.create ~jobs in
+  let per_chunk =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () -> Pool.map pool (fun c -> chunk c ()) (chunks ~jobs (Array.length arr)))
+  in
+  let items =
+    List.concat_map (fun (analyzed, _) -> Array.to_list analyzed) per_chunk
+  in
+  let merged = Analyzer.fresh_stats () in
+  List.iter (fun a -> Analyzer.merge_stats ~into:merged a.report.Analyzer.stats) items;
+  (match List.filter_map snd per_chunk with
+   | [] -> ()
+   | first :: rest ->
+     (* Per-call unique counts from [analyze_session] are cumulative
+        within a chunk, so their sum over-counts; replace them with the
+        distinct-problem counts of the merged (union) tables. *)
+     List.iter (fun s -> Analyzer.merge_sessions ~into:first s) rest;
+     let gcd_unique, full_unique = Analyzer.session_table_sizes first in
+     merged.Analyzer.memo_unique_nobounds <- gcd_unique;
+     merged.Analyzer.memo_unique_full <- full_unique);
+  { items; merged }

@@ -1,0 +1,54 @@
+(** The corpus batch driver: analyze many programs concurrently on a
+    {!Pool} of domains and merge the per-program statistics into corpus
+    totals.
+
+    The corpus is split into [jobs] contiguous chunks — a pure function
+    of the corpus length, never of scheduling — and each worker domain
+    analyzes one chunk, so results always come back in input order and
+    two runs over the same corpus produce identical output.
+
+    {b Determinism.} In the default mode every program is analyzed
+    independently (its own memo tables, exactly the sequential
+    {!Analyzer.analyze} path), so reports {e and} merged statistics are
+    byte-identical whatever [jobs] is. With [share_memo] each domain
+    instead threads one {!Analyzer.session} through its whole chunk
+    (the paper's cross-compilation memoization): verdicts and direction
+    vectors are unchanged — memoization never alters answers — but
+    memo-hit and tests-run counters then depend on how the corpus was
+    chunked, i.e. on [jobs] (still deterministically so for a fixed
+    corpus and [jobs]). The per-domain sessions are merged with
+    {!Analyzer.merge_sessions} and the merged statistics report the
+    union's distinct-problem counts. *)
+
+open Dda_lang
+open Dda_core
+
+type item = {
+  name : string;  (** label carried through to the result, e.g. a file name *)
+  program : Ast.program;
+}
+
+type analyzed = {
+  name : string;
+  report : Analyzer.report;
+}
+
+type result = {
+  items : analyzed list;  (** one per input item, in input order *)
+  merged : Analyzer.stats;  (** corpus totals ({!Analyzer.merge_stats}) *)
+}
+
+val chunks : jobs:int -> int -> (int * int) list
+(** [chunks ~jobs n] splits [0..n-1] into [jobs] contiguous [(lo, hi)]
+    half-open ranges whose sizes differ by at most one (ranges may be
+    empty when [n < jobs]). Exposed for tests. *)
+
+val run :
+  ?config:Analyzer.config ->
+  ?share_memo:bool ->
+  jobs:int ->
+  item list ->
+  result
+(** Analyze the corpus on [jobs] domains. [share_memo] defaults to
+    [false] (the fully [jobs]-independent mode described above).
+    @raise Invalid_argument when [jobs < 1]. *)
