@@ -395,7 +395,7 @@ let representative_system ?(seed = 7) category =
              | None -> None
              | Some p -> (
                  match Gcd_test.run p with
-                 | Gcd_test.Independent -> None
+                 | Gcd_test.Independent _ -> None
                  | Gcd_test.Reduced red ->
                    let sys = red.Gcd_test.system in
                    let decided = (Cascade.run sys).Cascade.decided_by in
@@ -434,7 +434,7 @@ let microbench () =
       (fun sys ->
          match Svpc.run sys with
          | Svpc.Partial (box, multi) -> Some (box, multi)
-         | Svpc.Infeasible | Svpc.Feasible _ -> None)
+         | Svpc.Infeasible _ | Svpc.Feasible _ -> None)
       (batch Patterns.Acyclic)
   in
   let lr_batch =
@@ -443,9 +443,9 @@ let microbench () =
          match Svpc.run sys with
          | Svpc.Partial (box, multi) -> (
              match Acyclic.run box multi with
-             | Acyclic.Cycle (box', core) -> Some (box', core)
-             | Acyclic.Infeasible | Acyclic.Feasible _ -> None)
-         | Svpc.Infeasible | Svpc.Feasible _ -> None)
+             | Acyclic.Cycle (box', _, core) -> Some (box', core)
+             | Acyclic.Infeasible _ | Acyclic.Feasible _ -> None)
+         | Svpc.Infeasible _ | Svpc.Feasible _ -> None)
       (batch Patterns.Loop_residue)
   in
   let per_item = Hashtbl.create 8 in
@@ -594,7 +594,7 @@ let ablations () =
     (List.for_all2
        (fun a b ->
           match (a, b) with
-          | Fourier.Infeasible, Fourier.Infeasible -> true
+          | Fourier.Infeasible _, Fourier.Infeasible _ -> true
           | Fourier.Feasible _, Fourier.Feasible _ -> true
           | Fourier.Unknown, Fourier.Unknown -> true
           | _ -> false)
@@ -646,6 +646,41 @@ let batch_parallel () =
     (s1 *. 1e3) (s4 *. 1e3) (s1 /. s4)
 
 (* ------------------------------------------------------------------ *)
+(* Certification overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+let certification () =
+  section
+    "Certification overhead: analysis alone vs replay + certificate\n\
+     checking (ddtest check), with and without the exhaustive oracle";
+  Printf.printf "%-5s %7s %12s %12s %13s\n" "Prog" "certs" "analyze (ms)"
+    "+check (ms)" "+oracle (ms)";
+  let tot_a = ref 0.0 and tot_c = ref 0.0 and tot_o = ref 0.0 in
+  let tot_certs = ref 0 in
+  List.iter
+    (fun ((spec : Programs.spec), prog) ->
+       let _, t_a = time (fun () -> Analyzer.analyze prog) in
+       let s, t_c = time (fun () -> Dda_check.Verify.run ~oracle:false prog) in
+       let _, t_o = time (fun () -> Dda_check.Verify.run prog) in
+       if s.Dda_check.Verify.errors > 0 then
+         Printf.printf "%-5s CERTIFICATE FAILURES (%d)!\n" spec.name
+           s.Dda_check.Verify.errors;
+       tot_a := !tot_a +. t_a;
+       tot_c := !tot_c +. t_c;
+       tot_o := !tot_o +. t_o;
+       tot_certs := !tot_certs + s.Dda_check.Verify.certificates;
+       Printf.printf "%-5s %7d %12.2f %12.2f %13.2f\n" spec.name
+         s.Dda_check.Verify.certificates (t_a *. 1e3) (t_c *. 1e3) (t_o *. 1e3))
+    programs;
+  Printf.printf "%-5s %7d %12.2f %12.2f %13.2f\n" "TOTAL" !tot_certs
+    (!tot_a *. 1e3) (!tot_c *. 1e3) (!tot_o *. 1e3);
+  Printf.printf
+    "\nChecking every certificate costs %.1fx the analysis itself\n\
+     (%.1fx with the exhaustive differential oracle on top); the check\n\
+     replays the full analysis, so pure validation is the excess over 2x.\n"
+    (!tot_c /. !tot_a) (!tot_o /. !tot_a)
+
+(* ------------------------------------------------------------------ *)
 (* Consistency guard                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -688,6 +723,7 @@ let () =
   accuracy ();
   returns t5;
   batch_parallel ();
+  certification ();
   sanity ();
   microbench ();
   ablations ();

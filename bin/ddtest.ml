@@ -170,7 +170,7 @@ let print_stats (s : Analyzer.stats) =
     s.independent_pairs s.dependent_pairs
 
 let analyze_cmd =
-  let run file config stats memo_file format =
+  let run file config stats memo_file format verify =
     let prog = load file in
     let report =
       match memo_file with
@@ -193,6 +193,9 @@ let analyze_cmd =
         Analyzer.save_session session path;
         report
     in
+    let verification =
+      if verify then Some (Dda_check.Verify.run ~config prog) else None
+    in
     (match format with
      | `Text ->
        List.iter
@@ -201,8 +204,25 @@ let analyze_cmd =
               (if r.self_pair then "self" else "pair")
               Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
          report.pair_reports;
-       if stats then print_stats report.stats
-     | `Json -> Format.printf "%a@." Json_out.pp (Json_out.report report))
+       if stats then print_stats report.stats;
+       Option.iter
+         (fun s ->
+            Format.printf "@.-- verification --@.%a"
+              (Dda_check.Verify.pp_text ~file) s)
+         verification
+     | `Json -> (
+         match verification with
+         | None -> Format.printf "%a@." Json_out.pp (Json_out.report report)
+         | Some s ->
+           Format.printf "%a@." Json_out.pp
+             (Json_out.Obj
+                [
+                  ("report", Json_out.report report);
+                  ("verification", Dda_check.Verify.to_json ~file s);
+                ])));
+    match verification with
+    | Some s when s.Dda_check.Verify.errors > 0 -> exit 2
+    | _ -> ()
   in
   let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print analysis statistics.") in
   let memo_file =
@@ -220,8 +240,17 @@ let analyze_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
   in
+  let verify_flag =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-derive and validate every verdict's certificate after \
+             analyzing (see $(b,ddtest check)); exits 2 when any \
+             certificate fails.")
+  in
   Cmd.v (Cmd.info "analyze" ~doc:"Report dependence for every reference pair")
-    Term.(const run $ file_arg $ config_term $ stats_flag $ memo_file $ format)
+    Term.(const run $ file_arg $ config_term $ stats_flag $ memo_file $ format $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                               *)
@@ -231,39 +260,56 @@ let batch_cmd =
   (* The output deliberately never mentions the job count: in the
      default (independent) mode it is byte-identical whatever --jobs
      is, and the determinism tests compare runs across job counts. *)
-  let run files jobs share_memo config format =
+  let run files jobs share_memo verify config format =
     let items =
       List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
     in
-    let result = Dda_engine.Batch.run ~config ~share_memo ~jobs items in
-    match format with
-    | `Text ->
-      List.iter
+    let result = Dda_engine.Batch.run ~config ~share_memo ~verify ~jobs items in
+    (match format with
+     | `Text ->
+       List.iter
+         (fun (a : Dda_engine.Batch.analyzed) ->
+            Format.printf "== %s ==@." a.name;
+            List.iter
+              (fun (r : Analyzer.pair_report) ->
+                 Format.printf "%s[%s]  %a x %a:  %a@." r.array_name
+                   (if r.self_pair then "self" else "pair")
+                   Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
+              a.report.Analyzer.pair_reports;
+            Option.iter
+              (fun s ->
+                 Format.printf "%a" (Dda_check.Verify.pp_text ~file:a.name) s)
+              a.verification)
+         result.Dda_engine.Batch.items;
+       Format.printf "@.== corpus: %d programs ==@." (List.length files);
+       print_stats result.Dda_engine.Batch.merged
+     | `Json ->
+       let programs =
+         List.map
+           (fun (a : Dda_engine.Batch.analyzed) ->
+              Json_out.Obj
+                ([ ("file", Json_out.Str a.name); ("report", Json_out.report a.report) ]
+                 @
+                 match a.verification with
+                 | Some s ->
+                   [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+                 | None -> []))
+           result.Dda_engine.Batch.items
+       in
+       Format.printf "%a@." Json_out.pp
+         (Json_out.Obj
+            [
+              ("programs", Json_out.List programs);
+              ("merged_stats", Json_out.stats result.Dda_engine.Batch.merged);
+            ]));
+    if
+      List.exists
         (fun (a : Dda_engine.Batch.analyzed) ->
-           Format.printf "== %s ==@." a.name;
-           List.iter
-             (fun (r : Analyzer.pair_report) ->
-                Format.printf "%s[%s]  %a x %a:  %a@." r.array_name
-                  (if r.self_pair then "self" else "pair")
-                  Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
-             a.report.Analyzer.pair_reports)
-        result.Dda_engine.Batch.items;
-      Format.printf "@.== corpus: %d programs ==@." (List.length files);
-      print_stats result.Dda_engine.Batch.merged
-    | `Json ->
-      let programs =
-        List.map
-          (fun (a : Dda_engine.Batch.analyzed) ->
-             Json_out.Obj
-               [ ("file", Json_out.Str a.name); ("report", Json_out.report a.report) ])
-          result.Dda_engine.Batch.items
-      in
-      Format.printf "%a@." Json_out.pp
-        (Json_out.Obj
-           [
-             ("programs", Json_out.List programs);
-             ("merged_stats", Json_out.stats result.Dda_engine.Batch.merged);
-           ])
+           match a.verification with
+           | Some s -> s.Dda_check.Verify.errors > 0
+           | None -> false)
+        result.Dda_engine.Batch.items
+    then exit 2
   in
   let files_arg =
     Arg.(
@@ -284,6 +330,14 @@ let batch_cmd =
              chunk of the corpus (faster; verdicts are unchanged but memo \
              counters then depend on $(b,--jobs)).")
   in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Certificate-check every program's report on its worker domain; \
+             exits 2 when any certificate fails.")
+  in
   let format =
     Arg.(
       value
@@ -297,7 +351,7 @@ let batch_cmd =
           per-program reports come back in input order with merged corpus \
           statistics, and the default mode is byte-identical for every \
           $(b,--jobs) value")
-    Term.(const run $ files_arg $ jobs_arg $ share_memo_arg $ config_term $ format)
+    Term.(const run $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg $ config_term $ format)
 
 (* ------------------------------------------------------------------ *)
 (* parallel                                                            *)
@@ -338,22 +392,35 @@ let passes_cmd =
 (* ------------------------------------------------------------------ *)
 
 let perfect_cmd =
-  let run name =
-    match Dda_perfect.Programs.find name with
-    | Some spec -> print_string (Dda_perfect.Programs.source spec)
-    | None ->
-      Format.eprintf "unknown program %s; available:" name;
+  let run list name =
+    if list then
       List.iter
-        (fun (s : Dda_perfect.Programs.spec) -> Format.eprintf " %s" s.name)
-        Dda_perfect.Programs.all;
-      Format.eprintf "@.";
-      exit 1
+        (fun (s : Dda_perfect.Programs.spec) -> print_endline s.name)
+        Dda_perfect.Programs.all
+    else
+      match name with
+      | None ->
+        Format.eprintf "a program name (or --list) is required@.";
+        exit 1
+      | Some name -> (
+          match Dda_perfect.Programs.find name with
+          | Some spec -> print_string (Dda_perfect.Programs.source spec)
+          | None ->
+            Format.eprintf "unknown program %s; available:" name;
+            List.iter
+              (fun (s : Dda_perfect.Programs.spec) -> Format.eprintf " %s" s.name)
+              Dda_perfect.Programs.all;
+            Format.eprintf "@.";
+            exit 1)
   in
   let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Program code (AP, CS, ...).")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Program code (AP, CS, ...).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the program codes, one per line.")
   in
   Cmd.v (Cmd.info "perfect" ~doc:"Emit a synthetic PERFECT Club program")
-    Term.(const run $ name_arg)
+    Term.(const run $ list_arg $ name_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -376,14 +443,16 @@ let graph_cmd =
           | None -> ()
           | Some p -> (
               match Gcd_test.run p with
-              | Gcd_test.Independent -> ()
+              | Gcd_test.Independent _ -> ()
               | Gcd_test.Reduced red -> (
                   (* Mirror the cascade: only systems that survive SVPC
                      and Acyclic reach the loop-residue graph. *)
                   match Svpc.run red.Gcd_test.system with
                   | Svpc.Partial (box, multi) -> (
                       match Acyclic.run box multi with
-                      | Acyclic.Cycle (box', core) when Loop_residue.applicable core ->
+                      | Acyclic.Cycle (box', _, core)
+                        when Loop_residue.applicable
+                               (List.map (fun (dr : Cert.drow) -> dr.row) core) ->
                         incr printed;
                         Format.printf "/* pair %a x %a */@.%s@." Loc.pp s1.site_loc
                           Loc.pp s2.site_loc
@@ -563,63 +632,111 @@ let annotate_cmd =
     Term.(const run $ file_arg $ config_term)
 
 (* ------------------------------------------------------------------ *)
-(* check: validate the analysis against actual execution               *)
+(* check: validate the analysis against its own certificates (and,     *)
+(* with --trace, against actual execution)                             *)
 (* ------------------------------------------------------------------ *)
 
+let check_trace prog =
+  (* Full refinement and no prepass: the claims compared to the trace
+     must be concrete. *)
+  let config =
+    {
+      Analyzer.default_config with
+      Analyzer.prune = Direction.no_pruning;
+      memo = Analyzer.Memo_simple;
+      run_pipeline = false;
+    }
+  in
+  let report = Analyzer.analyze ~config prog in
+  let failures = ref 0 in
+  List.iter
+    (fun (r : Analyzer.pair_report) ->
+       let obs =
+         try Trace.observe ~fuel:5_000_000 prog ~site1:r.loc1 ~site2:r.loc2
+         with Interp.Runtime_error (msg, loc) ->
+           Format.eprintf "cannot execute the program: %s at %a@." msg Loc.pp loc;
+           exit 1
+       in
+       let claim_dep, claim_exact =
+         match r.outcome with
+         | Analyzer.Constant d -> (d, true)
+         | Analyzer.Gcd_independent -> (false, true)
+         | Analyzer.Assumed_dependent -> (true, false)
+         | Analyzer.Tested t -> (t.dependent, not t.unknown)
+       in
+       let ok = if claim_exact then claim_dep = obs.dependent else claim_dep || not obs.dependent in
+       if not ok then begin
+         incr failures;
+         Format.printf "MISMATCH %s %a x %a: analysis says %s, execution shows %s@."
+           r.array_name Loc.pp r.loc1 Loc.pp r.loc2
+           (if claim_dep then "dependent" else "independent")
+           (if obs.dependent then "dependent" else "independent")
+       end)
+    report.pair_reports;
+  if !failures = 0 then
+    Format.printf "OK: all %d pairs agree with the execution trace@."
+      (List.length report.pair_reports)
+  else begin
+    Format.printf "%d mismatches@." !failures;
+    exit 2
+  end
+
 let check_cmd =
-  let run file =
+  let run file config format no_oracle corrupt trace =
     let prog = load file in
-    (* Full refinement and no prepass: the claims compared to the trace
-       must be concrete. *)
-    let config =
-      {
-        Analyzer.default_config with
-        Analyzer.prune = Direction.no_pruning;
-        memo = Analyzer.Memo_simple;
-        run_pipeline = false;
-      }
-    in
-    let report = Analyzer.analyze ~config prog in
-    let failures = ref 0 in
-    List.iter
-      (fun (r : Analyzer.pair_report) ->
-         let obs =
-           try Trace.observe ~fuel:5_000_000 prog ~site1:r.loc1 ~site2:r.loc2
-           with Interp.Runtime_error (msg, loc) ->
-             Format.eprintf "cannot execute the program: %s at %a@." msg Loc.pp loc;
-             exit 2
-         in
-         let claim_dep, claim_exact =
-           match r.outcome with
-           | Analyzer.Constant d -> (d, true)
-           | Analyzer.Gcd_independent -> (false, true)
-           | Analyzer.Assumed_dependent -> (true, false)
-           | Analyzer.Tested t -> (t.dependent, not t.unknown)
-         in
-         let ok = if claim_exact then claim_dep = obs.dependent else claim_dep || not obs.dependent in
-         if not ok then begin
-           incr failures;
-           Format.printf "MISMATCH %s %a x %a: analysis says %s, execution shows %s@."
-             r.array_name Loc.pp r.loc1 Loc.pp r.loc2
-             (if claim_dep then "dependent" else "independent")
-             (if obs.dependent then "dependent" else "independent")
-         end)
-      report.pair_reports;
-    if !failures = 0 then
-      Format.printf "OK: all %d pairs agree with the execution trace@."
-        (List.length report.pair_reports)
+    if trace then check_trace prog
     else begin
-      Format.printf "%d mismatches@." !failures;
-      exit 1
+      let summary =
+        Dda_check.Verify.run ~config ~oracle:(not no_oracle) ~corrupt prog
+      in
+      (match format with
+       | `Text -> Format.printf "%a" (Dda_check.Verify.pp_text ~file) summary
+       | `Json ->
+         Format.printf "%a@." Json_out.pp
+           (Dda_check.Verify.to_json ~file summary));
+      if summary.Dda_check.Verify.errors > 0 then exit 2
     end
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let no_oracle =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ]
+          ~doc:
+            "Skip the exhaustive-enumeration differential oracle (keep only \
+             certificate validation).")
+  in
+  let corrupt =
+    Arg.(
+      value & flag
+      & info [ "corrupt" ]
+          ~doc:
+            "Deliberately mangle every certificate and witness before \
+             checking: a self-test that the checker rejects bad evidence \
+             (expect errors and exit code 2).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Validate verdicts against the tracing interpreter instead of \
+             against certificates (symbolic inputs read as 0).")
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Run the program under the tracing interpreter and verify every \
-          analysis verdict against the dependences actually observed \
-          (symbolic inputs read as 0)")
-    Term.(const run $ file_arg)
+         "Self-verify the analysis: replay every pair, validate each \
+          verdict's certificate or witness against the original problem with \
+          the trusted checker, cross-check decided systems against \
+          exhaustive enumeration, and explain conservative verdicts with \
+          warnings. Exits 2 when any certificate fails.")
+    Term.(const run $ file_arg $ config_term $ format $ no_oracle $ corrupt $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* prime: build a memo table from the synthetic PERFECT suite          *)

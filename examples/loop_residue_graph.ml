@@ -24,7 +24,7 @@ let () =
   | Svpc.Partial (box, multi) ->
     print_string (Loop_residue.to_dot box multi);
     (match Loop_residue.run box multi with
-     | Some Loop_residue.Infeasible ->
+     | Some (Loop_residue.Infeasible _) ->
        print_endline "/* negative cycle: INDEPENDENT */"
      | Some (Loop_residue.Feasible w) ->
        Printf.printf "/* feasible, witness t = (%s) */\n"
@@ -43,7 +43,7 @@ let () =
         | Some (Loop_residue.Feasible w) ->
           Printf.printf "/* cycle value 0: DEPENDENT, witness t = (%s) */\n"
             (String.concat ", " (Array.to_list (Array.map Zint.to_string w)))
-        | Some Loop_residue.Infeasible -> print_endline "/* unexpected */"
+        | Some (Loop_residue.Infeasible _) -> print_endline "/* unexpected */"
         | None -> print_endline "/* not applicable */")
      | _ -> ())
   | _ -> print_endline "unexpected: svpc resolved the system"

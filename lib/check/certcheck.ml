@@ -1,0 +1,198 @@
+open Dda_numeric
+open Dda_core
+
+(* Everything below re-implements the little row arithmetic it needs
+   (evaluation, scaling, gcd tightening) instead of calling into the
+   solver libraries: the point of the checker is that it shares no
+   code with what it checks. *)
+
+let errf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let ( let* ) = Result.bind
+
+(* sum_i c_i * x_i, by local fold. *)
+let dot coeffs x =
+  let acc = ref Zint.zero in
+  Array.iteri (fun i c -> acc := Zint.add !acc (Zint.mul c x.(i))) coeffs;
+  !acc
+
+let check_witness w (sys : Consys.t) =
+  if Array.length w <> sys.nvars then
+    errf "witness has %d entries, system has %d variables" (Array.length w)
+      sys.nvars
+  else
+    let rec rows i = function
+      | [] -> Ok ()
+      | (r : Consys.row) :: rest ->
+        let v = dot r.coeffs w in
+        if Zint.compare v r.rhs <= 0 then rows (i + 1) rest
+        else
+          errf "witness violates row %d: %s > %s" i (Zint.to_string v)
+            (Zint.to_string r.rhs)
+    in
+    rows 0 sys.rows
+
+let check_problem_witness w (p : Problem.t) =
+  let nvars = Problem.nvars p in
+  if Array.length w <> nvars then
+    errf "witness has %d entries, problem has %d variables" (Array.length w)
+      nvars
+  else
+    let rec eqs i = function
+      | [] -> Ok ()
+      | (r : Consys.row) :: rest ->
+        let v = dot r.coeffs w in
+        if Zint.equal v r.rhs then eqs (i + 1) rest
+        else
+          errf "witness violates subscript equality %d: %s <> %s" i
+            (Zint.to_string v) (Zint.to_string r.rhs)
+    in
+    let rec ineqs i = function
+      | [] -> Ok ()
+      | (b : Problem.bound) :: rest ->
+        let v = dot b.row.coeffs w in
+        if Zint.compare v b.row.rhs <= 0 then ineqs (i + 1) rest
+        else
+          errf "witness violates loop bound %d: %s > %s" i (Zint.to_string v)
+            (Zint.to_string b.row.rhs)
+    in
+    let* () = eqs 0 p.eqs in
+    ineqs 0 p.ineqs
+
+let check_eq_refutation (cert : Cert.eq_refutation) ~nvars eqs =
+  let m = List.length eqs in
+  if Array.length cert.multipliers <> m then
+    errf "refutation has %d multipliers for %d equality rows"
+      (Array.length cert.multipliers) m
+  else if Zint.compare cert.modulus Zint.two < 0 then
+    errf "refutation modulus %s is below 2" (Zint.to_string cert.modulus)
+  else begin
+    (* Combine sum_j m_j * eq_j once, then check divisibility. *)
+    let coeffs = Array.make nvars Zint.zero in
+    let rhs = ref Zint.zero in
+    List.iteri
+      (fun j (r : Consys.row) ->
+         if Array.length r.coeffs <> nvars then
+           invalid_arg "Certcheck.check_eq_refutation: row width";
+         let mj = cert.multipliers.(j) in
+         Array.iteri
+           (fun i c -> coeffs.(i) <- Zint.add coeffs.(i) (Zint.mul mj c))
+           r.coeffs;
+         rhs := Zint.add !rhs (Zint.mul mj r.rhs))
+      eqs;
+    let bad =
+      Array.to_seq coeffs
+      |> Seq.mapi (fun i c -> (i, c))
+      |> Seq.find (fun (_, c) -> not (Zint.divides cert.modulus c))
+    in
+    match bad with
+    | Some (i, c) ->
+      errf "combined coefficient of t%d is %s, not divisible by %s" i
+        (Zint.to_string c)
+        (Zint.to_string cert.modulus)
+    | None ->
+      if Zint.divides cert.modulus !rhs then
+        errf
+          "combined right-hand side %s is divisible by %s: no contradiction"
+          (Zint.to_string !rhs)
+          (Zint.to_string cert.modulus)
+      else Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Infeasibility certificates                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A derivation evaluates to one row; failures carry the path to the
+   offending node. *)
+
+type drow = { coeffs : Zint.t array; rhs : Zint.t }
+
+let drow_of (r : Consys.row) ~nvars =
+  if Array.length r.coeffs <> nvars then
+    invalid_arg "Certcheck.check_infeasible: hypothesis row width"
+  else { coeffs = Array.copy r.coeffs; rhs = r.rhs }
+
+let add_scaled acc m (r : drow) =
+  match acc with
+  | None -> Some { coeffs = Array.map (Zint.mul m) r.coeffs; rhs = Zint.mul m r.rhs }
+  | Some (a : drow) ->
+    Array.iteri
+      (fun i c -> a.coeffs.(i) <- Zint.add a.coeffs.(i) (Zint.mul m c))
+      r.coeffs;
+    Some { a with rhs = Zint.add a.rhs (Zint.mul m r.rhs) }
+
+let tighten (r : drow) =
+  let g = Array.fold_left (fun g c -> Zint.gcd g c) Zint.zero r.coeffs in
+  if Zint.compare g Zint.one <= 0 then r
+  else
+    {
+      coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
+      rhs = Zint.fdiv r.rhs g;
+    }
+
+let rec eval_deriv ~nvars hyps cuts (d : Cert.deriv) =
+  match d with
+  | Cert.Hyp i ->
+    if i < 0 || i >= Array.length hyps then
+      errf "hypothesis index %d out of range (%d rows)" i (Array.length hyps)
+    else Ok (drow_of hyps.(i) ~nvars)
+  | Cert.Cut i ->
+    if i < 0 || i >= Array.length cuts then
+      errf "cut index %d out of range (%d cuts on this path)" i
+        (Array.length cuts)
+    else Ok { coeffs = Array.copy cuts.(i).coeffs; rhs = cuts.(i).rhs }
+  | Cert.Comb terms ->
+    if terms = [] then Error "empty combination"
+    else
+      let rec go acc = function
+        | [] -> Ok (Option.get acc)
+        | (m, sub) :: rest ->
+          if not (Zint.is_positive m) then
+            errf "combination multiplier %s is not positive" (Zint.to_string m)
+          else
+            let* r = eval_deriv ~nvars hyps cuts sub in
+            go (add_scaled acc m r) rest
+      in
+      go None terms
+  | Cert.Tighten sub ->
+    let* r = eval_deriv ~nvars hyps cuts sub in
+    Ok (tighten r)
+
+let check_refute ~nvars hyps cuts d =
+  let* r = eval_deriv ~nvars hyps cuts d in
+  match Array.to_seq r.coeffs |> Seq.mapi (fun i c -> (i, c))
+        |> Seq.find (fun (_, c) -> not (Zint.is_zero c))
+  with
+  | Some (i, c) ->
+    errf "derived row still mentions t%d (coefficient %s)" i (Zint.to_string c)
+  | None ->
+    if Zint.is_negative r.rhs then Ok ()
+    else
+      errf "derived row is 0 <= %s, not a contradiction" (Zint.to_string r.rhs)
+
+let check_infeasible ~nvars rows cert =
+  let hyps = Array.of_list rows in
+  let cut_row var v =
+    (* t_var <= v as a checker-local row. *)
+    let coeffs = Array.make nvars Zint.zero in
+    coeffs.(var) <- Zint.one;
+    { coeffs; rhs = v }
+  in
+  let neg_cut_row var v =
+    (* t_var >= v + 1, i.e. -t_var <= -(v+1). *)
+    let coeffs = Array.make nvars Zint.zero in
+    coeffs.(var) <- Zint.minus_one;
+    { coeffs; rhs = Zint.neg (Zint.succ v) }
+  in
+  let rec go cuts (c : Cert.infeasible) =
+    match c with
+    | Cert.Refute d -> check_refute ~nvars hyps cuts d
+    | Cert.Split { var; bound; left; right } ->
+      if var < 0 || var >= nvars then
+        errf "split on t%d, outside the %d system variables" var nvars
+      else
+        let* () = go (Array.append cuts [| cut_row var bound |]) left in
+        go (Array.append cuts [| neg_cut_row var bound |]) right
+  in
+  go [||] cert

@@ -1,0 +1,42 @@
+(** The trusted certificate checker.
+
+    This module is the proof-checking half of the self-verifying
+    analysis: the solvers in [Dda_core] produce {!Dda_core.Cert}
+    evidence with every verdict, and everything here re-validates that
+    evidence against the {e original} problem using nothing but row
+    arithmetic implemented locally — no code is shared with the
+    solvers, so a bug in SVPC, the acyclic test, loop residue,
+    Fourier-Motzkin or the Extended GCD reduction cannot silently
+    validate its own wrong answer.
+
+    The trusted computing base is therefore this module plus
+    {!Dda_numeric.Zint} and the plain record types [Consys.row],
+    [Problem.t] and [Cert.t] (data only, no behaviour).
+
+    Every check returns [(unit, string) result]; the [Error] string
+    says which rule failed and where. *)
+
+open Dda_numeric
+open Dda_core
+
+val check_witness : Zint.t array -> Consys.t -> (unit, string) result
+(** Does the point satisfy every inequality row of the system? *)
+
+val check_problem_witness : Zint.t array -> Problem.t -> (unit, string) result
+(** Does the point satisfy every subscript {e equality} exactly and
+    every loop-bound inequality of the original problem? *)
+
+val check_eq_refutation :
+  Cert.eq_refutation -> nvars:int -> Consys.row list -> (unit, string) result
+(** Validate a divisibility refutation of equality rows: modulo
+    [modulus] ([>= 2]) the multiplier combination must zero every
+    variable's coefficient while leaving a non-zero right-hand side —
+    hence no integer solution exists. *)
+
+val check_infeasible :
+  nvars:int -> Consys.row list -> Cert.infeasible -> (unit, string) result
+(** Validate an infeasibility certificate against hypothesis rows
+    (referenced by {!Dda_core.Cert.Hyp} index). [Refute] derivations
+    must produce a variable-free row with a negative bound; [Split]
+    nodes must refute both halves of an integer case split, with
+    {!Dda_core.Cert.Cut} indices resolved along the current path. *)

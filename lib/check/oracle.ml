@@ -1,0 +1,84 @@
+open Dda_numeric
+open Dda_core
+
+type verdict =
+  | Feasible of Zint.t array
+  | Infeasible
+  | Out_of_scope
+
+(* Local row evaluation — the oracle is as solver-free as the
+   certificate checker. *)
+let dot coeffs x =
+  let acc = ref Zint.zero in
+  Array.iteri (fun i c -> acc := Zint.add !acc (Zint.mul c x.(i))) coeffs;
+  !acc
+
+let satisfies x (r : Consys.row) = Zint.compare (dot r.coeffs x) r.rhs <= 0
+
+exception Answered of verdict
+
+let exhaustive ?(max_points = 100_000) (sys : Consys.t) =
+  let n = sys.nvars in
+  let lo = Array.make n None and hi = Array.make n None in
+  let better_hi i v =
+    match hi.(i) with None -> hi.(i) <- Some v | Some h -> if Zint.compare v h < 0 then hi.(i) <- Some v
+  in
+  let better_lo i v =
+    match lo.(i) with None -> lo.(i) <- Some v | Some l -> if Zint.compare v l > 0 then lo.(i) <- Some v
+  in
+  try
+    (* Extract the box from single-variable rows; a variable-free row
+       with a negative bound refutes outright. *)
+    List.iter
+      (fun (r : Consys.row) ->
+         let nz = ref [] in
+         Array.iteri
+           (fun i c -> if not (Zint.is_zero c) then nz := (i, c) :: !nz)
+           r.coeffs;
+         match !nz with
+         | [] -> if Zint.is_negative r.rhs then raise (Answered Infeasible)
+         | [ (i, a) ] ->
+           if Zint.is_positive a then better_hi i (Zint.fdiv r.rhs a)
+           else better_lo i (Zint.cdiv r.rhs a)
+         | _ -> ())
+      sys.rows;
+    let box =
+      Array.init n (fun i ->
+          match (lo.(i), hi.(i)) with
+          | Some l, Some h -> (l, h)
+          | _ -> raise (Answered Out_of_scope))
+    in
+    (* Budget: product of widths, with early exit past the cap. *)
+    let points = ref 1 in
+    Array.iter
+      (fun (l, h) ->
+         if Zint.compare l h > 0 then raise (Answered Infeasible);
+         let w =
+           match Zint.to_int (Zint.succ (Zint.sub h l)) with
+           | Some w -> w
+           | None -> raise (Answered Out_of_scope)
+         in
+         if !points > max_points / w + 1 then raise (Answered Out_of_scope);
+         points := !points * w;
+         if !points > max_points then raise (Answered Out_of_scope))
+      box;
+    let x = Array.map fst box in
+    let rec enum i =
+      if i >= n then
+        (if List.for_all (satisfies x) sys.rows then
+           raise (Answered (Feasible (Array.copy x))))
+      else begin
+        let _, h = box.(i) in
+        let rec walk v =
+          if Zint.compare v h <= 0 then begin
+            x.(i) <- v;
+            enum (i + 1);
+            walk (Zint.succ v)
+          end
+        in
+        walk (fst box.(i))
+      end
+    in
+    enum 0;
+    Infeasible
+  with Answered v -> v

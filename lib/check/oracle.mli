@@ -1,0 +1,20 @@
+(** An exhaustive integer-programming oracle for small boxed systems.
+
+    Ground truth for differential testing: when every variable of a
+    system is boxed by its single-variable rows and the box is small,
+    feasibility is decided by brute enumeration — no solver cleverness,
+    no certificates, just trying every point. The cascade must agree
+    with this on every in-scope system. *)
+
+open Dda_numeric
+open Dda_core
+
+type verdict =
+  | Feasible of Zint.t array  (** the first point found, lexicographic *)
+  | Infeasible
+  | Out_of_scope
+      (** some variable is unbounded below or above by the
+          single-variable rows, or the box exceeds the point budget *)
+
+val exhaustive : ?max_points:int -> Consys.t -> verdict
+(** [max_points] defaults to [100_000]. *)

@@ -6,19 +6,52 @@
     discharged entirely when that bound is infinite) without changing
     feasibility. When the constraint graph is acyclic this eliminates
     every variable, deciding the system exactly; a cyclic core is
-    handed to the next test, already simplified. *)
+    handed to the next test, already simplified.
+
+    Each elimination is recorded, so a satisfying point of the residual
+    system extends to a {e full} witness by replaying the eliminations
+    backwards ({!witness}) — closing the partial-witness gap the
+    original cascade had on Acyclic- and Loop-Residue-decided
+    queries. *)
 
 open Dda_numeric
 
-type outcome =
-  | Infeasible
-  | Feasible of Bounds.t * (int * Zint.t) list
-      (** The box after propagation plus the pinned variables (an
-          infinite-bound variable that was discharged has no pin). *)
-  | Cycle of Bounds.t * Consys.row list
-      (** Variables remain that are constrained in both directions: the
-          residual cyclic core. *)
+(** One variable elimination, in the order performed. *)
+type elim =
+  | Pinned of {
+      var : int;
+      value : Zint.t;  (** the finite extreme it was pinned to *)
+    }
+  | Discharged of {
+      var : int;
+      upper : bool;
+          (** [true] when the dropped rows upper-bound the variable
+              (its lower side was unbounded) *)
+      rows : Cert.drow list;  (** the rows dropped with it *)
+    }
 
-val run : Bounds.t -> Consys.row list -> outcome
+type outcome =
+  | Infeasible of Cert.infeasible
+  | Feasible of Bounds.t * elim list
+      (** The box after propagation plus every elimination performed;
+          [witness elims (sample box)] is a full witness. *)
+  | Cycle of Bounds.t * elim list * Cert.drow list
+      (** Variables remain that are constrained in both directions: the
+          residual cyclic core, plus the eliminations already done
+          (needed to extend a core witness to a full one). *)
+
+val run : Bounds.t -> Cert.drow list -> outcome
 (** [run box rows] with [rows] the multi-variable residue from
-    {!Svpc.run}. [box] is copied, not mutated. *)
+    {!Svpc.run}. [box] is copied, not mutated. Certificate derivations
+    are expressed over the same hypothesis rows as the input
+    derivations (for the cascade: the original system's rows).
+    @raise Invalid_argument when a needed bound of [box] carries no
+    provenance (boxes built by {!Svpc.run} always provide it). *)
+
+val witness : elim list -> Zint.t array -> Zint.t array
+(** [witness elims base] extends [base] — any point satisfying the
+    residual system {e and} the final box — to a point satisfying the
+    pre-elimination system: eliminations are replayed in reverse,
+    pinned variables take their pinned values, discharged variables
+    clamp the base value against their dropped rows. [base] is not
+    mutated. *)

@@ -182,7 +182,7 @@ let compute st (p : Problem.t) ~self =
            (fun () -> Gcd_test.run_eqs p))
   in
   match gcd_outcome with
-  | Gcd_test.Independent ->
+  | Gcd_test.Independent _ ->
     st.stats.gcd_independent <- st.stats.gcd_independent + 1;
     Gcd_independent
   | Gcd_test.Reduced red0 ->
@@ -217,7 +217,7 @@ let compute st (p : Problem.t) ~self =
         st.stats.plain_by_test.(test_index r.decided_by) + 1;
       let dependent, unknown =
         match r.verdict with
-        | Cascade.Independent -> (false, false)
+        | Cascade.Independent _ -> (false, false)
         | Cascade.Dependent _ -> (true, false)
         | Cascade.Unknown -> (true, true)
       in

@@ -136,10 +136,18 @@ val analyze : ?config:config -> Ast.program -> report
     session must not be shared across domains ([Dda_engine.Batch] gives
     each domain its own and merges afterwards). *)
 
+val site_pairs :
+  config -> Affine.site list -> (Affine.site * Affine.site) list
+(** The pair enumeration {!analyze} performs after extraction: every
+    textually ordered pair of same-array references with at least one
+    write (self pairs only for writes, and only when [directions] is
+    on), filtered by [within_nest_only]. Exposed so the verification
+    layer can replay the analyzer's work pair by pair. *)
+
 val analyze_sites :
   ?config:config -> (Affine.site * Affine.site) list -> report
 (** Analyze explicit site pairs (used by the benchmark harness, which
-    generates problems directly). *)
+    generates problems directly, and by the verifier). *)
 
 (** {1 Sessions: memoization across compilations}
 

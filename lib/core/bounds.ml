@@ -3,26 +3,69 @@ open Dda_numeric
 type t = {
   los : Ext_int.t array;
   his : Ext_int.t array;
+  lo_whys : Cert.deriv option array;
+  hi_whys : Cert.deriv option array;
 }
 
-let create n = { los = Array.make n Ext_int.neg_inf; his = Array.make n Ext_int.pos_inf }
-let copy b = { los = Array.copy b.los; his = Array.copy b.his }
+let create n =
+  {
+    los = Array.make n Ext_int.neg_inf;
+    his = Array.make n Ext_int.pos_inf;
+    lo_whys = Array.make n None;
+    hi_whys = Array.make n None;
+  }
+
+let copy b =
+  {
+    los = Array.copy b.los;
+    his = Array.copy b.his;
+    lo_whys = Array.copy b.lo_whys;
+    hi_whys = Array.copy b.hi_whys;
+  }
+
 let nvars b = Array.length b.los
 let lo b i = b.los.(i)
 let hi b i = b.his.(i)
+let lo_why b i = b.lo_whys.(i)
+let hi_why b i = b.hi_whys.(i)
 
-let tighten_lo b i v = b.los.(i) <- Ext_int.max b.los.(i) (Ext_int.fin v)
-let tighten_hi b i v = b.his.(i) <- Ext_int.min b.his.(i) (Ext_int.fin v)
+(* The derivation accompanying a bound is replaced only when the bound
+   strictly improves (it justifies the new value, not the old one); on
+   a tie it fills a missing derivation but never displaces one. *)
+let tighten_lo ?why b i v =
+  let v = Ext_int.fin v in
+  let c = Ext_int.compare v b.los.(i) in
+  if c > 0 then begin
+    b.los.(i) <- v;
+    b.lo_whys.(i) <- why
+  end
+  else if c = 0 && b.lo_whys.(i) = None then b.lo_whys.(i) <- why
 
-let absorb b (r : Consys.row) =
+let tighten_hi ?why b i v =
+  let v = Ext_int.fin v in
+  let c = Ext_int.compare v b.his.(i) in
+  if c < 0 then begin
+    b.his.(i) <- v;
+    b.hi_whys.(i) <- why
+  end
+  else if c = 0 && b.hi_whys.(i) = None then b.hi_whys.(i) <- why
+
+let absorb ?why b (r : Consys.row) =
   match Consys.nonzero_vars r with
   | [] -> if Zint.is_negative r.rhs then `False else `Trivial
   | [ i ] ->
     let a = r.coeffs.(i) in
     (* a*t <= b: upper bound floor(b/a) for a > 0, lower bound
-       ceil(b/a) for a < 0. *)
-    if Zint.is_positive a then tighten_hi b i (Zint.fdiv r.rhs a)
-    else tighten_lo b i (Zint.cdiv r.rhs a);
+       ceil(b/a) for a < 0. Dividing by |a| with a floored bound is
+       exactly what [Cert.Tighten] derives, so the stored bound row
+       ([t_i <= hi] or [-t_i <= -lo]) follows from the absorbed row. *)
+    let why =
+      match why with
+      | None -> None
+      | Some w -> Some (if Zint.is_one (Zint.abs a) then w else Cert.Tighten w)
+    in
+    if Zint.is_positive a then tighten_hi ?why b i (Zint.fdiv r.rhs a)
+    else tighten_lo ?why b i (Zint.cdiv r.rhs a);
     `Absorbed
   | _ :: _ :: _ -> invalid_arg "Bounds.absorb: multi-variable row"
 
@@ -36,6 +79,17 @@ let first_empty b =
   go 0
 
 let consistent b = first_empty b = None
+
+let refute_empty b =
+  match first_empty b with
+  | None -> None
+  | Some i -> (
+    match (b.lo_whys.(i), b.hi_whys.(i)) with
+    | Some lw, Some hw ->
+      (* (-t_i <= -lo) + (t_i <= hi) = (0 <= hi - lo), negative here. *)
+      Some (Cert.Refute (Cert.Comb [ (Zint.one, lw); (Zint.one, hw) ]))
+    | _ ->
+      invalid_arg "Bounds.refute_empty: crossing bounds lack provenance")
 
 let sample b =
   if not (consistent b) then None

@@ -15,8 +15,8 @@ let test_name = function
 let pp_test fmt t = Format.pp_print_string fmt (test_name t)
 
 type verdict =
-  | Independent
-  | Dependent of Zint.t array option
+  | Independent of Cert.infeasible
+  | Dependent of Zint.t array
   | Unknown
 
 type result = {
@@ -24,29 +24,40 @@ type result = {
   decided_by : test;
 }
 
+let dependent sys w decided_by =
+  assert (Consys.satisfies_all w sys);
+  { verdict = Dependent w; decided_by }
+
 let run ?(fm_tighten = false) ?(fm_depth = 32) (sys : Consys.t) =
   match Svpc.run sys with
-  | Svpc.Infeasible -> { verdict = Independent; decided_by = T_svpc }
-  | Svpc.Feasible box -> { verdict = Dependent (Bounds.sample box); decided_by = T_svpc }
+  | Svpc.Infeasible cert -> { verdict = Independent cert; decided_by = T_svpc }
+  | Svpc.Feasible box -> (
+      match Bounds.sample box with
+      | Some w -> dependent sys w T_svpc
+      | None -> assert false (* Feasible boxes are consistent *))
   | Svpc.Partial (box, multi) -> (
       match Acyclic.run box multi with
-      | Acyclic.Infeasible -> { verdict = Independent; decided_by = T_acyclic }
-      | Acyclic.Feasible (_, _) ->
-        (* Feasibility is exact, but a full witness would need values
-           for the variables the test discharged; callers that need one
-           use Fourier-Motzkin or brute force. *)
-        { verdict = Dependent None; decided_by = T_acyclic }
-      | Acyclic.Cycle (box', core) -> (
+      | Acyclic.Infeasible cert ->
+        { verdict = Independent cert; decided_by = T_acyclic }
+      | Acyclic.Feasible (box', elims) -> (
+          (* The box point satisfies the residual system; replaying the
+             eliminations extends it to the full variable set. *)
+          match Bounds.sample box' with
+          | Some base -> dependent sys (Acyclic.witness elims base) T_acyclic
+          | None -> assert false)
+      | Acyclic.Cycle (box', elims, core) -> (
           match Loop_residue.run box' core with
-          | Some Loop_residue.Infeasible ->
-            { verdict = Independent; decided_by = T_loop_residue }
-          | Some (Loop_residue.Feasible _) ->
-            (* The witness covers the residual core only; see above. *)
-            { verdict = Dependent None; decided_by = T_loop_residue }
+          | Some (Loop_residue.Infeasible cert) ->
+            { verdict = Independent cert; decided_by = T_loop_residue }
+          | Some (Loop_residue.Feasible w) ->
+            (* The potentials satisfy the box and the cyclic core; the
+               eliminated variables are filled in the same way. *)
+            dependent sys (Acyclic.witness elims w) T_loop_residue
           | None -> (
-              (* Back-up test on the full system, so any witness covers
-                 every variable. *)
+              (* Back-up test on the full system, so any witness and any
+                 certificate refer to the original rows directly. *)
               match Fourier.run ~tighten:fm_tighten ~max_branch_depth:fm_depth sys with
-              | Fourier.Infeasible -> { verdict = Independent; decided_by = T_fourier }
-              | Fourier.Feasible w -> { verdict = Dependent (Some w); decided_by = T_fourier }
+              | Fourier.Infeasible cert ->
+                { verdict = Independent cert; decided_by = T_fourier }
+              | Fourier.Feasible w -> dependent sys w T_fourier
               | Fourier.Unknown -> { verdict = Unknown; decided_by = T_fourier })))

@@ -18,9 +18,13 @@ val test_name : test -> string
 val pp_test : Format.formatter -> test -> unit
 
 type verdict =
-  | Independent
-  | Dependent of Zint.t array option
-      (** witness over the system's variables, when one was produced *)
+  | Independent of Cert.infeasible
+      (** infeasibility certificate over the input system's rows,
+          checkable by [Dda_check.Certcheck.check_infeasible] *)
+  | Dependent of Zint.t array
+      (** a full witness over {e all} of the system's variables — the
+          eliminations performed by the early tests are replayed, so no
+          verdict is ever witness-free *)
   | Unknown  (** Fourier-Motzkin ran out of branch depth: assume
                  dependent *)
 
@@ -32,4 +36,7 @@ type result = {
 val run : ?fm_tighten:bool -> ?fm_depth:int -> Consys.t -> result
 (** Decide feasibility of a system of inequalities over integer
     variables (the [t]-space system from {!Gcd_test.run}, possibly with
-    direction-vector rows appended). *)
+    direction-vector rows appended). Every verdict carries evidence:
+    [Dependent] a point satisfying every row, [Independent] a
+    {!Cert.infeasible} certificate whose hypotheses are the input rows
+    in order. *)

@@ -142,7 +142,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
     let i = test_index r.decided_by in
     counts.by_test.(i) <- counts.by_test.(i) + 1;
     (match r.verdict with
-     | Cascade.Independent -> counts.indep_by_test.(i) <- counts.indep_by_test.(i) + 1
+     | Cascade.Independent _ -> counts.indep_by_test.(i) <- counts.indep_by_test.(i) + 1
      | Cascade.Dependent _ | Cascade.Unknown -> ());
     r.verdict
   in
@@ -212,7 +212,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
           if verdict_known_dependent then true
           else
             match run_test vector with
-            | Cascade.Independent -> false
+            | Cascade.Independent _ -> false
             | Cascade.Dependent _ | Cascade.Unknown -> true
         in
         if dependent then vectors := Array.copy vector :: !vectors;
@@ -224,7 +224,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
         (fun d ->
            vector.(k) <- d;
            (match run_test vector with
-            | Cascade.Independent -> ()
+            | Cascade.Independent _ -> ()
             | Cascade.Dependent _ | Cascade.Unknown ->
               if expand vector (k + 1) true then any := true);
            vector.(k) <- Dany)
@@ -238,7 +238,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
   (* Root test: the paper's (*,...,*) query. *)
   let root = run_test root_vector in
   match root with
-  | Cascade.Independent ->
+  | Cascade.Independent _ ->
     { dependent = false; vectors = []; distance = None; implicit_bb = false }
   | Cascade.Dependent _ | Cascade.Unknown ->
     (* Isolated 3-direction tests for the separable levels. *)
@@ -252,7 +252,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
             (fun d ->
                v.(k) <- d;
                match run_test v with
-               | Cascade.Independent -> false
+               | Cascade.Independent _ -> false
                | Cascade.Dependent _ | Cascade.Unknown -> true)
             [ Dlt; Deq; Dgt ]
         in

@@ -70,6 +70,13 @@ val merge_counts : into:counts -> counts -> unit
 (** Add the second counter set into the first, per test. Used to fold
     per-domain (or per-program) counters into corpus totals. *)
 
+val dir_rows : Problem.t -> int -> dir -> Consys.row list
+(** The constraint rows a direction at common level [k] adds, in
+    original-variable space: [Dlt] is [i_k - i'_k <= -1], [Deq] the two
+    opposite [<= 0] rows, [Dgt] the mirror, [Dany] nothing. Exposed for
+    the verification layer, which re-derives the per-direction systems
+    when certifying self-pair verdicts. *)
+
 type result = {
   dependent : bool;
   vectors : dir array list;

@@ -1,7 +1,7 @@
 open Dda_numeric
 
 type outcome =
-  | Infeasible
+  | Infeasible of Cert.infeasible
   | Feasible of Zint.t array
   | Unknown
 
@@ -16,75 +16,99 @@ let fresh_stats () = { eliminations = 0; max_rows = 0; branches = 0 }
 (* Normalize a derived row. Without [tighten], dividing by the gcd is
    only done when it divides the bound too, so the row stays equivalent
    over the rationals. With [tighten], the bound is floored: sound for
-   integer variables, stronger than rational reasoning. *)
-let normalize ~tighten (r : Consys.row) =
+   integer variables, stronger than rational reasoning. Either change
+   is exactly what [Cert.Tighten] derives (exact division is flooring
+   that loses nothing), so the provenance records one [Tighten]. *)
+let normalize ~tighten ({ Cert.row = r; why } as dr) =
   let g = Array.fold_left (fun g c -> Zint.gcd g c) Zint.zero r.coeffs in
-  if Zint.is_zero g || Zint.is_one g then r
+  if Zint.is_zero g || Zint.is_one g then dr
   else if tighten then
     {
-      Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
-      rhs = Zint.fdiv r.rhs g;
+      Cert.row =
+        {
+          Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
+          rhs = Zint.fdiv r.rhs g;
+        };
+      why = Cert.Tighten why;
     }
   else if Zint.divides g r.rhs then
     {
-      Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
-      rhs = Zint.divexact r.rhs g;
+      Cert.row =
+        {
+          Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
+          rhs = Zint.divexact r.rhs g;
+        };
+      why = Cert.Tighten why;
     }
-  else r
+  else dr
 
 let row_key (r : Consys.row) =
   String.concat "," (Array.to_list (Array.map Zint.to_string r.coeffs))
 
+type dedup_result =
+  | Contradiction of Cert.deriv
+  | Rows of Cert.drow list
+
 (* Keep one row per coefficient vector (the tightest), drop trivially
    true rows, and detect trivially false ones. *)
 let dedup rows =
-  let table : (string, Consys.row) Hashtbl.t = Hashtbl.create 64 in
-  let contradiction = ref false in
+  let table : (string, Cert.drow) Hashtbl.t = Hashtbl.create 64 in
+  let contradiction = ref None in
   List.iter
-    (fun (r : Consys.row) ->
+    (fun ({ Cert.row = r; why = _ } as dr : Cert.drow) ->
        if Consys.num_vars_used r = 0 then begin
-         if Zint.is_negative r.rhs then contradiction := true
+         if Zint.is_negative r.rhs && !contradiction = None then
+           contradiction := Some dr.why
        end
        else begin
          let key = row_key r in
          match Hashtbl.find_opt table key with
-         | Some prev when Zint.compare prev.rhs r.rhs <= 0 -> ()
-         | Some _ | None -> Hashtbl.replace table key r
+         | Some prev when Zint.compare prev.row.rhs r.rhs <= 0 -> ()
+         | Some _ | None -> Hashtbl.replace table key dr
        end)
     rows;
-  if !contradiction then None
-  else Some (Hashtbl.fold (fun _ r acc -> r :: acc) table [])
+  match !contradiction with
+  | Some why -> Contradiction why
+  | None -> Rows (Hashtbl.fold (fun _ dr acc -> dr :: acc) table [])
 
 type step = {
   var : int;
-  step_rows : Consys.row list;  (* the rows mentioning [var] at its turn *)
+  step_rows : Cert.drow list;  (* the rows mentioning [var] at its turn *)
 }
 
 (* Eliminate [v]: pair every upper bound with every lower bound. *)
 let eliminate ~tighten v rows =
   let uppers, lowers, rest =
     List.fold_left
-      (fun (u, l, r) (row : Consys.row) ->
-         let c = row.coeffs.(v) in
-         if Zint.is_positive c then (row :: u, l, r)
-         else if Zint.is_negative c then (u, row :: l, r)
-         else (u, l, row :: r))
+      (fun (u, l, r) (dr : Cert.drow) ->
+         let c = dr.row.coeffs.(v) in
+         if Zint.is_positive c then (dr :: u, l, r)
+         else if Zint.is_negative c then (u, dr :: l, r)
+         else (u, l, dr :: r))
       ([], [], []) rows
   in
   let combos =
     List.concat_map
-      (fun (u : Consys.row) ->
-         let a = u.coeffs.(v) in
+      (fun (u : Cert.drow) ->
+         let a = u.row.coeffs.(v) in
          List.map
-           (fun (l : Consys.row) ->
-              let b = Zint.neg l.coeffs.(v) in
+           (fun (l : Cert.drow) ->
+              let b = Zint.neg l.row.coeffs.(v) in
               (* b*u + a*l cancels v; both multipliers positive. *)
               let coeffs =
-                Array.init (Array.length u.coeffs) (fun i ->
-                    Zint.add (Zint.mul b u.coeffs.(i)) (Zint.mul a l.coeffs.(i)))
+                Array.init (Array.length u.row.coeffs) (fun i ->
+                    Zint.add (Zint.mul b u.row.coeffs.(i))
+                      (Zint.mul a l.row.coeffs.(i)))
               in
               normalize ~tighten
-                { Consys.coeffs; rhs = Zint.add (Zint.mul b u.rhs) (Zint.mul a l.rhs) })
+                {
+                  Cert.row =
+                    {
+                      Consys.coeffs;
+                      rhs = Zint.add (Zint.mul b u.row.rhs) (Zint.mul a l.row.rhs);
+                    };
+                  why = Cert.Comb [ (b, u.why); (a, l.why) ];
+                })
            lowers)
       uppers
   in
@@ -92,53 +116,66 @@ let eliminate ~tighten v rows =
 
 let branch_budget = 64
 
-let rec solve ~tighten ~stats ~depth ~nvars rows =
+(* Tightening a single-variable row [a*t_v <= r] yields exactly the
+   integer bound used during back-substitution: [t_v <= fdiv r a] for
+   [a > 0], [-t_v <= fdiv r |a|] (i.e. [t_v >= ceil(r/a)]) for
+   [a < 0]. *)
+let tightened_bound_why (dr : Cert.drow) v =
+  assert (Consys.num_vars_used dr.row = 1);
+  if Zint.is_one (Zint.abs dr.row.coeffs.(v)) then dr.why
+  else Cert.Tighten dr.why
+
+let rec solve ~tighten ~stats ~depth ~ncuts ~nvars rows =
   match dedup rows with
-  | None -> Infeasible
-  | Some rows ->
+  | Contradiction why -> Infeasible (Cert.Refute why)
+  | Rows rows ->
     stats.max_rows <- max stats.max_rows (List.length rows);
     (* Elimination order: ascending variable index over the variables
        actually present, as in the paper. *)
     let used = Array.make nvars false in
     List.iter
-      (fun r -> List.iter (fun i -> used.(i) <- true) (Consys.nonzero_vars r))
+      (fun (dr : Cert.drow) ->
+         List.iter (fun i -> used.(i) <- true) (Consys.nonzero_vars dr.row))
       rows;
     let order = ref [] in
     for i = nvars - 1 downto 0 do
       if used.(i) then order := i :: !order
     done;
     let rec eliminate_all rows steps = function
-      | [] -> Some (List.rev steps, rows)
+      | [] -> Ok (List.rev steps, rows)
       | v :: vs -> (
           stats.eliminations <- stats.eliminations + 1;
           let mentioning, remaining = eliminate ~tighten v rows in
           match dedup remaining with
-          | None -> None
-          | Some remaining ->
+          | Contradiction why -> Error why
+          | Rows remaining ->
             stats.max_rows <- max stats.max_rows (List.length remaining);
             eliminate_all remaining ({ var = v; step_rows = mentioning } :: steps) vs)
     in
     (match eliminate_all rows [] !order with
-     | None -> Infeasible
-     | Some (steps, residue) ->
+     | Error why -> Infeasible (Cert.Refute why)
+     | Ok (steps, residue) ->
        (* The residue is variable-free; dedup already rejected negative
           bounds, so the system is rationally feasible. *)
-       assert (List.for_all (fun r -> Consys.num_vars_used r = 0) residue);
-       back_substitute ~tighten ~stats ~depth ~nvars ~original:rows steps)
+       assert (
+         List.for_all (fun (dr : Cert.drow) -> Consys.num_vars_used dr.row = 0) residue);
+       back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original:rows steps)
 
-and back_substitute ~tighten ~stats ~depth ~nvars ~original steps =
+and back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
   let values = Array.make nvars Qnum.zero in
   (* Walk the steps in reverse elimination order; the first variable
      visited has constant bounds. *)
   let rec assign ~first = function
     | [] ->
       let witness = Array.map Qnum.to_zint_exn values in
-      assert (List.for_all (Consys.satisfies witness) original);
+      assert (
+        List.for_all (fun (dr : Cert.drow) -> Consys.satisfies witness dr.row) original);
       Feasible witness
     | { var = v; step_rows } :: rest -> (
         let lo = ref None and hi = ref None in
         List.iter
-          (fun (r : Consys.row) ->
+          (fun (dr : Cert.drow) ->
+             let r = dr.Cert.row in
              let a = r.coeffs.(v) in
              let sum = ref (Qnum.of_zint r.rhs) in
              Array.iteri
@@ -147,22 +184,26 @@ and back_substitute ~tighten ~stats ~depth ~nvars ~original steps =
                     sum := Qnum.sub !sum (Qnum.mul (Qnum.of_zint c) values.(i)))
                r.coeffs;
              let bound = Qnum.div !sum (Qnum.of_zint a) in
-             if Zint.is_positive a then
-               hi := Some (match !hi with None -> bound | Some h -> Qnum.min h bound)
+             if Zint.is_positive a then (
+               match !hi with
+               | Some (h, _) when Qnum.compare bound h >= 0 -> ()
+               | Some _ | None -> hi := Some (bound, dr))
              else
-               lo := Some (match !lo with None -> bound | Some l -> Qnum.max l bound))
+               match !lo with
+               | Some (l, _) when Qnum.compare bound l <= 0 -> ()
+               | Some _ | None -> lo := Some (bound, dr))
           step_rows;
         match (!lo, !hi) with
         | None, None ->
           values.(v) <- Qnum.zero;
           assign ~first:false rest
-        | Some l, None ->
+        | Some (l, _), None ->
           values.(v) <- Qnum.of_zint (Qnum.ceil l);
           assign ~first:false rest
-        | None, Some h ->
+        | None, Some (h, _) ->
           values.(v) <- Qnum.of_zint (Qnum.floor h);
           assign ~first:false rest
-        | Some l, Some h -> (
+        | Some (l, lo_dr), Some (h, hi_dr) -> (
             match Qnum.mid_integer l h with
             | Some m ->
               values.(v) <- Qnum.of_zint m;
@@ -170,8 +211,17 @@ and back_substitute ~tighten ~stats ~depth ~nvars ~original steps =
             | None ->
               if first then
                 (* Constant range with no integer: provably no integer
-                   solution anywhere (paper's special case). *)
+                   solution anywhere (paper's special case). The binding
+                   rows are single-variable here, so their integer
+                   tightenings [t_v <= floor h] and [-t_v <= -ceil l]
+                   sum to [0 <= floor h - ceil l < 0]. *)
                 Infeasible
+                  (Cert.Refute
+                     (Cert.Comb
+                        [
+                          (Zint.one, tightened_bound_why hi_dr v);
+                          (Zint.one, tightened_bound_why lo_dr v);
+                        ]))
               else if depth <= 0 || stats.branches >= branch_budget then Unknown
               else begin
                 (* Branch-and-bound: [l, h] lies strictly between two
@@ -181,26 +231,32 @@ and back_substitute ~tighten ~stats ~depth ~nvars ~original steps =
                 let le_row =
                   let coeffs = Array.make nvars Zint.zero in
                   coeffs.(v) <- Zint.one;
-                  { Consys.coeffs; rhs = m }
+                  { Cert.row = { Consys.coeffs; rhs = m }; why = Cert.Cut ncuts }
                 in
                 let ge_row =
                   let coeffs = Array.make nvars Zint.zero in
                   coeffs.(v) <- Zint.minus_one;
-                  { Consys.coeffs; rhs = Zint.neg (Zint.succ m) }
+                  {
+                    Cert.row = { Consys.coeffs; rhs = Zint.neg (Zint.succ m) };
+                    why = Cert.Cut ncuts;
+                  }
                 in
                 let left =
-                  solve ~tighten ~stats ~depth:(depth - 1) ~nvars (le_row :: original)
+                  solve ~tighten ~stats ~depth:(depth - 1) ~ncuts:(ncuts + 1) ~nvars
+                    (le_row :: original)
                 in
                 match left with
                 | Feasible _ as ok -> ok
-                | Infeasible | Unknown -> (
+                | Infeasible _ | Unknown -> (
                     let right =
-                      solve ~tighten ~stats ~depth:(depth - 1) ~nvars
-                        (ge_row :: original)
+                      solve ~tighten ~stats ~depth:(depth - 1) ~ncuts:(ncuts + 1)
+                        ~nvars (ge_row :: original)
                     in
                     match (left, right) with
                     | _, (Feasible _ as ok) -> ok
-                    | Infeasible, Infeasible -> Infeasible
+                    | Infeasible cl, Infeasible cr ->
+                      Infeasible
+                        (Cert.Split { var = v; bound = m; left = cl; right = cr })
                     | _, _ -> Unknown)
               end))
   in
@@ -208,4 +264,5 @@ and back_substitute ~tighten ~stats ~depth ~nvars ~original steps =
 
 let run ?(max_branch_depth = 32) ?(tighten = false) ?stats (sys : Consys.t) =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  solve ~tighten ~stats ~depth:max_branch_depth ~nvars:sys.nvars sys.rows
+  solve ~tighten ~stats ~depth:max_branch_depth ~ncuts:0 ~nvars:sys.nvars
+    (Cert.hyps_of_rows sys.rows)

@@ -23,7 +23,10 @@
 open Dda_numeric
 
 type outcome =
-  | Infeasible
+  | Infeasible of Cert.infeasible
+      (** a Farkas-style refutation: a nonnegative combination of rows
+          (with integer tightenings) deriving [0 <= b < 0], possibly
+          under a tree of branch-and-bound {!Cert.Split}s *)
   | Feasible of Zint.t array  (** an integral witness *)
   | Unknown
 

@@ -9,8 +9,21 @@ type reduction = {
 }
 
 type outcome =
-  | Independent
+  | Independent of Cert.eq_refutation
   | Reduced of reduction
+
+(* Scale the rational refutation vector from the echelon solve into
+   integer multipliers plus a modulus: with [y = multipliers / L] and
+   [A . y] integral, [sum_j multipliers.(j) * a_ij] is divisible by [L]
+   for every variable [i] while [sum_j multipliers.(j) * c_j] is not
+   (because [c . y] is not an integer — which also forces [L >= 2]). *)
+let refutation_of_y y =
+  let l = Array.fold_left (fun acc q -> Zint.lcm acc (Qnum.den q)) Zint.one y in
+  assert (Zint.compare l Zint.two >= 0);
+  let multipliers =
+    Array.map (fun q -> Qnum.to_zint_exn (Qnum.mul q (Qnum.of_zint l))) y
+  in
+  { Cert.multipliers; modulus = l }
 
 let transform_row red (r : Consys.row) =
   let nv = Array.length red.x_const in
@@ -35,7 +48,12 @@ let run_eqs (p : Problem.t) =
   if n = 0 then begin
     (* No variables at all (everything canonicalized away): each
        equality is a closed claim [0 = rhs]. *)
-    if Array.for_all (fun (r : Consys.row) -> Zint.is_zero r.rhs) eqs then
+    let offender = ref (-1) in
+    Array.iteri
+      (fun j (r : Consys.row) ->
+         if !offender < 0 && not (Zint.is_zero r.rhs) then offender := j)
+      eqs;
+    if !offender < 0 then
       Reduced
         {
           nfree = 0;
@@ -43,7 +61,14 @@ let run_eqs (p : Problem.t) =
           x_coeff = [||];
           system = Consys.make ~nvars:0 [];
         }
-    else Independent
+    else begin
+      (* [0 = rhs] with rhs <> 0: multiplier 1 on that equation and any
+         modulus exceeding |rhs| refutes it. *)
+      let multipliers = Array.make m Zint.zero in
+      multipliers.(!offender) <- Zint.one;
+      Independent
+        { Cert.multipliers; modulus = Zint.succ (Zint.abs eqs.(!offender).rhs) }
+    end
   end
   else if m = 0 then
     (* No subscript equations (rank-0 corner cases): every variable is
@@ -63,7 +88,13 @@ let run_eqs (p : Problem.t) =
     let c = Array.init m (fun j -> eqs.(j).Consys.rhs) in
     let { Matrix.u; d; rank; _ } = Matrix.unimodular_factor a in
     match Matrix.solve_echelon ~d ~c with
-    | None -> Independent
+    | None ->
+      let y =
+        match Matrix.echelon_refutation ~d ~c with
+        | Some y -> y
+        | None -> assert false (* solve failed, so a refutation exists *)
+      in
+      Independent (refutation_of_y y)
     | Some { Matrix.fixed; nfree } ->
       (* x = t . U; t = (fixed_0 .. fixed_{rank-1}, free parameters). *)
       let x_const =
@@ -84,7 +115,7 @@ let attach_bounds (p : Problem.t) red =
 
 let run p =
   match run_eqs p with
-  | Independent -> Independent
+  | Independent _ as i -> i
   | Reduced red -> Reduced (attach_bounds p red)
 
 let x_of_t red t =

@@ -23,7 +23,9 @@ type reduction = {
 }
 
 type outcome =
-  | Independent  (** no integer solution even ignoring bounds: exact *)
+  | Independent of Cert.eq_refutation
+      (** no integer solution even ignoring bounds: exact, certified by
+          a divisibility refutation over the problem's equality rows *)
   | Reduced of reduction
 
 val run : Problem.t -> outcome

@@ -8,21 +8,26 @@
     is feasible over the integers iff its residue graph has no negative
     cycle — and that equivalence is exact, because difference
     constraint systems have integral solutions whenever they have real
-    ones. *)
+    ones. An infeasible answer is certified by the negative cycle
+    itself: each edge derives a row [x_dst - x_src <= w], and summing
+    around the cycle leaves [0 <= weight < 0]. *)
 
 open Dda_numeric
 
 type outcome =
-  | Infeasible  (** a negative cycle: exact independence *)
+  | Infeasible of Cert.infeasible  (** a negative cycle: exact independence *)
   | Feasible of Zint.t array  (** integral witness from the potentials *)
 
 val applicable : Consys.row list -> bool
 (** True when every row has at most two variables and every two-variable
     row's coefficients are opposite and equal in magnitude. *)
 
-val run : Bounds.t -> Consys.row list -> outcome option
+val run : Bounds.t -> Cert.drow list -> outcome option
 (** [None] when not applicable. The box contributes the single-variable
-    edges through the paper's special node [n0]. *)
+    edges through the paper's special node [n0].
+    @raise Invalid_argument when an infeasibility certificate is needed
+    but a box bound lacks provenance (boxes from {!Svpc.run} /
+    {!Acyclic.run} always carry it). *)
 
-val to_dot : Bounds.t -> Consys.row list -> string
+val to_dot : Bounds.t -> Cert.drow list -> string
 (** The residue graph in Graphviz format (paper Figure 1). *)

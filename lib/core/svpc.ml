@@ -1,22 +1,28 @@
 type outcome =
-  | Infeasible
+  | Infeasible of Cert.infeasible
   | Feasible of Bounds.t
-  | Partial of Bounds.t * Consys.row list
+  | Partial of Bounds.t * Cert.drow list
+
+exception Row_false of Cert.deriv
 
 let run (sys : Consys.t) =
   let box = Bounds.create sys.nvars in
-  let rec absorb_rows multi = function
-    | [] -> Some (List.rev multi)
-    | (r : Consys.row) :: rest -> (
-        if Consys.num_vars_used r >= 2 then absorb_rows (r :: multi) rest
-        else
-          match Bounds.absorb box r with
-          | `Absorbed | `Trivial -> absorb_rows multi rest
-          | `False -> None)
-  in
-  match absorb_rows [] sys.rows with
-  | None -> Infeasible
-  | Some multi ->
-    if not (Bounds.consistent box) then Infeasible
-    else if multi = [] then Feasible box
-    else Partial (box, multi)
+  match
+    let multi = ref [] in
+    List.iteri
+      (fun i (r : Consys.row) ->
+         let why = Cert.Hyp i in
+         if Consys.num_vars_used r >= 2 then
+           multi := { Cert.row = r; why } :: !multi
+         else
+           match Bounds.absorb ~why box r with
+           | `Absorbed | `Trivial -> ()
+           | `False -> raise (Row_false why))
+      sys.rows;
+    List.rev !multi
+  with
+  | exception Row_false why -> Infeasible (Cert.Refute why)
+  | multi -> (
+    match Bounds.refute_empty box with
+    | Some cert -> Infeasible cert
+    | None -> if multi = [] then Feasible box else Partial (box, multi))

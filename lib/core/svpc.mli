@@ -7,15 +7,19 @@
     absorbed bounds still feed the follow-on tests. *)
 
 type outcome =
-  | Infeasible
+  | Infeasible of Cert.infeasible
       (** Some variable's bounds cross (or a constant row is false):
-          exact independence. *)
+          exact independence, with the refutation built from the
+          crossing bound rows. *)
   | Feasible of Bounds.t
       (** Every constraint was single-variable and the box is
           non-empty: exact dependence (any point of the box is a
           witness). *)
-  | Partial of Bounds.t * Consys.row list
-      (** Multi-variable rows remain; the box summarizes the rest. The
-          test alone is not decisive. *)
+  | Partial of Bounds.t * Cert.drow list
+      (** Multi-variable rows remain (each carrying its hypothesis
+          index); the box summarizes the rest. The test alone is not
+          decisive. *)
 
 val run : Consys.t -> outcome
+(** Bound derivations in the returned box are rooted at [Cert.Hyp i]
+    for row [i] of the input system. *)

@@ -9,6 +9,7 @@ type item = {
 type analyzed = {
   name : string;
   report : Analyzer.report;
+  verification : Dda_check.Verify.summary option;
 }
 
 type result = {
@@ -19,16 +20,32 @@ type result = {
 let chunks ~jobs n =
   List.init jobs (fun b -> (b * n / jobs, (b + 1) * n / jobs))
 
-let run ?(config = Analyzer.default_config) ?(share_memo = false) ~jobs items =
+let run ?(config = Analyzer.default_config) ?(share_memo = false)
+    ?(verify = false) ~jobs items =
   if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
   let arr = Array.of_list items in
+  (* Verification replays the analyzer's own pair enumeration and
+     checks the report actually produced — memoized or not. *)
+  let verification program report =
+    if not verify then None
+    else begin
+      let prepared =
+        if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run program
+        else program
+      in
+      let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+      let pairs = Analyzer.site_pairs config sites in
+      Some (Dda_check.Verify.verify_report ~config pairs report)
+    end
+  in
   let chunk (lo, hi) () =
     if share_memo then begin
       let session = Analyzer.create_session ~config () in
       let analyzed =
         Array.init (hi - lo) (fun k ->
             let it : item = arr.(lo + k) in
-            { name = it.name; report = Analyzer.analyze_session session it.program })
+            let report = Analyzer.analyze_session session it.program in
+            { name = it.name; report; verification = verification it.program report })
       in
       (analyzed, Some session)
     end
@@ -36,7 +53,8 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false) ~jobs items =
       let analyzed =
         Array.init (hi - lo) (fun k ->
             let it : item = arr.(lo + k) in
-            { name = it.name; report = Analyzer.analyze ~config it.program })
+            let report = Analyzer.analyze ~config it.program in
+            { name = it.name; report; verification = verification it.program report })
       in
       (analyzed, None)
   in

@@ -31,6 +31,10 @@ type item = {
 type analyzed = {
   name : string;
   report : Analyzer.report;
+  verification : Dda_check.Verify.summary option;
+      (** present when the batch ran with [verify]: the report's
+          verdicts re-derived and certificate-checked
+          ({!Dda_check.Verify.verify_report}) *)
 }
 
 type result = {
@@ -46,9 +50,12 @@ val chunks : jobs:int -> int -> (int * int) list
 val run :
   ?config:Analyzer.config ->
   ?share_memo:bool ->
+  ?verify:bool ->
   jobs:int ->
   item list ->
   result
 (** Analyze the corpus on [jobs] domains. [share_memo] defaults to
     [false] (the fully [jobs]-independent mode described above).
+    [verify] (default [false]) certificate-checks each program's
+    report on its worker domain and fills [verification].
     @raise Invalid_argument when [jobs < 1]. *)

@@ -220,6 +220,75 @@ let solve_echelon ~d ~c =
   done;
   if !ok then Some { fixed; nfree = n - !rank } else None
 
+(* When forward substitution fails, rerun it and extract a rational row
+   vector [y] (one entry per column/equation) such that [d . y] is an
+   integer vector while [c . y] is not: multiplying [t . D = c] on the
+   right by [y] then shows no integer [t] exists. Since [U . A = D] with
+   [U] unimodular, [A . y = U^-1 . (D . y)] is integral too, so the same
+   [y] refutes the original system [x . A = c]. *)
+let echelon_refutation ~d ~c =
+  let n = rows d and m = cols d in
+  if Array.length c <> m then
+    invalid_arg "Matrix.echelon_refutation: dimension mismatch";
+  let fixed = Vec.make n in
+  let rank = ref 0 in
+  let piv_col = Array.make n (-1) in
+  Array.iteri
+    (fun i row ->
+       match leading_col row with
+       | Some col when !rank = i -> piv_col.(i) <- col; incr rank
+       | Some _ -> invalid_arg "Matrix.echelon_refutation: matrix is not echelon"
+       | None -> ())
+    d;
+  let failure = ref None in
+  let next_pivot = ref 0 in
+  (try
+     for j = 0 to m - 1 do
+       let acc = ref Zint.zero in
+       for i = 0 to !next_pivot - 1 do
+         acc := Zint.add !acc (Zint.mul fixed.(i) d.(i).(j))
+       done;
+       let residue = Zint.sub c.(j) !acc in
+       if !next_pivot < !rank && piv_col.(!next_pivot) = j then begin
+         let piv = d.(!next_pivot).(j) in
+         if Zint.divides piv residue then begin
+           fixed.(!next_pivot) <- Zint.divexact residue piv;
+           incr next_pivot
+         end
+         else begin
+           (* Divisibility failure at a pivot: y_j = 1/piv makes
+              (D.y)_k = 1 for the pivot row k and c.y = residue/piv. *)
+           failure := Some (j, piv, !next_pivot);
+           raise Exit
+         end
+       end
+       else if not (Zint.is_zero residue) then begin
+         (* Inconsistency at a non-pivot column: every row is zero at
+            and left of j from row k on, so any denominator > |residue|
+            works; c.y = residue/(|residue|+1) is never an integer. *)
+         failure := Some (j, Zint.succ (Zint.abs residue), !next_pivot);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !failure with
+  | None -> None
+  | Some (j, p, k) ->
+    let y = Array.make m Qnum.zero in
+    y.(j) <- Qnum.make Zint.one p;
+    (* Back-solve the processed pivot rows so that (D.y)_i = 0 for every
+       i < k; rows >= k contribute nothing at columns <= j except the
+       failing pivot row itself, whose product is the integer 1. *)
+    for i = k - 1 downto 0 do
+      let acc = ref Qnum.zero in
+      for col = piv_col.(i) + 1 to j do
+        if not (Qnum.is_zero y.(col)) then
+          acc := Qnum.add !acc (Qnum.mul (Qnum.of_zint d.(i).(col)) y.(col))
+      done;
+      y.(piv_col.(i)) <- Qnum.neg (Qnum.div !acc (Qnum.of_zint d.(i).(piv_col.(i))))
+    done;
+    Some y
+
 let pp fmt m =
   Format.fprintf fmt "@[<v>%a@]"
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Vec.pp)

@@ -61,4 +61,13 @@ val solve_echelon : d:t -> c:Vec.t -> solution option
     means there is no integer solution (a divisibility or consistency
     failure), which proves independence of the bounds-free problem. *)
 
+val echelon_refutation : d:t -> c:Vec.t -> Qnum.t array option
+(** When {!solve_echelon} fails, a rational witness of that failure:
+    [Some y] (length = number of columns) with [d . y] an integer
+    vector but [c . y] not an integer — so [t . D = c], and hence the
+    original [x . A = c], has no integer solution. [None] when the
+    system is solvable. Scaling [y] by the lcm of its denominators
+    yields integer multipliers and a modulus for a divisibility-style
+    refutation over the original equations. *)
+
 val pp : Format.formatter -> t -> unit

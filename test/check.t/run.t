@@ -1,0 +1,92 @@
+Certificate-checked verdicts: ddtest check replays the analysis and
+validates every verdict's evidence with the trusted checker.
+
+A clean program: every verdict is certified, nothing to report.
+
+  $ cat > clean.dd <<'EOF'
+  > for i = 1 to 9 do
+  >   a[2 * i] = a[i] + 1
+  > end
+  > EOF
+
+  $ ddtest check clean.dd
+  OK: 2 pairs, 3 certificates checked; 0 errors, 0 warnings
+
+Corrupting every certificate before checking (--corrupt) is the
+checker's own negative test: each mangled witness and certificate must
+be rejected with a located diagnostic, and the exit code is 2.
+
+  $ ddtest check --corrupt clean.dd
+  clean.dd:2:3: error: [bad-certificate] array 'a': direction-obligation independence certificate rejected: hypothesis index -1 out of range (5 rows)
+  clean.dd:2:3: error: [bad-certificate] array 'a': direction-obligation independence certificate rejected: hypothesis index -1 out of range (5 rows)
+  clean.dd:2:3: error: [bad-witness] array 'a': dependence witness rejected: witness has 1 entries, problem has 2 variables (second reference at 2:14)
+  FAIL: 2 pairs, 3 certificates checked; 3 errors, 0 warnings
+  [2]
+
+The same diagnostics as JSON, for tooling:
+
+  $ ddtest check --corrupt --format json clean.dd | tr -d ' \n' | head -c 200
+  {"file":"clean.dd","pairs":2,"certificates":3,"errors":3,"warnings":0,"diagnostics":[{"severity":"error","code":"bad-certificate","line":2,"col":3,"array":"a","message":"array'a':direction-obligationi
+  $ ddtest check --corrupt --format json clean.dd > /dev/null
+  [2]
+
+Conservative verdicts are explained, not certified: a non-affine
+subscript warns and assumes dependence.
+
+  $ cat > nonaffine.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i * i] = a[i] + 1
+  > end
+  > EOF
+
+  $ ddtest check nonaffine.dd
+  nonaffine.dd:2:3: warning: [non-affine] subscript 0 of array 'a' is not affine: the pair is assumed dependent without testing
+  nonaffine.dd:2:3: warning: [non-affine] subscript 0 of array 'a' is not affine: the pair is assumed dependent without testing (second reference at 2:14)
+  OK: 2 pairs, 0 certificates checked; 0 errors, 2 warnings
+
+A loop bound the analysis cannot bound (here: symbolic mode off) warns
+on dependent pairs that it leaves part of the space unconstrained.
+
+  $ cat > symb.dd <<'EOF'
+  > read(n)
+  > for i = 1 to n do
+  >   a[i + 1] = a[i] + 1
+  > end
+  > EOF
+
+  $ ddtest check --symbolic false symb.dd
+  symb.dd:3:3: warning: [symbolic-bound] bound of loop 'i' is not affine: the dependence system leaves its range unconstrained, so this verdict may be conservative (second reference at 3:14)
+  OK: 2 pairs, 3 certificates checked; 0 errors, 1 warnings
+
+With symbolic terms on (the default) the same program is handled
+exactly and silently:
+
+  $ ddtest check symb.dd
+  OK: 2 pairs, 3 certificates checked; 0 errors, 0 warnings
+
+Verification rides along with analyze and batch via --verify:
+
+  $ ddtest analyze clean.dd --verify
+  a[self]  2:3 x 2:3:  independent
+  a[pair]  2:3 x 2:14:  dependent directions: (<)[flow]
+  
+  -- verification --
+  OK: 2 pairs, 3 certificates checked; 0 errors, 0 warnings
+
+
+  $ ddtest batch --verify --jobs 2 clean.dd symb.dd | grep -E '^(==|OK|FAIL)'
+  == clean.dd ==
+  OK: 2 pairs, 3 certificates checked; 0 errors, 0 warnings
+  == symb.dd ==
+  OK: 2 pairs, 3 certificates checked; 0 errors, 0 warnings
+  == corpus: 2 programs ==
+
+The synthetic PERFECT corpus is fully certified (the names come from
+perfect --list):
+
+  $ for n in $(ddtest perfect --list | head -3); do
+  >   ddtest perfect $n | ddtest check - | tail -1 | cut -d: -f1
+  > done
+  OK
+  OK
+  OK

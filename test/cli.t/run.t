@@ -201,9 +201,14 @@ The dependence graph of the recurrence, in Graphviz:
   $ ddtest depgraph dist.dd | grep -c 'label='
   9
 
-Self-validation: every verdict checked against the tracing interpreter.
+Self-validation, two ways: every verdict certificate-checked against
+the original problem, and (with --trace) compared to the dependences
+actually observed under the tracing interpreter.
 
   $ ddtest check dist.dd
+  OK: 6 pairs, 9 certificates checked; 0 errors, 0 warnings
+
+  $ ddtest check --trace dist.dd
   OK: all 6 pairs agree with the execution trace
 
 JSON output for tooling:
@@ -232,7 +237,7 @@ Annotated re-emission (the output is itself valid input):
     b[i + 1] = b[i] + 3
   end
 
-  $ ddtest annotate intro.dd | ddtest check -
+  $ ddtest annotate intro.dd | ddtest check --trace -
   OK: all 4 pairs agree with the execution trace
 
 Compilation to C: a parallel loop carries the OpenMP pragma and the

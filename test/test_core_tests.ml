@@ -66,7 +66,7 @@ let test_svpc_paper_example () =
       ]
   in
   (match Svpc.run sys with
-   | Svpc.Infeasible -> ()
+   | Svpc.Infeasible _ -> ()
    | _ -> Alcotest.fail "expected infeasible");
   (* Loosening the offending constraint makes it feasible. *)
   let sys2 =
@@ -82,7 +82,8 @@ let test_svpc_paper_example () =
 let test_svpc_partial () =
   let sys = mk 2 [ ([ 1; 0 ], 5); ([ 1; 1 ], 3) ] in
   match Svpc.run sys with
-  | Svpc.Partial (_, [ r ]) -> Alcotest.(check int) "multi row kept" 2 (Consys.num_vars_used r)
+  | Svpc.Partial (_, [ dr ]) ->
+    Alcotest.(check int) "multi row kept" 2 (Consys.num_vars_used dr.Cert.row)
   | _ -> Alcotest.fail "expected partial"
 
 let test_svpc_unbounded_feasible () =
@@ -125,7 +126,7 @@ let test_acyclic_infeasible () =
   match Svpc.run sys with
   | Svpc.Partial (box, multi) -> (
       match Acyclic.run box multi with
-      | Acyclic.Infeasible -> ()
+      | Acyclic.Infeasible _ -> ()
       | _ -> Alcotest.fail "expected infeasible")
   | _ -> Alcotest.fail "expected partial"
 
@@ -136,7 +137,7 @@ let test_acyclic_cycle_detected () =
   match Svpc.run sys with
   | Svpc.Partial (box, multi) -> (
       match Acyclic.run box multi with
-      | Acyclic.Cycle (_, rows) -> Alcotest.(check int) "both rows remain" 2 (List.length rows)
+      | Acyclic.Cycle (_, _, rows) -> Alcotest.(check int) "both rows remain" 2 (List.length rows)
       | _ -> Alcotest.fail "expected cycle")
   | _ -> Alcotest.fail "expected partial"
 
@@ -147,7 +148,19 @@ let test_acyclic_unbounded_discharge () =
   match Svpc.run sys with
   | Svpc.Partial (box, multi) -> (
       match Acyclic.run box multi with
-      | Acyclic.Feasible (_, pins) -> Alcotest.(check int) "no pin needed" 0 (List.length pins)
+      | Acyclic.Feasible (_, elims) ->
+        let pins =
+          List.filter
+            (function Acyclic.Pinned _ -> true | Acyclic.Discharged _ -> false)
+            elims
+        in
+        Alcotest.(check int) "no pin needed" 0 (List.length pins);
+        Alcotest.(check bool) "t1 discharged" true
+          (List.exists
+             (function
+               | Acyclic.Discharged { var = 0; _ } -> true
+               | Acyclic.Discharged _ | Acyclic.Pinned _ -> false)
+             elims)
       | _ -> Alcotest.fail "expected feasible")
   | _ -> Alcotest.fail "expected partial"
 
@@ -159,7 +172,7 @@ let lr_input rows =
   match Svpc.run rows with
   | Svpc.Partial (box, multi) -> (box, multi)
   | Svpc.Feasible box -> (box, [])
-  | Svpc.Infeasible -> Alcotest.fail "unexpected svpc infeasible"
+  | Svpc.Infeasible _ -> Alcotest.fail "unexpected svpc infeasible"
 
 let test_lr_negative_cycle () =
   (* Paper section 3.4 / figure 1 flavor: t1 <= t2 + 4, t2 <= t0(=0
@@ -167,7 +180,7 @@ let test_lr_negative_cycle () =
   let sys = mk 2 [ ([ 1; -1 ], 4); ([ -1; 1 ], -5) ] in
   let box, multi = lr_input sys in
   (match Loop_residue.run box multi with
-   | Some Loop_residue.Infeasible -> ()
+   | Some (Loop_residue.Infeasible _) -> ()
    | _ -> Alcotest.fail "expected negative cycle");
   (* Relax to cycle value 0: feasible. *)
   let sys2 = mk 2 [ ([ 1; -1 ], 4); ([ -1; 1 ], -4) ] in
@@ -184,7 +197,7 @@ let test_lr_equal_coefficient_extension () =
   let sys = mk 2 [ ([ 3; -3 ], 7); ([ 0; 1 ], 0); ([ -1; 0 ], -3) ] in
   let box, multi = lr_input sys in
   (match Loop_residue.run box multi with
-   | Some Loop_residue.Infeasible -> ()
+   | Some (Loop_residue.Infeasible _) -> ()
    | _ -> Alcotest.fail "expected infeasible");
   (* 3t1 - 3t2 <= 9 allows distance 3. *)
   let sys2 = mk 2 [ ([ 3; -3 ], 9); ([ 0; 1 ], 0); ([ -1; 0 ], -3) ] in
@@ -237,7 +250,7 @@ let test_fm_rational_infeasible () =
   let sys = mk 1 [ ([ 2 ], 1); ([ -2 ], -3) ] in
   (* 2t <= 1 and 2t >= 3: rationally infeasible already. *)
   match Fourier.run sys with
-  | Fourier.Infeasible -> ()
+  | Fourier.Infeasible _ -> ()
   | _ -> Alcotest.fail "expected infeasible"
 
 let test_fm_integer_gap () =
@@ -249,7 +262,7 @@ let test_fm_integer_gap () =
   let sys = mk 1 [ ([ -2 ], -1); ([ 3 ], 2) ] in
   let stats = Fourier.fresh_stats () in
   (match Fourier.run ~stats sys with
-   | Fourier.Infeasible -> ()
+   | Fourier.Infeasible _ -> ()
    | _ -> Alcotest.fail "expected infeasible");
   Alcotest.(check int) "no branches needed" 0 stats.branches
 
@@ -259,7 +272,7 @@ let test_fm_branch_and_bound () =
      only shows during back-substitution of the non-final variable. *)
   let sys = mk 2 [ ([ 2; -2 ], 1); ([ -2; 2 ], -1); ([ 1; 0 ], 10); ([ -1; 0 ], 10); ([ 0; 1 ], 10); ([ 0; -1 ], 10) ] in
   match Fourier.run sys with
-  | Fourier.Infeasible -> ()
+  | Fourier.Infeasible _ -> ()
   | Fourier.Feasible w ->
     Alcotest.failf "claimed witness (%s, %s)" (Zint.to_string w.(0)) (Zint.to_string w.(1))
   | Fourier.Unknown -> Alcotest.fail "unknown"
@@ -269,10 +282,10 @@ let test_fm_tighten_mode () =
      with t1 - t2 >= 1 it is infeasible without any integer sampling. *)
   let sys = mk 2 [ ([ 2; -2 ], 1); ([ -1; 1 ], -1) ] in
   (match Fourier.run ~tighten:true sys with
-   | Fourier.Infeasible -> ()
+   | Fourier.Infeasible _ -> ()
    | _ -> Alcotest.fail "tighten should prove infeasible");
   match Fourier.run sys with
-  | Fourier.Infeasible -> () (* plain mode gets there via sampling/B&B *)
+  | Fourier.Infeasible _ -> () (* plain mode gets there via sampling/B&B *)
   | _ -> Alcotest.fail "plain mode should also prove infeasible"
 
 let test_fm_coefficient_growth () =
@@ -317,7 +330,7 @@ let test_fm_coefficient_growth () =
        :: !rows)
   in
   match Fourier.run sys2 with
-  | Fourier.Infeasible -> ()
+  | Fourier.Infeasible _ -> ()
   | _ -> Alcotest.fail "capped chain should be infeasible"
 
 let test_fm_unbounded () =
@@ -336,12 +349,8 @@ let prop_cascade_exact =
     (fun boxed ->
        let truth = Gen_sys.brute_feasible boxed in
        match (Cascade.run boxed.sys).verdict with
-       | Cascade.Independent -> not truth
-       | Cascade.Dependent w ->
-         truth
-         && (match w with
-             | Some w -> Consys.satisfies_all w boxed.sys
-             | None -> true)
+       | Cascade.Independent _ -> not truth
+       | Cascade.Dependent w -> truth && Consys.satisfies_all w boxed.sys
        | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
 
 let prop_fourier_exact =
@@ -350,7 +359,7 @@ let prop_fourier_exact =
     (fun boxed ->
        let truth = Gen_sys.brute_feasible boxed in
        match Fourier.run boxed.sys with
-       | Fourier.Infeasible -> not truth
+       | Fourier.Infeasible _ -> not truth
        | Fourier.Feasible w -> truth && Consys.satisfies_all w boxed.sys
        | Fourier.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
 
@@ -360,7 +369,7 @@ let prop_fourier_tighten_exact =
     (fun boxed ->
        let truth = Gen_sys.brute_feasible boxed in
        match Fourier.run ~tighten:true boxed.sys with
-       | Fourier.Infeasible -> not truth
+       | Fourier.Infeasible _ -> not truth
        | Fourier.Feasible w -> truth && Consys.satisfies_all w boxed.sys
        | Fourier.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
 
@@ -370,12 +379,12 @@ let prop_loop_residue_exact =
     (fun boxed ->
        let truth = Gen_sys.brute_feasible boxed in
        match Svpc.run boxed.sys with
-       | Svpc.Infeasible -> not truth
+       | Svpc.Infeasible _ -> not truth
        | Svpc.Feasible _ -> truth
        | Svpc.Partial (box, multi) -> (
            match Loop_residue.run box multi with
            | None -> QCheck.Test.fail_reportf "LR should apply to difference rows"
-           | Some Loop_residue.Infeasible -> not truth
+           | Some (Loop_residue.Infeasible _) -> not truth
            | Some (Loop_residue.Feasible w) ->
              truth && Consys.satisfies_all w boxed.sys))
 
@@ -434,17 +443,13 @@ let prop_ip_reduction_exact =
     (fun (p, ubs, n) ->
        let truth = brute_ip p ubs n in
        match Gcd_test.run p with
-       | Gcd_test.Independent -> not truth
+       | Gcd_test.Independent _ -> not truth
        | Gcd_test.Reduced red -> (
            match (Cascade.run red.Gcd_test.system).verdict with
-           | Cascade.Independent -> not truth
-           | Cascade.Dependent w ->
-             truth
-             && (match w with
-                 | Some t ->
-                   (* Map the parameter witness back and check it. *)
-                   Problem.satisfies (Gcd_test.x_of_t red t) p
-                 | None -> true)
+           | Cascade.Independent _ -> not truth
+           | Cascade.Dependent t ->
+             (* Map the parameter witness back and check it. *)
+             truth && Problem.satisfies (Gcd_test.x_of_t red t) p
            | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown"))
 
 let prop_svpc_sound =
@@ -452,7 +457,7 @@ let prop_svpc_sound =
     (fun boxed ->
        let truth = Gen_sys.brute_feasible boxed in
        match Svpc.run boxed.sys with
-       | Svpc.Infeasible -> not truth
+       | Svpc.Infeasible _ -> not truth
        | Svpc.Feasible _ -> truth
        | Svpc.Partial _ -> true)
 
@@ -461,11 +466,11 @@ let prop_acyclic_sound =
     (fun boxed ->
        let truth = Gen_sys.brute_feasible boxed in
        match Svpc.run boxed.sys with
-       | Svpc.Infeasible -> not truth
+       | Svpc.Infeasible _ -> not truth
        | Svpc.Feasible _ -> truth
        | Svpc.Partial (box, multi) -> (
            match Acyclic.run box multi with
-           | Acyclic.Infeasible -> not truth
+           | Acyclic.Infeasible _ -> not truth
            | Acyclic.Feasible _ -> truth
            | Acyclic.Cycle _ -> true))
 

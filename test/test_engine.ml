@@ -290,7 +290,11 @@ let prop_batch_deterministic =
          let items =
            List.map
              (fun (it : Batch.item) ->
-                { Batch.name = it.Batch.name; report = Analyzer.analyze it.Batch.program })
+                {
+                  Batch.name = it.Batch.name;
+                  report = Analyzer.analyze it.Batch.program;
+                  verification = None;
+                })
              corpus
          in
          let merged = Analyzer.fresh_stats () in
