@@ -21,6 +21,8 @@ open Dda_lang
 open Dda_core
 
 let read_file path =
+  if Sys.file_exists path && Sys.is_directory path then
+    failwith (path ^ ": is a directory");
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -96,7 +98,55 @@ let config_term =
   let cross_nest =
     Arg.(value & flag & info [ "cross-nest" ] ~doc:"Also test pairs that share no loop.")
   in
-  let build symbolic directions memo prune fm_tighten no_pipeline cross_nest =
+  let budget_branches =
+    Arg.(
+      value
+      & opt int Budget.default_limits.Budget.fm_branches
+      & info [ "budget-branches" ] ~docv:"N"
+          ~doc:"Fourier-Motzkin branch-and-bound budget (branch splits per query).")
+  in
+  let budget_depth =
+    Arg.(
+      value
+      & opt int Budget.default_limits.Budget.fm_depth
+      & info [ "budget-depth" ] ~docv:"N"
+          ~doc:"Fourier-Motzkin elimination depth budget per query.")
+  in
+  let budget_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-steps" ] ~docv:"N"
+          ~doc:
+            "Solver step budget per query; running out degrades the verdict \
+             to a flagged conservative one instead of failing.")
+  in
+  let budget_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-rows" ] ~docv:"N"
+          ~doc:"Cap on the rows a system may grow to during elimination.")
+  in
+  let budget_coeff_bits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-coeff-bits" ] ~docv:"N"
+          ~doc:"Cap on coefficient magnitudes (in bits) during elimination.")
+  in
+  let build symbolic directions memo prune fm_tighten no_pipeline cross_nest
+      fm_branches fm_depth max_steps max_rows max_coeff_bits =
+    let positive name = function
+      | Some n when n < 1 -> failwith (Printf.sprintf "--%s must be positive" name)
+      | v -> v
+    in
+    let req_positive name n = ignore (positive name (Some n)); n in
+    let fm_branches = req_positive "budget-branches" fm_branches in
+    let fm_depth = req_positive "budget-depth" fm_depth in
+    let max_steps = positive "budget-steps" max_steps in
+    let max_rows = positive "budget-rows" max_rows in
+    let max_coeff_bits = positive "budget-coeff-bits" max_coeff_bits in
     {
       Analyzer.symbolic;
       memo;
@@ -105,9 +155,13 @@ let config_term =
       fm_tighten;
       run_pipeline = not no_pipeline;
       within_nest_only = not cross_nest;
+      limits = { Budget.fm_depth; fm_branches; max_steps; max_rows; max_coeff_bits };
     }
   in
-  Term.(const build $ symbolic $ directions $ memo $ prune $ fm_tighten $ no_pipeline $ cross_nest)
+  Term.(
+    const build $ symbolic $ directions $ memo $ prune $ fm_tighten
+    $ no_pipeline $ cross_nest $ budget_branches $ budget_depth $ budget_steps
+    $ budget_rows $ budget_coeff_bits)
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Source file ($(b,-) for stdin).")
@@ -128,7 +182,11 @@ let pp_outcome fmt (r : Analyzer.pair_report) =
         (if t.implicit_bb then " (via direction vectors)" else "")
     else begin
       Format.fprintf fmt "dependent";
-      if t.unknown then Format.fprintf fmt " (assumed: depth exhausted)";
+      (match t.degraded with
+       | Some reason ->
+         Format.fprintf fmt " (degraded: %s budget exhausted)"
+           (Budget.reason_name reason)
+       | None -> if t.unknown then Format.fprintf fmt " (assumed: depth exhausted)");
       (match t.decided_by with
        | Some test -> Format.fprintf fmt " [%a]" Cascade.pp_test test
        | None -> ());
@@ -167,7 +225,10 @@ let print_stats (s : Analyzer.stats) =
   Format.printf "memo (full table):   %d lookups, %d hits, %d unique@."
     s.memo_lookups_full s.memo_hits_full s.memo_unique_full;
   Format.printf "verdicts:            %d independent, %d dependent@."
-    s.independent_pairs s.dependent_pairs
+    s.independent_pairs s.dependent_pairs;
+  (* Only when something degraded: exact runs keep their exact output. *)
+  if s.degraded_pairs > 0 then
+    Format.printf "degraded (budget):   %d@." s.degraded_pairs
 
 let analyze_cmd =
   let run file config stats memo_file format verify =
@@ -260,49 +321,95 @@ let batch_cmd =
   (* The output deliberately never mentions the job count: in the
      default (independent) mode it is byte-identical whatever --jobs
      is, and the determinism tests compare runs across job counts. *)
-  let run files jobs share_memo verify config format =
+  let run files jobs share_memo verify retries backoff_ms item_timeout_ms
+      config format =
     let items =
       List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
     in
-    let result = Dda_engine.Batch.run ~config ~share_memo ~verify ~jobs items in
+    let result =
+      Dda_engine.Batch.run ~config ~share_memo ~verify ~retries ~backoff_ms
+        ?item_timeout_ms ~jobs items
+    in
+    (* Successes and quarantined items interleaved back in input order. *)
+    let entries =
+      let index = function
+        | `Ok (a : Dda_engine.Batch.analyzed) -> a.Dda_engine.Batch.index
+        | `Q (q : Dda_engine.Batch.quarantined) -> q.Dda_engine.Batch.q_index
+      in
+      List.merge
+        (fun a b -> compare (index a) (index b))
+        (List.map (fun a -> `Ok a) result.Dda_engine.Batch.items)
+        (List.map (fun q -> `Q q) result.Dda_engine.Batch.quarantined)
+    in
+    let nquarantined = List.length result.Dda_engine.Batch.quarantined in
     (match format with
      | `Text ->
        List.iter
-         (fun (a : Dda_engine.Batch.analyzed) ->
-            Format.printf "== %s ==@." a.name;
-            List.iter
-              (fun (r : Analyzer.pair_report) ->
-                 Format.printf "%s[%s]  %a x %a:  %a@." r.array_name
-                   (if r.self_pair then "self" else "pair")
-                   Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
-              a.report.Analyzer.pair_reports;
-            Option.iter
-              (fun s ->
-                 Format.printf "%a" (Dda_check.Verify.pp_text ~file:a.name) s)
-              a.verification)
-         result.Dda_engine.Batch.items;
+         (function
+           | `Ok (a : Dda_engine.Batch.analyzed) ->
+             Format.printf "== %s ==@." a.name;
+             List.iter
+               (fun (r : Analyzer.pair_report) ->
+                  Format.printf "%s[%s]  %a x %a:  %a@." r.array_name
+                    (if r.self_pair then "self" else "pair")
+                    Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
+               a.report.Analyzer.pair_reports;
+             Option.iter
+               (fun s ->
+                  Format.printf "%a" (Dda_check.Verify.pp_text ~file:a.name) s)
+               a.verification
+           | `Q (q : Dda_engine.Batch.quarantined) ->
+             Format.printf "== %s ==@." q.q_name;
+             Format.printf "QUARANTINED after %d attempt%s: %s@." q.q_attempts
+               (if q.q_attempts = 1 then "" else "s")
+               q.q_error)
+         entries;
        Format.printf "@.== corpus: %d programs ==@." (List.length files);
+       if result.Dda_engine.Batch.retried > 0 || nquarantined > 0 then
+         Format.printf "engine: %d retried, %d quarantined@."
+           result.Dda_engine.Batch.retried nquarantined;
        print_stats result.Dda_engine.Batch.merged
      | `Json ->
        let programs =
          List.map
-           (fun (a : Dda_engine.Batch.analyzed) ->
-              Json_out.Obj
-                ([ ("file", Json_out.Str a.name); ("report", Json_out.report a.report) ]
-                 @
-                 match a.verification with
-                 | Some s ->
-                   [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
-                 | None -> []))
-           result.Dda_engine.Batch.items
+           (function
+             | `Ok (a : Dda_engine.Batch.analyzed) ->
+               Json_out.Obj
+                 ([ ("file", Json_out.Str a.name); ("report", Json_out.report a.report) ]
+                  @
+                  match a.verification with
+                  | Some s ->
+                    [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+                  | None -> [])
+             | `Q (q : Dda_engine.Batch.quarantined) ->
+               Json_out.Obj
+                 [
+                   ("file", Json_out.Str q.q_name);
+                   ("quarantined", Json_out.Bool true);
+                   ("attempts", Json_out.Int q.q_attempts);
+                   ("error", Json_out.Str q.q_error);
+                 ])
+           entries
        in
        Format.printf "%a@." Json_out.pp
          (Json_out.Obj
-            [
+            ([
               ("programs", Json_out.List programs);
               ("merged_stats", Json_out.stats result.Dda_engine.Batch.merged);
-            ]));
-    if
+            ]
+            @
+            if result.Dda_engine.Batch.retried = 0 && nquarantined = 0 then []
+            else
+              [
+                ( "engine",
+                  Json_out.Obj
+                    [
+                      ("retried", Json_out.Int result.Dda_engine.Batch.retried);
+                      ("quarantined", Json_out.Int nquarantined);
+                    ] );
+              ])));
+    if nquarantined > 0 then exit 3
+    else if
       List.exists
         (fun (a : Dda_engine.Batch.analyzed) ->
            match a.verification with
@@ -338,6 +445,28 @@ let batch_cmd =
             "Certificate-check every program's report on its worker domain; \
              exits 2 when any certificate fails.")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"How many times a crashed item is retried before quarantine.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-backoff-ms" ] ~docv:"MS"
+          ~doc:"Delay before the first retry; doubled for each further one.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "item-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-item cooperative deadline: analysis running past it comes \
+             back as a flagged conservative (degraded) report instead of \
+             hanging the batch.")
+  in
   let format =
     Arg.(
       value
@@ -350,8 +479,12 @@ let batch_cmd =
          "Analyze a corpus of programs concurrently on a pool of domains; \
           per-program reports come back in input order with merged corpus \
           statistics, and the default mode is byte-identical for every \
-          $(b,--jobs) value")
-    Term.(const run $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg $ config_term $ format)
+          $(b,--jobs) value. An item whose worker crashes is retried and \
+          then quarantined — the rest of the corpus still completes; exits \
+          3 when anything was quarantined")
+    Term.(
+      const run $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg
+      $ retries_arg $ backoff_arg $ timeout_arg $ config_term $ format)
 
 (* ------------------------------------------------------------------ *)
 (* parallel                                                            *)
@@ -812,27 +945,44 @@ let distribute_cmd =
        ~doc:"Allen-Kennedy loop distribution: group statements by dependence SCC")
     Term.(const run $ file_arg $ lid_arg)
 
+(* Exit codes: 0 success; 1 input or usage errors; 2 verification or
+   trace failures; 3 batch quarantine. No exception may escape to a raw
+   OCaml backtrace — everything expected becomes a one-line diagnostic
+   on stderr, and cmdliner's own CLI-error code folds into 1. *)
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "ddtest" ~version:"1.0"
       ~doc:"Exact data dependence analysis (Maydan-Hennessy-Lam, PLDI 1991)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [
-            analyze_cmd;
-            batch_cmd;
-            parallel_cmd;
-            passes_cmd;
-            perfect_cmd;
-            graph_cmd;
-            depgraph_cmd;
-            transform_cmd;
-            distribute_cmd;
-            check_cmd;
-            prime_cmd;
-            annotate_cmd;
-            cc_cmd;
-          ]))
+  let group =
+    Cmd.group ~default info
+      [
+        analyze_cmd;
+        batch_cmd;
+        parallel_cmd;
+        passes_cmd;
+        perfect_cmd;
+        graph_cmd;
+        depgraph_cmd;
+        transform_cmd;
+        distribute_cmd;
+        check_cmd;
+        prime_cmd;
+        annotate_cmd;
+        cc_cmd;
+      ]
+  in
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Sys_error msg | Failure msg | Invalid_argument msg ->
+      Format.eprintf "ddtest: error: %s@." msg;
+      1
+    | Failpoint.Injected _ as e ->
+      Format.eprintf "ddtest: error: %s@." (Printexc.to_string e);
+      1
+    | Interp.Runtime_error (msg, loc) ->
+      Format.eprintf "ddtest: error: %s at %a@." msg Loc.pp loc;
+      1
+  in
+  exit (if code = Cmd.Exit.cli_error then 1 else code)

@@ -17,7 +17,10 @@ type interval = {
 let top = { lo = Ext_int.neg_inf; hi = Ext_int.pos_inf }
 let point z = { lo = Ext_int.fin z; hi = Ext_int.fin z }
 
-let iadd a b = { lo = Ext_int.add a.lo b.lo; hi = Ext_int.add a.hi b.hi }
+(* Lower bounds sum with [add_down], upper bounds with [add]: each
+   side rounds outward, so a mixed-infinity sum widens instead of
+   raising. *)
+let iadd a b = { lo = Ext_int.add_down a.lo b.lo; hi = Ext_int.add a.hi b.hi }
 
 (* Scale by an integer; zero collapses to the point 0 (avoiding
    0 * oo). *)
@@ -111,7 +114,7 @@ let pair_range a b iv dir =
   | Direction.Dany ->
     (* independent choices: range(a i) + range(-b i') *)
     Some
-      ( Ext_int.add (term_min a l u) (term_min (Zint.neg b) l u),
+      ( Ext_int.add_down (term_min a l u) (term_min (Zint.neg b) l u),
         Ext_int.add (term_max a l u) (term_max (Zint.neg b) l u) )
   | Direction.Deq ->
     if not (Ext_int.compare l u <= 0) then None
@@ -134,8 +137,8 @@ let pair_range a b iv dir =
       in
       let min_ =
         if Zint.sign b <= 0 then
-          Ext_int.add (term_min ab l u1) (Ext_int.fin (Zint.neg b))
-        else Ext_int.add (term_min a l u1) (sc (Zint.neg b) u)
+          Ext_int.add_down (term_min ab l u1) (Ext_int.fin (Zint.neg b))
+        else Ext_int.add_down (term_min a l u1) (sc (Zint.neg b) u)
       in
       Some (min_, max_)
     end
@@ -149,8 +152,8 @@ let pair_range a b iv dir =
         else Ext_int.add (Ext_int.fin a) (term_max ab l u1)
       in
       let min_ =
-        if Zint.sign a >= 0 then Ext_int.add (Ext_int.fin a) (term_min ab l u1)
-        else Ext_int.add (sc a u) (term_min (Zint.neg b) l u1)
+        if Zint.sign a >= 0 then Ext_int.add_down (Ext_int.fin a) (term_min ab l u1)
+        else Ext_int.add_down (sc a u) (term_min (Zint.neg b) l u1)
       in
       Some (min_, max_)
     end
@@ -162,7 +165,8 @@ let row_feasible (p : Problem.t) box vector (r : Consys.row) =
   let range = ref (Some (point Zint.zero)) in
   let add_range mm =
     match (!range, mm) with
-    | Some acc, Some (mn, mx) -> range := Some { lo = Ext_int.add acc.lo mn; hi = Ext_int.add acc.hi mx }
+    | Some acc, Some (mn, mx) ->
+      range := Some { lo = Ext_int.add_down acc.lo mn; hi = Ext_int.add acc.hi mx }
     | _, None | None, _ -> range := None
   in
   (* Common pairs first. *)
@@ -182,7 +186,7 @@ let row_feasible (p : Problem.t) box vector (r : Consys.row) =
     if (not in_common_pair) && not (Zint.is_zero r.coeffs.(i)) then
       solo :=
         {
-          lo = Ext_int.add !solo.lo (term_min r.coeffs.(i) box.(i).lo box.(i).hi);
+          lo = Ext_int.add_down !solo.lo (term_min r.coeffs.(i) box.(i).lo box.(i).hi);
           hi = Ext_int.add !solo.hi (term_max r.coeffs.(i) box.(i).lo box.(i).hi);
         }
   done;

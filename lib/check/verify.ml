@@ -133,15 +133,17 @@ let relation_error p x = function
 
 (* Walk every obligation of a pair through the cascade and certify the
    answers. Returns (found_dependent, found_unknown). *)
-let verify_obligations acc ~corrupt ~(config : Analyzer.config) ~r p
+let verify_obligations acc ~cancel ~corrupt ~(config : Analyzer.config) ~r p
     (red : Gcd_test.reduction) ~include_all_eq =
   let base = red.Gcd_test.system in
   let dependent_found = ref false and unknown_found = ref false in
+  let degraded_warned = ref false in
   List.iter
     (fun (tag, extra_rows) ->
        let extra_t = List.map (Gcd_test.transform_row red) extra_rows in
        let sys = Consys.make ~nvars:base.Consys.nvars (base.Consys.rows @ extra_t) in
-       let cas = Cascade.run ~fm_tighten:config.Analyzer.fm_tighten sys in
+       let budget = Budget.create ~cancel config.Analyzer.limits in
+       let cas = Cascade.run ~budget ~fm_tighten:config.Analyzer.fm_tighten sys in
        match cas.Cascade.verdict with
        | Cascade.Dependent w ->
          dependent_found := true;
@@ -161,7 +163,16 @@ let verify_obligations acc ~corrupt ~(config : Analyzer.config) ~r p
            ~what:"direction-obligation independence certificate"
            (Certcheck.check_infeasible ~nvars:sys.Consys.nvars sys.Consys.rows
               cert)
-       | Cascade.Unknown -> unknown_found := true)
+       | Cascade.Unknown -> unknown_found := true
+       | Cascade.Exhausted reason ->
+         unknown_found := true;
+         if not !degraded_warned then begin
+           degraded_warned := true;
+           emit acc ~severity:Sev_warning ~r ~code:"degraded"
+             "array '%s': replaying a direction obligation exhausted the %s \
+              budget; the conservative verdict stands uncertified"
+             r.Analyzer.array_name (Budget.reason_name reason)
+         end)
     (obligations p ~ncommon:p.Problem.ncommon ~include_all_eq);
   (!dependent_found, !unknown_found)
 
@@ -244,8 +255,8 @@ let verify_gcd_independent acc ~corrupt ~r (s1 : Affine.site) (s2 : Affine.site)
            the equalities reduce on replay"
           r.Analyzer.array_name)
 
-let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
-    (s1 : Affine.site) (s2 : Affine.site) ~reported_dep =
+let verify_tested acc ~cancel ~oracle ~corrupt ~(config : Analyzer.config) ~r
+    (s1 : Affine.site) (s2 : Affine.site) ~reported_dep ~degraded =
   match Build_problem.build s1 s2 with
   | None ->
     emit acc ~severity:Sev_error ~r ~code:"replay-divergence"
@@ -265,7 +276,7 @@ let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
           (* A self dependence is a pair of distinct iterations: decompose
              by the first common level where they differ. *)
           let dep_found, unk_found =
-            verify_obligations acc ~corrupt ~config ~r p red
+            verify_obligations acc ~cancel ~corrupt ~config ~r p red
               ~include_all_eq:false
           in
           if dep_found && not reported_dep then
@@ -274,10 +285,19 @@ let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
                the self pair was reported independent"
               r.Analyzer.array_name
           else if (not dep_found) && (not unk_found) && reported_dep then
-            emit acc ~severity:Sev_error ~r ~code:"verdict-mismatch"
-              "array '%s': every direction obligation is certified \
-               independent but the self pair was reported dependent"
-              r.Analyzer.array_name;
+            if Option.is_some degraded then
+              (* A degraded verdict only claims an over-approximation:
+                 replay proving full independence confirms it was sound,
+                 merely imprecise. *)
+              emit acc ~severity:Sev_warning ~r ~code:"degraded"
+                "array '%s': the degraded analysis assumed this self pair \
+                 dependent; replay certifies it independent"
+                r.Analyzer.array_name
+            else
+              emit acc ~severity:Sev_error ~r ~code:"verdict-mismatch"
+                "array '%s': every direction obligation is certified \
+                 independent but the self pair was reported dependent"
+                r.Analyzer.array_name;
           if unk_found then
             emit acc ~severity:Sev_warning ~r ~code:"fm-exhausted"
               "array '%s': a direction obligation exhausted the \
@@ -287,7 +307,8 @@ let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
         end
         else begin
           let sys = red.Gcd_test.system in
-          let cas = Cascade.run ~fm_tighten:config.Analyzer.fm_tighten sys in
+          let budget = Budget.create ~cancel config.Analyzer.limits in
+          let cas = Cascade.run ~budget ~fm_tighten:config.Analyzer.fm_tighten sys in
           (match cas.Cascade.verdict with
            | Cascade.Dependent w ->
              let x = Gcd_test.x_of_t red w in
@@ -306,17 +327,23 @@ let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
                (Certcheck.check_infeasible ~nvars:sys.Consys.nvars
                   sys.Consys.rows cert);
              if reported_dep then
-               emit acc ~severity:Sev_error ~r ~code:"verdict-mismatch"
-                 "array '%s': certified independent on replay but reported \
-                  dependent"
-                 r.Analyzer.array_name
+               if Option.is_some degraded then
+                 emit acc ~severity:Sev_warning ~r ~code:"degraded"
+                   "array '%s': the degraded analysis assumed this pair \
+                    dependent; replay certifies it independent"
+                   r.Analyzer.array_name
+               else
+                 emit acc ~severity:Sev_error ~r ~code:"verdict-mismatch"
+                   "array '%s': certified independent on replay but reported \
+                    dependent"
+                   r.Analyzer.array_name
            | Cascade.Unknown ->
              if not reported_dep then begin
                (* Independent via direction vectors (implicit branch and
                   bound): the plain query is out of budget, but the
                   direction cells cover the space — certify each one. *)
                let dep_found, unk_found =
-                 verify_obligations acc ~corrupt ~config ~r p red
+                 verify_obligations acc ~cancel ~corrupt ~config ~r p red
                    ~include_all_eq:true
                in
                if dep_found then
@@ -335,7 +362,31 @@ let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
                emit acc ~severity:Sev_warning ~r ~code:"fm-exhausted"
                  "array '%s': the Fourier-Motzkin branch budget was \
                   exhausted; the pair is assumed dependent, not certified"
-                 r.Analyzer.array_name);
+                 r.Analyzer.array_name
+           | Cascade.Exhausted reason ->
+             if not reported_dep then begin
+               (* Budgets are per query: the direction obligations may
+                  each fit where the whole system did not. *)
+               let dep_found, unk_found =
+                 verify_obligations acc ~cancel ~corrupt ~config ~r p red
+                   ~include_all_eq:true
+               in
+               if dep_found then
+                 emit acc ~severity:Sev_error ~r ~code:"verdict-mismatch"
+                   "array '%s': a direction obligation has a verified \
+                    witness but the pair was reported independent"
+                   r.Analyzer.array_name;
+               if unk_found then
+                 emit acc ~severity:Sev_warning ~r ~code:"degraded"
+                   "array '%s': the independence claim cannot be fully \
+                    certified within the replay budget"
+                   r.Analyzer.array_name
+             end
+             else
+               emit acc ~severity:Sev_warning ~r ~code:"degraded"
+                 "array '%s': replay exhausted the %s budget; the pair is \
+                  assumed dependent, not certified"
+                 r.Analyzer.array_name (Budget.reason_name reason));
           if oracle then
             match (cas.Cascade.verdict, Oracle.exhaustive sys) with
             | Cascade.Dependent _, Oracle.Infeasible ->
@@ -352,26 +403,26 @@ let verify_tested acc ~oracle ~corrupt ~(config : Analyzer.config) ~r
               -> ()
         end)
 
-let verify_pair acc ~oracle ~corrupt ~config ((s1 : Affine.site), s2)
+let verify_pair acc ~cancel ~oracle ~corrupt ~config ((s1 : Affine.site), s2)
     (r : Analyzer.pair_report) =
   match r.Analyzer.outcome with
   | Analyzer.Constant claimed -> verify_constant acc ~r s1 s2 claimed
   | Analyzer.Assumed_dependent -> verify_assumed acc ~r s1 s2
   | Analyzer.Gcd_independent -> verify_gcd_independent acc ~corrupt ~r s1 s2
   | Analyzer.Tested t ->
-    verify_tested acc ~oracle ~corrupt ~config ~r s1 s2
-      ~reported_dep:t.dependent
+    verify_tested acc ~cancel ~oracle ~corrupt ~config ~r s1 s2
+      ~reported_dep:t.dependent ~degraded:t.degraded
 
 (* ------------------------------------------------------------------ *)
 (* Drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let verify_report ?(oracle = true) ?(corrupt = false) ~config pairs
-    (report : Analyzer.report) =
+let verify_report ?(cancel = fun () -> false) ?(oracle = true)
+    ?(corrupt = false) ~config pairs (report : Analyzer.report) =
   if List.length pairs <> List.length report.Analyzer.pair_reports then
     invalid_arg "Verify.verify_report: pair list does not match the report";
   let acc = { diags = []; ncerts = 0; nerrors = 0; nwarnings = 0 } in
-  List.iter2 (verify_pair acc ~oracle ~corrupt ~config) pairs
+  List.iter2 (verify_pair acc ~cancel ~oracle ~corrupt ~config) pairs
     report.Analyzer.pair_reports;
   {
     diagnostics = List.rev acc.diags;
@@ -381,15 +432,15 @@ let verify_report ?(oracle = true) ?(corrupt = false) ~config pairs
     warnings = acc.nwarnings;
   }
 
-let run ?(config = Analyzer.default_config) ?oracle ?corrupt program =
+let run ?(config = Analyzer.default_config) ?cancel ?oracle ?corrupt program =
   let prepared =
     if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run program
     else program
   in
   let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
   let pairs = Analyzer.site_pairs config sites in
-  let report = Analyzer.analyze_sites ~config pairs in
-  verify_report ?oracle ?corrupt ~config pairs report
+  let report = Analyzer.analyze_sites ~config ?cancel pairs in
+  verify_report ?cancel ?oracle ?corrupt ~config pairs report
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -41,7 +41,8 @@ type diagnostic = {
       (** stable machine-readable tag: [bad-witness],
           [bad-certificate], [bad-refutation], [verdict-mismatch],
           [oracle-mismatch], [replay-divergence], [non-affine],
-          [rank-mismatch], [symbolic-bound], [fm-exhausted] *)
+          [rank-mismatch], [symbolic-bound], [fm-exhausted],
+          [degraded] *)
   message : string;
 }
 
@@ -57,6 +58,7 @@ type summary = {
 
 val run :
   ?config:Analyzer.config ->
+  ?cancel:(unit -> bool) ->
   ?oracle:bool ->
   ?corrupt:bool ->
   Ast.program ->
@@ -66,9 +68,19 @@ val run :
     [false]) deliberately mangles every certificate and witness before
     checking — a self-test that the checker actually rejects bad
     evidence; a run with [corrupt:true] on a program with any tested or
-    gcd-independent pair must produce errors. *)
+    gcd-independent pair must produce errors.
+
+    Replay runs under the budget of [config.limits] (plus the [cancel]
+    deadline poll, default never). A replay that runs out of budget
+    never fails the check: a verdict the analyzer itself flagged as
+    degraded only claims an over-approximation, so the checker records
+    [degraded] {e warnings} for anything it cannot (or need not)
+    certify — including replay proving a degraded "dependent" pair
+    independent, which confirms soundness rather than contradicting
+    the report. *)
 
 val verify_report :
+  ?cancel:(unit -> bool) ->
   ?oracle:bool ->
   ?corrupt:bool ->
   config:Analyzer.config ->

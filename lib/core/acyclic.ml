@@ -57,10 +57,13 @@ let substitute box i v bound_why rows =
   in
   go [] rows
 
-let run box rows =
+let run ?budget box rows =
+  Failpoint.hit "acyclic.run";
+  let tick cost = match budget with Some b -> Budget.tick b ~cost | None -> () in
   let box = Bounds.copy box in
   let nvars = Bounds.nvars box in
   let rec loop rows elims =
+    tick (List.length rows + 1);
     match Bounds.refute_empty box with
     | Some cert -> Infeasible cert
     | None ->

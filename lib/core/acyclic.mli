@@ -40,8 +40,11 @@ type outcome =
           residual cyclic core, plus the eliminations already done
           (needed to extend a core witness to a full one). *)
 
-val run : Bounds.t -> Cert.drow list -> outcome
-(** [run box rows] with [rows] the multi-variable residue from
+val run : ?budget:Budget.t -> Bounds.t -> Cert.drow list -> outcome
+(** May raise {!Budget.Exhausted} when a budget is supplied; the
+    cascade converts that into a degraded verdict.
+
+    [run box rows] with [rows] the multi-variable residue from
     {!Svpc.run}. [box] is copied, not mutated. Certificate derivations
     are expressed over the same hypothesis rows as the input
     derivations (for the cascade: the original system's rows).

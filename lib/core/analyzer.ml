@@ -15,6 +15,7 @@ type config = {
   fm_tighten : bool;
   run_pipeline : bool;
   within_nest_only : bool;
+  limits : Budget.limits;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     fm_tighten = false;
     run_pipeline = true;
     within_nest_only = true;
+    limits = Budget.default_limits;
   }
 
 type outcome =
@@ -39,6 +41,9 @@ type outcome =
       directions : Direction.dir array list;
       distance : Zint.t array option;
       implicit_bb : bool;
+      degraded : Budget.reason option;
+          (* the query's budget ran out: [dependent]/[directions] are a
+             sound over-approximation, not the exact answer *)
     }
 
 type pair_report = {
@@ -97,6 +102,7 @@ type stats = {
   mutable plain_by_test : int array;
   dir_counts : Direction.counts;
   mutable implicit_bb_cases : int;
+  mutable degraded_pairs : int;
   mutable independent_pairs : int;
   mutable dependent_pairs : int;
   mutable vectors_reported : int;
@@ -117,6 +123,7 @@ let fresh_stats () =
     plain_by_test = Array.make 4 0;
     dir_counts = Direction.fresh_counts ();
     implicit_bb_cases = 0;
+    degraded_pairs = 0;
     independent_pairs = 0;
     dependent_pairs = 0;
     vectors_reported = 0;
@@ -138,6 +145,7 @@ let merge_stats ~into src =
     src.plain_by_test;
   Direction.merge_counts ~into:into.dir_counts src.dir_counts;
   into.implicit_bb_cases <- into.implicit_bb_cases + src.implicit_bb_cases;
+  into.degraded_pairs <- into.degraded_pairs + src.degraded_pairs;
   into.independent_pairs <- into.independent_pairs + src.independent_pairs;
   into.dependent_pairs <- into.dependent_pairs + src.dependent_pairs;
   into.vectors_reported <- into.vectors_reported + src.vectors_reported;
@@ -169,17 +177,22 @@ type state = {
   stats : stats;
   gcd_table : Gcd_test.outcome Memo_table.t;
   full_table : memo_value Memo_table.t;
+  cancel : unit -> bool;
+      (* cooperative watchdog (e.g. the batch engine's per-item
+         deadline); deliberately outside [config], which is marshaled
+         into sessions and compared structurally *)
 }
 
 (* Compute the outcome for a canonical problem (a cache miss). *)
 let compute st (p : Problem.t) ~self =
+  let budget = Budget.create ~cancel:st.cancel st.cfg.limits in
   let gcd_outcome =
     match st.cfg.memo with
-    | Memo_off -> Gcd_test.run_eqs p
+    | Memo_off -> Gcd_test.run_eqs ~budget p
     | Memo_simple | Memo_improved | Memo_symmetric ->
       fst
         (Memo_table.find_or_add st.gcd_table (Problem.key_without_bounds p)
-           (fun () -> Gcd_test.run_eqs p))
+           (fun () -> Gcd_test.run_eqs ~budget p))
   in
   match gcd_outcome with
   | Gcd_test.Independent _ ->
@@ -197,29 +210,31 @@ let compute st (p : Problem.t) ~self =
         else st.cfg.prune
       in
       let r =
-        Direction.refine ~prune ~fm_tighten:st.cfg.fm_tighten
+        Direction.refine ~budget ~prune ~fm_tighten:st.cfg.fm_tighten
           ~counts:st.stats.dir_counts ~exclude_all_eq:self p red
       in
       if r.implicit_bb then st.stats.implicit_bb_cases <- st.stats.implicit_bb_cases + 1;
       Tested
         {
           dependent = r.dependent;
-          unknown = false;
+          unknown = r.degraded <> None;
           decided_by = None;
           directions = r.vectors;
           distance = r.distance;
           implicit_bb = r.implicit_bb;
+          degraded = r.degraded;
         }
     end
     else begin
-      let r = Cascade.run ~fm_tighten:st.cfg.fm_tighten red.Gcd_test.system in
+      let r = Cascade.run ~budget ~fm_tighten:st.cfg.fm_tighten red.Gcd_test.system in
       st.stats.plain_by_test.(test_index r.decided_by) <-
         st.stats.plain_by_test.(test_index r.decided_by) + 1;
-      let dependent, unknown =
+      let dependent, unknown, degraded =
         match r.verdict with
-        | Cascade.Independent _ -> (false, false)
-        | Cascade.Dependent _ -> (true, false)
-        | Cascade.Unknown -> (true, true)
+        | Cascade.Independent _ -> (false, false, None)
+        | Cascade.Dependent _ -> (true, false, None)
+        | Cascade.Unknown -> (true, true, None)
+        | Cascade.Exhausted reason -> (true, true, Some reason)
       in
       Tested
         {
@@ -229,6 +244,7 @@ let compute st (p : Problem.t) ~self =
           directions = [];
           distance = None;
           implicit_bb = false;
+          degraded;
         }
     end
 
@@ -258,7 +274,8 @@ let mirror_outcome = function
       }
   | (Constant _ | Assumed_dependent | Gcd_independent) as o -> o
 
-let analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
+let rec analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
+  Failpoint.hit "analyzer.pair";
   st.stats.pairs <- st.stats.pairs + 1;
   let self = Loc.equal s1.site_loc s2.site_loc in
   let ncommon = Affine.common_loops s1 s2 in
@@ -270,6 +287,8 @@ let analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
      | Assumed_dependent -> st.stats.dependent_pairs <- st.stats.dependent_pairs + 1
      | Gcd_independent -> st.stats.independent_pairs <- st.stats.independent_pairs + 1
      | Tested t ->
+       if t.degraded <> None then
+         st.stats.degraded_pairs <- st.stats.degraded_pairs + 1;
        if t.dependent then begin
          st.stats.dependent_pairs <- st.stats.dependent_pairs + 1;
          st.stats.vectors_reported <-
@@ -304,6 +323,26 @@ let analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
         st.stats.assumed <- st.stats.assumed + 1;
         finish Assumed_dependent
       | Some problem -> (
+          (* Backstop for exhaustion paths the cascade and the
+             refinement could not absorb (a tick in Extended GCD, an
+             injected exhaustion): an unmemoized, fully conservative
+             degraded verdict. Nothing half-computed is cached —
+             [Memo_table.find_or_add] stores only on normal return. *)
+          try analyze_problem st ~self ~finish problem
+          with Budget.Exhausted reason ->
+            finish
+              (Tested
+                 {
+                   dependent = true;
+                   unknown = true;
+                   decided_by = None;
+                   directions = [];
+                   distance = None;
+                   implicit_bb = false;
+                   degraded = Some reason;
+                 })))
+
+and analyze_problem st ~self ~finish problem =
           let info_of prob =
             match st.cfg.memo with
             | Memo_improved | Memo_symmetric -> Canonical.reduce ~keep_common:self prob
@@ -342,7 +381,7 @@ let analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
               Memo_table.find_or_add st.full_table key (fun () ->
                   compute st info.Canonical.problem ~self)
             in
-            deliver value))
+            deliver value
 
 let finalize st =
   st.stats.memo_lookups_nobounds <- Memo_table.lookups st.gcd_table;
@@ -352,12 +391,13 @@ let finalize st =
   st.stats.memo_hits_full <- Memo_table.hits st.full_table;
   st.stats.memo_unique_full <- Memo_table.length st.full_table
 
-let fresh_state cfg =
+let fresh_state ?(cancel = fun () -> false) cfg =
   {
     cfg;
     stats = fresh_stats ();
     gcd_table = Memo_table.create ();
     full_table = Memo_table.create ();
+    cancel;
   }
 
 let site_pairs cfg sites =
@@ -379,16 +419,16 @@ let site_pairs cfg sites =
   done;
   List.rev !out
 
-let analyze_sites ?(config = default_config) pairs =
-  let st = fresh_state config in
+let analyze_sites ?(config = default_config) ?cancel pairs =
+  let st = fresh_state ?cancel config in
   let reports = List.map (fun (s1, s2) -> analyze_pair st s1 s2) pairs in
   finalize st;
   { pair_reports = reports; stats = st.stats }
 
-let analyze ?(config = default_config) program =
+let analyze ?(config = default_config) ?cancel program =
   let program = if config.run_pipeline then Dda_passes.Pipeline.run program else program in
   let sites = Affine.extract ~symbolic:config.symbolic program in
-  analyze_sites ~config (site_pairs config sites)
+  analyze_sites ~config ?cancel (site_pairs config sites)
 
 (* ------------------------------------------------------------------ *)
 (* Sessions: memoization across compilations                          *)
@@ -403,10 +443,18 @@ let create_session ?(config = default_config) () =
 
 let session_config s = s.session_state.cfg
 
-let analyze_session session program =
-  (* Fresh per-call statistics, shared memo tables. *)
+let analyze_session ?cancel session program =
+  (* Fresh per-call statistics, shared memo tables; the watchdog is
+     per-call, so it never outlives the query it guards. *)
   let st =
-    { session.session_state with stats = fresh_stats () }
+    {
+      session.session_state with
+      stats = fresh_stats ();
+      cancel =
+        (match cancel with
+         | Some c -> c
+         | None -> session.session_state.cancel);
+    }
   in
   Memo_table.reset_counters st.gcd_table;
   Memo_table.reset_counters st.full_table;
@@ -424,7 +472,9 @@ let analyze_session session program =
    (config, gcd table, full table). Keys are config-dependent, so a
    session only reloads under the configuration that built it. *)
 let session_magic = "dda-session"
-let session_version = 1
+
+(* Version 2: [config] grew the [limits] field (budget caps). *)
+let session_version = 2
 
 let merge_sessions ~into src =
   let dst = into.session_state and s = src.session_state in
@@ -464,7 +514,16 @@ let load_session path =
          (Marshal.from_channel ic
           : config * Gcd_test.outcome Memo_table.t * memo_value Memo_table.t)
        in
-       { session_state = { cfg; stats = fresh_stats (); gcd_table; full_table } })
+       {
+         session_state =
+           {
+             cfg;
+             stats = fresh_stats ();
+             gcd_table;
+             full_table;
+             cancel = (fun () -> false);
+           };
+       })
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-loop client                                                *)

@@ -30,6 +30,11 @@ type config = {
           (the loop-parallelization use case, and what the paper's
           per-program counts measure); [false] additionally tests
           cross-nest pairs *)
+  limits : Budget.limits;
+      (** per-query resource caps; exhaustion degrades to a flagged
+          assumed-dependent verdict, never an exception or a hang.
+          Pure data (no callbacks): the config is marshaled into
+          sessions — pass a watchdog via [?cancel] instead. *)
 }
 
 val default_config : config
@@ -52,6 +57,12 @@ type outcome =
           (** over the pair's common loops (empty unless [directions]) *)
       distance : Zint.t array option;
       implicit_bb : bool;
+      degraded : Budget.reason option;
+          (** the query's {!Budget} ran out: [dependent], [directions]
+              and [distance] are a sound {e over}-approximation of the
+              exact answer (assume dependent, all directions possible at
+              unrefined levels), and no exactness claim — in particular
+              [implicit_bb] — is made. [unknown] is also true. *)
     }
 
 type pair_report = {
@@ -94,6 +105,8 @@ type stats = {
   mutable plain_by_test : int array;  (** length 4, indexed like {!Direction.counts} *)
   dir_counts : Direction.counts;
   mutable implicit_bb_cases : int;
+  mutable degraded_pairs : int;
+      (** pairs whose verdict is a budget-degraded over-approximation *)
   mutable independent_pairs : int;
   mutable dependent_pairs : int;
   mutable vectors_reported : int;
@@ -121,7 +134,7 @@ type report = {
   stats : stats;
 }
 
-val analyze : ?config:config -> Ast.program -> report
+val analyze : ?config:config -> ?cancel:(unit -> bool) -> Ast.program -> report
 (** Analyze a whole program. Pairs are every (textually ordered) pair
     of same-array references with at least one write, including each
     write against itself (whose identical-iteration solution is
@@ -134,7 +147,12 @@ val analyze : ?config:config -> Ast.program -> report
     concurrent [analyze] calls, and [analyze_session] calls on
     {e distinct} sessions, are safe from different domains. A single
     session must not be shared across domains ([Dda_engine.Batch] gives
-    each domain its own and merges afterwards). *)
+    each domain its own and merges afterwards).
+
+    [cancel] is a cooperative watchdog polled by the per-query budget
+    every few dozen solver steps; returning [true] degrades the current
+    pair (reason [Deadline]) and every later one. The batch engine uses
+    it to bound per-item wall time without killing domains. *)
 
 val site_pairs :
   config -> Affine.site list -> (Affine.site * Affine.site) list
@@ -145,7 +163,10 @@ val site_pairs :
     layer can replay the analyzer's work pair by pair. *)
 
 val analyze_sites :
-  ?config:config -> (Affine.site * Affine.site) list -> report
+  ?config:config ->
+  ?cancel:(unit -> bool) ->
+  (Affine.site * Affine.site) list ->
+  report
 (** Analyze explicit site pairs (used by the benchmark harness, which
     generates problems directly, and by the verifier). *)
 
@@ -162,10 +183,14 @@ type session
 val create_session : ?config:config -> unit -> session
 val session_config : session -> config
 
-val analyze_session : session -> Ast.program -> report
+val analyze_session : ?cancel:(unit -> bool) -> session -> Ast.program -> report
 (** Like {!analyze}, but reusing (and extending) the session's memo
     tables. The report's memo statistics are per-call; table sizes are
-    cumulative. *)
+    cumulative. [cancel] applies to this call only. Note that degraded
+    verdicts are memoized like any other (they are deterministic under
+    the step/row/coefficient caps); a [Deadline]-degraded verdict,
+    however, depends on wall time, so sharing sessions across runs with
+    watchdogs can cache a verdict a later run would have refined. *)
 
 val merge_sessions : into:session -> session -> unit
 (** Absorb the second session's memo tables into the first

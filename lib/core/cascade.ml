@@ -18,6 +18,7 @@ type verdict =
   | Independent of Cert.infeasible
   | Dependent of Zint.t array
   | Unknown
+  | Exhausted of Budget.reason
 
 type result = {
   verdict : verdict;
@@ -28,36 +29,46 @@ let dependent sys w decided_by =
   assert (Consys.satisfies_all w sys);
   { verdict = Dependent w; decided_by }
 
-let run ?(fm_tighten = false) ?(fm_depth = 32) (sys : Consys.t) =
-  match Svpc.run sys with
-  | Svpc.Infeasible cert -> { verdict = Independent cert; decided_by = T_svpc }
-  | Svpc.Feasible box -> (
-      match Bounds.sample box with
-      | Some w -> dependent sys w T_svpc
-      | None -> assert false (* Feasible boxes are consistent *))
-  | Svpc.Partial (box, multi) -> (
-      match Acyclic.run box multi with
-      | Acyclic.Infeasible cert ->
-        { verdict = Independent cert; decided_by = T_acyclic }
-      | Acyclic.Feasible (box', elims) -> (
-          (* The box point satisfies the residual system; replaying the
-             eliminations extends it to the full variable set. *)
-          match Bounds.sample box' with
-          | Some base -> dependent sys (Acyclic.witness elims base) T_acyclic
-          | None -> assert false)
-      | Acyclic.Cycle (box', elims, core) -> (
-          match Loop_residue.run box' core with
-          | Some (Loop_residue.Infeasible cert) ->
-            { verdict = Independent cert; decided_by = T_loop_residue }
-          | Some (Loop_residue.Feasible w) ->
-            (* The potentials satisfy the box and the cyclic core; the
-               eliminated variables are filled in the same way. *)
-            dependent sys (Acyclic.witness elims w) T_loop_residue
-          | None -> (
-              (* Back-up test on the full system, so any witness and any
-                 certificate refer to the original rows directly. *)
-              match Fourier.run ~tighten:fm_tighten ~max_branch_depth:fm_depth sys with
-              | Fourier.Infeasible cert ->
-                { verdict = Independent cert; decided_by = T_fourier }
-              | Fourier.Feasible w -> dependent sys w T_fourier
-              | Fourier.Unknown -> { verdict = Unknown; decided_by = T_fourier })))
+let run ?budget ?(fm_tighten = false) (sys : Consys.t) =
+  (* [stage] tracks how far the cascade got, so a budget blow-up can
+     still report which test was running when the account ran out. *)
+  let stage = ref T_svpc in
+  try
+    match Svpc.run ?budget sys with
+    | Svpc.Infeasible cert -> { verdict = Independent cert; decided_by = T_svpc }
+    | Svpc.Feasible box -> (
+        match Bounds.sample box with
+        | Some w -> dependent sys w T_svpc
+        | None -> assert false (* Feasible boxes are consistent *))
+    | Svpc.Partial (box, multi) -> (
+        stage := T_acyclic;
+        match Acyclic.run ?budget box multi with
+        | Acyclic.Infeasible cert ->
+          { verdict = Independent cert; decided_by = T_acyclic }
+        | Acyclic.Feasible (box', elims) -> (
+            (* The box point satisfies the residual system; replaying the
+               eliminations extends it to the full variable set. *)
+            match Bounds.sample box' with
+            | Some base -> dependent sys (Acyclic.witness elims base) T_acyclic
+            | None -> assert false)
+        | Acyclic.Cycle (box', elims, core) -> (
+            stage := T_loop_residue;
+            match Loop_residue.run ?budget box' core with
+            | Some (Loop_residue.Infeasible cert) ->
+              { verdict = Independent cert; decided_by = T_loop_residue }
+            | Some (Loop_residue.Feasible w) ->
+              (* The potentials satisfy the box and the cyclic core; the
+                 eliminated variables are filled in the same way. *)
+              dependent sys (Acyclic.witness elims w) T_loop_residue
+            | None -> (
+                (* Back-up test on the full system, so any witness and any
+                   certificate refer to the original rows directly. *)
+                stage := T_fourier;
+                match Fourier.run ?budget ~tighten:fm_tighten sys with
+                | Fourier.Infeasible cert ->
+                  { verdict = Independent cert; decided_by = T_fourier }
+                | Fourier.Feasible w -> dependent sys w T_fourier
+                | Fourier.Unknown -> { verdict = Unknown; decided_by = T_fourier }
+                | Fourier.Exhausted r ->
+                  { verdict = Exhausted r; decided_by = T_fourier })))
+  with Budget.Exhausted r -> { verdict = Exhausted r; decided_by = !stage }

@@ -27,13 +27,17 @@ type verdict =
           verdict is ever witness-free *)
   | Unknown  (** Fourier-Motzkin ran out of branch depth: assume
                  dependent *)
+  | Exhausted of Budget.reason
+      (** the per-query {!Budget} ran out mid-test ([decided_by] is the
+          stage that was running): assume dependent, flagged degraded.
+          {!Budget.Exhausted} never escapes [run]. *)
 
 type result = {
   verdict : verdict;
   decided_by : test;
 }
 
-val run : ?fm_tighten:bool -> ?fm_depth:int -> Consys.t -> result
+val run : ?budget:Budget.t -> ?fm_tighten:bool -> Consys.t -> result
 (** Decide feasibility of a system of inequalities over integer
     variables (the [t]-space system from {!Gcd_test.run}, possibly with
     direction-vector rows appended). Every verdict carries evidence:

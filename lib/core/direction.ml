@@ -56,6 +56,7 @@ type result = {
   vectors : dir array list;
   distance : Zint.t array option;
   implicit_bb : bool;
+  degraded : Budget.reason option;
 }
 
 (* Direction constraint rows for level k, in original-variable space. *)
@@ -102,9 +103,13 @@ let unused_level problem k =
           && (Zint.is_zero b.row.Consys.coeffs.(q) || b.subject = q))
        problem.Problem.ineqs
 
-let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
+let refine ?budget ?(prune = full_pruning) ?(fm_tighten = false) ?counts
     ?(exclude_all_eq = false) problem red =
   let counts = match counts with Some c -> c | None -> fresh_counts () in
+  (* Set once the budget runs out mid-refinement; the exhaustion is
+     sticky, so every later test answers [Exhausted] instantly and the
+     hierarchy unwinds recording conservative cells. *)
+  let degraded = ref None in
   let ncommon = problem.Problem.ncommon in
   let all_eq v = Array.for_all (fun d -> d = Deq) v in
   (* Levels fixed by pruning: Some dir (possibly Dany for unused). *)
@@ -138,11 +143,12 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
     else None
   in
   let run_test vector =
-    let r = Cascade.run ~fm_tighten (system_for problem red vector) in
+    let r = Cascade.run ?budget ~fm_tighten (system_for problem red vector) in
     let i = test_index r.decided_by in
     counts.by_test.(i) <- counts.by_test.(i) + 1;
     (match r.verdict with
      | Cascade.Independent _ -> counts.indep_by_test.(i) <- counts.indep_by_test.(i) + 1
+     | Cascade.Exhausted reason -> if !degraded = None then degraded := Some reason
      | Cascade.Dependent _ | Cascade.Unknown -> ());
     r.verdict
   in
@@ -213,7 +219,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
           else
             match run_test vector with
             | Cascade.Independent _ -> false
-            | Cascade.Dependent _ | Cascade.Unknown -> true
+            | Cascade.Dependent _ | Cascade.Unknown | Cascade.Exhausted _ -> true
         in
         if dependent then vectors := Array.copy vector :: !vectors;
         dependent
@@ -225,6 +231,14 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
            vector.(k) <- d;
            (match run_test vector with
             | Cascade.Independent _ -> ()
+            | Cascade.Exhausted _ ->
+              (* The budget is gone (and sticky): record this whole
+                 subtree as one conservative cell — deeper levels stay
+                 [*] — instead of recursing into tests that can no
+                 longer answer. *)
+              if not (exclude_all_eq && all_eq vector) then
+                vectors := Array.copy vector :: !vectors;
+              any := true
             | Cascade.Dependent _ | Cascade.Unknown ->
               if expand vector (k + 1) true then any := true);
            vector.(k) <- Dany)
@@ -233,13 +247,25 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
   in
   if exclude_all_eq && ncommon = 0 then
     (* A loop-less self pair has only the identity instance. *)
-    { dependent = false; vectors = []; distance = None; implicit_bb = false }
+    { dependent = false; vectors = []; distance = None; implicit_bb = false;
+      degraded = None }
   else begin
   (* Root test: the paper's (*,...,*) query. *)
   let root = run_test root_vector in
   match root with
   | Cascade.Independent _ ->
-    { dependent = false; vectors = []; distance = None; implicit_bb = false }
+    { dependent = false; vectors = []; distance = None; implicit_bb = false;
+      degraded = !degraded }
+  | Cascade.Exhausted _ ->
+    (* No resources even for the root query: the whole pruned space is
+       one conservative cell. *)
+    {
+      dependent = true;
+      vectors = [ Array.copy root_vector ];
+      distance;
+      implicit_bb = false;
+      degraded = !degraded;
+    }
   | Cascade.Dependent _ | Cascade.Unknown ->
     (* Isolated 3-direction tests for the separable levels. *)
     let dir_sets = Array.make ncommon [] in
@@ -253,7 +279,8 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
                v.(k) <- d;
                match run_test v with
                | Cascade.Independent _ -> false
-               | Cascade.Dependent _ | Cascade.Unknown -> true)
+               | Cascade.Dependent _ | Cascade.Unknown | Cascade.Exhausted _ ->
+                 true)
             [ Dlt; Deq; Dgt ]
         in
         dir_sets.(k) <- feasible;
@@ -280,14 +307,16 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
     if not !separable_feasible then
       (* A separable level admits no direction at all: independent
          (only possible when the root verdict was not exact). *)
-      { dependent = false; vectors = []; distance = None; implicit_bb = true }
+      { dependent = false; vectors = []; distance = None; implicit_bb = true;
+        degraded = !degraded }
     else begin
       let has_expandable =
         Array.exists Fun.id (Array.init ncommon (fun k -> fixed.(k) = None && not separable.(k)))
       in
       if not has_expandable then
         if exclude_all_eq && all_eq root_vector then
-          { dependent = false; vectors = []; distance = None; implicit_bb = false }
+          { dependent = false; vectors = []; distance = None; implicit_bb = false;
+            degraded = !degraded }
         else
           (* Every level pruned or separable: combine. *)
           {
@@ -295,6 +324,7 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
             vectors = cross_product [ root_vector ];
             distance;
             implicit_bb = false;
+            degraded = !degraded;
           }
       else begin
         let dependent = expand (Array.copy root_vector) 0 false in
@@ -305,7 +335,8 @@ let refine ?(prune = full_pruning) ?(fm_tighten = false) ?counts
           dependent;
           vectors = cross_product (List.rev !vectors);
           distance = (if dependent then distance else None);
-          implicit_bb = not dependent;
+          implicit_bb = not dependent && !degraded = None;
+          degraded = !degraded;
         }
       end
     end

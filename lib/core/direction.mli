@@ -89,9 +89,15 @@ type result = {
   implicit_bb : bool;
       (** true when the plain test could not prove independence but
           every direction vector could *)
+  degraded : Budget.reason option;
+      (** the per-query {!Budget} ran out mid-refinement: the vector
+          set is a sound {e over}-approximation (untestable subtrees
+          are recorded as single conservative cells with [*] at the
+          unrefined levels), not the exact set *)
 }
 
 val refine :
+  ?budget:Budget.t ->
   ?prune:prune ->
   ?fm_tighten:bool ->
   ?counts:counts ->

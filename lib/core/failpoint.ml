@@ -1,0 +1,182 @@
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some (Printf.sprintf "failpoint %S injected" site)
+    | _ -> None)
+
+let known_sites =
+  [
+    "svpc.run";
+    "acyclic.run";
+    "loop_residue.run";
+    "fourier.solve";
+    "gcd.run_eqs";
+    "memo.find_or_add";
+    "analyzer.pair";
+    "batch.item";
+    "pool.job";
+  ]
+
+type action =
+  | Raise
+  | Exhaust
+  | Delay of float  (* milliseconds *)
+
+type window =
+  | Always
+  | At of int
+  | Range of int * int
+  | From of int
+  | Prob of float
+
+type rule = {
+  action : action;
+  window : window;
+  mutable count : int;
+}
+
+let mutex = Mutex.create ()
+let table : (string, rule) Hashtbl.t = Hashtbl.create 8
+let active = Atomic.make false
+
+let parse_action s =
+  match s with
+  | "raise" -> Ok Raise
+  | "exhaust" -> Ok Exhaust
+  | _ ->
+    (match String.index_opt s ':' with
+     | Some i when String.sub s 0 i = "delay" -> (
+         let ms = String.sub s (i + 1) (String.length s - i - 1) in
+         match float_of_string_opt ms with
+         | Some f when f >= 0. -> Ok (Delay f)
+         | Some _ | None -> Error (Printf.sprintf "bad delay %S" ms))
+     | _ -> Error (Printf.sprintf "unknown action %S" s))
+
+let parse_window s =
+  let fail () = Error (Printf.sprintf "bad window %S" s) in
+  let n = String.length s in
+  if n = 0 then fail ()
+  else if s.[0] = 'p' then
+    match float_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some p when p >= 0. && p <= 1. -> Ok (Prob p)
+    | Some _ | None -> fail ()
+  else if s.[n - 1] = '+' then
+    match int_of_string_opt (String.sub s 0 (n - 1)) with
+    | Some a when a >= 1 -> Ok (From a)
+    | Some _ | None -> fail ()
+  else
+    match String.index_opt s '-' with
+    | Some i -> (
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (n - i - 1)) )
+        with
+        | Some a, Some b when a >= 1 && b >= a -> Ok (Range (a, b))
+        | _ -> fail ())
+    | None -> (
+        match int_of_string_opt s with
+        | Some a when a >= 1 -> Ok (At a)
+        | Some _ | None -> fail ())
+
+let parse_entry s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "missing '=' in %S" s)
+  | Some i -> (
+      let site = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      if not (List.mem site known_sites) then
+        Error (Printf.sprintf "unknown site %S" site)
+      else
+        let action_s, window =
+          match String.index_opt rest '@' with
+          | None -> (rest, Ok Always)
+          | Some j ->
+            ( String.sub rest 0 j,
+              parse_window (String.sub rest (j + 1) (String.length rest - j - 1)) )
+        in
+        match (parse_action action_s, window) with
+        | Ok action, Ok window -> Ok (site, { action; window; count = 0 })
+        | Error e, _ | _, Error e -> Error e)
+
+let configure spec =
+  let entries =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec))
+  in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match parse_entry (String.trim e) with
+        | Ok r -> parse (r :: acc) rest
+        | Error _ as err -> err)
+  in
+  match parse [] entries with
+  | Error _ as err -> err
+  | Ok rules ->
+    Mutex.protect mutex (fun () ->
+        Hashtbl.reset table;
+        List.iter (fun (site, rule) -> Hashtbl.replace table site rule) rules;
+        Atomic.set active (Hashtbl.length table > 0));
+    Ok ()
+
+let set spec =
+  match configure spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Failpoint.set: %s" msg)
+
+let clear () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.reset table;
+      Atomic.set active false)
+
+let hits site =
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt table site with Some r -> r.count | None -> 0)
+
+(* Deterministic in the hit count: reproducible chaos. *)
+let pseudo_hit n p =
+  let h = n * 2654435761 land 0xFFFFFF in
+  float_of_int h /. float_of_int 0x1000000 < p
+
+let fires rule =
+  rule.count <- rule.count + 1;
+  let n = rule.count in
+  match rule.window with
+  | Always -> true
+  | At k -> n = k
+  | Range (a, b) -> n >= a && n <= b
+  | From a -> n >= a
+  | Prob p -> pseudo_hit n p
+
+(* Wall clocks live in the engine layer, not here; a failpoint delay
+   only needs to be "long enough to trip a watchdog", so CPU-time
+   busy-waiting is fine. *)
+let busy_wait ms =
+  let stop = Sys.time () +. (ms /. 1000.) in
+  while Sys.time () < stop do
+    Domain.cpu_relax ()
+  done
+
+let hit site =
+  if Atomic.get active then begin
+    let fired =
+      Mutex.protect mutex (fun () ->
+          match Hashtbl.find_opt table site with
+          | None -> None
+          | Some rule -> if fires rule then Some rule.action else None)
+    in
+    match fired with
+    | None -> ()
+    | Some Raise -> raise (Injected site)
+    | Some Exhaust -> raise (Budget.Exhausted Budget.Injected)
+    | Some (Delay ms) -> busy_wait ms
+  end
+
+let () =
+  match Sys.getenv_opt "DDA_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match configure spec with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "warning: DDA_FAILPOINTS ignored: %s\n%!" msg)

@@ -1,0 +1,45 @@
+(** Compiled-in fault injection (chaos testing).
+
+    The analyzer and engine carry named failpoint sites — plain
+    [Failpoint.hit "site.name"] calls at the entry of every solver
+    stage, the memo tables, and the batch workers. In production they
+    cost one atomic load. Activated (via the [DDA_FAILPOINTS]
+    environment variable or {!configure}) a site can raise, busy-delay,
+    or exhaust the query budget, at a chosen hit or with a
+    deterministic pseudo-probability — exactly the failures the
+    resource-governance layer promises to survive, made reproducible.
+
+    Spec grammar (comma-separated):
+    {v site=action[@window] v}
+    where [action] is [raise] | [exhaust] | [delay:MS] and [window] is
+    [N] (the Nth hit only), [N-M] (hits N through M), [N+] (hit N
+    onwards) or [pP] (each hit fires with pseudo-probability P, e.g.
+    [p0.01]; deterministic in the per-site hit count, so runs are
+    reproducible). No window means every hit fires.
+
+    Example: [DDA_FAILPOINTS="batch.item=raise@1-2,fourier.solve=delay:1@p0.05"].
+
+    Hit counting is global (mutex-protected), shared across domains. *)
+
+exception Injected of string
+(** Raised by a [raise]-action site; carries the site name. *)
+
+val known_sites : string list
+(** The sites compiled into this build, for documentation and spec
+    validation (unknown names in a spec are a configuration error). *)
+
+val hit : string -> unit
+(** Mark a site. No-op (one atomic load) unless failpoints are active. *)
+
+val configure : string -> (unit, string) result
+(** Replace the active rules with the parsed spec (an empty string
+    deactivates everything). *)
+
+val set : string -> unit
+(** [configure] or [invalid_arg]. For tests. *)
+
+val clear : unit -> unit
+(** Deactivate all failpoints (including [DDA_FAILPOINTS] ones). *)
+
+val hits : string -> int
+(** How many times a site was reached while active (testing). *)

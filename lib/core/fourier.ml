@@ -4,6 +4,7 @@ type outcome =
   | Infeasible of Cert.infeasible
   | Feasible of Zint.t array
   | Unknown
+  | Exhausted of Budget.reason
 
 type stats = {
   mutable eliminations : int;
@@ -76,8 +77,8 @@ type step = {
   step_rows : Cert.drow list;  (* the rows mentioning [var] at its turn *)
 }
 
-(* Eliminate [v]: pair every upper bound with every lower bound. *)
-let eliminate ~tighten v rows =
+(* Eliminate [v]: pair every upper bound with each lower bound. *)
+let eliminate ~budget ~tighten v rows =
   let uppers, lowers, rest =
     List.fold_left
       (fun (u, l, r) (dr : Cert.drow) ->
@@ -100,21 +101,24 @@ let eliminate ~tighten v rows =
                     Zint.add (Zint.mul b u.row.coeffs.(i))
                       (Zint.mul a l.row.coeffs.(i)))
               in
-              normalize ~tighten
-                {
-                  Cert.row =
-                    {
-                      Consys.coeffs;
-                      rhs = Zint.add (Zint.mul b u.row.rhs) (Zint.mul a l.row.rhs);
-                    };
-                  why = Cert.Comb [ (b, u.why); (a, l.why) ];
-                })
+              Budget.tick budget;
+              let dr =
+                normalize ~tighten
+                  {
+                    Cert.row =
+                      {
+                        Consys.coeffs;
+                        rhs = Zint.add (Zint.mul b u.row.rhs) (Zint.mul a l.row.rhs);
+                      };
+                    why = Cert.Comb [ (b, u.why); (a, l.why) ];
+                  }
+              in
+              Array.iter (Budget.check_coeff budget) dr.Cert.row.coeffs;
+              dr)
            lowers)
       uppers
   in
   (uppers @ lowers, combos @ rest)
-
-let branch_budget = 64
 
 (* Tightening a single-variable row [a*t_v <= r] yields exactly the
    integer bound used during back-substitution: [t_v <= fdiv r a] for
@@ -125,11 +129,13 @@ let tightened_bound_why (dr : Cert.drow) v =
   if Zint.is_one (Zint.abs dr.row.coeffs.(v)) then dr.why
   else Cert.Tighten dr.why
 
-let rec solve ~tighten ~stats ~depth ~ncuts ~nvars rows =
+let rec solve ~budget ~tighten ~stats ~depth ~ncuts ~nvars rows =
+  Budget.tick budget ~cost:(List.length rows);
   match dedup rows with
   | Contradiction why -> Infeasible (Cert.Refute why)
   | Rows rows ->
     stats.max_rows <- max stats.max_rows (List.length rows);
+    Budget.check_rows budget (List.length rows);
     (* Elimination order: ascending variable index over the variables
        actually present, as in the paper. *)
     let used = Array.make nvars false in
@@ -145,11 +151,12 @@ let rec solve ~tighten ~stats ~depth ~ncuts ~nvars rows =
       | [] -> Ok (List.rev steps, rows)
       | v :: vs -> (
           stats.eliminations <- stats.eliminations + 1;
-          let mentioning, remaining = eliminate ~tighten v rows in
+          let mentioning, remaining = eliminate ~budget ~tighten v rows in
           match dedup remaining with
           | Contradiction why -> Error why
           | Rows remaining ->
             stats.max_rows <- max stats.max_rows (List.length remaining);
+            Budget.check_rows budget (List.length remaining);
             eliminate_all remaining ({ var = v; step_rows = mentioning } :: steps) vs)
     in
     (match eliminate_all rows [] !order with
@@ -159,9 +166,10 @@ let rec solve ~tighten ~stats ~depth ~ncuts ~nvars rows =
           bounds, so the system is rationally feasible. *)
        assert (
          List.for_all (fun (dr : Cert.drow) -> Consys.num_vars_used dr.row = 0) residue);
-       back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original:rows steps)
+       back_substitute ~budget ~tighten ~stats ~depth ~ncuts ~nvars ~original:rows
+         steps)
 
-and back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
+and back_substitute ~budget ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
   let values = Array.make nvars Qnum.zero in
   (* Walk the steps in reverse elimination order; the first variable
      visited has constant bounds. *)
@@ -172,6 +180,7 @@ and back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
         List.for_all (fun (dr : Cert.drow) -> Consys.satisfies witness dr.row) original);
       Feasible witness
     | { var = v; step_rows } :: rest -> (
+        Budget.tick budget ~cost:(List.length step_rows);
         let lo = ref None and hi = ref None in
         List.iter
           (fun (dr : Cert.drow) ->
@@ -222,7 +231,9 @@ and back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
                           (Zint.one, tightened_bound_why hi_dr v);
                           (Zint.one, tightened_bound_why lo_dr v);
                         ]))
-              else if depth <= 0 || stats.branches >= branch_budget then Unknown
+              else if
+                depth <= 0 || stats.branches >= (Budget.limits budget).fm_branches
+              then Unknown
               else begin
                 (* Branch-and-bound: [l, h] lies strictly between two
                    consecutive integers m and m+1. *)
@@ -242,27 +253,35 @@ and back_substitute ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
                   }
                 in
                 let left =
-                  solve ~tighten ~stats ~depth:(depth - 1) ~ncuts:(ncuts + 1) ~nvars
-                    (le_row :: original)
+                  solve ~budget ~tighten ~stats ~depth:(depth - 1) ~ncuts:(ncuts + 1)
+                    ~nvars (le_row :: original)
                 in
                 match left with
                 | Feasible _ as ok -> ok
-                | Infeasible _ | Unknown -> (
+                | Infeasible _ | Unknown | Exhausted _ -> (
                     let right =
-                      solve ~tighten ~stats ~depth:(depth - 1) ~ncuts:(ncuts + 1)
-                        ~nvars (ge_row :: original)
+                      solve ~budget ~tighten ~stats ~depth:(depth - 1)
+                        ~ncuts:(ncuts + 1) ~nvars (ge_row :: original)
                     in
                     match (left, right) with
                     | _, (Feasible _ as ok) -> ok
                     | Infeasible cl, Infeasible cr ->
                       Infeasible
                         (Cert.Split { var = v; bound = m; left = cl; right = cr })
+                    | Exhausted r, _ | _, Exhausted r -> Exhausted r
                     | _, _ -> Unknown)
               end))
   in
   assign ~first:true (List.rev steps)
 
-let run ?(max_branch_depth = 32) ?(tighten = false) ?stats (sys : Consys.t) =
+let run ?budget ?(tighten = false) ?stats (sys : Consys.t) =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  Failpoint.hit "fourier.solve";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  solve ~tighten ~stats ~depth:max_branch_depth ~ncuts:0 ~nvars:sys.nvars
-    (Cert.hyps_of_rows sys.rows)
+  match
+    solve ~budget ~tighten ~stats ~depth:(Budget.limits budget).fm_depth ~ncuts:0
+      ~nvars:sys.nvars
+      (Cert.hyps_of_rows sys.rows)
+  with
+  | outcome -> outcome
+  | exception Budget.Exhausted reason -> Exhausted reason

@@ -16,9 +16,13 @@
       systems, to a configurable depth.
 
     [Unknown] — assumed dependent — is returned only when the depth
-    budget or the global branch budget (64 splits per query, guarding
-    against exponential blow-up on unbounded symbolic systems) runs
-    out; neither happens in the paper's benchmarks or ours. *)
+    budget or the branch budget ([Budget.limits.fm_branches], default
+    64 splits per query, guarding against exponential blow-up on
+    unbounded symbolic systems) runs out; neither happens in the
+    paper's benchmarks or ours. [Exhausted] is the analogous answer
+    for the newer {!Budget} dimensions (steps, rows, coefficient
+    magnitude, deadline): also assumed dependent, but flagged as a
+    degraded verdict all the way up through the analyzer. *)
 
 open Dda_numeric
 
@@ -29,6 +33,8 @@ type outcome =
           under a tree of branch-and-bound {!Cert.Split}s *)
   | Feasible of Zint.t array  (** an integral witness *)
   | Unknown
+  | Exhausted of Budget.reason
+      (** the per-query {!Budget} ran out mid-solve; assume dependent *)
 
 type stats = {
   mutable eliminations : int;  (** variables eliminated *)
@@ -39,7 +45,7 @@ type stats = {
 val fresh_stats : unit -> stats
 
 val run :
-  ?max_branch_depth:int ->
+  ?budget:Budget.t ->
   ?tighten:bool ->
   ?stats:stats ->
   Consys.t ->
@@ -47,5 +53,7 @@ val run :
 (** [tighten] (default [false], the paper-faithful setting) additionally
     divides each derived row by the gcd of its coefficients and floors
     the bound — sound for integer variables and strictly stronger, in
-    the style of the later Omega test. [max_branch_depth] defaults to
-    32. *)
+    the style of the later Omega test. [budget] supplies the branch
+    depth and split caps (defaults 32 and 64) and the step/row/
+    coefficient/deadline accounting; {!Budget.Exhausted} never escapes
+    this function. *)

@@ -41,10 +41,14 @@ let transform_row red (r : Consys.row) =
     r.coeffs;
   Consys.normalize_row { Consys.coeffs; rhs = Zint.sub r.rhs !const }
 
-let run_eqs (p : Problem.t) =
+let run_eqs ?budget (p : Problem.t) =
+  Failpoint.hit "gcd.run_eqs";
   let n = Problem.nvars p in
   let eqs = Array.of_list p.eqs in
   let m = Array.length eqs in
+  (match budget with
+   | Some b -> Budget.tick b ~cost:((n * m) + 1)
+   | None -> ());
   if n = 0 then begin
     (* No variables at all (everything canonicalized away): each
        equality is a closed claim [0 = rhs]. *)
@@ -113,8 +117,8 @@ let attach_bounds (p : Problem.t) red =
   let rows = List.map (transform_row red) (Problem.ineq_rows p) in
   { red with system = Consys.make ~nvars:red.nfree rows }
 
-let run p =
-  match run_eqs p with
+let run ?budget p =
+  match run_eqs ?budget p with
   | Independent _ as i -> i
   | Reduced red -> Reduced (attach_bounds p red)
 

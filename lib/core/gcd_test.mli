@@ -28,9 +28,9 @@ type outcome =
           a divisibility refutation over the problem's equality rows *)
   | Reduced of reduction
 
-val run : Problem.t -> outcome
+val run : ?budget:Budget.t -> Problem.t -> outcome
 
-val run_eqs : Problem.t -> outcome
+val run_eqs : ?budget:Budget.t -> Problem.t -> outcome
 (** The bounds-free half: solve the equalities only; a [Reduced] result
     has an {e empty} system. This is what the without-bounds memo table
     caches ("the GCD test does not make use of bounds"). *)

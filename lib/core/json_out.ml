@@ -104,6 +104,9 @@ let outcome (r : Analyzer.pair_report) =
          ("how", Str "tested");
          ("exact", Bool (not t.unknown));
        ]
+       @ (match t.degraded with
+          | Some reason -> [ ("degraded", Str (Budget.reason_name reason)) ]
+          | None -> [])
        @ (match t.decided_by with
           | Some test -> [ ("decided_by", Str (Cascade.test_name test)) ]
           | None -> [])
@@ -138,7 +141,7 @@ let pair (r : Analyzer.pair_report) =
 
 let stats (s : Analyzer.stats) =
   Obj
-    [
+    ([
       ("pairs", Int s.pairs);
       ("constant_cases", Int s.constant_cases);
       ("gcd_independent", Int s.gcd_independent);
@@ -172,6 +175,11 @@ let stats (s : Analyzer.stats) =
       ("independent_pairs", Int s.independent_pairs);
       ("dependent_pairs", Int s.dependent_pairs);
     ]
+    (* only when something degraded: keeps the output stable for the
+       (overwhelmingly common) exact runs *)
+    @
+    if s.degraded_pairs = 0 then []
+    else [ ("degraded_pairs", Int s.degraded_pairs) ])
 
 let report (r : Analyzer.report) =
   Obj [ ("pairs", List (List.map pair r.pair_reports)); ("stats", stats r.stats) ]

@@ -78,7 +78,9 @@ let cycle_cert cycle =
   assert (Zint.is_negative weight);
   Cert.Refute (Cert.Comb terms)
 
-let run box rows =
+let run ?budget box rows =
+  Failpoint.hit "loop_residue.run";
+  let tick cost = match budget with Some b -> Budget.tick b ~cost | None -> () in
   if not (applicable (List.map (fun (dr : Cert.drow) -> dr.row) rows)) then None
   else begin
     let nvars = Bounds.nvars box in
@@ -92,6 +94,7 @@ let run box rows =
       let dist = Array.make n Zint.zero in
       let pred = Array.make n None in
       let relax_pass () =
+        tick (List.length edges + 1);
         let changed = ref None in
         List.iter
           (fun ((src, dst, w, _) as e) ->

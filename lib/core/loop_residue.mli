@@ -22,8 +22,11 @@ val applicable : Consys.row list -> bool
 (** True when every row has at most two variables and every two-variable
     row's coefficients are opposite and equal in magnitude. *)
 
-val run : Bounds.t -> Cert.drow list -> outcome option
-(** [None] when not applicable. The box contributes the single-variable
+val run : ?budget:Budget.t -> Bounds.t -> Cert.drow list -> outcome option
+(** May raise {!Budget.Exhausted} when a budget is supplied; the
+    cascade converts that into a degraded verdict.
+
+    [None] when not applicable. The box contributes the single-variable
     edges through the paper's special node [n0].
     @raise Invalid_argument when an infeasibility certificate is needed
     but a box bound lacks provenance (boxes from {!Svpc.run} /

@@ -55,9 +55,13 @@ let add t key value =
   if t.size > 2 * Array.length t.buckets then rehash t
 
 let find_or_add t key compute =
+  Failpoint.hit "memo.find_or_add";
   match find t key with
   | Some v -> (v, true)
   | None ->
+    (* [compute] may raise (budget exhaustion mid-computation, injected
+       faults): nothing is stored then, so the table never caches a
+       half-computed value. *)
     let v = compute () in
     add t key v;
     (v, false)

@@ -5,7 +5,11 @@ type outcome =
 
 exception Row_false of Cert.deriv
 
-let run (sys : Consys.t) =
+let run ?budget (sys : Consys.t) =
+  Failpoint.hit "svpc.run";
+  (match budget with
+   | Some b -> Budget.tick b ~cost:(List.length sys.rows + 1)
+   | None -> ());
   let box = Bounds.create sys.nvars in
   match
     let multi = ref [] in

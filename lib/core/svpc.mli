@@ -20,6 +20,8 @@ type outcome =
           index); the box summarizes the rest. The test alone is not
           decisive. *)
 
-val run : Consys.t -> outcome
-(** Bound derivations in the returned box are rooted at [Cert.Hyp i]
+val run : ?budget:Budget.t -> Consys.t -> outcome
+(** May raise {!Budget.Exhausted} when a budget is supplied; the
+    cascade converts that into a degraded verdict.
+    Bound derivations in the returned box are rooted at [Cert.Hyp i]
     for row [i] of the input system. *)

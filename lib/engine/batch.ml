@@ -7,13 +7,24 @@ type item = {
 }
 
 type analyzed = {
+  index : int;
   name : string;
   report : Analyzer.report;
   verification : Dda_check.Verify.summary option;
+  attempts : int;
+}
+
+type quarantined = {
+  q_index : int;
+  q_name : string;
+  q_attempts : int;
+  q_error : string;
 }
 
 type result = {
   items : analyzed list;
+  quarantined : quarantined list;
+  retried : int;
   merged : Analyzer.stats;
 }
 
@@ -21,12 +32,16 @@ let chunks ~jobs n =
   List.init jobs (fun b -> (b * n / jobs, (b + 1) * n / jobs))
 
 let run ?(config = Analyzer.default_config) ?(share_memo = false)
-    ?(verify = false) ~jobs items =
+    ?(verify = false) ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ~jobs
+    items =
   if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
+  if retries < 0 then invalid_arg "Batch.run: retries must be >= 0";
+  if backoff_ms < 0 then invalid_arg "Batch.run: backoff_ms must be >= 0";
   let arr = Array.of_list items in
   (* Verification replays the analyzer's own pair enumeration and
-     checks the report actually produced — memoized or not. *)
-  let verification program report =
+     checks the report actually produced — memoized or not. It runs
+     under the same per-item deadline as the analysis. *)
+  let verification cancel program report =
     if not verify then None
     else begin
       let prepared =
@@ -35,37 +50,112 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
       in
       let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
       let pairs = Analyzer.site_pairs config sites in
-      Some (Dda_check.Verify.verify_report ~config pairs report)
+      Some (Dda_check.Verify.verify_report ~cancel ~config pairs report)
     end
   in
-  let chunk (lo, hi) () =
-    if share_memo then begin
-      let session = Analyzer.create_session ~config () in
-      let analyzed =
-        Array.init (hi - lo) (fun k ->
-            let it : item = arr.(lo + k) in
-            let report = Analyzer.analyze_session session it.program in
-            { name = it.name; report; verification = verification it.program report })
-      in
-      (analyzed, Some session)
-    end
-    else
-      let analyzed =
-        Array.init (hi - lo) (fun k ->
-            let it : item = arr.(lo + k) in
-            let report = Analyzer.analyze ~config it.program in
-            { name = it.name; report; verification = verification it.program report })
-      in
-      (analyzed, None)
+  let item_cancel () =
+    match item_timeout_ms with
+    | None -> fun () -> false
+    | Some ms ->
+      let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+      fun () -> Unix.gettimeofday () > deadline
+  in
+  (* One item, with fault isolation: an exception (a worker bug, an
+     injected failure, a blown budget escaping some future stage) is
+     retried with exponential backoff, then the item is quarantined.
+     The watchdog deadline is cooperative — the budget polls [cancel]
+     and degrades the verdict — so a stuck item comes back conservative
+     rather than killed. *)
+  let process session idx =
+    let it : item = arr.(idx) in
+    let rec go attempt =
+      match
+        Failpoint.hit "batch.item";
+        let cancel = item_cancel () in
+        let report =
+          match session with
+          | Some s -> Analyzer.analyze_session ~cancel s it.program
+          | None -> Analyzer.analyze ~config ~cancel it.program
+        in
+        (report, verification cancel it.program report)
+      with
+      | report, ver ->
+        Ok
+          {
+            index = idx;
+            name = it.name;
+            report;
+            verification = ver;
+            attempts = attempt;
+          }
+      | exception e ->
+        if attempt <= retries then begin
+          if backoff_ms > 0 then
+            Unix.sleepf
+              (float_of_int (backoff_ms * (1 lsl (attempt - 1))) /. 1000.);
+          go (attempt + 1)
+        end
+        else
+          Error
+            {
+              q_index = idx;
+              q_name = it.name;
+              q_attempts = attempt;
+              q_error = Printexc.to_string e;
+            }
+    in
+    go 1
+  in
+  let chunk (lo, hi) =
+    (* The chunked item->domain assignment is a pure function of the
+       corpus length (see the interface's determinism contract), so
+       retries and quarantines never reshuffle memo-sharing. *)
+    let session =
+      if share_memo then Some (Analyzer.create_session ~config ()) else None
+    in
+    let results = Array.init (hi - lo) (fun k -> process session (lo + k)) in
+    (results, session)
   in
   let pool = Pool.create ~jobs in
   let per_chunk =
     Fun.protect
       ~finally:(fun () -> Pool.shutdown pool)
-      (fun () -> Pool.map pool (fun c -> chunk c ()) (chunks ~jobs (Array.length arr)))
+      (fun () ->
+         let cs = chunks ~jobs (Array.length arr) in
+         let promises =
+           List.map (fun c -> (c, Pool.submit pool (fun () -> chunk c))) cs
+         in
+         List.map
+           (fun ((lo, hi), p) ->
+              match Pool.await p with
+              | v -> v
+              | exception e ->
+                (* The chunk died before per-item isolation engaged
+                   (e.g. session setup, or the pool job itself):
+                   quarantine its items wholesale, attempts 0. *)
+                ( Array.init (hi - lo) (fun k ->
+                      Error
+                        {
+                          q_index = lo + k;
+                          q_name = arr.(lo + k).name;
+                          q_attempts = 0;
+                          q_error = Printexc.to_string e;
+                        }),
+                  None ))
+           promises)
   in
-  let items =
-    List.concat_map (fun (analyzed, _) -> Array.to_list analyzed) per_chunk
+  let all =
+    List.concat_map (fun (results, _) -> Array.to_list results) per_chunk
+  in
+  let items = List.filter_map (function Ok a -> Some a | Error _ -> None) all in
+  let quarantined =
+    List.filter_map (function Error q -> Some q | Ok _ -> None) all
+  in
+  let retried =
+    List.length
+      (List.filter
+         (function Ok a -> a.attempts > 1 | Error q -> q.q_attempts > 1)
+         all)
   in
   let merged = Analyzer.fresh_stats () in
   List.iter (fun a -> Analyzer.merge_stats ~into:merged a.report.Analyzer.stats) items;
@@ -79,4 +169,4 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
      let gcd_unique, full_unique = Analyzer.session_table_sizes first in
      merged.Analyzer.memo_unique_nobounds <- gcd_unique;
      merged.Analyzer.memo_unique_full <- full_unique);
-  { items; merged }
+  { items; quarantined; retried; merged }

@@ -18,7 +18,17 @@
     chunked, i.e. on [jobs] (still deterministically so for a fixed
     corpus and [jobs]). The per-domain sessions are merged with
     {!Analyzer.merge_sessions} and the merged statistics report the
-    union's distinct-problem counts. *)
+    union's distinct-problem counts.
+
+    {b Fault isolation.} A worker exception on one item — an analyzer
+    bug, an injected {!Dda_core.Failpoint} failure — never aborts the
+    batch: the item is retried with exponential backoff up to [retries]
+    times and then {e quarantined}, its error recorded in the result
+    while every other item completes normally. A per-item watchdog
+    ([item_timeout_ms]) arms the budget's cooperative deadline, so a
+    stuck item returns a degraded conservative report instead of
+    hanging the batch. Merged statistics cover successfully analyzed
+    items only. *)
 
 open Dda_lang
 open Dda_core
@@ -29,17 +39,32 @@ type item = {
 }
 
 type analyzed = {
+  index : int;  (** position in the input corpus *)
   name : string;
   report : Analyzer.report;
   verification : Dda_check.Verify.summary option;
       (** present when the batch ran with [verify]: the report's
           verdicts re-derived and certificate-checked
           ({!Dda_check.Verify.verify_report}) *)
+  attempts : int;  (** attempts used; [> 1] means the item was retried *)
+}
+
+(** An item abandoned after every attempt failed. *)
+type quarantined = {
+  q_index : int;  (** position in the input corpus *)
+  q_name : string;
+  q_attempts : int;
+      (** attempts made; [0] when the whole chunk failed before
+          per-item isolation engaged *)
+  q_error : string;  (** printed form of the last exception *)
 }
 
 type result = {
-  items : analyzed list;  (** one per input item, in input order *)
-  merged : Analyzer.stats;  (** corpus totals ({!Analyzer.merge_stats}) *)
+  items : analyzed list;  (** successful items, in input order *)
+  quarantined : quarantined list;  (** failed items, in input order *)
+  retried : int;  (** items that needed more than one attempt *)
+  merged : Analyzer.stats;
+      (** totals over [items] only ({!Analyzer.merge_stats}) *)
 }
 
 val chunks : jobs:int -> int -> (int * int) list
@@ -51,6 +76,9 @@ val run :
   ?config:Analyzer.config ->
   ?share_memo:bool ->
   ?verify:bool ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?item_timeout_ms:int ->
   jobs:int ->
   item list ->
   result
@@ -58,4 +86,11 @@ val run :
     [false] (the fully [jobs]-independent mode described above).
     [verify] (default [false]) certificate-checks each program's
     report on its worker domain and fills [verification].
-    @raise Invalid_argument when [jobs < 1]. *)
+
+    [retries] (default [1]) is how many times a failed item is retried
+    before quarantine; [backoff_ms] (default [50]) the first retry's
+    delay, doubled each further retry. [item_timeout_ms] (default none)
+    arms each attempt's cooperative deadline: analysis past it degrades
+    to a flagged conservative verdict rather than being killed.
+    @raise Invalid_argument when [jobs < 1], [retries < 0] or
+    [backoff_ms < 0]. *)

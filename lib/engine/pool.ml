@@ -63,7 +63,10 @@ let submit t f =
   in
   let job () =
     let result =
-      match f () with
+      match
+        Dda_core.Failpoint.hit "pool.job";
+        f ()
+      with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in

@@ -27,10 +27,21 @@ let equal a b = compare a b = 0
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
+(* [-oo + +oo] has no single right answer, but bound arithmetic always
+   knows which way it may safely round: an upper bound rounds up, a
+   lower bound rounds down. [add] rounds up, [add_down] rounds down;
+   both are total, so no analyzer-constructed sum can raise. *)
 let add a b =
   match (a, b) with
   | Fin x, Fin y -> Fin (Zint.add x y)
-  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> invalid_arg "Ext_int.add: -oo + +oo"
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> Pos_inf
+  | Neg_inf, _ | _, Neg_inf -> Neg_inf
+  | Pos_inf, _ | _, Pos_inf -> Pos_inf
+
+let add_down a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (Zint.add x y)
+  | Neg_inf, Pos_inf | Pos_inf, Neg_inf -> Neg_inf
   | Neg_inf, _ | _, Neg_inf -> Neg_inf
   | Pos_inf, _ | _, Pos_inf -> Pos_inf
 
@@ -39,13 +50,13 @@ let neg = function
   | Pos_inf -> Neg_inf
   | Fin z -> Fin (Zint.neg z)
 
+(* 0 * (+-oo) = 0: the only consistent choice for interval scaling,
+   where the zero coefficient wipes out the unbounded term. *)
 let mul_zint k = function
   | Fin z -> Fin (Zint.mul k z)
   | (Neg_inf | Pos_inf) as inf ->
     let s = Zint.sign k in
-    if s > 0 then inf
-    else if s < 0 then neg inf
-    else invalid_arg "Ext_int.mul_zint: zero times infinity"
+    if s > 0 then inf else if s < 0 then neg inf else Fin Zint.zero
 
 let pp fmt = function
   | Neg_inf -> Format.pp_print_string fmt "-oo"

@@ -24,14 +24,22 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val add : t -> t -> t
-(** @raise Invalid_argument on [-oo + +oo]. *)
+(** Total. Agrees with integer addition on finite operands; an infinite
+    operand absorbs. The indeterminate [-oo + +oo] rounds {e up} to
+    [+oo], making [add] the right sum for {e upper} bounds (the result
+    is never below any resolution of the indeterminate form). Use
+    {!add_down} when summing lower bounds. *)
+
+val add_down : t -> t -> t
+(** Like {!add} but [-oo + +oo] rounds {e down} to [-oo]: the safe sum
+    for {e lower} bounds. Identical to {!add} on all other inputs. *)
 
 val neg : t -> t
 
 val mul_zint : Zint.t -> t -> t
-(** Multiplication by a non-zero finite integer; the sign of the
-    multiplier flips infinities.
-    @raise Invalid_argument when the multiplier is zero and the extended
-    value is infinite. *)
+(** Total. Multiplication by a finite integer; the sign of the
+    multiplier flips infinities, and a zero multiplier collapses even
+    an infinite value to [0] (the interval-scaling convention: a zero
+    coefficient wipes out the unbounded term). *)
 
 val pp : Format.formatter -> t -> unit

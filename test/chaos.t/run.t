@@ -1,0 +1,130 @@
+Fault injection and resource governance: the DDA_FAILPOINTS harness,
+batch fault isolation, and budget-degraded analysis.
+
+  $ cat > one.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i + 1] = a[i] + 3
+  > end
+  > EOF
+
+  $ cat > two.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   b[2 * i] = b[i] + 3
+  > end
+  > EOF
+
+A failpoint that crashes the first batch item once: the retry absorbs
+it, the batch completes, and the engine summary records the retry.
+
+  $ DDA_FAILPOINTS='batch.item=raise@1' ddtest batch one.dd two.dd --jobs 1 --retry-backoff-ms 0
+  == one.dd ==
+  a[self]  2:3 x 2:3:  independent
+  a[pair]  2:3 x 2:14:  dependent directions: (<)[flow] distance: (1)
+  == two.dd ==
+  b[self]  2:3 x 2:3:  independent
+  b[pair]  2:3 x 2:14:  dependent directions: (<)[flow]
+  
+  == corpus: 2 programs ==
+  engine: 1 retried, 0 quarantined
+  
+  -- statistics --
+  pairs analyzed:      4
+  constant subscripts: 0
+  gcd independent:     0
+  assumed dependent:   0
+  plain tests:         svpc=0 acyclic=0 loop-residue=0 fourier=0
+  direction tests:     svpc=7 acyclic=0 loop-residue=0 fourier=0
+  memo (gcd table):    4 lookups, 0 hits, 4 unique
+  memo (full table):   4 lookups, 0 hits, 4 unique
+  verdicts:            2 independent, 2 dependent
+
+
+
+A failpoint that crashes the first item on both attempts: the item is
+quarantined with its error, the rest of the corpus still completes,
+and the exit code reports the quarantine.
+
+  $ DDA_FAILPOINTS='batch.item=raise@1-2' ddtest batch one.dd two.dd --jobs 1 --retry-backoff-ms 0
+  == one.dd ==
+  QUARANTINED after 2 attempts: failpoint "batch.item" injected
+  == two.dd ==
+  b[self]  2:3 x 2:3:  independent
+  b[pair]  2:3 x 2:14:  dependent directions: (<)[flow]
+  
+  == corpus: 2 programs ==
+  engine: 1 retried, 1 quarantined
+  
+  -- statistics --
+  pairs analyzed:      2
+  constant subscripts: 0
+  gcd independent:     0
+  assumed dependent:   0
+  plain tests:         svpc=0 acyclic=0 loop-residue=0 fourier=0
+  direction tests:     svpc=5 acyclic=0 loop-residue=0 fourier=0
+  memo (gcd table):    2 lookups, 0 hits, 2 unique
+  memo (full table):   2 lookups, 0 hits, 2 unique
+  verdicts:            1 independent, 1 dependent
+  [3]
+
+
+
+With --retries 0 there is no second attempt:
+
+  $ DDA_FAILPOINTS='batch.item=raise@1' ddtest batch one.dd two.dd --jobs 1 --retries 0 --format json | sed -n '1,5p'
+  {"programs": [{"file": "one.dd",
+                  "quarantined": true,
+                  "attempts": 1,
+                  "error": "failpoint \"batch.item\" injected"},
+                 {"file": "two.dd",
+
+A starvation budget: every query that runs out is reported dependent
+with an explicit degraded marker instead of crashing or hanging.
+
+  $ ddtest analyze two.dd --budget-steps 5 --stats
+  b[self]  2:3 x 2:3:  dependent (degraded: steps budget exhausted) directions: (=)[output] distance: (0)
+  b[pair]  2:3 x 2:14:  dependent (degraded: steps budget exhausted) directions: (*)[flow]
+  
+  -- statistics --
+  pairs analyzed:      2
+  constant subscripts: 0
+  gcd independent:     0
+  assumed dependent:   0
+  plain tests:         svpc=0 acyclic=0 loop-residue=0 fourier=0
+  direction tests:     svpc=2 acyclic=0 loop-residue=0 fourier=0
+  memo (gcd table):    2 lookups, 0 hits, 2 unique
+  memo (full table):   2 lookups, 0 hits, 2 unique
+  verdicts:            0 independent, 2 dependent
+  degraded (budget):   2
+
+
+The JSON form carries the budget reason and drops the exactness claim:
+
+  $ ddtest analyze two.dd --budget-steps 5 --format json | grep -E 'verdict|exact|degraded'
+               "outcome": {"verdict": "dependent",
+                            "exact": false,
+                            "degraded": "steps",
+                "outcome": {"verdict": "dependent",
+                             "exact": false,
+                             "degraded": "steps",
+               "degraded_pairs": 2}}
+
+Checking a degraded report is not a failure: the verdicts are honest
+over-approximations, so the checker warns and exits 0.
+
+  $ ddtest check two.dd --budget-steps 5
+  two.dd:2:3: warning: [degraded] array 'b': replaying a direction obligation exhausted the steps budget; the conservative verdict stands uncertified
+  two.dd:2:3: warning: [fm-exhausted] array 'b': a direction obligation exhausted the Fourier-Motzkin branch budget; the self dependence is assumed, not certified
+  OK: 2 pairs, 1 certificates checked; 0 errors, 2 warnings
+
+An invalid failpoint spec never kills the analysis — it is diagnosed
+and ignored:
+
+  $ DDA_FAILPOINTS='bogus=raise' ddtest analyze two.dd
+  warning: DDA_FAILPOINTS ignored: unknown site "bogus"
+  b[self]  2:3 x 2:3:  independent
+  b[pair]  2:3 x 2:14:  dependent directions: (<)[flow]
+
+  $ DDA_FAILPOINTS='fourier.solve=frobnicate' ddtest analyze two.dd
+  warning: DDA_FAILPOINTS ignored: unknown action "frobnicate"
+  b[self]  2:3 x 2:3:  independent
+  b[pair]  2:3 x 2:14:  dependent directions: (<)[flow]

@@ -147,6 +147,28 @@ Errors are reported with positions:
   bad.dd:1:14: syntax error: expected an expression (found 'do')
   [1]
 
+Malformed input and bad usage are diagnosed — never a raw backtrace:
+
+  $ printf 'for i = 1 to 99999999999999999999999 do a[i] = 1 end' > huge.dd
+  $ ddtest analyze huge.dd
+  huge.dd:1:37: lexical error: integer literal out of range: 99999999999999999999999
+  [1]
+
+  $ ddtest analyze nosuch.dd
+  ddtest: error: nosuch.dd: No such file or directory
+  [1]
+
+  $ ddtest analyze .
+  ddtest: error: .: is a directory
+  [1]
+
+  $ ddtest check bad.dd --budget-steps 0
+  ddtest: error: --budget-steps must be positive
+  [1]
+
+  $ ddtest batch intro.dd --retries=-1 2>&1 | head -1
+  ddtest: error: Batch.run: retries must be >= 0
+
 
 Allen-Kennedy loop distribution: statements grouped by dependence SCC,
 recurrences isolated into serial loops, the rest vectorizable.

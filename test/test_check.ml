@@ -25,7 +25,8 @@ let prop_witness_checked =
            | Ok () -> true
            | Error e -> QCheck.Test.fail_reportf "witness rejected: %s" e)
        | Cascade.Independent _ -> true
-       | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+       | Cascade.Unknown | Cascade.Exhausted _ ->
+         QCheck.Test.fail_reportf "unexpected inexact verdict")
 
 let prop_certificate_checked =
   QCheck.Test.make
@@ -42,7 +43,8 @@ let prop_certificate_checked =
            | Ok () -> true
            | Error e -> QCheck.Test.fail_reportf "certificate rejected: %s" e)
        | Cascade.Dependent _ -> true
-       | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+       | Cascade.Unknown | Cascade.Exhausted _ ->
+         QCheck.Test.fail_reportf "unexpected inexact verdict")
 
 let prop_certificate_checked_tighten =
   QCheck.Test.make
@@ -58,7 +60,7 @@ let prop_certificate_checked_tighten =
            with
            | Ok () -> true
            | Error e -> QCheck.Test.fail_reportf "certificate rejected: %s" e)
-       | Cascade.Dependent _ | Cascade.Unknown -> true)
+       | Cascade.Dependent _ | Cascade.Unknown | Cascade.Exhausted _ -> true)
 
 let prop_cascade_vs_oracle =
   QCheck.Test.make

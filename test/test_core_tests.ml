@@ -275,7 +275,7 @@ let test_fm_branch_and_bound () =
   | Fourier.Infeasible _ -> ()
   | Fourier.Feasible w ->
     Alcotest.failf "claimed witness (%s, %s)" (Zint.to_string w.(0)) (Zint.to_string w.(1))
-  | Fourier.Unknown -> Alcotest.fail "unknown"
+  | Fourier.Unknown | Fourier.Exhausted _ -> Alcotest.fail "unknown"
 
 let test_fm_tighten_mode () =
   (* With tightening, 2t1 - 2t2 <= 1 becomes t1 - t2 <= 0; combined
@@ -351,7 +351,8 @@ let prop_cascade_exact =
        match (Cascade.run boxed.sys).verdict with
        | Cascade.Independent _ -> not truth
        | Cascade.Dependent w -> truth && Consys.satisfies_all w boxed.sys
-       | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+       | Cascade.Unknown | Cascade.Exhausted _ ->
+         QCheck.Test.fail_reportf "unexpected inexact verdict")
 
 let prop_fourier_exact =
   QCheck.Test.make ~name:"fourier alone agrees with brute force" ~count:500
@@ -361,7 +362,8 @@ let prop_fourier_exact =
        match Fourier.run boxed.sys with
        | Fourier.Infeasible _ -> not truth
        | Fourier.Feasible w -> truth && Consys.satisfies_all w boxed.sys
-       | Fourier.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+       | Fourier.Unknown | Fourier.Exhausted _ ->
+         QCheck.Test.fail_reportf "unexpected inexact verdict")
 
 let prop_fourier_tighten_exact =
   QCheck.Test.make ~name:"fourier with tightening agrees with brute force"
@@ -371,7 +373,8 @@ let prop_fourier_tighten_exact =
        match Fourier.run ~tighten:true boxed.sys with
        | Fourier.Infeasible _ -> not truth
        | Fourier.Feasible w -> truth && Consys.satisfies_all w boxed.sys
-       | Fourier.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown")
+       | Fourier.Unknown | Fourier.Exhausted _ ->
+         QCheck.Test.fail_reportf "unexpected inexact verdict")
 
 let prop_loop_residue_exact =
   QCheck.Test.make ~name:"loop residue agrees with brute force on difference systems"
@@ -450,7 +453,8 @@ let prop_ip_reduction_exact =
            | Cascade.Dependent t ->
              (* Map the parameter witness back and check it. *)
              truth && Problem.satisfies (Gcd_test.x_of_t red t) p
-           | Cascade.Unknown -> QCheck.Test.fail_reportf "unexpected Unknown"))
+           | Cascade.Unknown | Cascade.Exhausted _ ->
+             QCheck.Test.fail_reportf "unexpected inexact verdict"))
 
 let prop_svpc_sound =
   QCheck.Test.make ~name:"svpc verdicts are sound" ~count:500 Gen_sys.arb_boxed

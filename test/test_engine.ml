@@ -288,12 +288,14 @@ let prop_batch_deterministic =
        let sequential =
          (* The sequential path, no pool involved. *)
          let items =
-           List.map
-             (fun (it : Batch.item) ->
+           List.mapi
+             (fun i (it : Batch.item) ->
                 {
-                  Batch.name = it.Batch.name;
+                  Batch.index = i;
+                  name = it.Batch.name;
                   report = Analyzer.analyze it.Batch.program;
                   verification = None;
+                  attempts = 1;
                 })
              corpus
          in
@@ -302,7 +304,7 @@ let prop_batch_deterministic =
            (fun (a : Batch.analyzed) ->
               Analyzer.merge_stats ~into:merged a.Batch.report.Analyzer.stats)
            items;
-         fingerprint { Batch.items; merged }
+         fingerprint { Batch.items; quarantined = []; retried = 0; merged }
        in
        List.for_all
          (fun jobs -> fingerprint (Batch.run ~jobs corpus) = sequential)

@@ -248,10 +248,42 @@ let test_ext_int () =
   Alcotest.check ext "mul pos" pos_inf (mul_zint (z 2) pos_inf);
   Alcotest.check ext "mul neg" neg_inf (mul_zint (z (-2)) pos_inf);
   Alcotest.check ext "mul fin" (of_int (-6)) (mul_zint (z (-2)) (of_int 3));
-  Alcotest.(check bool) "add -oo +oo raises" true
-    (try ignore (add neg_inf pos_inf); false with Invalid_argument _ -> true);
-  Alcotest.(check bool) "0 * oo raises" true
-    (try ignore (mul_zint Zint.zero pos_inf); false with Invalid_argument _ -> true)
+  (* The indeterminate forms are total: each rounds to the safe side
+     for the bound it is used in. *)
+  Alcotest.check ext "add rounds -oo +oo up" pos_inf (add neg_inf pos_inf);
+  Alcotest.check ext "add_down rounds -oo +oo down" neg_inf
+    (add_down neg_inf pos_inf);
+  Alcotest.check ext "add_down agrees on fin" (of_int 5)
+    (add_down (of_int 2) (of_int 3));
+  Alcotest.check ext "add_down agrees on one-sided inf" neg_inf
+    (add_down neg_inf (of_int 3));
+  Alcotest.check ext "0 * oo collapses" (of_int 0) (mul_zint Zint.zero pos_inf);
+  Alcotest.check ext "0 * -oo collapses" (of_int 0) (mul_zint Zint.zero neg_inf)
+
+(* Every Ext_int operation is total, and the two additions bracket any
+   resolution of the indeterminate form: add_down <= add pointwise. *)
+let arb_ext =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Ext_int.pp)
+    QCheck.Gen.(
+      frequency
+        [
+          (1, return Ext_int.neg_inf);
+          (1, return Ext_int.pos_inf);
+          (6, map (fun n -> Ext_int.of_int n) (int_range (-1000) 1000));
+        ])
+
+let prop_ext_int_total =
+  QCheck.Test.make ~name:"ext-int arithmetic is total and add_down <= add"
+    ~count:1000
+    QCheck.(triple arb_ext arb_ext (int_range (-5) 5))
+    (fun (a, b, k) ->
+       let up = Ext_int.add a b and down = Ext_int.add_down a b in
+       ignore (Ext_int.mul_zint (z k) a);
+       ignore (Ext_int.neg a);
+       Ext_int.compare down up <= 0
+       && (Ext_int.is_finite a && Ext_int.is_finite b)
+          = (Ext_int.equal down up && Ext_int.is_finite up))
 
 let () =
   let qt = QCheck_alcotest.to_alcotest in
@@ -288,5 +320,9 @@ let () =
           qt prop_qnum_floor_le;
           qt prop_qnum_mid_integer_in_range;
         ] );
-      ("ext-int", [ Alcotest.test_case "extended integers" `Quick test_ext_int ]);
+      ( "ext-int",
+        [
+          Alcotest.test_case "extended integers" `Quick test_ext_int;
+          qt prop_ext_int_total;
+        ] );
     ]
