@@ -416,7 +416,7 @@ let representative_system ?(seed = 7) category =
   in
   hunt 0
 
-let microbench () =
+let microbench ?(nbatch = 16) ?(quota = 0.25) () =
   section
     "Per-test cost (Bechamel): the paper's ordering is\n\
      SVPC < Acyclic < Loop Residue < Fourier-Motzkin";
@@ -425,7 +425,6 @@ let microbench () =
      actually decides, the way the paper reports msec/test. The acyclic
      and loop-residue benchmarks start from the simplified systems
      their cascade predecessors hand over. *)
-  let nbatch = 16 in
   let batch cat = List.init nbatch (fun i -> representative_system ~seed:(500 + (7 * i)) cat) in
   let svpc_batch = batch Patterns.Svpc in
   let fm_batch = batch Patterns.Fourier in
@@ -476,22 +475,24 @@ let microbench () =
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, v) ->
        match Analyze.OLS.estimates v with
        | Some [ ns ] ->
          let n = match Hashtbl.find_opt per_item name with Some n when n > 0 -> n | _ -> 1 in
-         Printf.printf "%-34s %12.1f ns/test  (batch of %d)\n" name
-           (ns /. float_of_int n)
-           n
-       | _ -> Printf.printf "%-34s (no estimate)\n" name)
+         let per_test = ns /. float_of_int n in
+         Printf.printf "%-34s %12.1f ns/test  (batch of %d)\n" name per_test n;
+         Some (name, per_test)
+       | _ ->
+         Printf.printf "%-34s (no estimate)\n" name;
+         None)
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
@@ -709,24 +710,255 @@ let sanity () =
     u
     (if u = 0 then " -- every case decided exactly, as in the paper." else " (!)")
 
-let () =
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: bench --json and the regression gate      *)
+(* ------------------------------------------------------------------ *)
+
+(* (name, wall_ms, allocated_bytes), newest first. [Gc.allocated_bytes]
+   is per-domain, so sections that fan out to worker domains
+   under-report; the trajectory metric below is deliberately run
+   sequentially on this domain. *)
+let recorded : (string * float * float) list ref = ref []
+
+let measured name f =
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  let a1 = Gc.allocated_bytes () in
+  recorded := (name, (t1 -. t0) *. 1e3, a1 -. a0) :: !recorded;
+  r
+
+(* The perf-trajectory headline: the whole suite, replicated 8x,
+   analyzed sequentially on this domain under the default configuration
+   so wall time and allocation are both attributable. A few warm-up
+   programs keep one-time lazy setup out of the measured window. *)
+let perfect_batch () =
+  section
+    "PERFECT batch (sequential, in-domain): the perf-trajectory metric\n\
+     (default configuration over the suite replicated 8x)";
+  let corpus =
+    List.concat_map (fun (_, prog) -> List.init 8 (fun _ -> prog)) programs
+  in
+  List.iter
+    (fun p -> ignore (Analyzer.analyze p))
+    (List.filteri (fun i _ -> i < 4) corpus);
+  measured "perfect_batch" (fun () ->
+      List.iter (fun p -> ignore (Analyzer.analyze p)) corpus);
+  match !recorded with
+  | ("perfect_batch", wall, alloc) :: _ ->
+    Printf.printf "%d programs: %.1f ms wall, %.0f bytes allocated\n"
+      (List.length corpus) wall alloc
+  | _ -> assert false
+
+(* Corpus-wide memo hit rates, via the batch engine's shared session
+   (jobs=1 keeps the counters independent of chunking). *)
+let memo_hit_rates () =
+  let corpus =
+    List.map
+      (fun ((spec : Programs.spec), prog) ->
+         { Dda_engine.Batch.name = spec.name; program = prog })
+      programs
+  in
+  let r = Dda_engine.Batch.run ~share_memo:true ~jobs:1 corpus in
+  r.Dda_engine.Batch.table_stats
+
+let table_json (st : Memo_table.stats) =
+  Perf_json.Obj
+    [
+      ("entries", Perf_json.Num (float_of_int st.Memo_table.size));
+      ("buckets", Perf_json.Num (float_of_int st.Memo_table.buckets));
+      ("lookups", Perf_json.Num (float_of_int st.Memo_table.lookups));
+      ("hits", Perf_json.Num (float_of_int st.Memo_table.hits));
+      ( "hit_rate",
+        Perf_json.Num
+          (if st.Memo_table.lookups = 0 then 0.
+           else float_of_int st.Memo_table.hits /. float_of_int st.Memo_table.lookups)
+      );
+    ]
+
+let results_json ~mode ~memo ~micro =
+  Perf_json.Obj
+    ([
+       ("schema", Perf_json.Num 1.);
+       ("mode", Perf_json.Str mode);
+       ( "sections",
+         Perf_json.List
+           (List.rev_map
+              (fun (name, wall, alloc) ->
+                 Perf_json.Obj
+                   [
+                     ("name", Perf_json.Str name);
+                     ("wall_ms", Perf_json.Num wall);
+                     ("allocated_bytes", Perf_json.Num alloc);
+                   ])
+              !recorded) );
+     ]
+     @ (match memo with
+        | None -> []
+        | Some (gcd, full) ->
+          [
+            ( "memo_tables",
+              Perf_json.Obj [ ("gcd", table_json gcd); ("full", table_json full) ]
+            );
+          ])
+     @ [
+         ( "microbench",
+           Perf_json.List
+             (List.map
+                (fun (name, ns) ->
+                   Perf_json.Obj
+                     [
+                       ("name", Perf_json.Str name);
+                       ("ns_per_test", Perf_json.Num ns);
+                     ])
+                micro) );
+       ])
+
+(* --compare BASE NEW: a metric regresses when it grows by more than
+   [threshold] percent over the baseline. Only metrics present in both
+   files are compared (sections come and go across PRs); allocation is
+   deterministic, wall time and ns/test are noisy, hence the generous
+   default threshold in CI. *)
+let compare_results base_file new_file threshold =
+  let base = Perf_json.parse_file base_file in
+  let next = Perf_json.parse_file new_file in
+  let get k j =
+    match Perf_json.member k j with
+    | Some v -> v
+    | None -> raise (Perf_json.Parse_error ("missing field " ^ k))
+  in
+  let sections j =
+    List.map
+      (fun s ->
+         ( Perf_json.to_str (get "name" s),
+           [
+             ("wall_ms", Perf_json.to_num (get "wall_ms" s));
+             ("allocated_bytes", Perf_json.to_num (get "allocated_bytes" s));
+           ] ))
+      (Perf_json.to_list (get "sections" j))
+  in
+  let micro j =
+    match Perf_json.member "microbench" j with
+    | None -> []
+    | Some m ->
+      List.map
+        (fun s ->
+           ( Perf_json.to_str (get "name" s),
+             [ ("ns_per_test", Perf_json.to_num (get "ns_per_test" s)) ] ))
+        (Perf_json.to_list m)
+  in
+  let regressions = ref 0 in
+  let compare_group kind base_rows new_rows =
+    List.iter
+      (fun (name, new_metrics) ->
+         match List.assoc_opt name base_rows with
+         | None -> Printf.printf "%-12s %-34s (new; no baseline)\n" kind name
+         | Some base_metrics ->
+           List.iter
+             (fun (metric, nv) ->
+                match List.assoc_opt metric base_metrics with
+                | None -> ()
+                | Some bv ->
+                  let pct =
+                    if bv = 0. then if nv = 0. then 0. else infinity
+                    else 100. *. ((nv /. bv) -. 1.)
+                  in
+                  let regressed = pct > threshold in
+                  if regressed then incr regressions;
+                  Printf.printf "%-12s %-34s %-16s %14.1f -> %14.1f  %+7.1f%%%s\n"
+                    kind name metric bv nv pct
+                    (if regressed then "  REGRESSION" else ""))
+             new_metrics)
+      new_rows
+  in
+  Printf.printf "comparing %s (baseline) vs %s, threshold +%.0f%%\n\n" base_file
+    new_file threshold;
+  compare_group "section" (sections base) (sections next);
+  compare_group "microbench" (micro base) (micro next);
+  if !regressions > 0 then begin
+    Printf.printf "\n%d metric(s) regressed beyond +%.0f%%\n" !regressions threshold;
+    exit 1
+  end
+  else Printf.printf "\nno regression beyond +%.0f%%\n" threshold
+
+(* ------------------------------------------------------------------ *)
+(* entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_full () =
   print_endline
     "Reproduction of \"Efficient and Exact Data Dependence Analysis\"\n\
      (Maydan, Hennessy, Lam -- PLDI 1991) on the synthetic PERFECT Club.";
-  table1 ();
-  table2 ();
-  table3 ();
-  ignore (table4 ());
-  let t5 = table5 () in
-  table6 ();
-  ignore (table7 ());
-  accuracy ();
-  returns t5;
-  batch_parallel ();
-  certification ();
-  sanity ();
-  microbench ();
-  ablations ();
+  measured "table1" table1;
+  measured "table2" table2;
+  measured "table3" table3;
+  ignore (measured "table4" table4);
+  let t5 = measured "table5" table5 in
+  measured "table6" table6;
+  ignore (measured "table7" table7);
+  measured "accuracy" accuracy;
+  measured "returns" (fun () -> returns t5);
+  measured "batch_parallel" batch_parallel;
+  measured "certification" certification;
+  measured "sanity" sanity;
+  let micro = measured "microbench" (fun () -> microbench ()) in
+  measured "ablations" ablations;
+  perfect_batch ();
+  let memo = memo_hit_rates () in
   print_newline ();
   print_endline
-    "Figure 1 (loop-residue graph): dune exec examples/loop_residue_graph.exe"
+    "Figure 1 (loop-residue graph): dune exec examples/loop_residue_graph.exe";
+  (memo, micro)
+
+(* The CI profile: just the trajectory metric, corpus hit rates and a
+   short Bechamel pass — seconds, not minutes. *)
+let run_smoke () =
+  print_endline "bench --smoke: reduced perf profile";
+  perfect_batch ();
+  let memo = memo_hit_rates () in
+  let micro = microbench ~nbatch:4 ~quota:0.05 () in
+  (memo, micro)
+
+let usage () =
+  print_endline
+    "usage: bench [--smoke] [--json [FILE]]\n\
+    \       bench --compare BASE NEW [--threshold PCT]\n\n\
+    \  --json [FILE]    also write machine-readable results\n\
+    \                   (default file: BENCH_results.json)\n\
+    \  --smoke          reduced profile for CI (trajectory metric,\n\
+    \                   memo hit rates, short microbench)\n\
+    \  --compare        diff two results files; exit 1 when any shared\n\
+    \                   metric grew more than the threshold (default 50%)";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | "--compare" :: rest -> (
+      match rest with
+      | [ base; next ] -> compare_results base next 50.
+      | [ base; next; "--threshold"; pct ] -> (
+          match float_of_string_opt pct with
+          | Some t -> compare_results base next t
+          | None -> usage ())
+      | _ -> usage ())
+  | _ ->
+    let rec parse args (smoke, json) =
+      match args with
+      | [] -> (smoke, json)
+      | "--smoke" :: rest -> parse rest (true, json)
+      | "--json" :: file :: rest when String.length file > 0 && file.[0] <> '-' ->
+        parse rest (smoke, Some file)
+      | "--json" :: rest -> parse rest (smoke, Some "BENCH_results.json")
+      | _ -> usage ()
+    in
+    let smoke, json = parse args (false, None) in
+    let memo, micro = if smoke then run_smoke () else run_full () in
+    Option.iter
+      (fun file ->
+         Perf_json.write file
+           (results_json ~mode:(if smoke then "smoke" else "full") ~memo ~micro);
+         Printf.printf "\nresults written to %s\n" file)
+      json

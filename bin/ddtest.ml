@@ -368,7 +368,22 @@ let batch_cmd =
        if result.Dda_engine.Batch.retried > 0 || nquarantined > 0 then
          Format.printf "engine: %d retried, %d quarantined@."
            result.Dda_engine.Batch.retried nquarantined;
-       print_stats result.Dda_engine.Batch.merged
+       print_stats result.Dda_engine.Batch.merged;
+       Option.iter
+         (fun (gcd, full) ->
+            let line name (st : Memo_table.stats) =
+              Format.printf
+                "table (%s):  %d entries in %d buckets, %d/%d hits (%.1f%%)@."
+                name st.Memo_table.size st.Memo_table.buckets
+                st.Memo_table.hits st.Memo_table.lookups
+                (if st.Memo_table.lookups = 0 then 0.
+                 else
+                   100. *. float_of_int st.Memo_table.hits
+                   /. float_of_int st.Memo_table.lookups)
+            in
+            line "gcd" gcd;
+            line "full" full)
+         result.Dda_engine.Batch.table_stats
      | `Json ->
        let programs =
          List.map
@@ -397,6 +412,22 @@ let batch_cmd =
               ("programs", Json_out.List programs);
               ("merged_stats", Json_out.stats result.Dda_engine.Batch.merged);
             ]
+            @ (match result.Dda_engine.Batch.table_stats with
+               | None -> []
+               | Some (gcd, full) ->
+                 let table (st : Memo_table.stats) =
+                   Json_out.Obj
+                     [
+                       ("entries", Json_out.Int st.Memo_table.size);
+                       ("buckets", Json_out.Int st.Memo_table.buckets);
+                       ("lookups", Json_out.Int st.Memo_table.lookups);
+                       ("hits", Json_out.Int st.Memo_table.hits);
+                     ]
+                 in
+                 [
+                   ( "memo_tables",
+                     Json_out.Obj [ ("gcd", table gcd); ("full", table full) ] );
+                 ])
             @
             if result.Dda_engine.Batch.retried = 0 && nquarantined = 0 then []
             else

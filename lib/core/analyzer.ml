@@ -369,7 +369,7 @@ and analyze_problem st ~self ~finish problem =
             end
             else (false, info)
           in
-          let key = (if self then 1 else 0) :: Problem.to_key info.Canonical.problem in
+          let key = Problem.to_key ~tag:(if self then 1 else 0) info.Canonical.problem in
           let deliver value =
             let out = reinsert_outcome info value in
             finish (if mirrored then mirror_outcome out else out)
@@ -456,8 +456,14 @@ let analyze_session ?cancel session program =
          | None -> session.session_state.cancel);
     }
   in
-  Memo_table.reset_counters st.gcd_table;
-  Memo_table.reset_counters st.full_table;
+  (* Snapshot the table counters rather than resetting them: the
+     report's memo statistics are the per-call delta, while the tables
+     keep session-lifetime counts for {!session_table_stats} (the batch
+     engine's corpus-wide hit rates). *)
+  let gcd_lookups0 = Memo_table.lookups st.gcd_table
+  and gcd_hits0 = Memo_table.hits st.gcd_table
+  and full_lookups0 = Memo_table.lookups st.full_table
+  and full_hits0 = Memo_table.hits st.full_table in
   session.session_state <- st;
   let config = st.cfg in
   let program = if config.run_pipeline then Dda_passes.Pipeline.run program else program in
@@ -466,6 +472,10 @@ let analyze_session ?cancel session program =
     List.map (fun (s1, s2) -> analyze_pair st s1 s2) (site_pairs config sites)
   in
   finalize st;
+  st.stats.memo_lookups_nobounds <- st.stats.memo_lookups_nobounds - gcd_lookups0;
+  st.stats.memo_hits_nobounds <- st.stats.memo_hits_nobounds - gcd_hits0;
+  st.stats.memo_lookups_full <- st.stats.memo_lookups_full - full_lookups0;
+  st.stats.memo_hits_full <- st.stats.memo_hits_full - full_hits0;
   { pair_reports = reports; stats = st.stats }
 
 (* On-disk format: a magic string, a format version, then the marshaled
@@ -473,8 +483,10 @@ let analyze_session ?cancel session program =
    session only reloads under the configuration that built it. *)
 let session_magic = "dda-session"
 
-(* Version 2: [config] grew the [limits] field (budget caps). *)
-let session_version = 2
+(* Version 2: [config] grew the [limits] field (budget caps).
+   Version 3: memo keys became [int array] and entries store their
+   hash, changing the marshaled table layout. *)
+let session_version = 3
 
 let merge_sessions ~into src =
   let dst = into.session_state and s = src.session_state in
@@ -488,6 +500,10 @@ let merge_sessions ~into src =
 let session_table_sizes session =
   let st = session.session_state in
   (Memo_table.length st.gcd_table, Memo_table.length st.full_table)
+
+let session_table_stats session =
+  let st = session.session_state in
+  (Memo_table.stats st.gcd_table, Memo_table.stats st.full_table)
 
 let save_session session path =
   let st = session.session_state in

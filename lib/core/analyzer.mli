@@ -207,6 +207,13 @@ val session_table_sizes : session -> int * int
 (** [(gcd_entries, full_entries)]: distinct problems currently stored
     in the session's two memo tables. *)
 
+val session_table_stats : session -> Memo_table.stats * Memo_table.stats
+(** [(gcd_stats, full_stats)]: full {!Memo_table.stats} snapshots
+    (entries, bucket count, lifetime lookups and hits) for the
+    session's two memo tables. After {!merge_sessions} the counters
+    cover every absorbed session, so the batch engine can report
+    corpus-wide hit rates. *)
+
 val save_session : session -> string -> unit
 (** Persist the session's memo tables. *)
 

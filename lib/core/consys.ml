@@ -35,7 +35,12 @@ let nonzero_vars r =
   Array.iteri (fun i c -> if not (Zint.is_zero c) then out := i :: !out) r.coeffs;
   List.rev !out
 
-let num_vars_used r = List.length (nonzero_vars r)
+(* Counted directly — this runs once per derived row in the solver's
+   dedup, so it must not build the [nonzero_vars] list. *)
+let num_vars_used r =
+  let n = ref 0 in
+  Array.iter (fun c -> if not (Zint.is_zero c) then incr n) r.coeffs;
+  !n
 
 let satisfies point r =
   let acc = ref Zint.zero in

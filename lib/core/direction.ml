@@ -75,13 +75,30 @@ let dir_rows problem k d =
   | Dgt -> [ row (-1) 1 (-1) ]
   | Dany -> []
 
-let system_for problem red vector =
+(* Direction rows in reduced (free-variable) space, memoized per
+   (level, direction): the refinement tree re-tests each level
+   constraint many times, and [Gcd_test.transform_row] is a dense
+   matrix-vector product worth doing once. Rows are immutable, so
+   sharing them across the systems of different vectors is safe. The
+   cache lives per [refine] call — no module-level state. *)
+let make_dir_row_cache problem red =
+  let cache = Array.make (3 * problem.Problem.ncommon) None in
+  fun k d ->
+    match d with
+    | Dany -> []
+    | Dlt | Deq | Dgt ->
+      let idx = (3 * k) + (match d with Dlt -> 0 | Deq -> 1 | Dgt -> 2 | Dany -> assert false) in
+      (match cache.(idx) with
+       | Some rows -> rows
+       | None ->
+         let rows = List.map (Gcd_test.transform_row red) (dir_rows problem k d) in
+         cache.(idx) <- Some rows;
+         rows)
+
+let system_for red dir_rows_tr vector =
   let extra = ref [] in
   Array.iteri
-    (fun k d ->
-       List.iter
-         (fun r -> extra := Gcd_test.transform_row red r :: !extra)
-         (dir_rows problem k d))
+    (fun k d -> List.iter (fun r -> extra := r :: !extra) (dir_rows_tr k d))
     vector;
   { red.Gcd_test.system with
     Consys.rows = !extra @ red.Gcd_test.system.Consys.rows }
@@ -142,8 +159,9 @@ let refine ?budget ?(prune = full_pruning) ?(fm_tighten = false) ?counts
       Some (Array.map (fun d -> Zint.neg (Option.get d)) deltas)
     else None
   in
+  let dir_rows_tr = make_dir_row_cache problem red in
   let run_test vector =
-    let r = Cascade.run ?budget ~fm_tighten (system_for problem red vector) in
+    let r = Cascade.run ?budget ~fm_tighten (system_for red dir_rows_tr vector) in
     let i = test_index r.decided_by in
     counts.by_test.(i) <- counts.by_test.(i) + 1;
     (match r.verdict with

@@ -14,37 +14,26 @@ type stats = {
 
 let fresh_stats () = { eliminations = 0; max_rows = 0; branches = 0 }
 
-(* Normalize a derived row. Without [tighten], dividing by the gcd is
-   only done when it divides the bound too, so the row stays equivalent
-   over the rationals. With [tighten], the bound is floored: sound for
-   integer variables, stronger than rational reasoning. Either change
-   is exactly what [Cert.Tighten] derives (exact division is flooring
-   that loses nothing), so the provenance records one [Tighten]. *)
-let normalize ~tighten ({ Cert.row = r; why } as dr) =
-  let g = Array.fold_left (fun g c -> Zint.gcd g c) Zint.zero r.coeffs in
-  if Zint.is_zero g || Zint.is_one g then dr
-  else if tighten then
-    {
-      Cert.row =
-        {
-          Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
-          rhs = Zint.fdiv r.rhs g;
-        };
-      why = Cert.Tighten why;
-    }
-  else if Zint.divides g r.rhs then
-    {
-      Cert.row =
-        {
-          Consys.coeffs = Array.map (fun c -> Zint.divexact c g) r.coeffs;
-          rhs = Zint.divexact r.rhs g;
-        };
-      why = Cert.Tighten why;
-    }
-  else dr
+(* Dedup keys rows by their coefficient vector, structurally: a
+   combined hash of the Zint coefficients plus element-wise equality.
+   No per-row string rendering (the old scheme concatenated decimal
+   strings — an allocation hotspot and, in principle, ambiguous), and
+   no collision can corrupt a row: equality compares the vectors
+   themselves. The key aliases the row's own [coeffs] array, which is
+   never mutated after construction. *)
+module Row_tbl = Hashtbl.Make (struct
+  type t = Zint.t array
 
-let row_key (r : Consys.row) =
-  String.concat "," (Array.to_list (Array.map Zint.to_string r.coeffs))
+  let equal a b =
+    Array.length a = Array.length b
+    && (let rec go i = i < 0 || (Zint.equal a.(i) b.(i) && go (i - 1)) in
+        go (Array.length a - 1))
+
+  let hash a =
+    let h = ref (Array.length a) in
+    Array.iter (fun c -> h := (!h * 1000003) + Zint.hash c) a;
+    !h land max_int
+end)
 
 type dedup_result =
   | Contradiction of Cert.deriv
@@ -53,7 +42,7 @@ type dedup_result =
 (* Keep one row per coefficient vector (the tightest), drop trivially
    true rows, and detect trivially false ones. *)
 let dedup rows =
-  let table : (string, Cert.drow) Hashtbl.t = Hashtbl.create 64 in
+  let table : Cert.drow Row_tbl.t = Row_tbl.create 64 in
   let contradiction = ref None in
   List.iter
     (fun ({ Cert.row = r; why = _ } as dr : Cert.drow) ->
@@ -61,24 +50,74 @@ let dedup rows =
          if Zint.is_negative r.rhs && !contradiction = None then
            contradiction := Some dr.why
        end
-       else begin
-         let key = row_key r in
-         match Hashtbl.find_opt table key with
+       else
+         match Row_tbl.find_opt table r.coeffs with
          | Some prev when Zint.compare prev.row.rhs r.rhs <= 0 -> ()
-         | Some _ | None -> Hashtbl.replace table key dr
-       end)
+         | Some _ | None -> Row_tbl.replace table r.coeffs dr)
     rows;
   match !contradiction with
   | Some why -> Contradiction why
-  | None -> Rows (Hashtbl.fold (fun _ dr acc -> dr :: acc) table [])
+  | None -> Rows (Row_tbl.fold (fun _ dr acc -> dr :: acc) table [])
 
 type step = {
   var : int;
   step_rows : Cert.drow list;  (* the rows mentioning [var] at its turn *)
 }
 
+(* One combination row, with normalization fused in: the combined
+   coefficients are staged in [scratch] (one preallocated buffer per
+   solver run) while the gcd accumulates in the same pass, and exactly
+   one array is then allocated for the surviving row — instead of one
+   intermediate array per combination plus a second from the gcd map.
+   Without [tighten], dividing by the gcd only happens when it divides
+   the bound too, so the row stays equivalent over the rationals. With
+   [tighten], the bound is floored: sound for integer variables,
+   stronger than rational reasoning. Either change is exactly what
+   [Cert.Tighten] derives (exact division is flooring that loses
+   nothing), so the provenance records one [Tighten]. *)
+let combine ~budget ~tighten ~scratch (u : Cert.drow) (l : Cert.drow) v =
+  let n = Array.length u.row.coeffs in
+  let a = u.row.coeffs.(v) in
+  let b = Zint.neg l.row.coeffs.(v) in
+  (* b*u + a*l cancels v; both multipliers positive. *)
+  let g = ref Zint.zero in
+  for i = 0 to n - 1 do
+    let c = Zint.add (Zint.mul b u.row.coeffs.(i)) (Zint.mul a l.row.coeffs.(i)) in
+    scratch.(i) <- c;
+    g := Zint.gcd !g c
+  done;
+  Budget.tick budget;
+  let rhs = Zint.add (Zint.mul b u.row.rhs) (Zint.mul a l.row.rhs) in
+  let why = Cert.Comb [ (b, u.why); (a, l.why) ] in
+  let g = !g in
+  let dr =
+    if Zint.is_zero g || Zint.is_one g then
+      { Cert.row = { Consys.coeffs = Array.sub scratch 0 n; rhs }; why }
+    else if tighten then
+      {
+        Cert.row =
+          {
+            Consys.coeffs = Array.init n (fun i -> Zint.divexact scratch.(i) g);
+            rhs = Zint.fdiv rhs g;
+          };
+        why = Cert.Tighten why;
+      }
+    else if Zint.divides g rhs then
+      {
+        Cert.row =
+          {
+            Consys.coeffs = Array.init n (fun i -> Zint.divexact scratch.(i) g);
+            rhs = Zint.divexact rhs g;
+          };
+        why = Cert.Tighten why;
+      }
+    else { Cert.row = { Consys.coeffs = Array.sub scratch 0 n; rhs }; why }
+  in
+  Array.iter (Budget.check_coeff budget) dr.Cert.row.coeffs;
+  dr
+
 (* Eliminate [v]: pair every upper bound with each lower bound. *)
-let eliminate ~budget ~tighten v rows =
+let eliminate ~budget ~tighten ~scratch v rows =
   let uppers, lowers, rest =
     List.fold_left
       (fun (u, l, r) (dr : Cert.drow) ->
@@ -91,31 +130,7 @@ let eliminate ~budget ~tighten v rows =
   let combos =
     List.concat_map
       (fun (u : Cert.drow) ->
-         let a = u.row.coeffs.(v) in
-         List.map
-           (fun (l : Cert.drow) ->
-              let b = Zint.neg l.row.coeffs.(v) in
-              (* b*u + a*l cancels v; both multipliers positive. *)
-              let coeffs =
-                Array.init (Array.length u.row.coeffs) (fun i ->
-                    Zint.add (Zint.mul b u.row.coeffs.(i))
-                      (Zint.mul a l.row.coeffs.(i)))
-              in
-              Budget.tick budget;
-              let dr =
-                normalize ~tighten
-                  {
-                    Cert.row =
-                      {
-                        Consys.coeffs;
-                        rhs = Zint.add (Zint.mul b u.row.rhs) (Zint.mul a l.row.rhs);
-                      };
-                    why = Cert.Comb [ (b, u.why); (a, l.why) ];
-                  }
-              in
-              Array.iter (Budget.check_coeff budget) dr.Cert.row.coeffs;
-              dr)
-           lowers)
+         List.map (fun (l : Cert.drow) -> combine ~budget ~tighten ~scratch u l v) lowers)
       uppers
   in
   (uppers @ lowers, combos @ rest)
@@ -129,7 +144,7 @@ let tightened_bound_why (dr : Cert.drow) v =
   if Zint.is_one (Zint.abs dr.row.coeffs.(v)) then dr.why
   else Cert.Tighten dr.why
 
-let rec solve ~budget ~tighten ~stats ~depth ~ncuts ~nvars rows =
+let rec solve ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars rows =
   Budget.tick budget ~cost:(List.length rows);
   match dedup rows with
   | Contradiction why -> Infeasible (Cert.Refute why)
@@ -151,7 +166,7 @@ let rec solve ~budget ~tighten ~stats ~depth ~ncuts ~nvars rows =
       | [] -> Ok (List.rev steps, rows)
       | v :: vs -> (
           stats.eliminations <- stats.eliminations + 1;
-          let mentioning, remaining = eliminate ~budget ~tighten v rows in
+          let mentioning, remaining = eliminate ~budget ~tighten ~scratch v rows in
           match dedup remaining with
           | Contradiction why -> Error why
           | Rows remaining ->
@@ -166,10 +181,10 @@ let rec solve ~budget ~tighten ~stats ~depth ~ncuts ~nvars rows =
           bounds, so the system is rationally feasible. *)
        assert (
          List.for_all (fun (dr : Cert.drow) -> Consys.num_vars_used dr.row = 0) residue);
-       back_substitute ~budget ~tighten ~stats ~depth ~ncuts ~nvars ~original:rows
-         steps)
+       back_substitute ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars
+         ~original:rows steps)
 
-and back_substitute ~budget ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
+and back_substitute ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars ~original steps =
   let values = Array.make nvars Qnum.zero in
   (* Walk the steps in reverse elimination order; the first variable
      visited has constant bounds. *)
@@ -253,14 +268,14 @@ and back_substitute ~budget ~tighten ~stats ~depth ~ncuts ~nvars ~original steps
                   }
                 in
                 let left =
-                  solve ~budget ~tighten ~stats ~depth:(depth - 1) ~ncuts:(ncuts + 1)
-                    ~nvars (le_row :: original)
+                  solve ~budget ~tighten ~stats ~scratch ~depth:(depth - 1)
+                    ~ncuts:(ncuts + 1) ~nvars (le_row :: original)
                 in
                 match left with
                 | Feasible _ as ok -> ok
                 | Infeasible _ | Unknown | Exhausted _ -> (
                     let right =
-                      solve ~budget ~tighten ~stats ~depth:(depth - 1)
+                      solve ~budget ~tighten ~stats ~scratch ~depth:(depth - 1)
                         ~ncuts:(ncuts + 1) ~nvars (ge_row :: original)
                     in
                     match (left, right) with
@@ -278,9 +293,14 @@ let run ?budget ?(tighten = false) ?stats (sys : Consys.t) =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Failpoint.hit "fourier.solve";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
+  (* The combination scratch buffer: one per run, reused by every
+     elimination (including branch-and-bound recursion — combinations
+     are copied out before the solver recurses). Never module-level:
+     concurrent runs on different domains each get their own. *)
+  let scratch = Array.make sys.nvars Zint.zero in
   match
-    solve ~budget ~tighten ~stats ~depth:(Budget.limits budget).fm_depth ~ncuts:0
-      ~nvars:sys.nvars
+    solve ~budget ~tighten ~stats ~scratch ~depth:(Budget.limits budget).fm_depth
+      ~ncuts:0 ~nvars:sys.nvars
       (Cert.hyps_of_rows sys.rows)
   with
   | outcome -> outcome

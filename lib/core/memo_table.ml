@@ -2,17 +2,21 @@
    arithmetic (deterministic; only the bucket index needs to be
    stable). *)
 let hash_key key =
-  let h = ref (List.length key) in
+  let h = ref (Array.length key) in
   let p = ref 1 in
-  List.iter
+  Array.iter
     (fun x ->
        h := !h + (!p * x);
        p := !p * 2)
     key;
   !h land max_int
 
+(* Every entry carries its key's hash: rehashing and merging move
+   entries between bucket arrays without touching the keys again, and
+   lookups compare hashes before walking the key. *)
 type 'a entry = {
-  key : int list;
+  key : int array;
+  hash : int;
   value : 'a;
 }
 
@@ -23,67 +27,100 @@ type 'a t = {
   mutable hits : int;
 }
 
-let create ?(initial_buckets = 64) () =
+type stats = {
+  size : int;
+  buckets : int;
+  lookups : int;
+  hits : int;
+}
+
+let load_factor = 2
+
+let create ?(initial_buckets = 64) () : _ t =
   { buckets = Array.make initial_buckets []; size = 0; lookups = 0; hits = 0 }
 
-let bucket_of t key = hash_key key mod Array.length t.buckets
+let equal_key (a : int array) (b : int array) =
+  a == b
+  || (Array.length a = Array.length b
+      && (let n = Array.length a in
+          let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+          go 0))
 
-let rehash t =
+let rehash (t : _ t) =
   let old = t.buckets in
   t.buckets <- Array.make (Array.length old * 2) [];
+  let nb = Array.length t.buckets in
   Array.iter
     (List.iter (fun e ->
-         let b = bucket_of t e.key in
+         let b = e.hash mod nb in
          t.buckets.(b) <- e :: t.buckets.(b)))
     old
 
-let find t key =
+let find_entry (t : _ t) key h =
+  List.find_opt
+    (fun e -> e.hash = h && equal_key e.key key)
+    t.buckets.(h mod Array.length t.buckets)
+
+let find (t : _ t) key =
   t.lookups <- t.lookups + 1;
-  let b = bucket_of t key in
-  match List.find_opt (fun e -> e.key = key) t.buckets.(b) with
+  match find_entry t key (hash_key key) with
   | Some e ->
     t.hits <- t.hits + 1;
     Some e.value
   | None -> None
 
-let add t key value =
-  let b = bucket_of t key in
-  (if List.exists (fun e -> e.key = key) t.buckets.(b) then
-     t.buckets.(b) <- List.filter (fun e -> e.key <> key) t.buckets.(b)
-   else t.size <- t.size + 1);
-  t.buckets.(b) <- { key; value } :: t.buckets.(b);
-  if t.size > 2 * Array.length t.buckets then rehash t
+(* [h] is the key's precomputed hash; the caller guarantees the key is
+   not already present. *)
+let add_new (t : _ t) key h value =
+  let b = h mod Array.length t.buckets in
+  t.buckets.(b) <- { key; hash = h; value } :: t.buckets.(b);
+  t.size <- t.size + 1;
+  if t.size > load_factor * Array.length t.buckets then rehash t
 
-let find_or_add t key compute =
+let add (t : _ t) key value =
+  let h = hash_key key in
+  let b = h mod Array.length t.buckets in
+  if List.exists (fun e -> e.hash = h && equal_key e.key key) t.buckets.(b) then begin
+    t.buckets.(b) <-
+      List.filter (fun e -> not (e.hash = h && equal_key e.key key)) t.buckets.(b);
+    t.size <- t.size - 1
+  end;
+  add_new t key h value
+
+let find_or_add (t : _ t) key compute =
   Failpoint.hit "memo.find_or_add";
-  match find t key with
-  | Some v -> (v, true)
+  t.lookups <- t.lookups + 1;
+  let h = hash_key key in
+  match find_entry t key h with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    (e.value, true)
   | None ->
     (* [compute] may raise (budget exhaustion mid-computation, injected
        faults): nothing is stored then, so the table never caches a
        half-computed value. *)
     let v = compute () in
-    add t key v;
+    add_new t key h v;
     (v, false)
 
-let merge_into ~into src =
+let merge_into ~into (src : _ t) =
   if into == src then invalid_arg "Memo_table.merge_into: a table cannot absorb itself";
   Array.iter
     (List.iter (fun e ->
-         let b = bucket_of into e.key in
-         if not (List.exists (fun e' -> e'.key = e.key) into.buckets.(b)) then begin
-           into.buckets.(b) <- e :: into.buckets.(b);
-           into.size <- into.size + 1;
-           if into.size > 2 * Array.length into.buckets then rehash into
-         end))
+         if find_entry into e.key e.hash = None then
+           add_new into e.key e.hash e.value))
     src.buckets;
   into.lookups <- into.lookups + src.lookups;
   into.hits <- into.hits + src.hits
 
-let length t = t.size
-let lookups t = t.lookups
-let hits t = t.hits
+let length (t : _ t) = t.size
+let lookups (t : _ t) = t.lookups
+let hits (t : _ t) = t.hits
 
-let reset_counters t =
+let stats (t : _ t) : stats =
+  { size = t.size; buckets = Array.length t.buckets; lookups = t.lookups;
+    hits = t.hits }
+
+let reset_counters (t : _ t) =
   t.lookups <- 0;
   t.hits <- 0

@@ -70,25 +70,54 @@ let int_of_z z =
   | Some n -> n
   | None -> failwith "Problem.to_key: coefficient exceeds native int"
 
-let row_ints (r : Consys.row) =
-  Array.to_list (Array.map int_of_z r.coeffs) @ [ int_of_z r.rhs ]
+(* Keys are built once per analyzed pair on the memoization hot path,
+   so they are written into a single flat array instead of concatenated
+   per-row lists. [write_row] returns the offset past the written row
+   (coefficients then rhs). *)
+let write_row a off (r : Consys.row) =
+  let n = Array.length r.coeffs in
+  for i = 0 to n - 1 do
+    a.(off + i) <- int_of_z r.coeffs.(i)
+  done;
+  a.(off + n) <- int_of_z r.rhs;
+  off + n + 1
 
-(* Equality rows mean the same constraint under negation; flip so the
-   first non-zero coefficient is positive. This makes a problem and its
-   {!swap} of the mirror-image problem key identically. *)
-let sign_normalize_eq (r : Consys.row) =
+(* Equality rows mean the same constraint under negation; written with
+   the first non-zero coefficient positive. This makes a problem and
+   its {!swap} of the mirror-image problem key identically. *)
+let write_eq a off (r : Consys.row) =
+  let n = Array.length r.coeffs in
   let rec first i =
-    if i >= Array.length r.coeffs then 0 else
-    let s = Zint.sign r.coeffs.(i) in
-    if s <> 0 then s else first (i + 1)
+    if i >= n then 0
+    else
+      let s = Zint.sign r.coeffs.(i) in
+      if s <> 0 then s else first (i + 1)
   in
-  if first 0 < 0 then
-    { Consys.coeffs = Array.map Zint.neg r.coeffs; rhs = Zint.neg r.rhs }
-  else r
+  if first 0 >= 0 then write_row a off r
+  else begin
+    for i = 0 to n - 1 do
+      a.(off + i) <- -int_of_z r.coeffs.(i)
+    done;
+    a.(off + n) <- -int_of_z r.rhs;
+    off + n + 1
+  end
+
+let write_header a off p ~neqs =
+  a.(off) <- nvars p;
+  a.(off + 1) <- p.n1;
+  a.(off + 2) <- p.n2;
+  a.(off + 3) <- p.nsym;
+  a.(off + 4) <- p.ncommon;
+  a.(off + 5) <- neqs;
+  let o = ref (off + 6) in
+  List.iter (fun r -> o := write_eq a !o r) p.eqs;
+  !o
 
 let key_without_bounds p =
-  nvars p :: p.n1 :: p.n2 :: p.nsym :: p.ncommon :: List.length p.eqs
-  :: List.concat_map (fun r -> row_ints (sign_normalize_eq r)) p.eqs
+  let neqs = List.length p.eqs in
+  let a = Array.make (6 + (neqs * (nvars p + 1))) 0 in
+  ignore (write_header a 0 p ~neqs);
+  a
 
 let swap p =
   let nv = nvars p in
@@ -135,9 +164,16 @@ let swap p =
     ineqs = List.map map_bound block2 @ List.map map_bound block1;
   }
 
-let to_key p =
-  key_without_bounds p
-  @ (List.length p.ineqs :: List.concat_map (fun b -> row_ints b.row) p.ineqs)
+let to_key ?tag p =
+  let neqs = List.length p.eqs and nineqs = List.length p.ineqs in
+  let pre = match tag with Some _ -> 1 | None -> 0 in
+  let a = Array.make (pre + 7 + ((neqs + nineqs) * (nvars p + 1))) 0 in
+  (match tag with Some t -> a.(0) <- t | None -> ());
+  let off = write_header a pre p ~neqs in
+  a.(off) <- nineqs;
+  let o = ref (off + 1) in
+  List.iter (fun (b : bound) -> o := write_row a !o b.row) p.ineqs;
+  a
 
 let pp fmt p =
   let names = p.names in

@@ -61,14 +61,17 @@ val swap : t -> t
 val satisfies : Zint.t array -> t -> bool
 (** Does a full assignment satisfy every equality and inequality? *)
 
-val to_key : t -> int list
-(** A canonical integer serialization, the memoization key. Coefficients
-    must fit in native ints (they do by construction: keys are built
-    from source-program problems, before any test transforms them).
-    Variable names are not part of the key — two textually different
-    nests with the same shape memoize together, as in the paper. *)
+val to_key : ?tag:int -> t -> int array
+(** A canonical integer serialization, the memoization key, written
+    into one flat array. Coefficients must fit in native ints (they do
+    by construction: keys are built from source-program problems,
+    before any test transforms them). Variable names are not part of
+    the key — two textually different nests with the same shape
+    memoize together, as in the paper. [tag] prepends one
+    caller-chosen slot (e.g. the self-pair flag) without a second
+    allocation. *)
 
-val key_without_bounds : t -> int list
+val key_without_bounds : t -> int array
 (** Serialization of the equalities only, keying the GCD-test memo
     table ("the GCD test does not make use of bounds"). *)
 

@@ -26,6 +26,7 @@ type result = {
   quarantined : quarantined list;
   retried : int;
   merged : Analyzer.stats;
+  table_stats : (Memo_table.stats * Memo_table.stats) option;
 }
 
 let chunks ~jobs n =
@@ -159,14 +160,17 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
   in
   let merged = Analyzer.fresh_stats () in
   List.iter (fun a -> Analyzer.merge_stats ~into:merged a.report.Analyzer.stats) items;
-  (match List.filter_map snd per_chunk with
-   | [] -> ()
-   | first :: rest ->
-     (* Per-call unique counts from [analyze_session] are cumulative
-        within a chunk, so their sum over-counts; replace them with the
-        distinct-problem counts of the merged (union) tables. *)
-     List.iter (fun s -> Analyzer.merge_sessions ~into:first s) rest;
-     let gcd_unique, full_unique = Analyzer.session_table_sizes first in
-     merged.Analyzer.memo_unique_nobounds <- gcd_unique;
-     merged.Analyzer.memo_unique_full <- full_unique);
-  { items; quarantined; retried; merged }
+  let table_stats =
+    match List.filter_map snd per_chunk with
+    | [] -> None
+    | first :: rest ->
+      (* Per-call unique counts from [analyze_session] are cumulative
+         within a chunk, so their sum over-counts; replace them with the
+         distinct-problem counts of the merged (union) tables. *)
+      List.iter (fun s -> Analyzer.merge_sessions ~into:first s) rest;
+      let gcd_unique, full_unique = Analyzer.session_table_sizes first in
+      merged.Analyzer.memo_unique_nobounds <- gcd_unique;
+      merged.Analyzer.memo_unique_full <- full_unique;
+      Some (Analyzer.session_table_stats first)
+  in
+  { items; quarantined; retried; merged; table_stats }

@@ -65,6 +65,11 @@ type result = {
   retried : int;  (** items that needed more than one attempt *)
   merged : Analyzer.stats;
       (** totals over [items] only ({!Analyzer.merge_stats}) *)
+  table_stats : (Memo_table.stats * Memo_table.stats) option;
+      (** with [share_memo]: [(gcd, full)] {!Dda_core.Memo_table.stats}
+          of the merged corpus-wide tables — entry and bucket counts
+          plus lifetime lookup/hit counters summed over every worker
+          session. [None] in the independent mode. *)
 }
 
 val chunks : jobs:int -> int -> (int * int) list

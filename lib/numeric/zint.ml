@@ -1,11 +1,29 @@
-(* Sign-magnitude bignum. The magnitude is a little-endian array of
-   base-2^15 limbs with no leading (high-order) zero limb; zero is
-   represented by [sign = 0] and an empty magnitude, which makes the
-   representation canonical and lets [equal]/[compare]/[hash] be
-   structural. Base 2^15 keeps every intermediate product of two limbs
-   plus carries well inside a 63-bit native int. *)
+(* Two-tier integers: a native-int fast path and a sign-magnitude
+   bignum fallback.
 
-type t = { sign : int; mag : int array }
+   [Small v] holds |v| <= max_small (= max_int / 2) directly in a
+   native int; [Big b] is the original little-endian base-2^15 limb
+   representation and holds exactly the values the fast path cannot.
+   The split is canonical — every value with magnitude at or below the
+   guard bound is ALWAYS [Small], zero included — so [equal], [compare]
+   and [hash] can dispatch on the constructor alone and never see the
+   same value in two representations. Every operation that can shrink
+   a magnitude (subtraction of like signs, division, gcd, parsing)
+   demotes through the one smart constructor [mk_t].
+
+   The guard bound max_small = max_int / 2 is chosen so the sum or
+   difference of any two Small payloads still fits a native int,
+   making the add/sub overflow check a plain range test. Base 2^15
+   limbs keep every limb product plus carries well inside 63 bits. *)
+
+type big = { sign : int; mag : int array }
+
+type t =
+  | Small of int
+  | Big of big
+
+let max_small = max_int / 2
+let small_capacity = max_small
 
 let base = 32768
 let base_bits = 15
@@ -180,106 +198,230 @@ let mdivmod a b =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Signed layer.                                                      *)
+(* Representation plumbing.                                           *)
 (* ------------------------------------------------------------------ *)
 
-let mk sign mag = if mis_zero mag then { sign = 0; mag = mzero } else { sign; mag }
+(* Values within a few hundred of zero — loop bounds, strides,
+   subscript coefficients — dominate every workload; share one block
+   per value instead of allocating a fresh [Small] each time. *)
+let cache_radius = 256
 
-let zero = { sign = 0; mag = mzero }
-let one = { sign = 1; mag = [| 1 |] }
-let minus_one = { sign = -1; mag = [| 1 |] }
-let two = { sign = 1; mag = [| 2 |] }
+let small_cache = Array.init ((2 * cache_radius) + 1) (fun i -> Small (i - cache_radius))
 
-let of_int n =
-  if n = 0 then zero
-  else begin
-    let sign = if n > 0 then 1 else -1 in
-    (* Work with negative residues so that [min_int] is handled. *)
-    let n = if n > 0 then -n else n in
-    let buf = Array.make 5 0 in
-    let rec go n i =
-      if n = 0 then i
-      else begin
-        buf.(i) <- -(n mod base);
-        go (n / base) (i + 1)
-      end
-    in
-    let len = go n 0 in
-    mk sign (Array.sub buf 0 len)
+let small n =
+  if n >= -cache_radius && n <= cache_radius then
+    Array.unsafe_get small_cache (n + cache_radius)
+  else Small n
+
+let fits_small n = n >= -max_small && n <= max_small
+
+(* [big_of_int] accepts any native int, [min_int] included. *)
+let big_of_int n =
+  let sign = if n > 0 then 1 else -1 in
+  (* Work with negative residues so that [min_int] is handled. *)
+  let n = if n > 0 then -n else n in
+  let buf = Array.make 5 0 in
+  let rec go n i =
+    if n = 0 then i
+    else begin
+      buf.(i) <- -(n mod base);
+      go (n / base) (i + 1)
+    end
+  in
+  let len = go n 0 in
+  { sign; mag = Array.sub buf 0 len }
+
+(* The ONLY way a signed result is built from a magnitude: demotes to
+   [Small] whenever the guard bound allows, keeping the representation
+   canonical. A magnitude of <= 61 bits is exactly the [Small] range
+   (max_small = 2^61 - 1). *)
+let mk_t sign mag =
+  if mis_zero mag then small 0
+  else if mbits mag <= 61 then begin
+    let v = ref 0 in
+    for i = Array.length mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor mag.(i)
+    done;
+    small (if sign < 0 then - !v else !v)
   end
+  else Big { sign; mag }
 
-let sign z = z.sign
-let is_zero z = z.sign = 0
-let is_negative z = z.sign < 0
-let is_positive z = z.sign > 0
-let is_one z = z.sign = 1 && Array.length z.mag = 1 && z.mag.(0) = 1
+let of_int n = if fits_small n then small n else Big (big_of_int n)
 
-let equal a b = a.sign = b.sign && mcompare a.mag b.mag = 0
+let to_big = function
+  | Small v -> if v = 0 then { sign = 0; mag = mzero } else big_of_int v
+  | Big b -> b
+
+let zero = small 0
+let one = small 1
+let minus_one = small (-1)
+let two = small 2
+
+let sign = function Small v -> Stdlib.compare v 0 | Big b -> b.sign
+let is_zero = function Small 0 -> true | Small _ | Big _ -> false
+let is_one = function Small 1 -> true | Small _ | Big _ -> false
+let is_negative = function Small v -> v < 0 | Big b -> b.sign < 0
+let is_positive = function Small v -> v > 0 | Big b -> b.sign > 0
+
+let equal a b =
+  match (a, b) with
+  | Small x, Small y -> x = y
+  | Big x, Big y -> x.sign = y.sign && mcompare x.mag y.mag = 0
+  | Small _, Big _ | Big _, Small _ -> false (* canonical: disjoint ranges *)
 
 let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
-  else if a.sign >= 0 then mcompare a.mag b.mag
-  else mcompare b.mag a.mag
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | Big x, Big y ->
+    if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+    else if x.sign >= 0 then mcompare x.mag y.mag
+    else mcompare y.mag x.mag
+  (* A canonical Big has magnitude beyond every Small: its sign wins. *)
+  | Small _, Big y -> if y.sign > 0 then -1 else 1
+  | Big x, Small _ -> if x.sign > 0 then 1 else -1
 
-let hash z =
-  let h = ref (z.sign + 0x9e37) in
-  Array.iter (fun limb -> h := (!h * 31) + limb) z.mag;
-  !h land max_int
+let hash = function
+  | Small v -> (v * 0x9e3779b1) land max_int
+  | Big b ->
+    let h = ref (b.sign + 0x9e37) in
+    Array.iter (fun limb -> h := (!h * 31) + limb) b.mag;
+    !h land max_int
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let neg z = mk (-z.sign) z.mag
-let abs z = mk (Stdlib.abs z.sign) z.mag
+let is_small = function Small _ -> true | Big _ -> false
 
-let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then mk a.sign (madd a.mag b.mag)
+(* ------------------------------------------------------------------ *)
+(* Arithmetic.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let neg = function
+  | Small v -> small (-v) (* |v| <= max_small < max_int: never wraps *)
+  | Big b -> Big { b with sign = -b.sign }
+
+let abs = function
+  | Small v -> if v < 0 then small (-v) else small v
+  | Big b -> Big { b with sign = Stdlib.abs b.sign }
+
+let big_add (a : big) (b : big) =
+  if a.sign = 0 then mk_t b.sign b.mag
+  else if b.sign = 0 then mk_t a.sign a.mag
+  else if a.sign = b.sign then mk_t a.sign (madd a.mag b.mag)
   else begin
     let c = mcompare a.mag b.mag in
     if c = 0 then zero
-    else if c > 0 then mk a.sign (msub a.mag b.mag)
-    else mk b.sign (msub b.mag a.mag)
+    else if c > 0 then mk_t a.sign (msub a.mag b.mag)
+    else mk_t b.sign (msub b.mag a.mag)
   end
 
-let sub a b = add a (neg b)
-let mul a b = mk (a.sign * b.sign) (mmul a.mag b.mag)
+let add a b =
+  match (a, b) with
+  | Small x, Small y ->
+    (* |x|, |y| <= max_small = max_int/2, so x + y never wraps. *)
+    let s = x + y in
+    if fits_small s then small s else Big (big_of_int s)
+  | _ -> big_add (to_big a) (to_big b)
+
+let sub a b =
+  match (a, b) with
+  | Small x, Small y ->
+    let s = x - y in
+    if fits_small s then small s else Big (big_of_int s)
+  | _ -> big_add (to_big a) (to_big (neg b))
+
+let big_mul a b = mk_t (a.sign * b.sign) (mmul a.mag b.mag)
+
+let mul a b =
+  match (a, b) with
+  | Small x, Small y ->
+    if x = 0 || y = 0 then zero
+    else begin
+      let p = x * y in
+      (* [p / y = x] certifies no wrap: a wrapped product differs from
+         the true one by a multiple of 2^63, which the small remainder
+         of the division cannot absorb. *)
+      if fits_small p && p / y = x then small p else big_mul (to_big a) (to_big b)
+    end
+  | _ -> big_mul (to_big a) (to_big b)
 
 let mul_int a d =
-  if d >= 0 && d < base then mk a.sign (mmul_small a.mag d)
-  else mul a (of_int d)
+  match a with
+  | Small _ -> mul a (of_int d)
+  | Big b -> if d >= 0 && d < base then mk_t b.sign (mmul_small b.mag d) else mul a (of_int d)
 
 let succ z = add z one
 let pred z = sub z one
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero;
-  let qm, rm = mdivmod a.mag b.mag in
-  (mk (a.sign * b.sign) qm, mk a.sign rm)
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small x, Small y ->
+    (* Native [/] and [mod] are truncated division, exactly the
+       contract; quotient and remainder magnitudes never exceed the
+       operands', so both stay Small. *)
+    (small (x / y), small (x mod y))
+  | _ ->
+    let a = to_big a and b = to_big b in
+    if b.sign = 0 then raise Division_by_zero;
+    let qm, rm = mdivmod a.mag b.mag in
+    (mk_t (a.sign * b.sign) qm, mk_t a.sign rm)
 
-let div_trunc a b = fst (divmod a b)
-let rem a b = snd (divmod a b)
+let div_trunc a b =
+  match (a, b) with
+  | Small x, Small y -> small (x / y)
+  | _ -> fst (divmod a b)
+
+let rem a b =
+  match (a, b) with
+  | Small x, Small y -> small (x mod y)
+  | _ -> snd (divmod a b)
 
 let fdiv a b =
-  let q, r = divmod a b in
-  (* Truncated division rounds toward zero; floor rounds toward -inf. *)
-  if is_zero r || sign r = sign b then q else pred q
+  match (a, b) with
+  | Small x, Small y ->
+    let q = x / y and r = x mod y in
+    (* [r <> 0] implies |q| < max_small (a full-magnitude quotient
+       needs |y| = 1, which divides exactly), so q-1 stays in range. *)
+    if r <> 0 && (r < 0) <> (y < 0) then small (q - 1) else small q
+  | _ ->
+    let q, r = divmod a b in
+    (* Truncated division rounds toward zero; floor rounds toward -inf. *)
+    if is_zero r || sign r = sign b then q else pred q
 
 let cdiv a b =
-  let q, r = divmod a b in
-  if is_zero r || sign r <> sign b then q else succ q
+  match (a, b) with
+  | Small x, Small y ->
+    let q = x / y and r = x mod y in
+    if r <> 0 && (r < 0) = (y < 0) then small (q + 1) else small q
+  | _ ->
+    let q, r = divmod a b in
+    if is_zero r || sign r <> sign b then q else succ q
 
 let divexact a b =
-  let q, r = divmod a b in
-  if not (is_zero r) then failwith "Zint.divexact: inexact division";
-  q
+  match (a, b) with
+  | Small x, Small y when y <> 0 ->
+    if x mod y <> 0 then failwith "Zint.divexact: inexact division";
+    small (x / y)
+  | _ ->
+    let q, r = divmod a b in
+    if not (is_zero r) then failwith "Zint.divexact: inexact division";
+    q
 
-let divides d n = if is_zero d then is_zero n else is_zero (rem n d)
+let divides d n =
+  match (d, n) with
+  | Small 0, _ -> is_zero n
+  | Small x, Small y -> y mod x = 0
+  | _ -> if is_zero d then is_zero n else is_zero (rem n d)
 
 let rec gcd_mag a b = if mis_zero b then a else gcd_mag b (snd (mdivmod a b))
 
-let gcd a b = mk 1 (gcd_mag a.mag b.mag)
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y ->
+    let rec go a b = if b = 0 then a else go b (a mod b) in
+    small (go (Stdlib.abs x) (Stdlib.abs y))
+  | _ -> mk_t 1 (gcd_mag (to_big a).mag (to_big b).mag)
 
 let ext_gcd a b =
   (* Invariants: r0 = a*x0 + b*y0, r1 = a*x1 + b*y1. *)
@@ -305,33 +447,40 @@ let pow b e =
   in
   go one b e
 
-let to_int z =
-  (* Values need at most 62 bits of magnitude to fit; reconstruct and
-     guard the only corner, [min_int] itself. *)
-  let b = mbits z.mag in
-  if b > 63 then None
-  else begin
-    let v = ref 0 and ok = ref true in
-    (try
-       for i = Array.length z.mag - 1 downto 0 do
-         if !v > (max_int - z.mag.(i)) / base then begin ok := false; raise Exit end;
-         v := (!v * base) + z.mag.(i)
-       done
-     with Exit -> ());
-    if !ok then Some (if z.sign < 0 then - !v else !v)
-    else if z.sign < 0 && b = 63 && mcompare z.mag (of_int Stdlib.min_int).mag = 0 then
-      Some Stdlib.min_int
-    else None
-  end
+(* ------------------------------------------------------------------ *)
+(* Conversions.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let to_int = function
+  | Small v -> Some v
+  | Big z ->
+    (* Canonical Big values can still fit a native int (magnitudes in
+       (max_small, max_int], plus [min_int]); reconstruct and guard the
+       only corner, [min_int] itself. *)
+    let b = mbits z.mag in
+    if b > 63 then None
+    else begin
+      let v = ref 0 and ok = ref true in
+      (try
+         for i = Array.length z.mag - 1 downto 0 do
+           if !v > (max_int - z.mag.(i)) / base then begin ok := false; raise Exit end;
+           v := (!v * base) + z.mag.(i)
+         done
+       with Exit -> ());
+      if !ok then Some (if z.sign < 0 then - !v else !v)
+      else if z.sign < 0 && b = 63 && mcompare z.mag (big_of_int Stdlib.min_int).mag = 0
+      then Some Stdlib.min_int
+      else None
+    end
 
 let to_int_exn z =
   match to_int z with
   | Some n -> n
   | None -> failwith "Zint.to_int_exn: value does not fit in an int"
 
-let to_string z =
-  if is_zero z then "0"
-  else begin
+let to_string = function
+  | Small v -> string_of_int v
+  | Big z ->
     let buf = Buffer.create 16 in
     let rec chunks m acc =
       if mis_zero m then acc
@@ -347,12 +496,11 @@ let to_string z =
        Buffer.add_string buf (string_of_int first);
        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
     Buffer.contents buf
-  end
 
 let of_string s =
   let n = String.length s in
   if n = 0 then invalid_arg "Zint.of_string: empty string";
-  let sign, start =
+  let sgn, start =
     match s.[0] with
     | '-' -> (-1, 1)
     | '+' -> (1, 1)
@@ -365,6 +513,6 @@ let of_string s =
     if c < '0' || c > '9' then invalid_arg "Zint.of_string: invalid digit";
     mag := madd_small (mmul_small !mag 10) (Char.code c - Char.code '0')
   done;
-  mk sign !mag
+  mk_t sgn !mag
 
 let pp fmt z = Format.pp_print_string fmt (to_string z)

@@ -3,14 +3,32 @@
     Dependence testing must be exact: Fourier-Motzkin elimination and
     unimodular row reduction can grow coefficients past the native word
     size, and a silent wrap-around would turn an "independent" verdict
-    into a miscompilation. [Zint] is a small, self-contained bignum with
-    sign-magnitude representation (little-endian base-2^15 limbs), sized
-    for the modest magnitudes dependence systems produce.
+    into a miscompilation. [Zint] is a small, self-contained bignum.
+
+    Internally, values with magnitude at most {!small_capacity} live on
+    an overflow-checked native-int fast path; only larger values fall
+    back to the sign-magnitude limb representation (little-endian
+    base-2^15 limbs). The split is canonical — a value is on the fast
+    path {e iff} its magnitude fits — so the paper's observation that
+    real subscript systems use tiny coefficients makes the common case
+    allocation-light and word-sized.
 
     All functions are pure; values are immutable and canonical (no
     leading zero limbs; zero has an empty magnitude). *)
 
 type t
+
+val small_capacity : int
+(** The fast-path guard bound ([max_int / 2]): values with
+    [|v| <= small_capacity] are always held in a native int. Exposed
+    for the differential test suite; arithmetic behaves identically on
+    either side of the boundary. *)
+
+val is_small : t -> bool
+(** True when the value is held in the native-int fast-path
+    representation. Canonically this is exactly
+    [compare (abs v) (of_int small_capacity) <= 0]; exposed so tests
+    can assert the representation invariant. *)
 
 (** {1 Constants} *)
 

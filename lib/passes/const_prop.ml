@@ -11,25 +11,27 @@ let rewrite env e = Expr_util.subst (lookup env) e
 
 let rec prop_stmt env (s : Ast.stmt) : Ast.stmt * int Env.t =
   match s.sdesc with
-  | Ast.Assign (Ast.Lvar v, e) ->
-    let e = rewrite env e in
+  | Ast.Assign (Ast.Lvar v, e0) ->
+    let e = rewrite env e0 in
     let env =
       match e.desc with
       | Ast.Int n when Expr_util.is_pure_scalar e -> Env.add v n env
       | _ -> Env.remove v env
     in
-    ({ s with sdesc = Ast.Assign (Ast.Lvar v, e) }, env)
-  | Ast.Assign (Ast.Larr (name, subs), e) ->
-    let subs = List.map (rewrite env) subs in
-    let e = rewrite env e in
-    ({ s with sdesc = Ast.Assign (Ast.Larr (name, subs), e) }, env)
+    ((if e == e0 then s else { s with sdesc = Ast.Assign (Ast.Lvar v, e) }), env)
+  | Ast.Assign (Ast.Larr (name, subs0), e0) ->
+    let subs = Expr_util.map_sharing (rewrite env) subs0 in
+    let e = rewrite env e0 in
+    ( (if subs == subs0 && e == e0 then s
+       else { s with sdesc = Ast.Assign (Ast.Larr (name, subs), e) }),
+      env )
   | Ast.Read v -> (s, Env.remove v env)
-  | Ast.If (cond, then_, else_) ->
-    let cond =
-      { cond with Ast.lhs = rewrite env cond.Ast.lhs; rhs = rewrite env cond.Ast.rhs }
-    in
-    let then_, env_t = prop_stmts env then_ in
-    let else_, env_e = prop_stmts env else_ in
+  | Ast.If (cond0, then_0, else_0) ->
+    let lhs = rewrite env cond0.Ast.lhs and rhs = rewrite env cond0.Ast.rhs in
+    let cond = if lhs == cond0.Ast.lhs && rhs == cond0.Ast.rhs then cond0
+      else { cond0 with Ast.lhs = lhs; rhs } in
+    let then_, env_t = prop_stmts env then_0 in
+    let else_, env_e = prop_stmts env else_0 in
     (* Keep facts that hold on both paths. *)
     let env' =
       Env.merge
@@ -37,22 +39,31 @@ let rec prop_stmt env (s : Ast.stmt) : Ast.stmt * int Env.t =
            match (a, b) with Some x, Some y when x = y -> Some x | _ -> None)
         env_t env_e
     in
-    ({ s with sdesc = Ast.If (cond, then_, else_) }, env')
-  | Ast.For ({ var; lo; hi; step; body } as l) ->
-    let lo = rewrite env lo and hi = rewrite env hi in
-    let step = Option.map (rewrite env) step in
+    ( (if cond == cond0 && then_ == then_0 && else_ == else_0 then s
+       else { s with sdesc = Ast.If (cond, then_, else_) }),
+      env' )
+  | Ast.For ({ var; lo = lo0; hi = hi0; step = step0; body = body0; _ } as l) ->
+    let lo = rewrite env lo0 and hi = rewrite env hi0 in
+    let step =
+      match step0 with
+      | None -> None
+      | Some st -> let st' = rewrite env st in if st' == st then step0 else Some st'
+    in
     (* Anything the body assigns (and the loop variable) is unknown both
        inside the body and after the loop. *)
-    let killed = var :: Expr_util.assigned_vars body in
+    let killed = var :: Expr_util.assigned_vars body0 in
     let env_in = List.fold_left (fun m v -> Env.remove v m) env killed in
-    let body, _ = prop_stmts env_in body in
-    ({ s with sdesc = Ast.For { l with lo; hi; step; body } }, env_in)
+    let body, _ = prop_stmts env_in body0 in
+    ( (if lo == lo0 && hi == hi0 && step == step0 && body == body0 then s
+       else { s with sdesc = Ast.For { l with lo; hi; step; body } }),
+      env_in )
 
-and prop_stmts env = function
+and prop_stmts env stmts =
+  match stmts with
   | [] -> ([], env)
   | s :: rest ->
-    let s, env = prop_stmt env s in
-    let rest, env = prop_stmts env rest in
-    (s :: rest, env)
+    let s', env = prop_stmt env s in
+    let rest', env = prop_stmts env rest in
+    ((if s' == s && rest' == rest then stmts else s' :: rest'), env)
 
 let run prog = fst (prop_stmts Env.empty prog)

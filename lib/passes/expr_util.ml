@@ -1,15 +1,32 @@
 open Dda_lang
 
+(* The pipeline re-runs every pass until a fixpoint, so on most rounds
+   most of the tree is already in normal form. Every rewriter here is
+   identity-preserving: it returns its argument physically unchanged
+   when no rule fires, so a converged round allocates (almost) nothing
+   and unchanged subtrees stay shared between rounds. *)
+
+let rec map_sharing f l =
+  match l with
+  | [] -> []
+  | x :: tl ->
+    let x' = f x in
+    let tl' = map_sharing f tl in
+    if x' == x && tl' == tl then l else x' :: tl'
+
 let rec const_fold (e : Ast.expr) : Ast.expr =
   let mk desc = { e with Ast.desc } in
   match e.desc with
   | Ast.Int _ | Ast.Var _ -> e
   | Ast.Neg a -> (
-      match (const_fold a).desc with
+      let a' = const_fold a in
+      match a'.desc with
       | Ast.Int n -> mk (Ast.Int (-n))
-      | Ast.Neg b -> b.Ast.desc |> mk
-      | _ as d -> mk (Ast.Neg (mk d)))
-  | Ast.Aref (name, subs) -> mk (Ast.Aref (name, List.map const_fold subs))
+      | Ast.Neg b -> b
+      | _ -> if a' == a then e else mk (Ast.Neg a'))
+  | Ast.Aref (name, subs) ->
+    let subs' = map_sharing const_fold subs in
+    if subs' == subs then e else mk (Ast.Aref (name, subs'))
   | Ast.Bin (op, a, b) -> (
       let a = const_fold a and b = const_fold b in
       match (op, a.desc, b.desc) with
@@ -25,7 +42,10 @@ let rec const_fold (e : Ast.expr) : Ast.expr =
       | Ast.Mul, Ast.Int 0, _ when no_arrays b -> mk (Ast.Int 0)
       | Ast.Mul, _, Ast.Int 0 when no_arrays a -> mk (Ast.Int 0)
       | Ast.Div, _, Ast.Int 1 -> a
-      | _ -> mk (Ast.Bin (op, a, b)))
+      | _ -> (
+          match e.desc with
+          | Ast.Bin (_, a0, b0) when a == a0 && b == b0 -> e
+          | _ -> mk (Ast.Bin (op, a, b))))
 
 (* [e * 0 = 0] is only valid when [e] has no side effect on the trace;
    array reads are observable accesses, so keep them. *)
@@ -39,10 +59,61 @@ and no_arrays (e : Ast.expr) =
 let const_value e =
   match (const_fold e).desc with Ast.Int n -> Some n | _ -> None
 
+(* Does [e] already equal the expression the linearize builder below
+   would produce from [kept_rev] (outermost term first) and [const]?
+   Pure structural walk, no allocation: matching the spine from the
+   outside in mirrors the builder's left fold exactly. *)
+let matches_canonical kept_rev const (e : Ast.expr) =
+  let spine =
+    if const = 0 then Some e
+    else
+      match e.desc with
+      | Ast.Bin (Ast.Add, acc, { desc = Ast.Int c; _ }) when const > 0 && c = const ->
+        Some acc
+      | Ast.Bin (Ast.Sub, acc, { desc = Ast.Int c; _ }) when const < 0 && c = -const ->
+        Some acc
+      | _ -> None
+  in
+  match spine with
+  | None -> false
+  | Some spine ->
+    let rec go terms (e : Ast.expr) =
+      match terms with
+      | [] -> false
+      | [ (c, a, _) ] -> (
+          let c = !c in
+          if c = 1 then Ast.equal_expr e a
+          else if c = -1 then
+            match e.desc with Ast.Neg x -> Ast.equal_expr x a | _ -> false
+          else
+            match e.desc with
+            | Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, x) ->
+              k = c && Ast.equal_expr x a
+            | _ -> false)
+      | (c, a, _) :: rest -> (
+          let c = !c in
+          match e.desc with
+          | Ast.Bin (Ast.Add, acc, rhs) when c = 1 ->
+            Ast.equal_expr rhs a && go rest acc
+          | Ast.Bin (Ast.Sub, acc, rhs) when c = -1 ->
+            Ast.equal_expr rhs a && go rest acc
+          | Ast.Bin
+              (Ast.Add, acc, { desc = Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, rhs); _ })
+            when c > 1 ->
+            k = c && Ast.equal_expr rhs a && go rest acc
+          | Ast.Bin
+              (Ast.Sub, acc, { desc = Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, rhs); _ })
+            when c < -1 ->
+            k = -c && Ast.equal_expr rhs a && go rest acc
+          | _ -> false)
+    in
+    go kept_rev spine
+
 (* Linear canonicalization: fold the expression into
    [sum coeff_i * atom_i + const]. Pure scalar atoms merge (and cancel)
    by structural equality; atoms that read arrays stay one-for-one so
-   the access trace is untouched. *)
+   the access trace is untouched. Returns [e] itself when it is already
+   in canonical form. *)
 let rec linearize (e : Ast.expr) : Ast.expr =
   (* (coeff ref, atom, pure), in first-occurrence order (reversed). *)
   let terms : (int ref * Ast.expr * bool) list ref = ref [] in
@@ -80,21 +151,32 @@ let rec linearize (e : Ast.expr) : Ast.expr =
         | Some k, _ -> go (sign * k) b
         | None, Some k -> go (sign * k) a
         | None, None ->
-          add_term sign { e with desc = Ast.Bin (Ast.Mul, linearize a, linearize b) })
+          let a' = linearize a and b' = linearize b in
+          add_term sign
+            (if a' == a && b' == b then e
+             else { e with desc = Ast.Bin (Ast.Mul, a', b') }))
     | Ast.Bin (Ast.Div, a, b) ->
       (* Truncating division does not distribute; linearize inside. *)
-      add_term sign { e with desc = Ast.Bin (Ast.Div, linearize a, linearize b) }
+      let a' = linearize a and b' = linearize b in
+      add_term sign
+        (if a' == a && b' == b then e
+         else { e with desc = Ast.Bin (Ast.Div, a', b') })
     | Ast.Aref (name, subs) ->
-      add_term sign { e with desc = Ast.Aref (name, List.map linearize subs) }
+      let subs' = map_sharing linearize subs in
+      add_term sign
+        (if subs' == subs then e else { e with desc = Ast.Aref (name, subs') })
   in
   go 1 e;
-  let kept =
-    List.rev !terms
-    |> List.filter (fun (c, _, pure) -> (not pure) || !c <> 0)
+  let kept_rev =
+    List.filter (fun (c, _, pure) -> (not pure) || !c <> 0) !terms
   in
-  match kept with
-  | [] -> Ast.int_ !const
-  | (c0, a0, _) :: rest ->
+  match kept_rev with
+  | [] -> ( match e.desc with Ast.Int n when n = !const -> e | _ -> Ast.int_ !const)
+  | _ when matches_canonical kept_rev !const e -> e
+  | _ ->
+    let (c0, a0, _), rest =
+      match List.rev kept_rev with x :: tl -> (x, tl) | [] -> assert false
+    in
     let head =
       if !c0 = 1 then a0
       else if !c0 = -1 then Ast.neg a0
@@ -119,9 +201,15 @@ let rec subst_raw lookup (e : Ast.expr) : Ast.expr =
   | Ast.Int _ -> e
   | Ast.Var v -> (
       match lookup v with Some e' -> e' | None -> e)
-  | Ast.Neg a -> mk (Ast.Neg (subst_raw lookup a))
-  | Ast.Bin (op, a, b) -> mk (Ast.Bin (op, subst_raw lookup a, subst_raw lookup b))
-  | Ast.Aref (name, subs) -> mk (Ast.Aref (name, List.map (subst_raw lookup) subs))
+  | Ast.Neg a ->
+    let a' = subst_raw lookup a in
+    if a' == a then e else mk (Ast.Neg a')
+  | Ast.Bin (op, a, b) ->
+    let a' = subst_raw lookup a and b' = subst_raw lookup b in
+    if a' == a && b' == b then e else mk (Ast.Bin (op, a', b'))
+  | Ast.Aref (name, subs) ->
+    let subs' = map_sharing (subst_raw lookup) subs in
+    if subs' == subs then e else mk (Ast.Aref (name, subs'))
 
 let subst lookup e = linearize (const_fold (subst_raw lookup e))
 
@@ -162,25 +250,31 @@ let rec uses_var v (e : Ast.expr) =
 let rec map_stmt_exprs f (s : Ast.stmt) : Ast.stmt =
   let mk sdesc = { s with Ast.sdesc } in
   match s.sdesc with
-  | Ast.Assign (Ast.Lvar v, e) -> mk (Ast.Assign (Ast.Lvar v, f e))
+  | Ast.Assign (Ast.Lvar v, e) ->
+    let e' = f e in
+    if e' == e then s else mk (Ast.Assign (Ast.Lvar v, e'))
   | Ast.Assign (Ast.Larr (name, subs), e) ->
-    mk (Ast.Assign (Ast.Larr (name, List.map f subs), f e))
+    let subs' = map_sharing f subs and e' = f e in
+    if subs' == subs && e' == e then s
+    else mk (Ast.Assign (Ast.Larr (name, subs'), e'))
   | Ast.Read _ -> s
-  | Ast.If (cond, t, e) ->
-    mk
-      (Ast.If
-         ( { cond with Ast.lhs = f cond.Ast.lhs; rhs = f cond.Ast.rhs },
-           List.map (map_stmt_exprs f) t,
-           List.map (map_stmt_exprs f) e ))
+  | Ast.If (cond, t, el) ->
+    let lhs = f cond.Ast.lhs and rhs = f cond.Ast.rhs in
+    let t' = map_sharing (map_stmt_exprs f) t in
+    let el' = map_sharing (map_stmt_exprs f) el in
+    if lhs == cond.Ast.lhs && rhs == cond.Ast.rhs && t' == t && el' == el then s
+    else mk (Ast.If ({ cond with Ast.lhs; rhs }, t', el'))
   | Ast.For ({ lo; hi; step; body; _ } as l) ->
-    mk
-      (Ast.For
-         {
-           l with
-           lo = f lo;
-           hi = f hi;
-           step = Option.map f step;
-           body = List.map (map_stmt_exprs f) body;
-         })
+    let lo' = f lo and hi' = f hi in
+    let step' =
+      match step with
+      | None -> None
+      | Some st ->
+        let st' = f st in
+        if st' == st then step else Some st'
+    in
+    let body' = map_sharing (map_stmt_exprs f) body in
+    if lo' == lo && hi' == hi && step' == step && body' == body then s
+    else mk (Ast.For { l with lo = lo'; hi = hi'; step = step'; body = body' })
 
-let map_program_exprs f prog = List.map (map_stmt_exprs f) prog
+let map_program_exprs f prog = map_sharing (map_stmt_exprs f) prog

@@ -2,6 +2,12 @@
 
 open Dda_lang
 
+val map_sharing : ('a -> 'a) -> 'a list -> 'a list
+(** [List.map] that returns the input list physically unchanged when
+    [f] returns every element physically unchanged. All rewriters in
+    this module are identity-preserving in the same sense, so a
+    fixpoint round of the pipeline allocates (almost) nothing. *)
+
 val const_fold : Ast.expr -> Ast.expr
 (** Bottom-up constant folding with algebraic identities ([e + 0],
     [e * 1], [e * 0], [e - 0], [e / 1], double negation). Division is

@@ -15,26 +15,28 @@ let rewrite env e = Expr_util.subst (fun v -> Env.find_opt v env) e
 
 let rec fs_stmt env (s : Ast.stmt) : Ast.stmt * Ast.expr Env.t =
   match s.sdesc with
-  | Ast.Assign (Ast.Lvar v, e) ->
-    let e = rewrite env e in
+  | Ast.Assign (Ast.Lvar v, e0) ->
+    let e = rewrite env e0 in
     let env = kill_var v env in
     let env =
       if Expr_util.is_pure_scalar e && not (Expr_util.uses_var v e) then
         Env.add v e env
       else env
     in
-    ({ s with sdesc = Ast.Assign (Ast.Lvar v, e) }, env)
-  | Ast.Assign (Ast.Larr (name, subs), e) ->
-    let subs = List.map (rewrite env) subs in
-    let e = rewrite env e in
-    ({ s with sdesc = Ast.Assign (Ast.Larr (name, subs), e) }, env)
+    ((if e == e0 then s else { s with sdesc = Ast.Assign (Ast.Lvar v, e) }), env)
+  | Ast.Assign (Ast.Larr (name, subs0), e0) ->
+    let subs = Expr_util.map_sharing (rewrite env) subs0 in
+    let e = rewrite env e0 in
+    ( (if subs == subs0 && e == e0 then s
+       else { s with sdesc = Ast.Assign (Ast.Larr (name, subs), e) }),
+      env )
   | Ast.Read v -> (s, kill_var v env)
-  | Ast.If (cond, then_, else_) ->
-    let cond =
-      { cond with Ast.lhs = rewrite env cond.Ast.lhs; rhs = rewrite env cond.Ast.rhs }
-    in
-    let then_, env_t = fs_stmts env then_ in
-    let else_, env_e = fs_stmts env else_ in
+  | Ast.If (cond0, then_0, else_0) ->
+    let lhs = rewrite env cond0.Ast.lhs and rhs = rewrite env cond0.Ast.rhs in
+    let cond = if lhs == cond0.Ast.lhs && rhs == cond0.Ast.rhs then cond0
+      else { cond0 with Ast.lhs = lhs; rhs } in
+    let then_, env_t = fs_stmts env then_0 in
+    let else_, env_e = fs_stmts env else_0 in
     let env' =
       Env.merge
         (fun _ a b ->
@@ -43,20 +45,29 @@ let rec fs_stmt env (s : Ast.stmt) : Ast.stmt * Ast.expr Env.t =
            | _ -> None)
         env_t env_e
     in
-    ({ s with sdesc = Ast.If (cond, then_, else_) }, env')
-  | Ast.For ({ var; lo; hi; step; body } as l) ->
-    let lo = rewrite env lo and hi = rewrite env hi in
-    let step = Option.map (rewrite env) step in
-    let killed = var :: Expr_util.assigned_vars body in
+    ( (if cond == cond0 && then_ == then_0 && else_ == else_0 then s
+       else { s with sdesc = Ast.If (cond, then_, else_) }),
+      env' )
+  | Ast.For ({ var; lo = lo0; hi = hi0; step = step0; body = body0; _ } as l) ->
+    let lo = rewrite env lo0 and hi = rewrite env hi0 in
+    let step =
+      match step0 with
+      | None -> None
+      | Some st -> let st' = rewrite env st in if st' == st then step0 else Some st'
+    in
+    let killed = var :: Expr_util.assigned_vars body0 in
     let env_in = kill_vars killed env in
-    let body, _ = fs_stmts env_in body in
-    ({ s with sdesc = Ast.For { l with lo; hi; step; body } }, env_in)
+    let body, _ = fs_stmts env_in body0 in
+    ( (if lo == lo0 && hi == hi0 && step == step0 && body == body0 then s
+       else { s with sdesc = Ast.For { l with lo; hi; step; body } }),
+      env_in )
 
-and fs_stmts env = function
+and fs_stmts env stmts =
+  match stmts with
   | [] -> ([], env)
   | s :: rest ->
-    let s, env = fs_stmt env s in
-    let rest, env = fs_stmts env rest in
-    (s :: rest, env)
+    let s', env = fs_stmt env s in
+    let rest', env = fs_stmts env rest in
+    ((if s' == s && rest' == rest then stmts else s' :: rest'), env)
 
 let run prog = fst (fs_stmts Env.empty prog)

@@ -116,9 +116,9 @@ let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
   | Ast.Assign (Ast.Larr _, _) -> ([ s ], env)
   | Ast.Read v ->
     ([ s ], Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v env))
-  | Ast.If (cond, then_, else_) ->
-    let then_, _ = ind_stmts env then_ in
-    let else_, _ = ind_stmts env else_ in
+  | Ast.If (cond, then_0, else_0) ->
+    let then_, _ = ind_stmts env then_0 in
+    let else_, _ = ind_stmts env else_0 in
     (* Conservatively drop facts invalidated by either branch. *)
     let killed = Expr_util.assigned_vars (then_ @ else_) in
     let env =
@@ -127,8 +127,11 @@ let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
            Env.filter (fun _ d -> not (Expr_util.uses_var v d)) (Env.remove v m))
         env killed
     in
-    ([ { s with sdesc = Ast.If (cond, then_, else_) } ], env)
-  | Ast.For ({ var; lo; hi; step; body } as l) ->
+    ( (if then_ == then_0 && else_ == else_0 then [ s ]
+       else [ { s with sdesc = Ast.If (cond, then_, else_) } ]),
+      env )
+  | Ast.For ({ var; lo; hi; step; body = body0; _ } as l) ->
+    let body = body0 in
     let killed = var :: Expr_util.assigned_vars body in
     let env_in =
       List.fold_left
@@ -155,7 +158,9 @@ let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
        substitution formulas read the clobbered value. *)
     let var_stable = not (List.mem var (Expr_util.assigned_vars body)) in
     if not (unit_step && bounds_pure && var_stable) then
-      ([ { s with sdesc = Ast.For { l with body } } ], env_in)
+      ( (if body == body0 then [ s ]
+         else [ { s with sdesc = Ast.For { l with body } } ]),
+        env_in )
     else begin
       (* [env] (pre-kill) holds entry values; candidates whose variable
          has a stable definition there fold it in. Apply one candidate
@@ -170,7 +175,8 @@ let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
           (body'', final_assign cand ~lo ~hi :: finals)
       in
       let body, finals = apply_all body in
-      ( { s with sdesc = Ast.For { l with body } } :: finals,
+      ( (if body == body0 && finals = [] then [ s ]
+         else { s with sdesc = Ast.For { l with body } } :: finals),
         (* The finals assign induction variables; drop them from env. *)
         List.fold_left
           (fun m v ->
@@ -179,11 +185,14 @@ let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
           (Expr_util.assigned_vars finals) )
     end
 
-and ind_stmts env = function
+and ind_stmts env stmts =
+  match stmts with
   | [] -> ([], env)
   | s :: rest ->
     let ss, env = ind_stmt env s in
-    let rest, env = ind_stmts env rest in
-    (ss @ rest, env)
+    let rest', env = ind_stmts env rest in
+    (match ss with
+     | [ s' ] when s' == s && rest' == rest -> (stmts, env)
+     | _ -> (ss @ rest', env))
 
 let run prog = fst (ind_stmts Env.empty prog)

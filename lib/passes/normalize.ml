@@ -81,14 +81,20 @@ let rec norm_stmt names (s : Ast.stmt) : Ast.stmt list =
   match s.sdesc with
   | Ast.Assign _ | Ast.Read _ -> [ s ]
   | Ast.If (cond, then_, else_) ->
-    [ { s with sdesc = Ast.If (cond, norm_stmts names then_, norm_stmts names else_) } ]
-  | Ast.For ({ var; lo; hi; step; body } as l) -> (
-      let body = norm_stmts names body in
-      let kept = [ { s with sdesc = Ast.For { l with body } } ] in
+    let then_' = norm_stmts names then_ and else_' = norm_stmts names else_ in
+    if then_' == then_ && else_' == else_ then [ s ]
+    else [ { s with sdesc = Ast.If (cond, then_', else_') } ]
+  | Ast.For ({ var; lo; hi; step; body = body0 } as l) -> (
+      let body = norm_stmts names body0 in
+      let kept =
+        if body == body0 then [ s ]
+        else [ { s with sdesc = Ast.For { l with body } } ]
+      in
       match Option.map Expr_util.const_value step with
       | None | Some (Some 1) ->
         (* Unit step already; drop the redundant step annotation. *)
-        [ { s with sdesc = Ast.For { l with step = None; body } } ]
+        if step = None then kept
+        else [ { s with sdesc = Ast.For { l with step = None; body } } ]
       | Some None | Some (Some 0) -> kept (* non-constant or zero: leave alone *)
       | Some (Some stepc) ->
         let assigned = Expr_util.assigned_vars body in
@@ -137,7 +143,15 @@ let rec norm_stmt names (s : Ast.stmt) : Ast.stmt list =
           ]
         end)
 
-and norm_stmts names stmts = List.concat_map (norm_stmt names) stmts
+and norm_stmts names stmts =
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+    let ss = norm_stmt names s in
+    let rest' = norm_stmts names rest in
+    (match ss with
+     | [ s' ] when s' == s && rest' == rest -> stmts
+     | _ -> ss @ rest')
 
 let run prog =
   let names = all_names prog in

@@ -82,14 +82,14 @@ from the union of the per-domain tables (the two copies of the same
 program below add no distinct problems):
 
   $ ddtest batch second.dd second.dd --share-memo --jobs 2 | tail -n 3
-  memo (gcd table):    6 lookups, 2 hits, 2 unique
-  memo (full table):   10 lookups, 4 hits, 3 unique
   verdicts:            4 independent, 6 dependent
+  table (gcd):  2 entries in 64 buckets, 2/6 hits (33.3%)
+  table (full):  3 entries in 64 buckets, 4/10 hits (40.0%)
 
   $ ddtest batch second.dd --share-memo | tail -n 3
-  memo (gcd table):    3 lookups, 1 hits, 2 unique
-  memo (full table):   5 lookups, 2 hits, 3 unique
   verdicts:            2 independent, 3 dependent
+  table (gcd):  2 entries in 64 buckets, 1/3 hits (33.3%)
+  table (full):  3 entries in 64 buckets, 2/5 hits (40.0%)
 
 Errors still carry positions, for any file of the corpus:
 

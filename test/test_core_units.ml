@@ -90,20 +90,20 @@ let test_symexpr_of_ast () =
 
 let test_memo_basic () =
   let t = Memo_table.create () in
-  Alcotest.(check (option int)) "miss" None (Memo_table.find t [ 1; 2; 3 ]);
-  Memo_table.add t [ 1; 2; 3 ] 42;
-  Alcotest.(check (option int)) "hit" (Some 42) (Memo_table.find t [ 1; 2; 3 ]);
-  Alcotest.(check (option int)) "other key" None (Memo_table.find t [ 3; 2; 1 ]);
-  Memo_table.add t [ 1; 2; 3 ] 43;
-  Alcotest.(check (option int)) "replaced" (Some 43) (Memo_table.find t [ 1; 2; 3 ]);
+  Alcotest.(check (option int)) "miss" None (Memo_table.find t [| 1; 2; 3 |]);
+  Memo_table.add t [| 1; 2; 3 |] 42;
+  Alcotest.(check (option int)) "hit" (Some 42) (Memo_table.find t [| 1; 2; 3 |]);
+  Alcotest.(check (option int)) "other key" None (Memo_table.find t [| 3; 2; 1 |]);
+  Memo_table.add t [| 1; 2; 3 |] 43;
+  Alcotest.(check (option int)) "replaced" (Some 43) (Memo_table.find t [| 1; 2; 3 |]);
   Alcotest.(check int) "one key" 1 (Memo_table.length t)
 
 let test_memo_find_or_add () =
   let t = Memo_table.create () in
   let calls = ref 0 in
   let compute () = incr calls; !calls * 10 in
-  let v1, hit1 = Memo_table.find_or_add t [ 7 ] compute in
-  let v2, hit2 = Memo_table.find_or_add t [ 7 ] compute in
+  let v1, hit1 = Memo_table.find_or_add t [| 7 |] compute in
+  let v2, hit2 = Memo_table.find_or_add t [| 7 |] compute in
   Alcotest.(check (pair int bool)) "first" (10, false) (v1, hit1);
   Alcotest.(check (pair int bool)) "second" (10, true) (v2, hit2);
   Alcotest.(check int) "computed once" 1 !calls
@@ -111,12 +111,12 @@ let test_memo_find_or_add () =
 let test_memo_growth_and_counters () =
   let t = Memo_table.create ~initial_buckets:2 () in
   for i = 1 to 500 do
-    Memo_table.add t [ i; i * 3; -i ] i
+    Memo_table.add t [| i; i * 3; -i |] i
   done;
   Alcotest.(check int) "all stored" 500 (Memo_table.length t);
   let ok = ref true in
   for i = 1 to 500 do
-    if Memo_table.find t [ i; i * 3; -i ] <> Some i then ok := false
+    if Memo_table.find t [| i; i * 3; -i |] <> Some i then ok := false
   done;
   Alcotest.(check bool) "all retrievable after rehash" true !ok;
   Alcotest.(check int) "lookups counted" 500 (Memo_table.lookups t);
@@ -124,15 +124,34 @@ let test_memo_growth_and_counters () =
   Memo_table.reset_counters t;
   Alcotest.(check int) "reset" 0 (Memo_table.lookups t)
 
+let test_memo_stats_and_load_factor () =
+  let t = Memo_table.create ~initial_buckets:4 () in
+  let st0 = Memo_table.stats t in
+  Alcotest.(check int) "empty size" 0 st0.Memo_table.size;
+  Alcotest.(check int) "initial buckets" 4 st0.Memo_table.buckets;
+  let n = (Memo_table.load_factor * 4) + 1 in
+  for i = 1 to n do
+    Memo_table.add t [| i |] i
+  done;
+  ignore (Memo_table.find t [| 1 |]);
+  ignore (Memo_table.find t [| -1 |]);
+  let st = Memo_table.stats t in
+  Alcotest.(check int) "size" n st.Memo_table.size;
+  (* One entry past load_factor * buckets must have doubled the
+     bucket array exactly once. *)
+  Alcotest.(check int) "doubled once at the load factor" 8 st.Memo_table.buckets;
+  Alcotest.(check int) "lookups" 2 st.Memo_table.lookups;
+  Alcotest.(check int) "hits" 1 st.Memo_table.hits
+
 let test_memo_hash_asymmetry () =
   (* The paper chose h(x) = size + sum 2^i x_i so that symmetric
      references do not collide. *)
   Alcotest.(check bool) "swap changes hash" true
-    (Memo_table.hash_key [ 1; 2 ] <> Memo_table.hash_key [ 2; 1 ]);
+    (Memo_table.hash_key [| 1; 2 |] <> Memo_table.hash_key [| 2; 1 |]);
   Alcotest.(check bool) "offset position matters" true
-    (Memo_table.hash_key [ 0; 1; 0 ] <> Memo_table.hash_key [ 0; 0; 1 ]);
+    (Memo_table.hash_key [| 0; 1; 0 |] <> Memo_table.hash_key [| 0; 0; 1 |]);
   Alcotest.(check bool) "size matters" true
-    (Memo_table.hash_key [] <> Memo_table.hash_key [ 0 ])
+    (Memo_table.hash_key [||] <> Memo_table.hash_key [| 0 |])
 
 (* ------------------------------------------------------------------ *)
 (* Gcd_test: the affine map x = x0 + C t                               *)
@@ -401,6 +420,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_memo_basic;
           Alcotest.test_case "find_or_add" `Quick test_memo_find_or_add;
           Alcotest.test_case "growth and counters" `Quick test_memo_growth_and_counters;
+          Alcotest.test_case "stats and load factor" `Quick
+            test_memo_stats_and_load_factor;
           Alcotest.test_case "hash asymmetry" `Quick test_memo_hash_asymmetry;
         ] );
       ( "gcd-reduction",

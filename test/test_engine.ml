@@ -96,21 +96,21 @@ let test_pool_stress_mixed_failures () =
 
 let test_memo_merge () =
   let a = Memo_table.create () and b = Memo_table.create () in
-  Memo_table.add a [ 1; 2 ] "a12";
-  Memo_table.add a [ 3 ] "a3";
-  Memo_table.add b [ 1; 2 ] "b12";
-  Memo_table.add b [ 4; 5 ] "b45";
-  ignore (Memo_table.find a [ 1; 2 ]);
-  ignore (Memo_table.find a [ 9 ]);
-  ignore (Memo_table.find b [ 4; 5 ]);
+  Memo_table.add a [| 1; 2 |] "a12";
+  Memo_table.add a [| 3 |] "a3";
+  Memo_table.add b [| 1; 2 |] "b12";
+  Memo_table.add b [| 4; 5 |] "b45";
+  ignore (Memo_table.find a [| 1; 2 |]);
+  ignore (Memo_table.find a [| 9 |]);
+  ignore (Memo_table.find b [| 4; 5 |]);
   Memo_table.merge_into ~into:a b;
   Alcotest.(check int) "union size" 3 (Memo_table.length a);
   Alcotest.(check int) "lookups summed" 3 (Memo_table.lookups a);
   Alcotest.(check int) "hits summed" 2 (Memo_table.hits a);
   Alcotest.(check (option string)) "existing binding wins" (Some "a12")
-    (Memo_table.find a [ 1; 2 ]);
+    (Memo_table.find a [| 1; 2 |]);
   Alcotest.(check (option string)) "absorbed binding present" (Some "b45")
-    (Memo_table.find a [ 4; 5 ]);
+    (Memo_table.find a [| 4; 5 |]);
   Alcotest.(check int) "absorbed table untouched" 2 (Memo_table.length b);
   Alcotest.check_raises "self-merge refused"
     (Invalid_argument "Memo_table.merge_into: a table cannot absorb itself")
@@ -122,14 +122,14 @@ let test_memo_merge_grows () =
   let a = Memo_table.create ~initial_buckets:2 () in
   let b = Memo_table.create () in
   for i = 0 to 99 do
-    Memo_table.add b [ i; i + 1 ] i
+    Memo_table.add b [| i; i + 1 |] i
   done;
-  Memo_table.add a [ 1000 ] (-1);
+  Memo_table.add a [| 1000 |] (-1);
   Memo_table.merge_into ~into:a b;
   Alcotest.(check int) "all keys present" 101 (Memo_table.length a);
   let ok = ref true in
   for i = 0 to 99 do
-    if Memo_table.find a [ i; i + 1 ] <> Some i then ok := false
+    if Memo_table.find a [| i; i + 1 |] <> Some i then ok := false
   done;
   Alcotest.(check bool) "all retrievable after merge rehash" true !ok
 
@@ -164,8 +164,8 @@ let prop_hash_formula =
                      + i * 7919 mod 101, x))
                  key))
        in
-       Memo_table.hash_key key = formula key
-       && Memo_table.hash_key permuted = formula permuted)
+       Memo_table.hash_key (Array.of_list key) = formula key
+       && Memo_table.hash_key (Array.of_list permuted) = formula permuted)
 
 (* ------------------------------------------------------------------ *)
 (* Stats merge                                                         *)
@@ -304,7 +304,14 @@ let prop_batch_deterministic =
            (fun (a : Batch.analyzed) ->
               Analyzer.merge_stats ~into:merged a.Batch.report.Analyzer.stats)
            items;
-         fingerprint { Batch.items; quarantined = []; retried = 0; merged }
+         fingerprint
+           {
+             Batch.items;
+             quarantined = [];
+             retried = 0;
+             merged;
+             table_stats = None;
+           }
        in
        List.for_all
          (fun jobs -> fingerprint (Batch.run ~jobs corpus) = sequential)

@@ -160,6 +160,113 @@ let prop_compare_total_order =
     (fun (a, b) -> Stdlib.compare a b = Zint.compare (z a) (z b))
 
 (* ------------------------------------------------------------------ *)
+(* Zint fast path vs limb path, differentially                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The native-int fast path only fires when both operands are [Small],
+   so adding a 2^200 offset (or scaling by it) forces every intermediate
+   through the limb code: each [_ref] below computes the same
+   mathematical result as the plain operation but on the Big
+   representation, making the limb implementation the reference the
+   fast path is checked against. *)
+let k_big = Zint.pow (z 2) 200
+let add_ref a b = Zint.sub (Zint.add (Zint.add a k_big) b) k_big
+let sub_ref a b = Zint.sub (Zint.sub (Zint.add a k_big) b) k_big
+let mul_ref a b = Zint.divexact (Zint.mul (Zint.mul a k_big) b) k_big
+
+(* gcd (aK) (bK) = K * gcd a b, and scaling by K > 0 preserves order
+   and floor/ceiling quotients. *)
+let gcd_ref a b = Zint.divexact (Zint.gcd (Zint.mul a k_big) (Zint.mul b k_big)) k_big
+let compare_ref a b = Zint.compare (Zint.mul a k_big) (Zint.mul b k_big)
+let fdiv_ref a b = Zint.fdiv (Zint.mul a k_big) (Zint.mul b k_big)
+let cdiv_ref a b = Zint.cdiv (Zint.mul a k_big) (Zint.mul b k_big)
+
+(* The representation invariant: Small exactly when the magnitude fits
+   under the guard bound. *)
+let canonical v =
+  Zint.is_small v = (Zint.compare (Zint.abs v) (z Zint.small_capacity) <= 0)
+
+let cap = Zint.small_capacity
+
+(* The exact overflow edges, enumerated: 0, +-1, the limb radix,
+   2^30 (32-bit [int] boundary on other platforms), the guard bound
+   +-1 on each side, and the native extremes. [cap + 1] does not fit
+   the generator's [int] path on this word size only via arithmetic. *)
+let boundary_values =
+  List.map z
+    [
+      0; 1; -1; 2; -2; 1 lsl 15; (1 lsl 15) - 1; -(1 lsl 15); 1 lsl 30;
+      (1 lsl 30) + 1; -(1 lsl 30); cap - 1; cap; -(cap - 1); -cap;
+      max_int; max_int - 1; min_int; min_int + 1;
+    ]
+  @ [ Zint.succ (z cap); Zint.neg (Zint.succ (z cap)) ]
+
+let test_zint_boundary_differential () =
+  List.iter
+    (fun a ->
+       List.iter
+         (fun b ->
+            let ctx op = Printf.sprintf "%s %s %s" (Zint.to_string a) op (Zint.to_string b) in
+            let chk op got ref_ =
+              Alcotest.(check bool) (ctx op) true (Zint.equal got ref_);
+              Alcotest.(check bool) (ctx op ^ " canonical") true (canonical got)
+            in
+            chk "+" (Zint.add a b) (add_ref a b);
+            chk "-" (Zint.sub a b) (sub_ref a b);
+            chk "*" (Zint.mul a b) (mul_ref a b);
+            chk "gcd" (Zint.gcd a b) (gcd_ref a b);
+            Alcotest.(check int) (ctx "cmp") (compare_ref a b) (Zint.compare a b);
+            Alcotest.(check int)
+              (ctx "hash")
+              (Zint.hash (add_ref a b))
+              (Zint.hash (Zint.add a b));
+            if not (Zint.is_zero b) then begin
+              chk "fdiv" (Zint.fdiv a b) (fdiv_ref a b);
+              chk "cdiv" (Zint.cdiv a b) (cdiv_ref a b);
+              chk "divexact" (Zint.divexact (Zint.mul a b) b) a
+            end)
+         boundary_values)
+    boundary_values
+
+(* Randomized operands clustered on both sides of the Small/Big
+   boundary, so the promotion/demotion edges get hammered beyond the
+   explicit enumeration above. *)
+let arb_boundary_zint =
+  let gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map z (int_range (-1000) 1000));
+          (3, map (fun d -> Zint.add (z cap) (z d)) (int_range (-3) 3));
+          (3, map (fun d -> Zint.neg (Zint.add (z cap) (z d))) (int_range (-3) 3));
+          (2, map z (int_range (cap - 10) cap));
+          (1, map (fun e -> Zint.pow (z 2) e) (int_range 55 70));
+          (1, return (z min_int));
+          (1, return (z max_int));
+        ])
+  in
+  QCheck.make ~print:Zint.to_string gen
+
+let prop_fastpath_differential =
+  QCheck.Test.make ~name:"Zint fast path matches limb path across the boundary"
+    ~count:1000
+    (QCheck.pair arb_boundary_zint arb_boundary_zint)
+    (fun (a, b) ->
+       Zint.equal (Zint.add a b) (add_ref a b)
+       && Zint.equal (Zint.sub a b) (sub_ref a b)
+       && Zint.equal (Zint.mul a b) (mul_ref a b)
+       && Zint.equal (Zint.gcd a b) (gcd_ref a b)
+       && Zint.compare a b = compare_ref a b
+       && Zint.hash (Zint.add a b) = Zint.hash (add_ref a b)
+       && canonical (Zint.add a b)
+       && canonical (Zint.sub a b)
+       && canonical (Zint.mul a b)
+       && (Zint.is_zero b
+           || Zint.equal (Zint.fdiv a b) (fdiv_ref a b)
+              && Zint.equal (Zint.cdiv a b) (cdiv_ref a b)
+              && Zint.equal (Zint.divexact (Zint.mul a b) b) a))
+
+(* ------------------------------------------------------------------ *)
 (* Qnum                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -309,6 +416,12 @@ let () =
           qt prop_fdiv_cdiv;
           qt prop_ext_gcd;
           qt prop_compare_total_order;
+        ] );
+      ( "zint-fastpath-differential",
+        [
+          Alcotest.test_case "boundary enumeration" `Quick
+            test_zint_boundary_differential;
+          qt prop_fastpath_differential;
         ] );
       ( "qnum",
         [

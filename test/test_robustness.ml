@@ -60,6 +60,48 @@ let test_budget_cancel () =
         Budget.tick b
       done)
 
+let test_budget_fastpath_charging () =
+  (* Every coefficient here is tiny, so the whole solve stays on the
+     Zint native-int fast path — step charging must fire there exactly
+     as on the limb path: an unlimited run's step count, replayed as
+     the cap, succeeds with the same verdict, and one step fewer
+     exhausts with [Steps]. *)
+  let sys =
+    Consys.make ~nvars:3
+      [
+        Consys.row_of_ints [ 1; 1; -1 ] 4;
+        Consys.row_of_ints [ -1; 2; 1 ] 5;
+        Consys.row_of_ints [ 2; -1; 0 ] 3;
+        Consys.row_of_ints [ 0; -1; 1 ] 2;
+        Consys.row_of_ints [ -1; 0; 0 ] 0;
+        Consys.row_of_ints [ 0; -1; 0 ] 0;
+        Consys.row_of_ints [ 0; 0; -1 ] 0;
+      ]
+  in
+  let b0 = Budget.unlimited () in
+  let r0 = Fourier.run ~budget:b0 sys in
+  let steps = Budget.steps_used b0 in
+  Alcotest.(check bool) "a Small-only solve is charged steps" true (steps > 0);
+  let run cap =
+    Fourier.run
+      ~budget:(Budget.create { Budget.default_limits with max_steps = Some cap })
+      sys
+  in
+  let same_verdict a b =
+    match (a, b) with
+    | Fourier.Infeasible _, Fourier.Infeasible _ -> true
+    | Fourier.Feasible _, Fourier.Feasible _ -> true
+    | Fourier.Unknown, Fourier.Unknown -> true
+    | Fourier.Exhausted x, Fourier.Exhausted y -> x = y
+    | _ -> false
+  in
+  Alcotest.(check bool) "exact step cap reproduces the verdict" true
+    (same_verdict r0 (run steps));
+  Alcotest.(check bool) "one step fewer exhausts with Steps" true
+    (match run (steps - 1) with
+     | Fourier.Exhausted Budget.Steps -> true
+     | _ -> false)
+
 let test_budget_unlimited () =
   let b = Budget.unlimited () in
   for _ = 1 to 100_000 do
@@ -257,6 +299,8 @@ let () =
           Alcotest.test_case "row and coefficient caps" `Quick
             test_budget_rows_and_coeff;
           Alcotest.test_case "cooperative cancel" `Quick test_budget_cancel;
+          Alcotest.test_case "fast-path step charging" `Quick
+            test_budget_fastpath_charging;
           Alcotest.test_case "unlimited never exhausts" `Quick
             test_budget_unlimited;
         ] );
