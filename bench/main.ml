@@ -744,13 +744,70 @@ let perfect_batch () =
   List.iter
     (fun p -> ignore (Analyzer.analyze p))
     (List.filteri (fun i _ -> i < 4) corpus);
+  (* Reset the registry so the snapshot embedded in the results file is
+     attributable to exactly this measured run. *)
+  Dda_obs.Metrics.reset ();
   measured "perfect_batch" (fun () ->
       List.iter (fun p -> ignore (Analyzer.analyze p)) corpus);
-  match !recorded with
-  | ("perfect_batch", wall, alloc) :: _ ->
-    Printf.printf "%d programs: %.1f ms wall, %.0f bytes allocated\n"
-      (List.length corpus) wall alloc
-  | _ -> assert false
+  let snap = Dda_obs.Metrics.snapshot () in
+  (match !recorded with
+   | ("perfect_batch", wall, alloc) :: _ ->
+     Printf.printf "%d programs: %.1f ms wall, %.0f bytes allocated\n"
+       (List.length corpus) wall alloc
+   | _ -> assert false);
+  snap
+
+(* ------------------------------------------------------------------ *)
+(* Trace overhead: disabled instrumentation must cost < 2%             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every hot path in the analyzer now carries a [Trace.wrap]; the claim
+   that buys is that a disabled span is one atomic load and a branch.
+   Prove it two ways: microbenchmark the disabled wrap against its bare
+   body, then scale the per-span cost by the span count of a real suite
+   pass and compare against that pass's wall time. *)
+let trace_overhead () =
+  section
+    "Trace overhead: disabled spans must cost < 2% of analysis time";
+  let n = 5_000_000 in
+  let acc = ref 0 in
+  let _, t_plain =
+    time (fun () ->
+        for i = 1 to n do
+          acc := !acc + i
+        done)
+  in
+  let _, t_wrapped =
+    time (fun () ->
+        for i = 1 to n do
+          Dda_obs.Trace.wrap ~name:"bench.noop"
+            ~args:(fun _ -> [])
+            (fun () -> acc := !acc + i)
+        done)
+  in
+  ignore !acc;
+  let per_span_ns = Float.max 0. (t_wrapped -. t_plain) *. 1e9 /. float_of_int n in
+  (* Span volume of one real pass: enable tracing (deterministic tick
+     clock), run the suite once, count every event pushed. *)
+  Dda_obs.Trace.clear ();
+  Dda_obs.Trace.enable ();
+  ignore (analyze_all cfg_table1);
+  let spans =
+    List.length (Dda_obs.Trace.events ()) + Dda_obs.Trace.dropped ()
+  in
+  Dda_obs.Trace.disable ();
+  Dda_obs.Trace.clear ();
+  let _, t_off = time (fun () -> ignore (analyze_all cfg_table1)) in
+  let overhead_pct =
+    per_span_ns *. float_of_int spans /. (t_off *. 1e9) *. 100.
+  in
+  Printf.printf "disabled span: %.1f ns;  %d spans per suite pass\n" per_span_ns
+    spans;
+  Printf.printf "suite pass (tracing off): %.1f ms\n" (t_off *. 1e3);
+  Printf.printf "disabled-instrumentation overhead: %.3f%% of analysis  [%s]\n"
+    overhead_pct
+    (if overhead_pct < 2.0 then "PASS < 2%" else "FAIL >= 2%");
+  (per_span_ns, overhead_pct)
 
 (* Corpus-wide memo hit rates, via the batch engine's shared session
    (jobs=1 keeps the counters independent of chunking). *)
@@ -778,7 +835,32 @@ let table_json (st : Memo_table.stats) =
       );
     ]
 
-let results_json ~mode ~memo ~micro =
+(* The metrics-registry snapshot taken around the trajectory run:
+   stage decision counts, memo hit totals, verdict counts — the
+   integer shape of the run, immune to machine noise. *)
+let metrics_json (snap : Dda_obs.Metrics.snapshot) =
+  Perf_json.Obj
+    [
+      ( "counters",
+        Perf_json.Obj
+          (List.map
+             (fun (name, v) -> (name, Perf_json.Num (float_of_int v)))
+             snap.counters) );
+      ( "histograms",
+        Perf_json.Obj
+          (List.map
+             (fun (name, (h : Dda_obs.Metrics.hist_snapshot)) ->
+                ( name,
+                  Perf_json.Obj
+                    [
+                      ("count", Perf_json.Num (float_of_int h.count));
+                      ("sum", Perf_json.Num (float_of_int h.sum));
+                    ] ))
+             snap.histograms) );
+    ]
+
+let results_json ~mode ~memo ~micro ~metrics ~trace =
+  let per_span_ns, overhead_pct = trace in
   Perf_json.Obj
     ([
        ("schema", Perf_json.Num 1.);
@@ -814,6 +896,13 @@ let results_json ~mode ~memo ~micro =
                        ("ns_per_test", Perf_json.Num ns);
                      ])
                 micro) );
+         ("metrics", metrics_json metrics);
+         ( "trace_overhead",
+           Perf_json.Obj
+             [
+               ("per_span_ns", Perf_json.Num per_span_ns);
+               ("disabled_overhead_pct", Perf_json.Num overhead_pct);
+             ] );
        ])
 
 (* --compare BASE NEW: a metric regresses when it grows by more than
@@ -905,21 +994,23 @@ let run_full () =
   measured "sanity" sanity;
   let micro = measured "microbench" (fun () -> microbench ()) in
   measured "ablations" ablations;
-  perfect_batch ();
+  let trace = trace_overhead () in
+  let metrics = perfect_batch () in
   let memo = memo_hit_rates () in
   print_newline ();
   print_endline
     "Figure 1 (loop-residue graph): dune exec examples/loop_residue_graph.exe";
-  (memo, micro)
+  (memo, micro, metrics, trace)
 
 (* The CI profile: just the trajectory metric, corpus hit rates and a
    short Bechamel pass — seconds, not minutes. *)
 let run_smoke () =
   print_endline "bench --smoke: reduced perf profile";
-  perfect_batch ();
+  let trace = trace_overhead () in
+  let metrics = perfect_batch () in
   let memo = memo_hit_rates () in
   let micro = microbench ~nbatch:4 ~quota:0.05 () in
-  (memo, micro)
+  (memo, micro, metrics, trace)
 
 let usage () =
   print_endline
@@ -955,10 +1046,14 @@ let () =
       | _ -> usage ()
     in
     let smoke, json = parse args (false, None) in
-    let memo, micro = if smoke then run_smoke () else run_full () in
+    let memo, micro, metrics, trace =
+      if smoke then run_smoke () else run_full ()
+    in
     Option.iter
       (fun file ->
          Perf_json.write file
-           (results_json ~mode:(if smoke then "smoke" else "full") ~memo ~micro);
+           (results_json
+              ~mode:(if smoke then "smoke" else "full")
+              ~memo ~micro ~metrics ~trace);
          Printf.printf "\nresults written to %s\n" file)
       json

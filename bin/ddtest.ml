@@ -35,7 +35,7 @@ let load path =
     (match Semant.check prog with
      | [] -> ()
      | errs ->
-       List.iter (Format.eprintf "warning: %a@." Semant.pp_error) errs);
+       List.iter (fun e -> Dda_obs.Log.warn "%a" Semant.pp_error e) errs);
     prog
   | exception Parser.Error (msg, loc) ->
     Format.eprintf "%s:%a: syntax error: %s@." path Loc.pp loc msg;
@@ -166,6 +166,57 @@ let config_term =
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Source file ($(b,-) for stdin).")
 
+(* Observability options, shared by the analysis-running subcommands.
+   The trace file is written from [at_exit] so the error exits (batch
+   quarantine's 3, verification's 2) still produce a loadable trace. *)
+let obs_term =
+  let log_level =
+    Arg.(
+      value
+      & opt (enum Dda_obs.Log.all_levels) Dda_obs.Log.Warn
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Diagnostic verbosity on stderr: $(b,quiet), $(b,warn), \
+             $(b,info) or $(b,debug). Machine-readable stdout is never \
+             mixed with diagnostics at any level.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record analysis spans and write them as Chrome trace_event \
+             JSON to $(docv) on exit (one track per worker domain; load \
+             at https://ui.perfetto.dev).")
+  in
+  let setup level trace_out =
+    Dda_obs.Log.set_level level;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      (* Fail on an unwritable path now, with the standard error
+         convention — not from the at_exit hook after all the work. *)
+      close_out (open_out path);
+      (* Real microsecond timestamps, installed only here: the library
+         default is a deterministic tick counter, and the Unix
+         dependency stays out of lib/obs. *)
+      Dda_obs.Clock.set_source (fun () ->
+          int_of_float (Unix.gettimeofday () *. 1e6));
+      Dda_obs.Trace.enable ();
+      at_exit (fun () ->
+          (* An exception escaping at_exit prints a raw fatal error;
+             degrade to a logged error instead. *)
+          match Dda_obs.Trace.write_chrome path with
+          | () ->
+            let dropped = Dda_obs.Trace.dropped () in
+            if dropped > 0 then
+              Dda_obs.Log.warn "trace: %d events lost to ring-buffer overflow"
+                dropped
+          | exception Sys_error msg -> Dda_obs.Log.err "trace: %s" msg)
+  in
+  Term.(const setup $ log_level $ trace_out)
+
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -231,7 +282,7 @@ let print_stats (s : Analyzer.stats) =
     Format.printf "degraded (budget):   %d@." s.degraded_pairs
 
 let analyze_cmd =
-  let run file config stats memo_file format verify =
+  let run () file config stats memo_file format verify =
     let prog = load file in
     let report =
       match memo_file with
@@ -243,8 +294,8 @@ let analyze_cmd =
           if Sys.file_exists path then begin
             let s = Analyzer.load_session path in
             if Analyzer.session_config s <> config then
-              Format.eprintf
-                "note: %s was built under a different configuration; using the saved one@."
+              Dda_obs.Log.info
+                "%s was built under a different configuration; using the saved one"
                 path;
             s
           end
@@ -311,7 +362,9 @@ let analyze_cmd =
              certificate fails.")
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Report dependence for every reference pair")
-    Term.(const run $ file_arg $ config_term $ stats_flag $ memo_file $ format $ verify_flag)
+    Term.(
+      const run $ obs_term $ file_arg $ config_term $ stats_flag $ memo_file
+      $ format $ verify_flag)
 
 (* ------------------------------------------------------------------ *)
 (* batch                                                               *)
@@ -321,7 +374,7 @@ let batch_cmd =
   (* The output deliberately never mentions the job count: in the
      default (independent) mode it is byte-identical whatever --jobs
      is, and the determinism tests compare runs across job counts. *)
-  let run files jobs share_memo verify retries backoff_ms item_timeout_ms
+  let run () files jobs share_memo verify retries backoff_ms item_timeout_ms
       config format =
     let items =
       List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
@@ -428,6 +481,10 @@ let batch_cmd =
                    ( "memo_tables",
                      Json_out.Obj [ ("gcd", table gcd); ("full", table full) ] );
                  ])
+            (* Registry counters are jobs-invariant (each is a pure
+               function of the per-item work), so embedding them keeps
+               the JSON byte-identical across --jobs values. *)
+            @ [ ("metrics", Json_out.metrics (Dda_obs.Metrics.snapshot ())) ]
             @
             if result.Dda_engine.Batch.retried = 0 && nquarantined = 0 then []
             else
@@ -514,7 +571,7 @@ let batch_cmd =
           then quarantined — the rest of the corpus still completes; exits \
           3 when anything was quarantined")
     Term.(
-      const run $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg
+      const run $ obs_term $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg
       $ retries_arg $ backoff_arg $ timeout_arg $ config_term $ format)
 
 (* ------------------------------------------------------------------ *)
@@ -976,6 +1033,227 @@ let distribute_cmd =
        ~doc:"Allen-Kennedy loop distribution: group statements by dependence SCC")
     Term.(const run $ file_arg $ lid_arg)
 
+(* ------------------------------------------------------------------ *)
+(* metrics: run the analysis and dump the metrics registry             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let run () files config format =
+    List.iter (fun f -> ignore (Analyzer.analyze ~config (load f))) files;
+    let snap = Dda_obs.Metrics.snapshot () in
+    match format with
+    | `Text -> Format.printf "%a" Dda_obs.Metrics.pp_text snap
+    | `Json -> print_endline (Dda_obs.Metrics.to_json_string snap)
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILES" ~doc:"Source files to analyze.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Analyze the files, then print every registered metric — stage \
+          decision counters, memo hit counters, budget exhaustions, \
+          log2-bucketed histograms. Counts are a pure function of the \
+          analysis work, so they are reproducible run to run.")
+    Term.(const run $ obs_term $ files_arg $ config_term $ format)
+
+(* ------------------------------------------------------------------ *)
+(* report: the paper's evaluation tables on the PERFECT corpus         *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  (* Paper totals over the 13 PERFECT programs (PLDI 1991, Tables 1, 3
+     and 4->5); the measured column reruns the synthetic corpus, whose
+     counts are deterministic. See EXPERIMENTS.md for the shape-by-shape
+     comparison. *)
+  let paper_stages =
+    [ ("constant", 11_859); ("gcd", 384); ("svpc", 5_176); ("acyclic", 323);
+      ("loop-residue", 6); ("fourier", 174) ]
+  in
+  let paper_memo_before = 5_679
+  and paper_memo_after = 332
+  and paper_dirs_nopruning = 12_500
+  and paper_dirs_pruned = 900 in
+  let run () format =
+    let programs =
+      List.map
+        (fun (spec : Dda_perfect.Programs.spec) ->
+           (spec, Parser.parse_program (Dda_perfect.Programs.source spec)))
+        Dda_perfect.Programs.all
+    in
+    let analyze_all config =
+      List.map (fun (spec, prog) -> (spec, Analyzer.analyze ~config prog)) programs
+    in
+    (* The bench harness's table configurations: the plain cascade for
+       stage decisions, the improved memo scheme for table 3, the
+       direction hierarchy with and without pruning for tables 4/5. *)
+    let cfg_plain =
+      {
+        Analyzer.default_config with
+        Analyzer.directions = false;
+        memo = Analyzer.Memo_off;
+        symbolic = false;
+      }
+    in
+    let cfg_memo = { cfg_plain with Analyzer.memo = Analyzer.Memo_improved } in
+    let cfg_dirs prune =
+      {
+        Analyzer.default_config with
+        Analyzer.prune;
+        symbolic = false;
+        memo = Analyzer.Memo_improved;
+      }
+    in
+    let plain = analyze_all cfg_plain in
+    let memoized = analyze_all cfg_memo in
+    let unpruned = analyze_all (cfg_dirs Direction.no_pruning) in
+    let pruned = analyze_all (cfg_dirs Direction.full_pruning) in
+    let stage_row (r : Analyzer.report) =
+      let s = r.stats in
+      [|
+        s.constant_cases; s.gcd_independent; s.plain_by_test.(0);
+        s.plain_by_test.(1); s.plain_by_test.(2); s.plain_by_test.(3);
+      |]
+    in
+    let stage_rows =
+      List.map
+        (fun ((spec : Dda_perfect.Programs.spec), r) -> (spec.name, stage_row r))
+        plain
+    in
+    let stage_total =
+      let tot = Array.make 6 0 in
+      List.iter
+        (fun (_, row) -> Array.iteri (fun i v -> tot.(i) <- tot.(i) + v) row)
+        stage_rows;
+      tot
+    in
+    let executed_tests results =
+      List.fold_left
+        (fun acc (_, (r : Analyzer.report)) ->
+           let s = r.Analyzer.stats in
+           acc + s.plain_by_test.(0) + s.plain_by_test.(1)
+           + s.plain_by_test.(2) + s.plain_by_test.(3))
+        0 results
+    in
+    let memo_before = executed_tests plain in
+    let memo_after = executed_tests memoized in
+    let dir_tests results =
+      List.fold_left
+        (fun acc (_, (r : Analyzer.report)) ->
+           Array.fold_left ( + ) acc r.Analyzer.stats.dir_counts.Direction.by_test)
+        0 results
+    in
+    let dirs_nopruning = dir_tests unpruned in
+    let dirs_pruned = dir_tests pruned in
+    let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+    match format with
+    | `Text ->
+      Format.printf
+        "ddtest report: the paper's evaluation tables on the synthetic \
+         PERFECT Club@.(counts are deterministic; the paper column is the \
+         published total)@.";
+      Format.printf "@.-- stage decisions (paper Table 1) --@.";
+      Format.printf "%-7s %9s %7s %7s %8s %9s %8s@." "prog" "constant" "gcd"
+        "svpc" "acyclic" "loop-res" "fourier";
+      List.iter
+        (fun (name, (row : int array)) ->
+           Format.printf "%-7s %9d %7d %7d %8d %9d %8d@." name row.(0) row.(1)
+             row.(2) row.(3) row.(4) row.(5))
+        stage_rows;
+      Format.printf "%-7s %9d %7d %7d %8d %9d %8d@." "TOTAL" stage_total.(0)
+        stage_total.(1) stage_total.(2) stage_total.(3) stage_total.(4)
+        stage_total.(5);
+      Format.printf "%-7s %9d %7d %7d %8d %9d %8d@." "paper"
+        (List.assoc "constant" paper_stages)
+        (List.assoc "gcd" paper_stages)
+        (List.assoc "svpc" paper_stages)
+        (List.assoc "acyclic" paper_stages)
+        (List.assoc "loop-residue" paper_stages)
+        (List.assoc "fourier" paper_stages);
+      Format.printf "@.-- memoization (paper Table 3) --@.";
+      Format.printf "%-28s %9s %9s@." "" "measured" "paper";
+      Format.printf "%-28s %9d %9d@." "executed tests, no memo" memo_before
+        paper_memo_before;
+      Format.printf "%-28s %9d %9d@." "executed tests, memoized" memo_after
+        paper_memo_after;
+      Format.printf "%-28s %8.1fx %8.1fx@." "reduction"
+        (ratio memo_before memo_after)
+        (ratio paper_memo_before paper_memo_after);
+      Format.printf "@.-- direction-vector pruning (paper Tables 4 -> 5) --@.";
+      Format.printf "%-28s %9s %9s@." "" "measured" "paper";
+      Format.printf "%-28s %9d %9d@." "tests, no pruning" dirs_nopruning
+        paper_dirs_nopruning;
+      Format.printf "%-28s %9d %9d@." "tests, full pruning" dirs_pruned
+        paper_dirs_pruned;
+      Format.printf "%-28s %8.1fx %8.1fx@." "reduction"
+        (ratio dirs_nopruning dirs_pruned)
+        (ratio paper_dirs_nopruning paper_dirs_pruned)
+    | `Json ->
+      let stages =
+        Json_out.Obj
+          (List.map
+             (fun (name, (row : int array)) ->
+                ( name,
+                  Json_out.Obj
+                    [
+                      ("constant", Json_out.Int row.(0));
+                      ("gcd", Json_out.Int row.(1));
+                      ("svpc", Json_out.Int row.(2));
+                      ("acyclic", Json_out.Int row.(3));
+                      ("loop_residue", Json_out.Int row.(4));
+                      ("fourier", Json_out.Int row.(5));
+                    ] ))
+             (stage_rows @ [ ("TOTAL", stage_total) ]))
+      in
+      Format.printf "%a@." Json_out.pp
+        (Json_out.Obj
+           [
+             ("stage_decisions", stages);
+             ( "stage_decisions_paper",
+               Json_out.Obj
+                 (List.map (fun (n, v) -> (n, Json_out.Int v)) paper_stages) );
+             ( "memoization",
+               Json_out.Obj
+                 [
+                   ("executed_no_memo", Json_out.Int memo_before);
+                   ("executed_memoized", Json_out.Int memo_after);
+                   ("paper_no_memo", Json_out.Int paper_memo_before);
+                   ("paper_memoized", Json_out.Int paper_memo_after);
+                 ] );
+             ( "direction_pruning",
+               Json_out.Obj
+                 [
+                   ("no_pruning", Json_out.Int dirs_nopruning);
+                   ("full_pruning", Json_out.Int dirs_pruned);
+                   ("paper_no_pruning", Json_out.Int paper_dirs_nopruning);
+                   ("paper_full_pruning", Json_out.Int paper_dirs_pruned);
+                 ] );
+           ])
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Rerun the paper's evaluation on the synthetic PERFECT Club and \
+          print its tables — per-stage decision counts, memoization \
+          before/after, direction-vector pruning — side by side with the \
+          published numbers. Output is deterministic (counts only), so it \
+          can be diffed against a committed baseline.")
+    Term.(const run $ obs_term $ format)
+
 (* Exit codes: 0 success; 1 input or usage errors; 2 verification or
    trace failures; 3 batch quarantine. No exception may escape to a raw
    OCaml backtrace — everything expected becomes a one-line diagnostic
@@ -1002,6 +1280,8 @@ let () =
         prime_cmd;
         annotate_cmd;
         cc_cmd;
+        metrics_cmd;
+        report_cmd;
       ]
   in
   let code =

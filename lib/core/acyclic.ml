@@ -57,7 +57,10 @@ let substitute box i v bound_why rows =
   in
   go [] rows
 
-let run ?budget box rows =
+let m_calls = Dda_obs.Metrics.counter "test.acyclic.calls"
+let m_indep = Dda_obs.Metrics.counter "test.acyclic.independent"
+
+let run_inner ?budget box rows =
   Failpoint.hit "acyclic.run";
   let tick cost = match budget with Some b -> Budget.tick b ~cost | None -> () in
   let box = Bounds.copy box in
@@ -109,6 +112,21 @@ let run ?budget box rows =
       end
   in
   loop rows []
+
+let run ?budget box rows =
+  Dda_obs.Metrics.incr m_calls;
+  let out =
+    Dda_obs.Trace.wrap ~name:"acyclic"
+      ~args:(fun out ->
+          [ ( "verdict",
+              match out with
+              | Infeasible _ -> 0
+              | Feasible _ -> 1
+              | Cycle _ -> 2 ) ])
+      (fun () -> run_inner ?budget box rows)
+  in
+  (match out with Infeasible _ -> Dda_obs.Metrics.incr m_indep | _ -> ());
+  out
 
 let witness elims base =
   let x = Array.copy base in

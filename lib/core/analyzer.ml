@@ -183,9 +183,12 @@ type state = {
          into sessions and compared structurally *)
 }
 
+let m_pairs = Dda_obs.Metrics.counter "analyzer.pairs"
+let m_queries = Dda_obs.Metrics.counter "analyzer.queries"
+let h_budget_steps = Dda_obs.Metrics.histogram "analyzer.budget_steps"
+
 (* Compute the outcome for a canonical problem (a cache miss). *)
-let compute st (p : Problem.t) ~self =
-  let budget = Budget.create ~cancel:st.cancel st.cfg.limits in
+let compute_inner st budget (p : Problem.t) ~self =
   let gcd_outcome =
     match st.cfg.memo with
     | Memo_off -> Gcd_test.run_eqs ~budget p
@@ -248,6 +251,20 @@ let compute st (p : Problem.t) ~self =
         }
     end
 
+(* One histogram sample per executed query (a memo miss), observed on
+   both normal return and escape — an exhaustion that outruns the
+   cascade still records the steps it burned. *)
+let compute st (p : Problem.t) ~self =
+  Dda_obs.Metrics.incr m_queries;
+  let budget = Budget.create ~cancel:st.cancel st.cfg.limits in
+  match compute_inner st budget p ~self with
+  | out ->
+    Dda_obs.Metrics.observe h_budget_steps (Budget.steps_used budget);
+    out
+  | exception e ->
+    Dda_obs.Metrics.observe h_budget_steps (Budget.steps_used budget);
+    raise e
+
 let reinsert_outcome info = function
   | Tested t ->
     Tested
@@ -274,7 +291,7 @@ let mirror_outcome = function
       }
   | (Constant _ | Assumed_dependent | Gcd_independent) as o -> o
 
-let rec analyze_pair st (s1 : Affine.site) (s2 : Affine.site) =
+let rec analyze_pair_inner st (s1 : Affine.site) (s2 : Affine.site) =
   Failpoint.hit "analyzer.pair";
   st.stats.pairs <- st.stats.pairs + 1;
   let self = Loc.equal s1.site_loc s2.site_loc in
@@ -382,6 +399,24 @@ and analyze_problem st ~self ~finish problem =
                   compute st info.Canonical.problem ~self)
             in
             deliver value
+
+let analyze_pair st s1 s2 =
+  Dda_obs.Metrics.incr m_pairs;
+  Dda_obs.Trace.wrap ~name:"pair"
+    ~args:(fun (r : pair_report) ->
+        [ ( "outcome",
+            match r.outcome with
+            | Constant _ -> 0
+            | Assumed_dependent -> 1
+            | Gcd_independent -> 2
+            | Tested _ -> 3 );
+          ( "dependent",
+            match r.outcome with
+            | Constant d -> if d then 1 else 0
+            | Assumed_dependent -> 1
+            | Gcd_independent -> 0
+            | Tested t -> if t.dependent then 1 else 0 ) ])
+    (fun () -> analyze_pair_inner st s1 s2)
 
 let finalize st =
   st.stats.memo_lookups_nobounds <- Memo_table.lookups st.gcd_table;

@@ -61,8 +61,33 @@ let limits t = t.limits
 let spent t = t.spent
 let steps_used t = t.steps
 
+let m_ex_steps = Dda_obs.Metrics.counter "budget.exhausted.steps"
+let m_ex_rows = Dda_obs.Metrics.counter "budget.exhausted.rows"
+let m_ex_coeff = Dda_obs.Metrics.counter "budget.exhausted.coefficients"
+let m_ex_deadline = Dda_obs.Metrics.counter "budget.exhausted.deadline"
+let m_ex_injected = Dda_obs.Metrics.counter "budget.exhausted.injected"
+
+let m_exhausted = function
+  | Steps -> m_ex_steps
+  | Rows -> m_ex_rows
+  | Coeff -> m_ex_coeff
+  | Deadline -> m_ex_deadline
+  | Injected -> m_ex_injected
+
+let reason_code = function
+  | Steps -> 0
+  | Rows -> 1
+  | Coeff -> 2
+  | Deadline -> 3
+  | Injected -> 4
+
+(* [exhaust] fires once per spent budget ([recheck] re-raises without
+   coming back here), so the counter is one-per-exhausted-query. *)
 let exhaust t reason =
   t.spent <- Some reason;
+  Dda_obs.Metrics.incr (m_exhausted reason);
+  Dda_obs.Trace.instant "budget.exhausted"
+    ~args:[ ("reason", reason_code reason); ("steps", t.steps) ];
   raise (Exhausted reason)
 
 (* Sticky: once any dimension is spent, every later check re-raises so a

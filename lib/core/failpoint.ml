@@ -157,6 +157,8 @@ let busy_wait ms =
     Domain.cpu_relax ()
   done
 
+let m_fired = Dda_obs.Metrics.counter "failpoint.fired"
+
 let hit site =
   if Atomic.get active then begin
     let fired =
@@ -167,9 +169,13 @@ let hit site =
     in
     match fired with
     | None -> ()
-    | Some Raise -> raise (Injected site)
-    | Some Exhaust -> raise (Budget.Exhausted Budget.Injected)
-    | Some (Delay ms) -> busy_wait ms
+    | Some action ->
+      Dda_obs.Metrics.incr m_fired;
+      Dda_obs.Trace.instant ("failpoint:" ^ site);
+      (match action with
+       | Raise -> raise (Injected site)
+       | Exhaust -> raise (Budget.Exhausted Budget.Injected)
+       | Delay ms -> busy_wait ms)
   end
 
 let () =

@@ -41,7 +41,10 @@ let transform_row red (r : Consys.row) =
     r.coeffs;
   Consys.normalize_row { Consys.coeffs; rhs = Zint.sub r.rhs !const }
 
-let run_eqs ?budget (p : Problem.t) =
+let m_calls = Dda_obs.Metrics.counter "test.gcd.calls"
+let m_indep = Dda_obs.Metrics.counter "test.gcd.independent"
+
+let run_eqs_inner ?budget (p : Problem.t) =
   Failpoint.hit "gcd.run_eqs";
   let n = Problem.nvars p in
   let eqs = Array.of_list p.eqs in
@@ -112,6 +115,18 @@ let run_eqs ?budget (p : Problem.t) =
       let x_coeff = Array.init n (fun i -> Array.init nfree (fun j -> u.(rank + j).(i))) in
       Reduced { nfree; x_const; x_coeff; system = Consys.make ~nvars:nfree [] }
   end
+
+let run_eqs ?budget (p : Problem.t) =
+  Dda_obs.Metrics.incr m_calls;
+  let out =
+    Dda_obs.Trace.wrap ~name:"gcd"
+      ~args:(fun out ->
+          [ ( "verdict",
+              match out with Independent _ -> 0 | Reduced _ -> 1 ) ])
+      (fun () -> run_eqs_inner ?budget p)
+  in
+  (match out with Independent _ -> Dda_obs.Metrics.incr m_indep | _ -> ());
+  out
 
 let attach_bounds (p : Problem.t) red =
   let rows = List.map (transform_row red) (Problem.ineq_rows p) in

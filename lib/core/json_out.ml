@@ -183,3 +183,26 @@ let stats (s : Analyzer.stats) =
 
 let report (r : Analyzer.report) =
   Obj [ ("pairs", List (List.map pair r.pair_reports)); ("stats", stats r.stats) ]
+
+let metrics (snap : Dda_obs.Metrics.snapshot) =
+  Obj
+    [
+      ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) snap.counters));
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (n, (h : Dda_obs.Metrics.hist_snapshot)) ->
+                ( n,
+                  Obj
+                    [
+                      ("count", Int h.count);
+                      ("sum", Int h.sum);
+                      ( "buckets",
+                        List
+                          (List.map
+                             (fun (i, c) ->
+                                List [ Int (Dda_obs.Metrics.bucket_lo i); Int c ])
+                             h.buckets) );
+                    ] ))
+             snap.histograms) );
+    ]

@@ -28,3 +28,7 @@ val pair : Analyzer.pair_report -> t
 val stats : Analyzer.stats -> t
 (** The statistics block alone (used for the batch driver's merged
     corpus statistics). *)
+
+val metrics : Dda_obs.Metrics.snapshot -> t
+(** A metrics-registry snapshot: counters as a name-keyed object,
+    histograms as [{count, sum, buckets: [[lo, n], ...]}]. *)

@@ -78,7 +78,10 @@ let cycle_cert cycle =
   assert (Zint.is_negative weight);
   Cert.Refute (Cert.Comb terms)
 
-let run ?budget box rows =
+let m_calls = Dda_obs.Metrics.counter "test.loop_residue.calls"
+let m_indep = Dda_obs.Metrics.counter "test.loop_residue.independent"
+
+let run_inner ?budget box rows =
   Failpoint.hit "loop_residue.run";
   let tick cost = match budget with Some b -> Budget.tick b ~cost | None -> () in
   if not (applicable (List.map (fun (dr : Cert.drow) -> dr.row) rows)) then None
@@ -142,6 +145,23 @@ let run ?budget box rows =
          let d0 = dist.(nvars) in
          Some (Feasible (Array.init nvars (fun i -> Zint.sub dist.(i) d0))))
   end
+
+let run ?budget box rows =
+  Dda_obs.Metrics.incr m_calls;
+  let out =
+    Dda_obs.Trace.wrap ~name:"loop-residue"
+      ~args:(fun out ->
+          [ ( "verdict",
+              match out with
+              | Some (Infeasible _) -> 0
+              | Some (Feasible _) -> 1
+              | None -> 2 ) ])
+      (fun () -> run_inner ?budget box rows)
+  in
+  (match out with
+   | Some (Infeasible _) -> Dda_obs.Metrics.incr m_indep
+   | _ -> ());
+  out
 
 let to_dot box rows =
   let nvars = Bounds.nvars box in

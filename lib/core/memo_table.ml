@@ -61,11 +61,22 @@ let find_entry (t : _ t) key h =
     (fun e -> e.hash = h && equal_key e.key key)
     t.buckets.(h mod Array.length t.buckets)
 
+(* Lookups and hits are per-query events, so the process-wide counters
+   stay jobs-invariant (each pair performs the same lookups whatever
+   worker runs it). Merges are *not* counted: the number of session
+   merges is a function of the chunking, and a counter would leak the
+   worker count into otherwise deterministic batch output — they are
+   trace events instead. *)
+let m_lookups = Dda_obs.Metrics.counter "memo.lookups"
+let m_hits = Dda_obs.Metrics.counter "memo.hits"
+
 let find (t : _ t) key =
   t.lookups <- t.lookups + 1;
+  Dda_obs.Metrics.incr m_lookups;
   match find_entry t key (hash_key key) with
   | Some e ->
     t.hits <- t.hits + 1;
+    Dda_obs.Metrics.incr m_hits;
     Some e.value
   | None -> None
 
@@ -90,10 +101,12 @@ let add (t : _ t) key value =
 let find_or_add (t : _ t) key compute =
   Failpoint.hit "memo.find_or_add";
   t.lookups <- t.lookups + 1;
+  Dda_obs.Metrics.incr m_lookups;
   let h = hash_key key in
   match find_entry t key h with
   | Some e ->
     t.hits <- t.hits + 1;
+    Dda_obs.Metrics.incr m_hits;
     (e.value, true)
   | None ->
     (* [compute] may raise (budget exhaustion mid-computation, injected
@@ -105,6 +118,8 @@ let find_or_add (t : _ t) key compute =
 
 let merge_into ~into (src : _ t) =
   if into == src then invalid_arg "Memo_table.merge_into: a table cannot absorb itself";
+  Dda_obs.Trace.instant "memo.merge"
+    ~args:[ ("src_entries", src.size); ("into_entries", into.size) ];
   Array.iter
     (List.iter (fun e ->
          if find_entry into e.key e.hash = None then

@@ -5,7 +5,10 @@ type outcome =
 
 exception Row_false of Cert.deriv
 
-let run ?budget (sys : Consys.t) =
+let m_calls = Dda_obs.Metrics.counter "test.svpc.calls"
+let m_indep = Dda_obs.Metrics.counter "test.svpc.independent"
+
+let run_inner ?budget (sys : Consys.t) =
   Failpoint.hit "svpc.run";
   (match budget with
    | Some b -> Budget.tick b ~cost:(List.length sys.rows + 1)
@@ -30,3 +33,18 @@ let run ?budget (sys : Consys.t) =
     match Bounds.refute_empty box with
     | Some cert -> Infeasible cert
     | None -> if multi = [] then Feasible box else Partial (box, multi))
+
+let run ?budget (sys : Consys.t) =
+  Dda_obs.Metrics.incr m_calls;
+  let out =
+    Dda_obs.Trace.wrap ~name:"svpc"
+      ~args:(fun out ->
+          [ ( "verdict",
+              match out with
+              | Infeasible _ -> 0
+              | Feasible _ -> 1
+              | Partial _ -> 2 ) ])
+      (fun () -> run_inner ?budget sys)
+  in
+  (match out with Infeasible _ -> Dda_obs.Metrics.incr m_indep | _ -> ());
+  out

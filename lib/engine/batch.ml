@@ -32,6 +32,13 @@ type result = {
 let chunks ~jobs n =
   List.init jobs (fun b -> (b * n / jobs, (b + 1) * n / jobs))
 
+(* Items, retries and quarantines are per-corpus-item events — the
+   counters come out the same whatever the worker count (the chunking
+   only decides *where* an item runs). *)
+let m_items = Dda_obs.Metrics.counter "batch.items"
+let m_retries = Dda_obs.Metrics.counter "batch.retries"
+let m_quarantined = Dda_obs.Metrics.counter "batch.quarantined"
+
 let run ?(config = Analyzer.default_config) ?(share_memo = false)
     ?(verify = false) ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ~jobs
     items =
@@ -69,16 +76,20 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
      rather than killed. *)
   let process session idx =
     let it : item = arr.(idx) in
+    Dda_obs.Metrics.incr m_items;
     let rec go attempt =
       match
-        Failpoint.hit "batch.item";
-        let cancel = item_cancel () in
-        let report =
-          match session with
-          | Some s -> Analyzer.analyze_session ~cancel s it.program
-          | None -> Analyzer.analyze ~config ~cancel it.program
-        in
-        (report, verification cancel it.program report)
+        Dda_obs.Trace.wrap ~name:"batch.item"
+          ~args:(fun _ -> [ ("index", idx); ("attempt", attempt) ])
+          (fun () ->
+             Failpoint.hit "batch.item";
+             let cancel = item_cancel () in
+             let report =
+               match session with
+               | Some s -> Analyzer.analyze_session ~cancel s it.program
+               | None -> Analyzer.analyze ~config ~cancel it.program
+             in
+             (report, verification cancel it.program report))
       with
       | report, ver ->
         Ok
@@ -91,12 +102,18 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
           }
       | exception e ->
         if attempt <= retries then begin
+          Dda_obs.Metrics.incr m_retries;
+          Dda_obs.Log.info "batch: retrying %s (attempt %d of %d): %s" it.name
+            (attempt + 1) (retries + 1) (Printexc.to_string e);
           if backoff_ms > 0 then
             Unix.sleepf
               (float_of_int (backoff_ms * (1 lsl (attempt - 1))) /. 1000.);
           go (attempt + 1)
         end
-        else
+        else begin
+          Dda_obs.Metrics.incr m_quarantined;
+          Dda_obs.Log.info "batch: quarantining %s after %d attempts: %s"
+            it.name attempt (Printexc.to_string e);
           Error
             {
               q_index = idx;
@@ -104,6 +121,7 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
               q_attempts = attempt;
               q_error = Printexc.to_string e;
             }
+        end
     in
     go 1
   in

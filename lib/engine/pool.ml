@@ -64,8 +64,11 @@ let submit t f =
   let job () =
     let result =
       match
-        Dda_core.Failpoint.hit "pool.job";
-        f ()
+        Dda_obs.Trace.wrap ~name:"pool.job"
+          ~args:(fun _ -> [])
+          (fun () ->
+             Dda_core.Failpoint.hit "pool.job";
+             f ())
       with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())

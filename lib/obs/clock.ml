@@ -1,0 +1,25 @@
+let tick = Atomic.make 0
+
+let default_source () = Atomic.fetch_and_add tick 1
+
+(* [None] = the tick counter; boxed so installing a source is atomic. *)
+let source : (unit -> int) option Atomic.t = Atomic.make None
+
+let last = Atomic.make min_int
+
+let now () =
+  let raw =
+    match Atomic.get source with
+    | None -> default_source ()
+    | Some f -> f ()
+  in
+  (* Enforce strict monotonicity over whatever the source returns. *)
+  let rec bump () =
+    let l = Atomic.get last in
+    let v = if raw > l then raw else l + 1 in
+    if Atomic.compare_and_set last l v then v else bump ()
+  in
+  bump ()
+
+let set_source f = Atomic.set source (Some f)
+let use_tick_counter () = Atomic.set source None

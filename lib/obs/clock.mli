@@ -1,0 +1,24 @@
+(** Strictly monotonic integer timestamps for the trace collector.
+
+    The default source is a process-wide atomic tick counter: cheap,
+    allocation-free and fully deterministic, so unit tests can assert
+    exact event orderings. Front ends that want wall-clock-meaningful
+    traces install a real source with {!set_source} (e.g. microseconds
+    since startup from [Unix.gettimeofday]) — keeping [Unix] out of
+    this library and out of the core analysis stack.
+
+    Whatever the source, {!now} is strictly increasing across the whole
+    process: two calls never return the same value, so events on any
+    one track are strictly timestamp-ordered by construction. *)
+
+val now : unit -> int
+(** The current timestamp. Strictly greater than every earlier return
+    value, whichever domain asked. *)
+
+val set_source : (unit -> int) -> unit
+(** Replace the timestamp source. The strict-monotonicity guarantee is
+    enforced on top of the source: a coarse or non-monotonic source is
+    nudged forward rather than allowed to repeat. *)
+
+val use_tick_counter : unit -> unit
+(** Restore the default deterministic tick counter (used by tests). *)

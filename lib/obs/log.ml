@@ -1,0 +1,47 @@
+type level =
+  | Quiet
+  | Warn
+  | Info
+  | Debug
+
+let rank = function Quiet -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+(* Stored as a rank so reads are one atomic load. *)
+let current = Atomic.make (rank Warn)
+
+let set_level l = Atomic.set current (rank l)
+
+let level () =
+  match Atomic.get current with
+  | 0 -> Quiet
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+let all_levels =
+  [ ("quiet", Quiet); ("warn", Warn); ("info", Info); ("debug", Debug) ]
+
+let level_of_string s =
+  List.assoc_opt (String.lowercase_ascii s) all_levels
+
+let level_name l =
+  match List.find_opt (fun (_, l') -> l' = l) all_levels with
+  | Some (name, _) -> name
+  | None -> assert false
+
+(* Both branches must build the same format type, so the prefix is
+   printed separately rather than concatenated into [fmt]. *)
+let emit threshold prefix fmt =
+  if threshold <= Atomic.get current then begin
+    Format.eprintf "%s" prefix;
+    Format.eprintf (fmt ^^ "@.")
+  end
+  else Format.ifprintf Format.err_formatter (fmt ^^ "@.")
+
+let err fmt =
+  Format.eprintf "error: ";
+  Format.eprintf (fmt ^^ "@.")
+
+let warn fmt = emit 1 "warning: " fmt
+let info fmt = emit 2 "info: " fmt
+let debug fmt = emit 3 "debug: " fmt

@@ -1,0 +1,29 @@
+(** One leveled logger for every diagnostic the tools emit.
+
+    Everything goes to stderr, so machine-readable stdout (batch JSON,
+    trace files, reports) is never interleaved with progress noise.
+    Levels nest: [Quiet] shows nothing but errors, [Warn] adds
+    warnings, [Info] adds progress notes, [Debug] everything.
+    {!err} ignores the level — an error precedes an exit and must
+    always be visible. *)
+
+type level =
+  | Quiet
+  | Warn
+  | Info
+  | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val level_of_string : string -> level option
+val level_name : level -> string
+val all_levels : (string * level) list
+(** For CLI enum options: [("quiet", Quiet); ...]. *)
+
+val err : ('a, Format.formatter, unit) format -> 'a
+(** Always printed, prefixed [error:]. *)
+
+val warn : ('a, Format.formatter, unit) format -> 'a
+val info : ('a, Format.formatter, unit) format -> 'a
+val debug : ('a, Format.formatter, unit) format -> 'a

@@ -1,0 +1,210 @@
+(* Striped atomics: each domain lands on the stripe indexed by its
+   domain id, so workers hammering the same counter touch different
+   words. A snapshot sums the stripes — the same fold-per-domain merge
+   shape as Analyzer.merge_stats. *)
+
+let stripes = 8  (* power of two; domain ids wrap onto it *)
+
+type counter = int Atomic.t array
+
+let nbuckets = 63
+
+type histogram = {
+  h_count : counter;
+  h_sum : counter;
+  h_buckets : int Atomic.t array;  (* one cell per bucket, unstriped *)
+}
+
+type metric =
+  | Counter of counter
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let make_cells n = Array.init n (fun _ -> Atomic.make 0)
+
+let register name make wrap unwrap =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match unwrap m with
+          | Some v -> v
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics: %S is already registered as another kind" name))
+      | None ->
+        let v = make () in
+        Hashtbl.replace registry name (wrap v);
+        v)
+
+let counter name =
+  register name
+    (fun () -> make_cells stripes)
+    (fun c -> Counter c)
+    (function Counter c -> Some c | Histogram _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+       { h_count = make_cells stripes;
+         h_sum = make_cells stripes;
+         h_buckets = make_cells nbuckets })
+    (fun h -> Histogram h)
+    (function Histogram h -> Some h | Counter _ -> None)
+
+let stripe () = (Domain.self () :> int) land (stripes - 1)
+
+let add c n = ignore (Atomic.fetch_and_add c.(stripe ()) n)
+let incr c = add c 1
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* bit length of v, capped to the table *)
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    min (bits v 0) (nbuckets - 1)
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let observe h v =
+  add h.h_count 1;
+  add h.h_sum v;
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1)
+
+let total cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snapshot () =
+  Mutex.protect registry_lock (fun () ->
+      let cs = ref [] and hs = ref [] in
+      Hashtbl.iter
+        (fun name m ->
+           match m with
+           | Counter c -> cs := (name, total c) :: !cs
+           | Histogram h ->
+             let buckets = ref [] in
+             for i = nbuckets - 1 downto 0 do
+               let n = Atomic.get h.h_buckets.(i) in
+               if n > 0 then buckets := (i, n) :: !buckets
+             done;
+             hs :=
+               (name, { count = total h.h_count; sum = total h.h_sum;
+                        buckets = !buckets })
+               :: !hs)
+        registry;
+      let by_name (a, _) (b, _) = String.compare a b in
+      { counters = List.sort by_name !cs; histograms = List.sort by_name !hs })
+
+let merge a b =
+  let merge_assoc combine xs ys =
+    let names =
+      List.sort_uniq String.compare (List.map fst xs @ List.map fst ys)
+    in
+    List.map
+      (fun n ->
+         (n, combine (List.assoc_opt n xs) (List.assoc_opt n ys)))
+      names
+  in
+  let add_opt x y = Option.value x ~default:0 + Option.value y ~default:0 in
+  let merge_hist x y =
+    let x = Option.value x ~default:{ count = 0; sum = 0; buckets = [] }
+    and y = Option.value y ~default:{ count = 0; sum = 0; buckets = [] } in
+    let buckets =
+      List.sort_uniq compare (List.map fst x.buckets @ List.map fst y.buckets)
+      |> List.map (fun i ->
+          ( i,
+            Option.value (List.assoc_opt i x.buckets) ~default:0
+            + Option.value (List.assoc_opt i y.buckets) ~default:0 ))
+    in
+    { count = x.count + y.count; sum = x.sum + y.sum; buckets }
+  in
+  {
+    counters = merge_assoc add_opt a.counters b.counters;
+    histograms = merge_assoc merge_hist a.histograms b.histograms;
+  }
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+           let zero = Array.iter (fun c -> Atomic.set c 0) in
+           match m with
+           | Counter c -> zero c
+           | Histogram h ->
+             zero h.h_count;
+             zero h.h_sum;
+             zero h.h_buckets)
+        registry)
+
+let find_counter snap name =
+  Option.value (List.assoc_opt name snap.counters) ~default:0
+
+let pp_text fmt snap =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "counter %s %d@." name v)
+    snap.counters;
+  List.iter
+    (fun (name, h) ->
+       Format.fprintf fmt "histogram %s count=%d sum=%d buckets=%s@." name
+         h.count h.sum
+         (String.concat ","
+            (List.map
+               (fun (i, n) -> Printf.sprintf "%d:%d" (bucket_lo i) n)
+               h.buckets)))
+    snap.histograms
+
+let to_json_string snap =
+  let b = Buffer.create 512 in
+  (* Names are ASCII identifiers chosen by instrumentation sites; the
+     escape covers them defensively anyway. *)
+  let str s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+         match c with
+         | '"' -> Buffer.add_string b "\\\""
+         | '\\' -> Buffer.add_string b "\\\\"
+         | c when Char.code c < 0x20 ->
+           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+  in
+  let fields xs emit =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char b ',';
+         str k;
+         Buffer.add_char b ':';
+         emit v)
+      xs;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\"counters\":";
+  fields snap.counters (fun v -> Buffer.add_string b (string_of_int v));
+  Buffer.add_string b ",\"histograms\":";
+  fields snap.histograms (fun h ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"buckets\":[" h.count h.sum);
+      List.iteri
+        (fun i (bk, n) ->
+           if i > 0 then Buffer.add_char b ',';
+           Buffer.add_string b (Printf.sprintf "[%d,%d]" (bucket_lo bk) n))
+        h.buckets;
+      Buffer.add_string b "]}");
+  Buffer.add_char b '}';
+  Buffer.contents b

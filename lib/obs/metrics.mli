@@ -1,0 +1,69 @@
+(** A process-wide registry of named integer metrics.
+
+    Zero-dependency and integer-only: counters are monotonically
+    increasing ints, histograms are log2-bucketed int distributions.
+    Both are built from striped atomics — each domain updates its own
+    stripe (indexed by its domain id), so concurrent workers never
+    contend on a cache line — and a {!snapshot} sums the stripes, the
+    same merge shape as [Analyzer.merge_stats] folding per-domain
+    statistics into corpus totals.
+
+    Every count is a pure function of the analysis work performed:
+    running a corpus on one worker or on eight yields the same
+    snapshot (a property the test suite checks), so metrics can be
+    embedded in batch output without breaking output determinism. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find-or-register the counter with this name (idempotent: the same
+    name always returns the same counter). *)
+
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val observe : histogram -> int -> unit
+(** Record one sample. Bucket 0 holds samples [<= 0]; bucket [i >= 1]
+    holds samples in [[2^(i-1), 2^i - 1]]. *)
+
+val bucket_of : int -> int
+(** The bucket index {!observe} files a sample under. *)
+
+val bucket_lo : int -> int
+(** The smallest sample a bucket holds ([0] for bucket 0). *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  buckets : (int * int) list;  (** (bucket index, samples), sparse *)
+}
+
+type snapshot = {
+  counters : (string * int) list;      (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum by name, for combining snapshots taken in different
+    processes (e.g. per-shard bench runs). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (benchmarks and tests; the registry
+    itself — the set of names — is kept). *)
+
+val find_counter : snapshot -> string -> int
+(** 0 when absent. *)
+
+val pp_text : Format.formatter -> snapshot -> unit
+(** One metric per line: [counter NAME VALUE] and
+    [histogram NAME count=.. sum=.. buckets=lo:n,...]. *)
+
+val to_json_string : snapshot -> string
+(** Compact JSON object:
+    [{"counters":{...},"histograms":{"name":{"count":..,"sum":..,
+    "buckets":[[lo,n],...]},...}}]. *)

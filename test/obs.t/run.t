@@ -1,0 +1,71 @@
+Observability: the metrics registry, leveled logging, and the Chrome
+trace export.
+
+  $ cat > loop.dd <<'EOF'
+  > for i = 1 to 6 do
+  >   a[i] = a[i + 6] + a[2 * i]
+  > end
+  > EOF
+
+The metrics subcommand analyzes its files and prints the registry:
+deterministic integer counters, one per line, sorted by name.
+
+  $ ddtest metrics loop.dd | grep -E '^counter (analyzer|cascade)\.'
+  counter analyzer.pairs 3
+  counter analyzer.queries 3
+  counter cascade.decided.acyclic 0
+  counter cascade.decided.fourier 0
+  counter cascade.decided.loop_residue 0
+  counter cascade.decided.svpc 6
+  counter cascade.runs 6
+  counter cascade.verdict.dependent 3
+  counter cascade.verdict.exhausted 0
+  counter cascade.verdict.independent 3
+  counter cascade.verdict.unknown 0
+
+Per-test counters mirror the cascade: six runs, all decided by SVPC,
+after three GCD reductions.
+
+  $ ddtest metrics loop.dd | grep -E '^counter test\.(gcd|svpc)\.'
+  counter test.gcd.calls 3
+  counter test.gcd.independent 0
+  counter test.svpc.calls 6
+  counter test.svpc.independent 3
+
+The JSON form is the same object the batch driver embeds:
+
+  $ ddtest metrics loop.dd --format json | head -c 60
+  {"counters":{"analyzer.pairs":3,"analyzer.queries":3,"batch.
+
+  $ ddtest batch loop.dd --format json --jobs 2 | grep -c '"metrics":'
+  1
+
+--trace-out writes a Chrome trace_event file (one "M" metadata record
+per track, spans for the cascade and each analyzed pair):
+
+  $ ddtest analyze loop.dd --trace-out trace.json > /dev/null
+  $ head -c 15 trace.json
+  {"traceEvents":
+  $ grep -c '"ph":"M"' trace.json
+  1
+  $ grep -o '"name":"cascade"' trace.json | sort -u
+  "name":"cascade"
+  $ grep -o '"name":"pair"' trace.json | sort -u
+  "name":"pair"
+
+Diagnostics go through one leveled stderr logger: warnings show by
+default, --log-level quiet silences them, and machine-readable stdout
+is never polluted either way.
+
+  $ cat > warn.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i] = b[j] + 1
+  > end
+  > EOF
+
+  $ ddtest analyze warn.dd
+  warning: 2:12: scalar 'j' used before being defined
+  a[self]  2:3 x 2:3:  independent
+
+  $ ddtest analyze warn.dd --log-level quiet
+  a[self]  2:3 x 2:3:  independent

@@ -1,0 +1,43 @@
+The paper-table report: deterministic measured counts beside the
+paper's published totals. The same text is committed at
+doc/paper_tables.expected, which CI diffs against a fresh run.
+
+  $ ddtest report
+  ddtest report: the paper's evaluation tables on the synthetic PERFECT Club
+  (counts are deterministic; the paper column is the published total)
+  
+  -- stage decisions (paper Table 1) --
+  prog     constant     gcd    svpc  acyclic  loop-res  fourier
+  AP             58      22     154        0         0        0
+  CS             12       0      32        4         0        0
+  LG           1740       0      18        0         0        0
+  LW             14       0       8        9         0        1
+  MT             12       0      82        0         0        0
+  NA             12       0     170       44         2        8
+  OC              2       2      10        0         0        0
+  SD            238       0     132        2         2        6
+  SM            252      24      66        0         0        0
+  SR            420       0     322        0         0        0
+  TF            200       2     206        0         0        0
+  TI              0       0       2        9         0        1
+  WS             10      46      94        2         0       40
+  TOTAL        2970      96    1296       70         4       56
+  paper       11859     384    5176      323         6      174
+  
+  -- memoization (paper Table 3) --
+                                measured     paper
+  executed tests, no memo           1426      5679
+  executed tests, memoized           277       332
+  reduction                         5.1x     17.1x
+  
+  -- direction-vector pruning (paper Tables 4 -> 5) --
+                                measured     paper
+  tests, no pruning                 3681     12500
+  tests, full pruning               1812       900
+  reduction                         2.0x     13.9x
+
+The JSON form carries the same numbers for tooling:
+
+  $ ddtest report --format json | grep -A1 '"memoization"' | head -n 2
+    "memoization": {"executed_no_memo": 1426,
+                     "executed_memoized": 277,

@@ -472,6 +472,73 @@ let prop_plain_verdict_matches_oracle =
               (not t.unknown) && t.dependent = obs.dependent)
          report.pair_reports)
 
+(* Two sessions advanced in lockstep over the same programs: each
+   call's memo statistics must be the per-call delta of that session's
+   own tables — never polluted by the other session's interleaved
+   activity — and the deltas must sum back to the lifetime counters
+   [session_table_stats] reports. *)
+let test_interleaved_session_stats () =
+  let config =
+    { Analyzer.default_config with Analyzer.memo = Analyzer.Memo_improved }
+  in
+  let p1 = parse "for i = 1 to 10 do a[i] = a[i+1] + a[2*i] end" in
+  let p2 = parse "for i = 1 to 8 do for j = 1 to 8 do b[i+j] = b[i+j+1] end end" in
+  let sequence = [ p1; p2; p1 ] in
+  let s1 = Analyzer.create_session ~config () in
+  let s2 = Analyzer.create_session ~config () in
+  let calls =
+    List.map
+      (fun p ->
+         let r1 = Analyzer.analyze_session s1 p in
+         let r2 = Analyzer.analyze_session s2 p in
+         (r1.Analyzer.stats, r2.Analyzer.stats))
+      sequence
+  in
+  List.iteri
+    (fun i ((a : Analyzer.stats), (b : Analyzer.stats)) ->
+       Alcotest.(check int)
+         (Printf.sprintf "call %d: same full-table lookups either session" i)
+         a.memo_lookups_full b.memo_lookups_full;
+       Alcotest.(check int)
+         (Printf.sprintf "call %d: same full-table hits either session" i)
+         a.memo_hits_full b.memo_hits_full;
+       Alcotest.(check int)
+         (Printf.sprintf "call %d: same gcd-table lookups either session" i)
+         a.memo_lookups_nobounds b.memo_lookups_nobounds)
+    calls;
+  (* Re-analyzing p1 must hit on every single case: a cumulative (or
+     cross-contaminated) delta would break one of these equalities. *)
+  (match (List.nth calls 0, List.nth calls 2) with
+   | (first, _), (again, _) ->
+     Alcotest.(check int) "same work both times p1 is analyzed"
+       first.Analyzer.memo_lookups_full again.Analyzer.memo_lookups_full;
+     Alcotest.(check int) "second pass over p1 hits every case"
+       again.Analyzer.memo_lookups_full again.Analyzer.memo_hits_full;
+     Alcotest.(check bool) "first pass over p1 missed at least once" true
+       (first.Analyzer.memo_hits_full < first.Analyzer.memo_lookups_full));
+  let sum f = List.fold_left (fun acc (a, _) -> acc + f a) 0 calls in
+  let gcd_stats, full_stats = Analyzer.session_table_stats s1 in
+  Alcotest.(check int) "per-call full lookups sum to the lifetime counter"
+    (sum (fun (s : Analyzer.stats) -> s.memo_lookups_full))
+    full_stats.Memo_table.lookups;
+  Alcotest.(check int) "per-call full hits sum to the lifetime counter"
+    (sum (fun (s : Analyzer.stats) -> s.memo_hits_full))
+    full_stats.Memo_table.hits;
+  Alcotest.(check int) "per-call gcd lookups sum to the lifetime counter"
+    (sum (fun (s : Analyzer.stats) -> s.memo_lookups_nobounds))
+    gcd_stats.Memo_table.lookups;
+  Alcotest.(check int) "per-call gcd hits sum to the lifetime counter"
+    (sum (fun (s : Analyzer.stats) -> s.memo_hits_nobounds))
+    gcd_stats.Memo_table.hits;
+  (* Lockstep sessions end with identical lifetime statistics. *)
+  let gcd2, full2 = Analyzer.session_table_stats s2 in
+  Alcotest.(check int) "lifetime full lookups equal across sessions"
+    full_stats.Memo_table.lookups full2.Memo_table.lookups;
+  Alcotest.(check int) "lifetime full entries equal across sessions"
+    full_stats.Memo_table.size full2.Memo_table.size;
+  Alcotest.(check int) "lifetime gcd hits equal across sessions"
+    gcd_stats.Memo_table.hits gcd2.Memo_table.hits
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "analyzer"
@@ -496,6 +563,11 @@ let () =
           Alcotest.test_case "self pair output dependence" `Quick
             test_self_pair_output_dependence;
           Alcotest.test_case "triangular bounds" `Quick test_triangular_bounds;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "interleaved sessions keep per-call deltas" `Quick
+            test_interleaved_session_stats;
         ] );
       ( "oracle-properties",
         [

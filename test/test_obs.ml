@@ -1,0 +1,287 @@
+(* The observability stack: strict clock monotonicity, the leveled
+   logger, the striped metrics registry, the per-domain trace
+   collector and its Chrome export, and the headline property that
+   every metric the batch driver embeds in its JSON output is a pure
+   function of the corpus — invariant under the worker count. *)
+
+open Dda_obs
+open Dda_engine
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_strict () =
+  Clock.use_tick_counter ();
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now () in
+    if t <= !prev then Alcotest.failf "clock repeated: %d after %d" t !prev;
+    prev := t
+  done;
+  (* A stuck source is nudged forward, never allowed to repeat. *)
+  Clock.set_source (fun () -> 42);
+  let a = Clock.now () in
+  let b = Clock.now () in
+  Clock.use_tick_counter ();
+  Alcotest.(check bool) "stuck source still strict" true (b > a)
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_levels () =
+  List.iter
+    (fun (name, l) ->
+       Alcotest.(check string) "name round-trip" name (Log.level_name l);
+       Alcotest.(check bool) "parse round-trip" true
+         (Log.level_of_string name = Some l))
+    Log.all_levels;
+  Alcotest.(check bool) "unknown level rejected" true
+    (Log.level_of_string "loud" = None);
+  let saved = Log.level () in
+  Log.set_level Log.Debug;
+  Alcotest.(check bool) "set/get" true (Log.level () = Log.Debug);
+  Log.set_level saved
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  (* find-or-register is idempotent: the same name is the same counter *)
+  Metrics.incr (Metrics.counter "test.obs.counter");
+  Alcotest.(check int) "counter value" 43
+    (Metrics.find_counter (Metrics.snapshot ()) "test.obs.counter");
+  Alcotest.(check int) "absent counter reads 0" 0
+    (Metrics.find_counter (Metrics.snapshot ()) "no.such.counter")
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "non-positive samples go to bucket 0" 0
+    (Metrics.bucket_of 0);
+  Alcotest.(check int) "bucket 0 lower bound" 0 (Metrics.bucket_lo 0);
+  for s = 1 to 4096 do
+    let b = Metrics.bucket_of s in
+    let lo = Metrics.bucket_lo b in
+    if not (lo <= s && s <= (2 * lo) - 1) then
+      Alcotest.failf "sample %d filed in bucket %d = [%d, %d]" s b lo
+        ((2 * lo) - 1)
+  done;
+  Metrics.reset ();
+  let h = Metrics.histogram "test.obs.hist" in
+  List.iter (Metrics.observe h) [ -3; 0; 1; 5; 1000 ];
+  let snap = Metrics.snapshot () in
+  match List.assoc_opt "test.obs.hist" snap.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hs ->
+    Alcotest.(check int) "count" 5 hs.Metrics.count;
+    Alcotest.(check int) "sum" 1003 hs.Metrics.sum;
+    Alcotest.(check int) "samples across buckets" 5
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 hs.Metrics.buckets)
+
+let test_merge_and_reset () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.merge" in
+  Metrics.add c 5;
+  let s1 = Metrics.snapshot () in
+  Metrics.reset ();
+  Metrics.add c 7;
+  let s2 = Metrics.snapshot () in
+  Alcotest.(check int) "reset zeroes but keeps the name" 7
+    (Metrics.find_counter s2 "test.obs.merge");
+  Alcotest.(check int) "merge sums pointwise" 12
+    (Metrics.find_counter (Metrics.merge s1 s2) "test.obs.merge")
+
+let test_striped_parallel () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.parallel" in
+  let worker () =
+    Domain.spawn (fun () ->
+        for _ = 1 to 10_000 do
+          Metrics.incr c
+        done)
+  in
+  let ds = List.init 4 (fun _ -> worker ()) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no update lost across stripes" 40_000
+    (Metrics.find_counter (Metrics.snapshot ()) "test.obs.parallel")
+
+(* ------------------------------------------------------------------ *)
+(* Trace collector                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_trace f =
+  Clock.use_tick_counter ();
+  Trace.clear ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+        Trace.disable ();
+        Trace.clear ())
+    f
+
+let test_ring_growth () =
+  with_trace (fun () ->
+      (* Push through several ring growths (the buffer starts small):
+         nothing lost, no uninitialized slot leaks into the export. *)
+      for i = 1 to 5_000 do
+        Trace.instant "tick" ~args:[ ("i", i) ]
+      done;
+      let evs = Trace.events () in
+      Alcotest.(check int) "all events kept" 5_000 (List.length evs);
+      Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ());
+      List.iter
+        (fun (e : Trace.event) ->
+           if e.Trace.name <> "tick" then
+             Alcotest.failf "alien event %S in the ring" e.Trace.name)
+        evs;
+      ignore
+        (List.fold_left
+           (fun prev (e : Trace.event) ->
+              if e.Trace.ts <= prev then
+                Alcotest.failf "timestamps not strict: %d after %d" e.Trace.ts
+                  prev;
+              e.Trace.ts)
+           min_int evs))
+
+let test_ring_overflow_counts_losses () =
+  with_trace (fun () ->
+      for _ = 1 to 70_000 do
+        Trace.instant "spam"
+      done;
+      let kept = List.length (Trace.events ()) in
+      Alcotest.(check bool) "overflow drops something" true
+        (Trace.dropped () > 0);
+      Alcotest.(check int) "kept + dropped = pushed" 70_000
+        (kept + Trace.dropped ()))
+
+let test_wrap_closes_on_raise () =
+  with_trace (fun () ->
+      (try
+         Trace.wrap ~name:"boom"
+           ~args:(fun _ -> [ ("unreachable", 1) ])
+           (fun () -> failwith "expected")
+       with Failure _ -> ());
+      match Trace.events () with
+      | [ e ] ->
+        Alcotest.(check string) "span name" "boom" e.Trace.name;
+        Alcotest.(check bool) "raised flag" true
+          (List.mem ("raised", 1) e.Trace.args);
+        Alcotest.(check bool) "span, not instant" true (e.Trace.dur >= 0)
+      | evs -> Alcotest.failf "expected 1 span, got %d" (List.length evs))
+
+(* The Chrome export, parsed back with the bench harness's JSON
+   parser: structurally well-formed, correctly escaped, and strictly
+   timestamp-ordered within each track. *)
+let test_chrome_export_well_formed () =
+  let json =
+    with_trace (fun () ->
+        Trace.instant "needs \"escaping\"\n" ~args:[ ("k", 1) ];
+        Trace.wrap ~name:"outer"
+          ~args:(fun _ -> [ ("v", 2) ])
+          (fun () ->
+             Trace.wrap ~name:"inner" ~args:(fun _ -> []) (fun () -> ()));
+        let d = Domain.spawn (fun () -> Trace.instant "worker") in
+        Domain.join d;
+        Trace.to_chrome_string ())
+  in
+  let get k j =
+    match Perf_json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing field %s" k
+  in
+  let doc = Perf_json.parse json in
+  let events = Perf_json.to_list (get "traceEvents" doc) in
+  (* one metadata record per track plus our four events *)
+  Alcotest.(check bool) "has events" true (List.length events >= 5);
+  let last_ts = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+       let ph = Perf_json.to_str (get "ph" e) in
+       ignore (Perf_json.to_str (get "name" e));
+       match ph with
+       | "M" -> ()
+       | "X" | "i" ->
+         let tid = int_of_float (Perf_json.to_num (get "tid" e)) in
+         let ts = Perf_json.to_num (get "ts" e) in
+         (match Hashtbl.find_opt last_ts tid with
+          | Some prev when ts <= prev ->
+            Alcotest.failf "track %d not strictly ordered: %f after %f" tid
+              ts prev
+          | _ -> ());
+         Hashtbl.replace last_ts tid ts;
+         if ph = "X" then
+           Alcotest.(check bool) "complete events carry a duration" true
+             (Perf_json.to_num (get "dur" e) >= 0.)
+       | other -> Alcotest.failf "unexpected phase %S" other)
+    events;
+  Alcotest.(check bool) "worker got its own track" true
+    (Hashtbl.length last_ts >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Batch metrics are jobs-invariant                                    *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_of_programs programs =
+  List.mapi
+    (fun i program -> { Batch.name = Printf.sprintf "p%d" i; program })
+    programs
+
+let arb_corpus =
+  QCheck.make
+    ~print:(fun progs ->
+        String.concat "\n---\n" (List.map Dda_lang.Pretty.program_to_string progs))
+    QCheck.Gen.(
+      list_size (int_range 2 5) (QCheck.gen Test_support.Gen_ast.arb_affine_nest))
+
+let prop_batch_metrics_jobs_invariant =
+  (* Every counter and histogram the batch embeds in its JSON output
+     must be a pure function of the per-item analysis work — running
+     the same corpus on one worker or several yields the identical
+     merged registry (the design rule that keeps batch output
+     byte-identical across --jobs). *)
+  QCheck.Test.make ~name:"batch metrics invariant under the job count"
+    ~count:10 arb_corpus
+    (fun programs ->
+       let corpus = corpus_of_programs programs in
+       let registry_of jobs =
+         Metrics.reset ();
+         ignore (Batch.run ~jobs corpus);
+         Metrics.to_json_string (Metrics.snapshot ())
+       in
+       let solo = registry_of 1 in
+       List.for_all (fun jobs -> registry_of jobs = solo) [ 2; 3 ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "strict monotonicity" `Quick test_clock_strict ] );
+      ("log", [ Alcotest.test_case "levels" `Quick test_log_levels ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "merge and reset" `Quick test_merge_and_reset;
+          Alcotest.test_case "striped updates across domains" `Quick
+            test_striped_parallel;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring growth keeps every event" `Quick
+            test_ring_growth;
+          Alcotest.test_case "overflow counts losses" `Quick
+            test_ring_overflow_counts_losses;
+          Alcotest.test_case "wrap closes on raise" `Quick
+            test_wrap_closes_on_raise;
+          Alcotest.test_case "chrome export well-formed and ordered" `Quick
+            test_chrome_export_well_formed;
+        ] );
+      ( "batch",
+        [ qt prop_batch_metrics_jobs_invariant ] );
+    ]
