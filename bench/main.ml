@@ -758,6 +758,72 @@ let perfect_batch () =
   snap
 
 (* ------------------------------------------------------------------ *)
+(* Streaming vs in-memory batch: the bounded-memory claim              *)
+(* ------------------------------------------------------------------ *)
+
+(* The streamed engine holds only a sliding window of in-flight items;
+   the in-memory engine materializes the whole parsed corpus and every
+   report before printing anything. VmHWM is monotonic within a
+   process, so both modes are measured with the GC's own live-word
+   count: full_major, then [Gc.stat].live_words. The streamed figure is
+   the maximum observed after each emitted item. Both runs analyze the
+   exact corpus [Stream.of_perfect ~amplify:10] yields, so the delta is
+   attributable to engine structure, not corpus content. *)
+let streaming_memory_result : (int * int) option ref = ref None
+
+let live_words () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+let streaming_memory () =
+  section
+    "Streaming vs in-memory batch: live heap on PERFECT x10\n\
+     (GC live words; the streamed run samples after every item)";
+  let amplify = 10 in
+  let module Stream = Dda_engine.Stream in
+  let drain src f =
+    let rec go () =
+      match src () with
+      | None -> ()
+      | Some (it : Stream.item) ->
+        f it;
+        go ()
+    in
+    go ()
+  in
+  let base = live_words () in
+  let inmem =
+    let items = ref [] in
+    drain
+      (Stream.of_perfect ~amplify ())
+      (fun it ->
+        items :=
+          { Dda_engine.Batch.name = it.Stream.name;
+            program = Parser.parse_program (it.Stream.text ()) }
+          :: !items);
+    let items = List.rev !items in
+    let res = Dda_engine.Batch.run ~jobs:1 items in
+    let w = live_words () - base in
+    ignore (Sys.opaque_identity (items, res));
+    w
+  in
+  let base = live_words () in
+  let peak = ref 0 in
+  let summary =
+    Stream.run ~jobs:1
+      ~render:(fun _ -> "")
+      ~emit:(fun _ -> peak := max !peak (live_words () - base))
+      (Stream.of_perfect ~amplify ())
+  in
+  let corpus = summary.Stream.total in
+  Printf.printf
+    "%d programs: in-memory %d live words at completion,\n\
+     streamed %d live words at peak (%.1fx smaller)\n"
+    corpus inmem !peak
+    (float_of_int inmem /. float_of_int (max 1 !peak));
+  streaming_memory_result := Some (inmem, !peak)
+
+(* ------------------------------------------------------------------ *)
 (* Trace overhead: disabled instrumentation must cost < 2%             *)
 (* ------------------------------------------------------------------ *)
 
@@ -903,6 +969,22 @@ let results_json ~mode ~memo ~micro ~metrics ~trace =
                ("per_span_ns", Perf_json.Num per_span_ns);
                ("disabled_overhead_pct", Perf_json.Num overhead_pct);
              ] );
+       ]
+     @
+     match !streaming_memory_result with
+     | None -> []
+     | Some (inmem, stream_peak) ->
+       [
+         ( "streaming_memory",
+           Perf_json.Obj
+             [
+               ("inmem_live_words", Perf_json.Num (float_of_int inmem));
+               ( "stream_peak_live_words",
+                 Perf_json.Num (float_of_int stream_peak) );
+               ( "ratio",
+                 Perf_json.Num
+                   (float_of_int inmem /. float_of_int (max 1 stream_peak)) );
+             ] );
        ])
 
 (* --compare BASE NEW: a metric regresses when it grows by more than
@@ -996,6 +1078,7 @@ let run_full () =
   measured "ablations" ablations;
   let trace = trace_overhead () in
   let metrics = perfect_batch () in
+  measured "streaming_memory" streaming_memory;
   let memo = memo_hit_rates () in
   print_newline ();
   print_endline
@@ -1008,6 +1091,7 @@ let run_smoke () =
   print_endline "bench --smoke: reduced perf profile";
   let trace = trace_overhead () in
   let metrics = perfect_batch () in
+  measured "streaming_memory" streaming_memory;
   let memo = memo_hit_rates () in
   let micro = microbench ~nbatch:4 ~quota:0.05 () in
   (memo, micro, metrics, trace)

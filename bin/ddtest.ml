@@ -3,7 +3,11 @@
    Subcommands:
      analyze    <file>  per-pair dependence report (text or JSON; memo
                         tables persist across runs with --memo-file)
-     batch      <files> analyze a whole corpus concurrently (--jobs N)
+     batch      <files> analyze a whole corpus concurrently (--jobs N);
+                        --stream pulls items in bounded memory, --journal/
+                        --resume checkpoint and continue interrupted runs,
+                        --fuzz/--perfect generate the corpus on the fly
+     fuzz       <n>     emit programs from the seeded corpus fuzzer
      parallel   <file>  which loops are parallelizable
      transform  <file>  loop reversal/interchange legality
      distribute <file>  Allen-Kennedy loop distribution plan
@@ -260,26 +264,28 @@ let pp_outcome fmt (r : Analyzer.pair_report) =
       | None -> ()
     end
 
-let print_stats (s : Analyzer.stats) =
-  Format.printf "@.-- statistics --@.";
-  Format.printf "pairs analyzed:      %d@." s.pairs;
-  Format.printf "constant subscripts: %d@." s.constant_cases;
-  Format.printf "gcd independent:     %d@." s.gcd_independent;
-  Format.printf "assumed dependent:   %d@." s.assumed;
-  Format.printf "plain tests:         svpc=%d acyclic=%d loop-residue=%d fourier=%d@."
+let pp_stats fmt (s : Analyzer.stats) =
+  Format.fprintf fmt "@.-- statistics --@.";
+  Format.fprintf fmt "pairs analyzed:      %d@." s.pairs;
+  Format.fprintf fmt "constant subscripts: %d@." s.constant_cases;
+  Format.fprintf fmt "gcd independent:     %d@." s.gcd_independent;
+  Format.fprintf fmt "assumed dependent:   %d@." s.assumed;
+  Format.fprintf fmt "plain tests:         svpc=%d acyclic=%d loop-residue=%d fourier=%d@."
     s.plain_by_test.(0) s.plain_by_test.(1) s.plain_by_test.(2) s.plain_by_test.(3);
-  Format.printf "direction tests:     svpc=%d acyclic=%d loop-residue=%d fourier=%d@."
+  Format.fprintf fmt "direction tests:     svpc=%d acyclic=%d loop-residue=%d fourier=%d@."
     s.dir_counts.by_test.(0) s.dir_counts.by_test.(1) s.dir_counts.by_test.(2)
     s.dir_counts.by_test.(3);
-  Format.printf "memo (gcd table):    %d lookups, %d hits, %d unique@."
+  Format.fprintf fmt "memo (gcd table):    %d lookups, %d hits, %d unique@."
     s.memo_lookups_nobounds s.memo_hits_nobounds s.memo_unique_nobounds;
-  Format.printf "memo (full table):   %d lookups, %d hits, %d unique@."
+  Format.fprintf fmt "memo (full table):   %d lookups, %d hits, %d unique@."
     s.memo_lookups_full s.memo_hits_full s.memo_unique_full;
-  Format.printf "verdicts:            %d independent, %d dependent@."
+  Format.fprintf fmt "verdicts:            %d independent, %d dependent@."
     s.independent_pairs s.dependent_pairs;
   (* Only when something degraded: exact runs keep their exact output. *)
   if s.degraded_pairs > 0 then
-    Format.printf "degraded (budget):   %d@." s.degraded_pairs
+    Format.fprintf fmt "degraded (budget):   %d@." s.degraded_pairs
+
+let print_stats s = Format.printf "%a" pp_stats s
 
 let analyze_cmd =
   let run () file config stats memo_file format verify =
@@ -373,9 +379,169 @@ let analyze_cmd =
 let batch_cmd =
   (* The output deliberately never mentions the job count: in the
      default (independent) mode it is byte-identical whatever --jobs
-     is, and the determinism tests compare runs across job counts. *)
+     is, and the determinism tests compare runs across job counts.
+
+     The streaming path renders each item's block to a string with the
+     same format strings as the in-memory path below, so the two modes
+     are byte-identical on stdout (modulo the in-memory JSON layout:
+     streaming JSON is one compact JSONL object per program). The
+     rendered chunk is also what the journal stores, which is what
+     makes a resumed run byte-identical to an uninterrupted one. *)
+  let render_text = function
+    | Dda_engine.Stream.Analyzed a ->
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Format.fprintf fmt "== %s ==@." a.name;
+      List.iter
+        (fun (r : Analyzer.pair_report) ->
+          Format.fprintf fmt "%s[%s]  %a x %a:  %a@." r.array_name
+            (if r.self_pair then "self" else "pair")
+            Loc.pp r.loc1 Loc.pp r.loc2 pp_outcome r)
+        a.report.Analyzer.pair_reports;
+      Option.iter
+        (fun s ->
+          Format.fprintf fmt "%a" (Dda_check.Verify.pp_text ~file:a.name) s)
+        a.verification;
+      Format.pp_print_flush fmt ();
+      Buffer.contents buf
+    | Dda_engine.Stream.Quarantined q ->
+      Format.asprintf "== %s ==@.QUARANTINED after %d attempt%s: %s@." q.name
+        q.attempts
+        (if q.attempts = 1 then "" else "s")
+        q.error
+  in
+  let render_json = function
+    | Dda_engine.Stream.Analyzed a ->
+      Json_out.to_string
+        (Json_out.Obj
+           ([
+              ("file", Json_out.Str a.name);
+              ("report", Json_out.report a.report);
+            ]
+           @
+           match a.verification with
+           | Some s ->
+             [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+           | None -> []))
+      ^ "\n"
+    | Dda_engine.Stream.Quarantined q ->
+      Json_out.to_string
+        (Json_out.Obj
+           [
+             ("file", Json_out.Str q.name);
+             ("quarantined", Json_out.Bool true);
+             ("attempts", Json_out.Int q.attempts);
+             ("error", Json_out.Str q.error);
+           ])
+      ^ "\n"
+  in
+  let run_stream ~files ~jobs ~verify ~retries ~backoff_ms ~item_timeout_ms
+      ~config ~format ~journal ~resume ~fuzz ~fuzz_seed ~fuzz_profile ~perfect
+      ~amplify =
+    let sources =
+      (if files = [] then []
+       else
+         [
+           Dda_engine.Stream.concat
+             (List.map
+                (fun f ->
+                  if Sys.file_exists f && Sys.is_directory f then
+                    Dda_engine.Stream.of_dir f
+                  else Dda_engine.Stream.of_files [ f ])
+                files);
+         ])
+      @ (if perfect then [ Dda_engine.Stream.of_perfect ~amplify () ] else [])
+      @
+      if fuzz > 0 then
+        [ Dda_engine.Stream.of_fuzz ~profile:fuzz_profile ~seed:fuzz_seed fuzz ]
+      else []
+    in
+    if sources = [] then
+      failwith "batch: no corpus (give FILES, --perfect or --fuzz N)";
+    let source = Dda_engine.Stream.concat sources in
+    let render =
+      match format with `Text -> render_text | `Json -> render_json
+    in
+    let emit chunk =
+      print_string chunk;
+      flush stdout
+    in
+    let summary =
+      Dda_engine.Stream.run ~config ~verify ~retries ~backoff_ms
+        ?item_timeout_ms ?journal ~resume ~jobs ~render ~emit source
+    in
+    (match format with
+     | `Text ->
+       print_string
+         (Format.asprintf "@.== corpus: %d programs ==@."
+            summary.Dda_engine.Stream.total);
+       if
+         summary.Dda_engine.Stream.retried > 0
+         || summary.Dda_engine.Stream.quarantined > 0
+       then
+         print_string
+           (Format.asprintf "engine: %d retried, %d quarantined@."
+              summary.Dda_engine.Stream.retried
+              summary.Dda_engine.Stream.quarantined);
+       print_string
+         (Format.asprintf "%a" pp_stats summary.Dda_engine.Stream.merged)
+     | `Json ->
+       (* No metrics registry here: replayed items do not re-run, so
+          registry counters are not resume-invariant — and the summary
+          must be byte-identical between a clean and a resumed run. *)
+       print_string
+         (Json_out.to_string
+            (Json_out.Obj
+               ([
+                  ("corpus", Json_out.Int summary.Dda_engine.Stream.total);
+                  ( "merged_stats",
+                    Json_out.stats summary.Dda_engine.Stream.merged );
+                ]
+               @
+               if
+                 summary.Dda_engine.Stream.retried = 0
+                 && summary.Dda_engine.Stream.quarantined = 0
+               then []
+               else
+                 [
+                   ( "engine",
+                     Json_out.Obj
+                       [
+                         ( "retried",
+                           Json_out.Int summary.Dda_engine.Stream.retried );
+                         ( "quarantined",
+                           Json_out.Int summary.Dda_engine.Stream.quarantined
+                         );
+                       ] );
+                 ]))
+         ^ "\n"));
+    flush stdout;
+    (* The scale CI job greps this line to watch peak memory. *)
+    Dda_obs.Log.info
+      "stream: %d items (%d replayed), %d retried, %d quarantined, peak rss %d kB"
+      summary.Dda_engine.Stream.total summary.Dda_engine.Stream.replayed
+      summary.Dda_engine.Stream.retried summary.Dda_engine.Stream.quarantined
+      (Option.value ~default:0 (Dda_obs.Rusage.peak_rss_kb ()));
+    if summary.Dda_engine.Stream.quarantined > 0 then exit 3
+    else if summary.Dda_engine.Stream.verify_errors > 0 then exit 2
+  in
   let run () files jobs share_memo verify retries backoff_ms item_timeout_ms
-      config format =
+      config format stream journal resume fuzz fuzz_seed fuzz_profile perfect
+      amplify =
+    let streaming =
+      stream || journal <> None || resume || fuzz > 0 || perfect || amplify > 1
+    in
+    if streaming then begin
+      if share_memo then
+        failwith
+          "--share-memo is incompatible with streaming: items are analyzed \
+           independently";
+      run_stream ~files ~jobs ~verify ~retries ~backoff_ms ~item_timeout_ms
+        ~config ~format ~journal ~resume ~fuzz ~fuzz_seed ~fuzz_profile
+        ~perfect ~amplify
+    end
+    else begin
+    if files = [] then failwith "batch: no input files";
     let items =
       List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
     in
@@ -505,11 +671,15 @@ let batch_cmd =
            | None -> false)
         result.Dda_engine.Batch.items
     then exit 2
+    end
   in
   let files_arg =
     Arg.(
-      non_empty & pos_all string []
-      & info [] ~docv:"FILES" ~doc:"Source files to analyze.")
+      value & pos_all string []
+      & info [] ~docv:"FILES"
+          ~doc:
+            "Source files to analyze (in streaming mode, directories are \
+             expanded to their $(b,*.dd) files).")
   in
   let jobs_arg =
     Arg.(
@@ -561,6 +731,86 @@ let batch_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
   in
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream the corpus instead of materializing it: items are read \
+             (or generated), analyzed and printed with bounded memory — at \
+             most about twice $(b,--jobs) items in flight. Implied by \
+             $(b,--journal), $(b,--resume), $(b,--fuzz), $(b,--perfect) and \
+             $(b,--amplify).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal: append every completed item's result to \
+             $(docv) (fsynced before the result is printed), so an \
+             interrupted run can continue with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the $(b,--journal) file: journaled items are \
+             replayed byte-for-byte (after checking they still match the \
+             corpus) and analysis restarts at the first un-journaled item. \
+             The final output is byte-identical to an uninterrupted run. A \
+             truncated, corrupt or mismatched journal is rejected.")
+  in
+  let fuzz_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Append $(docv) random affine programs from the corpus fuzzer \
+             to the corpus (see $(b,--seed) and $(b,--fuzz-profile)).")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Fuzzer corpus seed: the same seed always generates the same \
+             programs.")
+  in
+  let fuzz_profile_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("mixed", Dda_perfect.Fuzz.Mixed); ("small", Dda_perfect.Fuzz.Small);
+             ])
+          Dda_perfect.Fuzz.Mixed
+      & info [ "fuzz-profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Fuzzer profile: $(b,mixed) (deep nests, symbolic bounds, \
+             pattern-library material) or $(b,small) (tiny constant bounds, \
+             exhaustively checkable).")
+  in
+  let perfect_arg =
+    Arg.(
+      value & flag
+      & info [ "perfect" ]
+          ~doc:
+            "Append the synthetic PERFECT Club suite to the corpus, \
+             generated on the fly ($(b,--amplify) controls how many \
+             seed-shifted copies of each program).")
+  in
+  let amplify_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "amplify" ] ~docv:"N"
+          ~doc:
+            "With $(b,--perfect): generate $(docv) seed-shifted copies of \
+             each suite program.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -569,10 +819,92 @@ let batch_cmd =
           statistics, and the default mode is byte-identical for every \
           $(b,--jobs) value. An item whose worker crashes is retried and \
           then quarantined — the rest of the corpus still completes; exits \
-          3 when anything was quarantined")
+          3 when anything was quarantined. With $(b,--stream) (or any of \
+          the flags that imply it) the corpus is pulled item by item in \
+          bounded memory, optionally journaled ($(b,--journal)) and \
+          resumed ($(b,--resume)) after a crash.")
     Term.(
       const run $ obs_term $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg
-      $ retries_arg $ backoff_arg $ timeout_arg $ config_term $ format)
+      $ retries_arg $ backoff_arg $ timeout_arg $ config_term $ format
+      $ stream_arg $ journal_arg $ resume_arg $ fuzz_arg $ fuzz_seed_arg
+      $ fuzz_profile_arg $ perfect_arg $ amplify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run () count seed profile dir start =
+    if count < 1 then failwith "fuzz: COUNT must be positive";
+    Option.iter
+      (fun d ->
+        if not (Sys.file_exists d) then Unix.mkdir d 0o755
+        else if not (Sys.is_directory d) then
+          failwith (Printf.sprintf "fuzz: %s is not a directory" d))
+      dir;
+    for index = start to start + count - 1 do
+      let text = Dda_perfect.Fuzz.program profile ~seed ~index in
+      match dir with
+      | None -> print_string text
+      | Some d ->
+        let path =
+          Filename.concat d (Printf.sprintf "fuzz-%d-%04d.dd" seed index)
+        in
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc text)
+    done
+  in
+  let count_arg =
+    Arg.(
+      required & pos 0 (some int) None
+      & info [] ~docv:"COUNT" ~doc:"How many programs to generate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Corpus seed; the same seed always yields the same programs.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("mixed", Dda_perfect.Fuzz.Mixed); ("small", Dda_perfect.Fuzz.Small);
+             ])
+          Dda_perfect.Fuzz.Mixed
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Fuzzer profile: $(b,mixed) or $(b,small).")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Write each program to $(docv)/fuzz-$(b,S)-$(b,NNNN).dd instead \
+             of concatenating them on stdout.")
+  in
+  let start_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "start" ] ~docv:"I"
+          ~doc:
+            "First corpus index to generate (programs are indexed, so a \
+             corpus can be produced in slices).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random affine programs from the seeded corpus fuzzer — \
+          the same generator $(b,ddtest batch --fuzz) streams from. \
+          Deterministic in ($(b,--profile), $(b,--seed), index).")
+    Term.(
+      const run $ obs_term $ count_arg $ seed_arg $ profile_arg $ dir_arg
+      $ start_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parallel                                                            *)
@@ -1269,6 +1601,7 @@ let () =
       [
         analyze_cmd;
         batch_cmd;
+        fuzz_cmd;
         parallel_cmd;
         passes_cmd;
         perfect_cmd;

@@ -156,6 +156,62 @@ let merge_stats ~into src =
   into.memo_hits_full <- into.memo_hits_full + src.memo_hits_full;
   into.memo_unique_full <- into.memo_unique_full + src.memo_unique_full
 
+(* Flat integer serialization, for the batch journal: every field in a
+   fixed order, the two per-test arrays and the direction counts
+   flattened in place. *)
+let stats_to_list s =
+  [ s.pairs; s.constant_cases; s.gcd_independent; s.assumed ]
+  @ Array.to_list s.plain_by_test
+  @ Array.to_list s.dir_counts.Direction.by_test
+  @ Array.to_list s.dir_counts.Direction.indep_by_test
+  @ [
+      s.implicit_bb_cases;
+      s.degraded_pairs;
+      s.independent_pairs;
+      s.dependent_pairs;
+      s.vectors_reported;
+      s.memo_lookups_nobounds;
+      s.memo_hits_nobounds;
+      s.memo_unique_nobounds;
+      s.memo_lookups_full;
+      s.memo_hits_full;
+      s.memo_unique_full;
+    ]
+
+let stats_of_list l =
+  match l with
+  | [
+      pairs; constant_cases; gcd_independent; assumed;
+      p0; p1; p2; p3;
+      d0; d1; d2; d3;
+      i0; i1; i2; i3;
+      implicit_bb_cases; degraded_pairs; independent_pairs; dependent_pairs;
+      vectors_reported;
+      memo_lookups_nobounds; memo_hits_nobounds; memo_unique_nobounds;
+      memo_lookups_full; memo_hits_full; memo_unique_full;
+    ] ->
+    let s = fresh_stats () in
+    s.pairs <- pairs;
+    s.constant_cases <- constant_cases;
+    s.gcd_independent <- gcd_independent;
+    s.assumed <- assumed;
+    s.plain_by_test <- [| p0; p1; p2; p3 |];
+    s.dir_counts.Direction.by_test <- [| d0; d1; d2; d3 |];
+    s.dir_counts.Direction.indep_by_test <- [| i0; i1; i2; i3 |];
+    s.implicit_bb_cases <- implicit_bb_cases;
+    s.degraded_pairs <- degraded_pairs;
+    s.independent_pairs <- independent_pairs;
+    s.dependent_pairs <- dependent_pairs;
+    s.vectors_reported <- vectors_reported;
+    s.memo_lookups_nobounds <- memo_lookups_nobounds;
+    s.memo_hits_nobounds <- memo_hits_nobounds;
+    s.memo_unique_nobounds <- memo_unique_nobounds;
+    s.memo_lookups_full <- memo_lookups_full;
+    s.memo_hits_full <- memo_hits_full;
+    s.memo_unique_full <- memo_unique_full;
+    Some s
+  | _ -> None
+
 type report = {
   pair_reports : pair_report list;
   stats : stats;

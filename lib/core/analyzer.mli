@@ -129,6 +129,15 @@ val merge_stats : into:stats -> stats -> unit
     from the session's tables (see {!session_table_sizes}), since each
     per-call value is already cumulative. *)
 
+val stats_to_list : stats -> int list
+(** Every field flattened into a fixed-order integer list — a stable,
+    version-checked wire form for the streaming batch journal.
+    [stats_of_list (stats_to_list s)] restores an equal record. *)
+
+val stats_of_list : int list -> stats option
+(** Inverse of {!stats_to_list}; [None] when the list has the wrong
+    arity (e.g. a journal written by an incompatible build). *)
+
 type report = {
   pair_reports : pair_report list;
   stats : stats;

@@ -16,6 +16,7 @@ let known_sites =
     "analyzer.pair";
     "batch.item";
     "pool.job";
+    "stream.journal";
   ]
 
 type action =

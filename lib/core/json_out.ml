@@ -77,6 +77,159 @@ let rec pp fmt = function
       fields;
     Format.fprintf fmt "@]}"
 
+(* ------------------------------------------------------------------ *)
+(* Parsing (the subset this module emits)                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_fail of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_fail (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let peek () = if !pos >= n then '\x00' else s.[!pos] in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let add_utf8 buf code =
+    (* Decode \uXXXX escapes back to UTF-8 bytes (no surrogate pairs:
+       the emitter never produces them). *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; incr pos
+             | '\\' -> Buffer.add_char buf '\\'; incr pos
+             | '/' -> Buffer.add_char buf '/'; incr pos
+             | 'n' -> Buffer.add_char buf '\n'; incr pos
+             | 'r' -> Buffer.add_char buf '\r'; incr pos
+             | 't' -> Buffer.add_char buf '\t'; incr pos
+             | 'b' -> Buffer.add_char buf '\b'; incr pos
+             | 'f' -> Buffer.add_char buf '\x0c'; incr pos
+             | 'u' ->
+               if !pos + 4 >= n then fail "truncated \\u escape";
+               (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                | Some code -> add_utf8 buf code; pos := !pos + 5
+                | None -> fail "bad \\u escape")
+             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+        | c -> Buffer.add_char buf c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    (match peek () with
+     | '.' | 'e' | 'E' -> fail "non-integer numbers are not supported"
+     | _ -> ());
+    match int_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin incr pos; List [] end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> incr pos; elems (v :: acc)
+          | ']' -> incr pos; List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+      end
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin incr pos; Obj [] end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          (k, parse_value ())
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | ',' -> incr pos; fields (kv :: acc)
+          | '}' -> incr pos; Obj (List.rev (kv :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+      end
+    | '-' | '0' .. '9' -> Int (parse_int ())
+    | _ -> fail "expected a JSON value"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_fail msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 let loc (l : Loc.t) = Str (Loc.to_string l)
 let role = function `Read -> Str "read" | `Write -> Str "write"
 

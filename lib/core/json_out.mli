@@ -1,7 +1,8 @@
 (** Minimal JSON emission (strings, numbers, booleans, arrays,
     objects) and the analyzer report rendered as JSON — enough for
-    tooling to consume analysis results without scraping text. No
-    parser: this library only produces JSON. *)
+    tooling to consume analysis results without scraping text — plus a
+    parser for exactly the subset this module emits, so the batch
+    journal can read its own records back. *)
 
 type t =
   | Null
@@ -16,6 +17,16 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 (** Indented rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse the subset of JSON this module emits — in particular, numbers
+    must be integers (no fraction or exponent). Round-trips
+    {!to_string}: [of_string (to_string j) = Ok j]. Used by the batch
+    journal reader; the error carries a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k]; [None] when
+    absent or when the value is not an object. *)
 
 val report : Analyzer.report -> t
 (** The whole report: one object per pair (locations, roles, outcome,

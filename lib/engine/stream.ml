@@ -1,0 +1,588 @@
+open Dda_lang
+open Dda_core
+
+(* ------------------------------------------------------------------ *)
+(* Sources                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type item = {
+  name : string;
+  text : unit -> string;
+}
+
+type source = unit -> item option
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let of_files paths =
+  let rest = ref paths in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | p :: tl ->
+      rest := tl;
+      Some { name = p; text = (fun () -> read_file p) }
+
+let of_dir dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".dd")
+    |> List.sort String.compare
+    |> List.map (fun f -> Filename.concat dir f)
+  in
+  of_files files
+
+let of_perfect ?(amplify = 1) () =
+  if amplify < 1 then invalid_arg "Stream.of_perfect: amplify must be >= 1";
+  let specs = ref Dda_perfect.Programs.all in
+  let copy = ref 0 in
+  let rec next () =
+    match !specs with
+    | [] -> None
+    | spec :: tl ->
+      if !copy >= amplify then begin
+        specs := tl;
+        copy := 0;
+        next ()
+      end
+      else begin
+        let k = !copy in
+        incr copy;
+        Some
+          {
+            name =
+              Printf.sprintf "perfect:%s:%d" spec.Dda_perfect.Programs.name k;
+            (* Copy 0 is the original suite program; further copies
+               shift the seed, so amplification adds fresh-but-alike
+               material rather than duplicates. *)
+            text =
+              (fun () ->
+                Dda_perfect.Programs.source
+                  {
+                    spec with
+                    Dda_perfect.Programs.seed =
+                      spec.Dda_perfect.Programs.seed + (7919 * k);
+                  });
+          }
+      end
+  in
+  next
+
+let of_fuzz ~profile ~seed n =
+  if n < 0 then invalid_arg "Stream.of_fuzz: count must be >= 0";
+  let i = ref 0 in
+  fun () ->
+    if !i >= n then None
+    else begin
+      let index = !i in
+      incr i;
+      Some
+        {
+          name =
+            Printf.sprintf "fuzz:%s:%d:%d"
+              (Dda_perfect.Fuzz.profile_name profile)
+              seed index;
+          text =
+            (fun () -> Dda_perfect.Fuzz.program profile ~seed ~index);
+        }
+    end
+
+let concat sources =
+  let rest = ref sources in
+  let rec next () =
+    match !rest with
+    | [] -> None
+    | s :: tl -> (
+      match s () with
+      | Some _ as r -> r
+      | None ->
+        rest := tl;
+        next ())
+  in
+  next
+
+(* ------------------------------------------------------------------ *)
+(* Per-item processing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Analyzed of {
+      name : string;
+      report : Analyzer.report;
+      verification : Dda_check.Verify.summary option;
+      attempts : int;
+    }
+  | Quarantined of { name : string; attempts : int; error : string }
+
+type summary = {
+  total : int;
+  replayed : int;
+  retried : int;
+  quarantined : int;
+  verify_errors : int;
+  merged : Analyzer.stats;
+}
+
+(* Same counter names as the in-memory engine: items, retries and
+   quarantines are per-corpus-item events either way, so the two
+   drivers are indistinguishable to the metrics registry. *)
+let m_items = Dda_obs.Metrics.counter "batch.items"
+let m_retries = Dda_obs.Metrics.counter "batch.retries"
+let m_quarantined = Dda_obs.Metrics.counter "batch.quarantined"
+let m_appends = Dda_obs.Metrics.counter "stream.journal.appends"
+let m_replayed = Dda_obs.Metrics.counter "stream.replayed"
+
+exception Parse_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error msg -> Some msg
+    | _ -> None)
+
+let parse name text =
+  match Parser.parse_program text with
+  | prog ->
+    List.iter
+      (fun e -> Dda_obs.Log.debug "%s: %a" name Semant.pp_error e)
+      (Semant.check prog);
+    prog
+  | exception Parser.Error (msg, loc) ->
+    raise
+      (Parse_error (Format.asprintf "%s:%a: syntax error: %s" name Loc.pp loc msg))
+  | exception Lexer.Error (msg, loc) ->
+    raise
+      (Parse_error
+         (Format.asprintf "%s:%a: lexical error: %s" name Loc.pp loc msg))
+
+let md5_hex s = Digest.to_hex (Digest.string s)
+
+(* One item, with the in-memory engine's fault isolation — except that
+   a parse or lexical error quarantines immediately: the input is
+   static, retrying cannot change the answer. Returns the source-text
+   digest alongside the outcome ("" when the text was never obtained),
+   which becomes the journal's corpus key. *)
+let process ~config ~verify ~retries ~backoff_ms ~item_timeout_ms ~idx it =
+  Dda_obs.Metrics.incr m_items;
+  let verification cancel program report =
+    if not verify then None
+    else begin
+      let prepared =
+        if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run program
+        else program
+      in
+      let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+      let pairs = Analyzer.site_pairs config sites in
+      Some (Dda_check.Verify.verify_report ~cancel ~config pairs report)
+    end
+  in
+  let item_cancel () =
+    match item_timeout_ms with
+    | None -> fun () -> false
+    | Some ms ->
+      let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+      fun () -> Unix.gettimeofday () > deadline
+  in
+  let key = ref "" in
+  let rec go attempt =
+    match
+      Dda_obs.Trace.wrap ~name:"batch.item"
+        ~args:(fun _ -> [ ("index", idx); ("attempt", attempt) ])
+        (fun () ->
+          Failpoint.hit "batch.item";
+          let text = it.text () in
+          key := md5_hex text;
+          let program = parse it.name text in
+          let cancel = item_cancel () in
+          let report = Analyzer.analyze ~config ~cancel program in
+          (report, verification cancel program report))
+    with
+    | report, ver ->
+      ( !key,
+        Analyzed
+          { name = it.name; report; verification = ver; attempts = attempt } )
+    | exception Parse_error msg ->
+      Dda_obs.Metrics.incr m_quarantined;
+      Dda_obs.Log.info "stream: quarantining %s (malformed): %s" it.name msg;
+      (!key, Quarantined { name = it.name; attempts = attempt; error = msg })
+    | exception e ->
+      if attempt <= retries then begin
+        Dda_obs.Metrics.incr m_retries;
+        Dda_obs.Log.info "stream: retrying %s (attempt %d of %d): %s" it.name
+          (attempt + 1) (retries + 1) (Printexc.to_string e);
+        if backoff_ms > 0 then
+          Unix.sleepf
+            (float_of_int (backoff_ms * (1 lsl (attempt - 1))) /. 1000.);
+        go (attempt + 1)
+      end
+      else begin
+        Dda_obs.Metrics.incr m_quarantined;
+        Dda_obs.Log.info "stream: quarantining %s after %d attempts: %s"
+          it.name attempt (Printexc.to_string e);
+        ( !key,
+          Quarantined
+            { name = it.name; attempts = attempt; error = Printexc.to_string e }
+        )
+      end
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* JSONL: a header line with a configuration fingerprint, then one
+   record per completed item. Everything needed to replay the item
+   without re-analyzing it travels in the record: the rendered output
+   chunk, its digest (integrity), the source-text digest (corpus
+   identity), and the flattened statistics. *)
+
+let journal_version = 1
+
+let config_digest config ~verify =
+  md5_hex (Marshal.to_string (config, verify) [])
+
+type jrecord = {
+  j_name : string;
+  j_key : string;
+  j_out : string;
+  j_attempts : int;
+  j_verrs : int;
+  j_stats : Analyzer.stats option;  (* [None] = quarantined *)
+}
+
+let header_line digest ~verify =
+  Json_out.to_string
+    (Json_out.Obj
+       [
+         ("dda_journal", Json_out.Int journal_version);
+         ("config", Json_out.Str digest);
+         ("verify", Json_out.Bool verify);
+       ])
+  ^ "\n"
+
+let record_line ~index ~key out outcome =
+  let name, attempts, verrs, stats, error =
+    match outcome with
+    | Analyzed a ->
+      ( a.name,
+        a.attempts,
+        (match a.verification with
+         | Some s -> s.Dda_check.Verify.errors
+         | None -> 0),
+        Some a.report.Analyzer.stats,
+        None )
+    | Quarantined q -> (q.name, q.attempts, 0, None, Some q.error)
+  in
+  Json_out.to_string
+    (Json_out.Obj
+       ([
+          ("i", Json_out.Int index);
+          ("name", Json_out.Str name);
+          ("key", Json_out.Str key);
+          ("digest", Json_out.Str (md5_hex out));
+          ("attempts", Json_out.Int attempts);
+          ("verrs", Json_out.Int verrs);
+        ]
+       @ (match stats with
+          | Some s ->
+            [
+              ( "stats",
+                Json_out.List
+                  (List.map
+                     (fun n -> Json_out.Int n)
+                     (Analyzer.stats_to_list s)) );
+            ]
+          | None -> [])
+       @ (match error with
+          | Some e -> [ ("q", Json_out.Bool true); ("error", Json_out.Str e) ]
+          | None -> [])
+       @ [ ("out", Json_out.Str out) ]))
+  ^ "\n"
+
+let jfail path reason = failwith (Printf.sprintf "journal %s: %s" path reason)
+
+let jint path j key =
+  match Json_out.member key j with
+  | Some (Json_out.Int n) -> n
+  | _ -> jfail path (Printf.sprintf "record is missing %S" key)
+
+let jstr path j key =
+  match Json_out.member key j with
+  | Some (Json_out.Str s) -> s
+  | _ -> jfail path (Printf.sprintf "record is missing %S" key)
+
+let parse_header path line =
+  match Json_out.of_string line with
+  | Error msg -> jfail path (Printf.sprintf "bad header: %s" msg)
+  | Ok j ->
+    (match Json_out.member "dda_journal" j with
+     | Some (Json_out.Int v) when v = journal_version -> ()
+     | Some (Json_out.Int v) ->
+       jfail path (Printf.sprintf "unsupported version %d" v)
+     | _ -> jfail path "not a journal (missing header)");
+    jstr path j "config"
+
+let parse_record path ~index line =
+  match Json_out.of_string line with
+  | Error msg ->
+    jfail path (Printf.sprintf "corrupt record %d: %s" index msg)
+  | Ok j ->
+    let i = jint path j "i" in
+    if i <> index then
+      jfail path
+        (Printf.sprintf "record %d is out of sequence (found index %d)" index i);
+    let out = jstr path j "out" in
+    let digest = jstr path j "digest" in
+    if not (String.equal (md5_hex out) digest) then
+      jfail path (Printf.sprintf "record %d fails its digest check" index);
+    let quarantined =
+      match Json_out.member "q" j with
+      | Some (Json_out.Bool true) -> true
+      | _ -> false
+    in
+    let stats =
+      if quarantined then None
+      else
+        match Json_out.member "stats" j with
+        | Some (Json_out.List l) ->
+          let ints =
+            List.map
+              (function
+                | Json_out.Int n -> n
+                | _ -> jfail path (Printf.sprintf "record %d: bad stats" index))
+              l
+          in
+          (match Analyzer.stats_of_list ints with
+           | Some s -> Some s
+           | None ->
+             jfail path
+               (Printf.sprintf
+                  "record %d: stats written by an incompatible build" index))
+        | _ -> jfail path (Printf.sprintf "record %d: missing stats" index)
+    in
+    {
+      j_name = jstr path j "name";
+      j_key = jstr path j "key";
+      j_out = out;
+      j_attempts = jint path j "attempts";
+      j_verrs = jint path j "verrs";
+      j_stats = stats;
+    }
+
+(* Full validation pass in bounded memory: header, record contiguity
+   and integrity, and a complete (newline-terminated) final record.
+   Returns the record count. *)
+let validate_journal ?expect_config path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> failwith (Printf.sprintf "journal: %s" msg)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      if len = 0 then jfail path "empty file";
+      seek_in ic (len - 1);
+      if input_char ic <> '\n' then
+        jfail path "torn final record (missing newline)";
+      seek_in ic 0;
+      let header =
+        match input_line ic with
+        | line -> line
+        | exception End_of_file -> jfail path "empty file"
+      in
+      let digest = parse_header path header in
+      (match expect_config with
+       | Some d when not (String.equal d digest) ->
+         jfail path
+           "written under a different configuration; re-run without --resume"
+       | _ -> ());
+      let count = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           ignore (parse_record path ~index:!count line);
+           incr count
+         done
+       with End_of_file -> ());
+      !count)
+
+let journal_records path = validate_journal path
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = Analyzer.default_config) ?(verify = false) ?(retries = 1)
+    ?(backoff_ms = 50) ?item_timeout_ms ?journal ?(resume = false) ~jobs
+    ~render ~emit source =
+  if jobs < 1 then invalid_arg "Stream.run: jobs must be >= 1";
+  if retries < 0 then invalid_arg "Stream.run: retries must be >= 0";
+  if backoff_ms < 0 then invalid_arg "Stream.run: backoff_ms must be >= 0";
+  if resume && journal = None then
+    invalid_arg "Stream.run: resume requires a journal";
+  let cfg_digest = config_digest config ~verify in
+  let nreplay =
+    match journal with
+    | Some path when resume -> validate_journal ~expect_config:cfg_digest path
+    | _ -> 0
+  in
+  let merged = Analyzer.fresh_stats () in
+  let total = ref 0 in
+  let retried = ref 0 in
+  let quarantined = ref 0 in
+  let verify_errors = ref 0 in
+  (* Replay: walk the journal and the source in lockstep, re-deriving
+     each journaled item from the source to prove the corpus is the
+     one the journal was written against, then re-emit the stored
+     output byte for byte. Bounded memory: one record at a time. *)
+  if nreplay > 0 then begin
+    let path = Option.get journal in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        ignore (input_line ic);
+        for index = 0 to nreplay - 1 do
+          let r = parse_record path ~index (input_line ic) in
+          let it =
+            match source () with
+            | Some it -> it
+            | None ->
+              jfail path
+                (Printf.sprintf
+                   "has %d records but the corpus ends at item %d" nreplay
+                   index)
+          in
+          if not (String.equal r.j_name it.name) then
+            jfail path
+              (Printf.sprintf
+                 "record %d is for %S but the corpus has %S here" index
+                 r.j_name it.name);
+          if r.j_key <> "" then begin
+            match it.text () with
+            | text ->
+              if not (String.equal (md5_hex text) r.j_key) then
+                jfail path
+                  (Printf.sprintf
+                     "record %d: %S has changed since the journal was written"
+                     index it.name)
+            | exception _ ->
+              (* The item failed to read back; the journaled verdict
+                 (likely a quarantine) still stands. *)
+              ()
+          end;
+          incr total;
+          Dda_obs.Metrics.incr m_replayed;
+          (match r.j_stats with
+           | Some s -> Analyzer.merge_stats ~into:merged s
+           | None -> incr quarantined);
+          if r.j_attempts > 1 then incr retried;
+          verify_errors := !verify_errors + r.j_verrs;
+          emit r.j_out
+        done)
+  end;
+  (* Open (or start) the write-ahead journal. *)
+  let joc =
+    match journal with
+    | None -> None
+    | Some path ->
+      let oc =
+        open_out_gen
+          (Open_wronly :: Open_creat :: Open_binary
+          :: (if resume then [ Open_append ] else [ Open_trunc ]))
+          0o644 path
+      in
+      if not resume then begin
+        output_string oc (header_line cfg_digest ~verify);
+        flush oc;
+        (try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ())
+      end;
+      Some oc
+  in
+  let append oc line =
+    (* Crash-injection point: a failure here must leave the journal
+       without the record — never with a torn one. *)
+    Failpoint.hit "stream.journal";
+    output_string oc line;
+    flush oc;
+    (try Unix.fsync (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> ());
+    Dda_obs.Metrics.incr m_appends
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out_noerr joc)
+    (fun () ->
+      let pool = Pool.create ~jobs in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          (* The sliding window: at most [max 2 (2 * jobs)] items
+             pulled, parsed and in flight at once; the head is awaited
+             (input order), journaled, emitted, and its slot refilled.
+             Peak memory is proportional to the window, not the
+             corpus. *)
+          let window = max 2 (2 * jobs) in
+          let pending = Queue.create () in
+          let exhausted = ref false in
+          let next_idx = ref nreplay in
+          let fill () =
+            while (not !exhausted) && Queue.length pending < window do
+              match source () with
+              | None -> exhausted := true
+              | Some it ->
+                let idx = !next_idx in
+                incr next_idx;
+                Queue.add
+                  ( idx,
+                    it.name,
+                    Pool.submit pool (fun () ->
+                        process ~config ~verify ~retries ~backoff_ms
+                          ~item_timeout_ms ~idx it) )
+                  pending
+            done
+          in
+          fill ();
+          while not (Queue.is_empty pending) do
+            let idx, name, promise = Queue.pop pending in
+            let key, outcome =
+              match Pool.await promise with
+              | r -> r
+              | exception e ->
+                (* Died outside per-item isolation (the pool job
+                   itself): quarantine, attempts 0. *)
+                Dda_obs.Metrics.incr m_quarantined;
+                ("", Quarantined { name; attempts = 0; error = Printexc.to_string e })
+            in
+            let out = render outcome in
+            incr total;
+            (match outcome with
+             | Analyzed a ->
+               Analyzer.merge_stats ~into:merged a.report.Analyzer.stats;
+               if a.attempts > 1 then incr retried;
+               (match a.verification with
+                | Some s ->
+                  verify_errors := !verify_errors + s.Dda_check.Verify.errors
+                | None -> ())
+             | Quarantined q ->
+               incr quarantined;
+               if q.attempts > 1 then incr retried);
+            Option.iter
+              (fun oc -> append oc (record_line ~index:idx ~key out outcome))
+              joc;
+            emit out;
+            fill ()
+          done));
+  {
+    total = !total;
+    replayed = nreplay;
+    retried = !retried;
+    quarantined = !quarantined;
+    verify_errors = !verify_errors;
+    merged;
+  }

@@ -1,0 +1,142 @@
+(** The streaming batch driver: bounded-memory analysis of corpora too
+    large (or too synthetic) to hold in memory, with a write-ahead
+    journal for crash/resume.
+
+    Where {!Batch} materializes the whole corpus up front, a stream
+    {e pulls} items one at a time from a {!source} — files, whole
+    directories, amplified {!Dda_perfect.Programs} suites, or the
+    {!Dda_perfect.Fuzz} generator — lexes and parses each on a worker
+    domain, and emits its rendered result as soon as every earlier
+    item's result has been emitted. At most [2 * jobs] items are in
+    flight, so peak memory is a function of [jobs] and the largest
+    single item, never of corpus length.
+
+    {b Determinism.} Items are analyzed independently (no session
+    sharing — [--share-memo] does not exist here), results are emitted
+    in input order, and the per-item counters are per-corpus-item
+    events, so output and metrics are byte-identical whatever [jobs]
+    is, exactly as in {!Batch}'s default mode.
+
+    {b Journal.} With [journal], every completed item is appended to a
+    JSONL write-ahead journal — its corpus position, name, a digest of
+    its source text, its rendered output and flattened statistics —
+    and the record is flushed and fsynced {e before} the output chunk
+    is emitted, so a crash never acknowledges un-journaled work and
+    never leaves a torn final record. With [resume], a valid journal's
+    records are {e replayed}: each journaled item's stored output is
+    re-emitted byte-for-byte (after re-deriving the item from the
+    source and checking its text digest), analysis restarts at the
+    first un-journaled item, and the final output is byte-identical to
+    an uninterrupted run. A journal that is truncated, corrupt, or was
+    written under a different configuration is rejected with
+    [Failure] — never silently repaired.
+
+    {b Fault isolation} matches {!Batch}: a failing item is retried
+    with exponential backoff and then quarantined while the stream
+    keeps going. Parse and lexical errors quarantine immediately (the
+    input is static; retrying cannot help) — unlike the in-memory
+    driver's front end, a malformed corpus item does not abort the
+    run. *)
+
+open Dda_core
+
+(** {1 Sources} *)
+
+type item = {
+  name : string;  (** label carried through results and the journal *)
+  text : unit -> string;
+      (** produce the source text; called on a worker domain, and
+          again (on the driver) when validating a resume — must be
+          pure, or at least stable for the run's duration *)
+}
+
+type source = unit -> item option
+(** A pull-based corpus: [None] means exhausted. Sources are stateful
+    and single-consumer. *)
+
+val of_files : string list -> source
+(** One item per path, read lazily ([name] is the path). *)
+
+val of_dir : string -> source
+(** Every [*.dd] file directly under the directory, sorted by name.
+    The directory is listed eagerly (so the corpus is fixed at
+    creation); file contents are read lazily.
+    @raise Sys_error when the directory cannot be read. *)
+
+val of_perfect : ?amplify:int -> unit -> source
+(** The synthetic PERFECT Club suite ({!Dda_perfect.Programs.all}),
+    [amplify] (default 1) seed-shifted copies of each program; item
+    [k] of program [P] is named [perfect:P:k] and generated on
+    demand — the amplified corpus never exists in memory at once.
+    @raise Invalid_argument when [amplify < 1]. *)
+
+val of_fuzz :
+  profile:Dda_perfect.Fuzz.profile -> seed:int -> int -> source
+(** [of_fuzz ~profile ~seed n]: [n] fuzzed programs, item [i] named
+    [fuzz:<profile>:<seed>:<i>] and generated on demand.
+    @raise Invalid_argument when [n < 0]. *)
+
+val concat : source list -> source
+(** Items of each source in turn, left to right. *)
+
+(** {1 Running} *)
+
+(** One item's result, handed to the caller's renderer. *)
+type outcome =
+  | Analyzed of {
+      name : string;
+      report : Analyzer.report;
+      verification : Dda_check.Verify.summary option;
+      attempts : int;
+    }
+  | Quarantined of { name : string; attempts : int; error : string }
+
+type summary = {
+  total : int;  (** items emitted, replayed included *)
+  replayed : int;  (** items satisfied from the journal *)
+  retried : int;  (** items that needed more than one attempt *)
+  quarantined : int;
+  verify_errors : int;  (** certificate errors summed over all items *)
+  merged : Analyzer.stats;  (** totals over successful items *)
+}
+
+val run :
+  ?config:Analyzer.config ->
+  ?verify:bool ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?item_timeout_ms:int ->
+  ?journal:string ->
+  ?resume:bool ->
+  jobs:int ->
+  render:(outcome -> string) ->
+  emit:(string -> unit) ->
+  source ->
+  summary
+(** Drive the corpus through [jobs] worker domains. [render] turns
+    each result into the output chunk that is journaled and emitted;
+    [emit] receives the chunks in input order (replayed chunks come
+    from the journal, not from [render]). The per-item knobs
+    ([retries], [backoff_ms], [item_timeout_ms], [verify]) mean
+    exactly what they do in {!Batch.run}.
+
+    [journal] names the write-ahead journal; without [resume] it is
+    truncated and started fresh. [resume] (default [false]) requires
+    [journal] and replays it as described above.
+
+    @raise Invalid_argument on bad knob values, or [resume] without
+    [journal].
+    @raise Failure when resuming from an invalid or mismatched
+    journal, or when the journal file cannot be written.
+    @raise Dda_core.Failpoint.Injected from the [stream.journal]
+    failpoint site (hit before each append — the crash-injection hook
+    the chaos suite uses). *)
+
+(** {1 Journal internals, exposed for tests} *)
+
+val config_digest : Analyzer.config -> verify:bool -> string
+(** The configuration fingerprint stored in the journal header. *)
+
+val journal_records : string -> int
+(** Validate a journal file exactly as [resume] does and return the
+    number of records. @raise Failure on any validation error. *)

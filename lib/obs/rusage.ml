@@ -1,0 +1,37 @@
+(* VmHWM from /proc/self/status: the kernel's high-water mark of
+   resident set size. Monotonic over the process lifetime, which is
+   exactly what a "did the streamed run stay flat?" watchdog wants —
+   but useless for before/after comparisons inside one process. *)
+
+let parse_vmhwm line =
+  (* "VmHWM:    123456 kB" *)
+  let n = String.length line in
+  let rec skip_non_digit i =
+    if i >= n then i
+    else if line.[i] >= '0' && line.[i] <= '9' then i
+    else skip_non_digit (i + 1)
+  in
+  let start = skip_non_digit 0 in
+  let rec take_digits i =
+    if i < n && line.[i] >= '0' && line.[i] <= '9' then take_digits (i + 1)
+    else i
+  in
+  let stop = take_digits start in
+  if stop > start then int_of_string_opt (String.sub line start (stop - start))
+  else None
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then
+          parse_vmhwm line
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r

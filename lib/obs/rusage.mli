@@ -1,0 +1,9 @@
+(** Process resource usage probes. *)
+
+val peak_rss_kb : unit -> int option
+(** The process's peak resident set size in kilobytes (Linux
+    [/proc/self/status] [VmHWM]); [None] where procfs is unavailable.
+    Monotonic within a process — it reports the high-water mark, so it
+    cannot show a later phase using {e less} memory. The streaming
+    batch driver logs it so CI can assert that peak memory does not
+    grow with corpus size across separate runs. *)

@@ -128,3 +128,39 @@ and ignored:
   warning: DDA_FAILPOINTS ignored: unknown action "frobnicate"
   b[self]  2:3 x 2:3:  independent
   b[pair]  2:3 x 2:14:  dependent directions: (<)[flow]
+
+Streaming chaos: delay injection perturbs timing, never results. A
+journaled streamed run under delay chaos — across two worker domains —
+is byte-identical to the quiet run, journal included.
+
+  $ ddtest batch --stream --journal quiet.journal one.dd two.dd > quiet.txt
+  $ DDA_FAILPOINTS='fourier.solve=delay:1,analyzer.pair=delay:1' ddtest batch --stream --journal noisy.journal --jobs 2 one.dd two.dd > noisy.txt
+  $ cmp quiet.txt noisy.txt && echo identical
+  identical
+  $ cmp quiet.journal noisy.journal && echo identical
+  identical
+
+Exhaust chaos with a crash mid-journal: per-item isolation absorbs the
+injected budget failure (quarantining once retries run out), the
+write-ahead journal keeps exactly the acknowledged records — fsynced
+before the result is printed, so a crash never leaves a torn final
+record — and the run is resumable.
+
+  $ DDA_FAILPOINTS='batch.item=exhaust@2,stream.journal=raise@3' ddtest batch --stream --journal chaos.journal --retries 0 --jobs 1 one.dd two.dd one.dd two.dd > chaos.txt
+  ddtest: error: failpoint "stream.journal" injected
+  [1]
+  $ grep -c '' chaos.journal
+  3
+  $ ddtest batch --stream --journal chaos.journal --resume --jobs 1 one.dd two.dd one.dd two.dd > final.txt
+  [3]
+  $ grep -A 1 'two.dd' final.txt | head -2
+  == two.dd ==
+  QUARANTINED after 1 attempt: Dda_core.Budget.Exhausted(4)
+
+The journaled quarantine replays like any other record: a second
+resume of the now-complete journal is byte-identical.
+
+  $ ddtest batch --stream --journal chaos.journal --resume --jobs 1 one.dd two.dd one.dd two.dd > final2.txt
+  [3]
+  $ cmp final.txt final2.txt && echo identical
+  identical

@@ -1,0 +1,162 @@
+Streaming batch with a write-ahead journal: a run killed mid-corpus
+resumes from the journal and reproduces an uninterrupted run byte for
+byte; damaged journals are rejected with a diagnostic, never a crash.
+
+  $ cat > p1.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i] = a[i - 1] + 1
+  > end
+  > EOF
+
+  $ cat > p2.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   b[2 * i] = b[2 * i + 1] + 1
+  > end
+  > EOF
+
+  $ cat > p3.dd <<'EOF'
+  > for i = 1 to 8 do
+  >   c[i] = c[i] + 2
+  > end
+  > EOF
+
+  $ cat > p4.dd <<'EOF'
+  > for i = 1 to 6 do
+  >   d[5] = d[7] + 1
+  > end
+  > EOF
+
+The uninterrupted reference run, journaled. Streaming output is
+byte-identical to the in-memory engine's:
+
+  $ ddtest batch p1.dd p2.dd p3.dd p4.dd > inmem.txt
+  $ ddtest batch --stream --journal clean.journal p1.dd p2.dd p3.dd p4.dd > clean.txt
+  $ cmp inmem.txt clean.txt && echo identical
+  identical
+  $ cat clean.txt
+  == p1.dd ==
+  a[self]  2:3 x 2:3:  independent
+  a[pair]  2:3 x 2:10:  dependent directions: (<)[flow] distance: (1)
+  == p2.dd ==
+  b[self]  2:3 x 2:3:  independent
+  b[pair]  2:3 x 2:14:  independent (extended gcd)
+  == p3.dd ==
+  c[self]  2:3 x 2:3:  independent
+  c[pair]  2:3 x 2:10:  dependent directions: (=)[flow] distance: (0)
+  == p4.dd ==
+  d[self]  2:3 x 2:3:  dependent directions: (<)[output] (>)[output]
+  d[pair]  2:3 x 2:10:  independent (constant subscripts)
+  
+  == corpus: 4 programs ==
+  
+  -- statistics --
+  pairs analyzed:      8
+  constant subscripts: 1
+  gcd independent:     1
+  assumed dependent:   0
+  plain tests:         svpc=0 acyclic=0 loop-residue=0 fourier=0
+  direction tests:     svpc=6 acyclic=2 loop-residue=1 fourier=0
+  memo (gcd table):    7 lookups, 1 hits, 6 unique
+  memo (full table):   7 lookups, 0 hits, 7 unique
+  verdicts:            5 independent, 3 dependent
+
+The journal holds one header line and one record per item:
+
+  $ grep -c '' clean.journal
+  5
+  $ grep -o '"name":"[^"]*"' clean.journal
+  "name":"p1.dd"
+  "name":"p2.dd"
+  "name":"p3.dd"
+  "name":"p4.dd"
+
+Kill the run while it journals the third item: the two acknowledged
+items are on disk, the third is not, and the process reports the
+injected crash with exit 1.
+
+  $ DDA_FAILPOINTS='stream.journal=raise@3' ddtest batch --stream --journal crash.journal p1.dd p2.dd p3.dd p4.dd > crash.txt
+  ddtest: error: failpoint "stream.journal" injected
+  [1]
+  $ grep -c '' crash.journal
+  3
+  $ grep -o '"name":"[^"]*"' crash.journal
+  "name":"p1.dd"
+  "name":"p2.dd"
+
+Resume: the journaled items replay byte-for-byte, analysis restarts at
+the third item, and the completed output and journal match the
+uninterrupted run exactly.
+
+  $ ddtest batch --stream --journal crash.journal --resume p1.dd p2.dd p3.dd p4.dd > resumed.txt
+  $ cmp clean.txt resumed.txt && echo identical
+  identical
+  $ cmp clean.journal crash.journal && echo identical
+  identical
+
+The same equivalence holds for JSON output:
+
+  $ ddtest batch --stream --journal cj.journal --format json p1.dd p2.dd p3.dd p4.dd > clean.json
+  $ DDA_FAILPOINTS='stream.journal=raise@2' ddtest batch --stream --journal rj.journal --format json p1.dd p2.dd p3.dd p4.dd > /dev/null
+  ddtest: error: failpoint "stream.journal" injected
+  [1]
+  $ ddtest batch --stream --journal rj.journal --resume --format json p1.dd p2.dd p3.dd p4.dd > resumed.json
+  $ cmp clean.json resumed.json && echo identical
+  identical
+
+A truncated journal (torn final record) is rejected with exit 1, not a
+crash:
+
+  $ head -c 120 clean.journal > torn.journal
+  $ ddtest batch --stream --journal torn.journal --resume p1.dd p2.dd p3.dd p4.dd
+  ddtest: error: journal torn.journal: torn final record (missing newline)
+  [1]
+
+So is a corrupt one — here a record whose output no longer matches its
+digest:
+
+  $ sed '2s/"digest":"./"digest":"0/' clean.journal > bad.journal
+  $ cmp -s clean.journal bad.journal; echo $?
+  1
+  $ ddtest batch --stream --journal bad.journal --resume p1.dd p2.dd p3.dd p4.dd
+  ddtest: error: journal bad.journal: record 0 fails its digest check
+  [1]
+
+And one that is not a journal at all:
+
+  $ echo 'hello world' > not.journal
+  $ ddtest batch --stream --journal not.journal --resume p1.dd p2.dd p3.dd p4.dd
+  ddtest: error: journal not.journal: bad header: expected a JSON value at offset 0
+  [1]
+
+A journal written under a different configuration cannot be resumed —
+the stored outputs would not match what this run computes:
+
+  $ ddtest batch --stream --journal clean.journal --resume --memo off p1.dd p2.dd p3.dd p4.dd
+  ddtest: error: journal clean.journal: written under a different configuration; re-run without --resume
+  [1]
+
+Nor can it replay a corpus that changed underneath it:
+
+  $ ddtest batch --stream --journal clean.journal --resume p2.dd p1.dd p3.dd p4.dd
+  ddtest: error: journal clean.journal: record 0 is for "p1.dd" but the corpus has "p2.dd" here
+  [1]
+
+Resume without a journal is a usage error:
+
+  $ ddtest batch --stream --resume p1.dd
+  ddtest: error: Stream.run: resume requires a journal
+  [1]
+
+A malformed corpus item quarantines (exit 3) instead of aborting the
+stream, and the quarantine is journaled and replayed like any result:
+
+  $ echo 'for i = 1 to' > broken.dd
+  $ ddtest batch --stream --journal q.journal p1.dd broken.dd p4.dd > q.txt
+  [3]
+  $ grep broken q.txt
+  == broken.dd ==
+  QUARANTINED after 1 attempt: broken.dd:2:1: syntax error: expected an expression (found '<eof>')
+  $ ddtest batch --stream --journal q.journal --resume p1.dd broken.dd p4.dd > q2.txt
+  [3]
+  $ cmp q.txt q2.txt && echo identical
+  identical
