@@ -14,6 +14,9 @@
      annotate   <file>  re-emit the source with parallelism annotations
      cc         <file>  compile to C with OpenMP pragmas
      check      <file>  validate every verdict against actual execution
+     lint       <file>  parallelism lint: per-loop doall/vectorizable/
+                        reduction/serial verdicts with blocking evidence,
+                        races on `parallel`-annotated loops (text/json/sarif)
      depgraph   <file>  dependence graph (Graphviz)
      graph      <file>  loop-residue graphs (Graphviz)
      passes     <file>  show the program after the optimizer prepass
@@ -402,6 +405,10 @@ let batch_cmd =
         (fun s ->
           Format.fprintf fmt "%a" (Dda_check.Verify.pp_text ~file:a.name) s)
         a.verification;
+      Option.iter
+        (fun l ->
+          Format.fprintf fmt "%s" (Dda_analysis.Lint.to_text ~file:a.name l))
+        a.lint;
       Format.pp_print_flush fmt ();
       Buffer.contents buf
     | Dda_engine.Stream.Quarantined q ->
@@ -418,10 +425,13 @@ let batch_cmd =
               ("file", Json_out.Str a.name);
               ("report", Json_out.report a.report);
             ]
+           @ (match a.verification with
+              | Some s ->
+                [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+              | None -> [])
            @
-           match a.verification with
-           | Some s ->
-             [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+           match a.lint with
+           | Some l -> [ ("lint", Dda_analysis.Lint.to_json ~file:a.name l) ]
            | None -> []))
       ^ "\n"
     | Dda_engine.Stream.Quarantined q ->
@@ -435,9 +445,9 @@ let batch_cmd =
            ])
       ^ "\n"
   in
-  let run_stream ~files ~jobs ~verify ~retries ~backoff_ms ~item_timeout_ms
-      ~config ~format ~journal ~resume ~fuzz ~fuzz_seed ~fuzz_profile ~perfect
-      ~amplify =
+  let run_stream ~files ~jobs ~verify ~lint ~retries ~backoff_ms
+      ~item_timeout_ms ~config ~format ~journal ~resume ~fuzz ~fuzz_seed
+      ~fuzz_profile ~perfect ~amplify =
     let sources =
       (if files = [] then []
        else
@@ -467,7 +477,7 @@ let batch_cmd =
       flush stdout
     in
     let summary =
-      Dda_engine.Stream.run ~config ~verify ~retries ~backoff_ms
+      Dda_engine.Stream.run ~config ~verify ~lint ~retries ~backoff_ms
         ?item_timeout_ms ?journal ~resume ~jobs ~render ~emit source
     in
     (match format with
@@ -525,9 +535,9 @@ let batch_cmd =
     if summary.Dda_engine.Stream.quarantined > 0 then exit 3
     else if summary.Dda_engine.Stream.verify_errors > 0 then exit 2
   in
-  let run () files jobs share_memo verify retries backoff_ms item_timeout_ms
-      config format stream journal resume fuzz fuzz_seed fuzz_profile perfect
-      amplify =
+  let run () files jobs share_memo verify lint retries backoff_ms
+      item_timeout_ms config format stream journal resume fuzz fuzz_seed
+      fuzz_profile perfect amplify =
     let streaming =
       stream || journal <> None || resume || fuzz > 0 || perfect || amplify > 1
     in
@@ -536,9 +546,9 @@ let batch_cmd =
         failwith
           "--share-memo is incompatible with streaming: items are analyzed \
            independently";
-      run_stream ~files ~jobs ~verify ~retries ~backoff_ms ~item_timeout_ms
-        ~config ~format ~journal ~resume ~fuzz ~fuzz_seed ~fuzz_profile
-        ~perfect ~amplify
+      run_stream ~files ~jobs ~verify ~lint ~retries ~backoff_ms
+        ~item_timeout_ms ~config ~format ~journal ~resume ~fuzz ~fuzz_seed
+        ~fuzz_profile ~perfect ~amplify
     end
     else begin
     if files = [] then failwith "batch: no input files";
@@ -546,8 +556,8 @@ let batch_cmd =
       List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
     in
     let result =
-      Dda_engine.Batch.run ~config ~share_memo ~verify ~retries ~backoff_ms
-        ?item_timeout_ms ~jobs items
+      Dda_engine.Batch.run ~config ~share_memo ~verify ~lint ~retries
+        ~backoff_ms ?item_timeout_ms ~jobs items
     in
     (* Successes and quarantined items interleaved back in input order. *)
     let entries =
@@ -576,7 +586,11 @@ let batch_cmd =
              Option.iter
                (fun s ->
                   Format.printf "%a" (Dda_check.Verify.pp_text ~file:a.name) s)
-               a.verification
+               a.verification;
+             Option.iter
+               (fun l ->
+                  Format.printf "%s" (Dda_analysis.Lint.to_text ~file:a.name l))
+               a.lint
            | `Q (q : Dda_engine.Batch.quarantined) ->
              Format.printf "== %s ==@." q.q_name;
              Format.printf "QUARANTINED after %d attempt%s: %s@." q.q_attempts
@@ -610,10 +624,14 @@ let batch_cmd =
              | `Ok (a : Dda_engine.Batch.analyzed) ->
                Json_out.Obj
                  ([ ("file", Json_out.Str a.name); ("report", Json_out.report a.report) ]
+                  @ (match a.verification with
+                     | Some s ->
+                       [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+                     | None -> [])
                   @
-                  match a.verification with
-                  | Some s ->
-                    [ ("verification", Dda_check.Verify.to_json ~file:a.name s) ]
+                  match a.lint with
+                  | Some l ->
+                    [ ("lint", Dda_analysis.Lint.to_json ~file:a.name l) ]
                   | None -> [])
              | `Q (q : Dda_engine.Batch.quarantined) ->
                Json_out.Obj
@@ -666,8 +684,12 @@ let batch_cmd =
     else if
       List.exists
         (fun (a : Dda_engine.Batch.analyzed) ->
-           match a.verification with
-           | Some s -> s.Dda_check.Verify.errors > 0
+           (match a.verification with
+            | Some s -> s.Dda_check.Verify.errors > 0
+            | None -> false)
+           ||
+           match a.lint with
+           | Some l -> l.Dda_analysis.Lint.errors > 0
            | None -> false)
         result.Dda_engine.Batch.items
     then exit 2
@@ -702,6 +724,16 @@ let batch_cmd =
           ~doc:
             "Certificate-check every program's report on its worker domain; \
              exits 2 when any certificate fails.")
+  in
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the parallelism linter on every program: classify its \
+             dependences, summarize each loop's parallelizability and check \
+             $(b,parallel) annotations. Lint results ride along with each \
+             item's report; exits 2 when any annotated loop races.")
   in
   let retries_arg =
     Arg.(
@@ -825,9 +857,9 @@ let batch_cmd =
           resumed ($(b,--resume)) after a crash.")
     Term.(
       const run $ obs_term $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg
-      $ retries_arg $ backoff_arg $ timeout_arg $ config_term $ format
-      $ stream_arg $ journal_arg $ resume_arg $ fuzz_arg $ fuzz_seed_arg
-      $ fuzz_profile_arg $ perfect_arg $ amplify_arg)
+      $ lint_arg $ retries_arg $ backoff_arg $ timeout_arg $ config_term
+      $ format $ stream_arg $ journal_arg $ resume_arg $ fuzz_arg
+      $ fuzz_seed_arg $ fuzz_profile_arg $ perfect_arg $ amplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -1107,15 +1139,16 @@ let transform_cmd =
 let cc_cmd =
   let run file =
     let prog = load file in
-    let prepared = Dda_passes.Pipeline.run prog in
-    let sites = Affine.extract prepared in
-    let report =
-      Analyzer.analyze
-        ~config:{ Analyzer.default_config with Analyzer.run_pipeline = false }
-        prepared
+    (* The OpenMP pragmas come from the lint summary: only loops the
+       summary certifies DOALL (exact dependence refutation, no carried
+       scalars, never degraded evidence) are emitted parallel. *)
+    let res = Dda_analysis.Lint.run ~config:Analyzer.default_config prog in
+    let parallel =
+      Dda_analysis.Summary.doall_loops res.Dda_analysis.Lint.summary
     in
-    let parallel = Analyzer.parallel_loops report sites in
-    match Dda_codegen.C_emit.emit ~parallel prepared with
+    match
+      Dda_codegen.C_emit.emit ~parallel res.Dda_analysis.Lint.prepared
+    with
     | Ok src -> print_string src
     | Error reason ->
       Format.eprintf "cannot compile to C: %s@." reason;
@@ -1292,6 +1325,68 @@ let check_cmd =
     Term.(const run $ file_arg $ config_term $ format $ no_oracle $ corrupt $ trace)
 
 (* ------------------------------------------------------------------ *)
+(* lint: the parallelism linter and annotation race detector          *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run () file config format differential =
+    let prog = load file in
+    let res = Dda_analysis.Lint.run ~config prog in
+    (match format with
+     | `Text -> print_string (Dda_analysis.Lint.to_text ~file res)
+     | `Json ->
+       Format.printf "%a@." Json_out.pp (Dda_analysis.Lint.to_json ~file res)
+     | `Sarif ->
+       Format.printf "%a@." Json_out.pp
+         (Dda_analysis.Lint.to_sarif ~file res));
+    if differential then begin
+      match
+        Dda_analysis.Pardiff.check
+          ~prepared:res.Dda_analysis.Lint.prepared
+          res.Dda_analysis.Lint.summary
+      with
+      | Ok n ->
+        Dda_obs.Log.info "differential: %d permuted runs match sequential \
+                          execution" n
+      | Error msg ->
+        Format.eprintf "ddtest lint: differential check failed: %s@." msg;
+        exit 1
+    end;
+    if res.Dda_analysis.Lint.errors > 0 then exit 2
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ]
+          ~doc:"Output format: $(b,text), $(b,json) or $(b,sarif).")
+  in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Additionally execute every DOALL-marked loop under permuted \
+             iteration order in the reference interpreter and require the \
+             final state to match sequential execution (a failed match is \
+             an analyzer soundness bug and exits 1).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Dependence-driven parallelism lint: classify every dependence \
+          edge (flow/anti/output), mark every loop doall, vectorizable, \
+          reduction-candidate or serial with certificate-backed blocking \
+          evidence, and report races on $(b,parallel)-annotated loops. \
+          Exits 0 when clean (warnings included), 1 on input errors, 2 \
+          when any race finding is an error. Budget-degraded evidence \
+          only ever downgrades findings to warnings — and only ever \
+          denies a doall verdict, never grants one.")
+    Term.(
+      const run $ obs_term $ file_arg $ config_term $ format $ differential)
+
+(* ------------------------------------------------------------------ *)
 (* prime: build a memo table from the synthetic PERFECT suite          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1371,7 +1466,10 @@ let distribute_cmd =
 
 let metrics_cmd =
   let run () files config format =
-    List.iter (fun f -> ignore (Analyzer.analyze ~config (load f))) files;
+    (* The lint pipeline is a superset of Analyzer.analyze (same pair
+       analysis, plus classification), so its lint.* counters appear
+       alongside the stage/memo counters. *)
+    List.iter (fun f -> ignore (Dda_analysis.Lint.run ~config (load f))) files;
     let snap = Dda_obs.Metrics.snapshot () in
     match format with
     | `Text -> Format.printf "%a" Dda_obs.Metrics.pp_text snap
@@ -1610,6 +1708,7 @@ let () =
         transform_cmd;
         distribute_cmd;
         check_cmd;
+        lint_cmd;
         prime_cmd;
         annotate_cmd;
         cc_cmd;

@@ -1,0 +1,102 @@
+open Dda_lang
+module SS = Set.Make (String)
+
+(* Scalars whose final value is legitimately order-dependent when the
+   loop's iterations are permuted: the loop variable and everything
+   the body may assign (inner loop variables included — Fortran
+   semantics keep their last executed value). *)
+let order_dependent (f : Ast.for_loop) =
+  let w = ref (SS.singleton f.var) in
+  Ast.iter_stmts
+    (fun s ->
+       match s.sdesc with
+       | Ast.Assign (Ast.Lvar v, _) | Ast.Read v -> w := SS.add v !w
+       | Ast.For { var; _ } -> w := SS.add var !w
+       | Ast.Assign (Ast.Larr _, _) | Ast.If _ -> ())
+    f.body;
+  !w
+
+let find_loop loc prog =
+  let found = ref None in
+  Ast.iter_stmts
+    (fun s ->
+       match s.sdesc with
+       | Ast.For f when Option.is_none !found && Loc.equal s.sloc loc ->
+         found := Some f
+       | _ -> ())
+    prog;
+  !found
+
+(* A small deterministic LCG-driven Fisher-Yates — enough entropy for
+   differential testing, no dependency on a PRNG module. *)
+let next state =
+  state := ((!state * 0x5DEECE66D) + 0xB) land max_int;
+  !state
+
+let shuffle ~state n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = next state mod (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let default_inputs = [ ("n", 6) ]
+
+let check ?(permutations = 4) ?(fuel = 200_000) ?(inputs = default_inputs)
+    ~prepared (summary : Summary.t) =
+  match Interp.final_state ~fuel ~inputs prepared with
+  | exception Interp.Runtime_error _ -> Ok 0 (* nothing to validate *)
+  | base, _ ->
+    let doall =
+      List.filter
+        (fun (li : Summary.loop_info) -> li.verdict = Summary.Doall)
+        summary.Summary.loops
+    in
+    let check_loop acc (li : Summary.loop_info) =
+      match find_loop li.loc prepared with
+      | None -> Ok acc (* loop not found by location: skip *)
+      | Some f ->
+        let excluded = order_dependent f in
+        let comparable (st : Interp.state) =
+          List.filter (fun (name, _) -> not (SS.mem name excluded)) st.scalars
+        in
+        let base_scalars = comparable base in
+        let rec perms acc k =
+          if k >= permutations then Ok acc
+          else begin
+            let state =
+              ref (0x9E3779B9 lxor (li.lid * 0x85EBCA6B) lxor (k * 0xC2B2AE35))
+            in
+            let reorder loc n =
+              if Loc.equal loc li.loc && n > 1 then
+                Some
+                  (if k = 0 then Array.init n (fun i -> n - 1 - i)
+                   else shuffle ~state n)
+              else None
+            in
+            match Interp.final_state ~fuel ~inputs ~reorder prepared with
+            | exception Interp.Runtime_error (msg, _) ->
+              Error
+                (Printf.sprintf
+                   "doall loop '%s' at %s: permuted run %d raised: %s" li.var
+                   (Loc.to_string li.loc) k msg)
+            | st, _ ->
+              if st.Interp.memory = base.Interp.memory
+                 && comparable st = base_scalars
+              then perms (acc + 1) (k + 1)
+              else
+                Error
+                  (Printf.sprintf
+                     "doall loop '%s' at %s: permutation %d changed the \
+                      final state — the loop is not independent"
+                     li.var (Loc.to_string li.loc) k)
+          end
+        in
+        perms acc 0
+    in
+    List.fold_left
+      (fun acc li -> match acc with Error _ -> acc | Ok n -> check_loop n li)
+      (Ok 0) doall

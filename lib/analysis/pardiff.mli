@@ -1,0 +1,31 @@
+(** Differential validation of DOALL verdicts: execute each
+    DOALL-marked loop under permuted iteration order (the
+    {!Dda_lang.Interp} reorder hook) and compare final stores against
+    sequential execution — extending the oracle philosophy from
+    dependence verdicts to parallelism claims. A loop whose iterations
+    are truly independent must leave memory, and every scalar it does
+    not write, identical under any order. *)
+
+open Dda_lang
+
+val check :
+  ?permutations:int ->
+  ?fuel:int ->
+  ?inputs:(string * int) list ->
+  prepared:Ast.program ->
+  Summary.t ->
+  (int, string) result
+(** [check ~prepared summary] runs the sequential baseline, then for
+    every DOALL loop of [summary] executes [permutations] (default 4)
+    permuted-order runs — the exact reversal first, then seeded
+    shuffles — and diffs final memory plus the scalars not written
+    inside that loop (the loop variable and anything the body assigns
+    are order-dependent by construction and excluded).
+
+    [Ok n]: [n] permuted runs compared equal ([0] when the baseline
+    itself does not terminate within [fuel] (default 200000 statement
+    executions) or raises — nothing to validate). [Error msg]: some
+    permuted run of some DOALL loop diverged from sequential
+    execution, i.e. the analyzer certified a dependent loop parallel —
+    a soundness bug. [inputs] feeds [read] statements, default
+    [n = 6]. *)

@@ -1,0 +1,333 @@
+open Dda_numeric
+open Dda_lang
+open Dda_core
+module SS = Set.Make (String)
+
+type verdict = Doall | Vectorizable | Reduction | Serial
+
+let verdict_name = function
+  | Doall -> "doall"
+  | Vectorizable -> "vectorizable"
+  | Reduction -> "reduction"
+  | Serial -> "serial"
+
+type witness = {
+  iter1 : Zint.t array;
+  iter2 : Zint.t array;
+}
+
+type blocking = {
+  edge : Classify.edge;
+  witness : witness option;
+}
+
+type loop_info = {
+  lid : int;
+  var : string;
+  loc : Loc.t;
+  depth : int;
+  parallel_annot : bool;
+  verdict : verdict;
+  blocking : blocking list;
+  scalar_blockers : string list;
+  degraded : bool;
+}
+
+type t = {
+  loops : loop_info list;
+  edges : Classify.edge list;
+}
+
+let doall_loops t =
+  List.map (fun li -> (li.lid, li.verdict = Doall)) t.loops
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Loop metadata: ids assigned in the same pre-order as Affine.extract *)
+(* ------------------------------------------------------------------ *)
+
+type loop_meta = {
+  m_lid : int;
+  m_var : string;
+  m_loc : Loc.t;
+  m_depth : int;
+  m_parallel : bool;
+  m_body : Ast.stmt list;
+}
+
+let loop_metas prog =
+  let out = ref [] and next = ref 0 in
+  let rec walk depth (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.Assign _ | Ast.Read _ -> ()
+    | Ast.If (_, t, e) ->
+      List.iter (walk depth) t;
+      List.iter (walk depth) e
+    | Ast.For f ->
+      let lid = !next in
+      incr next;
+      out :=
+        { m_lid = lid; m_var = f.var; m_loc = s.sloc; m_depth = depth;
+          m_parallel = f.parallel; m_body = f.body }
+        :: !out;
+      List.iter (walk (depth + 1)) f.body
+  in
+  List.iter (walk 0) prog;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Carried scalar dependences                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A scalar both (possibly) written in the body and read
+   upward-exposed — read on some path before any definite write of the
+   same iteration — makes consecutive iterations communicate through
+   it. Writes under conditionals or inside inner loops (which may run
+   zero iterations) are not definite; [read] statements and plain
+   assignments are. The loop variable itself is definite at entry (the
+   loop header writes it every iteration). Over-approximate in the
+   deny-DOALL direction only. *)
+let scalar_blockers_of ~loop_var body =
+  let written = ref SS.empty in
+  let exposed = ref SS.empty in
+  let expr_reads defn e =
+    List.iter
+      (fun v -> if not (SS.mem v defn) then exposed := SS.add v !exposed)
+      (Ast.expr_vars e)
+  in
+  let rec walk_stmts defn stmts = List.fold_left walk_stmt defn stmts
+  and walk_stmt defn (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.Assign (Ast.Lvar v, e) ->
+      expr_reads defn e;
+      written := SS.add v !written;
+      SS.add v defn
+    | Ast.Assign (Ast.Larr (_, subs), e) ->
+      List.iter (expr_reads defn) subs;
+      expr_reads defn e;
+      defn
+    | Ast.Read v ->
+      written := SS.add v !written;
+      SS.add v defn
+    | Ast.If (c, t, e) ->
+      expr_reads defn c.Ast.lhs;
+      expr_reads defn c.Ast.rhs;
+      let dt = walk_stmts defn t and de = walk_stmts defn e in
+      SS.union defn (SS.inter dt de)
+    | Ast.For f ->
+      expr_reads defn f.lo;
+      expr_reads defn f.hi;
+      Option.iter (expr_reads defn) f.step;
+      written := SS.add f.var !written;
+      ignore (walk_stmts (SS.add f.var defn) f.body);
+      defn
+  in
+  ignore (walk_stmts (SS.singleton loop_var) body);
+  SS.elements (SS.inter !written !exposed)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction-shaped statements                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_uses_array name (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int _ | Ast.Var _ -> false
+  | Ast.Neg a -> expr_uses_array name a
+  | Ast.Bin (_, a, b) -> expr_uses_array name a || expr_uses_array name b
+  | Ast.Aref (n, subs) ->
+    String.equal n name || List.exists (expr_uses_array name) subs
+
+let commutative = function
+  | Ast.Add | Ast.Mul -> true
+  | Ast.Sub | Ast.Div -> false
+
+(* x = x - e accumulates too (a sum of negated terms); x = e - x and
+   anything with Div do not. *)
+let reduction_op = function
+  | Ast.Add | Ast.Sub | Ast.Mul -> true
+  | Ast.Div -> false
+
+(* Collect the reduction-shaped assignments anywhere in the body
+   (conditionals and inner loops included), plus, per scalar, whether
+   every write of it is such an accumulation. *)
+let reductions_of body =
+  let slocs = ref [] in
+  let scalar_writes = Hashtbl.create 8 in (* name -> all-reductions flag *)
+  let note_scalar v is_red =
+    let prev = Option.value (Hashtbl.find_opt scalar_writes v) ~default:true in
+    Hashtbl.replace scalar_writes v (prev && is_red)
+  in
+  let classify (s : Ast.stmt) =
+    match s.sdesc with
+    | Ast.Assign (Ast.Larr (a, subs), { desc = Ast.Bin (op, l, r); _ }) ->
+      let matches cell other =
+        match cell.Ast.desc with
+        | Ast.Aref (a', subs')
+          when String.equal a' a
+               && List.length subs = List.length subs'
+               && List.for_all2 Ast.equal_expr subs subs'
+               && (not (expr_uses_array a other))
+               && not (List.exists (expr_uses_array a) subs) ->
+          true
+        | _ -> false
+      in
+      if (reduction_op op && matches l r) || (commutative op && matches r l)
+      then slocs := s.sloc :: !slocs
+    | Ast.Assign (Ast.Lvar v, { desc = Ast.Bin (op, l, r); _ }) ->
+      let matches cell other =
+        match cell.Ast.desc with
+        | Ast.Var v' when String.equal v' v ->
+          not (List.mem v (Ast.expr_vars other))
+        | _ -> false
+      in
+      let is_red =
+        (reduction_op op && matches l r) || (commutative op && matches r l)
+      in
+      if is_red then slocs := s.sloc :: !slocs;
+      note_scalar v is_red
+    | Ast.Assign (Ast.Lvar v, _) | Ast.Read v -> note_scalar v false
+    | Ast.For { var; _ } -> note_scalar var false
+    | Ast.Assign (Ast.Larr _, _) | Ast.If _ -> ()
+  in
+  Ast.iter_stmts classify body;
+  let scalar_red_ok v =
+    Option.value (Hashtbl.find_opt scalar_writes v) ~default:false
+  in
+  (!slocs, scalar_red_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Witness replay                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-derive a concrete iteration pair realizing the edge at carrier
+   level [k]: rebuild the pair's problem, reduce with the extended gcd
+   test, constrain levels before [k] equal and level [k] strict (in
+   the direction(s) the edge's vector admits), and ask the cascade for
+   a witness. Budget exhaustion or an unknown just loses the witness. *)
+let witness_for ~(config : Analyzer.config) ~cancel
+    ((s1 : Affine.site), (s2 : Affine.site)) (edge : Classify.edge) k =
+  match Build_problem.build s1 s2 with
+  | None -> None
+  | Some p -> (
+      match Gcd_test.run p with
+      | Gcd_test.Independent _ -> None
+      | Gcd_test.Reduced red ->
+        let base = red.Gcd_test.system in
+        let eqs_upto =
+          List.concat
+            (List.init k (fun j -> Direction.dir_rows p j Direction.Deq))
+        in
+        let attempt sign =
+          let extra = eqs_upto @ Direction.dir_rows p k sign in
+          let extra_t = List.map (Gcd_test.transform_row red) extra in
+          let sys =
+            Consys.make ~nvars:base.Consys.nvars (base.Consys.rows @ extra_t)
+          in
+          let budget = Budget.create ?cancel config.Analyzer.limits in
+          let cas =
+            Cascade.run ~budget ~fm_tighten:config.Analyzer.fm_tighten sys
+          in
+          match cas.Cascade.verdict with
+          | Cascade.Dependent w ->
+            let x = Gcd_test.x_of_t red w in
+            Some
+              {
+                iter1 =
+                  Array.init p.Problem.ncommon (fun j ->
+                      x.(Problem.var1 p j));
+                iter2 =
+                  Array.init p.Problem.ncommon (fun j ->
+                      x.(Problem.var2 p j));
+              }
+          | Cascade.Independent _ | Cascade.Unknown | Cascade.Exhausted _ ->
+            None
+        in
+        let signs =
+          match edge.Classify.vector with
+          | Some v when k < Array.length v -> (
+              match v.(k) with
+              | Direction.Dlt -> [ Direction.Dlt ]
+              | Direction.Dgt -> [ Direction.Dgt ]
+              | Direction.Dany | Direction.Deq ->
+                [ Direction.Dlt; Direction.Dgt ])
+          | _ -> [ Direction.Dlt; Direction.Dgt ]
+        in
+        List.find_map attempt signs)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let index_of lid ids =
+  let rec go k = function
+    | [] -> None
+    | id :: _ when id = lid -> Some k
+    | _ :: rest -> go (k + 1) rest
+  in
+  go 0 ids
+
+let compute ?(config = Analyzer.default_config) ?cancel ~prepared ~pairs
+    (report : Analyzer.report) =
+  let edges = Classify.edges report in
+  let pair_sites =
+    (* In pair order, like the verifier; a length mismatch (caller
+       broke the contract) just loses witnesses. *)
+    try List.combine report.pair_reports pairs
+    with Invalid_argument _ -> []
+  in
+  let sites_of r =
+    List.find_map (fun (r', s) -> if r' == r then Some s else None) pair_sites
+  in
+  let loops =
+    List.map
+      (fun m ->
+         let blockers =
+           List.filter
+             (fun (e : Classify.edge) -> List.mem m.m_lid e.carried_lids)
+             edges
+         in
+         let blocking =
+           List.map
+             (fun (e : Classify.edge) ->
+                let witness =
+                  match
+                    (sites_of e.pair, index_of m.m_lid e.pair.common_ids)
+                  with
+                  | Some ss, Some k -> witness_for ~config ~cancel ss e k
+                  | _ -> None
+                in
+                { edge = e; witness })
+             blockers
+         in
+         let scalar_blockers = scalar_blockers_of ~loop_var:m.m_var m.m_body in
+         let red_slocs, scalar_red_ok = reductions_of m.m_body in
+         let reduction_ok =
+           List.for_all
+             (fun (e : Classify.edge) ->
+                List.exists (Loc.equal e.pair.stmt1) red_slocs
+                && List.exists (Loc.equal e.pair.stmt2) red_slocs)
+             blockers
+           && List.for_all scalar_red_ok scalar_blockers
+         in
+         let vectorizable_ok =
+           scalar_blockers = []
+           && List.for_all
+                (fun (e : Classify.edge) ->
+                   e.exact && e.kind = Analyzer.Anti)
+                blockers
+         in
+         let verdict =
+           if blockers = [] && scalar_blockers = [] then Doall
+           else if reduction_ok then Reduction
+           else if vectorizable_ok then Vectorizable
+           else Serial
+         in
+         let degraded =
+           List.exists (fun (e : Classify.edge) -> not e.exact) blockers
+         in
+         { lid = m.m_lid; var = m.m_var; loc = m.m_loc; depth = m.m_depth;
+           parallel_annot = m.m_parallel; verdict; blocking; scalar_blockers;
+           degraded })
+      (loop_metas prepared)
+  in
+  { loops; edges }

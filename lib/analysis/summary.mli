@@ -1,0 +1,86 @@
+(** The per-loop parallelism summary: every loop of a program marked
+    DOALL, vectorizable, reduction-candidate, or serial, with the
+    dependence edges that block parallelization cited as evidence —
+    each backed, where the cascade can, by a certificate-derived
+    witness pair of iterations from {!Dda_core.Cascade.Dependent}.
+
+    Soundness direction: a conservative or budget-degraded verdict can
+    only {e deny} a DOALL marking, never grant one. A loop is DOALL
+    only when every array dependence that could be carried by it is
+    exactly refuted and no scalar is both written and upward-exposed
+    read in its body. *)
+
+open Dda_numeric
+open Dda_lang
+open Dda_core
+
+type verdict =
+  | Doall  (** no carried dependence: iterations are independent *)
+  | Vectorizable
+      (** every carried dependence is an exact anti dependence (reads
+          complete before the writes of later iterations in a chunked
+          execution) *)
+  | Reduction
+      (** carried dependences are confined to accumulation statements
+          ([x = x ⊕ e], [⊕] commutative-associative) — parallelizable
+          with a reduction clause *)
+  | Serial
+
+val verdict_name : verdict -> string
+
+type witness = {
+  iter1 : Zint.t array;  (** common-loop iteration of the source *)
+  iter2 : Zint.t array;
+}
+(** A concrete pair of iterations realizing a blocking edge at its
+    carrier level, mapped back from a {!Cascade.Dependent} witness via
+    the extended-gcd reduction. *)
+
+type blocking = {
+  edge : Classify.edge;
+  witness : witness option;
+      (** [None] when the replay could not produce one (conservative
+          edge on a non-affine pair, or the witness query exhausted its
+          budget) *)
+}
+
+type loop_info = {
+  lid : int;  (** pre-order id, as {!Affine} assigns them *)
+  var : string;
+  loc : Loc.t;  (** the [for] statement *)
+  depth : int;  (** 0 = outermost *)
+  parallel_annot : bool;  (** carries a [parallel] source annotation *)
+  verdict : verdict;
+  blocking : blocking list;  (** array edges this loop may carry *)
+  scalar_blockers : string list;
+      (** scalars written in the body and read upward-exposed — each
+          makes iterations communicate through the scalar *)
+  degraded : bool;
+      (** some blocking evidence is conservative or budget-degraded:
+          the denial of DOALL is sound but possibly not tight *)
+}
+
+type t = {
+  loops : loop_info list;  (** pre-order *)
+  edges : Classify.edge list;
+}
+
+val doall_loops : t -> (int * bool) list
+(** [(lid, is_doall)] per loop, sorted by id — the shape
+    {!Analyzer.parallel_loops} produces, for the C back end and for
+    comparison against ground truth. *)
+
+val compute :
+  ?config:Analyzer.config ->
+  ?cancel:(unit -> bool) ->
+  prepared:Ast.program ->
+  pairs:(Affine.site * Affine.site) list ->
+  Analyzer.report ->
+  t
+(** [prepared] must be the program the sites were extracted from
+    (pipeline already run); [pairs] must be the
+    {!Analyzer.site_pairs} enumeration the report was computed from,
+    in order — the same contract as {!Dda_check.Verify.verify_report}.
+    Witness replay runs one cascade query per blocking edge under
+    [config]'s budget; exhaustion leaves the witness [None], never
+    changes a verdict. *)

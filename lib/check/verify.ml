@@ -448,41 +448,43 @@ let run ?(config = Analyzer.default_config) ?cancel ?oracle ?corrupt program =
 
 let severity_name = function Sev_error -> "error" | Sev_warning -> "warning"
 
+let pp_diagnostic ~file fmt d =
+  Format.fprintf fmt "%s:%a: %s: [%s] %s" file Loc.pp d.loc
+    (severity_name d.severity) d.code d.message;
+  match d.loc2 with
+  | Some l -> Format.fprintf fmt " (second reference at %a)" Loc.pp l
+  | None -> ()
+
+let diagnostic_json d =
+  Json_out.Obj
+    ([
+       ("severity", Json_out.Str (severity_name d.severity));
+       ("code", Json_out.Str d.code);
+       ("line", Json_out.Int d.loc.Loc.line);
+       ("col", Json_out.Int d.loc.Loc.col);
+     ]
+     @ (match d.loc2 with
+        | Some l ->
+          [
+            ("line2", Json_out.Int l.Loc.line);
+            ("col2", Json_out.Int l.Loc.col);
+          ]
+        | None -> [])
+     @ (match d.array_name with
+        | Some a -> [ ("array", Json_out.Str a) ]
+        | None -> [])
+     @ [ ("message", Json_out.Str d.message) ])
+
 let pp_text ~file fmt s =
   List.iter
-    (fun d ->
-       Format.fprintf fmt "%s:%a: %s: [%s] %s" file Loc.pp d.loc
-         (severity_name d.severity) d.code d.message;
-       (match d.loc2 with
-        | Some l -> Format.fprintf fmt " (second reference at %a)" Loc.pp l
-        | None -> ());
-       Format.fprintf fmt "@.")
+    (fun d -> Format.fprintf fmt "%a@." (pp_diagnostic ~file) d)
     s.diagnostics;
   Format.fprintf fmt "%s: %d pairs, %d certificates checked; %d errors, %d warnings@."
     (if s.errors = 0 then "OK" else "FAIL")
     s.pairs s.certificates s.errors s.warnings
 
 let to_json ~file s =
-  let diag d =
-    Json_out.Obj
-      ([
-         ("severity", Json_out.Str (severity_name d.severity));
-         ("code", Json_out.Str d.code);
-         ("line", Json_out.Int d.loc.Loc.line);
-         ("col", Json_out.Int d.loc.Loc.col);
-       ]
-       @ (match d.loc2 with
-          | Some l ->
-            [
-              ("line2", Json_out.Int l.Loc.line);
-              ("col2", Json_out.Int l.Loc.col);
-            ]
-          | None -> [])
-       @ (match d.array_name with
-          | Some a -> [ ("array", Json_out.Str a) ]
-          | None -> [])
-       @ [ ("message", Json_out.Str d.message) ])
-  in
+  let diag = diagnostic_json in
   Json_out.Obj
     [
       ("file", Json_out.Str file);

@@ -92,6 +92,16 @@ val verify_report :
     {!Analyzer.site_pairs} enumeration the report was computed from,
     in order. *)
 
+val severity_name : severity -> string
+
+val pp_diagnostic : file:string -> Format.formatter -> diagnostic -> unit
+(** One [file:line:col: severity: [code] message] line (no trailing
+    newline) — the rendering shared by {!pp_text} and the lint
+    layer. *)
+
+val diagnostic_json : diagnostic -> Json_out.t
+(** One diagnostic as the JSON object {!to_json} embeds. *)
+
 val pp_text : file:string -> Format.formatter -> summary -> unit
 (** One [file:line:col: severity: [code] message] line per diagnostic,
     then a one-line summary. *)

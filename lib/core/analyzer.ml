@@ -642,6 +642,15 @@ let vector_carries_at v k =
   (match v.(k) with Direction.Deq -> false | Direction.Dlt | Direction.Dgt | Direction.Dany -> true)
   && outers 0
 
+let vector_carrier v =
+  let n = Array.length v in
+  let rec go k =
+    if k >= n then None
+    else if vector_carries_at v k then Some k
+    else go (k + 1)
+  in
+  go 0
+
 let pair_carries report lid =
   let rec index_of k = function
     | [] -> None

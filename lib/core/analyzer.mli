@@ -97,6 +97,24 @@ val vector_kind : pair_report -> Direction.dir array -> dep_kind
     ["*"] is ambiguous and classified as if the first reference were
     the source. *)
 
+val vector_carries_at : Direction.dir array -> int -> bool
+(** [vector_carries_at v k]: whether direction vector [v] admits an
+    instance pair carried at common-loop index [k] (0 = outermost) —
+    [v.(k)] is [<], [>] or [*], and every outer level admits [=]
+    (is [=] or [*]). *)
+
+val vector_carrier : Direction.dir array -> int option
+(** The outermost common-loop index at which the vector can be
+    carried, or [None] for a loop-independent (all-[=]) vector. *)
+
+val pair_carries : pair_report -> int -> bool
+(** [pair_carries r lid]: whether the pair may be carried by the loop
+    with id [lid]. Conservative in exactly the way
+    {!parallel_loops} is: [Constant true] and [Assumed_dependent]
+    outcomes (no vector information) and tested-dependent outcomes
+    with an empty direction set carry at {e every} common loop; a
+    loop that is not common to both references never carries. *)
+
 type stats = {
   mutable pairs : int;
   mutable constant_cases : int;

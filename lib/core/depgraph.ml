@@ -43,18 +43,27 @@ let to_dot (report : Analyzer.report) =
       (Printf.sprintf "  %s -> %s [label=\"%s\"%s];\n" (node_id src) (node_id dst)
          label attrs)
   in
+  (* Carried (DOALL-blocking) edges are drawn red; loop-independent
+     ones keep the default color. Conservative outcomes block every
+     common loop, so they are red whenever the pair has one. *)
+  let blocking_attrs r =
+    if r.Analyzer.ncommon > 0 then ", color=red" else ""
+  in
   List.iter
     (fun (r : Analyzer.pair_report) ->
        match r.outcome with
        | Analyzer.Constant false | Analyzer.Gcd_independent -> ()
        | Analyzer.Constant true ->
-         edge r.loc1 r.loc2 "constant cell" ", style=dashed, dir=both"
+         edge r.loc1 r.loc2 "constant cell"
+           (", style=dashed, dir=both" ^ blocking_attrs r)
        | Analyzer.Assumed_dependent ->
-         edge r.loc1 r.loc2 "assumed (not affine)" ", style=dashed, dir=both"
+         edge r.loc1 r.loc2 "assumed (not affine)"
+           (", style=dashed, dir=both" ^ blocking_attrs r)
        | Analyzer.Tested t when not t.dependent -> ()
        | Analyzer.Tested t ->
          if t.directions = [] then
-           edge r.loc1 r.loc2 "dependent" ", style=dashed, dir=both"
+           edge r.loc1 r.loc2 "dependent"
+             (", style=dashed, dir=both" ^ blocking_attrs r)
          else
            List.iter
              (fun v ->
@@ -69,11 +78,21 @@ let to_dot (report : Analyzer.report) =
                          (Array.to_list (Array.map Dda_numeric.Zint.to_string d)))
                   | None -> ""
                 in
-                let label = Printf.sprintf "%s %s%s" kind (vector_string v) dist in
+                let carrier, color =
+                  match Analyzer.vector_carrier v with
+                  | Some k ->
+                    (Printf.sprintf " carried L%d" (List.nth r.common_ids k),
+                     ", color=red")
+                  | None -> (" loop-indep", "")
+                in
+                let label =
+                  Printf.sprintf "%s %s%s%s" kind (vector_string v) dist carrier
+                in
                 match source_of v with
-                | `First -> edge r.loc1 r.loc2 label ""
-                | `Second -> edge r.loc2 r.loc1 label ""
-                | `Ambiguous -> edge r.loc1 r.loc2 label ", style=dotted, dir=both")
+                | `First -> edge r.loc1 r.loc2 label color
+                | `Second -> edge r.loc2 r.loc1 label color
+                | `Ambiguous ->
+                  edge r.loc1 r.loc2 label (", style=dotted, dir=both" ^ color))
              t.directions)
     report.pair_reports;
   Buffer.add_string buf "}\n";

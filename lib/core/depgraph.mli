@@ -9,6 +9,10 @@ val to_dot : Analyzer.report -> string
     one edge per direction vector of every dependent pair, oriented
     source to sink (the instance that executes first points at the one
     that executes second; a leading ["*"] is drawn from the textually
-    earlier site and marked ambiguous). Conservative outcomes
-    (non-affine, constant-subscript collisions) appear as dashed
-    edges. *)
+    earlier site and marked ambiguous). Each edge is labeled with its
+    flow/anti/output/input classification and its carrier — the
+    outermost loop that can carry it ([carried L<id>]) or
+    [loop-indep] — and carried (DOALL-blocking) edges are colored red.
+    Conservative outcomes (non-affine, constant-subscript collisions)
+    appear as dashed edges, red whenever the pair has a common
+    loop. *)

@@ -11,6 +11,7 @@ type analyzed = {
   name : string;
   report : Analyzer.report;
   verification : Dda_check.Verify.summary option;
+  lint : Dda_analysis.Lint.result option;
   attempts : int;
 }
 
@@ -40,8 +41,8 @@ let m_retries = Dda_obs.Metrics.counter "batch.retries"
 let m_quarantined = Dda_obs.Metrics.counter "batch.quarantined"
 
 let run ?(config = Analyzer.default_config) ?(share_memo = false)
-    ?(verify = false) ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ~jobs
-    items =
+    ?(verify = false) ?(lint = false) ?(retries = 1) ?(backoff_ms = 50)
+    ?item_timeout_ms ~jobs items =
   if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Batch.run: retries must be >= 0";
   if backoff_ms < 0 then invalid_arg "Batch.run: backoff_ms must be >= 0";
@@ -59,6 +60,20 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
       let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
       let pairs = Analyzer.site_pairs config sites in
       Some (Dda_check.Verify.verify_report ~cancel ~config pairs report)
+    end
+  in
+  (* The lint summary rides on the report the item already produced —
+     the edges and verdicts are re-derived from the recorded direction
+     vectors, not from a second analysis. *)
+  let lint_summary cancel program report =
+    if not lint then None
+    else begin
+      let prepared =
+        if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run program
+        else program
+      in
+      let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+      Some (Dda_analysis.Lint.of_report ~config ~cancel ~prepared ~sites report)
     end
   in
   let item_cancel () =
@@ -89,15 +104,18 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
                | Some s -> Analyzer.analyze_session ~cancel s it.program
                | None -> Analyzer.analyze ~config ~cancel it.program
              in
-             (report, verification cancel it.program report))
+             ( report,
+               verification cancel it.program report,
+               lint_summary cancel it.program report ))
       with
-      | report, ver ->
+      | report, ver, lnt ->
         Ok
           {
             index = idx;
             name = it.name;
             report;
             verification = ver;
+            lint = lnt;
             attempts = attempt;
           }
       | exception e ->

@@ -46,6 +46,10 @@ type analyzed = {
       (** present when the batch ran with [verify]: the report's
           verdicts re-derived and certificate-checked
           ({!Dda_check.Verify.verify_report}) *)
+  lint : Dda_analysis.Lint.result option;
+      (** present when the batch ran with [lint]: the report's
+          dependences classified and every loop's parallelizability
+          summarized ({!Dda_analysis.Lint.of_report}) *)
   attempts : int;  (** attempts used; [> 1] means the item was retried *)
 }
 
@@ -81,6 +85,7 @@ val run :
   ?config:Analyzer.config ->
   ?share_memo:bool ->
   ?verify:bool ->
+  ?lint:bool ->
   ?retries:int ->
   ?backoff_ms:int ->
   ?item_timeout_ms:int ->
@@ -90,7 +95,11 @@ val run :
 (** Analyze the corpus on [jobs] domains. [share_memo] defaults to
     [false] (the fully [jobs]-independent mode described above).
     [verify] (default [false]) certificate-checks each program's
-    report on its worker domain and fills [verification].
+    report on its worker domain and fills [verification]. [lint]
+    (default [false]) classifies each program's dependences and
+    summarizes loop parallelizability on its worker domain, filling
+    [lint]; the [lint.*] metrics counters stay jobs-invariant because
+    each item is linted exactly once whatever the chunking.
 
     [retries] (default [1]) is how many times a failed item is retried
     before quarantine; [backoff_ms] (default [50]) the first retry's

@@ -114,6 +114,7 @@ type outcome =
       name : string;
       report : Analyzer.report;
       verification : Dda_check.Verify.summary option;
+      lint : Dda_analysis.Lint.result option;
       attempts : int;
     }
   | Quarantined of { name : string; attempts : int; error : string }
@@ -165,7 +166,8 @@ let md5_hex s = Digest.to_hex (Digest.string s)
    static, retrying cannot change the answer. Returns the source-text
    digest alongside the outcome ("" when the text was never obtained),
    which becomes the journal's corpus key. *)
-let process ~config ~verify ~retries ~backoff_ms ~item_timeout_ms ~idx it =
+let process ~config ~verify ~lint ~retries ~backoff_ms ~item_timeout_ms ~idx it
+    =
   Dda_obs.Metrics.incr m_items;
   let verification cancel program report =
     if not verify then None
@@ -177,6 +179,17 @@ let process ~config ~verify ~retries ~backoff_ms ~item_timeout_ms ~idx it =
       let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
       let pairs = Analyzer.site_pairs config sites in
       Some (Dda_check.Verify.verify_report ~cancel ~config pairs report)
+    end
+  in
+  let lint_summary cancel program report =
+    if not lint then None
+    else begin
+      let prepared =
+        if config.Analyzer.run_pipeline then Dda_passes.Pipeline.run program
+        else program
+      in
+      let sites = Affine.extract ~symbolic:config.Analyzer.symbolic prepared in
+      Some (Dda_analysis.Lint.of_report ~config ~cancel ~prepared ~sites report)
     end
   in
   let item_cancel () =
@@ -198,12 +211,20 @@ let process ~config ~verify ~retries ~backoff_ms ~item_timeout_ms ~idx it =
           let program = parse it.name text in
           let cancel = item_cancel () in
           let report = Analyzer.analyze ~config ~cancel program in
-          (report, verification cancel program report))
+          ( report,
+            verification cancel program report,
+            lint_summary cancel program report ))
     with
-    | report, ver ->
+    | report, ver, lnt ->
       ( !key,
         Analyzed
-          { name = it.name; report; verification = ver; attempts = attempt } )
+          {
+            name = it.name;
+            report;
+            verification = ver;
+            lint = lnt;
+            attempts = attempt;
+          } )
     | exception Parse_error msg ->
       Dda_obs.Metrics.incr m_quarantined;
       Dda_obs.Log.info "stream: quarantining %s (malformed): %s" it.name msg;
@@ -242,8 +263,12 @@ let process ~config ~verify ~retries ~backoff_ms ~item_timeout_ms ~idx it =
 
 let journal_version = 1
 
-let config_digest config ~verify =
-  md5_hex (Marshal.to_string (config, verify) [])
+(* [lint] is part of the fingerprint because it changes the rendered
+   output (and the journaled finding counts) — a journal written
+   without lint must not satisfy a resume that asks for it. *)
+let config_digest ?(lint = false) config ~verify =
+  if lint then md5_hex (Marshal.to_string (config, verify, lint) [])
+  else md5_hex (Marshal.to_string (config, verify) [])
 
 type jrecord = {
   j_name : string;
@@ -268,11 +293,17 @@ let record_line ~index ~key out outcome =
   let name, attempts, verrs, stats, error =
     match outcome with
     | Analyzed a ->
+      (* Lint race errors count with verification errors: both are
+         findings that must drive the exit code identically on a clean
+         and a resumed run, so both travel in the journal's [verrs]. *)
       ( a.name,
         a.attempts,
         (match a.verification with
          | Some s -> s.Dda_check.Verify.errors
-         | None -> 0),
+         | None -> 0)
+        + (match a.lint with
+           | Some l -> l.Dda_analysis.Lint.errors
+           | None -> 0),
         Some a.report.Analyzer.stats,
         None )
     | Quarantined q -> (q.name, q.attempts, 0, None, Some q.error)
@@ -417,15 +448,15 @@ let journal_records path = validate_journal path
 (* The driver                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(config = Analyzer.default_config) ?(verify = false) ?(retries = 1)
-    ?(backoff_ms = 50) ?item_timeout_ms ?journal ?(resume = false) ~jobs
-    ~render ~emit source =
+let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
+    ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ?journal
+    ?(resume = false) ~jobs ~render ~emit source =
   if jobs < 1 then invalid_arg "Stream.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Stream.run: retries must be >= 0";
   if backoff_ms < 0 then invalid_arg "Stream.run: backoff_ms must be >= 0";
   if resume && journal = None then
     invalid_arg "Stream.run: resume requires a journal";
-  let cfg_digest = config_digest config ~verify in
+  let cfg_digest = config_digest ~lint config ~verify in
   let nreplay =
     match journal with
     | Some path when resume -> validate_journal ~expect_config:cfg_digest path
@@ -542,7 +573,7 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(retries = 1)
                   ( idx,
                     it.name,
                     Pool.submit pool (fun () ->
-                        process ~config ~verify ~retries ~backoff_ms
+                        process ~config ~verify ~lint ~retries ~backoff_ms
                           ~item_timeout_ms ~idx it) )
                   pending
             done
@@ -568,6 +599,10 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(retries = 1)
                (match a.verification with
                 | Some s ->
                   verify_errors := !verify_errors + s.Dda_check.Verify.errors
+                | None -> ());
+               (match a.lint with
+                | Some l ->
+                  verify_errors := !verify_errors + l.Dda_analysis.Lint.errors
                 | None -> ())
              | Quarantined q ->
                incr quarantined;

@@ -87,6 +87,8 @@ type outcome =
       name : string;
       report : Analyzer.report;
       verification : Dda_check.Verify.summary option;
+      lint : Dda_analysis.Lint.result option;
+          (** present when the stream ran with [lint] *)
       attempts : int;
     }
   | Quarantined of { name : string; attempts : int; error : string }
@@ -96,13 +98,17 @@ type summary = {
   replayed : int;  (** items satisfied from the journal *)
   retried : int;  (** items that needed more than one attempt *)
   quarantined : int;
-  verify_errors : int;  (** certificate errors summed over all items *)
+  verify_errors : int;
+      (** findings that drive a non-zero exit: certificate errors plus
+          lint race errors, summed over all items (both are journaled,
+          so a resumed run reports the same count as a clean one) *)
   merged : Analyzer.stats;  (** totals over successful items *)
 }
 
 val run :
   ?config:Analyzer.config ->
   ?verify:bool ->
+  ?lint:bool ->
   ?retries:int ->
   ?backoff_ms:int ->
   ?item_timeout_ms:int ->
@@ -117,8 +123,8 @@ val run :
     each result into the output chunk that is journaled and emitted;
     [emit] receives the chunks in input order (replayed chunks come
     from the journal, not from [render]). The per-item knobs
-    ([retries], [backoff_ms], [item_timeout_ms], [verify]) mean
-    exactly what they do in {!Batch.run}.
+    ([retries], [backoff_ms], [item_timeout_ms], [verify], [lint])
+    mean exactly what they do in {!Batch.run}.
 
     [journal] names the write-ahead journal; without [resume] it is
     truncated and started fresh. [resume] (default [false]) requires
@@ -134,8 +140,11 @@ val run :
 
 (** {1 Journal internals, exposed for tests} *)
 
-val config_digest : Analyzer.config -> verify:bool -> string
-(** The configuration fingerprint stored in the journal header. *)
+val config_digest : ?lint:bool -> Analyzer.config -> verify:bool -> string
+(** The configuration fingerprint stored in the journal header.
+    [lint] (default [false]) participates because it changes the
+    rendered output; with it off the digest matches journals written
+    before lint existed. *)
 
 val journal_records : string -> int
 (** Validate a journal file exactly as [resume] does and return the

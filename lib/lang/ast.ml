@@ -50,6 +50,7 @@ and for_loop = {
   lo : expr;
   hi : expr;
   step : expr option;
+  parallel : bool;
   body : stmt list;
 }
 
@@ -68,8 +69,8 @@ let neg ?(loc = Loc.dummy) e =
 let aref ?(loc = Loc.dummy) name subs = { desc = Aref (name, subs); eloc = loc }
 let assign ?(loc = Loc.dummy) lv e = { sdesc = Assign (lv, e); sloc = loc }
 
-let for_ ?(loc = Loc.dummy) ?step var lo hi body =
-  { sdesc = For { var; lo; hi; step; body }; sloc = loc }
+let for_ ?(loc = Loc.dummy) ?step ?(parallel = false) var lo hi body =
+  { sdesc = For { var; lo; hi; step; parallel; body }; sloc = loc }
 
 let if_ ?(loc = Loc.dummy) cond then_ else_ =
   { sdesc = If (cond, then_, else_); sloc = loc }
@@ -186,6 +187,7 @@ let rec equal_stmt s1 s2 =
     String.equal f1.var f2.var && equal_expr f1.lo f2.lo
     && equal_expr f1.hi f2.hi
     && Option.equal equal_expr f1.step f2.step
+    && Bool.equal f1.parallel f2.parallel
     && equal_program f1.body f2.body
   | If (c1, t1, e1), If (c2, t2, e2) ->
     equal_cond c1 c2 && equal_program t1 t2 && equal_program e1 e2

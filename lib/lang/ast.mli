@@ -62,6 +62,10 @@ and for_loop = {
   lo : expr;
   hi : expr;
   step : expr option;  (** [None] means step 1 *)
+  parallel : bool;
+      (** the loop carries a [parallel] annotation — an assertion
+          (checked by the lint layer, not the front end) that its
+          iterations are independent *)
   body : stmt list;
 }
 
@@ -75,7 +79,9 @@ val bin : ?loc:Loc.t -> binop -> expr -> expr -> expr
 val neg : ?loc:Loc.t -> expr -> expr
 val aref : ?loc:Loc.t -> string -> expr list -> expr
 val assign : ?loc:Loc.t -> lvalue -> expr -> stmt
-val for_ : ?loc:Loc.t -> ?step:expr -> string -> expr -> expr -> stmt list -> stmt
+val for_ :
+  ?loc:Loc.t -> ?step:expr -> ?parallel:bool -> string -> expr -> expr ->
+  stmt list -> stmt
 val if_ : ?loc:Loc.t -> cond -> stmt list -> stmt list -> stmt
 val read : ?loc:Loc.t -> string -> stmt
 

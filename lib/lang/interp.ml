@@ -17,6 +17,10 @@ type env = {
   mutable clock : int;
   mutable loops : (string * int) list;  (* innermost first *)
   mutable fuel : int;  (* negative: unlimited *)
+  reorder : Loc.t -> int -> int array option;
+      (* iteration-order hook: given a loop's location and trip count,
+         an optional permutation of [0, n) to execute instead of
+         sequential order *)
 }
 
 let record env array indices role site =
@@ -85,7 +89,7 @@ let rec exec env (s : Ast.stmt) =
   | Ast.If (cond, then_, else_) ->
     if eval_cond env cond then List.iter (exec env) then_
     else List.iter (exec env) else_
-  | Ast.For { var; lo; hi; step; body } ->
+  | Ast.For { var; lo; hi; step; body; _ } ->
     let lo = eval env lo and hi = eval env hi in
     let step =
       match step with
@@ -95,16 +99,33 @@ let rec exec env (s : Ast.stmt) =
           | 0 -> raise (Runtime_error ("loop step is zero", s.sloc))
           | n -> n)
     in
-    let v = ref lo in
-    while (if step > 0 then !v <= hi else !v >= hi) do
-      Hashtbl.replace env.scalars var !v;
-      env.loops <- (var, !v) :: env.loops;
+    let iterate value =
+      Hashtbl.replace env.scalars var value;
+      env.loops <- (var, value) :: env.loops;
       List.iter (exec env) body;
-      env.loops <- List.tl env.loops;
-      v := !v + step
-    done
+      env.loops <- List.tl env.loops
+    in
+    let count =
+      if step > 0 then if hi < lo then 0 else ((hi - lo) / step) + 1
+      else if hi > lo then 0
+      else ((lo - hi) / -step) + 1
+    in
+    (match env.reorder s.sloc count with
+     | Some perm ->
+       if Array.length perm <> count then
+         raise (Runtime_error ("reorder permutation has wrong length", s.sloc));
+       Array.iter (fun k -> iterate (lo + (k * step))) perm
+     | None ->
+       (* Sequential fast path: identical to the pre-hook interpreter. *)
+       let v = ref lo in
+       while (if step > 0 then !v <= hi else !v >= hi) do
+         iterate !v;
+         v := !v + step
+       done)
 
-let make_env ?(fuel = -1) inputs =
+let no_reorder _ _ = None
+
+let make_env ?(fuel = -1) ?(reorder = no_reorder) inputs =
   let env =
     {
       scalars = Hashtbl.create 16;
@@ -114,6 +135,7 @@ let make_env ?(fuel = -1) inputs =
       clock = 0;
       loops = [];
       fuel;
+      reorder;
     }
   in
   List.iter (fun (k, v) -> Hashtbl.replace env.inputs k v) inputs;
@@ -134,8 +156,8 @@ type state = {
   memory : ((string * int list) * int) list;
 }
 
-let final_state ?(fuel = -1) ?(inputs = []) prog =
-  let env = make_env ~fuel inputs in
+let final_state ?(fuel = -1) ?(inputs = []) ?reorder prog =
+  let env = make_env ~fuel ?reorder inputs in
   List.iter (exec env) prog;
   let scalars =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.scalars []

@@ -35,7 +35,22 @@ type state = {
           absent *)
 }
 
-val final_state : ?fuel:int -> ?inputs:(string * int) list -> Ast.program -> state * access list
+val final_state :
+  ?fuel:int ->
+  ?inputs:(string * int) list ->
+  ?reorder:(Loc.t -> int -> int array option) ->
+  Ast.program ->
+  state * access list
 (** Runs the program and returns both the final machine state and the
     access trace — the observables that optimizer passes must
-    preserve. *)
+    preserve.
+
+    [reorder] is the iteration-order hook the parallelism lint's
+    differential check uses: it is called once per dynamic execution of
+    each [for] statement with the loop's source location and trip
+    count [n], and may return a permutation of [0, n)] to execute in
+    place of sequential order (return [None] for sequential). A loop
+    whose iterations are independent must produce the same final
+    memory under any permutation.
+    @raise Runtime_error when a returned permutation's length is not
+    the trip count. *)

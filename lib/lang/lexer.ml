@@ -2,6 +2,7 @@ exception Error of string * Loc.t
 
 let keyword = function
   | "for" -> Some Token.KW_FOR
+  | "parallel" -> Some Token.KW_PARALLEL
   | "to" -> Some Token.KW_TO
   | "step" -> Some Token.KW_STEP
   | "do" -> Some Token.KW_DO

@@ -99,24 +99,13 @@ let parse_cond st =
 
 let rec parse_stmt st =
   match peek st with
+  | Token.KW_PARALLEL, loc ->
+    advance st;
+    expect st Token.KW_FOR "'for' after 'parallel'";
+    parse_for st ~loc ~parallel:true
   | Token.KW_FOR, loc ->
     advance st;
-    let var = expect_ident st "a loop variable" in
-    expect st Token.ASSIGN "'='";
-    let lo = parse_expr_p st in
-    expect st Token.KW_TO "'to'";
-    let hi = parse_expr_p st in
-    let step =
-      match peek st with
-      | Token.KW_STEP, _ ->
-        advance st;
-        Some (parse_expr_p st)
-      | _ -> None
-    in
-    expect st Token.KW_DO "'do'";
-    let body = parse_stmts st in
-    expect st Token.KW_END "'end'";
-    Ast.for_ ~loc ?step var lo hi body
+    parse_for st ~loc ~parallel:false
   | Token.KW_IF, loc ->
     advance st;
     let cond = parse_cond st in
@@ -145,6 +134,24 @@ let rec parse_stmt st =
     let lv = if subs = [] then Ast.Lvar name else Ast.Larr (name, subs) in
     Ast.assign ~loc lv rhs
   | _ -> fail st "expected a statement"
+
+and parse_for st ~loc ~parallel =
+  let var = expect_ident st "a loop variable" in
+  expect st Token.ASSIGN "'='";
+  let lo = parse_expr_p st in
+  expect st Token.KW_TO "'to'";
+  let hi = parse_expr_p st in
+  let step =
+    match peek st with
+    | Token.KW_STEP, _ ->
+      advance st;
+      Some (parse_expr_p st)
+    | _ -> None
+  in
+  expect st Token.KW_DO "'do'";
+  let body = parse_stmts st in
+  expect st Token.KW_END "'end'";
+  Ast.for_ ~loc ?step ~parallel var lo hi body
 
 and parse_stmts st =
   match peek st with

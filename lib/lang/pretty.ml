@@ -52,9 +52,10 @@ let rec pp_stmt fmt s =
   match s.sdesc with
   | Assign (lv, e) -> Format.fprintf fmt "@[<h>%a = %a@]" pp_lvalue lv pp_expr e
   | Read name -> Format.fprintf fmt "read(%s)" name
-  | For { var; lo; hi; step; body } ->
-    Format.fprintf fmt "@[<v 2>for %s = %a to %a%a do@,%a@]@,end" var pp_expr lo
-      pp_expr hi
+  | For { var; lo; hi; step; parallel; body } ->
+    Format.fprintf fmt "@[<v 2>%sfor %s = %a to %a%a do@,%a@]@,end"
+      (if parallel then "parallel " else "")
+      var pp_expr lo pp_expr hi
       (fun fmt -> function
          | None -> ()
          | Some st -> Format.fprintf fmt " step %a" pp_expr st)

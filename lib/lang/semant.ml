@@ -72,7 +72,7 @@ let check prog =
       check_expr loops cond.rhs;
       List.iter (check_stmt loops) then_;
       List.iter (check_stmt loops) else_
-    | Ast.For { var; lo; hi; step; body } ->
+    | Ast.For { var; lo; hi; step; body; _ } ->
       if List.mem var loops then
         err s.sloc "loop variable '%s' shadows an enclosing loop variable" var;
       check_expr loops lo;

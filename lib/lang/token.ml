@@ -2,6 +2,7 @@ type t =
   | INT of int
   | IDENT of string
   | KW_FOR
+  | KW_PARALLEL
   | KW_TO
   | KW_STEP
   | KW_DO
@@ -34,6 +35,7 @@ let to_string = function
   | INT n -> string_of_int n
   | IDENT s -> s
   | KW_FOR -> "for"
+  | KW_PARALLEL -> "parallel"
   | KW_TO -> "to"
   | KW_STEP -> "step"
   | KW_DO -> "do"

@@ -4,6 +4,7 @@ type t =
   | INT of int
   | IDENT of string
   | KW_FOR
+  | KW_PARALLEL
   | KW_TO
   | KW_STEP
   | KW_DO

@@ -84,7 +84,7 @@ let rec norm_stmt names (s : Ast.stmt) : Ast.stmt list =
     let then_' = norm_stmts names then_ and else_' = norm_stmts names else_ in
     if then_' == then_ && else_' == else_ then [ s ]
     else [ { s with sdesc = Ast.If (cond, then_', else_') } ]
-  | Ast.For ({ var; lo; hi; step; body = body0 } as l) -> (
+  | Ast.For ({ var; lo; hi; step; body = body0; _ } as l) -> (
       let body = norm_stmts names body0 in
       let kept =
         if body == body0 then [ s ]
@@ -124,7 +124,13 @@ let rec norm_stmt names (s : Ast.stmt) : Ast.stmt list =
             { s with
               sdesc =
                 Ast.For
-                  { var = nvar; lo = Ast.int_ 0; hi = last_trip; step = None; body };
+                  { var = nvar;
+                    lo = Ast.int_ 0;
+                    hi = last_trip;
+                    step = None;
+                    parallel = l.parallel;
+                    body;
+                  };
             }
           in
           (* The original variable keeps Fortran semantics: it holds the

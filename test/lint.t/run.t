@@ -1,0 +1,121 @@
+The parallelism linter: per-loop verdicts, annotation checking, and
+the exit-code contract — 0 clean, 1 input error, 2 findings; degraded
+evidence downgrades findings to warnings (exit 0), never fabricates
+races, and never certifies a DOALL.
+
+  $ cat > clean.dd <<'EOF'
+  > parallel for i = 1 to 10 do
+  >   a[i] = b[i] + 1
+  > end
+  > EOF
+
+  $ cat > race.dd <<'EOF'
+  > parallel for i = 1 to 10 do
+  >   a[i] = a[i - 1] + 1
+  > end
+  > EOF
+
+A certified annotation is clean: the loop is DOALL, no findings,
+exit 0.
+
+  $ ddtest lint clean.dd
+  clean.dd: parallelism summary
+    loop i (L0, depth 0) at 1:1: doall [annotated parallel]
+  lint: 1 loops: 1 doall, 0 vectorizable, 0 reduction, 0 serial; 0 errors, 0 warnings
+
+A carried flow dependence under a parallel annotation is a race: the
+finding cites the dependence kind, direction vector and a concrete
+witness iteration pair, and the run exits 2.
+
+  $ ddtest lint race.dd
+  race.dd: parallelism summary
+    loop i (L0, depth 0) at 1:1: serial [annotated parallel] — 1 carried edge on 'a'
+  race.dd:1:1: error: [parallel-race] parallel loop 'i' races: carried flow dependence on array 'a' (<); witness iterations (1) and (2) (second reference at 2:3)
+  lint: 1 loops: 0 doall, 0 vectorizable, 0 reduction, 1 serial; 1 errors, 0 warnings
+  [2]
+
+Malformed input is an input error, exit 1.
+
+  $ cat > bad.dd <<'EOF'
+  > for i = 1 to 99999999999999999999999 do
+  >   a[i] = a[i - 1] + 1
+  > end
+  > EOF
+  $ ddtest lint bad.dd
+  bad.dd:1:37: lexical error: integer literal out of range: 99999999999999999999999
+  [1]
+
+A starved budget degrades the evidence: the same race comes back as a
+conservative (inexact) edge, so the verdict is still serial — degraded
+evidence can only deny a DOALL — but the finding is a warning, not a
+fabricated race, and the exit code is 0.
+
+  $ ddtest lint race.dd --budget-steps 1
+  race.dd: parallelism summary
+    loop i (L0, depth 0) at 1:1: serial [annotated parallel] [degraded evidence] — 2 carried edges on 'a'
+  race.dd:1:1: warning: [parallel-unproven] parallel loop 'i' cannot be certified: carried output dependence on array 'a' (conservative) blocks it only conservatively (and 1 more blocking dependence) (second reference at 2:3)
+  lint: 1 loops: 0 doall, 0 vectorizable, 0 reduction, 1 serial; 0 errors, 1 warnings
+
+Unannotated loops are summarized too: matmul's i and j are DOALL, its
+accumulation loop k is a reduction candidate, and nothing draws a
+finding.
+
+  $ cat > matmul.dd <<'EOF'
+  > for i = 1 to 20 do
+  >   for j = 1 to 20 do
+  >     for k = 1 to 20 do
+  >       c[i][j] = c[i][j] + a[i][k] * b[k][j]
+  >     end
+  >   end
+  > end
+  > EOF
+  $ ddtest lint matmul.dd
+  matmul.dd: parallelism summary
+    loop i (L0, depth 0) at 1:1: doall
+    loop j (L1, depth 1) at 2:3: doall
+    loop k (L2, depth 2) at 3:5: reduction — 3 carried edges on 'c'
+  lint: 3 loops: 2 doall, 0 vectorizable, 1 reduction, 0 serial; 0 errors, 0 warnings
+
+The JSON form carries the full summary: verdicts, classified edge
+counts, and machine-readable findings (exit code unchanged).
+
+  $ ddtest lint race.dd --format json | grep -o '"verdict": "serial"'
+  "verdict": "serial"
+  $ ddtest lint race.dd --format json | grep -o '"kind": "flow"'
+  "kind": "flow"
+  $ ddtest lint race.dd --format json | grep -o '"iter1": \["1"\]'
+  "iter1": ["1"]
+  $ ddtest lint clean.dd --format json | grep -o '"doall": 1'
+  "doall": 1
+
+SARIF 2.1.0 for code-scanning consumers: a ddtest-lint driver with the
+two rules, and one result per finding.
+
+  $ ddtest lint race.dd --format sarif | grep -o '"version": "2.1.0"'
+  "version": "2.1.0"
+  $ ddtest lint race.dd --format sarif | grep -o '"name": "ddtest-lint"'
+  "name": "ddtest-lint"
+  $ ddtest lint race.dd --format sarif | grep -o '"ruleId": "parallel-race"'
+  "ruleId": "parallel-race"
+  $ ddtest lint race.dd --format sarif | grep -o '"level": "error"'
+  "level": "error"
+
+--differential executes every DOALL loop under permuted iteration
+orders and diffs the final stores against sequential execution; a
+certified loop must pass.
+
+  $ ddtest lint clean.dd --differential > /dev/null
+
+The batch engine carries lint along with each item's report (and the
+race still drives exit 2 through the corpus run).
+
+  $ ddtest batch --lint --format json clean.dd race.dd | grep -c '"lint":'
+  2
+  $ ddtest batch --lint --stream --format json clean.dd race.dd | grep -c '"lint":'
+  2
+
+The C backend trusts only certified DOALL verdicts: matmul's i loop
+gets the pragma, the reduction loop k does not.
+
+  $ ddtest cc matmul.dd | grep -c 'pragma omp parallel for'
+  2

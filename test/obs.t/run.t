@@ -16,21 +16,38 @@ deterministic integer counters, one per line, sorted by name.
   counter cascade.decided.acyclic 0
   counter cascade.decided.fourier 0
   counter cascade.decided.loop_residue 0
-  counter cascade.decided.svpc 6
-  counter cascade.runs 6
-  counter cascade.verdict.dependent 3
+  counter cascade.decided.svpc 7
+  counter cascade.runs 7
+  counter cascade.verdict.dependent 4
   counter cascade.verdict.exhausted 0
   counter cascade.verdict.independent 3
   counter cascade.verdict.unknown 0
 
-Per-test counters mirror the cascade: six runs, all decided by SVPC,
-after three GCD reductions.
+Per-test counters mirror the cascade: seven runs, all decided by
+SVPC — six from the direction-vector analysis plus one replayed by
+the linter to derive the carried edge's witness iteration pair.
 
   $ ddtest metrics loop.dd | grep -E '^counter test\.(gcd|svpc)\.'
-  counter test.gcd.calls 3
+  counter test.gcd.calls 4
   counter test.gcd.independent 0
-  counter test.svpc.calls 6
+  counter test.svpc.calls 7
   counter test.svpc.independent 3
+
+The metrics run also classifies every dependence and loop (the lint
+subsystem): this loop's one carried edge is an anti dependence, so the
+loop is vectorizable but not DOALL.
+
+  $ ddtest metrics loop.dd | grep -E '^counter lint\.'
+  counter lint.deps.anti 1
+  counter lint.deps.flow 0
+  counter lint.deps.input 0
+  counter lint.deps.output 0
+  counter lint.findings.races 0
+  counter lint.findings.unproven 0
+  counter lint.loops.doall 0
+  counter lint.loops.reduction 0
+  counter lint.loops.serial 0
+  counter lint.loops.vectorizable 1
 
 The JSON form is the same object the batch driver embeds:
 

@@ -295,6 +295,7 @@ let prop_batch_deterministic =
                   name = it.Batch.name;
                   report = Analyzer.analyze it.Batch.program;
                   verification = None;
+                  lint = None;
                   attempts = 1;
                 })
              corpus

@@ -67,6 +67,39 @@ let check_kernel config_name config (k : Kernels.kernel) () =
     (List.length result)
     (List.length k.parallel_loops + List.length k.serial_loops)
 
+(* The linter's headline contract: its DOALL set is exactly the
+   textbook parallel set, kernel by kernel. Reduction and vectorizable
+   verdicts are refinements of "not DOALL", so they must land on the
+   serial side — lost parallelism and false parallelism both fail. *)
+let check_lint_doall config_name config (k : Kernels.kernel) () =
+  let prog = Parser.parse_program k.source in
+  let res = Dda_analysis.Lint.run ~config prog in
+  let names = loop_names res.Dda_analysis.Lint.sites in
+  let doall =
+    List.filter_map
+      (fun (lid, is_doall) ->
+         if is_doall then
+           Some (Option.value (List.assoc_opt lid names) ~default:"?")
+         else None)
+      (Dda_analysis.Summary.doall_loops res.Dda_analysis.Lint.summary)
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    (Printf.sprintf "[%s] %s: lint DOALL set = textbook parallel set"
+       config_name k.name)
+    (List.sort String.compare k.parallel_loops)
+    doall;
+  (* Nothing on exact kernels is degraded, so no verdict leans on
+     conservative evidence. *)
+  List.iter
+    (fun (li : Dda_analysis.Summary.loop_info) ->
+       if li.verdict = Dda_analysis.Summary.Doall then
+         Alcotest.(check bool)
+           (Printf.sprintf "[%s] %s: DOALL loop %s not degraded" config_name
+              k.name li.var)
+           false li.degraded)
+    res.Dda_analysis.Lint.summary.Dda_analysis.Summary.loops
+
 let test_kernel_sources_wellformed () =
   List.iter
     (fun (k : Kernels.kernel) ->
@@ -164,6 +197,18 @@ let () =
            Kernels.all)
       configs
   in
+  let lint_cases =
+    List.concat_map
+      (fun (cname, config) ->
+         List.map
+           (fun (k : Kernels.kernel) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s [%s]" k.name cname)
+                `Quick
+                (check_lint_doall cname config k))
+           Kernels.all)
+      configs
+  in
   Alcotest.run "kernels"
     [
       ( "library",
@@ -172,6 +217,7 @@ let () =
           Alcotest.test_case "find" `Quick test_find;
         ] );
       ("classification", kernel_cases);
+      ("lint doall", lint_cases);
       ( "oracle",
         [ Alcotest.test_case "verdicts match traces" `Quick test_kernels_against_oracle ] );
     ]

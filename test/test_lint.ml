@@ -1,0 +1,230 @@
+(* The parallelism linter against its two oracles: every DOALL verdict
+   must survive permuted-order execution (the differential oracle —
+   reordering a truly independent loop's iterations cannot change the
+   final store), and every injected [parallel] annotation must be
+   answered exactly as the evidence warrants — a race error when the
+   blocking dependence is exact, a warning when only conservative or
+   degraded evidence blocks it. Plus the soundness direction itself:
+   starving the budget may only shrink the DOALL set, never grow it. *)
+
+open Dda_lang
+open Dda_core
+open Dda_perfect
+open Dda_analysis
+
+let arb_fuzzed =
+  QCheck.make
+    ~print:(fun (p, s, i) ->
+      Printf.sprintf "(%s, seed=%d, index=%d)\n%s" (Fuzz.profile_name p) s i
+        (Fuzz.program p ~seed:s ~index:i))
+    QCheck.Gen.(
+      triple (oneofl Fuzz.all_profiles) (int_bound 100_000) (int_bound 5_000))
+
+let lint_of (profile, seed, index) =
+  let text = Fuzz.program profile ~seed ~index in
+  Lint.run (Parser.parse_program text)
+
+(* ------------------------------------------------------------------ *)
+(* DOALL verdicts vs the permuted-order interpreter                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_doall_differential =
+  QCheck.Test.make
+    ~name:"every DOALL loop survives permuted-order execution" ~count:200
+    arb_fuzzed
+    (fun input ->
+       let res = lint_of input in
+       match Pardiff.check ~prepared:res.Lint.prepared res.Lint.summary with
+       | Ok _ -> true
+       | Error msg -> QCheck.Test.fail_reportf "differential failure: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Injected annotations vs findings                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Mark every loop [parallel], so the annotation checker must rule on
+   each one. *)
+let rec annotate_stmt (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.For f ->
+    {
+      s with
+      sdesc =
+        Ast.For { f with parallel = true; body = List.map annotate_stmt f.body };
+    }
+  | Ast.If (c, t, e) ->
+    {
+      s with
+      sdesc = Ast.If (c, List.map annotate_stmt t, List.map annotate_stmt e);
+    }
+  | Ast.Assign _ | Ast.Read _ -> s
+
+let has_exact_evidence (li : Summary.loop_info) =
+  List.exists (fun (b : Summary.blocking) -> b.edge.Classify.exact) li.blocking
+  || li.scalar_blockers <> []
+
+let prop_annotations_answered =
+  QCheck.Test.make
+    ~name:
+      "every annotated carried-dep loop is reported — race iff the evidence \
+       is exact"
+    ~count:200 arb_fuzzed
+    (fun (profile, seed, index) ->
+       let text = Fuzz.program profile ~seed ~index in
+       let prog = List.map annotate_stmt (Parser.parse_program text) in
+       let res = Lint.run prog in
+       List.for_all
+         (fun (li : Summary.loop_info) ->
+            let at_loc (d : Dda_check.Verify.diagnostic) =
+              Loc.equal d.loc li.loc
+            in
+            if (not li.parallel_annot) || li.verdict = Summary.Doall then
+              (* Certified loops draw no finding. *)
+              (not li.parallel_annot)
+              || not (List.exists at_loc res.Lint.findings)
+            else
+              match List.find_opt at_loc res.Lint.findings with
+              | None ->
+                QCheck.Test.fail_reportf
+                  "loop %s at %s: %s verdict but no finding\n%s" li.var
+                  (Loc.to_string li.loc)
+                  (Summary.verdict_name li.verdict)
+                  text
+              | Some d ->
+                let want_error = has_exact_evidence li in
+                let is_error =
+                  d.Dda_check.Verify.severity = Dda_check.Verify.Sev_error
+                in
+                if want_error <> is_error then
+                  QCheck.Test.fail_reportf
+                    "loop %s at %s: exact evidence %b but severity %s\n%s"
+                    li.var
+                    (Loc.to_string li.loc)
+                    want_error
+                    (Dda_check.Verify.severity_name d.Dda_check.Verify.severity)
+                    text
+                else
+                  String.equal d.Dda_check.Verify.code
+                    (if want_error then "parallel-race"
+                     else "parallel-unproven"))
+         res.Lint.summary.Summary.loops)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation only denies                                             *)
+(* ------------------------------------------------------------------ *)
+
+let starved =
+  {
+    Analyzer.default_config with
+    Analyzer.limits =
+      { Budget.default_limits with Budget.max_steps = Some 1 };
+  }
+
+let doall_set (res : Lint.result) =
+  List.filter_map
+    (fun (lid, d) -> if d then Some lid else None)
+    (Summary.doall_loops res.Lint.summary)
+
+let prop_starved_budget_only_denies =
+  QCheck.Test.make
+    ~name:"a starved budget never grants a DOALL the full analysis denies"
+    ~count:100 arb_fuzzed
+    (fun (profile, seed, index) ->
+       let text = Fuzz.program profile ~seed ~index in
+       let full = Lint.run (Parser.parse_program text) in
+       let tight = Lint.run ~config:starved (Parser.parse_program text) in
+       let full_doall = doall_set full in
+       List.for_all
+         (fun lid ->
+            List.mem lid full_doall
+            || QCheck.Test.fail_reportf
+                 "starved budget certified L%d that the full analysis denies\n\
+                  %s"
+                 lid text)
+         (doall_set tight)
+       && List.for_all
+            (fun (li : Summary.loop_info) ->
+               (not li.degraded) || li.verdict <> Summary.Doall)
+            tight.Lint.summary.Summary.loops)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fixtures                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse = Parser.parse_program
+
+let test_race_reported () =
+  let res =
+    Lint.run
+      (parse "parallel for i = 1 to 10 do\n  a[i] = a[i - 1] + 1\nend\n")
+  in
+  Alcotest.(check int) "one error" 1 res.Lint.errors;
+  match res.Lint.findings with
+  | [ d ] ->
+    Alcotest.(check string) "code" "parallel-race" d.Dda_check.Verify.code;
+    Alcotest.(check bool)
+      "witness mentioned" true
+      (let msg = d.Dda_check.Verify.message in
+       let has_sub sub =
+         let n = String.length sub and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+         go 0
+       in
+       has_sub "witness iterations")
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_clean_certified () =
+  let res =
+    Lint.run (parse "parallel for i = 1 to 10 do\n  a[i] = b[i] + 1\nend\n")
+  in
+  Alcotest.(check int) "no errors" 0 res.Lint.errors;
+  Alcotest.(check int) "no warnings" 0 res.Lint.warnings;
+  match res.Lint.summary.Summary.loops with
+  | [ li ] ->
+    Alcotest.(check string) "doall" "doall" (Summary.verdict_name li.verdict)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_reduction_detected () =
+  let res =
+    Lint.run (parse "for i = 1 to 10 do\n  s = s + a[i]\nend\n")
+  in
+  match res.Lint.summary.Summary.loops with
+  | [ li ] ->
+    Alcotest.(check string) "reduction" "reduction"
+      (Summary.verdict_name li.verdict)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_starved_race_degrades_to_warning () =
+  let res =
+    Lint.run ~config:starved
+      (parse "parallel for i = 1 to 10 do\n  a[i] = a[i - 1] + 1\nend\n")
+  in
+  Alcotest.(check int) "no errors under a starved budget" 0 res.Lint.errors;
+  Alcotest.(check int) "one warning" 1 res.Lint.warnings;
+  match res.Lint.findings with
+  | [ d ] ->
+    Alcotest.(check string) "code" "parallel-unproven" d.Dda_check.Verify.code
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "race reported with witness" `Quick
+            test_race_reported;
+          Alcotest.test_case "clean annotation certified" `Quick
+            test_clean_certified;
+          Alcotest.test_case "reduction detected" `Quick
+            test_reduction_detected;
+          Alcotest.test_case "starved race degrades to warning" `Quick
+            test_starved_race_degrades_to_warning;
+        ] );
+      ( "fuzzed",
+        [
+          qt prop_doall_differential;
+          qt prop_annotations_answered;
+          qt prop_starved_budget_only_denies;
+        ] );
+    ]
