@@ -476,10 +476,39 @@ let batch_cmd =
       print_string chunk;
       flush stdout
     in
-    let summary =
-      Dda_engine.Stream.run ~config ~verify ~lint ~retries ~backoff_ms
-        ?item_timeout_ms ?journal ~resume ~jobs ~render ~emit source
+    (* With a journal, SIGINT/SIGTERM request a clean stop instead of
+       dying mid-write: finish what is in flight, journal and fsync it,
+       and exit 130 — the journal then resumes exactly where the run
+       left off. Without a journal there is nothing to save; the
+       default die-now behavior stands. *)
+    let stop_flag = Atomic.make false in
+    let restore_signals =
+      if journal = None then fun () -> ()
+      else begin
+        let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+        let prev =
+          List.map (fun s -> (s, Sys.signal s handler)) [ Sys.sigint; Sys.sigterm ]
+        in
+        fun () -> List.iter (fun (s, h) -> Sys.set_signal s h) prev
+      end
     in
+    let summary =
+      Fun.protect ~finally:restore_signals (fun () ->
+          Dda_engine.Stream.run ~config ~verify ~lint ~retries ~backoff_ms
+            ?item_timeout_ms ?journal ~resume
+            ~stop:(fun () -> Atomic.get stop_flag)
+            ~jobs ~render ~emit source)
+    in
+    if summary.Dda_engine.Stream.interrupted then begin
+      (* No summary block: the run is incomplete by design. Everything
+         emitted so far is already on stdout and in the journal. *)
+      Dda_obs.Log.warn
+        "stream: interrupted after %d item(s); journal %s is flushed — \
+         resume with --resume"
+        summary.Dda_engine.Stream.total
+        (Option.value ~default:"-" journal);
+      exit 130
+    end;
     (match format with
      | `Text ->
        print_string
@@ -1684,11 +1713,203 @@ let report_cmd =
           can be diffed against a committed baseline.")
     Term.(const run $ obs_term $ format)
 
+(* ------------------------------------------------------------------ *)
+(* serve / query                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix domain socket to listen on (stale files left by a \
+                killed predecessor are replaced).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Durable memo cache: every memo miss is appended (and fsynced) \
+             here, and a restart replays it so warm answers survive even \
+             kill -9. A damaged file degrades to a cold start — torn tails \
+             are truncated, mismatched fingerprints are set aside as \
+             $(docv).rejected — never to a wrong verdict.")
+  in
+  let no_fsync_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache-fsync" ]
+          ~doc:"Skip the fsync after each cache append (faster, but a crash \
+                may lose recent records; never corrupts).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Maximum outstanding requests; beyond it the server sheds \
+                load with an explicit JSON error instead of queueing.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (0 = none); an expired \
+                deadline degrades remaining verdicts soundly instead of \
+                hanging a worker. Requests can override with \
+                $(b,timeout_ms).")
+  in
+  let run () socket cache no_fsync jobs queue_limit request_timeout_ms config =
+    (* An unbindable socket path (missing directory, permission) or any
+       other OS-level failure is an input error: one line, exit 1. *)
+    try
+      let server, recovery =
+        Dda_server.Server.create
+          {
+            Dda_server.Server.socket_path = socket;
+            jobs;
+            queue_limit;
+            request_timeout_ms;
+            analyzer = config;
+            cache_path = cache;
+            cache_fsync = not no_fsync;
+          }
+      in
+      (match recovery with
+       | Some r when r.Dda_cache.Store.records > 0 || r.Dda_cache.Store.dropped_bytes > 0 ->
+         Dda_obs.Log.info "cache: warm start: %d record(s) recovered, %d byte(s) dropped"
+           r.Dda_cache.Store.records r.Dda_cache.Store.dropped_bytes
+       | _ -> ());
+      (* Graceful drain on both signals: finish in-flight requests,
+         flush and fsync the cache, release the socket, exit 0. *)
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Dda_server.Server.drain server)))
+        [ Sys.sigint; Sys.sigterm ];
+      Dda_server.Server.run server
+    with Unix.Unix_error (e, fn, arg) ->
+      failwith
+        (Printf.sprintf "serve: %s %s: %s" fn
+           (if arg = "" then socket else arg)
+           (Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: a long-lived JSONL service on a Unix \
+          socket, with per-request deadlines, bounded queueing with load \
+          shedding, request quarantine, and a durable, \
+          corruption-detecting memo cache that makes restarts warm — \
+          even after kill -9.")
+    Term.(
+      const run $ obs_term $ socket_arg $ cache_arg $ no_fsync_arg $ jobs_arg
+      $ queue_arg $ timeout_arg $ config_term)
+
+let query_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running $(b,ddtest serve).")
+  in
+  let files_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILES" ~doc:"Programs to analyze.")
+  in
+  let ping_arg = Arg.(value & flag & info [ "ping" ] ~doc:"Send a ping first.") in
+  let status_arg =
+    Arg.(value & flag & info [ "status" ] ~doc:"Ask for server status last.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Request per-program statistics (off by default: statistics \
+                depend on cache temperature, answers do not).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline override.")
+  in
+  let run () socket files ping status stats timeout_ms =
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    (try Unix.connect fd (ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       failwith
+         (Printf.sprintf "query: cannot connect to %s: %s" socket
+            (Unix.error_message e)));
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (* 0 ok; 2 any error response; 3 any shed response (the greater
+       wins, so one exit code summarizes a whole request mix). *)
+    let worst = ref 0 in
+    let rpc req =
+      output_string oc (Json_out.to_string req ^ "\n");
+      flush oc;
+      match input_line ic with
+      | line ->
+        print_endline line;
+        (match Json_out.of_string line with
+         | Ok j when Json_out.member "ok" j = Some (Json_out.Bool true) -> ()
+         | Ok j ->
+           let shed =
+             Json_out.member "shed" j = Some (Json_out.Bool true)
+           in
+           worst := max !worst (if shed then 3 else 2)
+         | Error _ -> worst := max !worst 2)
+      | exception End_of_file ->
+        failwith "query: server closed the connection"
+    in
+    if ping then rpc (Json_out.Obj [ ("op", Json_out.Str "ping") ]);
+    List.iteri
+      (fun i f ->
+        rpc
+          (Json_out.Obj
+             ([
+                ("op", Json_out.Str "analyze");
+                ("id", Json_out.Int i);
+                ("program", Json_out.Str (read_file f));
+              ]
+             @ (if stats then [ ("stats", Json_out.Bool true) ] else [])
+             @
+             match timeout_ms with
+             | Some ms -> [ ("timeout_ms", Json_out.Int ms) ]
+             | None -> [])))
+      files;
+    if status then rpc (Json_out.Obj [ ("op", Json_out.Str "status") ]);
+    Unix.close fd;
+    if !worst > 0 then exit !worst
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Client for $(b,ddtest serve): send analyze/ping/status requests \
+          over its socket and print one JSON response per line.")
+    Term.(
+      const run $ obs_term $ socket_arg $ files_arg $ ping_arg $ status_arg
+      $ stats_arg $ timeout_arg)
+
 (* Exit codes: 0 success; 1 input or usage errors; 2 verification or
-   trace failures; 3 batch quarantine. No exception may escape to a raw
-   OCaml backtrace — everything expected becomes a one-line diagnostic
-   on stderr, and cmdliner's own CLI-error code folds into 1. *)
+   trace failures (and query error responses); 3 batch quarantine (and
+   query shed responses); 130 a journaled streaming run stopped by
+   SIGINT/SIGTERM (resumable). No exception may escape to a raw OCaml
+   backtrace — everything expected becomes a one-line diagnostic on
+   stderr, and cmdliner's own CLI-error code folds into 1. *)
 let () =
+  (* The [kill] failpoint action should die exactly as under kill -9 —
+     no at_exit, no flushing — which the library default (plain [exit])
+     cannot do without a unix dependency. *)
+  Failpoint.set_kill_handler (fun () ->
+      Unix.kill (Unix.getpid ()) Sys.sigkill);
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "ddtest" ~version:"1.0"
@@ -1699,6 +1920,8 @@ let () =
       [
         analyze_cmd;
         batch_cmd;
+        serve_cmd;
+        query_cmd;
         fuzz_cmd;
         parallel_cmd;
         passes_cmd;

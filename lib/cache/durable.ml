@@ -1,0 +1,76 @@
+open Dda_core
+
+type t = {
+  gcd : Gcd_test.outcome Memo_table.t;
+  full : Analyzer.outcome Memo_table.t;
+  store : Store.t option;
+  lock : Mutex.t;
+}
+
+let create ?path ?(fsync = true) ~config () =
+  let gcd = Memo_table.create () in
+  let full = Memo_table.create () in
+  let store, recovery =
+    match path with
+    | None -> (None, None)
+    | Some path ->
+        let s, r =
+          Store.open_store ~fsync ~path ~config ~gcd:(Memo_table.add gcd)
+            ~full:(Memo_table.add full) ()
+        in
+        (Some s, Some r)
+  in
+  ({ gcd; full; store; lock = Mutex.create () }, recovery)
+
+(* The find-compute-add protocol: find under the lock, compute outside
+   it (the full-table compute path re-enters this cache for gcd
+   queries), re-lock to publish. On a race the later add replaces the
+   earlier equal binding; both appends replay to the same state. *)
+let find_or_add t table app key compute =
+  Mutex.lock t.lock;
+  match Memo_table.find table key with
+  | Some v ->
+      Mutex.unlock t.lock;
+      (v, true)
+  | None ->
+      Mutex.unlock t.lock;
+      let v = compute () in
+      Mutex.lock t.lock;
+      Memo_table.add table key v;
+      let r =
+        match t.store with
+        | None -> Ok ()
+        | Some s -> ( try Ok (app s key v) with e -> Error e)
+      in
+      Mutex.unlock t.lock;
+      (match r with Ok () -> () | Error e -> raise e);
+      (v, false)
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = try Ok (f ()) with e -> Error e in
+  Mutex.unlock t.lock;
+  match r with Ok v -> v | Error e -> raise e
+
+let cache t : Analyzer.cache =
+  {
+    find_or_add_gcd = (fun key compute ->
+        find_or_add t t.gcd Store.append_gcd key compute);
+    find_or_add_full = (fun key compute ->
+        find_or_add t t.full Store.append_full key compute);
+    cache_stats = (fun () ->
+        locked t (fun () -> (Memo_table.stats t.gcd, Memo_table.stats t.full)));
+    cache_flush = (fun () ->
+        locked t (fun () -> Option.iter Store.flush t.store));
+  }
+
+let table_sizes t =
+  locked t (fun () -> (Memo_table.length t.gcd, Memo_table.length t.full))
+
+let table_stats t =
+  locked t (fun () -> (Memo_table.stats t.gcd, Memo_table.stats t.full))
+
+let store_path t = Option.map Store.path t.store
+let store_appends t = match t.store with None -> 0 | Some s -> Store.appends s
+let flush t = locked t (fun () -> Option.iter Store.flush t.store)
+let close t = locked t (fun () -> Option.iter Store.close t.store)

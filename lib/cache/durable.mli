@@ -1,0 +1,48 @@
+(** The durable, shareable memo cache: in-process {!Dda_core.Memo_table}s
+    with optional write-through to a {!Store} file, behind one mutex.
+
+    This is the backend [ddtest serve] plugs into the analyzer's
+    pluggable {!Dda_core.Analyzer.cache} interface. It is safe to share
+    across worker domains: lookups and insertions are serialized by the
+    mutex, but a miss's {e computation} runs outside the lock (it must —
+    a full-table miss recursively queries the gcd table through the same
+    cache). Two domains racing on the same key may therefore both
+    compute it; the values are deterministic and equal, the table keeps
+    one, and the duplicate store record is harmless (replay re-adds the
+    same binding). A computation that raises stores nothing. *)
+
+type t
+
+val create :
+  ?path:string ->
+  ?fsync:bool ->
+  config:Dda_core.Analyzer.config ->
+  unit ->
+  t * Store.recovery option
+(** Without [path], a purely in-memory (but still domain-shareable)
+    cache and [None]. With [path], opens the {!Store} there — replaying
+    survivors into the tables and recovering per the cache-integrity
+    invariant — and returns its {!Store.recovery}. [fsync] (default
+    [true]) is passed through.
+    @raise Failure on real I/O errors (see {!Store.open_store}). *)
+
+val cache : t -> Dda_core.Analyzer.cache
+(** The analyzer-facing view. Every miss computed through it is added
+    to the tables and appended to the store (when present) before the
+    query returns. *)
+
+val table_sizes : t -> int * int
+(** [(gcd_entries, full_entries)] currently held. *)
+
+val table_stats : t -> Dda_core.Memo_table.stats * Dda_core.Memo_table.stats
+
+val store_path : t -> string option
+val store_appends : t -> int
+(** Records appended since open (0 for in-memory caches). *)
+
+val flush : t -> unit
+(** fsync the store, if any. *)
+
+val close : t -> unit
+(** Flush and close the store, if any. Idempotent; the in-memory
+    tables stay usable. *)

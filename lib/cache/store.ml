@@ -1,0 +1,188 @@
+open Dda_core
+open Dda_obs
+
+let magic = "%DDACACHE1\n"
+let fp_len = 16
+let header_len = String.length magic + fp_len
+let frame_len = 4 + fp_len (* payload length + payload digest *)
+
+(* Both memo tables share one file, so each record says which table it
+   belongs to. The payload is the Marshal image of this constructor. *)
+type entry =
+  | Gcd of int array * Gcd_test.outcome
+  | Full of int array * Analyzer.outcome
+
+type t = {
+  fd : Unix.file_descr;
+  s_path : string;
+  fsync : bool;
+  mutable n_appends : int;
+  mutable closed : bool;
+}
+
+type recovery = {
+  fresh : bool;
+  reset : string option;
+  records : int;
+  dropped_bytes : int;
+}
+
+let m_appends = Metrics.counter "cache.store.appends"
+let m_replayed = Metrics.counter "cache.store.replayed"
+let m_dropped = Metrics.counter "cache.store.dropped_bytes"
+let m_resets = Metrics.counter "cache.store.resets"
+
+let fingerprint config =
+  Digest.string
+    (Marshal.to_string (Analyzer.memo_format_version, config) [])
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let do_fsync fd =
+  Failpoint.hit "cache.flush";
+  Unix.fsync fd
+
+(* [false] on end-of-file before [len] bytes — a torn tail, not an
+   error. *)
+let read_exact ic buf len =
+  try
+    really_input ic buf 0 len;
+    true
+  with End_of_file -> false
+
+(* Walk the record stream, delivering every intact record and stopping
+   at the first sign of damage: a short read, an impossible length, a
+   digest mismatch or an unreadable payload. Returns (intact records,
+   byte offset just past the last one). *)
+let scan_records ic file_len ~gcd ~full =
+  let records = ref 0 in
+  let good_end = ref header_len in
+  let frame = Bytes.create frame_len in
+  (try
+     while !good_end < file_len do
+       if not (read_exact ic frame frame_len) then raise Exit;
+       let len = Int32.to_int (Bytes.get_int32_be frame 0) in
+       if len <= 0 || len > file_len - !good_end - frame_len then raise Exit;
+       let payload = Bytes.create len in
+       if not (read_exact ic payload len) then raise Exit;
+       let payload = Bytes.unsafe_to_string payload in
+       if not (String.equal (Digest.string payload)
+                 (Bytes.sub_string frame 4 fp_len))
+       then raise Exit;
+       (match (Marshal.from_string payload 0 : entry) with
+        | Gcd (key, v) -> gcd key v
+        | Full (key, v) -> full key v
+        | exception _ -> raise Exit);
+       incr records;
+       good_end := !good_end + frame_len + len
+     done
+   with Exit -> ());
+  (!records, !good_end)
+
+let open_store ?(fsync = true) ~path ~config ~gcd ~full () =
+  Failpoint.hit "cache.open";
+  let fp = fingerprint config in
+  let io_fail what exn =
+    failwith
+      (Printf.sprintf "cache %s: cannot %s: %s" path what
+         (match exn with
+          | Unix.Unix_error (e, _, _) -> Unix.error_message e
+          | Sys_error m -> m
+          | e -> Printexc.to_string e))
+  in
+  let fresh_fd () =
+    match
+      let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+      write_all fd (magic ^ fp);
+      if fsync then Unix.fsync fd;
+      fd
+    with
+    | fd -> fd
+    | exception e -> io_fail "create" e
+  in
+  let make fd = { fd; s_path = path; fsync; n_appends = 0; closed = false } in
+  if not (Sys.file_exists path) then
+    (make (fresh_fd ()), { fresh = true; reset = None; records = 0; dropped_bytes = 0 })
+  else begin
+    let ic = try open_in_bin path with e -> io_fail "read" e in
+    let file_len = in_channel_length ic in
+    let header =
+      if file_len < header_len then
+        Error "truncated header"
+      else
+        let h = really_input_string ic header_len in
+        if not (String.equal (String.sub h 0 (String.length magic)) magic)
+        then Error "bad magic (not a dda cache file)"
+        else if not (String.equal (String.sub h (String.length magic) fp_len) fp)
+        then
+          Error
+            "fingerprint mismatch (written by a different analyzer \
+             version or configuration)"
+        else Ok ()
+    in
+    match header with
+    | Error reason ->
+        (* The file is unusable as a whole: preserve it for inspection
+           and start cold. Never a wrong verdict, only recomputation. *)
+        close_in_noerr ic;
+        let rejected = path ^ ".rejected" in
+        (try Sys.rename path rejected with e -> io_fail "quarantine" e);
+        Log.warn "cache %s: %s; moved to %s and starting cold" path reason
+          rejected;
+        Metrics.incr m_resets;
+        ( make (fresh_fd ()),
+          { fresh = true; reset = Some reason; records = 0; dropped_bytes = 0 } )
+    | Ok () ->
+        let records, good_end = scan_records ic file_len ~gcd ~full in
+        close_in_noerr ic;
+        let dropped = file_len - good_end in
+        if dropped > 0 then begin
+          Log.warn
+            "cache %s: dropping %d damaged trailing byte(s) after %d intact \
+             record(s)"
+            path dropped records;
+          (try Unix.truncate path good_end with e -> io_fail "truncate" e)
+        end;
+        Metrics.add m_replayed records;
+        Metrics.add m_dropped dropped;
+        let fd =
+          try Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644
+          with e -> io_fail "append to" e
+        in
+        (make fd, { fresh = false; reset = None; records; dropped_bytes = dropped })
+  end
+
+let append t entry =
+  Failpoint.hit "cache.append";
+  let payload = Marshal.to_string entry [] in
+  let frame = Bytes.create frame_len in
+  Bytes.set_int32_be frame 0 (Int32.of_int (String.length payload));
+  Bytes.blit_string (Digest.string payload) 0 frame 4 fp_len;
+  write_all t.fd (Bytes.unsafe_to_string frame);
+  (* A [kill] here leaves a frame header with no payload behind it —
+     the torn tail recovery truncates on the next open. *)
+  Failpoint.hit "cache.append.mid";
+  write_all t.fd payload;
+  t.n_appends <- t.n_appends + 1;
+  Metrics.incr m_appends;
+  if t.fsync then do_fsync t.fd
+
+let append_gcd t key v = append t (Gcd (key, v))
+let append_full t key v = append t (Full (key, v))
+let flush t = if not t.closed then do_fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    do_fsync t.fd;
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+let path t = t.s_path
+let appends t = t.n_appends

@@ -1,0 +1,88 @@
+(** The durable memo store: an append-only, digest-framed cache file.
+
+    One file holds both memo tables' entries, interleaved in append
+    order:
+
+    {v
+    +--------------------------------------------------+
+    | magic "%DDACACHE1\n"            (11 bytes)       |
+    | fingerprint                     (16 bytes, MD5)  |
+    +--------------------------------------------------+
+    | record: payload length          (4 bytes, BE)    |
+    |         payload digest          (16 bytes, MD5)  |
+    |         payload                 (marshaled entry)|
+    +--------------------------------------------------+
+    | ... more records ...                             |
+    v}
+
+    The fingerprint is the MD5 of the marshaled pair
+    ({!Dda_core.Analyzer.memo_format_version}, analyzer config):
+    memo keys and values are both config- and version-dependent, so a
+    file written under any other build or configuration must never be
+    read as data.
+
+    Integrity discipline (the cache-integrity invariant, see
+    DESIGN.md): a record is delivered to the caller only if the file's
+    magic and fingerprint both match {e and} the record's own digest
+    matches its payload. Anything else degrades to a cold start —
+    a torn tail (a record cut short by a crash mid-append) is
+    truncated away, a record failing its digest check drops itself and
+    everything after it (cache entries are independent, so a surviving
+    prefix is always sound), and a header mismatch rejects the whole
+    file (it is preserved as [path.rejected] for inspection). No
+    failure mode can surface a wrong or stale verdict; the worst case
+    is recomputation.
+
+    Appends write the frame header and payload with raw [Unix.write]
+    (no userspace buffering), so a kill -9 at any byte leaves exactly
+    the torn-tail shape recovery handles; with [fsync] (the default)
+    every append is synced before it returns. *)
+
+type t
+
+type recovery = {
+  fresh : bool;  (** the file did not exist (or was rejected) *)
+  reset : string option;
+      (** [Some reason]: an existing file failed the magic or
+          fingerprint check and was moved to [path.rejected] *)
+  records : int;  (** intact records delivered from the surviving prefix *)
+  dropped_bytes : int;
+      (** bytes discarded behind the last intact record (torn tail or
+          a corrupt record and everything after it) *)
+}
+
+val fingerprint : Dda_core.Analyzer.config -> string
+(** The header fingerprint for a configuration (16 raw bytes). *)
+
+val open_store :
+  ?fsync:bool ->
+  path:string ->
+  config:Dda_core.Analyzer.config ->
+  gcd:(int array -> Dda_core.Gcd_test.outcome -> unit) ->
+  full:(int array -> Dda_core.Analyzer.outcome -> unit) ->
+  unit ->
+  t * recovery
+(** Open (creating if needed) the store at [path], validate the
+    header against [config], replay every intact record through the
+    [gcd]/[full] callbacks, truncate any damaged suffix, and return
+    the store opened for appending. [fsync] (default [true]) syncs
+    every append. Failpoint site: [cache.open].
+    @raise Failure when the file cannot be created, read or written
+    (an I/O error, not a corruption — corruption recovers). *)
+
+val append_gcd : t -> int array -> Dda_core.Gcd_test.outcome -> unit
+val append_full : t -> int array -> Dda_core.Analyzer.outcome -> unit
+(** Append one record (write-through from a memo miss). Failpoint
+    sites: [cache.append] before the frame, [cache.append.mid] between
+    the frame header and the payload — a [kill] there leaves exactly
+    the torn tail recovery must absorb. *)
+
+val flush : t -> unit
+(** fsync the file. Failpoint site: [cache.flush]. *)
+
+val close : t -> unit
+(** [flush] and close the descriptor. Idempotent. *)
+
+val path : t -> string
+val appends : t -> int
+(** Records appended through this handle (not counting replayed ones). *)

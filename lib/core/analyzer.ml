@@ -228,11 +228,38 @@ let test_index = function
    its own dropped levels. *)
 type memo_value = outcome
 
+(* The pluggable memo backend. The analyzer is a pure query layer over
+   this record: every cached lookup in the pipeline goes through these
+   two functions, so a backend can be a pair of in-process tables (the
+   default), a write-through durable store, or a mutex-guarded shared
+   table — without the analyzer knowing. Contract: [find_or_add_*] may
+   run [compute] outside any lock but must never store a value whose
+   computation raised. *)
+type cache = {
+  find_or_add_gcd :
+    int array -> (unit -> Gcd_test.outcome) -> Gcd_test.outcome * bool;
+  find_or_add_full : int array -> (unit -> memo_value) -> memo_value * bool;
+  cache_stats : unit -> Memo_table.stats * Memo_table.stats;
+      (* (gcd, full) lookup/hit/occupancy snapshots *)
+  cache_flush : unit -> unit;
+      (* push write-through state to stable storage; no-op in memory *)
+}
+
+let table_cache gcd_table full_table =
+  {
+    find_or_add_gcd = Memo_table.find_or_add gcd_table;
+    find_or_add_full = Memo_table.find_or_add full_table;
+    cache_stats =
+      (fun () -> (Memo_table.stats gcd_table, Memo_table.stats full_table));
+    cache_flush = (fun () -> ());
+  }
+
+let memory_cache () = table_cache (Memo_table.create ()) (Memo_table.create ())
+
 type state = {
   cfg : config;
   stats : stats;
-  gcd_table : Gcd_test.outcome Memo_table.t;
-  full_table : memo_value Memo_table.t;
+  cache : cache;
   cancel : unit -> bool;
       (* cooperative watchdog (e.g. the batch engine's per-item
          deadline); deliberately outside [config], which is marshaled
@@ -250,8 +277,8 @@ let compute_inner st budget (p : Problem.t) ~self =
     | Memo_off -> Gcd_test.run_eqs ~budget p
     | Memo_simple | Memo_improved | Memo_symmetric ->
       fst
-        (Memo_table.find_or_add st.gcd_table (Problem.key_without_bounds p)
-           (fun () -> Gcd_test.run_eqs ~budget p))
+        (st.cache.find_or_add_gcd (Problem.key_without_bounds p) (fun () ->
+             Gcd_test.run_eqs ~budget p))
   in
   match gcd_outcome with
   | Gcd_test.Independent _ ->
@@ -451,7 +478,7 @@ and analyze_problem st ~self ~finish problem =
           | Memo_off -> deliver (compute st info.Canonical.problem ~self)
           | Memo_simple | Memo_improved | Memo_symmetric ->
             let value, _hit =
-              Memo_table.find_or_add st.full_table key (fun () ->
+              st.cache.find_or_add_full key (fun () ->
                   compute st info.Canonical.problem ~self)
             in
             deliver value
@@ -475,19 +502,19 @@ let analyze_pair st s1 s2 =
     (fun () -> analyze_pair_inner st s1 s2)
 
 let finalize st =
-  st.stats.memo_lookups_nobounds <- Memo_table.lookups st.gcd_table;
-  st.stats.memo_hits_nobounds <- Memo_table.hits st.gcd_table;
-  st.stats.memo_unique_nobounds <- Memo_table.length st.gcd_table;
-  st.stats.memo_lookups_full <- Memo_table.lookups st.full_table;
-  st.stats.memo_hits_full <- Memo_table.hits st.full_table;
-  st.stats.memo_unique_full <- Memo_table.length st.full_table
+  let gcd, full = st.cache.cache_stats () in
+  st.stats.memo_lookups_nobounds <- gcd.Memo_table.lookups;
+  st.stats.memo_hits_nobounds <- gcd.Memo_table.hits;
+  st.stats.memo_unique_nobounds <- gcd.Memo_table.size;
+  st.stats.memo_lookups_full <- full.Memo_table.lookups;
+  st.stats.memo_hits_full <- full.Memo_table.hits;
+  st.stats.memo_unique_full <- full.Memo_table.size
 
-let fresh_state ?(cancel = fun () -> false) cfg =
+let fresh_state ?(cancel = fun () -> false) ?cache cfg =
   {
     cfg;
     stats = fresh_stats ();
-    gcd_table = Memo_table.create ();
-    full_table = Memo_table.create ();
+    cache = (match cache with Some c -> c | None -> memory_cache ());
     cancel;
   }
 
@@ -510,27 +537,52 @@ let site_pairs cfg sites =
   done;
   List.rev !out
 
-let analyze_sites ?(config = default_config) ?cancel pairs =
-  let st = fresh_state ?cancel config in
+let analyze_sites ?(config = default_config) ?cancel ?cache pairs =
+  let st = fresh_state ?cancel ?cache config in
+  (* Lookups/hits are reported as this call's delta: with the default
+     fresh in-memory cache the snapshot is zero and the delta is the
+     absolute count, but a caller-supplied cache (the serve daemon's
+     durable one) carries counters from earlier queries. Unique counts
+     stay absolute, as in sessions. *)
+  let gcd0, full0 = st.cache.cache_stats () in
   let reports = List.map (fun (s1, s2) -> analyze_pair st s1 s2) pairs in
   finalize st;
+  st.stats.memo_lookups_nobounds <-
+    st.stats.memo_lookups_nobounds - gcd0.Memo_table.lookups;
+  st.stats.memo_hits_nobounds <-
+    st.stats.memo_hits_nobounds - gcd0.Memo_table.hits;
+  st.stats.memo_lookups_full <-
+    st.stats.memo_lookups_full - full0.Memo_table.lookups;
+  st.stats.memo_hits_full <- st.stats.memo_hits_full - full0.Memo_table.hits;
   { pair_reports = reports; stats = st.stats }
 
-let analyze ?(config = default_config) ?cancel program =
+let analyze ?(config = default_config) ?cancel ?cache program =
   let program = if config.run_pipeline then Dda_passes.Pipeline.run program else program in
   let sites = Affine.extract ~symbolic:config.symbolic program in
-  analyze_sites ~config ?cancel (site_pairs config sites)
+  analyze_sites ~config ?cancel ?cache (site_pairs config sites)
 
 (* ------------------------------------------------------------------ *)
 (* Sessions: memoization across compilations                          *)
 (* ------------------------------------------------------------------ *)
 
 type session = {
+  (* The session owns its raw tables (they are what [save_session]
+     marshals and [merge_sessions] unions); [session_state] wraps them
+     in a {!table_cache}. *)
+  s_gcd : Gcd_test.outcome Memo_table.t;
+  s_full : memo_value Memo_table.t;
   mutable session_state : state;
 }
 
+let session_of_tables ?(cancel = fun () -> false) cfg gcd full =
+  {
+    s_gcd = gcd;
+    s_full = full;
+    session_state = fresh_state ~cancel ~cache:(table_cache gcd full) cfg;
+  }
+
 let create_session ?(config = default_config) () =
-  { session_state = fresh_state config }
+  session_of_tables config (Memo_table.create ()) (Memo_table.create ())
 
 let session_config s = s.session_state.cfg
 
@@ -551,10 +603,10 @@ let analyze_session ?cancel session program =
      report's memo statistics are the per-call delta, while the tables
      keep session-lifetime counts for {!session_table_stats} (the batch
      engine's corpus-wide hit rates). *)
-  let gcd_lookups0 = Memo_table.lookups st.gcd_table
-  and gcd_hits0 = Memo_table.hits st.gcd_table
-  and full_lookups0 = Memo_table.lookups st.full_table
-  and full_hits0 = Memo_table.hits st.full_table in
+  let gcd_lookups0 = Memo_table.lookups session.s_gcd
+  and gcd_hits0 = Memo_table.hits session.s_gcd
+  and full_lookups0 = Memo_table.lookups session.s_full
+  and full_hits0 = Memo_table.hits session.s_full in
   session.session_state <- st;
   let config = st.cfg in
   let program = if config.run_pipeline then Dda_passes.Pipeline.run program else program in
@@ -579,32 +631,35 @@ let session_magic = "dda-session"
    hash, changing the marshaled table layout. *)
 let session_version = 3
 
+(* The durable cache marshals the same key/value types the session
+   format does, so its compatibility fingerprint tracks the same
+   version number. *)
+let memo_format_version = session_version
+
 let merge_sessions ~into src =
-  let dst = into.session_state and s = src.session_state in
   if into == src then
     invalid_arg "Analyzer.merge_sessions: a session cannot absorb itself";
-  if dst.cfg <> s.cfg then
+  if into.session_state.cfg <> src.session_state.cfg then
     invalid_arg "Analyzer.merge_sessions: sessions built under different configurations";
-  Memo_table.merge_into ~into:dst.gcd_table s.gcd_table;
-  Memo_table.merge_into ~into:dst.full_table s.full_table
+  Memo_table.merge_into ~into:into.s_gcd src.s_gcd;
+  Memo_table.merge_into ~into:into.s_full src.s_full
 
 let session_table_sizes session =
-  let st = session.session_state in
-  (Memo_table.length st.gcd_table, Memo_table.length st.full_table)
+  (Memo_table.length session.s_gcd, Memo_table.length session.s_full)
 
 let session_table_stats session =
-  let st = session.session_state in
-  (Memo_table.stats st.gcd_table, Memo_table.stats st.full_table)
+  (Memo_table.stats session.s_gcd, Memo_table.stats session.s_full)
 
 let save_session session path =
-  let st = session.session_state in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
        output_string oc session_magic;
        output_binary_int oc session_version;
-       Marshal.to_channel oc (st.cfg, st.gcd_table, st.full_table) [])
+       Marshal.to_channel oc
+         (session.session_state.cfg, session.s_gcd, session.s_full)
+         [])
 
 let load_session path =
   let ic = open_in_bin path in
@@ -621,16 +676,7 @@ let load_session path =
          (Marshal.from_channel ic
           : config * Gcd_test.outcome Memo_table.t * memo_value Memo_table.t)
        in
-       {
-         session_state =
-           {
-             cfg;
-             stats = fresh_stats ();
-             gcd_table;
-             full_table;
-             cancel = (fun () -> false);
-           };
-       })
+       session_of_tables cfg gcd_table full_table)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel-loop client                                                *)

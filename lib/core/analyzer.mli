@@ -161,7 +161,45 @@ type report = {
   stats : stats;
 }
 
-val analyze : ?config:config -> ?cancel:(unit -> bool) -> Ast.program -> report
+(** {1 The pluggable memo cache}
+
+    The analyzer is a pure query layer over this interface: every
+    memoized lookup (the bounds-free gcd table and the full canonical
+    table) goes through one [cache] record, so the backend can be a
+    pair of fresh in-process tables (the default), a session's shared
+    tables, or a write-through durable store with a mutex around it
+    ([Dda_cache]). Keys are the canonical problem keys
+    ({!Problem.to_key} / {!Problem.key_without_bounds}); whoever
+    persists them must fingerprint the {!config} and
+    {!memo_format_version}, since both determine key and value
+    compatibility. *)
+
+type cache = {
+  find_or_add_gcd :
+    int array -> (unit -> Gcd_test.outcome) -> Gcd_test.outcome * bool;
+      (** [(value, was_hit)]; must compute and store on a miss, and
+          store nothing when [compute] raises *)
+  find_or_add_full : int array -> (unit -> outcome) -> outcome * bool;
+  cache_stats : unit -> Memo_table.stats * Memo_table.stats;
+      (** [(gcd, full)] occupancy and lookup/hit counters *)
+  cache_flush : unit -> unit;
+      (** push write-through state to stable storage (no-op for
+          in-memory backends) *)
+}
+
+val memory_cache : unit -> cache
+(** A fresh pair of in-process {!Memo_table}s — the backend {!analyze}
+    uses when no cache is supplied. Not safe to share across domains
+    without external locking. *)
+
+val memo_format_version : int
+(** Version of the marshaled memo key/value representation (the same
+    number the session file format carries). Durable cache backends
+    include it in their header fingerprint: a cache written by an
+    incompatible build must read as a cold start, never as data. *)
+
+val analyze :
+  ?config:config -> ?cancel:(unit -> bool) -> ?cache:cache -> Ast.program -> report
 (** Analyze a whole program. Pairs are every (textually ordered) pair
     of same-array references with at least one write, including each
     write against itself (whose identical-iteration solution is
@@ -192,6 +230,7 @@ val site_pairs :
 val analyze_sites :
   ?config:config ->
   ?cancel:(unit -> bool) ->
+  ?cache:cache ->
   (Affine.site * Affine.site) list ->
   report
 (** Analyze explicit site pairs (used by the benchmark harness, which

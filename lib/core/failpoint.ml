@@ -17,12 +17,27 @@ let known_sites =
     "batch.item";
     "pool.job";
     "stream.journal";
+    "cache.open";
+    "cache.append";
+    "cache.append.mid";
+    "cache.flush";
+    "serve.request";
   ]
 
 type action =
   | Raise
   | Exhaust
   | Delay of float  (* milliseconds *)
+  | Kill
+
+(* The [kill] action simulates kill -9: die without flushing buffers or
+   running [at_exit]. lib/core carries no unix dependency, so the
+   default is the closest stdlib equivalent (an immediate [Sys.command]
+   -free hard exit via a C-level _exit is unavailable; [exit 137]
+   still runs [at_exit]); executables that link unix install the real
+   SIGKILL-self handler at startup. *)
+let kill_handler : (unit -> unit) ref = ref (fun () -> Stdlib.exit 137)
+let set_kill_handler f = kill_handler := f
 
 type window =
   | Always
@@ -45,6 +60,7 @@ let parse_action s =
   match s with
   | "raise" -> Ok Raise
   | "exhaust" -> Ok Exhaust
+  | "kill" -> Ok Kill
   | _ ->
     (match String.index_opt s ':' with
      | Some i when String.sub s 0 i = "delay" -> (
@@ -176,7 +192,8 @@ let hit site =
       (match action with
        | Raise -> raise (Injected site)
        | Exhaust -> raise (Budget.Exhausted Budget.Injected)
-       | Delay ms -> busy_wait ms)
+       | Delay ms -> busy_wait ms
+       | Kill -> !kill_handler ())
   end
 
 let () =

@@ -11,7 +11,9 @@
 
     Spec grammar (comma-separated):
     {v site=action[@window] v}
-    where [action] is [raise] | [exhaust] | [delay:MS] and [window] is
+    where [action] is [raise] | [exhaust] | [delay:MS] | [kill] (die
+    immediately, simulating kill -9 — see {!set_kill_handler}) and
+    [window] is
     [N] (the Nth hit only), [N-M] (hits N through M), [N+] (hit N
     onwards) or [pP] (each hit fires with pseudo-probability P, e.g.
     [p0.01]; deterministic in the per-site hit count, so runs are
@@ -43,3 +45,9 @@ val clear : unit -> unit
 
 val hits : string -> int
 (** How many times a site was reached while active (testing). *)
+
+val set_kill_handler : (unit -> unit) -> unit
+(** How the [kill] action dies. The default is [exit 137] (which still
+    runs [at_exit] — lib/core links no unix); binaries that can should
+    install [fun () -> Unix.kill (Unix.getpid ()) Sys.sigkill] so the
+    process dies exactly as under kill -9, mid-write included. *)

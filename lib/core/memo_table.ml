@@ -128,6 +128,9 @@ let merge_into ~into (src : _ t) =
   into.lookups <- into.lookups + src.lookups;
   into.hits <- into.hits + src.hits
 
+let iter f (t : _ t) =
+  Array.iter (List.iter (fun e -> f e.key e.value)) t.buckets
+
 let length (t : _ t) = t.size
 let lookups (t : _ t) = t.lookups
 let hits (t : _ t) = t.hits

@@ -34,6 +34,11 @@ val merge_into : into:'a t -> 'a t -> unit
     problems across the whole corpus.
     @raise Invalid_argument when both arguments are the same table. *)
 
+val iter : (int array -> 'a -> unit) -> 'a t -> unit
+(** Apply [f] to every stored binding, in unspecified order. The
+    durable cache uses this to spill a table to disk; [f] must not
+    mutate the table. *)
+
 val length : 'a t -> int
 (** Number of distinct keys stored. *)
 

@@ -85,7 +85,8 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
   in
   (* One item, with fault isolation: an exception (a worker bug, an
      injected failure, a blown budget escaping some future stage) is
-     retried with exponential backoff, then the item is quarantined.
+     retried with jittered exponential backoff ({!Retry}), then the
+     item is quarantined.
      The watchdog deadline is cooperative — the budget polls [cancel]
      and degrades the verdict — so a stuck item comes back conservative
      rather than killed. *)
@@ -123,9 +124,7 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
           Dda_obs.Metrics.incr m_retries;
           Dda_obs.Log.info "batch: retrying %s (attempt %d of %d): %s" it.name
             (attempt + 1) (retries + 1) (Printexc.to_string e);
-          if backoff_ms > 0 then
-            Unix.sleepf
-              (float_of_int (backoff_ms * (1 lsl (attempt - 1))) /. 1000.);
+          Retry.sleep ~base_ms:backoff_ms ~index:idx ~attempt;
           go (attempt + 1)
         end
         else begin

@@ -1,0 +1,23 @@
+(* A small avalanche hash of (index, attempt) drives the jitter:
+   deterministic per (item, attempt) so runs reproduce, different
+   across items so concurrent retries de-synchronize. *)
+let jitter ~index ~attempt =
+  let h = (index * 0x9E3779B1) lxor ((attempt * 0x85EBCA77) + 0x165667B1) in
+  let h = h lxor (h lsr 15) in
+  let h = h * 0x27D4EB2F in
+  let h = (h lxor (h lsr 13)) land 0xFFFF in
+  0.5 +. (float_of_int h /. 131072.)
+
+let delay_ms ~base_ms ~index ~attempt =
+  if base_ms <= 0 then 0
+  else
+    let expo = float_of_int (base_ms * (1 lsl (attempt - 1))) in
+    max 1 (int_of_float (expo *. jitter ~index ~attempt))
+
+let sleep ~base_ms ~index ~attempt =
+  let ms = delay_ms ~base_ms ~index ~attempt in
+  if ms > 0 then begin
+    Dda_obs.Trace.instant "batch.retry.backoff"
+      ~args:[ ("index", index); ("attempt", attempt); ("delay_ms", ms) ];
+    Unix.sleepf (float_of_int ms /. 1000.)
+  end

@@ -1,0 +1,18 @@
+(** Jittered exponential retry backoff, shared by the in-memory and
+    streaming batch drivers.
+
+    The delay for attempt [a] is [base_ms * 2^(a-1)] scaled by a
+    jitter factor in [0.5, 1.0) derived deterministically from
+    [(index, attempt)] — so a corpus of items that all failed together
+    (say, a shared resource blinked) retries spread out instead of in
+    lockstep, yet any single run is exactly reproducible. *)
+
+val delay_ms : base_ms:int -> index:int -> attempt:int -> int
+(** The backoff before retrying item [index] after failed attempt
+    [attempt] (1-based). 0 when [base_ms] is 0 (backoff disabled);
+    at least 1 otherwise. *)
+
+val sleep : base_ms:int -> index:int -> attempt:int -> unit
+(** Sleep for {!delay_ms}, recording the chosen delay as a trace
+    instant [batch.retry.backoff] with args [index], [attempt] and
+    [delay_ms]. No-op (and no trace event) when the delay is 0. *)

@@ -125,6 +125,7 @@ type summary = {
   retried : int;
   quarantined : int;
   verify_errors : int;
+  interrupted : bool;
   merged : Analyzer.stats;
 }
 
@@ -234,9 +235,7 @@ let process ~config ~verify ~lint ~retries ~backoff_ms ~item_timeout_ms ~idx it
         Dda_obs.Metrics.incr m_retries;
         Dda_obs.Log.info "stream: retrying %s (attempt %d of %d): %s" it.name
           (attempt + 1) (retries + 1) (Printexc.to_string e);
-        if backoff_ms > 0 then
-          Unix.sleepf
-            (float_of_int (backoff_ms * (1 lsl (attempt - 1))) /. 1000.);
+        Retry.sleep ~base_ms:backoff_ms ~index:idx ~attempt;
         go (attempt + 1)
       end
       else begin
@@ -404,9 +403,19 @@ let parse_record path ~index line =
       j_stats = stats;
     }
 
+type journal_scan = {
+  jrecords : int;  (** intact, newline-terminated, digest-valid records *)
+  good_end : int;  (** byte offset just past the last intact record *)
+  torn_bytes : int;  (** bytes of torn final record behind [good_end] *)
+}
+
 (* Full validation pass in bounded memory: header, record contiguity
-   and integrity, and a complete (newline-terminated) final record.
-   Returns the record count. *)
+   and integrity. The serializer escapes newlines inside JSON strings,
+   so a literal newline byte only ever terminates a complete record —
+   which makes the torn-tail rule exact: a final line without its
+   newline is a record cut short by a crash mid-append, recoverable by
+   truncation. Any {e complete} line that fails to parse or fails its
+   digest is real mid-file corruption and still refuses. *)
 let validate_journal ?expect_config path =
   let ic =
     try open_in_bin path
@@ -417,14 +426,19 @@ let validate_journal ?expect_config path =
     (fun () ->
       let len = in_channel_length ic in
       if len = 0 then jfail path "empty file";
-      seek_in ic (len - 1);
-      if input_char ic <> '\n' then
-        jfail path "torn final record (missing newline)";
-      seek_in ic 0;
-      let header =
+      (* [input_line] strips the newline; the line was terminated iff
+         the channel advanced one byte past its text. *)
+      let read_line () =
+        let start = pos_in ic in
         match input_line ic with
-        | line -> line
-        | exception End_of_file -> jfail path "empty file"
+        | line -> Some (line, pos_in ic > start + String.length line)
+        | exception End_of_file -> None
+      in
+      let header =
+        match read_line () with
+        | Some (line, true) -> line
+        | Some (_, false) -> jfail path "torn header (missing newline)"
+        | None -> jfail path "empty file"
       in
       let digest = parse_header path header in
       (match expect_config with
@@ -433,16 +447,23 @@ let validate_journal ?expect_config path =
            "written under a different configuration; re-run without --resume"
        | _ -> ());
       let count = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           ignore (parse_record path ~index:!count line);
-           incr count
-         done
-       with End_of_file -> ());
-      !count)
+      let good_end = ref (pos_in ic) in
+      let torn = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        match read_line () with
+        | Some (line, true) ->
+          ignore (parse_record path ~index:!count line);
+          incr count;
+          good_end := pos_in ic
+        | Some (line, false) ->
+          torn := String.length line;
+          stop := true
+        | None -> stop := true
+      done;
+      { jrecords = !count; good_end = !good_end; torn_bytes = !torn })
 
-let journal_records path = validate_journal path
+let journal_records path = (validate_journal path).jrecords
 
 (* ------------------------------------------------------------------ *)
 (* The driver                                                          *)
@@ -450,7 +471,7 @@ let journal_records path = validate_journal path
 
 let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
     ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ?journal
-    ?(resume = false) ~jobs ~render ~emit source =
+    ?(resume = false) ?(stop = fun () -> false) ~jobs ~render ~emit source =
   if jobs < 1 then invalid_arg "Stream.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Stream.run: retries must be >= 0";
   if backoff_ms < 0 then invalid_arg "Stream.run: backoff_ms must be >= 0";
@@ -459,7 +480,18 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
   let cfg_digest = config_digest ~lint config ~verify in
   let nreplay =
     match journal with
-    | Some path when resume -> validate_journal ~expect_config:cfg_digest path
+    | Some path when resume ->
+      let scan = validate_journal ~expect_config:cfg_digest path in
+      if scan.torn_bytes > 0 then begin
+        (* A crash mid-append left a torn final record: drop it (the
+           item re-analyzes below) and keep the intact prefix. *)
+        Dda_obs.Log.warn
+          "journal %s: dropping a torn final record (%d byte(s)); %d intact \
+           record(s) kept"
+          path scan.torn_bytes scan.jrecords;
+        Unix.truncate path scan.good_end
+      end;
+      scan.jrecords
     | _ -> 0
   in
   let merged = Analyzer.fresh_stats () in
@@ -467,6 +499,7 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
   let retried = ref 0 in
   let quarantined = ref 0 in
   let verify_errors = ref 0 in
+  let interrupted = ref false in
   (* Replay: walk the journal and the source in lockstep, re-deriving
      each journaled item from the source to prove the corpus is the
      one the journal was written against, then re-emit the stored
@@ -563,10 +596,15 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
           let exhausted = ref false in
           let next_idx = ref nreplay in
           let fill () =
-            while (not !exhausted) && Queue.length pending < window do
-              match source () with
-              | None -> exhausted := true
-              | Some it ->
+            while
+              (not !exhausted) && (not !interrupted)
+              && Queue.length pending < window
+            do
+              if stop () then interrupted := true
+              else
+                match source () with
+                | None -> exhausted := true
+                | Some it ->
                 let idx = !next_idx in
                 incr next_idx;
                 Queue.add
@@ -619,5 +657,6 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
     retried = !retried;
     quarantined = !quarantined;
     verify_errors = !verify_errors;
+    interrupted = !interrupted;
     merged;
   }

@@ -21,15 +21,23 @@
     JSONL write-ahead journal — its corpus position, name, a digest of
     its source text, its rendered output and flattened statistics —
     and the record is flushed and fsynced {e before} the output chunk
-    is emitted, so a crash never acknowledges un-journaled work and
-    never leaves a torn final record. With [resume], a valid journal's
-    records are {e replayed}: each journaled item's stored output is
-    re-emitted byte-for-byte (after re-deriving the item from the
-    source and checking its text digest), analysis restarts at the
-    first un-journaled item, and the final output is byte-identical to
-    an uninterrupted run. A journal that is truncated, corrupt, or was
-    written under a different configuration is rejected with
-    [Failure] — never silently repaired.
+    is emitted, so a crash never acknowledges un-journaled work. With
+    [resume], a valid journal's records are {e replayed}: each
+    journaled item's stored output is re-emitted byte-for-byte (after
+    re-deriving the item from the source and checking its text
+    digest), analysis restarts at the first un-journaled item, and the
+    final output is byte-identical to an uninterrupted run.
+
+    A crash {e mid-append} (kill -9, power loss) can leave a torn
+    final record; because the serializer escapes newlines inside JSON
+    strings, torn is exactly "the final line has no terminating
+    newline", and [resume] recovers it: the torn tail is truncated
+    (with a warning), the intact prefix replays, and the dropped item
+    is simply re-analyzed. Anything else — a complete record that
+    fails to parse or fails its digest check, a torn or alien header,
+    a journal written under a different configuration — is rejected
+    with [Failure], never silently repaired: mid-file damage means the
+    file is not the journal this corpus wrote.
 
     {b Fault isolation} matches {!Batch}: a failing item is retried
     with exponential backoff and then quarantined while the stream
@@ -102,6 +110,9 @@ type summary = {
       (** findings that drive a non-zero exit: certificate errors plus
           lint race errors, summed over all items (both are journaled,
           so a resumed run reports the same count as a clean one) *)
+  interrupted : bool;
+      (** [stop] ended the run before the source was exhausted;
+          everything already in flight was finished and journaled *)
   merged : Analyzer.stats;  (** totals over successful items *)
 }
 
@@ -114,6 +125,7 @@ val run :
   ?item_timeout_ms:int ->
   ?journal:string ->
   ?resume:bool ->
+  ?stop:(unit -> bool) ->
   jobs:int ->
   render:(outcome -> string) ->
   emit:(string -> unit) ->
@@ -129,6 +141,13 @@ val run :
     [journal] names the write-ahead journal; without [resume] it is
     truncated and started fresh. [resume] (default [false]) requires
     [journal] and replays it as described above.
+
+    [stop] (default never) is polled between items: once it returns
+    [true] no further item is pulled from the source, but everything
+    already submitted is finished, journaled and emitted, the journal
+    is flushed and fsynced, and the summary comes back with
+    [interrupted = true] — the SIGINT path of [ddtest batch --stream],
+    which leaves a journal a later [resume] continues from.
 
     @raise Invalid_argument on bad knob values, or [resume] without
     [journal].
@@ -148,4 +167,6 @@ val config_digest : ?lint:bool -> Analyzer.config -> verify:bool -> string
 
 val journal_records : string -> int
 (** Validate a journal file exactly as [resume] does and return the
-    number of records. @raise Failure on any validation error. *)
+    number of intact records (a torn final record is not counted, and
+    the file is left untouched — only [resume] truncates).
+    @raise Failure on any validation error. *)

@@ -1,0 +1,362 @@
+open Dda_lang
+open Dda_core
+open Dda_obs
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_limit : int;
+  request_timeout_ms : int;
+  analyzer : Analyzer.config;
+  cache_path : string option;
+  cache_fsync : bool;
+}
+
+let default_config analyzer =
+  {
+    socket_path = "";
+    jobs = 2;
+    queue_limit = 64;
+    request_timeout_ms = 0;
+    analyzer;
+    cache_path = None;
+    cache_fsync = true;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* bytes read but not yet a complete line *)
+  wlock : Mutex.t;  (* workers and the main loop interleave responses *)
+  mutable pending : int;  (* worker tasks still holding this conn *)
+  mutable eof : bool;  (* reap once [pending] drains to 0 *)
+}
+
+type t = {
+  cfg : config;
+  cache : Dda_cache.Durable.t;
+  pool : Dda_engine.Pool.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  lock : Mutex.t;
+  idle : Condition.t;  (* signaled when in_flight returns to 0 *)
+  mutable in_flight : int;
+  mutable conns : conn list;
+  mutable requests : int;
+  mutable shed : int;
+  mutable quarantined : int;
+}
+
+let m_requests = Metrics.counter "serve.requests"
+let m_responses = Metrics.counter "serve.responses"
+let m_shed = Metrics.counter "serve.shed"
+let m_quarantined = Metrics.counter "serve.quarantined"
+let m_queue_depth = Metrics.histogram "serve.queue_depth"
+
+let create cfg =
+  if cfg.jobs < 1 then failwith "serve: jobs must be at least 1";
+  if cfg.queue_limit < 1 then failwith "serve: queue limit must be at least 1";
+  if String.equal cfg.socket_path "" then failwith "serve: no socket path";
+  let cache, recovery =
+    Dda_cache.Durable.create ?path:cfg.cache_path ~fsync:cfg.cache_fsync
+      ~config:cfg.analyzer ()
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  ( {
+      cfg;
+      cache;
+      pool = Dda_engine.Pool.create ~jobs:cfg.jobs;
+      stop_r;
+      stop_w;
+      lock = Mutex.create ();
+      idle = Condition.create ();
+      in_flight = 0;
+      conns = [];
+      requests = 0;
+      shed = 0;
+      quarantined = 0;
+    },
+    recovery )
+
+let drain t =
+  (* Runs inside a signal handler: one write, nothing else. *)
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* A failed write means the peer is gone: mark the connection for
+   reaping, never kill the server. *)
+let respond conn json =
+  let line = Json_out.to_string json ^ "\n" in
+  Mutex.lock conn.wlock;
+  (try
+     write_all conn.fd line;
+     Metrics.incr m_responses
+   with Unix.Unix_error _ | Sys_error _ -> conn.eof <- true);
+  Mutex.unlock conn.wlock
+
+let error_response id msg extra =
+  Json_out.Obj
+    ([ ("id", id); ("ok", Json_out.Bool false) ]
+     @ extra
+     @ [ ("error", Json_out.Str msg) ])
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let request_id req =
+  match Json_out.member "id" req with Some v -> v | None -> Json_out.Null
+
+let deadline_cancel ms =
+  if ms <= 0 then fun () -> false
+  else begin
+    let until = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    fun () -> Unix.gettimeofday () > until
+  end
+
+let analyze_task t conn req id () =
+  let result =
+    try
+      Failpoint.hit "serve.request";
+      match Json_out.member "program" req with
+      | Some (Json_out.Str src) ->
+          let timeout_ms =
+            match Json_out.member "timeout_ms" req with
+            | Some (Json_out.Int ms) -> ms
+            | _ -> t.cfg.request_timeout_ms
+          in
+          let prog = Parser.parse_program src in
+          let report =
+            Analyzer.analyze ~config:t.cfg.analyzer
+              ~cancel:(deadline_cancel timeout_ms)
+              ~cache:(Dda_cache.Durable.cache t.cache)
+              prog
+          in
+          let want_stats =
+            match Json_out.member "stats" req with
+            | Some (Json_out.Bool b) -> b
+            | _ -> false
+          in
+          Ok
+            (Json_out.Obj
+               ([
+                  ("id", id);
+                  ("ok", Json_out.Bool true);
+                  ( "pairs",
+                    Json_out.List
+                      (List.map Json_out.pair report.Analyzer.pair_reports) );
+                ]
+                @
+                if want_stats then
+                  [ ("stats", Json_out.stats report.Analyzer.stats) ]
+                else []))
+      | _ -> Error ("analyze: missing \"program\" string", [])
+    with
+    | Parser.Error (msg, loc) ->
+        Error (Format.asprintf "%a: syntax error: %s" Loc.pp loc msg, [])
+    | Lexer.Error (msg, loc) ->
+        Error (Format.asprintf "%a: lexical error: %s" Loc.pp loc msg, [])
+    | e ->
+        (* Poisoned request: quarantine it — answer with the failure,
+           keep the worker. *)
+        Mutex.lock t.lock;
+        t.quarantined <- t.quarantined + 1;
+        Mutex.unlock t.lock;
+        Metrics.incr m_quarantined;
+        Error
+          ( Printexc.to_string e,
+            [ ("quarantined", Json_out.Bool true) ] )
+  in
+  (match result with
+   | Ok json -> respond conn json
+   | Error (msg, extra) -> respond conn (error_response id msg extra));
+  Mutex.lock t.lock;
+  t.in_flight <- t.in_flight - 1;
+  conn.pending <- conn.pending - 1;
+  if t.in_flight = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.lock
+
+let status_json t =
+  let gcd_entries, full_entries = Dda_cache.Durable.table_sizes t.cache in
+  Mutex.lock t.lock;
+  let requests = t.requests
+  and in_flight = t.in_flight
+  and shed = t.shed
+  and quarantined = t.quarantined in
+  Mutex.unlock t.lock;
+  Json_out.Obj
+    [
+      ("ok", Json_out.Bool true);
+      ( "server",
+        Json_out.Obj
+          [
+            ("jobs", Json_out.Int t.cfg.jobs);
+            ("queue_limit", Json_out.Int t.cfg.queue_limit);
+            ("requests", Json_out.Int requests);
+            ("in_flight", Json_out.Int in_flight);
+            ("shed", Json_out.Int shed);
+            ("quarantined", Json_out.Int quarantined);
+            ( "cache",
+              Json_out.Obj
+                [
+                  ( "path",
+                    match Dda_cache.Durable.store_path t.cache with
+                    | Some p -> Json_out.Str p
+                    | None -> Json_out.Null );
+                  ("gcd_entries", Json_out.Int gcd_entries);
+                  ("full_entries", Json_out.Int full_entries);
+                  ("appends", Json_out.Int (Dda_cache.Durable.store_appends t.cache));
+                ] );
+          ] );
+    ]
+
+let handle_line t conn line =
+  Metrics.incr m_requests;
+  Mutex.lock t.lock;
+  t.requests <- t.requests + 1;
+  Mutex.unlock t.lock;
+  match Json_out.of_string line with
+  | Error msg -> respond conn (error_response Json_out.Null ("bad request: " ^ msg) [])
+  | Ok req -> (
+      let id = request_id req in
+      match Json_out.member "op" req with
+      | Some (Json_out.Str "ping") ->
+          respond conn
+            (Json_out.Obj
+               [ ("id", id); ("ok", Json_out.Bool true); ("pong", Json_out.Bool true) ])
+      | Some (Json_out.Str "status") -> respond conn (status_json t)
+      | Some (Json_out.Str "analyze") ->
+          (* Shed before queueing: the queue is bounded by refusal, not
+             by blocking the accept loop. *)
+          Mutex.lock t.lock;
+          let depth = t.in_flight in
+          let accept = depth < t.cfg.queue_limit in
+          if accept then begin
+            t.in_flight <- t.in_flight + 1;
+            conn.pending <- conn.pending + 1
+          end
+          else t.shed <- t.shed + 1;
+          Mutex.unlock t.lock;
+          Metrics.observe m_queue_depth depth;
+          if accept then
+            ignore (Dda_engine.Pool.submit t.pool (analyze_task t conn req id))
+          else begin
+            Metrics.incr m_shed;
+            respond conn
+              (error_response id
+                 (Printf.sprintf
+                    "server overloaded: %d request(s) outstanding (limit %d)"
+                    depth t.cfg.queue_limit)
+                 [ ("shed", Json_out.Bool true) ])
+          end
+      | Some (Json_out.Str op) ->
+          respond conn (error_response id ("unknown op: " ^ op) [])
+      | _ -> respond conn (error_response id "missing \"op\"" []))
+
+(* ------------------------------------------------------------------ *)
+(* The accept/read loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+let drain_lines t conn =
+  let contents = Buffer.contents conn.rbuf in
+  let n = String.length contents in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       let nl = String.index_from contents !start '\n' in
+       let line = String.sub contents !start (nl - !start) in
+       start := nl + 1;
+       if not (String.equal (String.trim line) "") then handle_line t conn line
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear conn.rbuf;
+    Buffer.add_substring conn.rbuf contents !start (n - !start)
+  end
+
+let read_conn t conn =
+  let chunk = Bytes.create 65536 in
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.eof <- true
+  | n ->
+      Buffer.add_subbytes conn.rbuf chunk 0 n;
+      drain_lines t conn
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> conn.eof <- true
+
+let rec select_intr r timeout =
+  try Unix.select r [] [] timeout
+  with Unix.Unix_error (EINTR, _, _) -> select_intr r timeout
+
+let run t =
+  let cfg = t.cfg in
+  (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) : unit);
+  (* A predecessor killed with -9 leaves its socket file behind; a
+     crash-safe daemon must start over it. *)
+  if Sys.file_exists cfg.socket_path then (
+    match (Unix.stat cfg.socket_path).st_kind with
+    | Unix.S_SOCK -> Unix.unlink cfg.socket_path
+    | _ -> failwith (Printf.sprintf "serve: %s exists and is not a socket" cfg.socket_path));
+  let listen_fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind listen_fd (ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 16;
+  Log.info "serve: listening on %s (%d worker(s), queue limit %d)"
+    cfg.socket_path cfg.jobs cfg.queue_limit;
+  let draining = ref false in
+  while not !draining do
+    (* Reap connections whose peer left and whose workers finished. *)
+    Mutex.lock t.lock;
+    let live, dead = List.partition (fun c -> not (c.eof && c.pending = 0)) t.conns in
+    t.conns <- live;
+    Mutex.unlock t.lock;
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) dead;
+    let readable =
+      t.stop_r :: listen_fd
+      :: List.filter_map (fun c -> if c.eof then None else Some c.fd) live
+    in
+    let ready, _, _ = select_intr readable 0.5 in
+    if List.mem t.stop_r ready then draining := true
+    else begin
+      if List.mem listen_fd ready then begin
+        let fd, _ = Unix.accept ~cloexec:true listen_fd in
+        let conn =
+          { fd; rbuf = Buffer.create 256; wlock = Mutex.create ();
+            pending = 0; eof = false }
+        in
+        Mutex.lock t.lock;
+        t.conns <- conn :: t.conns;
+        Mutex.unlock t.lock
+      end;
+      List.iter
+        (fun c -> if (not c.eof) && List.mem c.fd ready then read_conn t c)
+        live
+    end
+  done;
+  (* Graceful drain: no new intake, finish in-flight, make the cache
+     durable, then release everything and let the caller exit 0. *)
+  Log.info "serve: draining";
+  Mutex.lock t.lock;
+  while t.in_flight > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock;
+  Dda_engine.Pool.shutdown t.pool;
+  Dda_cache.Durable.close t.cache;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  t.conns <- [];
+  Unix.close listen_fd;
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Unix.close t.stop_r;
+  Unix.close t.stop_w;
+  Log.info "serve: drained (%d request(s) served, %d shed, %d quarantined)"
+    t.requests t.shed t.quarantined

@@ -1,0 +1,85 @@
+(** The [ddtest serve] daemon: a long-lived analysis service on a Unix
+    domain socket, backed by the durable memo cache.
+
+    Protocol: JSON Lines, one request and one response per line (the
+    serializer escapes newlines inside strings, so a line is always a
+    complete JSON value). Requests:
+
+    {v
+    {"op":"ping"}
+    {"op":"status"}
+    {"op":"analyze","id":1,"program":"for i = 1 to 10 { ... }",
+     "stats":true,"timeout_ms":500}
+    v}
+
+    [id] is echoed back (null when absent); [stats] (default false)
+    adds the full statistics object to the response; [timeout_ms]
+    overrides the server's default per-request deadline. Responses:
+
+    {v
+    {"id":1,"ok":true,"pairs":[...]}            analysis result
+    {"id":1,"ok":true,"pairs":[...],"stats":{...}}
+    {"ok":true,"pong":true}
+    {"ok":true,"server":{...}}                  status
+    {"id":1,"ok":false,"error":"..."}           bad request / parse error
+    {"id":1,"ok":false,"error":"...","quarantined":true}
+                                                request poisoned a worker
+    {"id":1,"ok":false,"shed":true,"error":"server overloaded: ..."}
+                                                load shed
+    v}
+
+    The [pairs] array reuses the exact per-pair JSON shape of
+    [ddtest analyze --json] ({!Dda_core.Json_out.pair}); [stats] is
+    {!Dda_core.Json_out.stats}. Analysis responses omit statistics
+    unless asked: memo hit counters differ between a cold and a warm
+    cache, and the default response must be byte-identical across
+    restarts (the chaos suite diffs them).
+
+    Robustness contract:
+    - {e Load shedding}: at most [queue_limit] requests outstanding;
+      beyond that the server answers immediately with a [shed]
+      response instead of queueing unboundedly.
+    - {e Quarantine}: a request that makes a worker raise gets an
+      error response; the worker survives and keeps serving.
+    - {e Deadlines}: each request runs under a cooperative watchdog;
+      an expired deadline degrades remaining verdicts (sound
+      over-approximation, flagged [degraded]) rather than hanging the
+      worker.
+    - {e Graceful drain}: {!drain} (async-signal-safe) stops intake,
+      finishes in-flight requests, flushes and fsyncs the cache,
+      closes and unlinks the socket; {!run} then returns so the
+      process can exit 0.
+    - {e Crash safety}: every memo miss is appended to the durable
+      store before the response is written; kill -9 at any moment
+      (failpoint sites [cache.append], [cache.append.mid],
+      [cache.flush], [serve.request]) leaves a store the next start
+      recovers to an intact prefix of. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains *)
+  queue_limit : int;  (** max outstanding (queued + running) requests *)
+  request_timeout_ms : int;  (** default per-request deadline; 0 = none *)
+  analyzer : Dda_core.Analyzer.config;
+  cache_path : string option;  (** durable store; [None] = memory only *)
+  cache_fsync : bool;
+}
+
+val default_config : Dda_core.Analyzer.config -> config
+(** jobs 2, queue_limit 64, no deadline, no durable store. *)
+
+type t
+
+val create : config -> t * Dda_cache.Store.recovery option
+(** Open (and recover) the cache and spawn the worker pool. The
+    socket itself is bound by {!run}.
+    @raise Failure on cache I/O errors or invalid configuration. *)
+
+val drain : t -> unit
+(** Request graceful shutdown. Async-signal-safe (one [write] to a
+    self-pipe): install it directly as the SIGINT/SIGTERM handler. *)
+
+val run : t -> unit
+(** Bind the socket (unlinking any stale file a crashed predecessor
+    left), serve until {!drain}, then finish in-flight work, flush the
+    cache and release every resource. *)

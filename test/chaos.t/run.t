@@ -164,3 +164,29 @@ resume of the now-complete journal is byte-identical.
   [3]
   $ cmp final.txt final2.txt && echo identical
   identical
+
+SIGINT during a journaled streamed run: the handler stops intake,
+lets in-flight items finish, flushes and fsyncs the journal, and exits
+130 with a pointer at --resume. The slow-item failpoint holds the run
+open long enough to interrupt it deterministically.
+
+  $ ddtest batch --stream --journal sig_clean.journal --jobs 1 one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd > sig_clean.txt
+  $ DDA_FAILPOINTS='batch.item=delay:150' ddtest batch --stream --journal sig.journal --jobs 1 one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd > sig.txt 2> sig.log &
+  $ PID=$!
+  $ sleep 0.4
+  $ kill -INT $PID
+  $ wait $PID
+  [130]
+  $ grep -c 'stream: interrupted' sig.log
+  1
+  $ [ $(grep -c '' sig.journal) -ge 2 ] && echo flushed
+  flushed
+
+The journal is intact and resumable; the completed run is
+byte-identical to one that was never interrupted:
+
+  $ ddtest batch --stream --journal sig.journal --resume --jobs 1 one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd one.dd two.dd > sig_resumed.txt
+  $ cmp sig_clean.txt sig_resumed.txt && echo identical
+  identical
+  $ cmp sig_clean.journal sig.journal && echo identical
+  identical

@@ -103,16 +103,33 @@ The same equivalence holds for JSON output:
   $ cmp clean.json resumed.json && echo identical
   identical
 
-A truncated journal (torn final record) is rejected with exit 1, not a
-crash:
+A torn final record — the exact shape a kill -9 mid-append leaves,
+since record lines escape their newlines — is recovered, not rejected:
+the torn tail is dropped with a warning, the intact prefix replays,
+and the run completes identically to an uninterrupted one. Here the
+cut lands 43 bytes into record 0, so everything re-analyzes:
 
   $ head -c 120 clean.journal > torn.journal
-  $ ddtest batch --stream --journal torn.journal --resume p1.dd p2.dd p3.dd p4.dd
-  ddtest: error: journal torn.journal: torn final record (missing newline)
-  [1]
+  $ ddtest batch --stream --journal torn.journal --resume p1.dd p2.dd p3.dd p4.dd > torn_resumed.txt
+  warning: journal torn.journal: dropping a torn final record (43 byte(s)); 0 intact record(s) kept
+  $ cmp clean.txt torn_resumed.txt && echo identical
+  identical
+  $ cmp clean.journal torn.journal && echo identical
+  identical
 
-So is a corrupt one — here a record whose output no longer matches its
-digest:
+A cut inside the *last* record keeps every intact record in front of
+it — only the torn item re-analyzes:
+
+  $ LEN=$(grep -c '' clean.journal)
+  $ head -n $((LEN - 1)) clean.journal > torn3.journal
+  $ tail -n 1 clean.journal | head -c 25 >> torn3.journal
+  $ ddtest batch --stream --journal torn3.journal --resume p1.dd p2.dd p3.dd p4.dd > torn3_resumed.txt
+  warning: journal torn3.journal: dropping a torn final record (25 byte(s)); 3 intact record(s) kept
+  $ cmp clean.txt torn3_resumed.txt && echo identical
+  identical
+
+Mid-file corruption is a different thing entirely and still refuses —
+here a complete record whose output no longer matches its digest:
 
   $ sed '2s/"digest":"./"digest":"0/' clean.journal > bad.journal
   $ cmp -s clean.journal bad.journal; echo $?

@@ -1,0 +1,117 @@
+The analysis daemon: a long-lived JSONL service over a Unix socket,
+backed by a durable, corruption-detecting memo cache. A program to ask
+about — the paper's flow-dependent loop:
+
+  $ cat > p.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i] = a[i-1] + 1
+  > end
+  > EOF
+  $ cat > q.dd <<'EOF'
+  > for i = 1 to 8 do
+  >   b[2*i] = b[2*i+1] + 3
+  > end
+  > EOF
+
+Start a daemon, wait for its socket, and talk to it:
+
+  $ ddtest serve --socket s.sock --cache memo.cache 2>serve1.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+
+  $ ddtest query --socket s.sock --ping p.dd q.dd
+  {"id":null,"ok":true,"pong":true}
+  {"id":0,"ok":true,"pairs":[{"array":"a","ref1":{"loc":"2:3","role":"write"},"ref2":{"loc":"2:3","role":"write"},"self":true,"common_loops":1,"outcome":{"verdict":"independent","how":"tested","exact":true}},{"array":"a","ref1":{"loc":"2:3","role":"write"},"ref2":{"loc":"2:10","role":"read"},"self":false,"common_loops":1,"outcome":{"verdict":"dependent","how":"tested","exact":true,"vectors":[{"directions":"(<)","kind":"flow"}],"distance":[1]}}]}
+  {"id":1,"ok":true,"pairs":[{"array":"b","ref1":{"loc":"2:3","role":"write"},"ref2":{"loc":"2:3","role":"write"},"self":true,"common_loops":1,"outcome":{"verdict":"independent","how":"tested","exact":true}},{"array":"b","ref1":{"loc":"2:3","role":"write"},"ref2":{"loc":"2:12","role":"read"},"self":false,"common_loops":1,"outcome":{"verdict":"independent","how":"extended-gcd"}}]}
+
+Asking twice gives byte-identical answers (the second is a cache hit;
+the bytes must not know the difference), and errors are answers, not
+crashes:
+
+  $ ddtest query --socket s.sock p.dd > first.out
+  $ ddtest query --socket s.sock p.dd > second.out
+  $ cmp first.out second.out && echo identical
+  identical
+  $ echo 'for i = oops' > bad.dd
+  $ ddtest query --socket s.sock bad.dd
+  {"id":0,"ok":false,"error":"2:1: syntax error: expected 'to' (found '<eof>')"}
+  [2]
+
+Status shows the dashboard; the cache has been absorbing memo misses:
+
+  $ ddtest query --socket s.sock --status | grep -o '"shed":[0-9]*,"quarantined":[0-9]*'
+  "shed":0,"quarantined":0
+  $ ddtest query --socket s.sock --status | grep -o '"appends":[1-9]' > /dev/null && echo non-empty
+  non-empty
+
+Graceful drain: SIGTERM finishes in-flight work, fsyncs the cache,
+removes the socket, and the daemon exits 0:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ [ -S s.sock ] || echo socket gone
+  socket gone
+
+A restarted daemon on the same cache file serves byte-identical
+answers from the replayed memo tables:
+
+  $ ddtest serve --socket s.sock --cache memo.cache 2>serve2.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ddtest query --socket s.sock p.dd > warm.out
+  $ cmp first.out warm.out && echo identical
+  identical
+  $ kill -TERM $SRV
+  $ wait $SRV
+
+Chaos: kill the daemon dead (SIGKILL via failpoint) in the middle of a
+cache append — between writing a record's frame header and its
+payload, the worst possible moment. The file is left with a torn
+tail:
+
+  $ cp memo.cache memo.bak
+  $ DDA_FAILPOINTS='cache.append.mid=kill@1' ddtest serve --socket s.sock --cache chaos.cache 2>serve3.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ddtest query --socket s.sock p.dd 2>/dev/null
+  [1]
+  $ wait $SRV
+  [137]
+
+Restart over the damaged file: recovery truncates the torn tail
+(warning on stderr) and the answers are byte-for-byte what a healthy
+run gives. (The SIGKILLed daemon left a stale socket file behind; it
+is removed first so the socket's reappearance marks the new daemon.)
+
+  $ rm -f s.sock
+  $ ddtest serve --socket s.sock --cache chaos.cache 2>serve4.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ddtest query --socket s.sock p.dd > recovered.out
+  $ cmp first.out recovered.out && echo identical
+  identical
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ grep -c 'damaged trailing' serve4.log
+  1
+
+A cache written under a different analyzer configuration is set aside
+(never read as data — its keys mean something else) and the daemon
+starts cold:
+
+  $ ddtest serve --socket s.sock --cache memo.cache --memo simple 2>serve5.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ddtest query --socket s.sock p.dd > reconfigured.out
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ grep -o 'fingerprint mismatch[^;]*' serve5.log
+  fingerprint mismatch (written by a different analyzer version or configuration)
+  $ [ -f memo.cache.rejected ] && echo preserved
+  preserved
+
+The verdicts still agree, of course — a cold start changes latency,
+never answers:
+
+  $ cmp first.out reconfigured.out && echo identical
+  identical

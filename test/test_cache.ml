@@ -1,0 +1,360 @@
+(* The durable memo store: append/replay round-trips, the
+   cache-integrity invariant (digest + fingerprint + version gate every
+   served record), torn-tail recovery at every byte offset of the final
+   record, rejection (not repair) of mid-file corruption, quarantine of
+   fingerprint-mismatched files, and warm-restart equivalence of whole
+   analyzer runs through the durable cache. *)
+
+open Dda_lang
+open Dda_core
+open Dda_cache
+
+let temp_path () =
+  let p = Filename.temp_file "ddcache" ".bin" in
+  Sys.remove p;
+  p
+
+let cleanup p =
+  List.iter
+    (fun f -> if Sys.file_exists f then Sys.remove f)
+    [ p; p ^ ".rejected" ]
+
+let with_path f =
+  let p = temp_path () in
+  Fun.protect ~finally:(fun () -> cleanup p) (fun () -> f p)
+
+let config = Analyzer.default_config
+
+(* Collecting loaders for [Store.open_store]. *)
+let collectors () =
+  let gcds = ref [] and fulls = ref [] in
+  let gcd k v = gcds := (k, v) :: !gcds in
+  let full k v = fulls := (k, v) :: !fulls in
+  (gcds, fulls, gcd, full)
+
+let open_collect ?fsync ~path ?(config = config) () =
+  let gcds, fulls, gcd, full = collectors () in
+  let s, r = Store.open_store ?fsync ~path ~config ~gcd ~full () in
+  (s, r, gcds, fulls)
+
+let key l = Array.of_list l
+
+let some_gcd =
+  Gcd_test.Independent
+    {
+      Cert.multipliers = [| Dda_numeric.Zint.of_int 1 |];
+      modulus = Dda_numeric.Zint.of_int 2;
+    }
+
+let other_gcd =
+  Gcd_test.Independent
+    {
+      Cert.multipliers = [| Dda_numeric.Zint.of_int 3 |];
+      modulus = Dda_numeric.Zint.of_int 5;
+    }
+
+let some_full = Analyzer.Assumed_dependent
+
+let file_contents path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse the store's framing in the test, independently of the
+   implementation: header is magic + 16-byte fingerprint, each record
+   is [4-byte BE length][16-byte digest][payload]. Returns the byte
+   offset where each record starts, plus the total length. *)
+let record_offsets path =
+  let s = file_contents path in
+  let header_len = String.length "%DDACACHE1\n" + 16 in
+  let rec go off acc =
+    if off >= String.length s then List.rev acc
+    else
+      let len =
+        Int32.to_int (String.get_int32_be s off)
+      in
+      go (off + 4 + 16 + len) (off :: acc)
+  in
+  (go header_len [], String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Round trip                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_path (fun path ->
+      let s, r, _, _ = open_collect ~path () in
+      Alcotest.(check bool) "fresh" true r.Store.fresh;
+      Store.append_gcd s (key [ 1; 2; 3 ]) some_gcd;
+      Store.append_full s (key [ 4; 5 ]) some_full;
+      Store.append_gcd s (key [ 6 ]) other_gcd;
+      Alcotest.(check int) "appends counted" 3 (Store.appends s);
+      Store.close s;
+      let s2, r2, gcds, fulls = open_collect ~path () in
+      Store.close s2;
+      Alcotest.(check bool) "not fresh" false r2.Store.fresh;
+      Alcotest.(check int) "3 records replayed" 3 r2.Store.records;
+      Alcotest.(check int) "nothing dropped" 0 r2.Store.dropped_bytes;
+      Alcotest.(check int) "2 gcd entries" 2 (List.length !gcds);
+      Alcotest.(check int) "1 full entry" 1 (List.length !fulls);
+      let g = List.assoc (key [ 1; 2; 3 ]) !gcds in
+      Alcotest.(check bool) "gcd value survives" true (g = some_gcd))
+
+let test_close_idempotent () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.close s;
+      Store.close s)
+
+(* ------------------------------------------------------------------ *)
+(* Torn tails: truncation at every byte offset of the final record     *)
+(* ------------------------------------------------------------------ *)
+
+let test_torn_tail_every_offset () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.append_gcd s (key [ 1; 2; 3 ]) some_gcd;
+      Store.append_full s (key [ 4; 5; 6; 7 ]) some_full;
+      Store.append_gcd s (key [ 8; 9 ]) other_gcd;
+      Store.close s;
+      let offsets, total = record_offsets path in
+      Alcotest.(check int) "3 records framed" 3 (List.length offsets);
+      let last_start = List.nth offsets 2 in
+      let original = file_contents path in
+      (* Truncating anywhere inside the final record must recover the
+         2-record prefix and drop exactly the torn bytes — at every
+         single offset, frame header and payload alike. *)
+      for cut = last_start to total - 1 do
+        let oc = open_out_bin path in
+        output_string oc (String.sub original 0 cut);
+        close_out oc;
+        let s, r, gcds, fulls = open_collect ~path () in
+        Store.close s;
+        if r.Store.records <> 2 then
+          Alcotest.failf "cut at %d: recovered %d records, want 2" cut
+            r.Store.records;
+        if r.Store.dropped_bytes <> cut - last_start then
+          Alcotest.failf "cut at %d: dropped %d bytes, want %d" cut
+            r.Store.dropped_bytes (cut - last_start);
+        Alcotest.(check int) "prefix gcd survives" 1 (List.length !gcds);
+        Alcotest.(check int) "prefix full survives" 1 (List.length !fulls);
+        (* Recovery truncated the file: a second open is clean. *)
+        let s, r2, _, _ = open_collect ~path () in
+        Store.close s;
+        if r2.Store.dropped_bytes <> 0 then
+          Alcotest.failf "cut at %d: second open still dropped %d bytes" cut
+            r2.Store.dropped_bytes;
+        (* Restore the full file for the next offset. *)
+        let oc = open_out_bin path in
+        output_string oc original;
+        close_out oc
+      done)
+
+let test_append_after_recovery () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.append_gcd s (key [ 1 ]) some_gcd;
+      Store.append_gcd s (key [ 2 ]) some_gcd;
+      Store.close s;
+      let original = file_contents path in
+      (* Tear the second record in half, reopen (truncates), append a
+         fresh record: the file must read back as records 1 and 3. *)
+      let offsets, total = record_offsets path in
+      let cut = (List.nth offsets 1 + total) / 2 in
+      let oc = open_out_bin path in
+      output_string oc (String.sub original 0 cut);
+      close_out oc;
+      let s, r, _, _ = open_collect ~path () in
+      Alcotest.(check int) "one record recovered" 1 r.Store.records;
+      Store.append_full s (key [ 3 ]) some_full;
+      Store.close s;
+      let s, r2, gcds, fulls = open_collect ~path () in
+      Store.close s;
+      Alcotest.(check int) "two records after repair+append" 2 r2.Store.records;
+      Alcotest.(check int) "no damage" 0 r2.Store.dropped_bytes;
+      Alcotest.(check bool) "gcd 1 present" true (List.mem_assoc (key [ 1 ]) !gcds);
+      Alcotest.(check bool) "full 3 present" true (List.mem_assoc (key [ 3 ]) !fulls))
+
+(* ------------------------------------------------------------------ *)
+(* Corruption and fingerprint rejection                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_midfile_corruption_drops_suffix () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.append_gcd s (key [ 1 ]) some_gcd;
+      Store.append_gcd s (key [ 2 ]) some_gcd;
+      Store.append_gcd s (key [ 3 ]) some_gcd;
+      Store.close s;
+      let original = file_contents path in
+      let offsets, _ = record_offsets path in
+      (* Flip one payload byte of record 1 (offset +20 skips its
+         frame): its digest check fails, so it and record 2 behind it
+         are dropped; record 0 survives. A wrong byte is never served. *)
+      let pos = List.nth offsets 1 + 20 in
+      let corrupted = Bytes.of_string original in
+      Bytes.set corrupted pos
+        (Char.chr (Char.code (Bytes.get corrupted pos) lxor 0xFF));
+      let oc = open_out_bin path in
+      output_bytes oc corrupted;
+      close_out oc;
+      let s, r, gcds, _ = open_collect ~path () in
+      Store.close s;
+      Alcotest.(check int) "only the intact prefix" 1 r.Store.records;
+      Alcotest.(check bool) "record 0 survives" true
+        (List.mem_assoc (key [ 1 ]) !gcds);
+      Alcotest.(check bool) "suffix dropped" true (r.Store.dropped_bytes > 0))
+
+let test_fingerprint_mismatch_quarantines () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.append_gcd s (key [ 1 ]) some_gcd;
+      Store.close s;
+      let other = { config with Analyzer.symbolic = not config.Analyzer.symbolic } in
+      Alcotest.(check bool) "fingerprints differ" false
+        (String.equal (Store.fingerprint config) (Store.fingerprint other));
+      let s2, r, gcds, _ = open_collect ~path ~config:other () in
+      Store.close s2;
+      (match r.Store.reset with
+       | Some _ -> ()
+       | None -> Alcotest.fail "expected a reset");
+      Alcotest.(check bool) "cold start" true r.Store.fresh;
+      Alcotest.(check int) "nothing served" 0 (List.length !gcds);
+      Alcotest.(check bool) "old file preserved for inspection" true
+        (Sys.file_exists (path ^ ".rejected")))
+
+let test_alien_file_quarantines () =
+  with_path (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a cache file at all\n";
+      close_out oc;
+      let s, r, _, _ = open_collect ~path () in
+      Store.close s;
+      (match r.Store.reset with
+       | Some reason ->
+         Alcotest.(check bool) "reason mentions magic" true
+           (String.length reason > 0)
+       | None -> Alcotest.fail "expected a reset");
+      Alcotest.(check bool) ".rejected kept" true
+        (Sys.file_exists (path ^ ".rejected")))
+
+(* ------------------------------------------------------------------ *)
+(* The durable cache end to end through the analyzer                   *)
+(* ------------------------------------------------------------------ *)
+
+let program_src =
+  "for i = 1 to 50 do\n\
+  \  a[i] = a[i-1] + b[i]\n\
+  \  b[i+1] = a[i] + 1\n\
+   end\n"
+
+let analyze_with cache =
+  Analyzer.analyze ~config ~cache (Parser.parse_program program_src)
+
+let test_warm_restart_equal_reports () =
+  with_path (fun path ->
+      let d, r = Durable.create ~path ~config () in
+      Alcotest.(check bool) "cold open" true (Option.get r).Store.fresh;
+      let cold = analyze_with (Durable.cache d) in
+      Durable.close d;
+      Alcotest.(check bool) "something was appended" true
+        (Durable.store_appends d > 0);
+      (* Reopen: the tables must come back and a rerun must produce the
+         same verdicts purely from cache hits. *)
+      let d2, r2 = Durable.create ~path ~config () in
+      let rec2 = Option.get r2 in
+      Alcotest.(check int) "every append replayed"
+        (Durable.store_appends d)
+        rec2.Store.records;
+      let warm = analyze_with (Durable.cache d2) in
+      Alcotest.(check int) "no new appends warm" 0 (Durable.store_appends d2);
+      Durable.close d2;
+      Alcotest.(check bool) "pair reports identical" true
+        (cold.Analyzer.pair_reports = warm.Analyzer.pair_reports);
+      let s = warm.Analyzer.stats in
+      Alcotest.(check int) "warm run misses nothing"
+        s.Analyzer.memo_lookups_full s.Analyzer.memo_hits_full)
+
+let test_memory_durable_agree () =
+  with_path (fun path ->
+      let d, _ = Durable.create ~path ~config () in
+      let durable = analyze_with (Durable.cache d) in
+      Durable.close d;
+      let memory = analyze_with (Analyzer.memory_cache ()) in
+      Alcotest.(check bool) "same pair reports" true
+        (durable.Analyzer.pair_reports = memory.Analyzer.pair_reports);
+      Alcotest.(check bool) "same stats" true
+        (Analyzer.stats_to_list durable.Analyzer.stats
+         = Analyzer.stats_to_list memory.Analyzer.stats))
+
+let test_shared_across_domains () =
+  with_path (fun path ->
+      let d, _ = Durable.create ~path ~config () in
+      let cache = Durable.cache d in
+      let domains =
+        List.init 4 (fun _ ->
+            Domain.spawn (fun () -> analyze_with cache))
+      in
+      let reports = List.map Domain.join domains in
+      Durable.close d;
+      let first = List.hd reports in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "all domains agree" true
+            (r.Analyzer.pair_reports = first.Analyzer.pair_reports))
+        reports;
+      (* Replay must land every appended record, duplicates included. *)
+      let d2, r2 = Durable.create ~path ~config () in
+      Durable.close d2;
+      Alcotest.(check int) "replay equals appends"
+        (Durable.store_appends d)
+        (Option.get r2).Store.records)
+
+let test_compute_exception_stores_nothing () =
+  with_path (fun path ->
+      let d, _ = Durable.create ~path ~config () in
+      let cache = Durable.cache d in
+      (try
+         ignore (cache.Analyzer.find_or_add_gcd (key [ 9; 9 ]) (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      let g, f = Durable.table_sizes d in
+      Alcotest.(check int) "no gcd entry" 0 g;
+      Alcotest.(check int) "no full entry" 0 f;
+      Alcotest.(check int) "no append" 0 (Durable.store_appends d);
+      (* The key is still computable afterwards. *)
+      let v, hit = cache.Analyzer.find_or_add_gcd (key [ 9; 9 ]) (fun () -> some_gcd) in
+      Durable.close d;
+      Alcotest.(check bool) "miss then computed" false hit;
+      Alcotest.(check bool) "value delivered" true (v = some_gcd))
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "append/replay round trip" `Quick test_roundtrip;
+          Alcotest.test_case "close is idempotent" `Quick test_close_idempotent;
+          Alcotest.test_case "torn tail recovers at every byte offset" `Quick
+            test_torn_tail_every_offset;
+          Alcotest.test_case "append after recovery" `Quick
+            test_append_after_recovery;
+          Alcotest.test_case "mid-file corruption drops the suffix" `Quick
+            test_midfile_corruption_drops_suffix;
+          Alcotest.test_case "fingerprint mismatch quarantines the file" `Quick
+            test_fingerprint_mismatch_quarantines;
+          Alcotest.test_case "alien file quarantines" `Quick
+            test_alien_file_quarantines;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "warm restart serves identical reports" `Quick
+            test_warm_restart_equal_reports;
+          Alcotest.test_case "durable and memory caches agree" `Quick
+            test_memory_durable_agree;
+          Alcotest.test_case "shared across four domains" `Quick
+            test_shared_across_domains;
+          Alcotest.test_case "a raising compute stores nothing" `Quick
+            test_compute_exception_stores_nothing;
+        ] );
+    ]

@@ -1,0 +1,284 @@
+(* The analysis daemon, exercised in-process: the server runs in a
+   spawned domain on a temp-dir socket while the test plays client over
+   plain [Unix] sockets. Covers the protocol (ping/status/analyze),
+   determinism of repeated answers, bad-request and poisoned-request
+   quarantine (the server survives), bounded-queue load shedding, and
+   graceful drain. *)
+
+open Dda_core
+open Dda_server
+
+let config = Analyzer.default_config
+
+let temp_dir () =
+  let d = Filename.temp_file "ddserve" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    Unix.rmdir p
+  end
+  else Sys.remove p
+
+(* Start a server, run [f client_connect], then drain and join. *)
+let with_server ?(jobs = 2) ?(queue_limit = 64) ?cache_name f =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "s.sock" in
+      let cfg =
+        {
+          (Server.default_config config) with
+          Server.socket_path = socket;
+          jobs;
+          queue_limit;
+          cache_path = Option.map (Filename.concat dir) cache_name;
+        }
+      in
+      let server, _ = Server.create cfg in
+      let d = Domain.spawn (fun () -> Server.run server) in
+      (* Wait for the socket to appear. *)
+      let rec wait n =
+        if Sys.file_exists socket then ()
+        else if n = 0 then Alcotest.fail "server socket never appeared"
+        else begin
+          Unix.sleepf 0.02;
+          wait (n - 1)
+        end
+      in
+      wait 250;
+      let connect () =
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_UNIX socket);
+        (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.drain server;
+          Domain.join d)
+        (fun () -> f connect))
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let rpc (_, ic, oc) line =
+  send oc line;
+  input_line ic
+
+let json_field line key =
+  match Json_out.of_string line with
+  | Ok j -> Json_out.member key j
+  | Error msg -> Alcotest.failf "unparseable response %S: %s" line msg
+
+let is_ok line = json_field line "ok" = Some (Json_out.Bool true)
+
+let program = "for i = 1 to 20 do\n  a[i] = a[i-1] + 1\nend\n"
+
+let analyze_req ?(id = 1) ?(stats = false) src =
+  Json_out.to_string
+    (Json_out.Obj
+       ([
+          ("op", Json_out.Str "analyze");
+          ("id", Json_out.Int id);
+          ("program", Json_out.Str src);
+        ]
+        @ if stats then [ ("stats", Json_out.Bool true) ] else []))
+
+let test_ping_status () =
+  with_server (fun connect ->
+      let c = connect () in
+      let pong = rpc c {|{"op":"ping"}|} in
+      Alcotest.(check bool) "pong ok" true (is_ok pong);
+      Alcotest.(check bool) "pong field" true
+        (json_field pong "pong" = Some (Json_out.Bool true));
+      let status = rpc c {|{"op":"status"}|} in
+      Alcotest.(check bool) "status ok" true (is_ok status);
+      match json_field status "server" with
+      | Some (Json_out.Obj _) -> ()
+      | _ -> Alcotest.fail "status has no server object")
+
+let test_analyze_deterministic () =
+  with_server (fun connect ->
+      let c = connect () in
+      let r1 = rpc c (analyze_req program) in
+      let r2 = rpc c (analyze_req program) in
+      Alcotest.(check bool) "ok" true (is_ok r1);
+      (* First answer computes, second hits the memo cache — the bytes
+         must not know the difference. *)
+      Alcotest.(check string) "cold equals warm" r1 r2;
+      (* A second connection gets the same bytes too. *)
+      let c2 = connect () in
+      let r3 = rpc c2 (analyze_req program) in
+      Alcotest.(check string) "across connections" r1 r3;
+      (* But stats are opt-in and present when asked. *)
+      let r4 = rpc c (analyze_req ~stats:true program) in
+      Alcotest.(check bool) "stats present" true
+        (match json_field r4 "stats" with Some (Json_out.Obj _) -> true | _ -> false);
+      Alcotest.(check bool) "no stats by default" true
+        (json_field r1 "stats" = None))
+
+let test_bad_requests_quarantined () =
+  with_server (fun connect ->
+      let c = connect () in
+      let r = rpc c "this is not json" in
+      Alcotest.(check bool) "parse error refused" true
+        (json_field r "ok" = Some (Json_out.Bool false));
+      let r = rpc c {|{"op":"frobnicate"}|} in
+      Alcotest.(check bool) "unknown op refused" true
+        (json_field r "ok" = Some (Json_out.Bool false));
+      let r = rpc c {|{"op":"analyze","id":7}|} in
+      Alcotest.(check bool) "missing program refused" true
+        (json_field r "ok" = Some (Json_out.Bool false));
+      Alcotest.(check bool) "id echoed" true
+        (json_field r "id" = Some (Json_out.Int 7));
+      let r = rpc c (analyze_req "for i = oops") in
+      Alcotest.(check bool) "syntax error reported" true
+        (json_field r "ok" = Some (Json_out.Bool false));
+      (* After all that abuse, the server still answers. *)
+      let r = rpc c (analyze_req program) in
+      Alcotest.(check bool) "still serving" true (is_ok r))
+
+let test_poisoned_request_keeps_serving () =
+  with_server ~jobs:1 (fun connect ->
+      Fun.protect ~finally:Failpoint.clear (fun () ->
+          Failpoint.set "serve.request=raise@1";
+          let c = connect () in
+          let r = rpc c (analyze_req program) in
+          Alcotest.(check bool) "poisoned request errors" true
+            (json_field r "ok" = Some (Json_out.Bool false));
+          Alcotest.(check bool) "marked quarantined" true
+            (json_field r "quarantined" = Some (Json_out.Bool true));
+          (* The worker that died of it is still alive. *)
+          let r2 = rpc c (analyze_req program) in
+          Alcotest.(check bool) "worker survived" true (is_ok r2)))
+
+let test_load_shedding () =
+  with_server ~jobs:1 ~queue_limit:1 (fun connect ->
+      Fun.protect ~finally:Failpoint.clear (fun () ->
+          (* Park the single worker on the first request for a while. *)
+          Failpoint.set "serve.request=delay:500@1";
+          let c1 = connect () in
+          send (let _, _, oc = c1 in oc) (analyze_req ~id:1 program);
+          (* Give the accept loop time to enqueue request 1. *)
+          Unix.sleepf 0.15;
+          let c2 = connect () in
+          let r = rpc c2 (analyze_req ~id:2 program) in
+          Alcotest.(check bool) "second request shed" true
+            (json_field r "shed" = Some (Json_out.Bool true));
+          Alcotest.(check bool) "shed is explicit, not ok" true
+            (json_field r "ok" = Some (Json_out.Bool false));
+          (* The parked request still completes. *)
+          let _, ic, _ = c1 in
+          Alcotest.(check bool) "first request completes" true
+            (is_ok (input_line ic))))
+
+let test_drain_is_graceful () =
+  (* with_server drains in its teardown; this test checks the socket
+     actually disappears and a second cycle works (resources freed). *)
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "s.sock" in
+      let cfg = { (Server.default_config config) with Server.socket_path = socket } in
+      let cycle () =
+        let server, _ = Server.create cfg in
+        let d = Domain.spawn (fun () -> Server.run server) in
+        let rec wait n =
+          if (not (Sys.file_exists socket)) && n > 0 then begin
+            Unix.sleepf 0.02;
+            wait (n - 1)
+          end
+        in
+        wait 250;
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_UNIX socket);
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        send oc (analyze_req program);
+        let r = input_line ic in
+        Unix.close fd;
+        Server.drain server;
+        Domain.join d;
+        Alcotest.(check bool) "served before drain" true (is_ok r);
+        Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket)
+      in
+      cycle ();
+      cycle ())
+
+let test_warm_cache_across_restarts () =
+  (* Two servers sharing one cache file, run one after the other: the
+     second must answer from the replayed cache with identical bytes. *)
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let socket = Filename.concat dir "s.sock" in
+      let cache = Filename.concat dir "memo.cache" in
+      let cfg =
+        {
+          (Server.default_config config) with
+          Server.socket_path = socket;
+          cache_path = Some cache;
+        }
+      in
+      let once () =
+        let server, recovery = Server.create cfg in
+        let d = Domain.spawn (fun () -> Server.run server) in
+        let rec wait n =
+          if (not (Sys.file_exists socket)) && n > 0 then begin
+            Unix.sleepf 0.02;
+            wait (n - 1)
+          end
+        in
+        wait 250;
+        let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_UNIX socket);
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        send oc (analyze_req program);
+        let r = input_line ic in
+        Unix.close fd;
+        Server.drain server;
+        Domain.join d;
+        (r, recovery)
+      in
+      let cold, rec1 = once () in
+      let warm, rec2 = once () in
+      Alcotest.(check bool) "first start is fresh" true
+        (Option.get rec1).Dda_cache.Store.fresh;
+      let r2 = Option.get rec2 in
+      Alcotest.(check bool) "second start replays" true
+        (r2.Dda_cache.Store.records > 0);
+      Alcotest.(check int) "no damage" 0 r2.Dda_cache.Store.dropped_bytes;
+      Alcotest.(check string) "warm restart byte-identical" cold warm)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping and status" `Quick test_ping_status;
+          Alcotest.test_case "analyze is deterministic" `Quick
+            test_analyze_deterministic;
+          Alcotest.test_case "bad requests answered, not fatal" `Quick
+            test_bad_requests_quarantined;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "poisoned request is quarantined" `Quick
+            test_poisoned_request_keeps_serving;
+          Alcotest.test_case "saturated queue sheds explicitly" `Quick
+            test_load_shedding;
+          Alcotest.test_case "drain is graceful and repeatable" `Quick
+            test_drain_is_graceful;
+          Alcotest.test_case "warm cache across restarts" `Quick
+            test_warm_cache_across_restarts;
+        ] );
+    ]

@@ -202,6 +202,99 @@ let prop_resume_equals_uninterrupted =
           && compare s_res.Stream.merged s_clean.Stream.merged = 0
           && Stream.journal_records j_crash = n))
 
+(* Torn-tail recovery, exhaustively: a clean journal truncated at every
+   byte offset inside its final record must resume to a byte-identical
+   run — the intact prefix replays, the torn item re-analyzes. *)
+let test_torn_tail_every_offset () =
+  let n = 2 in
+  let seed = 7 in
+  let journal = Filename.temp_file "ddtorn" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove journal)
+    (fun () ->
+      let run ?(resume = false) buf =
+        Stream.run ~jobs:1 ~journal ~resume ~render:render_digest
+          ~emit:(Buffer.add_string buf)
+          (Stream.of_fuzz ~profile:Fuzz.Small ~seed n)
+      in
+      let b_clean = Buffer.create 256 in
+      ignore (run b_clean);
+      let clean_out = Buffer.contents b_clean in
+      let ic = open_in_bin journal in
+      let original = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (* The final record spans from one past the second-to-last
+         newline to the end of the file. *)
+      let total = String.length original in
+      let last_start = 1 + String.rindex_from original (total - 2) '\n' in
+      for cut = last_start to total - 1 do
+        let oc = open_out_bin journal in
+        output_string oc (String.sub original 0 cut);
+        close_out oc;
+        (if cut > last_start then
+           (* A nonempty torn tail is visible to validation — as a torn
+              tail, not an error — and not counted. *)
+           match Stream.journal_records journal with
+           | k ->
+             if k <> n - 1 then
+               Alcotest.failf "cut at %d: %d records, want %d" cut k (n - 1)
+           | exception Failure msg ->
+             Alcotest.failf "cut at %d: validation refused: %s" cut msg);
+        let b_res = Buffer.create 256 in
+        let s = run ~resume:true b_res in
+        if s.Stream.replayed <> n - 1 then
+          Alcotest.failf "cut at %d: replayed %d, want %d" cut
+            s.Stream.replayed (n - 1);
+        if not (String.equal (Buffer.contents b_res) clean_out) then
+          Alcotest.failf "cut at %d: resumed output differs" cut
+      done)
+
+(* SIGINT's library half: [stop] ends intake, in-flight work is
+   journaled, and the journal resumes to a byte-identical run. *)
+let test_stop_leaves_resumable_journal () =
+  let n = 6 in
+  let seed = 11 in
+  let journal = Filename.temp_file "ddstop" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove journal)
+    (fun () ->
+      let b_clean = Buffer.create 256 in
+      let clean =
+        Stream.run ~jobs:1 ~render:render_digest
+          ~emit:(Buffer.add_string b_clean)
+          (Stream.of_fuzz ~profile:Fuzz.Small ~seed n)
+      in
+      Alcotest.(check bool) "clean run not interrupted" false
+        clean.Stream.interrupted;
+      (* Stop after the first emitted item. *)
+      let emitted = ref 0 in
+      let b_int = Buffer.create 256 in
+      let s_int =
+        Stream.run ~jobs:1 ~journal ~stop:(fun () -> !emitted >= 1)
+          ~render:render_digest
+          ~emit:(fun chunk ->
+            incr emitted;
+            Buffer.add_string b_int chunk)
+          (Stream.of_fuzz ~profile:Fuzz.Small ~seed n)
+      in
+      Alcotest.(check bool) "interrupted" true s_int.Stream.interrupted;
+      Alcotest.(check bool) "stopped early" true (s_int.Stream.total < n);
+      Alcotest.(check int) "everything emitted was journaled"
+        s_int.Stream.total
+        (Stream.journal_records journal);
+      let b_res = Buffer.create 256 in
+      let s_res =
+        Stream.run ~jobs:1 ~journal ~resume:true ~render:render_digest
+          ~emit:(Buffer.add_string b_res)
+          (Stream.of_fuzz ~profile:Fuzz.Small ~seed n)
+      in
+      Alcotest.(check bool) "resumed run completes" false
+        s_res.Stream.interrupted;
+      Alcotest.(check int) "resumed from the stop point"
+        s_int.Stream.total s_res.Stream.replayed;
+      Alcotest.(check string) "resumed output equals uninterrupted"
+        (Buffer.contents b_clean) (Buffer.contents b_res))
+
 let test_resume_requires_journal () =
   Alcotest.check_raises "resume without journal"
     (Invalid_argument "Stream.run: resume requires a journal") (fun () ->
@@ -287,6 +380,10 @@ let () =
             test_fuzz_seed_sensitivity;
           Alcotest.test_case "resume requires a journal" `Quick
             test_resume_requires_journal;
+          Alcotest.test_case "torn tail recovers at every byte offset" `Quick
+            test_torn_tail_every_offset;
+          Alcotest.test_case "stop leaves a resumable journal" `Quick
+            test_stop_leaves_resumable_journal;
           Alcotest.test_case "config fingerprint" `Quick
             test_config_digest_sensitivity;
           Alcotest.test_case "perfect source amplification" `Quick
