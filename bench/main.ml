@@ -605,6 +605,23 @@ let ablations () =
 (* Batch engine: sequential vs parallel corpus analysis                *)
 (* ------------------------------------------------------------------ *)
 
+let batch_corpus_8x () =
+  List.concat_map
+    (fun ((spec : Programs.spec), prog) ->
+       List.init 8 (fun k ->
+           { Dda_engine.Batch.name = Printf.sprintf "%s#%d" spec.name k; program = prog }))
+    programs
+
+(* Everything the batch emits: per-item reports and merged stats,
+   rendered to one canonical string. *)
+let batch_fingerprint (r : Dda_engine.Batch.result) =
+  String.concat "\n"
+    (List.map
+       (fun (a : Dda_engine.Batch.analyzed) ->
+          a.name ^ " " ^ Dda_core.Json_out.to_string (Dda_core.Json_out.report a.report))
+       r.Dda_engine.Batch.items)
+  ^ Dda_core.Json_out.to_string (Dda_core.Json_out.stats r.Dda_engine.Batch.merged)
+
 let batch_parallel () =
   section
     (Printf.sprintf
@@ -612,23 +629,8 @@ let batch_parallel () =
         (domain pool over the synthetic PERFECT Club, replicated 8x;\n\
         this machine reports %d core(s) -- speedup needs real cores)"
        (Domain.recommended_domain_count ()));
-  let corpus =
-    List.concat_map
-      (fun ((spec : Programs.spec), prog) ->
-         List.init 8 (fun k ->
-             { Dda_engine.Batch.name = Printf.sprintf "%s#%d" spec.name k; program = prog }))
-      programs
-  in
-  let fingerprint (r : Dda_engine.Batch.result) =
-    (* Everything the batch emits: per-item reports and merged stats,
-       rendered to one canonical string. *)
-    String.concat "\n"
-      (List.map
-         (fun (a : Dda_engine.Batch.analyzed) ->
-            a.name ^ " " ^ Dda_core.Json_out.to_string (Dda_core.Json_out.report a.report))
-         r.Dda_engine.Batch.items)
-    ^ Dda_core.Json_out.to_string (Dda_core.Json_out.stats r.Dda_engine.Batch.merged)
-  in
+  let corpus = batch_corpus_8x () in
+  let fingerprint = batch_fingerprint in
   let measure ?share_memo jobs =
     let r, t = time (fun () -> Dda_engine.Batch.run ?share_memo ~jobs corpus) in
     (fingerprint r, t)
@@ -645,6 +647,100 @@ let batch_parallel () =
   let _, s4 = measure ~share_memo:true 4 in
   Printf.printf "shared-session mode: jobs=1 %.1f ms, jobs=4 %.1f ms (%.2fx)\n"
     (s1 *. 1e3) (s4 *. 1e3) (s1 /. s4)
+
+(* ------------------------------------------------------------------ *)
+(* --jobs scaling: live-shared tables vs merge-after sessions          *)
+(* ------------------------------------------------------------------ *)
+
+(* Per job count: (jobs, live wall ms, live full-table hit rate,
+   merge-after wall ms, merge-after full-table hit rate). *)
+let jobs_scaling_result :
+  (int * (int * float * float * float * float) list * bool) option ref =
+  ref None
+
+(* Reports minus the memo counters: live sharing changes who hits (a
+   scheduling fact the stats faithfully record) but must never change
+   what any pair's verdict says. This fingerprints exactly the latter. *)
+let verdict_fingerprint (r : Dda_engine.Batch.result) =
+  String.concat "\n"
+    (List.map
+       (fun (a : Dda_engine.Batch.analyzed) ->
+          a.name
+          ^ " "
+          ^ String.concat ";"
+              (List.map
+                 (fun p -> Dda_core.Json_out.to_string (Dda_core.Json_out.pair p))
+                 a.report.Dda_core.Analyzer.pair_reports))
+       r.Dda_engine.Batch.items)
+
+(* The live-sharing claim, measured: at [--jobs n] the sharded tables
+   turn any cross-item repeat into a hit the moment one domain has
+   computed it, while the merge-after oracle only unions per-domain
+   sessions at the end — so its workers re-solve problems their
+   neighbours already finished. Wall clock and full-table hit rate per
+   mode per job count, plus a byte-identity check over every verdict. *)
+let jobs_scaling () =
+  let cores = Domain.recommended_domain_count () in
+  section
+    (Printf.sprintf
+       "--jobs scaling: live-shared memo tables vs merge-after sessions\n\
+        (synthetic PERFECT Club replicated 8x; this machine reports\n\
+        %d core(s) -- wall-clock scaling needs real cores)"
+       cores);
+  let corpus = batch_corpus_8x () in
+  let full_hit_rate (r : Dda_engine.Batch.result) =
+    match r.Dda_engine.Batch.table_stats with
+    | Some (_, full) when full.Memo_table.lookups > 0 ->
+      float_of_int full.Memo_table.hits /. float_of_int full.Memo_table.lookups
+    | Some _ | None -> 0.
+  in
+  let fps = ref [] in
+  let rows =
+    List.map
+      (fun jobs ->
+         let live, t_live =
+           time (fun () -> Dda_engine.Batch.run ~share_memo:true ~jobs corpus)
+         in
+         let merge, t_merge =
+           time (fun () ->
+               Dda_engine.Batch.run ~share_memo:true ~memo_merge_after:true
+                 ~jobs corpus)
+         in
+         fps := verdict_fingerprint merge :: verdict_fingerprint live :: !fps;
+         ( jobs,
+           t_live *. 1e3,
+           full_hit_rate live,
+           t_merge *. 1e3,
+           full_hit_rate merge ))
+      [ 1; 2; 4 ]
+  in
+  let identical =
+    match !fps with
+    | [] -> true
+    | f :: rest -> List.for_all (String.equal f) rest
+  in
+  Printf.printf "%d programs; full-table hit rates:\n" (List.length corpus);
+  Printf.printf "  %4s  %14s %9s  %15s %9s\n" "jobs" "live wall (ms)"
+    "hit rate" "merge wall (ms)" "hit rate";
+  List.iter
+    (fun (jobs, lw, lr, mw, mr) ->
+       Printf.printf "  %4d  %14.1f %8.2f%%  %15.1f %8.2f%%\n" jobs lw
+         (lr *. 100.) mw (mr *. 100.))
+    rows;
+  (match List.rev rows with
+   | (4, _, lr4, _, mr4) :: _ ->
+     Printf.printf
+       "  live-shared hit rate at jobs=4 %s merge-after (%.4f vs %.4f)\n"
+       (if lr4 > mr4 then "exceeds" else "does NOT exceed")
+       lr4 mr4
+   | _ -> ());
+  Printf.printf "  verdicts byte-identical across modes and job counts: %b\n"
+    identical;
+  if cores < 2 then
+    print_endline
+      "  NOTE: single-core machine -- the wall-clock columns do not\n\
+      \  measure scaling here; hit rates and identity stay meaningful.";
+  jobs_scaling_result := Some (cores, rows, identical)
 
 (* ------------------------------------------------------------------ *)
 (* Certification overhead                                              *)
@@ -1037,20 +1133,44 @@ let results_json ~mode ~memo ~micro ~metrics ~trace =
                       (float_of_int inmem /. float_of_int (max 1 stream_peak)) );
                 ] );
           ])
+     @ (match !warm_cache_result with
+        | None -> []
+        | Some (cold_ms, warm_ms, records) ->
+          [
+            ( "warm_cache",
+              Perf_json.Obj
+                [
+                  ("cold_ms", Perf_json.Num cold_ms);
+                  ("warm_ms", Perf_json.Num warm_ms);
+                  ( "speedup",
+                    Perf_json.Num
+                      (if warm_ms > 0. then cold_ms /. warm_ms else 0.) );
+                  ("records", Perf_json.Num (float_of_int records));
+                ] );
+          ])
      @
-     match !warm_cache_result with
+     match !jobs_scaling_result with
      | None -> []
-     | Some (cold_ms, warm_ms, records) ->
+     | Some (cores, rows, identical) ->
        [
-         ( "warm_cache",
+         ( "jobs_scaling",
            Perf_json.Obj
              [
-               ("cold_ms", Perf_json.Num cold_ms);
-               ("warm_ms", Perf_json.Num warm_ms);
-               ( "speedup",
-                 Perf_json.Num (if warm_ms > 0. then cold_ms /. warm_ms else 0.)
-               );
-               ("records", Perf_json.Num (float_of_int records));
+               ("cores", Perf_json.Num (float_of_int cores));
+               ("verdicts_identical", Perf_json.Bool identical);
+               ( "runs",
+                 Perf_json.List
+                   (List.map
+                      (fun (jobs, lw, lr, mw, mr) ->
+                         Perf_json.Obj
+                           [
+                             ("jobs", Perf_json.Num (float_of_int jobs));
+                             ("live_wall_ms", Perf_json.Num lw);
+                             ("live_full_hit_rate", Perf_json.Num lr);
+                             ("merge_wall_ms", Perf_json.Num mw);
+                             ("merge_full_hit_rate", Perf_json.Num mr);
+                           ])
+                      rows) );
              ] );
        ])
 
@@ -1139,6 +1259,7 @@ let run_full () =
   measured "accuracy" accuracy;
   measured "returns" (fun () -> returns t5);
   measured "batch_parallel" batch_parallel;
+  measured "jobs_scaling" jobs_scaling;
   measured "certification" certification;
   measured "sanity" sanity;
   let micro = measured "microbench" (fun () -> microbench ()) in
@@ -1161,6 +1282,7 @@ let run_smoke () =
   let metrics = perfect_batch () in
   measured "streaming_memory" streaming_memory;
   measured "warm_cache" warm_cache;
+  measured "jobs_scaling" jobs_scaling;
   let memo = memo_hit_rates () in
   let micro = microbench ~nbatch:4 ~quota:0.05 () in
   (memo, micro, metrics, trace)

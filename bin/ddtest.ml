@@ -445,7 +445,7 @@ let batch_cmd =
            ])
       ^ "\n"
   in
-  let run_stream ~files ~jobs ~verify ~lint ~retries ~backoff_ms
+  let run_stream ~files ~jobs ~share_memo ~verify ~lint ~retries ~backoff_ms
       ~item_timeout_ms ~config ~format ~journal ~resume ~fuzz ~fuzz_seed
       ~fuzz_profile ~perfect ~amplify =
     let sources =
@@ -494,8 +494,8 @@ let batch_cmd =
     in
     let summary =
       Fun.protect ~finally:restore_signals (fun () ->
-          Dda_engine.Stream.run ~config ~verify ~lint ~retries ~backoff_ms
-            ?item_timeout_ms ?journal ~resume
+          Dda_engine.Stream.run ~config ~share_memo ~verify ~lint ~retries
+            ~backoff_ms ?item_timeout_ms ?journal ~resume
             ~stop:(fun () -> Atomic.get stop_flag)
             ~jobs ~render ~emit source)
     in
@@ -564,18 +564,18 @@ let batch_cmd =
     if summary.Dda_engine.Stream.quarantined > 0 then exit 3
     else if summary.Dda_engine.Stream.verify_errors > 0 then exit 2
   in
-  let run () files jobs share_memo verify lint retries backoff_ms
-      item_timeout_ms config format stream journal resume fuzz fuzz_seed
-      fuzz_profile perfect amplify =
+  let run () files jobs share_memo memo_merge_after verify lint retries
+      backoff_ms item_timeout_ms config format stream journal resume fuzz
+      fuzz_seed fuzz_profile perfect amplify =
     let streaming =
       stream || journal <> None || resume || fuzz > 0 || perfect || amplify > 1
     in
     if streaming then begin
-      if share_memo then
+      if memo_merge_after then
         failwith
-          "--share-memo is incompatible with streaming: items are analyzed \
-           independently";
-      run_stream ~files ~jobs ~verify ~lint ~retries ~backoff_ms
+          "--memo-merge-after is incompatible with streaming: there are no \
+           per-chunk sessions to merge (live sharing via --share-memo works)";
+      run_stream ~files ~jobs ~share_memo ~verify ~lint ~retries ~backoff_ms
         ~item_timeout_ms ~config ~format ~journal ~resume ~fuzz ~fuzz_seed
         ~fuzz_profile ~perfect ~amplify
     end
@@ -585,8 +585,8 @@ let batch_cmd =
       List.map (fun f -> { Dda_engine.Batch.name = f; program = load f }) files
     in
     let result =
-      Dda_engine.Batch.run ~config ~share_memo ~verify ~lint ~retries
-        ~backoff_ms ?item_timeout_ms ~jobs items
+      Dda_engine.Batch.run ~config ~share_memo ~memo_merge_after ~verify ~lint
+        ~retries ~backoff_ms ?item_timeout_ms ~jobs items
     in
     (* Successes and quarantined items interleaved back in input order. *)
     let entries =
@@ -742,9 +742,21 @@ let batch_cmd =
       value & flag
       & info [ "share-memo" ]
           ~doc:
-            "Let each domain share one memoization session across its whole \
-             chunk of the corpus (faster; verdicts are unchanged but memo \
-             counters then depend on $(b,--jobs)).")
+            "Share one live lock-striped memoization table pair across every \
+             worker domain for the whole corpus (faster; verdicts are \
+             unchanged, but memo hit counters then depend on cross-domain \
+             timing when $(b,--jobs) > 1).")
+  in
+  let memo_merge_after_arg =
+    Arg.(
+      value & flag
+      & info [ "memo-merge-after" ]
+          ~doc:
+            "With $(b,--share-memo): instead of live sharing, give each \
+             domain a private memoization session and merge the tables after \
+             the run (the pre-live behavior, kept as a differential oracle; \
+             deterministic hit counters for a fixed $(b,--jobs), but \
+             cross-domain repeats are recomputed).")
   in
   let verify_arg =
     Arg.(
@@ -885,10 +897,11 @@ let batch_cmd =
           bounded memory, optionally journaled ($(b,--journal)) and \
           resumed ($(b,--resume)) after a crash.")
     Term.(
-      const run $ obs_term $ files_arg $ jobs_arg $ share_memo_arg $ verify_arg
-      $ lint_arg $ retries_arg $ backoff_arg $ timeout_arg $ config_term
-      $ format $ stream_arg $ journal_arg $ resume_arg $ fuzz_arg
-      $ fuzz_seed_arg $ fuzz_profile_arg $ perfect_arg $ amplify_arg)
+      const run $ obs_term $ files_arg $ jobs_arg $ share_memo_arg
+      $ memo_merge_after_arg $ verify_arg $ lint_arg $ retries_arg
+      $ backoff_arg $ timeout_arg $ config_term $ format $ stream_arg
+      $ journal_arg $ resume_arg $ fuzz_arg $ fuzz_seed_arg $ fuzz_profile_arg
+      $ perfect_arg $ amplify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -1898,6 +1911,60 @@ let query_cmd =
       const run $ obs_term $ socket_arg $ files_arg $ ping_arg $ status_arg
       $ stats_arg $ timeout_arg)
 
+(* ------------------------------------------------------------------ *)
+(* cache: administration of the durable memo store                     *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let compact_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE"
+            ~doc:"The cache file written by $(b,ddtest serve --cache).")
+    in
+    let no_fsync_arg =
+      Arg.(
+        value & flag
+        & info [ "no-fsync" ]
+            ~doc:"Skip the fsync before the atomic rename (faster; a crash \
+                  may leave the old file, never a mix).")
+    in
+    let run () path no_fsync config =
+      (* Store.compact raises Failure for everything refusable — missing
+         file, bad magic, fingerprint mismatch — which the top-level
+         handler turns into a one-line diagnostic and exit 1. *)
+      let c =
+        Dda_cache.Store.compact ~fsync:(not no_fsync) ~path ~config ()
+      in
+      if c.Dda_cache.Store.damaged_bytes > 0 then
+        Dda_obs.Log.warn
+          "cache %s: dropped %d damaged trailing byte(s) (replay would \
+           have dropped them too)"
+          path c.Dda_cache.Store.damaged_bytes;
+      Printf.printf "%s: %d record(s) -> %d record(s), %d bytes -> %d bytes\n"
+        path c.Dda_cache.Store.before_records c.Dda_cache.Store.after_records
+        c.Dda_cache.Store.before_bytes c.Dda_cache.Store.after_bytes
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a durable cache file keeping the last binding of every \
+            key — dropping duplicate appends from racing domains and any \
+            superseded bindings — via an fsynced temporary and an atomic \
+            rename. The analyzer configuration flags must match the ones \
+            the cache was written under (the header fingerprint is \
+            checked; a mismatch refuses with the file untouched). Do not \
+            run it while a server is appending to the same file.")
+      Term.(const run $ obs_term $ file_arg $ no_fsync_arg $ config_term)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Administer the durable memo cache files written by \
+             $(b,ddtest serve).")
+    [ compact_cmd ]
+
 (* Exit codes: 0 success; 1 input or usage errors; 2 verification or
    trace failures (and query error responses); 3 batch quarantine (and
    query shed responses); 130 a journaled streaming run stopped by
@@ -1922,6 +1989,7 @@ let () =
         batch_cmd;
         serve_cmd;
         query_cmd;
+        cache_cmd;
         fuzz_cmd;
         parallel_cmd;
         passes_cmd;

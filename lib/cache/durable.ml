@@ -1,49 +1,54 @@
 open Dda_core
 
+(* In-memory lookups go to lock-striped tables (domains only contend
+   when their keys share a stripe); the append-only store — inherently
+   serial — keeps its own mutex. *)
 type t = {
-  gcd : Gcd_test.outcome Memo_table.t;
-  full : Analyzer.outcome Memo_table.t;
+  gcd : Gcd_test.outcome Sharded_table.t;
+  full : Analyzer.outcome Sharded_table.t;
   store : Store.t option;
-  lock : Mutex.t;
+  lock : Mutex.t;  (* serializes store appends and lifecycle only *)
 }
 
 let create ?path ?(fsync = true) ~config () =
-  let gcd = Memo_table.create () in
-  let full = Memo_table.create () in
+  let gcd = Sharded_table.create () in
+  let full = Sharded_table.create () in
   let store, recovery =
     match path with
     | None -> (None, None)
     | Some path ->
         let s, r =
-          Store.open_store ~fsync ~path ~config ~gcd:(Memo_table.add gcd)
-            ~full:(Memo_table.add full) ()
+          Store.open_store ~fsync ~path ~config ~gcd:(Sharded_table.add gcd)
+            ~full:(Sharded_table.add full) ()
         in
         (Some s, Some r)
   in
   ({ gcd; full; store; lock = Mutex.create () }, recovery)
 
-(* The find-compute-add protocol: find under the lock, compute outside
-   it (the full-table compute path re-enters this cache for gcd
-   queries), re-lock to publish. On a race the later add replaces the
-   earlier equal binding; both appends replay to the same state. *)
+(* The find-compute-add protocol: find (stripe-locked), compute with no
+   lock held (the full-table compute path re-enters this cache for gcd
+   queries), publish to the table, then append to the store under the
+   store lock. On a race the later add replaces the earlier equal
+   binding; both appends replay to the same state. A racing domain may
+   hit on the table entry while the append is still in flight — the
+   value is deterministic either way, and a crash in that window just
+   means the key is recomputed next run. *)
 let find_or_add t table app key compute =
-  Mutex.lock t.lock;
-  match Memo_table.find table key with
-  | Some v ->
-      Mutex.unlock t.lock;
-      (v, true)
+  match Sharded_table.find table key with
+  | Some v -> (v, true)
   | None ->
-      Mutex.unlock t.lock;
+      (* The key may be a borrowed scratch buffer that [compute]'s
+         nested lookups reuse — take ownership before computing. *)
+      let key = Array.copy key in
       let v = compute () in
-      Mutex.lock t.lock;
-      Memo_table.add table key v;
-      let r =
-        match t.store with
-        | None -> Ok ()
-        | Some s -> ( try Ok (app s key v) with e -> Error e)
-      in
-      Mutex.unlock t.lock;
-      (match r with Ok () -> () | Error e -> raise e);
+      Sharded_table.add table key v;
+      (match t.store with
+       | None -> ()
+       | Some s ->
+           Mutex.lock t.lock;
+           let r = try Ok (app s key v) with e -> Error e in
+           Mutex.unlock t.lock;
+           (match r with Ok () -> () | Error e -> raise e));
       (v, false)
 
 let locked t f =
@@ -59,16 +64,17 @@ let cache t : Analyzer.cache =
     find_or_add_full = (fun key compute ->
         find_or_add t t.full Store.append_full key compute);
     cache_stats = (fun () ->
-        locked t (fun () -> (Memo_table.stats t.gcd, Memo_table.stats t.full)));
+        (Sharded_table.stats t.gcd, Sharded_table.stats t.full));
     cache_flush = (fun () ->
         locked t (fun () -> Option.iter Store.flush t.store));
   }
 
-let table_sizes t =
-  locked t (fun () -> (Memo_table.length t.gcd, Memo_table.length t.full))
+let table_sizes t = (Sharded_table.length t.gcd, Sharded_table.length t.full)
 
-let table_stats t =
-  locked t (fun () -> (Memo_table.stats t.gcd, Memo_table.stats t.full))
+let table_stats t = (Sharded_table.stats t.gcd, Sharded_table.stats t.full)
+
+let contended t =
+  Sharded_table.contended t.gcd + Sharded_table.contended t.full
 
 let store_path t = Option.map Store.path t.store
 let store_appends t = match t.store with None -> 0 | Some s -> Store.appends s

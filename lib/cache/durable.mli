@@ -1,15 +1,19 @@
-(** The durable, shareable memo cache: in-process {!Dda_core.Memo_table}s
-    with optional write-through to a {!Store} file, behind one mutex.
+(** The durable, shareable memo cache: in-process lock-striped
+    {!Dda_core.Sharded_table}s with optional write-through to a
+    {!Store} file behind its own mutex.
 
     This is the backend [ddtest serve] plugs into the analyzer's
     pluggable {!Dda_core.Analyzer.cache} interface. It is safe to share
-    across worker domains: lookups and insertions are serialized by the
-    mutex, but a miss's {e computation} runs outside the lock (it must —
-    a full-table miss recursively queries the gcd table through the same
+    across worker domains: lookups and insertions take only the key's
+    stripe lock (domains contend per stripe, not globally; the
+    append-only store, inherently serial, is the one shared mutex), and
+    a miss's {e computation} runs with no lock held (it must — a
+    full-table miss recursively queries the gcd table through the same
     cache). Two domains racing on the same key may therefore both
     compute it; the values are deterministic and equal, the table keeps
     one, and the duplicate store record is harmless (replay re-adds the
-    same binding). A computation that raises stores nothing. *)
+    same binding — [ddtest cache compact] rewrites them away). A
+    computation that raises stores nothing. *)
 
 type t
 
@@ -35,6 +39,11 @@ val table_sizes : t -> int * int
 (** [(gcd_entries, full_entries)] currently held. *)
 
 val table_stats : t -> Dda_core.Memo_table.stats * Dda_core.Memo_table.stats
+(** Aggregated across stripes ({!Dda_core.Sharded_table.stats}). *)
+
+val contended : t -> int
+(** Stripe-lock acquisitions (both tables) that had to block — the
+    [memo.stripe.contended] signal, scoped to this cache. *)
 
 val store_path : t -> string option
 val store_appends : t -> int

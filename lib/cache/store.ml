@@ -158,17 +158,20 @@ let open_store ?(fsync = true) ~path ~config ~gcd ~full () =
         (make fd, { fresh = false; reset = None; records; dropped_bytes = dropped })
   end
 
-let append t entry =
-  Failpoint.hit "cache.append";
+let write_record fd entry ~mid =
   let payload = Marshal.to_string entry [] in
   let frame = Bytes.create frame_len in
   Bytes.set_int32_be frame 0 (Int32.of_int (String.length payload));
   Bytes.blit_string (Digest.string payload) 0 frame 4 fp_len;
-  write_all t.fd (Bytes.unsafe_to_string frame);
+  write_all fd (Bytes.unsafe_to_string frame);
   (* A [kill] here leaves a frame header with no payload behind it —
      the torn tail recovery truncates on the next open. *)
-  Failpoint.hit "cache.append.mid";
-  write_all t.fd payload;
+  mid ();
+  write_all fd payload
+
+let append t entry =
+  Failpoint.hit "cache.append";
+  write_record t.fd entry ~mid:(fun () -> Failpoint.hit "cache.append.mid");
   t.n_appends <- t.n_appends + 1;
   Metrics.incr m_appends;
   if t.fsync then do_fsync t.fd
@@ -186,3 +189,91 @@ let close t =
 
 let path t = t.s_path
 let appends t = t.n_appends
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type compaction = {
+  before_records : int;
+  after_records : int;
+  before_bytes : int;
+  after_bytes : int;
+  damaged_bytes : int;
+}
+
+let m_compactions = Metrics.counter "cache.store.compactions"
+
+(* Racing domains each append the key they both computed, and every
+   process lifetime replays old records while appending only new ones —
+   an append-only file only ever grows. Compaction rewrites it to one
+   record per key (the last binding wins, exactly what replay would
+   keep), atomically: the survivors go to a fresh [path.compact] file
+   with the same magic and fingerprint, which then renames over the
+   original. A crash at any point leaves either the old file or the
+   complete new one, never a mix.
+
+   Unlike [open_store], a header mismatch here raises instead of
+   quarantining: compaction is an explicit administrative action on a
+   file the operator believes is valid, so refusing loudly (with the
+   file untouched) beats silently discarding it. A damaged suffix is
+   dropped, as replay would drop it. *)
+let compact ?(fsync = true) ~path ~config () =
+  let fp = fingerprint config in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("cache " ^ path ^ ": " ^ m)) fmt in
+  let ic =
+    try open_in_bin path
+    with Sys_error m -> fail "cannot read: %s" m
+  in
+  let file_len = in_channel_length ic in
+  if file_len < header_len then begin
+    close_in_noerr ic;
+    fail "truncated header (%d bytes)" file_len
+  end;
+  let h = really_input_string ic header_len in
+  if not (String.equal (String.sub h 0 (String.length magic)) magic) then begin
+    close_in_noerr ic;
+    fail "bad magic (not a dda cache file)"
+  end;
+  if not (String.equal (String.sub h (String.length magic) fp_len) fp) then begin
+    close_in_noerr ic;
+    fail
+      "fingerprint mismatch (written by a different analyzer version or \
+       configuration)"
+  end;
+  let gcd = Memo_table.create () and full = Memo_table.create () in
+  let records, good_end =
+    scan_records ic file_len ~gcd:(Memo_table.add gcd)
+      ~full:(Memo_table.add full)
+  in
+  close_in_noerr ic;
+  let tmp = path ^ ".compact" in
+  let fd =
+    try Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      fail "cannot create %s: %s" tmp (Unix.error_message e)
+  in
+  (match
+     write_all fd (magic ^ fp);
+     Memo_table.iter (fun k v -> write_record fd (Gcd (k, v)) ~mid:ignore) gcd;
+     Memo_table.iter (fun k v -> write_record fd (Full (k, v)) ~mid:ignore) full;
+     if fsync then Unix.fsync fd;
+     Unix.close fd
+   with
+   | () -> ()
+   | exception e ->
+     (try Unix.close fd with _ -> ());
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  (try Sys.rename tmp path
+   with Sys_error m ->
+     (try Sys.remove tmp with _ -> ());
+     fail "cannot rename %s into place: %s" tmp m);
+  Metrics.incr m_compactions;
+  {
+    before_records = records;
+    after_records = Memo_table.length gcd + Memo_table.length full;
+    before_bytes = file_len;
+    after_bytes = (Unix.stat path).Unix.st_size;
+    damaged_bytes = file_len - good_end;
+  }

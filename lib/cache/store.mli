@@ -86,3 +86,33 @@ val close : t -> unit
 val path : t -> string
 val appends : t -> int
 (** Records appended through this handle (not counting replayed ones). *)
+
+(** What {!compact} did, for reporting. *)
+type compaction = {
+  before_records : int;  (** intact records in the original file *)
+  after_records : int;  (** records written: one per distinct key *)
+  before_bytes : int;
+  after_bytes : int;
+  damaged_bytes : int;
+      (** torn/corrupt suffix bytes discarded (replay would have
+          dropped them too) *)
+}
+
+val compact :
+  ?fsync:bool ->
+  path:string ->
+  config:Dda_core.Analyzer.config ->
+  unit ->
+  compaction
+(** Rewrite the store at [path] keeping the {e last} binding of every
+    key (exactly the state replay reconstructs — duplicate appends
+    from racing domains, and any superseded bindings, are dropped).
+    The survivors are written to a fresh temporary file with the same
+    magic and fingerprint, fsynced ([fsync], default [true]), and
+    atomically renamed over the original: a crash leaves either the
+    old file or the complete new one. The store must not be open for
+    appending elsewhere during compaction (appends racing the rename
+    would land in the doomed file).
+    @raise Failure when the file is missing or unreadable, or its
+    header does not match [config] — the file is left untouched
+    (unlike {!open_store}, which quarantines and starts cold). *)

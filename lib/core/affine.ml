@@ -32,7 +32,7 @@ let constant_subscripts s =
 (* Symbolic terms are versioned by reaching definition: "n#3" is the
    value of n after its third definition. Two sites share a symbol only
    when the same definition reaches both. *)
-let sym_name name version = Printf.sprintf "%s#%d" name version
+let sym_name name version = name ^ "#" ^ string_of_int version
 
 type walk_state = {
   symbolic : bool;
@@ -61,11 +61,15 @@ let to_symexpr st loops (e : Ast.expr) =
   match Symexpr.of_ast ~classify e with
   | None -> None
   | Some se ->
-    (* Rename non-loop variables to their versioned symbol. *)
-    Some
-      (Symexpr.rename
-         (fun name -> if is_loop_var name then name else sym_name name (version st name))
-         se)
+    (* Rename non-loop variables to their versioned symbol. Most
+       subscripts mention only loop variables; skip the map rebuild
+       (and the per-symbol string formatting) when nothing renames. *)
+    if not (Symexpr.exists_var (fun name -> not (is_loop_var name)) se) then Some se
+    else
+      Some
+        (Symexpr.rename
+           (fun name -> if is_loop_var name then name else sym_name name (version st name))
+           se)
 
 let record st loops role name subs loc ~stmt_loc =
   let subscripts = List.map (to_symexpr st loops) subs in

@@ -256,6 +256,63 @@ let table_cache gcd_table full_table =
 
 let memory_cache () = table_cache (Memo_table.create ()) (Memo_table.create ())
 
+(* Live cross-domain sharing: one pair of lock-striped tables that
+   every worker queries during the run, so a repeat landing on a
+   different domain is a hit instead of a recomputation that only a
+   post-run merge would have deduplicated. *)
+type shared = {
+  sh_gcd : Gcd_test.outcome Sharded_table.t;
+  sh_full : memo_value Sharded_table.t;
+}
+
+let create_shared ?stripes () =
+  { sh_gcd = Sharded_table.create ?stripes ();
+    sh_full = Sharded_table.create ?stripes () }
+
+let shared_cache sh =
+  {
+    find_or_add_gcd = Sharded_table.find_or_add sh.sh_gcd;
+    find_or_add_full = Sharded_table.find_or_add sh.sh_full;
+    cache_stats =
+      (fun () ->
+         (Sharded_table.stats sh.sh_gcd, Sharded_table.stats sh.sh_full));
+    cache_flush = (fun () -> ());
+  }
+
+let shared_table_stats sh =
+  (Sharded_table.stats sh.sh_gcd, Sharded_table.stats sh.sh_full)
+
+let shared_contended sh =
+  Sharded_table.contended sh.sh_gcd + Sharded_table.contended sh.sh_full
+
+(* Wrap a cache with query-local counters. [analyze] reports memo
+   statistics as a delta of [cache_stats] snapshots, which is only
+   meaningful when no other domain moves the counters between the
+   snapshots — exactly what happens on a live-shared cache. The
+   wrapper gives each item its own counters: lookups are a pure
+   function of the item (jobs-invariant); hits are as observed by this
+   item (cross-item hits depend on scheduling at [--jobs > 1]); the
+   occupancy slot counts this item's completed misses. *)
+let counted_cache (c : cache) : cache =
+  let gl = ref 0 and gh = ref 0 and gm = ref 0 in
+  let fl = ref 0 and fh = ref 0 and fm = ref 0 in
+  let count l h m f k compute =
+    incr l;
+    let v, hit = f k compute in
+    if hit then incr h else incr m;
+    (v, hit)
+  in
+  {
+    find_or_add_gcd = (fun k compute -> count gl gh gm c.find_or_add_gcd k compute);
+    find_or_add_full =
+      (fun k compute -> count fl fh fm c.find_or_add_full k compute);
+    cache_stats =
+      (fun () ->
+         ( { Memo_table.size = !gm; buckets = 0; lookups = !gl; hits = !gh },
+           { Memo_table.size = !fm; buckets = 0; lookups = !fl; hits = !fh } ));
+    cache_flush = c.cache_flush;
+  }
+
 type state = {
   cfg : config;
   stats : stats;
@@ -277,7 +334,7 @@ let compute_inner st budget (p : Problem.t) ~self =
     | Memo_off -> Gcd_test.run_eqs ~budget p
     | Memo_simple | Memo_improved | Memo_symmetric ->
       fst
-        (st.cache.find_or_add_gcd (Problem.key_without_bounds p) (fun () ->
+        (st.cache.find_or_add_gcd (Problem.key_without_bounds_scratch p) (fun () ->
              Gcd_test.run_eqs ~budget p))
   in
   match gcd_outcome with
@@ -469,7 +526,11 @@ and analyze_problem st ~self ~finish problem =
             end
             else (false, info)
           in
-          let key = Problem.to_key ~tag:(if self then 1 else 0) info.Canonical.problem in
+          (* Borrowed scratch key: every cache backend copies it on a
+             miss before computing, and the hit path discards it. *)
+          let key =
+            Problem.to_key_scratch ~tag:(if self then 1 else 0) info.Canonical.problem
+          in
           let deliver value =
             let out = reinsert_outcome info value in
             finish (if mirrored then mirror_outcome out else out)

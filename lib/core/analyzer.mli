@@ -178,7 +178,11 @@ type cache = {
   find_or_add_gcd :
     int array -> (unit -> Gcd_test.outcome) -> Gcd_test.outcome * bool;
       (** [(value, was_hit)]; must compute and store on a miss, and
-          store nothing when [compute] raises *)
+          store nothing when [compute] raises. The analyzer passes
+          scratch-buffer keys ({!Problem.to_key_scratch}) that later
+          lookups overwrite: an implementation that retains the key
+          must copy it {e before} invoking [compute] (nested lookups
+          during [compute] reuse the buffer) *)
   find_or_add_full : int array -> (unit -> outcome) -> outcome * bool;
   cache_stats : unit -> Memo_table.stats * Memo_table.stats;
       (** [(gcd, full)] occupancy and lookup/hit counters *)
@@ -191,6 +195,41 @@ val memory_cache : unit -> cache
 (** A fresh pair of in-process {!Memo_table}s — the backend {!analyze}
     uses when no cache is supplied. Not safe to share across domains
     without external locking. *)
+
+type shared
+(** One gcd + one full lock-striped {!Sharded_table} pair, safe to
+    query live from every worker domain of a parallel run. This is the
+    live-sharing alternative to per-domain sessions merged after the
+    fact: a cross-item repeat is a hit the moment any domain has
+    computed it. *)
+
+val create_shared : ?stripes:int -> unit -> shared
+
+val shared_cache : shared -> cache
+(** The shared tables as a {!cache}. [cache_stats] aggregates across
+    stripes and across every domain that used the cache — do not feed
+    it to {!analyze} directly (its per-item delta arithmetic is racy on
+    a shared backend); wrap it in {!counted_cache} per item instead. *)
+
+val counted_cache : cache -> cache
+(** Wrap a cache with query-local counters, for per-item reporting
+    over a shared backend: full-table lookups are a pure function of
+    the item and stay jobs-invariant; hits — and with them the gcd
+    traffic, which only happens on full-table misses — depend on what
+    the shared tables already held (scheduling-dependent at
+    [--jobs > 1]); the occupancy slot counts this wrapper's completed
+    misses. The wrapper is not itself domain-safe — one wrapper per
+    item. *)
+
+val shared_table_stats : shared -> Memo_table.stats * Memo_table.stats
+(** [(gcd, full)] aggregated over stripes. Sizes (distinct problems)
+    are jobs-invariant, as are full-table lookup totals; gcd lookup
+    and all hit totals depend on cross-domain timing and are only
+    deterministic at [--jobs 1]. *)
+
+val shared_contended : shared -> int
+(** Total stripe-lock acquisitions (both tables) that had to block —
+    the live-sharing cost signal ([memo.stripe.contended]). *)
 
 val memo_format_version : int
 (** Version of the marshaled memo key/value representation (the same
@@ -211,8 +250,10 @@ val analyze :
     session — the analyzer keeps no module-level mutable globals — so
     concurrent [analyze] calls, and [analyze_session] calls on
     {e distinct} sessions, are safe from different domains. A single
-    session must not be shared across domains ([Dda_engine.Batch] gives
-    each domain its own and merges afterwards).
+    session must not be shared across domains; cross-domain sharing
+    goes through a {!shared} cache ([Dda_engine.Batch]'s live mode),
+    or each domain gets its own session merged afterwards (the
+    merge-after oracle mode).
 
     [cancel] is a cooperative watchdog polled by the per-query budget
     every few dozen solver steps; returning [true] degrades the current

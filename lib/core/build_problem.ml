@@ -3,6 +3,159 @@ open Dda_numeric
 (* Index a site's loop variables: level k of site 1 occupies slot k,
    level k of site 2 occupies slot n1 + k; symbols come last. *)
 
+(* Is [v] one of the first [k] loop variables? Explicit parameters so
+   the scan compiles to a closure-free loop: [build] runs once per
+   site pair, which makes this module the whole batch's single largest
+   allocator — every spare block here is multiplied by O(sites^2). *)
+let rec mem_loops (loops : Affine.loop_ctx array) k v i =
+  i < k && (String.equal loops.(i).Affine.lvar v || mem_loops loops k v (i + 1))
+
+(* Per-domain workspace. The two [Symexpr.iter] callbacks are built
+   once per domain and thread their state through these mutable
+   fields: a fresh closure per iter call (the obvious style) costs
+   tens of megabytes over a batch. *)
+type ctx = {
+  mutable c_loops : Affine.loop_ctx array;  (* site whose vars resolve *)
+  mutable c_limit : int;  (* note: how many leading loop vars in scope *)
+  mutable c_base : int;  (* accum: slot of the site's level-0 variable *)
+  mutable c_syms : string list;  (* discovery order, reversed *)
+  mutable c_sym_arr : string array;
+  mutable c_sym_base : int;
+  mutable c_coeffs : Zint.t array;
+  mutable c_sign : int;
+  mutable c_note : string -> Zint.t -> unit;
+  mutable c_acc : string -> Zint.t -> unit;
+}
+
+(* Collect symbols: every Symexpr variable that is not an in-scope
+   loop variable of the current site. *)
+let note_sym ctx v (_ : Zint.t) =
+  if (not (mem_loops ctx.c_loops ctx.c_limit v 0)) && not (List.mem v ctx.c_syms)
+  then ctx.c_syms <- v :: ctx.c_syms
+
+let rec sym_slot (syms : string array) base v i =
+  if i >= Array.length syms then -1
+  else if String.equal syms.(i) v then base + i
+  else sym_slot syms base v (i + 1)
+
+let rec loop_slot (loops : Affine.loop_ctx array) base v k =
+  if k >= Array.length loops then -1
+  else if String.equal loops.(k).Affine.lvar v then base + k
+  else loop_slot loops base v (k + 1)
+
+(* Accumulate [c_sign * coeff] into the slot for [v]. Loop variables
+   shadow symbols of the same name (cannot happen after versioning,
+   but keep the lookup order sane). *)
+let accum_term ctx v c =
+  let i =
+    match loop_slot ctx.c_loops ctx.c_base v 0 with
+    | -1 -> sym_slot ctx.c_sym_arr ctx.c_sym_base v 0
+    | i -> i
+  in
+  assert (i >= 0);
+  ctx.c_coeffs.(i) <-
+    (if ctx.c_sign > 0 then Zint.add ctx.c_coeffs.(i) c
+     else Zint.sub ctx.c_coeffs.(i) c)
+
+let fresh_ctx () =
+  let ctx =
+    {
+      c_loops = [||];
+      c_limit = 0;
+      c_base = 0;
+      c_syms = [];
+      c_sym_arr = [||];
+      c_sym_base = 0;
+      c_coeffs = [||];
+      c_sign = 1;
+      c_note = (fun _ _ -> ());
+      c_acc = (fun _ _ -> ());
+    }
+  in
+  ctx.c_note <- note_sym ctx;
+  ctx.c_acc <- accum_term ctx;
+  ctx
+
+let ctx_key = Domain.DLS.new_key fresh_ctx
+
+let note_one ctx loops limit e =
+  ctx.c_loops <- loops;
+  ctx.c_limit <- limit;
+  Symexpr.iter ctx.c_note e
+
+let rec note_subs ctx loops limit = function
+  | [] -> ()
+  | Some e :: rest ->
+    note_one ctx loops limit e;
+    note_subs ctx loops limit rest
+  | None :: rest -> note_subs ctx loops limit rest
+
+(* The level-[k] bounds may only refer to the [k] outer loop
+   variables, so the membership scan is bounded per call site. *)
+let note_bounds ctx (loops : Affine.loop_ctx array) =
+  for k = 0 to Array.length loops - 1 do
+    let c = loops.(k) in
+    (match c.Affine.lb with Some e -> note_one ctx loops k e | None -> ());
+    match c.Affine.ub with Some e -> note_one ctx loops k e | None -> ()
+  done
+
+(* Accumulate [sign * e] into [coeffs] (one pass over the coeff map,
+   no variable-list detour); returns the signed constant. *)
+let accum ctx loops base sign coeffs e =
+  ctx.c_loops <- loops;
+  ctx.c_base <- base;
+  ctx.c_sign <- sign;
+  ctx.c_coeffs <- coeffs;
+  Symexpr.iter ctx.c_acc e;
+  if sign > 0 then Symexpr.const_part e else Zint.neg (Symexpr.const_part e)
+
+(* Equalities: sub1_d(x) - sub2_d(x') = 0, built in a single array per
+   dimension. Subscript lists were length-checked by [build]. *)
+let rec build_eqs ctx loops1 loops2 n1 nvars subs1 subs2 =
+  match (subs1, subs2) with
+  | [], _ | _, [] -> []
+  | e1 :: r1, e2 :: r2 ->
+    let e1 = Option.get e1 and e2 = Option.get e2 in
+    let coeffs = Array.make nvars Zint.zero in
+    let k1 = accum ctx loops1 0 1 coeffs e1 in
+    let nk2 = accum ctx loops2 n1 (-1) coeffs e2 in
+    { Consys.coeffs; rhs = Zint.sub (Zint.neg nk2) k1 }
+    :: build_eqs ctx loops1 loops2 n1 nvars r1 r2
+
+(* Bounds rows for each loop level, in the order the rest of the
+   system depends on (level ascending, lower before upper): built
+   back-to-front by prepending. *)
+let bounds_for ctx (loops : Affine.loop_ctx array) base nvars =
+  let rec go k acc =
+    if k < 0 then acc
+    else begin
+      let c = loops.(k) in
+      let subject = base + k in
+      let acc =
+        match c.Affine.ub with
+        | Some ub ->
+          (* var <= ub  ==>  var - ub <= 0 *)
+          let coeffs = Array.make nvars Zint.zero in
+          let const = accum ctx loops base (-1) coeffs ub in
+          coeffs.(subject) <- Zint.add coeffs.(subject) Zint.one;
+          { Problem.row = { Consys.coeffs; rhs = Zint.neg const }; subject } :: acc
+        | None -> acc
+      in
+      let acc =
+        match c.Affine.lb with
+        | Some lb ->
+          (* lb <= var  ==>  lb - var <= 0 *)
+          let coeffs = Array.make nvars Zint.zero in
+          let const = accum ctx loops base 1 coeffs lb in
+          coeffs.(subject) <- Zint.sub coeffs.(subject) Zint.one;
+          { Problem.row = { Consys.coeffs; rhs = Zint.neg const }; subject } :: acc
+        | None -> acc
+      in
+      go (k - 1) acc
+    end
+  in
+  go (Array.length loops - 1) []
+
 let build (s1 : Affine.site) (s2 : Affine.site) =
   if not (Affine.analyzable s1 && Affine.analyzable s2) then None
   else if List.length s1.subscripts <> List.length s2.subscripts then None
@@ -10,103 +163,20 @@ let build (s1 : Affine.site) (s2 : Affine.site) =
     let loops1 = Array.of_list s1.loops and loops2 = Array.of_list s2.loops in
     let n1 = Array.length loops1 and n2 = Array.length loops2 in
     let ncommon = Affine.common_loops s1 s2 in
-    (* Collect symbols from both sites' subscripts and bounds: every
-       Symexpr variable that is not an enclosing loop variable. *)
-    let syms = ref [] in
-    let note_syms loop_vars e =
-      List.iter
-        (fun v ->
-           if (not (List.mem v loop_vars)) && not (List.mem v !syms) then
-             syms := v :: !syms)
-        (Symexpr.vars e)
-    in
-    let site_loop_vars (loops : Affine.loop_ctx array) =
-      Array.to_list (Array.map (fun c -> c.Affine.lvar) loops)
-    in
-    let lv1 = site_loop_vars loops1 and lv2 = site_loop_vars loops2 in
-    List.iter (Option.iter (note_syms lv1)) s1.subscripts;
-    List.iter (Option.iter (note_syms lv2)) s2.subscripts;
-    Array.iteri
-      (fun k (c : Affine.loop_ctx) ->
-         let outer = List.filteri (fun i _ -> i < k) lv1 in
-         Option.iter (note_syms outer) c.lb;
-         Option.iter (note_syms outer) c.ub)
-      loops1;
-    Array.iteri
-      (fun k (c : Affine.loop_ctx) ->
-         let outer = List.filteri (fun i _ -> i < k) lv2 in
-         Option.iter (note_syms outer) c.lb;
-         Option.iter (note_syms outer) c.ub)
-      loops2;
-    let syms = Array.of_list (List.rev !syms) in
+    let ctx = Domain.DLS.get ctx_key in
+    ctx.c_syms <- [];
+    (* Symbols from both sites' subscripts and bounds. *)
+    note_subs ctx loops1 n1 s1.subscripts;
+    note_subs ctx loops2 n2 s2.subscripts;
+    note_bounds ctx loops1;
+    note_bounds ctx loops2;
+    let syms = Array.of_list (List.rev ctx.c_syms) in
     let nsym = Array.length syms in
     let nvars = n1 + n2 + nsym in
-    let sym_index v =
-      let rec go i = if i >= nsym then None else if String.equal syms.(i) v then Some (n1 + n2 + i) else go (i + 1) in
-      go 0
-    in
-    let index_for ~which v =
-      (* Loop variables shadow symbols of the same name (cannot happen
-         after versioning, but keep the lookup order sane). *)
-      let loops, base = if which = `One then (loops1, 0) else (loops2, n1) in
-      let rec find k =
-        if k >= Array.length loops then None
-        else if String.equal loops.(k).Affine.lvar v then Some (base + k)
-        else find (k + 1)
-      in
-      match find 0 with
-      | Some i -> Some i
-      | None -> sym_index v
-    in
-    let row_of ~which e extra =
-      (* Build sum coeffs . x from a symbolic expression; [extra] lets
-         callers add the subject variable's own coefficient. Returns
-         (coeffs, const). *)
-      let coeffs = Array.make nvars Zint.zero in
-      List.iter
-        (fun v ->
-           match index_for ~which v with
-           | Some i -> coeffs.(i) <- Zint.add coeffs.(i) (Symexpr.coeff e v)
-           | None -> assert false)
-        (Symexpr.vars e);
-      List.iter (fun (i, c) -> coeffs.(i) <- Zint.add coeffs.(i) c) extra;
-      (coeffs, Symexpr.const_part e)
-    in
-    (* Equalities: sub1_d(x) - sub2_d(x') = 0. *)
-    let eqs =
-      List.map2
-        (fun e1 e2 ->
-           let e1 = Option.get e1 and e2 = Option.get e2 in
-           let c1, k1 = row_of ~which:`One e1 [] in
-           let c2, k2 = row_of ~which:`Two e2 [] in
-           let coeffs = Array.init nvars (fun i -> Zint.sub c1.(i) c2.(i)) in
-           { Consys.coeffs; rhs = Zint.sub k2 k1 })
-        s1.subscripts s2.subscripts
-    in
-    (* Bounds: for each loop level of each reference. *)
-    let bounds_for ~which (loops : Affine.loop_ctx array) base =
-      let out = ref [] in
-      Array.iteri
-        (fun k (c : Affine.loop_ctx) ->
-           let subject = base + k in
-           (match c.lb with
-            | Some lb ->
-              (* lb <= var  ==>  lb - var <= 0 *)
-              let coeffs, const = row_of ~which lb [ (subject, Zint.minus_one) ] in
-              out := { Problem.row = { Consys.coeffs; rhs = Zint.neg const }; subject } :: !out
-            | None -> ());
-           match c.ub with
-           | Some ub ->
-             (* var <= ub  ==>  var - ub <= 0 *)
-             let coeffs, const =
-               row_of ~which (Symexpr.neg ub) [ (subject, Zint.one) ]
-             in
-             out := { Problem.row = { Consys.coeffs; rhs = Zint.neg const }; subject } :: !out
-           | None -> ())
-        loops;
-      List.rev !out
-    in
-    let ineqs = bounds_for ~which:`One loops1 0 @ bounds_for ~which:`Two loops2 n1 in
+    ctx.c_sym_arr <- syms;
+    ctx.c_sym_base <- n1 + n2;
+    let eqs = build_eqs ctx loops1 loops2 n1 nvars s1.subscripts s2.subscripts in
+    let ineqs = bounds_for ctx loops1 0 nvars @ bounds_for ctx loops2 n1 nvars in
     let names =
       Array.init nvars (fun i ->
           if i < n1 then loops1.(i).Affine.lvar

@@ -14,114 +14,180 @@ type stats = {
 
 let fresh_stats () = { eliminations = 0; max_rows = 0; branches = 0 }
 
-(* Dedup keys rows by their coefficient vector, structurally: a
-   combined hash of the Zint coefficients plus element-wise equality.
-   No per-row string rendering (the old scheme concatenated decimal
-   strings — an allocation hotspot and, in principle, ambiguous), and
-   no collision can corrupt a row: equality compares the vectors
-   themselves. The key aliases the row's own [coeffs] array, which is
-   never mutated after construction. *)
-module Row_tbl = Hashtbl.Make (struct
-  type t = Zint.t array
+(* Working rows live in a {!Row_arena}: the coefficient vector is the
+   [nvars]-wide arena slice at [off], so combining two rows allocates
+   arena slots (reused across runs) instead of a fresh array per
+   combination. Only the bound and the provenance are materialized. *)
+type arow = {
+  off : int;
+  arhs : Zint.t;
+  awhy : Cert.deriv;
+}
 
-  let equal a b =
-    Array.length a = Array.length b
-    && (let rec go i = i < 0 || (Zint.equal a.(i) b.(i) && go (i - 1)) in
-        go (Array.length a - 1))
+(* Per-domain solver workspace: the row arena plus the dedup table's
+   backing store, all reused run to run (a run resets them on entry;
+   nothing row-shaped escapes the solver — outcomes carry only witness
+   copies and derivations). [busy] guards against re-entrant runs on
+   the same domain, which would tear the arena; a nested run (none
+   exist today) would fall back to a private workspace. *)
+type ws = {
+  arena : Row_arena.t;
+  dtab : (int, int list ref) Hashtbl.t;  (* slice hash -> indices into dout *)
+  mutable dout : arow array;
+  mutable dlen : int;
+  mutable busy : bool;
+}
 
-  let hash a =
-    let h = ref (Array.length a) in
-    Array.iter (fun c -> h := (!h * 1000003) + Zint.hash c) a;
-    !h land max_int
-end)
+let dummy_arow = { off = 0; arhs = Zint.zero; awhy = Cert.Hyp 0 }
+
+let fresh_ws () =
+  {
+    arena = Row_arena.create ();
+    dtab = Hashtbl.create 64;
+    dout = Array.make 64 dummy_arow;
+    dlen = 0;
+    busy = false;
+  }
+
+let ws_key = Domain.DLS.new_key fresh_ws
+
+let with_ws f =
+  let ws = Domain.DLS.get ws_key in
+  if ws.busy then f (fresh_ws ())
+  else begin
+    ws.busy <- true;
+    Fun.protect ~finally:(fun () -> ws.busy <- false) (fun () -> f ws)
+  end
+
+let slice_num_used arena off n =
+  let used = ref 0 in
+  for i = off to off + n - 1 do
+    if not (Zint.is_zero (Row_arena.get arena i)) then incr used
+  done;
+  !used
+
+let dout_push ws r =
+  if ws.dlen = Array.length ws.dout then begin
+    let bigger = Array.make (2 * ws.dlen) dummy_arow in
+    Array.blit ws.dout 0 bigger 0 ws.dlen;
+    ws.dout <- bigger
+  end;
+  ws.dout.(ws.dlen) <- r;
+  ws.dlen <- ws.dlen + 1
 
 type dedup_result =
   | Contradiction of Cert.deriv
-  | Rows of Cert.drow list
+  | Rows of arow list
 
 (* Keep one row per coefficient vector (the tightest), drop trivially
-   true rows, and detect trivially false ones. *)
-let dedup rows =
-  let table : Cert.drow Row_tbl.t = Row_tbl.create 64 in
+   true rows, and detect trivially false ones. Keyed structurally on
+   the arena slice — a combined hash plus element-wise equality, so a
+   collision can never corrupt a row. Survivors come back in
+   first-seen order, independent of hash values. *)
+let dedup ws ~n rows =
+  Hashtbl.clear ws.dtab;
+  ws.dlen <- 0;
+  let arena = ws.arena in
   let contradiction = ref None in
   List.iter
-    (fun ({ Cert.row = r; why = _ } as dr : Cert.drow) ->
-       if Consys.num_vars_used r = 0 then begin
-         if Zint.is_negative r.rhs && !contradiction = None then
-           contradiction := Some dr.why
+    (fun (r : arow) ->
+       if slice_num_used arena r.off n = 0 then begin
+         if Zint.is_negative r.arhs && !contradiction = None then
+           contradiction := Some r.awhy
        end
-       else
-         match Row_tbl.find_opt table r.coeffs with
-         | Some prev when Zint.compare prev.row.rhs r.rhs <= 0 -> ()
-         | Some _ | None -> Row_tbl.replace table r.coeffs dr)
+       else begin
+         let h = Row_arena.hash_slice arena ~off:r.off ~len:n in
+         match Hashtbl.find_opt ws.dtab h with
+         | None ->
+           Hashtbl.add ws.dtab h (ref [ ws.dlen ]);
+           dout_push ws r
+         | Some bucket ->
+           let rec find = function
+             | [] ->
+               bucket := ws.dlen :: !bucket;
+               dout_push ws r
+             | j :: rest ->
+               if Row_arena.equal_slice arena ws.dout.(j).off r.off ~len:n then begin
+                 if Zint.compare ws.dout.(j).arhs r.arhs > 0 then ws.dout.(j) <- r
+               end
+               else find rest
+           in
+           find !bucket
+       end)
     rows;
   match !contradiction with
   | Some why -> Contradiction why
-  | None -> Rows (Row_tbl.fold (fun _ dr acc -> dr :: acc) table [])
+  | None ->
+    let rec collect i acc =
+      if i < 0 then acc else collect (i - 1) (ws.dout.(i) :: acc)
+    in
+    Rows (collect (ws.dlen - 1) [])
 
 type step = {
   var : int;
-  step_rows : Cert.drow list;  (* the rows mentioning [var] at its turn *)
+  step_rows : arow list;  (* the rows mentioning [var] at its turn *)
 }
 
 (* One combination row, with normalization fused in: the combined
-   coefficients are staged in [scratch] (one preallocated buffer per
-   solver run) while the gcd accumulates in the same pass, and exactly
-   one array is then allocated for the surviving row — instead of one
-   intermediate array per combination plus a second from the gcd map.
-   Without [tighten], dividing by the gcd only happens when it divides
-   the bound too, so the row stays equivalent over the rationals. With
-   [tighten], the bound is floored: sound for integer variables,
-   stronger than rational reasoning. Either change is exactly what
-   [Cert.Tighten] derives (exact division is flooring that loses
-   nothing), so the provenance records one [Tighten]. *)
-let combine ~budget ~tighten ~scratch (u : Cert.drow) (l : Cert.drow) v =
-  let n = Array.length u.row.coeffs in
-  let a = u.row.coeffs.(v) in
-  let b = Zint.neg l.row.coeffs.(v) in
+   coefficients are written straight into a fresh arena slice while
+   the gcd accumulates in the same pass, and dividing through by the
+   gcd rewrites that slice in place — no per-combination array, and no
+   second allocation for the normalized row. Without [tighten],
+   dividing by the gcd only happens when it divides the bound too, so
+   the row stays equivalent over the rationals. With [tighten], the
+   bound is floored: sound for integer variables, stronger than
+   rational reasoning. Either change is exactly what [Cert.Tighten]
+   derives (exact division is flooring that loses nothing), so the
+   provenance records one [Tighten]. *)
+let combine ws ~budget ~tighten ~n (u : arow) (l : arow) v =
+  let arena = ws.arena in
+  let a = Row_arena.get arena (u.off + v) in
+  let b = Zint.neg (Row_arena.get arena (l.off + v)) in
   (* b*u + a*l cancels v; both multipliers positive. *)
+  let off = Row_arena.alloc arena n in
   let g = ref Zint.zero in
   for i = 0 to n - 1 do
-    let c = Zint.add (Zint.mul b u.row.coeffs.(i)) (Zint.mul a l.row.coeffs.(i)) in
-    scratch.(i) <- c;
+    let c =
+      Zint.add
+        (Zint.mul b (Row_arena.get arena (u.off + i)))
+        (Zint.mul a (Row_arena.get arena (l.off + i)))
+    in
+    Row_arena.set arena (off + i) c;
     g := Zint.gcd !g c
   done;
   Budget.tick budget;
-  let rhs = Zint.add (Zint.mul b u.row.rhs) (Zint.mul a l.row.rhs) in
-  let why = Cert.Comb [ (b, u.why); (a, l.why) ] in
+  let rhs = Zint.add (Zint.mul b u.arhs) (Zint.mul a l.arhs) in
+  let why = Cert.Comb [ (b, u.awhy); (a, l.awhy) ] in
   let g = !g in
-  let dr =
-    if Zint.is_zero g || Zint.is_one g then
-      { Cert.row = { Consys.coeffs = Array.sub scratch 0 n; rhs }; why }
-    else if tighten then
-      {
-        Cert.row =
-          {
-            Consys.coeffs = Array.init n (fun i -> Zint.divexact scratch.(i) g);
-            rhs = Zint.fdiv rhs g;
-          };
-        why = Cert.Tighten why;
-      }
-    else if Zint.divides g rhs then
-      {
-        Cert.row =
-          {
-            Consys.coeffs = Array.init n (fun i -> Zint.divexact scratch.(i) g);
-            rhs = Zint.divexact rhs g;
-          };
-        why = Cert.Tighten why;
-      }
-    else { Cert.row = { Consys.coeffs = Array.sub scratch 0 n; rhs }; why }
+  let divide_through () =
+    for i = 0 to n - 1 do
+      Row_arena.set arena (off + i) (Zint.divexact (Row_arena.get arena (off + i)) g)
+    done
   in
-  Array.iter (Budget.check_coeff budget) dr.Cert.row.coeffs;
+  let dr =
+    if Zint.is_zero g || Zint.is_one g then { off; arhs = rhs; awhy = why }
+    else if tighten then begin
+      divide_through ();
+      { off; arhs = Zint.fdiv rhs g; awhy = Cert.Tighten why }
+    end
+    else if Zint.divides g rhs then begin
+      divide_through ();
+      { off; arhs = Zint.divexact rhs g; awhy = Cert.Tighten why }
+    end
+    else { off; arhs = rhs; awhy = why }
+  in
+  for i = 0 to n - 1 do
+    Budget.check_coeff budget (Row_arena.get arena (dr.off + i))
+  done;
   dr
 
 (* Eliminate [v]: pair every upper bound with each lower bound. *)
-let eliminate ~budget ~tighten ~scratch v rows =
+let eliminate ws ~budget ~tighten ~n v rows =
+  let arena = ws.arena in
   let uppers, lowers, rest =
     List.fold_left
-      (fun (u, l, r) (dr : Cert.drow) ->
-         let c = dr.row.coeffs.(v) in
+      (fun (u, l, r) (dr : arow) ->
+         let c = Row_arena.get arena (dr.off + v) in
          if Zint.is_positive c then (dr :: u, l, r)
          else if Zint.is_negative c then (u, dr :: l, r)
          else (u, l, dr :: r))
@@ -129,8 +195,8 @@ let eliminate ~budget ~tighten ~scratch v rows =
   in
   let combos =
     List.concat_map
-      (fun (u : Cert.drow) ->
-         List.map (fun (l : Cert.drow) -> combine ~budget ~tighten ~scratch u l v) lowers)
+      (fun (u : arow) ->
+         List.map (fun (l : arow) -> combine ws ~budget ~tighten ~n u l v) lowers)
       uppers
   in
   (uppers @ lowers, combos @ rest)
@@ -139,14 +205,21 @@ let eliminate ~budget ~tighten ~scratch v rows =
    integer bound used during back-substitution: [t_v <= fdiv r a] for
    [a > 0], [-t_v <= fdiv r |a|] (i.e. [t_v >= ceil(r/a)]) for
    [a < 0]. *)
-let tightened_bound_why (dr : Cert.drow) v =
-  assert (Consys.num_vars_used dr.row = 1);
-  if Zint.is_one (Zint.abs dr.row.coeffs.(v)) then dr.why
-  else Cert.Tighten dr.why
+let tightened_bound_why ws ~n (dr : arow) v =
+  assert (slice_num_used ws.arena dr.off n = 1);
+  if Zint.is_one (Zint.abs (Row_arena.get ws.arena (dr.off + v))) then dr.awhy
+  else Cert.Tighten dr.awhy
 
-let rec solve ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars rows =
+let arow_satisfies arena ~n point (r : arow) =
+  let acc = ref Zint.zero in
+  for i = 0 to n - 1 do
+    acc := Zint.add !acc (Zint.mul (Row_arena.get arena (r.off + i)) point.(i))
+  done;
+  Zint.compare !acc r.arhs <= 0
+
+let rec solve ws ~budget ~tighten ~stats ~depth ~ncuts ~nvars rows =
   Budget.tick budget ~cost:(List.length rows);
-  match dedup rows with
+  match dedup ws ~n:nvars rows with
   | Contradiction why -> Infeasible (Cert.Refute why)
   | Rows rows ->
     stats.max_rows <- max stats.max_rows (List.length rows);
@@ -155,8 +228,11 @@ let rec solve ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars rows =
        actually present, as in the paper. *)
     let used = Array.make nvars false in
     List.iter
-      (fun (dr : Cert.drow) ->
-         List.iter (fun i -> used.(i) <- true) (Consys.nonzero_vars dr.row))
+      (fun (dr : arow) ->
+         for i = 0 to nvars - 1 do
+           if not (Zint.is_zero (Row_arena.get ws.arena (dr.off + i))) then
+             used.(i) <- true
+         done)
       rows;
     let order = ref [] in
     for i = nvars - 1 downto 0 do
@@ -166,8 +242,8 @@ let rec solve ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars rows =
       | [] -> Ok (List.rev steps, rows)
       | v :: vs -> (
           stats.eliminations <- stats.eliminations + 1;
-          let mentioning, remaining = eliminate ~budget ~tighten ~scratch v rows in
-          match dedup remaining with
+          let mentioning, remaining = eliminate ws ~budget ~tighten ~n:nvars v rows in
+          match dedup ws ~n:nvars remaining with
           | Contradiction why -> Error why
           | Rows remaining ->
             stats.max_rows <- max stats.max_rows (List.length remaining);
@@ -180,33 +256,34 @@ let rec solve ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars rows =
        (* The residue is variable-free; dedup already rejected negative
           bounds, so the system is rationally feasible. *)
        assert (
-         List.for_all (fun (dr : Cert.drow) -> Consys.num_vars_used dr.row = 0) residue);
-       back_substitute ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars
+         List.for_all
+           (fun (dr : arow) -> slice_num_used ws.arena dr.off nvars = 0)
+           residue);
+       back_substitute ws ~budget ~tighten ~stats ~depth ~ncuts ~nvars
          ~original:rows steps)
 
-and back_substitute ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars ~original steps =
+and back_substitute ws ~budget ~tighten ~stats ~depth ~ncuts ~nvars ~original steps =
+  let arena = ws.arena in
   let values = Array.make nvars Qnum.zero in
   (* Walk the steps in reverse elimination order; the first variable
      visited has constant bounds. *)
   let rec assign ~first = function
     | [] ->
       let witness = Array.map Qnum.to_zint_exn values in
-      assert (
-        List.for_all (fun (dr : Cert.drow) -> Consys.satisfies witness dr.row) original);
+      assert (List.for_all (arow_satisfies arena ~n:nvars witness) original);
       Feasible witness
     | { var = v; step_rows } :: rest -> (
         Budget.tick budget ~cost:(List.length step_rows);
         let lo = ref None and hi = ref None in
         List.iter
-          (fun (dr : Cert.drow) ->
-             let r = dr.Cert.row in
-             let a = r.coeffs.(v) in
-             let sum = ref (Qnum.of_zint r.rhs) in
-             Array.iteri
-               (fun i c ->
-                  if i <> v && not (Zint.is_zero c) then
-                    sum := Qnum.sub !sum (Qnum.mul (Qnum.of_zint c) values.(i)))
-               r.coeffs;
+          (fun (dr : arow) ->
+             let a = Row_arena.get arena (dr.off + v) in
+             let sum = ref (Qnum.of_zint dr.arhs) in
+             for i = 0 to nvars - 1 do
+               let c = Row_arena.get arena (dr.off + i) in
+               if i <> v && not (Zint.is_zero c) then
+                 sum := Qnum.sub !sum (Qnum.mul (Qnum.of_zint c) values.(i))
+             done;
              let bound = Qnum.div !sum (Qnum.of_zint a) in
              if Zint.is_positive a then (
                match !hi with
@@ -243,8 +320,8 @@ and back_substitute ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars ~origi
                   (Cert.Refute
                      (Cert.Comb
                         [
-                          (Zint.one, tightened_bound_why hi_dr v);
-                          (Zint.one, tightened_bound_why lo_dr v);
+                          (Zint.one, tightened_bound_why ws ~n:nvars hi_dr v);
+                          (Zint.one, tightened_bound_why ws ~n:nvars lo_dr v);
                         ]))
               else if
                 depth <= 0 || stats.branches >= (Budget.limits budget).fm_branches
@@ -254,30 +331,30 @@ and back_substitute ~budget ~tighten ~stats ~scratch ~depth ~ncuts ~nvars ~origi
                    consecutive integers m and m+1. *)
                 stats.branches <- stats.branches + 1;
                 let m = Qnum.floor l in
-                let le_row =
-                  let coeffs = Array.make nvars Zint.zero in
-                  coeffs.(v) <- Zint.one;
-                  { Cert.row = { Consys.coeffs; rhs = m }; why = Cert.Cut ncuts }
-                in
+                let le_off = Row_arena.alloc arena nvars in
+                Row_arena.set arena (le_off + v) Zint.one;
+                let le_row = { off = le_off; arhs = m; awhy = Cert.Cut ncuts } in
+                let ge_off = Row_arena.alloc arena nvars in
+                Row_arena.set arena (ge_off + v) Zint.minus_one;
                 let ge_row =
-                  let coeffs = Array.make nvars Zint.zero in
-                  coeffs.(v) <- Zint.minus_one;
-                  {
-                    Cert.row = { Consys.coeffs; rhs = Zint.neg (Zint.succ m) };
-                    why = Cert.Cut ncuts;
-                  }
+                  { off = ge_off; arhs = Zint.neg (Zint.succ m); awhy = Cert.Cut ncuts }
                 in
+                (* Rows combined inside a branch die with it: pop the
+                   arena back once the subtree answers. *)
+                let stack_mark = Row_arena.mark arena in
                 let left =
-                  solve ~budget ~tighten ~stats ~scratch ~depth:(depth - 1)
+                  solve ws ~budget ~tighten ~stats ~depth:(depth - 1)
                     ~ncuts:(ncuts + 1) ~nvars (le_row :: original)
                 in
+                Row_arena.truncate arena stack_mark;
                 match left with
                 | Feasible _ as ok -> ok
                 | Infeasible _ | Unknown | Exhausted _ -> (
                     let right =
-                      solve ~budget ~tighten ~stats ~scratch ~depth:(depth - 1)
+                      solve ws ~budget ~tighten ~stats ~depth:(depth - 1)
                         ~ncuts:(ncuts + 1) ~nvars (ge_row :: original)
                     in
+                    Row_arena.truncate arena stack_mark;
                     match (left, right) with
                     | _, (Feasible _ as ok) -> ok
                     | Infeasible cl, Infeasible cr ->
@@ -298,15 +375,19 @@ let run_inner ?budget ?(tighten = false) ?stats (sys : Consys.t) =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   Failpoint.hit "fourier.solve";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  (* The combination scratch buffer: one per run, reused by every
-     elimination (including branch-and-bound recursion — combinations
-     are copied out before the solver recurses). Never module-level:
-     concurrent runs on different domains each get their own. *)
-  let scratch = Array.make sys.nvars Zint.zero in
+  with_ws @@ fun ws ->
+  Row_arena.reset ws.arena;
+  (* Hypotheses are staged into the arena up front; every derived row
+     follows them, so a run's rows occupy one contiguous region. *)
+  let rows =
+    List.mapi
+      (fun i (r : Consys.row) ->
+         { off = Row_arena.blit_from ws.arena r.coeffs; arhs = r.rhs; awhy = Cert.Hyp i })
+      sys.rows
+  in
   match
-    solve ~budget ~tighten ~stats ~scratch ~depth:(Budget.limits budget).fm_depth
-      ~ncuts:0 ~nvars:sys.nvars
-      (Cert.hyps_of_rows sys.rows)
+    solve ws ~budget ~tighten ~stats ~depth:(Budget.limits budget).fm_depth
+      ~ncuts:0 ~nvars:sys.nvars rows
   with
   | outcome -> outcome
   | exception Budget.Exhausted reason -> Exhausted reason

@@ -109,9 +109,12 @@ let find_or_add (t : _ t) key compute =
     Dda_obs.Metrics.incr m_hits;
     (e.value, true)
   | None ->
-    (* [compute] may raise (budget exhaustion mid-computation, injected
-       faults): nothing is stored then, so the table never caches a
-       half-computed value. *)
+    (* Copy before computing: the caller may have handed us a scratch
+       buffer ({!Problem.to_key_scratch}) that [compute] itself reuses
+       for nested lookups. [compute] may raise (budget exhaustion
+       mid-computation, injected faults): nothing is stored then, so
+       the table never caches a half-computed value. *)
+    let key = Array.copy key in
     let v = compute () in
     add_new t key h v;
     (v, false)

@@ -23,7 +23,9 @@ val add : 'a t -> int array -> 'a -> unit
 
 val find_or_add : 'a t -> int array -> (unit -> 'a) -> 'a * bool
 (** [(value, was_hit)]; computes and stores on a miss. The key is
-    hashed exactly once per call. *)
+    hashed exactly once per call, and never retained: on a miss it is
+    copied before [compute] runs, so callers may pass a reusable
+    scratch buffer ({!Problem.to_key_scratch}). *)
 
 val merge_into : into:'a t -> 'a t -> unit
 (** Absorb the second table into the first: the key sets are unioned

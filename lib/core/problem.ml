@@ -113,11 +113,34 @@ let write_header a off p ~neqs =
   List.iter (fun r -> o := write_eq a !o r) p.eqs;
   !o
 
-let key_without_bounds p =
-  let neqs = List.length p.eqs in
-  let a = Array.make (6 + (neqs * (nvars p + 1))) 0 in
+(* Per-domain scratch buffers for memo keys, one per exact length.
+   Most keys are discarded right after a table hit, so the hot path
+   borrows a reusable buffer instead of allocating; the buffer is only
+   valid until the next scratch-key call of the same length on the
+   same domain, and cache implementations copy before retaining. *)
+let scratch_key : (int, int array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let scratch n =
+  let tbl = Domain.DLS.get scratch_key in
+  match Hashtbl.find_opt tbl n with
+  | Some a -> a
+  | None ->
+    let a = Array.make n 0 in
+    Hashtbl.add tbl n a;
+    a
+
+let fill_key_without_bounds a p ~neqs =
   ignore (write_header a 0 p ~neqs);
   a
+
+let key_without_bounds p =
+  let neqs = List.length p.eqs in
+  fill_key_without_bounds (Array.make (6 + (neqs * (nvars p + 1))) 0) p ~neqs
+
+let key_without_bounds_scratch p =
+  let neqs = List.length p.eqs in
+  fill_key_without_bounds (scratch (6 + (neqs * (nvars p + 1)))) p ~neqs
 
 let swap p =
   let nv = nvars p in
@@ -164,16 +187,25 @@ let swap p =
     ineqs = List.map map_bound block2 @ List.map map_bound block1;
   }
 
-let to_key ?tag p =
-  let neqs = List.length p.eqs and nineqs = List.length p.ineqs in
-  let pre = match tag with Some _ -> 1 | None -> 0 in
-  let a = Array.make (pre + 7 + ((neqs + nineqs) * (nvars p + 1))) 0 in
+let fill_key a ?tag p ~neqs ~nineqs ~pre =
   (match tag with Some t -> a.(0) <- t | None -> ());
   let off = write_header a pre p ~neqs in
   a.(off) <- nineqs;
   let o = ref (off + 1) in
   List.iter (fun (b : bound) -> o := write_row a !o b.row) p.ineqs;
   a
+
+let to_key ?tag p =
+  let neqs = List.length p.eqs and nineqs = List.length p.ineqs in
+  let pre = match tag with Some _ -> 1 | None -> 0 in
+  let a = Array.make (pre + 7 + ((neqs + nineqs) * (nvars p + 1))) 0 in
+  fill_key a ?tag p ~neqs ~nineqs ~pre
+
+let to_key_scratch ?tag p =
+  let neqs = List.length p.eqs and nineqs = List.length p.ineqs in
+  let pre = match tag with Some _ -> 1 | None -> 0 in
+  let a = scratch (pre + 7 + ((neqs + nineqs) * (nvars p + 1))) in
+  fill_key a ?tag p ~neqs ~nineqs ~pre
 
 let pp fmt p =
   let names = p.names in

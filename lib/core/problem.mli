@@ -75,4 +75,14 @@ val key_without_bounds : t -> int array
 (** Serialization of the equalities only, keying the GCD-test memo
     table ("the GCD test does not make use of bounds"). *)
 
+val to_key_scratch : ?tag:int -> t -> int array
+val key_without_bounds_scratch : t -> int array
+(** Like {!to_key} / {!key_without_bounds}, but written into a buffer
+    owned by the calling domain and reused across calls: most keys are
+    discarded immediately after a memo-table hit, so the lookup path
+    borrows instead of allocating. The buffer is valid only until the
+    next [*_scratch] call of the same key length on the same domain —
+    anyone retaining the key past that (the memo tables, on a miss)
+    must copy it first; {!Analyzer.cache} implementations do. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+open Dda_numeric
+
+type t = {
+  mutable data : Zint.t array;
+  mutable len : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max 1 capacity in
+  { data = Array.make capacity Zint.zero; len = 0 }
+
+let length a = a.len
+let capacity a = Array.length a.data
+
+let grow a needed =
+  let cap = ref (Array.length a.data) in
+  while !cap < needed do
+    cap := 2 * !cap
+  done;
+  let data = Array.make !cap Zint.zero in
+  Array.blit a.data 0 data 0 a.len;
+  a.data <- data
+
+let alloc a n =
+  if n < 0 then invalid_arg "Row_arena.alloc: negative width";
+  let off = a.len in
+  if off + n > Array.length a.data then grow a (off + n);
+  (* Slots past a truncation point may hold stale values; hand out
+     zeroed slices so callers can accumulate in place. *)
+  Array.fill a.data off n Zint.zero;
+  a.len <- off + n;
+  off
+
+let get a i = a.data.(i)
+let set a i v = a.data.(i) <- v
+
+let blit_from a src =
+  let n = Array.length src in
+  let off = a.len in
+  if off + n > Array.length a.data then grow a (off + n);
+  Array.blit src 0 a.data off n;
+  a.len <- off + n;
+  off
+
+let mark a = a.len
+
+let truncate a m =
+  if m < 0 || m > a.len then invalid_arg "Row_arena.truncate: bad mark";
+  a.len <- m
+
+let reset a = a.len <- 0
+
+(* Matches the structural row hash the solver's dedup table always
+   used: seeded by the width, one multiplicative mix per element. *)
+let hash_slice a ~off ~len =
+  let h = ref len in
+  for i = off to off + len - 1 do
+    h := (!h * 1000003) + Zint.hash a.data.(i)
+  done;
+  !h land max_int
+
+let rec eq_slices (data : Zint.t array) i j k =
+  k < 0 || (Zint.equal data.(i + k) data.(j + k) && eq_slices data i j (k - 1))
+
+let equal_slice a i j ~len = eq_slices a.data i j (len - 1)

@@ -1,0 +1,61 @@
+(** A growable flat arena of {!Dda_numeric.Zint.t} slots backing
+    constraint-row coefficient vectors.
+
+    Fourier–Motzkin elimination manufactures one combination row per
+    upper/lower bound pair, and the test cascade replays thousands of
+    such eliminations per batch; allocating a fresh coefficient array
+    per row made the solver the analyzer's dominant allocator. Rows
+    staged here live in one flat buffer owned by the calling domain:
+    a solver run {!reset}s the arena once, {!alloc}ates slices as rows
+    are combined, and {!truncate}s back to a {!mark} when a
+    branch-and-bound subtree's rows die with the subtree.
+
+    The arena is a dumb region: it never reads row meaning, and slices
+    are plain [int] offsets the caller pairs with a width. Nothing is
+    freed individually — lifetime is strictly stack-shaped
+    (reset / mark / truncate), which is exactly the shape of the
+    elimination cascade. Not thread-safe: each domain owns its own. *)
+
+open Dda_numeric
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh arena. [capacity] (default 256) is the initial slot count;
+    the arena doubles as needed. *)
+
+val length : t -> int
+(** Slots currently in use. *)
+
+val capacity : t -> int
+(** Slots allocated (the high-water mark survives {!reset}). *)
+
+val alloc : t -> int -> int
+(** [alloc a n] reserves [n] slots, zero-filled, returning the offset
+    of the first. *)
+
+val get : t -> int -> Zint.t
+val set : t -> int -> Zint.t -> unit
+
+val blit_from : t -> Zint.t array -> int
+(** [blit_from a src] copies [src] into freshly allocated slots and
+    returns the slice offset: the bridge from materialized
+    {!Consys.row} coefficients into the arena. *)
+
+val mark : t -> int
+(** The current length, to {!truncate} back to. *)
+
+val truncate : t -> int -> unit
+(** Pop every slot at or past the mark. Slices allocated before the
+    mark are untouched.
+    @raise Invalid_argument if the mark exceeds the current length. *)
+
+val reset : t -> unit
+(** Pop everything ([truncate] to zero); capacity is retained. *)
+
+val hash_slice : t -> off:int -> len:int -> int
+(** Order-sensitive structural hash of a slice, compatible with
+    {!equal_slice}. *)
+
+val equal_slice : t -> int -> int -> len:int -> bool
+(** Element-wise equality of two equal-width slices. *)

@@ -53,6 +53,8 @@ let div_exact a k =
 let coeff a v = match Vm.find_opt v a.coeffs with Some c -> c | None -> Zint.zero
 let const_part a = a.const
 let vars a = Vm.bindings a.coeffs |> List.map fst
+let iter f a = Vm.iter f a.coeffs
+let exists_var p a = Vm.exists (fun v _ -> p v) a.coeffs
 
 let eval lookup a =
   Vm.fold (fun v c acc -> Zint.add acc (Zint.mul c (lookup v))) a.coeffs a.const

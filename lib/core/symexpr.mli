@@ -32,6 +32,14 @@ val const_part : t -> Zint.t
 val vars : t -> string list
 (** Variables with non-zero coefficients, sorted. *)
 
+val iter : (string -> Zint.t -> unit) -> t -> unit
+(** Visit every (variable, non-zero coefficient) pair in sorted
+    variable order, without materializing the list {!vars} builds. *)
+
+val exists_var : (string -> bool) -> t -> bool
+(** Does any variable (with a non-zero coefficient) satisfy the
+    predicate? Allocation-free. *)
+
 val is_const : t -> bool
 val to_const : t -> Zint.t option
 

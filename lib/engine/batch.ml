@@ -28,6 +28,7 @@ type result = {
   retried : int;
   merged : Analyzer.stats;
   table_stats : (Memo_table.stats * Memo_table.stats) option;
+  contended : int option;
 }
 
 let chunks ~jobs n =
@@ -41,12 +42,23 @@ let m_retries = Dda_obs.Metrics.counter "batch.retries"
 let m_quarantined = Dda_obs.Metrics.counter "batch.quarantined"
 
 let run ?(config = Analyzer.default_config) ?(share_memo = false)
-    ?(verify = false) ?(lint = false) ?(retries = 1) ?(backoff_ms = 50)
-    ?item_timeout_ms ~jobs items =
+    ?(memo_merge_after = false) ?(verify = false) ?(lint = false)
+    ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ~jobs items =
   if jobs < 1 then invalid_arg "Batch.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Batch.run: retries must be >= 0";
   if backoff_ms < 0 then invalid_arg "Batch.run: backoff_ms must be >= 0";
   let arr = Array.of_list items in
+  (* Live sharing is the default memo-sharing mode: one lock-striped
+     table pair every worker queries during the run, so a cross-item
+     repeat is a hit whichever domain computed it first. The per-chunk
+     session + merge-after path survives behind [memo_merge_after] as
+     the differential oracle (and is what [--jobs 1] sharing used to
+     mean — at one worker the two are equivalent). *)
+  let shared =
+    if share_memo && not memo_merge_after then Some (Analyzer.create_shared ())
+    else None
+  in
+  let shared_c = Option.map Analyzer.shared_cache shared in
   (* Verification replays the analyzer's own pair enumeration and
      checks the report actually produced — memoized or not. It runs
      under the same per-item deadline as the analysis. *)
@@ -101,9 +113,15 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
              Failpoint.hit "batch.item";
              let cancel = item_cancel () in
              let report =
-               match session with
-               | Some s -> Analyzer.analyze_session ~cancel s it.program
-               | None -> Analyzer.analyze ~config ~cancel it.program
+               match session, shared_c with
+               | Some s, _ -> Analyzer.analyze_session ~cancel s it.program
+               | None, Some c ->
+                 (* Each item counts its own lookups/hits over the
+                    shared backend; the raw aggregate would mix every
+                    domain's traffic into this item's delta. *)
+                 Analyzer.analyze ~config ~cancel
+                   ~cache:(Analyzer.counted_cache c) it.program
+               | None, None -> Analyzer.analyze ~config ~cancel it.program
              in
              ( report,
                verification cancel it.program report,
@@ -147,7 +165,9 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
        corpus length (see the interface's determinism contract), so
        retries and quarantines never reshuffle memo-sharing. *)
     let session =
-      if share_memo then Some (Analyzer.create_session ~config ()) else None
+      if share_memo && memo_merge_after then
+        Some (Analyzer.create_session ~config ())
+      else None
     in
     let results = Array.init (hi - lo) (fun k -> process session (lo + k)) in
     (results, session)
@@ -196,16 +216,28 @@ let run ?(config = Analyzer.default_config) ?(share_memo = false)
   let merged = Analyzer.fresh_stats () in
   List.iter (fun a -> Analyzer.merge_stats ~into:merged a.report.Analyzer.stats) items;
   let table_stats =
-    match List.filter_map snd per_chunk with
-    | [] -> None
-    | first :: rest ->
-      (* Per-call unique counts from [analyze_session] are cumulative
-         within a chunk, so their sum over-counts; replace them with the
-         distinct-problem counts of the merged (union) tables. *)
-      List.iter (fun s -> Analyzer.merge_sessions ~into:first s) rest;
-      let gcd_unique, full_unique = Analyzer.session_table_sizes first in
-      merged.Analyzer.memo_unique_nobounds <- gcd_unique;
-      merged.Analyzer.memo_unique_full <- full_unique;
-      Some (Analyzer.session_table_stats first)
+    match shared with
+    | Some sh ->
+      (* The shared tables already hold the corpus-wide union; their
+         sizes are the distinct-problem counts (racing domains that
+         both computed a key still stored it once). Summed per-item
+         misses can over-count exactly those races, so replace them. *)
+      let gcd_stats, full_stats = Analyzer.shared_table_stats sh in
+      merged.Analyzer.memo_unique_nobounds <- gcd_stats.Memo_table.size;
+      merged.Analyzer.memo_unique_full <- full_stats.Memo_table.size;
+      Some (gcd_stats, full_stats)
+    | None ->
+      (match List.filter_map snd per_chunk with
+       | [] -> None
+       | first :: rest ->
+         (* Per-call unique counts from [analyze_session] are cumulative
+            within a chunk, so their sum over-counts; replace them with the
+            distinct-problem counts of the merged (union) tables. *)
+         List.iter (fun s -> Analyzer.merge_sessions ~into:first s) rest;
+         let gcd_unique, full_unique = Analyzer.session_table_sizes first in
+         merged.Analyzer.memo_unique_nobounds <- gcd_unique;
+         merged.Analyzer.memo_unique_full <- full_unique;
+         Some (Analyzer.session_table_stats first))
   in
-  { items; quarantined; retried; merged; table_stats }
+  let contended = Option.map Analyzer.shared_contended shared in
+  { items; quarantined; retried; merged; table_stats; contended }

@@ -10,15 +10,24 @@
     {b Determinism.} In the default mode every program is analyzed
     independently (its own memo tables, exactly the sequential
     {!Analyzer.analyze} path), so reports {e and} merged statistics are
-    byte-identical whatever [jobs] is. With [share_memo] each domain
-    instead threads one {!Analyzer.session} through its whole chunk
-    (the paper's cross-compilation memoization): verdicts and direction
-    vectors are unchanged — memoization never alters answers — but
-    memo-hit and tests-run counters then depend on how the corpus was
-    chunked, i.e. on [jobs] (still deterministically so for a fixed
-    corpus and [jobs]). The per-domain sessions are merged with
-    {!Analyzer.merge_sessions} and the merged statistics report the
-    union's distinct-problem counts.
+    byte-identical whatever [jobs] is. With [share_memo] every worker
+    queries one {e live-shared} lock-striped table pair
+    ({!Analyzer.shared}) during the run: verdicts, direction vectors
+    and distinct-problem counts are unchanged at any [jobs] —
+    memoization never alters answers, and the shared tables hold the
+    same key set the post-run union would — but memo-{e hit} counters
+    (and the gcd-table traffic, which only happens on full-table
+    misses) then depend on cross-domain timing, so they are only
+    deterministic at [--jobs 1]. With [memo_merge_after] (implies [share_memo]) each
+    domain instead threads one {!Analyzer.session} through its whole
+    chunk and the per-domain sessions are merged with
+    {!Analyzer.merge_sessions} afterwards — the pre-live behaviour,
+    kept as a differential oracle: same verdicts, same distinct-problem
+    counts, hit counters deterministic for a fixed corpus and [jobs]
+    (they depend only on the chunking), but cross-item repeats that
+    land on different domains are recomputed instead of hitting. In
+    both modes the merged statistics report the union's
+    distinct-problem counts.
 
     {b Fault isolation.} A worker exception on one item — an analyzer
     bug, an injected {!Dda_core.Failpoint} failure — never aborts the
@@ -71,9 +80,14 @@ type result = {
       (** totals over [items] only ({!Analyzer.merge_stats}) *)
   table_stats : (Memo_table.stats * Memo_table.stats) option;
       (** with [share_memo]: [(gcd, full)] {!Dda_core.Memo_table.stats}
-          of the merged corpus-wide tables — entry and bucket counts
-          plus lifetime lookup/hit counters summed over every worker
+          of the corpus-wide tables — the live-shared pair's aggregated
+          stripe stats, or (with [memo_merge_after]) the merged union
+          tables with lookup/hit counters summed over every worker
           session. [None] in the independent mode. *)
+  contended : int option;
+      (** live-shared mode only: stripe-lock acquisitions that had to
+          block ({!Analyzer.shared_contended}) — a load signal, never
+          deterministic. [None] otherwise. *)
 }
 
 val chunks : jobs:int -> int -> (int * int) list
@@ -84,6 +98,7 @@ val chunks : jobs:int -> int -> (int * int) list
 val run :
   ?config:Analyzer.config ->
   ?share_memo:bool ->
+  ?memo_merge_after:bool ->
   ?verify:bool ->
   ?lint:bool ->
   ?retries:int ->
@@ -93,7 +108,11 @@ val run :
   item list ->
   result
 (** Analyze the corpus on [jobs] domains. [share_memo] defaults to
-    [false] (the fully [jobs]-independent mode described above).
+    [false] (the fully [jobs]-independent mode described above); when
+    set, workers share the memo tables live unless [memo_merge_after]
+    (default [false]) selects the per-domain-sessions-merged-at-the-end
+    oracle mode instead ([memo_merge_after] without [share_memo] is
+    ignored).
     [verify] (default [false]) certificate-checks each program's
     report on its worker domain and fills [verification]. [lint]
     (default [false]) classifies each program's dependences and

@@ -167,8 +167,8 @@ let md5_hex s = Digest.to_hex (Digest.string s)
    static, retrying cannot change the answer. Returns the source-text
    digest alongside the outcome ("" when the text was never obtained),
    which becomes the journal's corpus key. *)
-let process ~config ~verify ~lint ~retries ~backoff_ms ~item_timeout_ms ~idx it
-    =
+let process ~config ~cache ~verify ~lint ~retries ~backoff_ms ~item_timeout_ms
+    ~idx it =
   Dda_obs.Metrics.incr m_items;
   let verification cancel program report =
     if not verify then None
@@ -211,7 +211,16 @@ let process ~config ~verify ~lint ~retries ~backoff_ms ~item_timeout_ms ~idx it
           key := md5_hex text;
           let program = parse it.name text in
           let cancel = item_cancel () in
-          let report = Analyzer.analyze ~config ~cancel program in
+          let report =
+            match cache with
+            | Some c ->
+              (* Live-shared memo tables: each item wraps the shared
+                 backend with its own counters so its reported lookup
+                 totals stay a pure function of the item. *)
+              Analyzer.analyze ~config ~cancel
+                ~cache:(Analyzer.counted_cache c) program
+            | None -> Analyzer.analyze ~config ~cancel program
+          in
           ( report,
             verification cancel program report,
             lint_summary cancel program report ))
@@ -264,9 +273,14 @@ let journal_version = 1
 
 (* [lint] is part of the fingerprint because it changes the rendered
    output (and the journaled finding counts) — a journal written
-   without lint must not satisfy a resume that asks for it. *)
-let config_digest ?(lint = false) config ~verify =
-  if lint then md5_hex (Marshal.to_string (config, verify, lint) [])
+   without lint must not satisfy a resume that asks for it. So is
+   [share_memo]: live sharing changes the per-item memo statistics the
+   records carry. Both fold in only when set, so digests of journals
+   written before the flags existed still validate. *)
+let config_digest ?(lint = false) ?(share_memo = false) config ~verify =
+  if share_memo then
+    md5_hex (Marshal.to_string (config, verify, lint, share_memo) [])
+  else if lint then md5_hex (Marshal.to_string (config, verify, lint) [])
   else md5_hex (Marshal.to_string (config, verify) [])
 
 type jrecord = {
@@ -469,15 +483,23 @@ let journal_records path = (validate_journal path).jrecords
 (* The driver                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
-    ?(retries = 1) ?(backoff_ms = 50) ?item_timeout_ms ?journal
-    ?(resume = false) ?(stop = fun () -> false) ~jobs ~render ~emit source =
+let run ?(config = Analyzer.default_config) ?(share_memo = false)
+    ?(verify = false) ?(lint = false) ?(retries = 1) ?(backoff_ms = 50)
+    ?item_timeout_ms ?journal ?(resume = false) ?(stop = fun () -> false) ~jobs
+    ~render ~emit source =
   if jobs < 1 then invalid_arg "Stream.run: jobs must be >= 1";
   if retries < 0 then invalid_arg "Stream.run: retries must be >= 0";
   if backoff_ms < 0 then invalid_arg "Stream.run: backoff_ms must be >= 0";
   if resume && journal = None then
     invalid_arg "Stream.run: resume requires a journal";
-  let cfg_digest = config_digest ~lint config ~verify in
+  let cfg_digest = config_digest ~lint ~share_memo config ~verify in
+  (* The live-shared tables are bounded by the corpus's distinct
+     problems, not its length: the one piece of state that deliberately
+     outlives the sliding window. *)
+  let cache =
+    if share_memo then Some (Analyzer.shared_cache (Analyzer.create_shared ()))
+    else None
+  in
   let nreplay =
     match journal with
     | Some path when resume ->
@@ -611,8 +633,8 @@ let run ?(config = Analyzer.default_config) ?(verify = false) ?(lint = false)
                   ( idx,
                     it.name,
                     Pool.submit pool (fun () ->
-                        process ~config ~verify ~lint ~retries ~backoff_ms
-                          ~item_timeout_ms ~idx it) )
+                        process ~config ~cache ~verify ~lint ~retries
+                          ~backoff_ms ~item_timeout_ms ~idx it) )
                   pending
             done
           in

@@ -11,11 +11,19 @@
     flight, so peak memory is a function of [jobs] and the largest
     single item, never of corpus length.
 
-    {b Determinism.} Items are analyzed independently (no session
-    sharing — [--share-memo] does not exist here), results are emitted
-    in input order, and the per-item counters are per-corpus-item
-    events, so output and metrics are byte-identical whatever [jobs]
-    is, exactly as in {!Batch}'s default mode.
+    {b Determinism.} By default items are analyzed independently,
+    results are emitted in input order, and the per-item counters are
+    per-corpus-item events, so output and metrics are byte-identical
+    whatever [jobs] is, exactly as in {!Batch}'s default mode. With
+    [share_memo] every worker queries one live-shared lock-striped
+    table pair ({!Analyzer.shared}) for the whole run: verdicts and
+    direction vectors are unchanged at any [jobs], but per-item
+    memo-{e hit} counts (and so the JSON renderings and the summary's
+    hit totals) depend on cross-domain timing at [jobs > 1], and a
+    resumed run re-analyzes its remaining items against a table that
+    never saw the replayed ones — replayed chunks are still emitted
+    byte-for-byte, and only hit counters can differ from a clean run.
+    [share_memo] participates in the journal fingerprint.
 
     {b Journal.} With [journal], every completed item is appended to a
     JSONL write-ahead journal — its corpus position, name, a digest of
@@ -118,6 +126,7 @@ type summary = {
 
 val run :
   ?config:Analyzer.config ->
+  ?share_memo:bool ->
   ?verify:bool ->
   ?lint:bool ->
   ?retries:int ->
@@ -159,11 +168,13 @@ val run :
 
 (** {1 Journal internals, exposed for tests} *)
 
-val config_digest : ?lint:bool -> Analyzer.config -> verify:bool -> string
+val config_digest :
+  ?lint:bool -> ?share_memo:bool -> Analyzer.config -> verify:bool -> string
 (** The configuration fingerprint stored in the journal header.
     [lint] (default [false]) participates because it changes the
-    rendered output; with it off the digest matches journals written
-    before lint existed. *)
+    rendered output, [share_memo] (default [false]) because it changes
+    the journaled per-item memo statistics; with both off the digest
+    matches journals written before either flag existed. *)
 
 val journal_records : string -> int
 (** Validate a journal file exactly as [resume] does and return the

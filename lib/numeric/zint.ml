@@ -296,13 +296,22 @@ let is_small = function Small _ -> true | Big _ -> false
 (* Arithmetic.                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Canonical values are already shared blocks; whenever the result of
+   an operation is mathematically identical to an operand (or to the
+   interned [zero]), return that block instead of rebuilding it. The
+   analyzer's hot loops fold into zero-initialized coefficient arrays
+   and combine mostly-zero sparse rows, so these identities fire on a
+   large fraction of calls. *)
+
 let neg = function
+  | Small 0 as z -> z
   | Small v -> small (-v) (* |v| <= max_small < max_int: never wraps *)
   | Big b -> Big { b with sign = -b.sign }
 
-let abs = function
-  | Small v -> if v < 0 then small (-v) else small v
-  | Big b -> Big { b with sign = Stdlib.abs b.sign }
+let abs a =
+  match a with
+  | Small v -> if v < 0 then small (-v) else a
+  | Big b -> if b.sign >= 0 then a else Big { b with sign = -b.sign }
 
 let big_add (a : big) (b : big) =
   if a.sign = 0 then mk_t b.sign b.mag
@@ -317,6 +326,8 @@ let big_add (a : big) (b : big) =
 
 let add a b =
   match (a, b) with
+  | Small 0, _ -> b
+  | _, Small 0 -> a
   | Small x, Small y ->
     (* |x|, |y| <= max_small = max_int/2, so x + y never wraps. *)
     let s = x + y in
@@ -325,6 +336,7 @@ let add a b =
 
 let sub a b =
   match (a, b) with
+  | _, Small 0 -> a
   | Small x, Small y ->
     let s = x - y in
     if fits_small s then small s else Big (big_of_int s)
@@ -334,6 +346,9 @@ let big_mul a b = mk_t (a.sign * b.sign) (mmul a.mag b.mag)
 
 let mul a b =
   match (a, b) with
+  | Small 0, _ | _, Small 0 -> zero
+  | Small 1, _ -> b
+  | _, Small 1 -> a
   | Small x, Small y ->
     if x = 0 || y = 0 then zero
     else begin
@@ -346,9 +361,14 @@ let mul a b =
   | _ -> big_mul (to_big a) (to_big b)
 
 let mul_int a d =
-  match a with
-  | Small _ -> mul a (of_int d)
-  | Big b -> if d >= 0 && d < base then mk_t b.sign (mmul_small b.mag d) else mul a (of_int d)
+  if d = 0 then zero
+  else if d = 1 then a
+  else
+    match a with
+    | Small _ -> mul a (of_int d)
+    | Big b ->
+      if d >= 0 && d < base then mk_t b.sign (mmul_small b.mag d)
+      else mul a (of_int d)
 
 let succ z = add z one
 let pred z = sub z one
@@ -379,6 +399,7 @@ let rem a b =
 
 let fdiv a b =
   match (a, b) with
+  | _, Small 1 -> a
   | Small x, Small y ->
     let q = x / y and r = x mod y in
     (* [r <> 0] implies |q| < max_small (a full-magnitude quotient
@@ -391,6 +412,7 @@ let fdiv a b =
 
 let cdiv a b =
   match (a, b) with
+  | _, Small 1 -> a
   | Small x, Small y ->
     let q = x / y and r = x mod y in
     if r <> 0 && (r < 0) = (y < 0) then small (q + 1) else small q
@@ -400,6 +422,7 @@ let cdiv a b =
 
 let divexact a b =
   match (a, b) with
+  | _, Small 1 -> a
   | Small x, Small y when y <> 0 ->
     if x mod y <> 0 then failwith "Zint.divexact: inexact division";
     small (x / y)
@@ -418,6 +441,8 @@ let rec gcd_mag a b = if mis_zero b then a else gcd_mag b (snd (mdivmod a b))
 
 let gcd a b =
   match (a, b) with
+  | Small 0, _ -> abs b
+  | _, Small 0 -> abs a
   | Small x, Small y ->
     let rec go a b = if b = 0 then a else go b (a mod b) in
     small (go (Stdlib.abs x) (Stdlib.abs y))

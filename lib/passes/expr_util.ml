@@ -14,38 +14,44 @@ let rec map_sharing f l =
     let tl' = map_sharing f tl in
     if x' == x && tl' == tl then l else x' :: tl'
 
+(* Top-level (not a per-call closure): the rewriters below run on every
+   node of every program once per pass per round, so even a spare
+   closure allocation per visited node shows up in whole-batch
+   profiles. *)
+let remake (e : Ast.expr) desc = { e with Ast.desc = desc }
+let remake_stmt (s : Ast.stmt) sdesc = { s with Ast.sdesc = sdesc }
+
 let rec const_fold (e : Ast.expr) : Ast.expr =
-  let mk desc = { e with Ast.desc } in
   match e.desc with
   | Ast.Int _ | Ast.Var _ -> e
   | Ast.Neg a -> (
       let a' = const_fold a in
       match a'.desc with
-      | Ast.Int n -> mk (Ast.Int (-n))
+      | Ast.Int n -> remake e (Ast.Int (-n))
       | Ast.Neg b -> b
-      | _ -> if a' == a then e else mk (Ast.Neg a'))
+      | _ -> if a' == a then e else remake e (Ast.Neg a'))
   | Ast.Aref (name, subs) ->
     let subs' = map_sharing const_fold subs in
-    if subs' == subs then e else mk (Ast.Aref (name, subs'))
+    if subs' == subs then e else remake e (Ast.Aref (name, subs'))
   | Ast.Bin (op, a, b) -> (
       let a = const_fold a and b = const_fold b in
       match (op, a.desc, b.desc) with
-      | Ast.Add, Ast.Int x, Ast.Int y -> mk (Ast.Int (x + y))
-      | Ast.Sub, Ast.Int x, Ast.Int y -> mk (Ast.Int (x - y))
-      | Ast.Mul, Ast.Int x, Ast.Int y -> mk (Ast.Int (x * y))
-      | Ast.Div, Ast.Int x, Ast.Int y when y <> 0 -> mk (Ast.Int (x / y))
+      | Ast.Add, Ast.Int x, Ast.Int y -> remake e (Ast.Int (x + y))
+      | Ast.Sub, Ast.Int x, Ast.Int y -> remake e (Ast.Int (x - y))
+      | Ast.Mul, Ast.Int x, Ast.Int y -> remake e (Ast.Int (x * y))
+      | Ast.Div, Ast.Int x, Ast.Int y when y <> 0 -> remake e (Ast.Int (x / y))
       | Ast.Add, Ast.Int 0, _ -> b
       | Ast.Add, _, Ast.Int 0 -> a
       | Ast.Sub, _, Ast.Int 0 -> a
       | Ast.Mul, Ast.Int 1, _ -> b
       | Ast.Mul, _, Ast.Int 1 -> a
-      | Ast.Mul, Ast.Int 0, _ when no_arrays b -> mk (Ast.Int 0)
-      | Ast.Mul, _, Ast.Int 0 when no_arrays a -> mk (Ast.Int 0)
+      | Ast.Mul, Ast.Int 0, _ when no_arrays b -> remake e (Ast.Int 0)
+      | Ast.Mul, _, Ast.Int 0 when no_arrays a -> remake e (Ast.Int 0)
       | Ast.Div, _, Ast.Int 1 -> a
       | _ -> (
           match e.desc with
           | Ast.Bin (_, a0, b0) when a == a0 && b == b0 -> e
-          | _ -> mk (Ast.Bin (op, a, b))))
+          | _ -> remake e (Ast.Bin (op, a, b))))
 
 (* [e * 0 = 0] is only valid when [e] has no side effect on the trace;
    array reads are observable accesses, so keep them. *)
@@ -59,11 +65,77 @@ and no_arrays (e : Ast.expr) =
 let const_value e =
   match (const_fold e).desc with Ast.Int n -> Some n | _ -> None
 
-(* Does [e] already equal the expression the linearize builder below
-   would produce from [kept_rev] (outermost term first) and [const]?
-   Pure structural walk, no allocation: matching the spine from the
-   outside in mirrors the builder's left fold exactly. *)
-let matches_canonical kept_rev const (e : Ast.expr) =
+(* Workspace for [linearize]: the collected terms are staged in
+   growable parallel arrays (coefficient, atom, purity) owned by the
+   calling domain and reused across calls, so canonicalizing an
+   expression that is already in normal form allocates nothing. Nested
+   [linearize] calls (the insides of opaque atoms) stack their region
+   on top of the caller's and pop it on return. *)
+type lin_ws = {
+  mutable t_coeff : int array;
+  mutable t_atom : Ast.expr array;
+  mutable t_pure : bool array;
+  mutable t_len : int;
+}
+
+let lin_ws_key =
+  Domain.DLS.new_key (fun () ->
+      { t_coeff = Array.make 16 0;
+        t_atom = Array.make 16 (Ast.int_ 0);
+        t_pure = Array.make 16 false;
+        t_len = 0 })
+
+let ws_grow ws =
+  let n = Array.length ws.t_coeff in
+  let coeff = Array.make (2 * n) 0
+  and atom = Array.make (2 * n) (Ast.int_ 0)
+  and pure = Array.make (2 * n) false in
+  Array.blit ws.t_coeff 0 coeff 0 n;
+  Array.blit ws.t_atom 0 atom 0 n;
+  Array.blit ws.t_pure 0 pure 0 n;
+  ws.t_coeff <- coeff;
+  ws.t_atom <- atom;
+  ws.t_pure <- pure
+
+(* Record [coeff * atom]; pure atoms merge (and cancel) with an equal
+   atom already collected in this call's region [base..t_len). *)
+let rec ws_merge ws i atom coeff =
+  i < ws.t_len
+  && ((ws.t_pure.(i)
+       && Ast.equal_expr ws.t_atom.(i) atom
+       && (ws.t_coeff.(i) <- ws.t_coeff.(i) + coeff;
+           true))
+      || ws_merge ws (i + 1) atom coeff)
+
+let ws_add ws base coeff atom =
+  let pure = no_arrays atom in
+  if not (pure && ws_merge ws base atom coeff) then begin
+    if ws.t_len = Array.length ws.t_coeff then ws_grow ws;
+    ws.t_coeff.(ws.t_len) <- coeff;
+    ws.t_atom.(ws.t_len) <- atom;
+    ws.t_pure.(ws.t_len) <- pure;
+    ws.t_len <- ws.t_len + 1
+  end
+
+(* A term survives unless it is a pure atom whose coefficient cancelled
+   to zero (array-reading atoms stay, even with coefficient zero, to
+   keep the access trace intact). *)
+let ws_kept ws i = (not ws.t_pure.(i)) || ws.t_coeff.(i) <> 0
+
+let rec ws_prev_kept ws base i =
+  let i = i - 1 in
+  if i < base then -1 else if ws_kept ws i then i else ws_prev_kept ws base i
+
+let rec ws_next_kept ws i =
+  if i >= ws.t_len then -1
+  else if ws_kept ws i then i
+  else ws_next_kept ws (i + 1)
+
+(* Does [e] already equal the expression the builder below would
+   produce from the collected terms and [const]? Pure structural walk,
+   no allocation: matching the spine from the outside in (kept terms in
+   reverse order) mirrors the builder's left fold exactly. *)
+let rec matches_canonical ws base last_kept const (e : Ast.expr) =
   let spine =
     if const = 0 then Some e
     else
@@ -76,140 +148,130 @@ let matches_canonical kept_rev const (e : Ast.expr) =
   in
   match spine with
   | None -> false
-  | Some spine ->
-    let rec go terms (e : Ast.expr) =
-      match terms with
-      | [] -> false
-      | [ (c, a, _) ] -> (
-          let c = !c in
-          if c = 1 then Ast.equal_expr e a
-          else if c = -1 then
-            match e.desc with Ast.Neg x -> Ast.equal_expr x a | _ -> false
-          else
-            match e.desc with
-            | Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, x) ->
-              k = c && Ast.equal_expr x a
-            | _ -> false)
-      | (c, a, _) :: rest -> (
-          let c = !c in
-          match e.desc with
-          | Ast.Bin (Ast.Add, acc, rhs) when c = 1 ->
-            Ast.equal_expr rhs a && go rest acc
-          | Ast.Bin (Ast.Sub, acc, rhs) when c = -1 ->
-            Ast.equal_expr rhs a && go rest acc
-          | Ast.Bin
-              (Ast.Add, acc, { desc = Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, rhs); _ })
-            when c > 1 ->
-            k = c && Ast.equal_expr rhs a && go rest acc
-          | Ast.Bin
-              (Ast.Sub, acc, { desc = Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, rhs); _ })
-            when c < -1 ->
-            k = -c && Ast.equal_expr rhs a && go rest acc
-          | _ -> false)
-    in
-    go kept_rev spine
+  | Some spine -> matches_spine ws base last_kept spine
+
+and matches_spine ws base i (e : Ast.expr) =
+  let c = ws.t_coeff.(i) and a = ws.t_atom.(i) in
+  let prev = ws_prev_kept ws base i in
+  if prev < 0 then
+    (* The head term (first occurrence). *)
+    if c = 1 then Ast.equal_expr e a
+    else if c = -1 then
+      match e.desc with Ast.Neg x -> Ast.equal_expr x a | _ -> false
+    else
+      match e.desc with
+      | Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, x) -> k = c && Ast.equal_expr x a
+      | _ -> false
+  else
+    match e.desc with
+    | Ast.Bin (Ast.Add, acc, rhs) when c = 1 ->
+      Ast.equal_expr rhs a && matches_spine ws base prev acc
+    | Ast.Bin (Ast.Sub, acc, rhs) when c = -1 ->
+      Ast.equal_expr rhs a && matches_spine ws base prev acc
+    | Ast.Bin
+        (Ast.Add, acc, { desc = Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, rhs); _ })
+      when c > 1 ->
+      k = c && Ast.equal_expr rhs a && matches_spine ws base prev acc
+    | Ast.Bin
+        (Ast.Sub, acc, { desc = Ast.Bin (Ast.Mul, { desc = Ast.Int k; _ }, rhs); _ })
+      when c < -1 ->
+      k = -c && Ast.equal_expr rhs a && matches_spine ws base prev acc
+    | _ -> false
 
 (* Linear canonicalization: fold the expression into
    [sum coeff_i * atom_i + const]. Pure scalar atoms merge (and cancel)
    by structural equality; atoms that read arrays stay one-for-one so
    the access trace is untouched. Returns [e] itself when it is already
    in canonical form. *)
-let rec linearize (e : Ast.expr) : Ast.expr =
-  (* (coeff ref, atom, pure), in first-occurrence order (reversed). *)
-  let terms : (int ref * Ast.expr * bool) list ref = ref [] in
-  let const = ref 0 in
-  let add_term coeff atom =
-    let pure = no_arrays atom in
-    let merged =
-      pure
-      && List.exists
-           (fun (c, a, p) ->
-              if p && Ast.equal_expr a atom then begin
-                c := !c + coeff;
-                true
-              end
-              else false)
-           !terms
-    in
-    if not merged then terms := (ref coeff, atom, pure) :: !terms
+let rec linearize (e : Ast.expr) : Ast.expr = lin (Domain.DLS.get lin_ws_key) e
+
+and lin ws (e : Ast.expr) =
+  let base = ws.t_len in
+  let const = lin_go ws base 1 0 e in
+  let result =
+    match ws_next_kept ws base with
+    | -1 -> ( match e.desc with Ast.Int n when n = const -> e | _ -> Ast.int_ const)
+    | h ->
+      let last = ws_prev_kept ws base ws.t_len in
+      if matches_canonical ws base last const e then e
+      else begin
+        let c0 = ws.t_coeff.(h) and a0 = ws.t_atom.(h) in
+        let head =
+          if c0 = 1 then a0
+          else if c0 = -1 then Ast.neg a0
+          else Ast.bin Ast.Mul (Ast.int_ c0) a0
+        in
+        let rec fold acc i =
+          if i >= ws.t_len then acc
+          else if not (ws_kept ws i) then fold acc (i + 1)
+          else begin
+            let c = ws.t_coeff.(i) and a = ws.t_atom.(i) in
+            let acc =
+              if c = 1 then Ast.bin Ast.Add acc a
+              else if c = -1 then Ast.bin Ast.Sub acc a
+              else if c >= 0 then Ast.bin Ast.Add acc (Ast.bin Ast.Mul (Ast.int_ c) a)
+              else Ast.bin Ast.Sub acc (Ast.bin Ast.Mul (Ast.int_ (-c)) a)
+            in
+            fold acc (i + 1)
+          end
+        in
+        let acc = fold head (h + 1) in
+        if const > 0 then Ast.bin Ast.Add acc (Ast.int_ const)
+        else if const < 0 then Ast.bin Ast.Sub acc (Ast.int_ (-const))
+        else acc
+      end
   in
-  let rec go sign (e : Ast.expr) =
-    match e.desc with
-    | Ast.Int n -> const := !const + (sign * n)
-    | Ast.Var _ -> add_term sign e
-    | Ast.Neg a -> go (-sign) a
-    | Ast.Bin (Ast.Add, a, b) ->
-      go sign a;
-      go sign b
-    | Ast.Bin (Ast.Sub, a, b) ->
-      go sign a;
-      go (-sign) b
-    | Ast.Bin (Ast.Mul, a, b) -> (
-        (* Multiplication by a constant distributes exactly over the
-           integers; anything else is an opaque atom. *)
-        match (const_value a, const_value b) with
-        | Some k, _ -> go (sign * k) b
-        | None, Some k -> go (sign * k) a
-        | None, None ->
-          let a' = linearize a and b' = linearize b in
-          add_term sign
-            (if a' == a && b' == b then e
-             else { e with desc = Ast.Bin (Ast.Mul, a', b') }))
-    | Ast.Bin (Ast.Div, a, b) ->
-      (* Truncating division does not distribute; linearize inside. *)
-      let a' = linearize a and b' = linearize b in
-      add_term sign
-        (if a' == a && b' == b then e
-         else { e with desc = Ast.Bin (Ast.Div, a', b') })
-    | Ast.Aref (name, subs) ->
-      let subs' = map_sharing linearize subs in
-      add_term sign
-        (if subs' == subs then e else { e with desc = Ast.Aref (name, subs') })
-  in
-  go 1 e;
-  let kept_rev =
-    List.filter (fun (c, _, pure) -> (not pure) || !c <> 0) !terms
-  in
-  match kept_rev with
-  | [] -> ( match e.desc with Ast.Int n when n = !const -> e | _ -> Ast.int_ !const)
-  | _ when matches_canonical kept_rev !const e -> e
-  | _ ->
-    let (c0, a0, _), rest =
-      match List.rev kept_rev with x :: tl -> (x, tl) | [] -> assert false
-    in
-    let head =
-      if !c0 = 1 then a0
-      else if !c0 = -1 then Ast.neg a0
-      else Ast.bin Ast.Mul (Ast.int_ !c0) a0
-    in
-    let acc =
-      List.fold_left
-        (fun acc (c, a, _) ->
-           if !c = 1 then Ast.bin Ast.Add acc a
-           else if !c = -1 then Ast.bin Ast.Sub acc a
-           else if !c >= 0 then Ast.bin Ast.Add acc (Ast.bin Ast.Mul (Ast.int_ !c) a)
-           else Ast.bin Ast.Sub acc (Ast.bin Ast.Mul (Ast.int_ (- !c)) a))
-        head rest
-    in
-    if !const > 0 then Ast.bin Ast.Add acc (Ast.int_ !const)
-    else if !const < 0 then Ast.bin Ast.Sub acc (Ast.int_ (- !const))
-    else acc
+  ws.t_len <- base;
+  result
+
+(* Collect terms of [sign * e] into the region starting at [base],
+   threading the accumulated constant part through the return value. *)
+and lin_go ws base sign const (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int n -> const + (sign * n)
+  | Ast.Var _ ->
+    ws_add ws base sign e;
+    const
+  | Ast.Neg a -> lin_go ws base (-sign) const a
+  | Ast.Bin (Ast.Add, a, b) -> lin_go ws base sign (lin_go ws base sign const a) b
+  | Ast.Bin (Ast.Sub, a, b) -> lin_go ws base (-sign) (lin_go ws base sign const a) b
+  | Ast.Bin (Ast.Mul, a, b) -> (
+      (* Multiplication by a constant distributes exactly over the
+         integers; anything else is an opaque atom. *)
+      match (const_value a, const_value b) with
+      | Some k, _ -> lin_go ws base (sign * k) const b
+      | None, Some k -> lin_go ws base (sign * k) const a
+      | None, None ->
+        let a' = lin ws a and b' = lin ws b in
+        ws_add ws base sign
+          (if a' == a && b' == b then e else remake e (Ast.Bin (Ast.Mul, a', b')));
+        const)
+  | Ast.Bin (Ast.Div, a, b) ->
+    (* Truncating division does not distribute; linearize inside. *)
+    let a' = lin ws a and b' = lin ws b in
+    ws_add ws base sign
+      (if a' == a && b' == b then e else remake e (Ast.Bin (Ast.Div, a', b')));
+    const
+  | Ast.Aref (name, subs) ->
+    let subs' = map_sharing (lin ws) subs in
+    ws_add ws base sign
+      (if subs' == subs then e else remake e (Ast.Aref (name, subs')));
+    const
 
 let rec subst_raw lookup (e : Ast.expr) : Ast.expr =
-  let mk desc = { e with Ast.desc } in
   match e.desc with
   | Ast.Int _ -> e
   | Ast.Var v -> (
       match lookup v with Some e' -> e' | None -> e)
   | Ast.Neg a ->
     let a' = subst_raw lookup a in
-    if a' == a then e else mk (Ast.Neg a')
+    if a' == a then e else remake e (Ast.Neg a')
   | Ast.Bin (op, a, b) ->
     let a' = subst_raw lookup a and b' = subst_raw lookup b in
-    if a' == a && b' == b then e else mk (Ast.Bin (op, a', b'))
+    if a' == a && b' == b then e else remake e (Ast.Bin (op, a', b'))
   | Ast.Aref (name, subs) ->
     let subs' = map_sharing (subst_raw lookup) subs in
-    if subs' == subs then e else mk (Ast.Aref (name, subs'))
+    if subs' == subs then e else remake e (Ast.Aref (name, subs'))
 
 let subst lookup e = linearize (const_fold (subst_raw lookup e))
 
@@ -248,22 +310,21 @@ let rec uses_var v (e : Ast.expr) =
   | Ast.Aref (_, subs) -> List.exists (uses_var v) subs
 
 let rec map_stmt_exprs f (s : Ast.stmt) : Ast.stmt =
-  let mk sdesc = { s with Ast.sdesc } in
   match s.sdesc with
   | Ast.Assign (Ast.Lvar v, e) ->
     let e' = f e in
-    if e' == e then s else mk (Ast.Assign (Ast.Lvar v, e'))
+    if e' == e then s else remake_stmt s (Ast.Assign (Ast.Lvar v, e'))
   | Ast.Assign (Ast.Larr (name, subs), e) ->
     let subs' = map_sharing f subs and e' = f e in
     if subs' == subs && e' == e then s
-    else mk (Ast.Assign (Ast.Larr (name, subs'), e'))
+    else remake_stmt s (Ast.Assign (Ast.Larr (name, subs'), e'))
   | Ast.Read _ -> s
   | Ast.If (cond, t, el) ->
     let lhs = f cond.Ast.lhs and rhs = f cond.Ast.rhs in
     let t' = map_sharing (map_stmt_exprs f) t in
     let el' = map_sharing (map_stmt_exprs f) el in
     if lhs == cond.Ast.lhs && rhs == cond.Ast.rhs && t' == t && el' == el then s
-    else mk (Ast.If ({ cond with Ast.lhs; rhs }, t', el'))
+    else remake_stmt s (Ast.If ({ cond with Ast.lhs; rhs }, t', el'))
   | Ast.For ({ lo; hi; step; body; _ } as l) ->
     let lo' = f lo and hi' = f hi in
     let step' =
@@ -275,6 +336,6 @@ let rec map_stmt_exprs f (s : Ast.stmt) : Ast.stmt =
     in
     let body' = map_sharing (map_stmt_exprs f) body in
     if lo' == lo && hi' == hi && step' == step && body' == body then s
-    else mk (Ast.For { l with lo = lo'; hi = hi'; step = step'; body = body' })
+    else remake_stmt s (Ast.For { l with lo = lo'; hi = hi'; step = step'; body = body' })
 
 let map_program_exprs f prog = map_sharing (map_stmt_exprs f) prog

@@ -38,29 +38,32 @@ type candidate = {
 
 let find_candidates env ~loop_var ~body =
   let assigned_in_body = Expr_util.assigned_vars body in
-  List.mapi (fun pos s -> (pos, s)) body
-  |> List.filter_map (fun (pos, s) ->
-      match s.Ast.sdesc with
-      | Ast.Assign (Ast.Lvar v, _) -> (
-          match increment_of v s with
-          | Some inc when inc <> 0 && writes_in v body = 1 ->
-            (* Entry value: a known pure definition that stays valid
-               through the loop, else the (now invariant) variable
-               itself. *)
-            let base =
-              match Env.find_opt v env with
-              | Some e
-                when Expr_util.is_pure_scalar e
-                     && (not (Expr_util.uses_var loop_var e))
-                     && not
-                          (List.exists
-                             (fun w -> Expr_util.uses_var w e)
-                             assigned_in_body) -> e
-              | Some _ | None -> Ast.var v
-            in
-            Some { pos; ivar = v; inc; base }
-          | Some _ | None -> None)
-      | _ -> None)
+  let rec go pos = function
+    | [] -> []
+    | s :: rest -> (
+        match s.Ast.sdesc with
+        | Ast.Assign (Ast.Lvar v, _) -> (
+            match increment_of v s with
+            | Some inc when inc <> 0 && writes_in v body = 1 ->
+              (* Entry value: a known pure definition that stays valid
+                 through the loop, else the (now invariant) variable
+                 itself. *)
+              let base =
+                match Env.find_opt v env with
+                | Some e
+                  when Expr_util.is_pure_scalar e
+                       && (not (Expr_util.uses_var loop_var e))
+                       && not
+                            (List.exists
+                               (fun w -> Expr_util.uses_var w e)
+                               assigned_in_body) -> e
+                | Some _ | None -> Ast.var v
+              in
+              { pos; ivar = v; inc; base } :: go (pos + 1) rest
+            | Some _ | None -> go (pos + 1) rest)
+        | _ -> go (pos + 1) rest)
+  in
+  go 0 body
 
 let simplify e = Expr_util.linearize (Expr_util.const_fold e)
 
@@ -82,14 +85,15 @@ let subst_var v formula stmt =
   |> List.hd
 
 let apply_candidate ~loop_var ~lo cand body =
+  (* Only two distinct formulas exist — before the increment statement
+     (k_extra = 0) and after it (k_extra = 1) — so build each once
+     instead of re-simplifying per statement. *)
+  let before = value_at cand ~loop_var ~lo ~k_extra:0 in
+  let after = value_at cand ~loop_var ~lo ~k_extra:1 in
   List.mapi
     (fun pos s ->
        if pos = cand.pos then None
-       else begin
-         let k_extra = if pos < cand.pos then 0 else 1 in
-         let formula = value_at cand ~loop_var ~lo ~k_extra in
-         Some (subst_var cand.ivar formula s)
-       end)
+       else Some (subst_var cand.ivar (if pos < cand.pos then before else after) s))
     body
   |> List.filter_map Fun.id
 
@@ -147,16 +151,18 @@ let rec ind_stmt env (s : Ast.stmt) : Ast.stmt list * Ast.expr Env.t =
       | Some e -> Expr_util.const_value e = Some 1
     in
     (* The guarded final assignment re-evaluates the bounds after the
-       loop, so they must be pure and loop-invariant. *)
+       loop, so they must be pure and loop-invariant. One scan of the
+       transformed body serves every check below. *)
+    let assigned = Expr_util.assigned_vars body in
     let invariant e =
       Expr_util.is_pure_scalar e
       && (not (Expr_util.uses_var var e))
-      && not (List.exists (fun w -> Expr_util.uses_var w e) (Expr_util.assigned_vars body))
+      && not (List.exists (fun w -> Expr_util.uses_var w e) assigned)
     in
     let bounds_pure = invariant lo && invariant hi in
     (* A body that reassigns (shadows) the loop variable would make the
        substitution formulas read the clobbered value. *)
-    let var_stable = not (List.mem var (Expr_util.assigned_vars body)) in
+    let var_stable = not (List.mem var assigned) in
     if not (unit_step && bounds_pure && var_stable) then
       ( (if body == body0 then [ s ]
          else [ { s with sdesc = Ast.For { l with body } } ]),

@@ -76,20 +76,41 @@ Same for JSON:
   $ ddtest batch first.dd second.dd --format json | tr -d ' \n' | head -c 100
   {"programs":[{"file":"first.dd","report":{"pairs":[{"array":"a","ref1":{"loc":"2:3","role":"write"},
 
-With --share-memo each domain threads one memoization session through
-its chunk; verdicts are identical, and the merged unique counts come
-from the union of the per-domain tables (the two copies of the same
-program below add no distinct problems):
+With --share-memo every worker queries one live lock-striped table
+pair during the run; verdicts are identical, and the table sizes are
+the corpus's distinct-problem counts (the two copies of the same
+program below add none). At --jobs 1 the hit counters are
+deterministic too — the second copy hits on every full-table lookup,
+so the gcd table (consulted only on full misses) sees no new traffic:
 
-  $ ddtest batch second.dd second.dd --share-memo --jobs 2 | tail -n 3
+  $ ddtest batch second.dd second.dd --share-memo --jobs 1 | tail -n 3
+  verdicts:            4 independent, 6 dependent
+  table (gcd):  2 entries in 2048 buckets, 1/3 hits (33.3%)
+  table (full):  3 entries in 2048 buckets, 7/10 hits (70.0%)
+
+At --jobs 2 the hit split depends on cross-domain timing, but verdicts
+and table sizes never do:
+
+  $ ddtest batch second.dd second.dd --share-memo --jobs 2 | grep -c 'dependent directions'
+  6
+  $ ddtest batch second.dd second.dd --share-memo --jobs 2 | grep -oE 'table \(full\):  [0-9]+ entries'
+  table (full):  3 entries
+
+--memo-merge-after selects the pre-live oracle mode instead: each
+domain fills a private session and the tables are merged after the
+run, so hit counters are deterministic for a fixed --jobs (here each
+copy recomputes on its own domain — the cross-domain repeat the live
+mode would have caught):
+
+  $ ddtest batch second.dd second.dd --share-memo --memo-merge-after --jobs 2 | tail -n 3
   verdicts:            4 independent, 6 dependent
   table (gcd):  2 entries in 64 buckets, 2/6 hits (33.3%)
   table (full):  3 entries in 64 buckets, 4/10 hits (40.0%)
 
   $ ddtest batch second.dd --share-memo | tail -n 3
   verdicts:            2 independent, 3 dependent
-  table (gcd):  2 entries in 64 buckets, 1/3 hits (33.3%)
-  table (full):  3 entries in 64 buckets, 2/5 hits (40.0%)
+  table (gcd):  2 entries in 2048 buckets, 1/3 hits (33.3%)
+  table (full):  3 entries in 2048 buckets, 2/5 hits (40.0%)
 
 Errors still carry positions, for any file of the corpus:
 

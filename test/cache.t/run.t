@@ -1,0 +1,69 @@
+Cache administration: ddtest cache compact rewrites a durable memo
+store down to one record per key — the duplicates racing domains
+append, and any superseded bindings, are dropped — atomically and
+with the header fingerprint preserved.
+
+Build a cache by serving a program:
+
+  $ cat > p.dd <<'EOF'
+  > for i = 1 to 10 do
+  >   a[i] = a[i-1] + 1
+  >   b[2*i] = b[2*i+1] + 3
+  > end
+  > EOF
+  $ ddtest serve --socket s.sock --cache memo.cache 2>serve1.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ddtest query --socket s.sock p.dd > first.out
+  $ kill -TERM $SRV
+  $ wait $SRV
+
+Simulate the duplicate appends racing domains produce: splice a copy
+of every record (the file past its 27-byte header) onto the end. The
+file doubles; replay keeps one binding per key, so nothing is wrong —
+just wasteful:
+
+  $ cp memo.cache memo.orig
+  $ tail -c +28 memo.orig >> memo.cache
+
+Compaction halves it back — one record per key, and the result is
+byte-for-byte the size of the pre-splice file (same record set):
+
+  $ ddtest cache compact memo.cache | awk '$2 == 2 * $5 { print "halved" }'
+  halved
+  $ [ $(wc -c < memo.cache) -eq $(wc -c < memo.orig) ] && echo same size
+  same size
+
+A daemon restarted on the compacted file is warm and serves
+byte-identical answers:
+
+  $ ddtest serve --socket s.sock --cache memo.cache --log-level info 2>serve2.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ddtest query --socket s.sock p.dd > warm.out
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ cmp first.out warm.out && echo identical
+  identical
+  $ grep -c 'warm start' serve2.log
+  1
+
+The header fingerprint binds the file to the analyzer configuration;
+compacting under different flags refuses loudly with the file
+untouched (no quarantine — this is an explicit administrative action
+on a file the operator believes is valid):
+
+  $ cp memo.cache memo.before
+  $ ddtest cache compact memo.cache --memo simple
+  ddtest: error: cache memo.cache: fingerprint mismatch (written by a different analyzer version or configuration)
+  [1]
+  $ cmp memo.cache memo.before && echo untouched
+  untouched
+  $ [ -f memo.cache.rejected ] || echo no quarantine
+  no quarantine
+
+A missing file is a one-line error, exit 1:
+
+  $ ddtest cache compact nope.cache
+  ddtest: error: cache nope.cache: cannot read: nope.cache: No such file or directory
+  [1]

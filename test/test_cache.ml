@@ -240,6 +240,95 @@ let test_alien_file_quarantines () =
         (Sys.file_exists (path ^ ".rejected")))
 
 (* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_compact_drops_duplicates () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      (* Duplicate appends, as racing domains would produce, plus a
+         superseded binding for [1;2;3]: compaction must keep one
+         record per key, the last binding winning. *)
+      Store.append_gcd s (key [ 1; 2; 3 ]) some_gcd;
+      Store.append_gcd s (key [ 1; 2; 3 ]) some_gcd;
+      Store.append_gcd s (key [ 1; 2; 3 ]) other_gcd;
+      Store.append_full s (key [ 4; 5 ]) some_full;
+      Store.append_full s (key [ 4; 5 ]) some_full;
+      Store.append_gcd s (key [ 6 ]) other_gcd;
+      Store.close s;
+      let before_len = String.length (file_contents path) in
+      let c = Store.compact ~path ~config () in
+      Alcotest.(check int) "6 records before" 6 c.Store.before_records;
+      Alcotest.(check int) "3 records after" 3 c.Store.after_records;
+      Alcotest.(check int) "before_bytes" before_len c.Store.before_bytes;
+      Alcotest.(check int) "no damage" 0 c.Store.damaged_bytes;
+      Alcotest.(check bool) "file shrank" true
+        (c.Store.after_bytes < c.Store.before_bytes);
+      (* The header survives byte for byte — same magic, same
+         fingerprint — so a reopen under the same config replays. *)
+      let header_len = String.length "%DDACACHE1\n" + 16 in
+      Alcotest.(check string) "header preserved"
+        (String.sub (file_contents path) 0 header_len)
+        ("%DDACACHE1\n" ^ Store.fingerprint config);
+      let s2, r, gcds, fulls = open_collect ~path () in
+      Store.close s2;
+      Alcotest.(check int) "replay sees 3" 3 r.Store.records;
+      Alcotest.(check int) "no drops" 0 r.Store.dropped_bytes;
+      Alcotest.(check int) "2 gcd keys" 2 (List.length !gcds);
+      Alcotest.(check int) "1 full key" 1 (List.length !fulls);
+      Alcotest.(check bool) "last binding won" true
+        (List.assoc (key [ 1; 2; 3 ]) !gcds = other_gcd))
+
+let test_compact_drops_torn_tail () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.append_gcd s (key [ 1 ]) some_gcd;
+      Store.append_gcd s (key [ 2 ]) other_gcd;
+      Store.close s;
+      let original = file_contents path in
+      let offsets, total = record_offsets path in
+      let cut = (List.nth offsets 1 + total) / 2 in
+      let oc = open_out_bin path in
+      output_string oc (String.sub original 0 cut);
+      close_out oc;
+      let c = Store.compact ~path ~config () in
+      Alcotest.(check int) "only the intact record" 1 c.Store.before_records;
+      Alcotest.(check int) "kept as one" 1 c.Store.after_records;
+      Alcotest.(check int) "torn bytes reported"
+        (cut - List.nth offsets 1)
+        c.Store.damaged_bytes;
+      let s2, r, gcds, _ = open_collect ~path () in
+      Store.close s2;
+      Alcotest.(check int) "clean after compaction" 0 r.Store.dropped_bytes;
+      Alcotest.(check bool) "record 1 survives" true
+        (List.mem_assoc (key [ 1 ]) !gcds))
+
+let test_compact_refuses_mismatch () =
+  with_path (fun path ->
+      let s, _, _, _ = open_collect ~path () in
+      Store.append_gcd s (key [ 1 ]) some_gcd;
+      Store.close s;
+      let before = file_contents path in
+      let other = { config with Analyzer.symbolic = not config.Analyzer.symbolic } in
+      (match Store.compact ~path ~config:other () with
+       | _ -> Alcotest.fail "expected Failure"
+       | exception Failure m ->
+         Alcotest.(check bool) "mentions fingerprint" true
+           (String.length m > 0));
+      (* Unlike open_store's quarantine, the file is left untouched. *)
+      Alcotest.(check string) "file untouched" before (file_contents path);
+      Alcotest.(check bool) "no .rejected" false
+        (Sys.file_exists (path ^ ".rejected"));
+      Alcotest.(check bool) "no .compact left behind" false
+        (Sys.file_exists (path ^ ".compact")))
+
+let test_compact_missing_file () =
+  with_path (fun path ->
+      match Store.compact ~path ~config () with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* The durable cache end to end through the analyzer                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -345,6 +434,17 @@ let () =
             test_fingerprint_mismatch_quarantines;
           Alcotest.test_case "alien file quarantines" `Quick
             test_alien_file_quarantines;
+        ] );
+      ( "compact",
+        [
+          Alcotest.test_case "drops duplicates, keeps the last binding" `Quick
+            test_compact_drops_duplicates;
+          Alcotest.test_case "drops a torn tail like replay would" `Quick
+            test_compact_drops_torn_tail;
+          Alcotest.test_case "refuses a fingerprint mismatch untouched" `Quick
+            test_compact_refuses_mismatch;
+          Alcotest.test_case "missing file fails cleanly" `Quick
+            test_compact_missing_file;
         ] );
       ( "durable",
         [

@@ -168,6 +168,88 @@ let prop_hash_formula =
        && Memo_table.hash_key (Array.of_list permuted) = formula permuted)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded_table                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_basic () =
+  let t = Sharded_table.create ~stripes:5 () in
+  Alcotest.(check int) "stripes rounded up to a power of two" 8
+    (Sharded_table.stripes t);
+  let v, hit = Sharded_table.find_or_add t [| 1; 2 |] (fun () -> "a") in
+  Alcotest.(check (pair string bool)) "miss computes" ("a", false) (v, hit);
+  let v, hit = Sharded_table.find_or_add t [| 1; 2 |] (fun () -> "BUG") in
+  Alcotest.(check (pair string bool)) "hit returns stored" ("a", true) (v, hit);
+  Alcotest.(check (option string)) "find" (Some "a")
+    (Sharded_table.find t [| 1; 2 |]);
+  Sharded_table.add t [| 1; 2 |] "b";
+  Alcotest.(check (option string)) "add replaces" (Some "b")
+    (Sharded_table.find t [| 1; 2 |]);
+  Alcotest.(check int) "replace keeps one binding" 1 (Sharded_table.length t);
+  Alcotest.check_raises "raising compute stores nothing" (Failure "boom")
+    (fun () -> ignore (Sharded_table.find_or_add t [| 7 |] (fun () -> failwith "boom")));
+  Alcotest.(check (option string)) "nothing cached after raise" None
+    (Sharded_table.find t [| 7 |])
+
+let test_sharded_stats_aggregate () =
+  let t = Sharded_table.create ~stripes:4 () in
+  for i = 0 to 199 do
+    ignore (Sharded_table.find_or_add t [| i; i * 3 |] (fun () -> i))
+  done;
+  for i = 0 to 99 do
+    ignore (Sharded_table.find_or_add t [| i; i * 3 |] (fun () -> -1))
+  done;
+  let st = Sharded_table.stats t in
+  Alcotest.(check int) "size sums stripes" 200 st.Memo_table.size;
+  Alcotest.(check int) "size agrees with length" (Sharded_table.length t)
+    st.Memo_table.size;
+  Alcotest.(check int) "lookups" 300 st.Memo_table.lookups;
+  Alcotest.(check int) "hits" 100 st.Memo_table.hits;
+  let seen = ref 0 in
+  Sharded_table.iter (fun k v -> if k.(0) = v then incr seen) t;
+  Alcotest.(check int) "iter visits every binding" 200 !seen;
+  Sharded_table.reset_counters t;
+  let st = Sharded_table.stats t in
+  Alcotest.(check (pair int int)) "counters reset, bindings kept" (0, 0)
+    (st.Memo_table.lookups, st.Memo_table.hits);
+  Alcotest.(check int) "bindings kept" 200 (Sharded_table.length t)
+
+let test_sharded_across_domains () =
+  (* Four domains hammer one table over an overlapping key space. Every
+     lookup must come back with the value the key's compute produces
+     (computes are deterministic functions of the key), the final size
+     must be the distinct-key count, and the lookup total must be
+     jobs-invariant: one count per find_or_add whatever the timing. *)
+  let t = Sharded_table.create ~stripes:8 () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for round = 0 to 49 do
+              for k = 0 to 24 do
+                let key = [| k; k * k; (d + round) mod 3 |] in
+                let expect = key.(0) + key.(1) + key.(2) in
+                let v, _ = Sharded_table.find_or_add t key (fun () -> expect) in
+                if v <> expect then ok := false
+              done
+            done;
+            !ok))
+  in
+  let oks = List.map Domain.join domains in
+  Alcotest.(check (list bool)) "every domain saw consistent values"
+    [ true; true; true; true ] oks;
+  Alcotest.(check int) "distinct keys stored once" (25 * 3)
+    (Sharded_table.length t);
+  let st = Sharded_table.stats t in
+  Alcotest.(check int) "lookup total is jobs-invariant" (4 * 50 * 25)
+    st.Memo_table.lookups;
+  (* Hits can lag lookups by at most the racy duplicate computes; they
+     can never exceed lookups - distinct keys. *)
+  Alcotest.(check bool) "hits bounded" true
+    (st.Memo_table.hits <= st.Memo_table.lookups - Sharded_table.length t);
+  Alcotest.(check bool) "contention counter is sane" true
+    (Sharded_table.contended t >= 0)
+
+(* ------------------------------------------------------------------ *)
 (* Stats merge                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -312,6 +394,7 @@ let prop_batch_deterministic =
              retried = 0;
              merged;
              table_stats = None;
+             contended = None;
            }
        in
        List.for_all
@@ -336,6 +419,42 @@ let prop_batch_share_memo_verdicts =
          (fun jobs ->
             pairs_only (Batch.run ~share_memo:true ~jobs corpus) = isolated)
          [ 1; 3 ])
+
+let prop_batch_live_vs_merge_after =
+  (* The sharded live-sharing path against its differential oracle, the
+     per-domain-sessions-merged-after path: byte-identical per-item
+     reports (verdicts, direction vectors, distances) and identical
+     distinct-problem counts at any job count. *)
+  QCheck.Test.make ~name:"live-shared equals merge-after (verdicts + uniques)"
+    ~count:15 arb_corpus
+    (fun programs ->
+       let corpus = corpus_of_programs programs in
+       let reports_bytes (r : Batch.result) =
+         String.concat "\n"
+           (List.map
+              (fun (a : Batch.analyzed) ->
+                 a.Batch.name ^ " "
+                 ^ String.concat ";"
+                     (List.map
+                        (fun p -> Json_out.to_string (Json_out.pair p))
+                        a.Batch.report.Analyzer.pair_reports))
+              r.Batch.items)
+       in
+       let uniques (r : Batch.result) =
+         ( r.Batch.merged.Analyzer.memo_unique_nobounds,
+           r.Batch.merged.Analyzer.memo_unique_full )
+       in
+       List.for_all
+         (fun jobs ->
+            let live = Batch.run ~share_memo:true ~jobs corpus in
+            let merge =
+              Batch.run ~share_memo:true ~memo_merge_after:true ~jobs corpus
+            in
+            reports_bytes live = reports_bytes merge
+            && uniques live = uniques merge
+            && live.Batch.contended <> None
+            && merge.Batch.contended = None)
+         [ 1; 2; 4 ])
 
 let test_batch_share_memo_unique_counts () =
   (* Two copies of the same program: whatever the chunking, the union
@@ -378,6 +497,14 @@ let () =
             test_merge_sessions;
           qt prop_hash_formula;
         ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "basic protocol" `Quick test_sharded_basic;
+          Alcotest.test_case "stats aggregate stripes" `Quick
+            test_sharded_stats_aggregate;
+          Alcotest.test_case "shared across four domains" `Quick
+            test_sharded_across_domains;
+        ] );
       ( "batch",
         [
           Alcotest.test_case "chunks" `Quick test_chunks;
@@ -387,5 +514,6 @@ let () =
             test_batch_share_memo_unique_counts;
           qt prop_batch_deterministic;
           qt prop_batch_share_memo_verdicts;
+          qt prop_batch_live_vs_merge_after;
         ] );
     ]
