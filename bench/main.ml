@@ -1023,6 +1023,70 @@ let trace_overhead () =
     (if overhead_pct < 2.0 then "PASS < 2%" else "FAIL >= 2%");
   (per_span_ns, overhead_pct)
 
+(* ------------------------------------------------------------------ *)
+(* Admin-plane overhead: attribution must cost < 2% like trace spans   *)
+(* ------------------------------------------------------------------ *)
+
+(* The telemetry plane's only data-path cost is the per-request
+   attribution window the serve daemon opens around each analysis
+   (scrapes, the access log and the admin listener run off the worker
+   domains). Measure it the same way as the trace gate: microbenchmark
+   one timed stage call inside an open window against its bare body,
+   scale by the stage-call volume of a real suite pass, and compare
+   against that pass's windowless wall time. *)
+let admin_overhead_result : (float * float) option ref = ref None
+
+let admin_overhead () =
+  section
+    "Admin-plane overhead: per-request attribution must cost < 2% of \
+     analysis time";
+  (* Production time source (the serve daemon installs the same one),
+     so the measured cost includes the clock reads. *)
+  Dda_obs.Attrib.set_time_source (fun () ->
+      int_of_float (Unix.gettimeofday () *. 1e9));
+  let n = 2_000_000 in
+  let acc = ref 0 in
+  let _, t_plain =
+    time (fun () ->
+        for i = 1 to n do
+          acc := !acc + i
+        done)
+  in
+  let (), t_timed =
+    let f () =
+      time (fun () ->
+          for i = 1 to n do
+            Dda_obs.Attrib.time Dda_obs.Attrib.Svpc (fun () -> acc := !acc + i)
+          done)
+    in
+    let ((), t), _snap = Dda_obs.Attrib.collect f in
+    ((), t)
+  in
+  ignore !acc;
+  let per_call_ns =
+    Float.max 0. (t_timed -. t_plain) *. 1e9 /. float_of_int n
+  in
+  (* Stage-call volume of one real pass, counted by the window itself. *)
+  let _, snap = Dda_obs.Attrib.collect (fun () -> ignore (analyze_all cfg_table1)) in
+  let calls =
+    List.fold_left
+      (fun a (_, (s : Dda_obs.Attrib.stage_stat)) -> a + s.Dda_obs.Attrib.calls)
+      0 snap.Dda_obs.Attrib.stages
+  in
+  Dda_obs.Attrib.set_time_source Dda_obs.Clock.now;
+  (* The same pass with no window anywhere: the inactive path is one
+     atomic load per stage call. *)
+  let _, t_off = time (fun () -> ignore (analyze_all cfg_table1)) in
+  let overhead_pct =
+    per_call_ns *. float_of_int calls /. (t_off *. 1e9) *. 100.
+  in
+  Printf.printf "timed stage call (window open): %.1f ns;  %d stage calls per suite pass\n"
+    per_call_ns calls;
+  Printf.printf "suite pass (no window): %.1f ms\n" (t_off *. 1e3);
+  Printf.printf "admin-plane overhead: %.3f%% of analysis  [%s]\n" overhead_pct
+    (if overhead_pct < 2.0 then "PASS < 2%" else "FAIL >= 2%");
+  admin_overhead_result := Some (per_call_ns, overhead_pct)
+
 (* Corpus-wide memo hit rates, via the batch engine's shared session
    (jobs=1 keeps the counters independent of chunking). *)
 let memo_hit_rates () =
@@ -1118,6 +1182,17 @@ let results_json ~mode ~memo ~micro ~metrics ~trace =
                ("disabled_overhead_pct", Perf_json.Num overhead_pct);
              ] );
        ]
+     @ (match !admin_overhead_result with
+        | None -> []
+        | Some (per_call_ns, pct) ->
+          [
+            ( "admin_overhead",
+              Perf_json.Obj
+                [
+                  ("per_stage_call_ns", Perf_json.Num per_call_ns);
+                  ("data_path_overhead_pct", Perf_json.Num pct);
+                ] );
+          ])
      @ (match !streaming_memory_result with
         | None -> []
         | Some (inmem, stream_peak) ->
@@ -1265,6 +1340,7 @@ let run_full () =
   let micro = measured "microbench" (fun () -> microbench ()) in
   measured "ablations" ablations;
   let trace = trace_overhead () in
+  admin_overhead ();
   let metrics = perfect_batch () in
   measured "streaming_memory" streaming_memory;
   measured "warm_cache" warm_cache;
@@ -1279,6 +1355,7 @@ let run_full () =
 let run_smoke () =
   print_endline "bench --smoke: reduced perf profile";
   let trace = trace_overhead () in
+  admin_overhead ();
   let metrics = perfect_batch () in
   measured "streaming_memory" streaming_memory;
   measured "warm_cache" warm_cache;

@@ -1779,10 +1779,46 @@ let serve_cmd =
                 hanging a worker. Requests can override with \
                 $(b,timeout_ms).")
   in
-  let run () socket cache no_fsync jobs queue_limit request_timeout_ms config =
+  let admin_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the HTTP admin plane on 127.0.0.1:$(docv) — \
+             $(b,/metrics) (Prometheus text exposition), $(b,/healthz), \
+             $(b,/readyz), $(b,/status), $(b,/tracez). Port 0 picks an \
+             ephemeral port (logged at startup). The admin plane is \
+             read-only and never load-bearing: its failure cannot fail a \
+             query.")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per request to $(docv): request id, op, \
+             latency, shed/quarantined/degraded flags, memo hits, budget \
+             steps. Write failures are counted \
+             ($(b,serve.access_log.failed)), never fatal.")
+  in
+  let slow_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Log a warning for requests slower than $(docv) ms (0 = \
+                off).")
+  in
+  let run () socket cache no_fsync jobs queue_limit request_timeout_ms
+      admin_port access_log slow_ms config =
     (* An unbindable socket path (missing directory, permission) or any
        other OS-level failure is an input error: one line, exit 1. *)
     try
+      (* Stage attribution in explain blocks should be wall time, not
+         deterministic ticks, when serving real traffic. *)
+      Dda_obs.Attrib.set_time_source (fun () ->
+          int_of_float (Unix.gettimeofday () *. 1e9));
       let server, recovery =
         Dda_server.Server.create
           {
@@ -1793,6 +1829,9 @@ let serve_cmd =
             analyzer = config;
             cache_path = cache;
             cache_fsync = not no_fsync;
+            admin_port;
+            access_log;
+            slow_ms;
           }
       in
       (match recovery with
@@ -1819,12 +1858,14 @@ let serve_cmd =
        ~doc:
          "Run the analysis daemon: a long-lived JSONL service on a Unix \
           socket, with per-request deadlines, bounded queueing with load \
-          shedding, request quarantine, and a durable, \
-          corruption-detecting memo cache that makes restarts warm — \
-          even after kill -9.")
+          shedding, request quarantine, a durable, corruption-detecting \
+          memo cache that makes restarts warm — even after kill -9 — and \
+          an optional HTTP admin plane ($(b,--admin-port)) with \
+          Prometheus metrics.")
     Term.(
       const run $ obs_term $ socket_arg $ cache_arg $ no_fsync_arg $ jobs_arg
-      $ queue_arg $ timeout_arg $ config_term)
+      $ queue_arg $ timeout_arg $ admin_arg $ access_log_arg $ slow_arg
+      $ config_term)
 
 let query_cmd =
   let socket_arg =
@@ -1847,13 +1888,21 @@ let query_cmd =
           ~doc:"Request per-program statistics (off by default: statistics \
                 depend on cache temperature, answers do not).")
   in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Request per-stage attribution (time per cascade stage, \
+                memo hits, budget steps) with each analysis — why was \
+                this query slow?")
+  in
   let timeout_arg =
     Arg.(
       value
       & opt (some int) None
       & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline override.")
   in
-  let run () socket files ping status stats timeout_ms =
+  let run () socket files ping status stats explain timeout_ms =
     let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
     (try Unix.connect fd (ADDR_UNIX socket)
      with Unix.Unix_error (e, _, _) ->
@@ -1893,6 +1942,7 @@ let query_cmd =
                 ("program", Json_out.Str (read_file f));
               ]
              @ (if stats then [ ("stats", Json_out.Bool true) ] else [])
+             @ (if explain then [ ("explain", Json_out.Bool true) ] else [])
              @
              match timeout_ms with
              | Some ms -> [ ("timeout_ms", Json_out.Int ms) ]
@@ -1909,7 +1959,209 @@ let query_cmd =
           over its socket and print one JSON response per line.")
     Term.(
       const run $ obs_term $ socket_arg $ files_arg $ ping_arg $ status_arg
-      $ stats_arg $ timeout_arg)
+      $ stats_arg $ explain_arg $ timeout_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top: live view over the admin plane                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot HTTP GET against the loopback admin plane; enough protocol
+   for our own Admin module (Connection: close, no chunking). *)
+let admin_get ~port path =
+  let fd = Unix.socket ~cloexec:true PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port))
+       with Unix.Unix_error (e, _, _) ->
+         failwith
+           (Printf.sprintf "top: cannot connect to 127.0.0.1:%d: %s" port
+              (Unix.error_message e)));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: 127.0.0.1:%d\r\nConnection: close\r\n\r\n"
+          path port
+      in
+      let b = Bytes.of_string req in
+      let off = ref 0 in
+      while !off < Bytes.length b do
+        off := !off + Unix.write fd b !off (Bytes.length b - !off)
+      done;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 65536 in
+      let rec slurp () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n -> Buffer.add_subbytes buf chunk 0 n; slurp ()
+        | exception Unix.Unix_error (EINTR, _, _) -> slurp ()
+      in
+      slurp ();
+      let raw = Buffer.contents buf in
+      let code =
+        match String.split_on_char ' ' raw with
+        | _ :: c :: _ -> (match int_of_string_opt c with Some c -> c | None -> 0)
+        | _ -> 0
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length raw then String.length raw
+          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+                  && raw.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        let s = find 0 in
+        String.sub raw s (String.length raw - s)
+      in
+      (code, body))
+
+let top_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Admin port of a running $(b,ddtest serve --admin-port).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh interval.")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame and exit (no screen clearing) — \
+                scriptable output.")
+  in
+  let scrape_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scrape" ] ~docv:"PATH"
+          ~doc:
+            "Instead of the live view, fetch $(docv) (e.g. \
+             $(b,/metrics), $(b,/healthz)) once, print the raw body and \
+             exit — 0 on HTTP 200, 2 otherwise. A tiny curl substitute \
+             for tests and scripts.")
+  in
+  (* Smallest le bound at which the cumulative count reaches the
+     q-quantile of the histogram; the +Inf bucket answers "p99 beyond
+     the largest finite bucket". *)
+  let percentile (h : Dda_obs.Expo.parsed_hist) q =
+    if h.Dda_obs.Expo.p_count = 0 then "-"
+    else begin
+      let want =
+        let exact = float_of_int h.Dda_obs.Expo.p_count *. q in
+        max 1 (int_of_float (ceil exact))
+      in
+      let rec go = function
+        | [] -> "-"
+        | (le, cum) :: rest -> if cum >= want then le else go rest
+      in
+      match go h.Dda_obs.Expo.p_cumulative with
+      | "+Inf" -> ">max"
+      | ns -> (
+          match int_of_string_opt ns with
+          | None -> ns
+          | Some ns ->
+            if ns >= 1_000_000_000 then Printf.sprintf "%.1fs" (float_of_int ns /. 1e9)
+            else if ns >= 1_000_000 then Printf.sprintf "%dms" (ns / 1_000_000)
+            else if ns >= 1_000 then Printf.sprintf "%dus" (ns / 1_000)
+            else Printf.sprintf "%dns" ns)
+    end
+  in
+  let render ~port ~interval_ms ~prev_requests parsed =
+    let counter name =
+      match List.assoc_opt name parsed.Dda_obs.Expo.p_counters with
+      | Some v -> v
+      | None -> 0
+    in
+    let gauge name =
+      List.assoc_opt name parsed.Dda_obs.Expo.p_gauges
+    in
+    let hist name =
+      List.assoc_opt name parsed.Dda_obs.Expo.p_histograms
+    in
+    let requests = counter "dda_serve_requests" in
+    let qps =
+      match prev_requests with
+      | None -> "-"
+      | Some p ->
+        Printf.sprintf "%.1f"
+          (float_of_int (requests - p) /. (float_of_int interval_ms /. 1000.))
+    in
+    let hits = counter "dda_memo_hits" and lookups = counter "dda_memo_lookups" in
+    let hit_rate =
+      if lookups = 0 then "-"
+      else Printf.sprintf "%.1f%%" (100. *. float_of_int hits /. float_of_int lookups)
+    in
+    let buf = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    line "ddtest top — 127.0.0.1:%d" port;
+    (match gauge "dda_serve_uptime_ns" with
+     | Some ns -> line "uptime: %.1fs" (float_of_int ns /. 1e9)
+     | None -> ());
+    (match gauge "dda_serve_peak_rss_kb" with
+     | Some kb -> line "rss: %d kB (peak)" kb
+     | None -> ());
+    line "requests: %d (qps %s)  in-flight: %d  shed: %d  quarantined: %d"
+      requests qps
+      (match gauge "dda_serve_in_flight" with Some n -> n | None -> 0)
+      (counter "dda_serve_shed")
+      (counter "dda_serve_quarantined");
+    line "memo: %d hits / %d lookups (hit rate %s)  stripe contended: %d"
+      hits lookups hit_rate
+      (counter "dda_memo_stripe_contended");
+    line "trace dropped: %d  access-log failures: %d"
+      (counter "dda_trace_dropped")
+      (counter "dda_serve_access_log_failed");
+    line "%-10s %8s %8s %8s" "op" "count" "p50" "p99";
+    List.iter
+      (fun op ->
+         match hist (Printf.sprintf "dda_serve_op_%s_ns" op) with
+         | None -> ()
+         | Some h ->
+           line "%-10s %8d %8s %8s" op h.Dda_obs.Expo.p_count
+             (percentile h 0.50) (percentile h 0.99))
+      [ "analyze"; "ping"; "status"; "other" ];
+    (requests, Buffer.contents buf)
+  in
+  let run () port interval_ms once scrape =
+    match scrape with
+    | Some path ->
+      let code, body = admin_get ~port path in
+      print_string body;
+      if code <> 200 then exit 2
+    | None ->
+      let prev = ref None in
+      let continue = ref true in
+      while !continue do
+        let code, body = admin_get ~port "/metrics" in
+        if code <> 200 then failwith (Printf.sprintf "top: /metrics answered %d" code);
+        (match Dda_obs.Expo.parse body with
+         | Error msg -> failwith ("top: bad exposition: " ^ msg)
+         | Ok parsed ->
+           let requests, frame =
+             render ~port ~interval_ms ~prev_requests:!prev parsed
+           in
+           prev := Some requests;
+           if not once then print_string "\027[2J\027[H";
+           print_string frame;
+           flush stdout);
+        if once then continue := false
+        else Unix.sleepf (float_of_int interval_ms /. 1000.)
+      done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view over a running server's admin plane: polls \
+          $(b,/metrics) and renders qps, per-op latency percentiles, memo \
+          hit rate, stripe contention, shed count and peak RSS. With \
+          $(b,--scrape) it degrades into a one-shot HTTP GET for \
+          scripting.")
+    Term.(const run $ obs_term $ port_arg $ interval_arg $ once_arg $ scrape_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache: administration of the durable memo store                     *)
@@ -1989,6 +2241,7 @@ let () =
         batch_cmd;
         serve_cmd;
         query_cmd;
+        top_cmd;
         cache_cmd;
         fuzz_cmd;
         parallel_cmd;

@@ -123,7 +123,9 @@ let run ?budget box rows =
               | Infeasible _ -> 0
               | Feasible _ -> 1
               | Cycle _ -> 2 ) ])
-      (fun () -> run_inner ?budget box rows)
+      (fun () ->
+         Dda_obs.Attrib.time Dda_obs.Attrib.Acyclic (fun () ->
+             run_inner ?budget box rows))
   in
   (match out with Infeasible _ -> Dda_obs.Metrics.incr m_indep | _ -> ());
   out

@@ -397,12 +397,17 @@ let compute_inner st budget (p : Problem.t) ~self =
 let compute st (p : Problem.t) ~self =
   Dda_obs.Metrics.incr m_queries;
   let budget = Budget.create ~cancel:st.cancel st.cfg.limits in
+  let settle () =
+    let used = Budget.steps_used budget in
+    Dda_obs.Metrics.observe h_budget_steps used;
+    Dda_obs.Attrib.add_steps used
+  in
   match compute_inner st budget p ~self with
   | out ->
-    Dda_obs.Metrics.observe h_budget_steps (Budget.steps_used budget);
+    settle ();
     out
   | exception e ->
-    Dda_obs.Metrics.observe h_budget_steps (Budget.steps_used budget);
+    settle ();
     raise e
 
 let reinsert_outcome info = function

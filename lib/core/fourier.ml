@@ -408,7 +408,9 @@ let run ?budget ?(tighten = false) ?stats (sys : Consys.t) =
             ("eliminations", stats.eliminations - e0);
             ("branches", stats.branches - b0);
             ("max_rows", stats.max_rows) ])
-      (fun () -> run_inner ?budget ~tighten ~stats sys)
+      (fun () ->
+         Dda_obs.Attrib.time Dda_obs.Attrib.Fourier (fun () ->
+             run_inner ?budget ~tighten ~stats sys))
   in
   Dda_obs.Metrics.add m_elims (stats.eliminations - e0);
   Dda_obs.Metrics.add m_branches (stats.branches - b0);

@@ -123,7 +123,9 @@ let run_eqs ?budget (p : Problem.t) =
       ~args:(fun out ->
           [ ( "verdict",
               match out with Independent _ -> 0 | Reduced _ -> 1 ) ])
-      (fun () -> run_eqs_inner ?budget p)
+      (fun () ->
+         Dda_obs.Attrib.time Dda_obs.Attrib.Gcd (fun () ->
+             run_eqs_inner ?budget p))
   in
   (match out with Independent _ -> Dda_obs.Metrics.incr m_indep | _ -> ());
   out

@@ -156,7 +156,9 @@ let run ?budget box rows =
               | Some (Infeasible _) -> 0
               | Some (Feasible _) -> 1
               | None -> 2 ) ])
-      (fun () -> run_inner ?budget box rows)
+      (fun () ->
+         Dda_obs.Attrib.time Dda_obs.Attrib.Loop_residue (fun () ->
+             run_inner ?budget box rows))
   in
   (match out with
    | Some (Infeasible _) -> Dda_obs.Metrics.incr m_indep

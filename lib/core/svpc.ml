@@ -44,7 +44,9 @@ let run ?budget (sys : Consys.t) =
               | Infeasible _ -> 0
               | Feasible _ -> 1
               | Partial _ -> 2 ) ])
-      (fun () -> run_inner ?budget sys)
+      (fun () ->
+         Dda_obs.Attrib.time Dda_obs.Attrib.Svpc (fun () ->
+             run_inner ?budget sys))
   in
   (match out with Infeasible _ -> Dda_obs.Metrics.incr m_indep | _ -> ());
   out

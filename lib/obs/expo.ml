@@ -1,0 +1,181 @@
+(* Prometheus text exposition 0.0.4 over the integer-only Metrics
+   registry. Everything here is rendering and parsing of decimal
+   integers — no floats, so a round trip through the text form is
+   exact, which is what the QCheck property leans on. *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name + 4) in
+  Buffer.add_string b "dda_";
+  String.iter
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+       | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* Bucket i of a Metrics histogram holds samples in [2^(i-1), 2^i - 1]
+   (bucket 0: <= 0), so its Prometheus upper bound is inclusive:
+   le = 2^i - 1 (le = 0 for bucket 0). *)
+let le_label i = if i <= 0 then "0" else string_of_int ((1 lsl i) - 1)
+
+type parsed_hist = {
+  p_count : int;
+  p_sum : int;
+  p_cumulative : (string * int) list;
+}
+
+type parsed = {
+  p_counters : (string * int) list;
+  p_gauges : (string * int) list;
+  p_histograms : (string * parsed_hist) list;
+}
+
+let to_string ?(extra_gauges = []) (snap : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let exposed orig =
+    let name = sanitize orig in
+    (match Hashtbl.find_opt seen name with
+     | Some other when not (String.equal other orig) ->
+       invalid_arg
+         (Printf.sprintf
+            "Expo: %S and %S both expose as %S — two series would merge"
+            other orig name)
+     | _ -> Hashtbl.replace seen name orig);
+    name
+  in
+  let head name orig kind =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s dda registry metric %s\n" name orig);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (orig, v) ->
+       let name = exposed orig in
+       head name orig "counter";
+       Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+    snap.Metrics.counters;
+  List.iter
+    (fun (orig, (h : Metrics.hist_snapshot)) ->
+       let name = exposed orig in
+       head name orig "histogram";
+       let cum = ref 0 in
+       List.iter
+         (fun (i, n) ->
+            cum := !cum + n;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (le_label i) !cum))
+         h.Metrics.buckets;
+       Buffer.add_string b
+         (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.count);
+       Buffer.add_string b (Printf.sprintf "%s_sum %d\n" name h.Metrics.sum);
+       Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.Metrics.count))
+    snap.Metrics.histograms;
+  List.iter
+    (fun (orig, v) ->
+       let name = exposed orig in
+       head name orig "gauge";
+       Buffer.add_string b (Printf.sprintf "%s %d\n" name v))
+    extra_gauges;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (strict: only what to_string emits)                         *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  mutable types : (string * string) list;  (* exposed name -> kind *)
+  mutable counters : (string * int) list;
+  mutable gauges : (string * int) list;
+  mutable hists : (string * parsed_hist) list;  (* built in place *)
+}
+
+let parse text =
+  let acc = { types = []; counters = []; gauges = []; hists = [] } in
+  let kind_of name = List.assoc_opt name acc.types in
+  let hist_of name =
+    match List.assoc_opt name acc.hists with
+    | Some h -> h
+    | None ->
+      let h = { p_count = 0; p_sum = 0; p_cumulative = [] } in
+      acc.hists <- (name, h) :: acc.hists;
+      h
+  in
+  let set_hist name h =
+    acc.hists <- (name, h) :: List.remove_assoc name acc.hists
+  in
+  let strip_suffix s suf =
+    let n = String.length s and m = String.length suf in
+    if n > m && String.equal (String.sub s (n - m) m) suf then
+      Some (String.sub s 0 (n - m))
+    else None
+  in
+  let exception Bad of string in
+  let line_no = ref 0 in
+  try
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+        incr line_no;
+        if String.equal line "" then ()
+        else if String.length line > 0 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ kind ] ->
+            acc.types <- (name, kind) :: acc.types
+          | "#" :: "HELP" :: _ -> ()
+          | _ -> raise (Bad line)
+        end
+        else
+          match String.split_on_char ' ' line with
+          | [ name; value ] -> (
+              let v =
+                match int_of_string_opt value with
+                | Some v -> v
+                | None -> raise (Bad line)
+              in
+              (* A labeled name is a histogram bucket line. *)
+              match String.index_opt name '{' with
+              | Some i -> (
+                  let bare = String.sub name 0 i in
+                  let label = String.sub name i (String.length name - i) in
+                  let le =
+                    (* {le="X"} *)
+                    let n = String.length label in
+                    if
+                      n > 7
+                      && String.equal (String.sub label 0 5) "{le=\""
+                      && String.equal (String.sub label (n - 2) 2) "\"}"
+                    then String.sub label 5 (n - 7)
+                    else raise (Bad line)
+                  in
+                  match strip_suffix bare "_bucket" with
+                  | Some base when kind_of base = Some "histogram" ->
+                    let h = hist_of base in
+                    set_hist base
+                      { h with p_cumulative = h.p_cumulative @ [ (le, v) ] }
+                  | _ -> raise (Bad line))
+              | None -> (
+                  match kind_of name with
+                  | Some "counter" -> acc.counters <- (name, v) :: acc.counters
+                  | Some "gauge" -> acc.gauges <- (name, v) :: acc.gauges
+                  | Some _ -> raise (Bad line)
+                  | None -> (
+                      match
+                        ( strip_suffix name "_sum",
+                          strip_suffix name "_count" )
+                      with
+                      | Some base, _ when kind_of base = Some "histogram" ->
+                        set_hist base { (hist_of base) with p_sum = v }
+                      | _, Some base when kind_of base = Some "histogram" ->
+                        set_hist base { (hist_of base) with p_count = v }
+                      | _ -> raise (Bad line))))
+          | _ -> raise (Bad line));
+    let by_name (a, _) (b, _) = String.compare a b in
+    Ok
+      {
+        p_counters = List.sort by_name acc.counters;
+        p_gauges = List.sort by_name acc.gauges;
+        p_histograms = List.sort by_name acc.hists;
+      }
+  with Bad line ->
+    Error (Printf.sprintf "line %d: unparseable: %s" !line_no line)

@@ -1,0 +1,59 @@
+(** Prometheus text exposition (format 0.0.4) for the {!Metrics}
+    registry, plus a parser for exactly what it emits.
+
+    Rendering rules:
+    - Names are sanitized to the Prometheus grammar
+      ([[a-zA-Z_:][a-zA-Z0-9_:]*]) and prefixed [dda_]: every
+      disallowed character becomes [_], so [serve.op.analyze.ns]
+      exposes as [dda_serve_op_analyze_ns]. Registry names are ASCII
+      identifiers chosen by instrumentation sites; sanitization is
+      injective on them in practice, and {!to_string} raises
+      [Invalid_argument] if two distinct names ever collide rather
+      than silently merging series.
+    - Every metric gets a [# HELP] and a [# TYPE] line.
+    - Counters expose as their integer value.
+    - {!Metrics} log2 histograms expose as Prometheus cumulative
+      histograms: one [_bucket{le="..."}] line per populated log2
+      bucket carrying the {e cumulative} count (bucket [i]'s upper
+      bound is [2^i - 1], bucket 0's is [0]), a final
+      [_bucket{le="+Inf"}] equal to [_count], plus [_sum] and
+      [_count]. Bucket lines are monotone non-decreasing by
+      construction — a property the test suite checks on arbitrary
+      snapshots.
+    - Extra gauges (uptime, RSS — values sampled at scrape time rather
+      than accumulated) render as [# TYPE ... gauge].
+
+    The parser {!parse} reads this exposition back into counters,
+    gauges and cumulative histograms. It exists for two consumers: the
+    QCheck round-trip property (snapshot → exposition → parse must
+    lose nothing), and [ddtest top], which scrapes [/metrics] over
+    HTTP and needs the numbers, not the text. *)
+
+val sanitize : string -> string
+(** The exposed name for a registry name (with the [dda_] prefix). *)
+
+val to_string :
+  ?extra_gauges:(string * int) list -> Metrics.snapshot -> string
+(** Render a snapshot. [extra_gauges] are appended after the registry
+    metrics (names sanitized the same way).
+    @raise Invalid_argument when two distinct names sanitize to the
+    same exposed name. *)
+
+type parsed_hist = {
+  p_count : int;
+  p_sum : int;
+  p_cumulative : (string * int) list;
+      (** [(le label, cumulative count)] in exposition order, the
+          [+Inf] bucket included last *)
+}
+
+type parsed = {
+  p_counters : (string * int) list;  (** by exposed name, sorted *)
+  p_gauges : (string * int) list;
+  p_histograms : (string * parsed_hist) list;
+}
+
+val parse : string -> (parsed, string) result
+(** Parse an exposition produced by {!to_string}. Unknown or malformed
+    lines are an [Error] (with the offending line), not skipped: the
+    round-trip property is only meaningful if the parser is strict. *)

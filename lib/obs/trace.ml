@@ -13,6 +13,10 @@ let dummy = { name = ""; ts = 0; dur = 0; tid = 0; args = [] }
    and counting the loss. *)
 let capacity = 1 lsl 16
 
+(* Ring overflow is silent at the trace layer (old events just fall
+   off); the counter makes it visible on /metrics. *)
+let m_dropped = Metrics.counter "trace.dropped"
+
 type ring = {
   r_tid : int;
   mutable arr : event array;
@@ -72,7 +76,11 @@ let push ev =
   let n = Array.length r.arr in
   r.arr.(r.next) <- ev;
   r.next <- (r.next + 1) mod n;
-  if r.len < n then r.len <- r.len + 1 else r.lost <- r.lost + 1
+  if r.len < n then r.len <- r.len + 1
+  else begin
+    r.lost <- r.lost + 1;
+    Metrics.incr m_dropped
+  end
 
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false

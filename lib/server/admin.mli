@@ -1,0 +1,55 @@
+(** The admin plane: a minimal embedded HTTP/1.1 listener on
+    127.0.0.1 serving operational read-only endpoints ([/metrics],
+    [/healthz], [/readyz], [/status], [/tracez]) for a running
+    [ddtest serve] daemon.
+
+    Design constraints, in order:
+
+    - {e Telemetry is never load-bearing.} The listener runs on its
+      own domain, touches none of the serving data path, and every
+      handler error becomes a 500 response (and a log line), never an
+      escaping exception. Killing the admin plane — or flooding it —
+      cannot fail or slow a query beyond the shared cost of the
+      metrics counters the data path already pays.
+    - {e Boring HTTP.} One request per connection ([Connection:
+      close]), GET only, no keep-alive, no chunking; a serial accept
+      loop is plenty for scrape traffic (a Prometheus scraper polls
+      every few seconds). A per-connection receive timeout keeps a
+      stalled client from wedging the loop.
+    - {e Port 0 works.} The socket is bound in {!create} so an
+      ephemeral port is already resolved by the time {!port} is asked
+      for; tests bind port 0 and scrape whatever they got. *)
+
+type response = {
+  status : int;  (** 200, 404, 405, 500, 503 *)
+  content_type : string;
+  body : string;
+}
+
+val ok_text : string -> response
+(** 200 [text/plain]. *)
+
+val ok_json : string -> response
+(** 200 [application/json]. *)
+
+val unavailable : string -> response
+(** 503 [text/plain] — [/readyz] while draining. *)
+
+type t
+
+val create : port:int -> routes:(string * (unit -> response)) list -> t
+(** Bind and listen on [127.0.0.1:port] (0 picks an ephemeral port).
+    [routes] maps exact paths (["/metrics"]) to handlers, evaluated
+    per request on the admin domain; a handler that raises answers
+    500. Unknown paths answer 404; non-GET methods 405.
+    @raise Unix.Unix_error when the port cannot be bound. *)
+
+val port : t -> int
+(** The bound port (useful after binding port 0). *)
+
+val start : t -> unit
+(** Spawn the accept-loop domain. *)
+
+val stop : t -> unit
+(** Stop the loop (self-pipe), join the domain, close the listener.
+    Idempotent; safe to call even if {!start} was never called. *)

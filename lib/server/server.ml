@@ -10,6 +10,9 @@ type config = {
   analyzer : Analyzer.config;
   cache_path : string option;
   cache_fsync : bool;
+  admin_port : int option;
+  access_log : string option;
+  slow_ms : int;
 }
 
 let default_config analyzer =
@@ -21,6 +24,9 @@ let default_config analyzer =
     analyzer;
     cache_path = None;
     cache_fsync = true;
+    admin_port = None;
+    access_log = None;
+    slow_ms = 0;
   }
 
 type conn = {
@@ -39,6 +45,12 @@ type t = {
   stop_w : Unix.file_descr;
   lock : Mutex.t;
   idle : Condition.t;  (* signaled when in_flight returns to 0 *)
+  started : float;  (* wall time at create, for uptime *)
+  serving : bool Atomic.t;  (* true between bind and drain, for /readyz *)
+  access : out_channel option;
+  access_lock : Mutex.t;
+  mutable admin : Admin.t option;
+  mutable next_req : int;  (* server-assigned request ids (logs only) *)
   mutable in_flight : int;
   mutable conns : conn list;
   mutable requests : int;
@@ -51,6 +63,79 @@ let m_responses = Metrics.counter "serve.responses"
 let m_shed = Metrics.counter "serve.shed"
 let m_quarantined = Metrics.counter "serve.quarantined"
 let m_queue_depth = Metrics.histogram "serve.queue_depth"
+let m_access_failed = Metrics.counter "serve.access_log.failed"
+
+(* Per-op latency histograms. The op set is closed, so the registry
+   never grows with traffic (unknown ops all land in [serve.op.other]). *)
+let h_op_ping = Metrics.histogram "serve.op.ping.ns"
+let h_op_status = Metrics.histogram "serve.op.status.ns"
+let h_op_analyze = Metrics.histogram "serve.op.analyze.ns"
+let h_op_other = Metrics.histogram "serve.op.other.ns"
+
+let op_hist = function
+  | "ping" -> h_op_ping
+  | "status" -> h_op_status
+  | "analyze" -> h_op_analyze
+  | _ -> h_op_other
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Access log                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSONL line per request, written when the request's response is
+   known (so latency and verdict flags are real). Log I/O failure is a
+   counter, never an exception: telemetry must not fail a query. *)
+let access_line t ~req ~op ~ok ~ns ~(flags : (string * Json_out.t) list) =
+  match t.access with
+  | None -> ()
+  | Some oc ->
+    let line =
+      Json_out.to_string
+        (Json_out.Obj
+           ([
+              ("ts_ms", Json_out.Int (int_of_float (Unix.gettimeofday () *. 1000.)));
+              ("req", Json_out.Int req);
+              ("op", Json_out.Str op);
+              ("ok", Json_out.Bool ok);
+              ("ns", Json_out.Int ns);
+            ]
+            @ flags))
+    in
+    Mutex.lock t.access_lock;
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ -> Metrics.incr m_access_failed);
+    Mutex.unlock t.access_lock
+
+let finish_request t ~req ~op ~ok ~t0 ~flags =
+  let ns = now_ns () - t0 in
+  Metrics.observe (op_hist op) ns;
+  access_line t ~req ~op ~ok ~ns ~flags;
+  if t.cfg.slow_ms > 0 && ns > t.cfg.slow_ms * 1_000_000 then
+    Log.warn "serve: slow request #%d (%s): %d ms (threshold %d ms)" req op
+      (ns / 1_000_000) t.cfg.slow_ms
+
+(* ------------------------------------------------------------------ *)
+(* Admin plane                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let uptime_ns t = int_of_float ((Unix.gettimeofday () -. t.started) *. 1e9)
+
+let extra_gauges t =
+  let in_flight =
+    Mutex.lock t.lock;
+    let n = t.in_flight in
+    Mutex.unlock t.lock;
+    n
+  in
+  [ ("serve.uptime_ns", uptime_ns t); ("serve.in_flight", in_flight) ]
+  @ (match Rusage.peak_rss_kb () with
+     | Some kb -> [ ("serve.peak_rss_kb", kb) ]
+     | None -> [])
 
 let create cfg =
   if cfg.jobs < 1 then failwith "serve: jobs must be at least 1";
@@ -60,8 +145,16 @@ let create cfg =
     Dda_cache.Durable.create ?path:cfg.cache_path ~fsync:cfg.cache_fsync
       ~config:cfg.analyzer ()
   in
+  let access =
+    match cfg.access_log with
+    | None -> None
+    | Some path -> (
+        try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        with Sys_error msg -> failwith ("serve: cannot open access log: " ^ msg))
+  in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
-  ( {
+  let t =
+    {
       cfg;
       cache;
       pool = Dda_engine.Pool.create ~jobs:cfg.jobs;
@@ -69,13 +162,20 @@ let create cfg =
       stop_w;
       lock = Mutex.create ();
       idle = Condition.create ();
+      started = Unix.gettimeofday ();
+      serving = Atomic.make false;
+      access;
+      access_lock = Mutex.create ();
+      admin = None;
+      next_req = 0;
       in_flight = 0;
       conns = [];
       requests = 0;
       shed = 0;
       quarantined = 0;
-    },
-    recovery )
+    }
+  in
+  t, recovery
 
 let drain t =
   (* Runs inside a signal handler: one write, nothing else. *)
@@ -124,8 +224,43 @@ let deadline_cancel ms =
     fun () -> Unix.gettimeofday () > until
   end
 
-let analyze_task t conn req id () =
-  let result =
+let bool_member name req =
+  match Json_out.member name req with
+  | Some (Json_out.Bool b) -> b
+  | _ -> false
+
+let explain_json (snap : Attrib.snapshot) (stats : Analyzer.stats) =
+  Json_out.Obj
+    [
+      ( "stages",
+        Json_out.Obj
+          (List.map
+             (fun (stage, (s : Attrib.stage_stat)) ->
+                ( Attrib.stage_name stage,
+                  Json_out.Obj
+                    [ ("calls", Json_out.Int s.Attrib.calls);
+                      ("ns", Json_out.Int s.Attrib.ns) ] ))
+             snap.Attrib.stages) );
+      ( "memo",
+        Json_out.Obj
+          [
+            ("gcd_lookups", Json_out.Int stats.Analyzer.memo_lookups_nobounds);
+            ("gcd_hits", Json_out.Int stats.Analyzer.memo_hits_nobounds);
+            ("full_lookups", Json_out.Int stats.Analyzer.memo_lookups_full);
+            ("full_hits", Json_out.Int stats.Analyzer.memo_hits_full);
+          ] );
+      ("budget_steps", Json_out.Int snap.Attrib.budget_steps);
+      ("degraded", Json_out.Bool (stats.Analyzer.degraded_pairs > 0));
+    ]
+
+type analyze_outcome = {
+  json : (Json_out.t, string * (string * Json_out.t) list) result;
+  a_ok : bool;
+  a_flags : (string * Json_out.t) list;  (* access-log flags *)
+}
+
+let analyze_task t conn req id ~rid ~t0 () =
+  let outcome =
     try
       Failpoint.hit "serve.request";
       match Json_out.member "program" req with
@@ -136,36 +271,65 @@ let analyze_task t conn req id () =
             | _ -> t.cfg.request_timeout_ms
           in
           let prog = Parser.parse_program src in
-          let report =
-            Analyzer.analyze ~config:t.cfg.analyzer
-              ~cancel:(deadline_cancel timeout_ms)
-              ~cache:(Dda_cache.Durable.cache t.cache)
-              prog
+          (* The attribution window also feeds the access log (budget
+             steps, degradation), so it is open for every analyze, not
+             just explained ones; its cost is a handful of clock reads
+             per cascade stage. *)
+          let report, snap =
+            Attrib.collect (fun () ->
+                Analyzer.analyze ~config:t.cfg.analyzer
+                  ~cancel:(deadline_cancel timeout_ms)
+                  ~cache:(Dda_cache.Durable.cache t.cache)
+                  prog)
           in
-          let want_stats =
-            match Json_out.member "stats" req with
-            | Some (Json_out.Bool b) -> b
-            | _ -> false
-          in
-          Ok
-            (Json_out.Obj
-               ([
-                  ("id", id);
-                  ("ok", Json_out.Bool true);
-                  ( "pairs",
-                    Json_out.List
-                      (List.map Json_out.pair report.Analyzer.pair_reports) );
-                ]
-                @
-                if want_stats then
-                  [ ("stats", Json_out.stats report.Analyzer.stats) ]
-                else []))
-      | _ -> Error ("analyze: missing \"program\" string", [])
+          let stats = report.Analyzer.stats in
+          let want_stats = bool_member "stats" req in
+          let want_explain = bool_member "explain" req in
+          let degraded = stats.Analyzer.degraded_pairs > 0 in
+          {
+            json =
+              Ok
+                (Json_out.Obj
+                   ([
+                      ("id", id);
+                      ("ok", Json_out.Bool true);
+                      ( "pairs",
+                        Json_out.List
+                          (List.map Json_out.pair report.Analyzer.pair_reports)
+                      );
+                    ]
+                    @ (if want_stats then
+                         [ ("stats", Json_out.stats stats) ]
+                       else [])
+                    @
+                    if want_explain then
+                      [ ("explain", explain_json snap stats) ]
+                    else []));
+            a_ok = true;
+            a_flags =
+              [
+                ("degraded", Json_out.Bool degraded);
+                ( "memo_hits",
+                  Json_out.Int
+                    (stats.Analyzer.memo_hits_nobounds
+                     + stats.Analyzer.memo_hits_full) );
+                ( "memo_lookups",
+                  Json_out.Int
+                    (stats.Analyzer.memo_lookups_nobounds
+                     + stats.Analyzer.memo_lookups_full) );
+                ("budget_steps", Json_out.Int snap.Attrib.budget_steps);
+              ];
+          }
+      | _ ->
+        { json = Error ("analyze: missing \"program\" string", []);
+          a_ok = false; a_flags = [] }
     with
     | Parser.Error (msg, loc) ->
-        Error (Format.asprintf "%a: syntax error: %s" Loc.pp loc msg, [])
+        { json = Error (Format.asprintf "%a: syntax error: %s" Loc.pp loc msg, []);
+          a_ok = false; a_flags = [] }
     | Lexer.Error (msg, loc) ->
-        Error (Format.asprintf "%a: lexical error: %s" Loc.pp loc msg, [])
+        { json = Error (Format.asprintf "%a: lexical error: %s" Loc.pp loc msg, []);
+          a_ok = false; a_flags = [] }
     | e ->
         (* Poisoned request: quarantine it — answer with the failure,
            keep the worker. *)
@@ -173,13 +337,18 @@ let analyze_task t conn req id () =
         t.quarantined <- t.quarantined + 1;
         Mutex.unlock t.lock;
         Metrics.incr m_quarantined;
-        Error
-          ( Printexc.to_string e,
-            [ ("quarantined", Json_out.Bool true) ] )
+        { json =
+            Error
+              ( Printexc.to_string e,
+                [ ("quarantined", Json_out.Bool true) ] );
+          a_ok = false;
+          a_flags = [ ("quarantined", Json_out.Bool true) ] }
   in
-  (match result with
+  (match outcome.json with
    | Ok json -> respond conn json
    | Error (msg, extra) -> respond conn (error_response id msg extra));
+  finish_request t ~req:rid ~op:"analyze" ~ok:outcome.a_ok ~t0
+    ~flags:outcome.a_flags;
   Mutex.lock t.lock;
   t.in_flight <- t.in_flight - 1;
   conn.pending <- conn.pending - 1;
@@ -199,42 +368,59 @@ let status_json t =
       ("ok", Json_out.Bool true);
       ( "server",
         Json_out.Obj
-          [
-            ("jobs", Json_out.Int t.cfg.jobs);
-            ("queue_limit", Json_out.Int t.cfg.queue_limit);
-            ("requests", Json_out.Int requests);
-            ("in_flight", Json_out.Int in_flight);
-            ("shed", Json_out.Int shed);
-            ("quarantined", Json_out.Int quarantined);
-            ( "cache",
-              Json_out.Obj
-                [
-                  ( "path",
-                    match Dda_cache.Durable.store_path t.cache with
-                    | Some p -> Json_out.Str p
-                    | None -> Json_out.Null );
-                  ("gcd_entries", Json_out.Int gcd_entries);
-                  ("full_entries", Json_out.Int full_entries);
-                  ("appends", Json_out.Int (Dda_cache.Durable.store_appends t.cache));
-                ] );
-          ] );
+          ([
+             ("jobs", Json_out.Int t.cfg.jobs);
+             ("queue_limit", Json_out.Int t.cfg.queue_limit);
+             ("requests", Json_out.Int requests);
+             ("in_flight", Json_out.Int in_flight);
+             ("shed", Json_out.Int shed);
+             ("quarantined", Json_out.Int quarantined);
+             ("uptime_ns", Json_out.Int (uptime_ns t));
+           ]
+           @ (match Rusage.peak_rss_kb () with
+              | Some kb -> [ ("peak_rss_kb", Json_out.Int kb) ]
+              | None -> [])
+           @ [
+               ( "cache",
+                 Json_out.Obj
+                   [
+                     ( "path",
+                       match Dda_cache.Durable.store_path t.cache with
+                       | Some p -> Json_out.Str p
+                       | None -> Json_out.Null );
+                     ("gcd_entries", Json_out.Int gcd_entries);
+                     ("full_entries", Json_out.Int full_entries);
+                     ("records", Json_out.Int (gcd_entries + full_entries));
+                     ( "appends",
+                       Json_out.Int (Dda_cache.Durable.store_appends t.cache) );
+                   ] );
+             ]) );
     ]
 
 let handle_line t conn line =
   Metrics.incr m_requests;
+  let t0 = now_ns () in
   Mutex.lock t.lock;
   t.requests <- t.requests + 1;
+  t.next_req <- t.next_req + 1;
+  let rid = t.next_req in
   Mutex.unlock t.lock;
+  let finish = finish_request t ~req:rid ~t0 in
   match Json_out.of_string line with
-  | Error msg -> respond conn (error_response Json_out.Null ("bad request: " ^ msg) [])
+  | Error msg ->
+      respond conn (error_response Json_out.Null ("bad request: " ^ msg) []);
+      finish ~op:"invalid" ~ok:false ~flags:[]
   | Ok req -> (
       let id = request_id req in
       match Json_out.member "op" req with
       | Some (Json_out.Str "ping") ->
           respond conn
             (Json_out.Obj
-               [ ("id", id); ("ok", Json_out.Bool true); ("pong", Json_out.Bool true) ])
-      | Some (Json_out.Str "status") -> respond conn (status_json t)
+               [ ("id", id); ("ok", Json_out.Bool true); ("pong", Json_out.Bool true) ]);
+          finish ~op:"ping" ~ok:true ~flags:[]
+      | Some (Json_out.Str "status") ->
+          respond conn (status_json t);
+          finish ~op:"status" ~ok:true ~flags:[]
       | Some (Json_out.Str "analyze") ->
           (* Shed before queueing: the queue is bounded by refusal, not
              by blocking the accept loop. *)
@@ -249,7 +435,9 @@ let handle_line t conn line =
           Mutex.unlock t.lock;
           Metrics.observe m_queue_depth depth;
           if accept then
-            ignore (Dda_engine.Pool.submit t.pool (analyze_task t conn req id))
+            ignore
+              (Dda_engine.Pool.submit t.pool
+                 (analyze_task t conn req id ~rid ~t0))
           else begin
             Metrics.incr m_shed;
             respond conn
@@ -257,11 +445,16 @@ let handle_line t conn line =
                  (Printf.sprintf
                     "server overloaded: %d request(s) outstanding (limit %d)"
                     depth t.cfg.queue_limit)
-                 [ ("shed", Json_out.Bool true) ])
+                 [ ("shed", Json_out.Bool true) ]);
+            finish ~op:"analyze" ~ok:false
+              ~flags:[ ("shed", Json_out.Bool true) ]
           end
       | Some (Json_out.Str op) ->
-          respond conn (error_response id ("unknown op: " ^ op) [])
-      | _ -> respond conn (error_response id "missing \"op\"" []))
+          respond conn (error_response id ("unknown op: " ^ op) []);
+          finish ~op:"invalid" ~ok:false ~flags:[]
+      | _ ->
+          respond conn (error_response id "missing \"op\"" []);
+          finish ~op:"invalid" ~ok:false ~flags:[])
 
 (* ------------------------------------------------------------------ *)
 (* The accept/read loop                                                *)
@@ -298,6 +491,36 @@ let rec select_intr r timeout =
   try Unix.select r [] [] timeout
   with Unix.Unix_error (EINTR, _, _) -> select_intr r timeout
 
+let admin_routes t =
+  [
+    ( "/metrics",
+      fun () ->
+        Admin.ok_text
+          (Expo.to_string ~extra_gauges:(extra_gauges t) (Metrics.snapshot ()))
+    );
+    ("/healthz", fun () -> Admin.ok_text "ok\n");
+    ( "/readyz",
+      fun () ->
+        if not (Atomic.get t.serving) then Admin.unavailable "draining\n"
+        else begin
+          Mutex.lock t.lock;
+          let headroom = t.in_flight < t.cfg.queue_limit in
+          Mutex.unlock t.lock;
+          if headroom then Admin.ok_text "ready\n"
+          else Admin.unavailable "saturated\n"
+        end );
+    ("/status", fun () -> Admin.ok_json (Json_out.to_string (status_json t)));
+    ( "/tracez",
+      fun () ->
+        (* Drain: a scrape empties the ring, so consecutive scrapes
+           hand out disjoint event windows. *)
+        let body = Trace.to_chrome_string () in
+        Trace.clear ();
+        Admin.ok_json body );
+  ]
+
+let admin_port t = Option.map Admin.port t.admin
+
 let run t =
   let cfg = t.cfg in
   (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) : unit);
@@ -312,6 +535,14 @@ let run t =
   Unix.listen listen_fd 16;
   Log.info "serve: listening on %s (%d worker(s), queue limit %d)"
     cfg.socket_path cfg.jobs cfg.queue_limit;
+  Atomic.set t.serving true;
+  (match cfg.admin_port with
+   | None -> ()
+   | Some port ->
+     let admin = Admin.create ~port ~routes:(admin_routes t) in
+     Admin.start admin;
+     t.admin <- Some admin;
+     Log.info "serve: admin listening on 127.0.0.1:%d" (Admin.port admin));
   let draining = ref false in
   while not !draining do
     (* Reap connections whose peer left and whose workers finished. *)
@@ -345,6 +576,7 @@ let run t =
   (* Graceful drain: no new intake, finish in-flight, make the cache
      durable, then release everything and let the caller exit 0. *)
   Log.info "serve: draining";
+  Atomic.set t.serving false;
   Mutex.lock t.lock;
   while t.in_flight > 0 do
     Condition.wait t.idle t.lock
@@ -352,6 +584,13 @@ let run t =
   Mutex.unlock t.lock;
   Dda_engine.Pool.shutdown t.pool;
   Dda_cache.Durable.close t.cache;
+  (* The admin plane outlives intake (a scrape during drain still
+     answers, with /readyz at 503) and dies before the process exits. *)
+  (match t.admin with Some a -> Admin.stop a | None -> ());
+  t.admin <- None;
+  (match t.access with
+   | Some oc -> (try close_out oc with Sys_error _ -> ())
+   | None -> ());
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
   t.conns <- [];
   Unix.close listen_fd;

@@ -9,12 +9,16 @@
     {"op":"ping"}
     {"op":"status"}
     {"op":"analyze","id":1,"program":"for i = 1 to 10 { ... }",
-     "stats":true,"timeout_ms":500}
+     "stats":true,"explain":true,"timeout_ms":500}
     v}
 
     [id] is echoed back (null when absent); [stats] (default false)
-    adds the full statistics object to the response; [timeout_ms]
-    overrides the server's default per-request deadline. Responses:
+    adds the full statistics object to the response; [explain]
+    (default false) adds an ["explain"] block attributing the
+    request's time per cascade stage ({!Dda_obs.Attrib}) alongside
+    memo hit counts, budget steps spent and the degradation flag — the
+    answer to "why was this query slow?"; [timeout_ms] overrides the
+    server's default per-request deadline. Responses:
 
     {v
     {"id":1,"ok":true,"pairs":[...]}            analysis result
@@ -53,7 +57,31 @@
       store before the response is written; kill -9 at any moment
       (failpoint sites [cache.append], [cache.append.mid],
       [cache.flush], [serve.request]) leaves a store the next start
-      recovers to an intact prefix of. *)
+      recovers to an intact prefix of.
+    - {e Telemetry is never load-bearing}: the admin plane
+      ({!Admin}), access log and attribution windows observe the data
+      path but are not read by it; an admin-plane or log-write failure
+      becomes a counter ([serve.access_log.failed], [admin.errors]),
+      never a failed query.
+
+    Operational telemetry (all opt-in via {!config}):
+    - [admin_port] starts an {!Admin} HTTP listener on 127.0.0.1
+      with [/metrics] (Prometheus exposition of the {!Dda_obs.Metrics}
+      registry plus uptime/RSS/in-flight gauges), [/healthz],
+      [/readyz] (503 while draining or saturated), [/status] (the
+      socket [status] JSON) and [/tracez] (drains the Chrome trace
+      ring).
+    - [access_log] appends one JSONL line per request — server
+      request id, op, latency, shed/quarantined/degraded flags, memo
+      hits and budget steps — written when the response is known, so
+      the line count equals the request count once drained.
+    - [slow_ms] logs a warning for any request slower than the
+      threshold. Per-op latency lands in [serve.op.*.ns] histograms
+      regardless.
+
+    Server-assigned request ids appear only in logs, never in
+    responses: the default response must stay byte-identical across
+    restarts. *)
 
 type config = {
   socket_path : string;
@@ -63,10 +91,14 @@ type config = {
   analyzer : Dda_core.Analyzer.config;
   cache_path : string option;  (** durable store; [None] = memory only *)
   cache_fsync : bool;
+  admin_port : int option;  (** HTTP admin plane; 0 = ephemeral port *)
+  access_log : string option;  (** JSONL access log path (appended) *)
+  slow_ms : int;  (** slow-request log threshold; 0 = off *)
 }
 
 val default_config : Dda_core.Analyzer.config -> config
-(** jobs 2, queue_limit 64, no deadline, no durable store. *)
+(** jobs 2, queue_limit 64, no deadline, no durable store, no admin
+    plane, no access log. *)
 
 type t
 
@@ -78,6 +110,11 @@ val create : config -> t * Dda_cache.Store.recovery option
 val drain : t -> unit
 (** Request graceful shutdown. Async-signal-safe (one [write] to a
     self-pipe): install it directly as the SIGINT/SIGTERM handler. *)
+
+val admin_port : t -> int option
+(** The bound admin port once {!run} has started the admin plane
+    ([Some] only when the config asked for one); with [admin_port =
+    Some 0] this is where the ephemeral port shows up. *)
 
 val run : t -> unit
 (** Bind the socket (unlinking any stale file a crashed predecessor

@@ -52,7 +52,7 @@ loop is vectorizable but not DOALL.
 The JSON form is the same object the batch driver embeds:
 
   $ ddtest metrics loop.dd --format json | head -c 60
-  {"counters":{"analyzer.pairs":3,"analyzer.queries":3,"batch.
+  {"counters":{"admin.errors":0,"admin.requests":0,"analyzer.p
 
   $ ddtest batch loop.dd --format json --jobs 2 | grep -c '"metrics":'
   1

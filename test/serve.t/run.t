@@ -115,3 +115,78 @@ never answers:
 
   $ cmp first.out reconfigured.out && echo identical
   identical
+
+The telemetry plane: --admin-port 0 binds an ephemeral HTTP port on
+loopback (announced in the log), --access-log records one JSON line
+per request, and `ddtest top --scrape` is a built-in curl substitute:
+
+  $ ddtest serve --log-level info --socket s.sock --cache memo.cache --admin-port 0 --access-log access.jsonl 2>serve6.log &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ for i in $(seq 1 100); do grep -q 'admin listening' serve6.log && break; sleep 0.1; done
+  $ PORT=$(grep -o 'admin listening on 127.0.0.1:[0-9]*' serve6.log | grep -o '[0-9]*$')
+
+Liveness and readiness answer while the daemon serves:
+
+  $ ddtest top --port $PORT --scrape /healthz
+  ok
+  $ ddtest top --port $PORT --scrape /readyz
+  ready
+
+An explained query attributes its time per cascade stage (the values
+vary run to run; the shape does not):
+
+  $ ddtest query --socket s.sock --explain p.dd | grep -o '"explain":{"stages":{"gcd":{"calls":[0-9]*' | grep -o '.*calls'
+  "explain":{"stages":{"gcd":{"calls
+
+/metrics speaks Prometheus text exposition: counters and cumulative
+histograms, every family with HELP and TYPE lines:
+
+  $ ddtest top --port $PORT --scrape /metrics > metrics.txt
+  $ grep -c '^# TYPE dda_serve_requests counter$' metrics.txt
+  1
+  $ grep -c '^# HELP dda_serve_op_analyze_ns ' metrics.txt
+  1
+  $ grep -o '^# TYPE dda_serve_op_analyze_ns histogram$' metrics.txt
+  # TYPE dda_serve_op_analyze_ns histogram
+  $ grep -o 'dda_serve_op_analyze_ns_bucket{le="+Inf"} [0-9]*' metrics.txt
+  dda_serve_op_analyze_ns_bucket{le="+Inf"} 1
+  $ grep -o '^dda_memo_lookups [0-9]*' metrics.txt > /dev/null && echo exposed
+  exposed
+
+`ddtest top --once` renders one frame of the live view from the same
+scrape:
+
+  $ ddtest top --port $PORT --once | grep -o 'requests: [0-9]* (qps -)'
+  requests: 1 (qps -)
+  $ ddtest top --port $PORT --once | grep -c '^op '
+  1
+
+/status mirrors the socket status op, with uptime and peak RSS:
+
+  $ ddtest top --port $PORT --scrape /status | grep -o '"uptime_ns":'
+  "uptime_ns":
+  $ ddtest top --port $PORT --scrape /status | grep -o '"peak_rss_kb":'
+  "peak_rss_kb":
+
+Unknown paths are a 404 and exit 2 — and none of this touched the
+data plane:
+
+  $ ddtest top --port $PORT --scrape /nope
+  not found
+  [2]
+  $ ddtest query --socket s.sock p.dd > telemetry.out
+  $ cmp first.out telemetry.out && echo identical
+  identical
+
+The access log holds exactly one line per request served so far, in
+request order:
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+  $ grep -c '"op":' access.jsonl
+  2
+  $ grep -c '"op":"analyze"' access.jsonl
+  2
+  $ head -1 access.jsonl | grep -o '"req":1,"op":"analyze","ok":true'
+  "req":1,"op":"analyze","ok":true

@@ -256,6 +256,278 @@ let prop_batch_metrics_jobs_invariant =
        let solo = registry_of 1 in
        List.for_all (fun jobs -> registry_of jobs = solo) [ 2; 3 ])
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_expo_sanitize () =
+  Alcotest.(check string) "dots become underscores" "dda_serve_op_analyze_ns"
+    (Expo.sanitize "serve.op.analyze.ns");
+  Alcotest.(check string) "dashes too" "dda_a_b" (Expo.sanitize "a-b");
+  Alcotest.(check string) "identity otherwise" "dda_memo_hits"
+    (Expo.sanitize "memo_hits");
+  (* Two registry names that collide after sanitization must refuse to
+     render rather than silently merge into one series. *)
+  Alcotest.check_raises "collision refused"
+    (Invalid_argument
+       "Expo: \"a.b\" and \"a-b\" both expose as \"dda_a_b\" — two series \
+        would merge")
+    (fun () ->
+       ignore
+         (Expo.to_string
+            { Metrics.counters = [ ("a.b", 1); ("a-b", 2) ]; histograms = [] }))
+
+let sample_snapshot =
+  {
+    Metrics.counters = [ ("qc.alpha", 3); ("qc.beta", 0) ];
+    histograms =
+      [
+        ( "qc.lat",
+          { Metrics.count = 6; sum = 100; buckets = [ (0, 1); (3, 2); (5, 3) ] }
+        );
+      ];
+  }
+
+let test_expo_well_formed () =
+  let text = Expo.to_string ~extra_gauges:[ ("up", 1) ] sample_snapshot in
+  let lines = String.split_on_char '\n' text in
+  (* Every exposed family has HELP and TYPE lines. *)
+  List.iter
+    (fun name ->
+       List.iter
+         (fun directive ->
+            Alcotest.(check bool)
+              (directive ^ " for " ^ name) true
+              (List.exists
+                 (fun l ->
+                    String.length l > 2
+                    && String.starts_with ~prefix:("# " ^ directive ^ " " ^ name) l)
+                 lines))
+         [ "HELP"; "TYPE" ])
+    [ "dda_qc_alpha"; "dda_qc_beta"; "dda_qc_lat"; "dda_up" ];
+  (* The log2 histogram renders as monotone cumulative buckets with an
+     +Inf bucket equal to the count. Bucket 3 covers [4,7] so its upper
+     bound is 7; bucket 5 covers [16,31]. *)
+  let expect =
+    [
+      "dda_qc_lat_bucket{le=\"0\"} 1";
+      "dda_qc_lat_bucket{le=\"7\"} 3";
+      "dda_qc_lat_bucket{le=\"31\"} 6";
+      "dda_qc_lat_bucket{le=\"+Inf\"} 6";
+      "dda_qc_lat_sum 100";
+      "dda_qc_lat_count 6";
+    ]
+  in
+  List.iter
+    (fun l -> Alcotest.(check bool) ("line " ^ l) true (List.mem l lines))
+    expect
+
+let test_expo_parse_roundtrip_unit () =
+  match Expo.parse (Expo.to_string ~extra_gauges:[ ("up", 42) ] sample_snapshot) with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok p ->
+    Alcotest.(check (list (pair string int)))
+      "counters"
+      [ ("dda_qc_alpha", 3); ("dda_qc_beta", 0) ]
+      p.Expo.p_counters;
+    Alcotest.(check (list (pair string int))) "gauges" [ ("dda_up", 42) ]
+      p.Expo.p_gauges;
+    (match p.Expo.p_histograms with
+     | [ ("dda_qc_lat", h) ] ->
+       Alcotest.(check int) "count" 6 h.Expo.p_count;
+       Alcotest.(check int) "sum" 100 h.Expo.p_sum;
+       Alcotest.(check (list (pair string int)))
+         "cumulative"
+         [ ("0", 1); ("7", 3); ("31", 6); ("+Inf", 6) ]
+         h.Expo.p_cumulative
+     | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs))
+
+let test_expo_parse_strict () =
+  List.iter
+    (fun text ->
+       match Expo.parse text with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "parse accepted malformed input: %s" text)
+    [
+      "dda_x 1";  (* sample without a TYPE declaration *)
+      "# TYPE dda_x counter\ndda_x one";  (* non-integer value *)
+      "# TYPE dda_x counter\ndda_x 1 2 3";  (* too many fields *)
+      "# FLAVOR dda_x counter";  (* unknown directive *)
+      "# TYPE dda_x histogram\ndda_x_bucket{le=7} 1";  (* unquoted label *)
+    ]
+
+(* snapshot -> exposition -> parse loses nothing. The generator builds
+   internally-consistent histograms (count = sum of bucket samples),
+   which is what [Metrics.observe] always produces. *)
+let arb_metrics_snapshot =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let hist =
+        let* idxs =
+          map
+            (fun l -> List.sort_uniq compare l)
+            (list_size (int_range 1 6) (int_range 0 20))
+        in
+        let* samples =
+          flatten_l (List.map (fun i -> pair (return i) (int_range 1 50)) idxs)
+        in
+        let* sum = int_range 0 1_000_000 in
+        return
+          {
+            Metrics.count = List.fold_left (fun a (_, n) -> a + n) 0 samples;
+            sum;
+            buckets = samples;
+          }
+      in
+      let* ncounters = int_range 0 4 in
+      let* nhists = int_range 0 3 in
+      let* counter_vals =
+        flatten_l (List.init ncounters (fun _ -> int_range 0 1_000_000))
+      in
+      let* hists = flatten_l (List.init nhists (fun _ -> hist)) in
+      return
+        {
+          Metrics.counters =
+            List.mapi (fun i v -> (Printf.sprintf "qc.c%d" i, v)) counter_vals;
+          histograms =
+            List.mapi (fun i h -> (Printf.sprintf "qc.h%d" i, h)) hists;
+        })
+  in
+  QCheck.make
+    ~print:(fun s ->
+        Expo.to_string s)
+    gen
+
+let prop_expo_roundtrip =
+  QCheck.Test.make ~name:"expo round-trip: snapshot -> text -> parse"
+    ~count:200 arb_metrics_snapshot (fun snap ->
+      match Expo.parse (Expo.to_string snap) with
+      | Error msg -> QCheck.Test.fail_report ("parse failed: " ^ msg)
+      | Ok p ->
+        List.iter
+          (fun (name, v) ->
+             if List.assoc_opt (Expo.sanitize name) p.Expo.p_counters <> Some v
+             then QCheck.Test.fail_report ("counter lost: " ^ name))
+          snap.Metrics.counters;
+        List.iter
+          (fun (name, (h : Metrics.hist_snapshot)) ->
+             match List.assoc_opt (Expo.sanitize name) p.Expo.p_histograms with
+             | None -> QCheck.Test.fail_report ("histogram lost: " ^ name)
+             | Some ph ->
+               if ph.Expo.p_count <> h.Metrics.count then
+                 QCheck.Test.fail_report "count changed";
+               if ph.Expo.p_sum <> h.Metrics.sum then
+                 QCheck.Test.fail_report "sum changed";
+               (* Cumulative counts are monotone and end at count. *)
+               let rec mono prev = function
+                 | [] -> ()
+                 | (_, c) :: rest ->
+                   if c < prev then QCheck.Test.fail_report "not monotone";
+                   mono c rest
+               in
+               mono 0 ph.Expo.p_cumulative;
+               (match List.rev ph.Expo.p_cumulative with
+                | ("+Inf", c) :: _ when c = h.Metrics.count -> ()
+                | _ -> QCheck.Test.fail_report "+Inf bucket wrong");
+               if
+                 List.length ph.Expo.p_cumulative
+                 <> List.length h.Metrics.buckets + 1
+               then QCheck.Test.fail_report "bucket count changed")
+          snap.Metrics.histograms;
+        true)
+
+(* ------------------------------------------------------------------ *)
+(* Stage attribution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic "clock" that jumps by a known amount per read makes
+   the charged durations exact: each timed call reads twice, so it
+   charges exactly [step]. *)
+let with_attrib_clock step f =
+  let t = ref 0 in
+  Attrib.set_time_source (fun () -> t := !t + step; !t);
+  Fun.protect ~finally:(fun () -> Attrib.set_time_source Clock.now) f
+
+let stage_stat snap stage =
+  List.assoc stage snap.Attrib.stages
+
+let test_attrib_inactive () =
+  Alcotest.(check bool) "no window" false (Attrib.collecting ());
+  Alcotest.(check int) "time is transparent" 7
+    (Attrib.time Attrib.Svpc (fun () -> 7));
+  Attrib.add_steps 100 (* no-op, must not raise *)
+
+let test_attrib_collect () =
+  with_attrib_clock 3 (fun () ->
+      let v, snap =
+        Attrib.collect (fun () ->
+            Alcotest.(check bool) "window open" true (Attrib.collecting ());
+            let a = Attrib.time Attrib.Gcd (fun () -> 1) in
+            let b = Attrib.time Attrib.Gcd (fun () -> 2) in
+            let c = Attrib.time Attrib.Fourier (fun () -> 3) in
+            Attrib.add_steps 5;
+            Attrib.add_steps 7;
+            a + b + c)
+      in
+      Alcotest.(check int) "result" 6 v;
+      let gcd = stage_stat snap Attrib.Gcd in
+      Alcotest.(check int) "gcd calls" 2 gcd.Attrib.calls;
+      Alcotest.(check int) "gcd ns" 6 gcd.Attrib.ns;
+      let fm = stage_stat snap Attrib.Fourier in
+      Alcotest.(check int) "fourier calls" 1 fm.Attrib.calls;
+      Alcotest.(check int) "fourier ns" 3 fm.Attrib.ns;
+      let sv = stage_stat snap Attrib.Svpc in
+      Alcotest.(check int) "untouched stage" 0 sv.Attrib.calls;
+      Alcotest.(check int) "steps" 12 snap.Attrib.budget_steps;
+      Alcotest.(check bool) "window closed" false (Attrib.collecting ()))
+
+let test_attrib_charges_on_raise () =
+  with_attrib_clock 1 (fun () ->
+      let _, snap =
+        Attrib.collect (fun () ->
+            (try Attrib.time Attrib.Acyclic (fun () -> failwith "boom")
+             with Failure _ -> ());
+            ())
+      in
+      let ac = stage_stat snap Attrib.Acyclic in
+      Alcotest.(check int) "call charged" 1 ac.Attrib.calls;
+      Alcotest.(check int) "time charged" 1 ac.Attrib.ns)
+
+let test_attrib_nested_and_raise () =
+  with_attrib_clock 1 (fun () ->
+      let (), outer =
+        Attrib.collect (fun () ->
+            ignore (Attrib.time Attrib.Svpc (fun () -> ()));
+            let (), inner = Attrib.collect (fun () ->
+                ignore (Attrib.time Attrib.Svpc (fun () -> ())))
+            in
+            (* The inner window reports nothing; the outer keeps
+               collecting through it. *)
+            Alcotest.(check int) "inner empty" 0
+              (stage_stat inner Attrib.Svpc).Attrib.calls)
+      in
+      Alcotest.(check int) "outer saw both" 2
+        (stage_stat outer Attrib.Svpc).Attrib.calls);
+  (* A raise inside collect closes the window. *)
+  (try ignore (Attrib.collect (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check bool) "closed after raise" false (Attrib.collecting ())
+
+let test_attrib_solver_integration () =
+  (* The real cascade charges the window: analyze one flow-dependent
+     loop and expect gcd (and svpc) activity plus budget steps. *)
+  let program =
+    "for i = 1 to 10 do\n  a[i] = a[i-1] + 1\nend\n"
+  in
+  let prog = Dda_lang.Parser.parse_program program in
+  let _report, snap =
+    Attrib.collect (fun () -> Dda_core.Analyzer.analyze prog)
+  in
+  let gcd = stage_stat snap Attrib.Gcd in
+  Alcotest.(check bool) "gcd ran" true (gcd.Attrib.calls > 0);
+  Alcotest.(check bool) "steps charged" true (snap.Attrib.budget_steps > 0)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
@@ -281,6 +553,29 @@ let () =
             test_wrap_closes_on_raise;
           Alcotest.test_case "chrome export well-formed and ordered" `Quick
             test_chrome_export_well_formed;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "name sanitization" `Quick test_expo_sanitize;
+          Alcotest.test_case "exposition well-formed" `Quick
+            test_expo_well_formed;
+          Alcotest.test_case "parse round-trip (unit)" `Quick
+            test_expo_parse_roundtrip_unit;
+          Alcotest.test_case "parser is strict" `Quick test_expo_parse_strict;
+          qt prop_expo_roundtrip;
+        ] );
+      ( "attrib",
+        [
+          Alcotest.test_case "inactive path is transparent" `Quick
+            test_attrib_inactive;
+          Alcotest.test_case "collect charges calls, time, steps" `Quick
+            test_attrib_collect;
+          Alcotest.test_case "charges on raise" `Quick
+            test_attrib_charges_on_raise;
+          Alcotest.test_case "nested windows and raise" `Quick
+            test_attrib_nested_and_raise;
+          Alcotest.test_case "solver integration" `Quick
+            test_attrib_solver_integration;
         ] );
       ( "batch",
         [ qt prop_batch_metrics_jobs_invariant ] );
